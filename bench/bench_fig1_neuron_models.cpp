@@ -1,0 +1,87 @@
+// Fig. 1 — neuron and synapse characterization:
+//   (a) LIF spiking frequency vs input current (paper parameters),
+//   (c) stochastic STDP probability vs Δt (eq. 6–7, Table I gates),
+//   (d) pixel intensity -> spike-train frequency conversion.
+// Also prints the Izhikevich f-I curve (the "supports different neuron
+// models" contribution) and writes fig1_*.csv for replotting.
+#include "bench_common.hpp"
+#include "pss/encoding/pixel_frequency.hpp"
+#include "pss/io/csv.hpp"
+#include "pss/neuron/adex.hpp"
+#include "pss/neuron/characterize.hpp"
+#include "pss/synapse/stdp_stochastic.hpp"
+
+using namespace pss;
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, [](const Config&) {
+    bench::print_header(
+        "Fig. 1a — LIF spiking frequency vs input current",
+        "LIF with Sec. III-D parameters: silent below rheobase (~2.6), "
+        "frequency rises monotonically with current");
+
+    const LifParameters lif = paper_lif_parameters();
+    std::printf("rheobase (measured): %.3f\n\n", lif_rheobase(lif));
+
+    TablePrinter fi({"current", "LIF freq (Hz)", "Izhikevich RS freq (Hz)"});
+    const auto lif_curve = lif_fi_curve(lif, 0.0, 40.0, 21);
+    const auto izh_curve =
+        izhikevich_fi_curve(izhikevich_regular_spiking(), 0.0, 40.0, 21);
+    CsvWriter csv(bench::out_dir() + "/fig1a_fi_curve.csv",
+                  {"current", "lif_hz", "izhikevich_hz"});
+    for (std::size_t i = 0; i < lif_curve.size(); ++i) {
+      fi.add_row(format_fixed(lif_curve[i].current, 1),
+                 {lif_curve[i].frequency_hz, izh_curve[i].frequency_hz});
+      csv.row({lif_curve[i].current, lif_curve[i].frequency_hz,
+               izh_curve[i].frequency_hz});
+    }
+    fi.print();
+
+    // Extension models: AdEx f-I (current in pA on its own physiological
+    // scale, hence a separate table).
+    std::printf("\nAdEx f-I (extension model):\n");
+    TablePrinter adex_fi({"current (pA)", "AdEx RS (Hz)", "AdEx adapting (Hz)"});
+    for (double i = 0.0; i <= 1000.0 + 1e-9; i += 200.0) {
+      adex_fi.add_row(format_fixed(i, 0),
+                      {adex_spiking_frequency(adex_regular_spiking(), i),
+                       adex_spiking_frequency(adex_adapting(), i)});
+    }
+    adex_fi.print();
+
+    bench::print_header(
+        "Fig. 1c — stochastic STDP probabilities vs Δt (eq. 6-7)",
+        "P_pot peaks at γ_pot for Δt→0+ and decays with τ_pot; P_dep peaks "
+        "at γ_dep for Δt→0- and decays with τ_dep");
+
+    TablePrinter gate_table(
+        {"Δt (ms)", "P_pot fp32", "P_dep fp32", "P_pot high-freq",
+         "P_dep high-freq"});
+    const StochasticGate fp32(table1_row(LearningOption::kFloat32).gate);
+    const StochasticGate hf(table1_row(LearningOption::kHighFrequency).gate);
+    CsvWriter gate_csv(bench::out_dir() + "/fig1c_gates.csv",
+                       {"dt_ms", "p_pot_fp32", "p_dep_fp32", "p_pot_hf",
+                        "p_dep_hf"});
+    for (double dt = -50.0; dt <= 50.0 + 1e-9; dt += 10.0) {
+      gate_table.add_row(
+          format_fixed(dt, 0),
+          {fp32.p_pot(dt), fp32.p_dep(dt), hf.p_pot(dt), hf.p_dep(dt)}, 3);
+      gate_csv.row({dt, fp32.p_pot(dt), fp32.p_dep(dt), hf.p_pot(dt),
+                    hf.p_dep(dt)});
+    }
+    gate_table.print();
+
+    bench::print_header(
+        "Fig. 1d — pixel intensity to spike-train frequency",
+        "frequency proportional to 8-bit intensity, range [f_min, f_max]");
+
+    TablePrinter enc({"intensity", "baseline 1-22 Hz", "high-freq 5-78 Hz"});
+    const PixelFrequencyMap base(1.0, 22.0);
+    const PixelFrequencyMap high(5.0, 78.0);
+    for (int v : {0, 32, 64, 96, 128, 160, 192, 224, 255}) {
+      enc.add_row(std::to_string(v),
+                  {base.frequency(static_cast<std::uint8_t>(v)),
+                   high.frequency(static_cast<std::uint8_t>(v))});
+    }
+    enc.print();
+  });
+}

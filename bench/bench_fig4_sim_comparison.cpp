@@ -1,0 +1,146 @@
+// Fig. 4 — spiking-activity accuracy and simulation performance:
+// "an SNN of 10^3 LIF neurons and 10^4 synapses ... our platform is able to
+//  produce spiking activities similar to CARLsim. However, we observe an
+//  increased simulation time in ParallelSpikeSim due to the use of more
+//  complex unified data structures."
+//
+// Three simulators run the same random recurrent network under identical
+// Poisson drive: the pss engine with LIF, the pss engine with Izhikevich,
+// and the CARLsim-style baseline (Izhikevich + COBA + delay queues). We
+// report per-neuron rate statistics, the rate-profile correlation between
+// simulators, and wall-clock steps/second.
+#include "bench_common.hpp"
+#include "pss/baseline/izhi_network.hpp"
+#include "pss/io/csv.hpp"
+#include "pss/network/simulation.hpp"
+#include "pss/stats/spiketrain.hpp"
+#include "pss/stats/summary.hpp"
+
+using namespace pss;
+
+namespace {
+
+std::vector<double> to_rates(const std::vector<std::uint32_t>& spikes,
+                             double duration_ms) {
+  std::vector<double> rates(spikes.size());
+  for (std::size_t i = 0; i < spikes.size(); ++i) {
+    rates[i] = spikes[i] / (duration_ms * 1e-3);
+  }
+  return rates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, [](const Config& args) {
+    bench::print_header(
+        "Fig. 4 — spiking activity & simulation performance comparison",
+        "equivalent spiking activity across simulators; ParallelSpikeSim "
+        "somewhat slower per step than the leaner CARLsim-style baseline");
+
+    const std::size_t neurons =
+        static_cast<std::size_t>(args.get_int("neurons", 1000));
+    const double duration = args.get_double("duration_ms", 2000.0);
+    const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
+
+    // 10^4 synapses over 10^3 neurons -> p = 0.01 (scaled with population).
+    const double p = 10.0 / static_cast<double>(neurons);
+    SequentialRng wiring(seed);
+    const auto connections = connect_random(
+        neurons, neurons, p,
+        [](NeuronIndex, NeuronIndex) { return 0.8; }, wiring);
+    std::printf("network: %zu neurons, %zu synapses, %.0f ms biological\n\n",
+                neurons, connections.size(), duration);
+
+    ActivityConfig drive;
+    drive.duration_ms = duration;
+    drive.input_rate_hz = 50.0;
+    drive.input_amplitude = 14.0;
+    drive.seed = seed;
+
+    const auto lif = run_lif_activity(neurons, paper_lif_parameters(),
+                                      connections, drive);
+    const auto izh = run_izhikevich_activity(
+        neurons, izhikevich_regular_spiking(), connections, drive);
+
+    // CARLsim-style reference, in CUBA mode so a connection weight means
+    // the same thing (injected current) as in the pss runs, and with the
+    // same drive seed so all three simulators see identical Poisson trains.
+    BaselineConfig carl_cfg;
+    carl_cfg.conductance_based = false;
+    carl_cfg.seed = seed;
+    BaselineNetwork carl(carl_cfg);
+    const int group =
+        carl.add_group("exc", neurons, izhikevich_regular_spiking());
+    carl.connect(group, group, connections);
+    carl.set_poisson_drive(group, drive.input_rate_hz, drive.input_amplitude);
+    const auto base = carl.run(duration);
+
+    TablePrinter t({"simulator", "total spikes", "mean rate (Hz)",
+                    "steps/s (wall)", "ms bio / s wall"});
+    auto add = [&](const char* name, const ActivityResult& r) {
+      t.add_row({name, std::to_string(r.total_spikes),
+                 format_fixed(r.mean_rate_hz, 2),
+                 format_fixed(r.steps_per_second, 0),
+                 format_fixed(duration / std::max(1e-9, r.wall_seconds) / 1e3,
+                              1)});
+    };
+    add("ParallelSpikeSim LIF", lif);
+    add("ParallelSpikeSim Izhikevich", izh);
+    add("CARLsim-style baseline", base);
+    t.print();
+
+    // Activity equivalence: identical model + identical drive -> the
+    // per-neuron rate profiles of the pss Izhikevich run and the baseline
+    // should correlate strongly (they differ only in synapse formalism).
+    const auto rate_izh = to_rates(izh.per_neuron_spikes, duration);
+    const auto rate_base = to_rates(base.per_neuron_spikes, duration);
+    const auto rate_lif = to_rates(lif.per_neuron_spikes, duration);
+    std::printf("\nper-neuron rate correlation (pss Izhikevich vs baseline): %.3f\n",
+                pearson_correlation(rate_izh, rate_base));
+    std::printf("per-neuron rate correlation (pss LIF vs baseline):        %.3f\n",
+                pearson_correlation(rate_lif, rate_base));
+
+    const SummaryStats s_lif = summarize(rate_lif);
+    const SummaryStats s_base = summarize(rate_base);
+    std::printf("rate distribution  pss LIF: mean %.2f sd %.2f | baseline: "
+                "mean %.2f sd %.2f (Hz)\n",
+                s_lif.mean, s_lif.stddev, s_base.mean, s_base.stddev);
+
+    // Per-train fine structure: ISI irregularity of the population and the
+    // van Rossum distance between the two Izhikevich implementations on the
+    // most active neuron (same model + same drive -> small distance relative
+    // to a shuffled-pair control).
+    auto times_of = [](const ActivityResult& r, NeuronIndex n) {
+      std::vector<TimeMs> out;
+      for (const auto& [t, j] : r.raster) {
+        if (j == n) out.push_back(t);
+      }
+      return out;
+    };
+    const auto busiest = static_cast<NeuronIndex>(
+        std::max_element(izh.per_neuron_spikes.begin(),
+                         izh.per_neuron_spikes.end()) -
+        izh.per_neuron_spikes.begin());
+    const auto train_izh = times_of(izh, busiest);
+    const auto train_base = times_of(base, busiest);
+    const auto train_other = times_of(base, (busiest + 1) % neurons);
+    if (train_izh.size() > 2 && train_base.size() > 2) {
+      const IsiStats cv_izh = isi_statistics(train_izh);
+      std::printf("busiest neuron ISI: mean %.1f ms, CV %.2f (Poisson-like "
+                  "irregular firing)\n",
+                  cv_izh.mean_ms, cv_izh.cv);
+      const double d_same = van_rossum_distance(train_izh, train_base, 20.0);
+      const double d_ctrl = van_rossum_distance(train_izh, train_other, 20.0);
+      std::printf("van Rossum distance (tau 20 ms): same neuron across "
+                  "simulators %.2f vs different-neuron control %.2f\n",
+                  d_same, d_ctrl);
+    }
+
+    CsvWriter csv(bench::out_dir() + "/fig4_rates.csv",
+                  {"neuron", "lif_hz", "izhikevich_hz", "baseline_hz"});
+    for (std::size_t i = 0; i < neurons; ++i) {
+      csv.row({static_cast<double>(i), rate_lif[i], rate_izh[i], rate_base[i]});
+    }
+  });
+}

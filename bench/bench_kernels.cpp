@@ -1,0 +1,100 @@
+// Engine micro-benchmarks (google-benchmark): the three hot kernels of the
+// simulator — neuron update, current accumulation (eq. 3), STDP row update —
+// plus the Philox draw and the Poisson encoder. These are the per-step costs
+// behind the Fig. 4 performance comparison.
+#include <benchmark/benchmark.h>
+
+#include "pss/common/rng.hpp"
+#include "pss/encoding/poisson_encoder.hpp"
+#include "pss/neuron/lif.hpp"
+#include "pss/synapse/conductance_matrix.hpp"
+#include "pss/synapse/stdp_updater.hpp"
+
+namespace pss {
+namespace {
+
+void BM_PhiloxDraw(benchmark::State& state) {
+  CounterRng rng(42, 7);
+  std::uint64_t c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform(c++));
+  }
+}
+BENCHMARK(BM_PhiloxDraw);
+
+void BM_LifPopulationStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  LifPopulation pop(n, paper_lif_parameters());
+  std::vector<double> current(n, 3.0);
+  std::vector<NeuronIndex> spikes;
+  TimeMs t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    pop.step(current, t, 1.0, spikes);
+    benchmark::DoNotOptimize(spikes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_LifPopulationStep)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_CurrentAccumulation(benchmark::State& state) {
+  const auto posts = static_cast<std::size_t>(state.range(0));
+  ConductanceMatrix m(posts, kImagePixels);
+  SequentialRng rng(1);
+  m.initialize_uniform(0.2, 0.8, rng);
+  // Typical active-channel count for a 1-22 Hz encoded digit: a handful.
+  std::vector<ChannelIndex> active;
+  for (ChannelIndex c = 0; c < 8; ++c) active.push_back(c * 97);
+  std::vector<double> currents(posts, 0.0);
+  for (auto _ : state) {
+    m.accumulate_currents(active, 3.0, currents);
+    benchmark::DoNotOptimize(currents.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(posts * active.size()));
+}
+BENCHMARK(BM_CurrentAccumulation)->Arg(100)->Arg(1000);
+
+void BM_StdpRowUpdate(benchmark::State& state) {
+  // One post-spike event: every afferent synapse of the winner updates.
+  StdpUpdaterConfig cfg;
+  cfg.kind = state.range(0) == 0 ? StdpKind::kDeterministic
+                                 : StdpKind::kStochastic;
+  const StdpUpdater updater(cfg);
+  CounterRng rng(3, 1);
+  std::vector<double> row(kImagePixels, 0.5);
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    for (std::size_t pre = 0; pre < row.size(); ++pre) {
+      const double gap = static_cast<double>((pre * 13) % 200);
+      row[pre] = updater.update_at_post_spike(
+          row[pre], gap, rng.uniform(counter), rng.uniform(counter + 1),
+          rng.uniform(counter + 2));
+      counter += 3;
+    }
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(kImagePixels));
+  state.SetLabel(state.range(0) == 0 ? "deterministic" : "stochastic");
+}
+BENCHMARK(BM_StdpRowUpdate)->Arg(0)->Arg(1);
+
+void BM_PoissonEncoderStep(benchmark::State& state) {
+  PoissonEncoder enc(kImagePixels, 5);
+  enc.set_uniform_rate(10.0);
+  std::vector<ChannelIndex> active;
+  StepIndex step = 0;
+  for (auto _ : state) {
+    enc.active_channels(step++, 1.0, active);
+    benchmark::DoNotOptimize(active.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(kImagePixels));
+}
+BENCHMARK(BM_PoissonEncoderStep);
+
+}  // namespace
+}  // namespace pss
+
+BENCHMARK_MAIN();

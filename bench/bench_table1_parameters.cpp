@@ -1,0 +1,57 @@
+// Table I — parameters for the different learning options, printed from the
+// registry (transcribed verbatim from the paper) together with the derived
+// quantities each row implies (quantization step, effective G ceiling,
+// presentation time). Acts as the configuration audit for every other bench.
+#include "bench_common.hpp"
+#include "pss/synapse/stdp_updater.hpp"
+
+using namespace pss;
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, [](const Config&) {
+    bench::print_header("Table I — parameters for different learning options",
+                        "verbatim transcription; blank α/β cells mean "
+                        "ΔG = 1/2^n at that precision");
+
+    TablePrinter t({"option", "αP", "βP", "αD", "βD", "Gmax", "Gmin", "γpot",
+                    "τpot", "γdep", "τdep", "f max", "f min"});
+    for (const Table1Row& row : table1_rows()) {
+      auto opt = [&](double StdpMagnitudeParams::*field) {
+        return row.magnitude ? format_fixed((*row.magnitude).*field, 3) : "-";
+      };
+      t.add_row({row.name, opt(&StdpMagnitudeParams::alpha_p),
+                 opt(&StdpMagnitudeParams::beta_p),
+                 opt(&StdpMagnitudeParams::alpha_d),
+                 opt(&StdpMagnitudeParams::beta_d),
+                 opt(&StdpMagnitudeParams::g_max),
+                 opt(&StdpMagnitudeParams::g_min),
+                 format_fixed(row.gate.gamma_pot, 1),
+                 format_fixed(row.gate.tau_pot, 0),
+                 format_fixed(row.gate.gamma_dep, 1),
+                 format_fixed(row.gate.tau_dep, 0),
+                 format_fixed(row.f_input_max_hz, 0),
+                 format_fixed(row.f_input_min_hz, 0)});
+    }
+    t.print();
+
+    std::printf("\nderived per-row quantities:\n");
+    TablePrinter d({"option", "format", "ΔG quantum", "G ceiling",
+                    "t_learn (ms)"});
+    for (const Table1Row& row : table1_rows()) {
+      StdpUpdaterConfig cfg;
+      cfg.kind = StdpKind::kStochastic;
+      cfg.magnitude = row.magnitude.value_or(
+          StdpMagnitudeParams{0.01, 3.0, 0.005, 3.0, 1.0, 0.0});
+      cfg.gate = row.gate;
+      cfg.format = row.format;
+      const StdpUpdater updater(cfg);
+      d.add_row({row.name, row.format ? row.format->name() : "fp32",
+                 row.format && row.format->total_bits() <= 8
+                     ? format_fixed(row.format->resolution(), 4)
+                     : "eq.4-5 float",
+                 format_fixed(updater.effective_g_max(), 4),
+                 format_fixed(row.t_learn_ms, 0)});
+    }
+    d.print();
+  });
+}

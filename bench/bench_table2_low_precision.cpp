@@ -1,0 +1,82 @@
+// Table II — accuracy (%) for the rounding options across precisions:
+// {baseline deterministic, stochastic} x {Q0.2, Q0.4, Q1.7, Q1.15} x
+// {truncation, round-to-nearest, stochastic rounding}.
+//
+// Expected shape (paper): the baseline collapses to near-chance at Q0.2/Q0.4
+// (truncation worst, stochastic rounding best) and stays degraded at Q1.7;
+// stochastic STDP maintains robust accuracy down to 2 bits with only small
+// differences between rounding options.
+#include "bench_common.hpp"
+#include "pss/io/csv.hpp"
+
+using namespace pss;
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, [](const Config& args) {
+    bench::Scale scale = bench::parse_scale(args);
+    if (scale.name == "quick") {
+      // 24 cells: keep each affordable.
+      scale.neuron_count = 80;
+      scale.train_images = 250;
+      scale.label_images = 200;
+      scale.eval_images = 200;
+    }
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const LabeledDataset mnist = bench::load_dataset("mnist", scale, 7);
+
+    bench::print_header(
+        "Table II — accuracy (%) for rounding options",
+        "deterministic STDP fails at low precision (chance at Q0.2 "
+        "truncation); stochastic STDP learns even at 2 bits");
+
+    const std::vector<std::pair<LearningOption, const char*>> precisions = {
+        {LearningOption::k2Bit, "Q0.2"},
+        {LearningOption::k4Bit, "Q0.4"},
+        {LearningOption::k8Bit, "Q1.7"},
+        {LearningOption::k16Bit, "Q1.15"},
+    };
+    const std::vector<std::pair<RoundingMode, const char*>> roundings = {
+        {RoundingMode::kTruncate, "truncation"},
+        {RoundingMode::kNearest, "nearest"},
+        {RoundingMode::kStochastic, "stochastic"},
+    };
+
+    CsvWriter csv(bench::out_dir() + "/table2.csv",
+                  {"rule", "precision", "rounding", "accuracy"});
+
+    for (const StdpKind kind :
+         {StdpKind::kDeterministic, StdpKind::kStochastic}) {
+      std::printf("\n%s STDP\n",
+                  kind == StdpKind::kDeterministic ? "Baseline (deterministic)"
+                                                   : "Stochastic");
+      TablePrinter t({"precision", "truncation", "round-to-nearest",
+                      "stochastic rounding"});
+      for (const auto& [option, pname] : precisions) {
+        std::vector<std::string> cells = {pname};
+        for (const auto& [mode, mname] : roundings) {
+          ExperimentSpec spec = bench::make_spec(scale, kind, option, seed);
+          spec.rounding = mode;
+          spec.name = std::string(stdp_kind_name(kind)) + " " + pname + " " +
+                      mname;
+          const ExperimentResult r = run_learning_experiment(spec, mnist);
+          cells.push_back(format_fixed(100.0 * r.accuracy, 1));
+          csv.row({std::string(stdp_kind_name(kind)), pname, mname,
+                   format_fixed(r.accuracy, 4)});
+        }
+        t.add_row(cells);
+      }
+      t.print();
+    }
+
+    std::printf("\nfp32 reference (no quantization):\n");
+    TablePrinter ref({"rule", "accuracy (%)"});
+    for (const StdpKind kind :
+         {StdpKind::kDeterministic, StdpKind::kStochastic}) {
+      ExperimentSpec spec =
+          bench::make_spec(scale, kind, LearningOption::kFloat32, seed);
+      const ExperimentResult r = run_learning_experiment(spec, mnist);
+      ref.add_row({stdp_kind_name(kind), format_fixed(100.0 * r.accuracy, 1)});
+    }
+    ref.print();
+  });
+}

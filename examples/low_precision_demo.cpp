@@ -1,0 +1,104 @@
+// Low-precision learning walk-through (paper Sec. III-C / IV-D):
+// demonstrates, at the level of a single synapse, *why* deterministic STDP
+// collapses at 2 bits while stochastic STDP keeps learning — then confirms
+// the effect with a small end-to-end run at each precision.
+//
+// Usage: low_precision_demo [train=250 neurons=80 seed=1]
+#include <cstdio>
+
+#include "pss/common/log.hpp"
+#include "pss/common/rng.hpp"
+#include "pss/data/synthetic_digits.hpp"
+#include "pss/experiment/experiment.hpp"
+#include "pss/io/config.hpp"
+#include "pss/synapse/stdp_updater.hpp"
+
+using namespace pss;
+
+namespace {
+
+void single_synapse_story() {
+  std::printf("--- single synapse at Q0.2 (2-bit): 200 causal pairings, "
+              "gap 5 ms ---\n");
+  std::printf("%-34s %10s %14s\n", "rule / rounding", "final G",
+              "updates != 0");
+  SequentialRng rng(9);
+  for (const StdpKind kind :
+       {StdpKind::kDeterministic, StdpKind::kStochastic}) {
+    for (const RoundingMode mode :
+         {RoundingMode::kTruncate, RoundingMode::kNearest,
+          RoundingMode::kStochastic}) {
+      StdpUpdaterConfig cfg;
+      cfg.kind = kind;
+      cfg.gate = table1_row(LearningOption::k2Bit).gate;
+      cfg.format = q0_2();
+      cfg.rounding = mode;
+      const StdpUpdater u(cfg);
+      double g = 0.25;
+      int moved = 0;
+      for (int i = 0; i < 200; ++i) {
+        const double g2 = u.update_at_post_spike(g, 5.0, rng.uniform(),
+                                                 rng.uniform(), rng.uniform());
+        if (g2 != g) ++moved;
+        g = g2;
+      }
+      std::printf("%-14s / %-17s %10.2f %14d\n", stdp_kind_name(kind),
+                  rounding_mode_name(mode), g, moved);
+    }
+  }
+  std::printf(
+      "\nreading: the deterministic float ΔG (~0.006) is far below the 0.25\n"
+      "quantum — truncation/nearest never move the synapse; stochastic\n"
+      "rounding moves it occasionally (eq. 8). The stochastic rule applies\n"
+      "a full quantum whenever its eq. 6 gate fires, so learning proceeds\n"
+      "with a fine-grained *expected* step.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Config args = Config::from_args(argc, argv);
+    if (!args.get_bool("verbose", false)) set_log_level(LogLevel::kWarn);
+
+    single_synapse_story();
+
+    std::printf("--- end-to-end accuracy per precision (round-to-nearest) ---\n");
+    SyntheticConfig dcfg;
+    dcfg.train_count = static_cast<std::size_t>(args.get_int("train", 250)) + 50;
+    dcfg.test_count = 500;
+    const LabeledDataset data = make_synthetic_digits(dcfg);
+
+    std::printf("%-10s %16s %16s\n", "precision", "deterministic", "stochastic");
+    for (const auto& [option, label] :
+         {std::pair<LearningOption, const char*>{LearningOption::k2Bit, "Q0.2"},
+          {LearningOption::k8Bit, "Q1.7"},
+          {LearningOption::kFloat32, "fp32"}}) {
+      double acc[2] = {0.0, 0.0};
+      int k = 0;
+      for (const StdpKind kind :
+           {StdpKind::kDeterministic, StdpKind::kStochastic}) {
+        ExperimentSpec spec;
+        spec.kind = kind;
+        spec.option = option;
+        spec.neuron_count =
+            static_cast<std::size_t>(args.get_int("neurons", 80));
+        spec.train_images =
+            static_cast<std::size_t>(args.get_int("train", 250));
+        spec.label_images = 250;
+        spec.eval_images = 250;
+        spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+        spec.name = std::string(label) + " " + stdp_kind_name(kind);
+        acc[k++] = run_learning_experiment(spec, data).accuracy;
+      }
+      std::printf("%-10s %15.1f%% %15.1f%%\n", label, 100 * acc[0],
+                  100 * acc[1]);
+    }
+    std::printf("\nexpected shape (Table II): deterministic collapses toward "
+                "chance below Q1.15; stochastic degrades gracefully.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,132 @@
+// Full unsupervised-learning pipeline on MNIST(-like) data — the paper's
+// Fig. 2 flow end to end with every stage exposed:
+//   dataset -> pixel->frequency encoding -> WTA network with STDP ->
+//   neuron labelling -> inference -> confusion matrix + conductance maps.
+//
+// Usage: mnist_unsupervised [key=value ...]
+//   kind=stochastic|deterministic   option=fp32|16bit|8bit|4bit|2bit|highfreq
+//   rounding=nearest|trunc|stochastic
+//   neurons=100 train=400 label=250 eval=250 seed=1
+//   maps=out/mnist_maps.pgm   curve=out/mnist_error.csv  checkpoints=4
+// Real MNIST is used when PSS_MNIST_DIR points at the IDX files.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "pss/common/error.hpp"
+#include "pss/common/log.hpp"
+#include "pss/data/idx.hpp"
+#include "pss/data/synthetic_digits.hpp"
+#include "pss/experiment/experiment.hpp"
+#include "pss/io/config.hpp"
+#include "pss/io/csv.hpp"
+#include "pss/io/pgm.hpp"
+#include "pss/learning/trainer.hpp"
+
+using namespace pss;
+
+namespace {
+
+LearningOption parse_option(const std::string& name) {
+  if (name == "fp32") return LearningOption::kFloat32;
+  if (name == "16bit") return LearningOption::k16Bit;
+  if (name == "8bit") return LearningOption::k8Bit;
+  if (name == "4bit") return LearningOption::k4Bit;
+  if (name == "2bit") return LearningOption::k2Bit;
+  if (name == "highfreq") return LearningOption::kHighFrequency;
+  throw Error("unknown option: " + name);
+}
+
+RoundingMode parse_rounding(const std::string& name) {
+  if (name == "nearest") return RoundingMode::kNearest;
+  if (name == "trunc") return RoundingMode::kTruncate;
+  if (name == "stochastic") return RoundingMode::kStochastic;
+  throw Error("unknown rounding: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Config args = Config::from_args(argc, argv);
+    if (!args.get_bool("verbose", false)) set_log_level(LogLevel::kWarn);
+
+    LabeledDataset data;
+    if (auto real = load_real_dataset_from_env("mnist")) {
+      data = std::move(*real);
+    } else {
+      SyntheticConfig cfg;
+      cfg.train_count =
+          static_cast<std::size_t>(args.get_int("train", 400)) + 200;
+      cfg.test_count =
+          static_cast<std::size_t>(args.get_int("label", 250)) +
+          static_cast<std::size_t>(args.get_int("eval", 250));
+      data = make_synthetic_digits(cfg);
+    }
+
+    ExperimentSpec spec;
+    spec.name = "mnist_unsupervised";
+    spec.kind = args.get_string("kind", "stochastic") == "deterministic"
+                    ? StdpKind::kDeterministic
+                    : StdpKind::kStochastic;
+    spec.option = parse_option(args.get_string("option", "fp32"));
+    spec.rounding = parse_rounding(args.get_string("rounding", "nearest"));
+    spec.neuron_count = static_cast<std::size_t>(args.get_int("neurons", 100));
+    spec.train_images = static_cast<std::size_t>(args.get_int("train", 400));
+    spec.label_images = static_cast<std::size_t>(args.get_int("label", 250));
+    spec.eval_images = static_cast<std::size_t>(args.get_int("eval", 250));
+    spec.checkpoints = static_cast<std::size_t>(args.get_int("checkpoints", 4));
+    spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    std::printf("pipeline: %s STDP, %s, rounding %s, %zu neurons, %zu train "
+                "images (%s)\n",
+                stdp_kind_name(spec.kind), learning_option_name(spec.option),
+                rounding_mode_name(spec.rounding), spec.neuron_count,
+                spec.train_images, data.name.c_str());
+
+    // Stage 1+2: train / label / infer through the experiment harness.
+    const ExperimentResult result = run_learning_experiment(spec, data);
+
+    std::printf("\naccuracy %.1f%% | %zu/%zu neurons labelled | training "
+                "%.1f s wall (%.0f s biological)\n",
+                100.0 * result.accuracy, result.labelled_neurons,
+                result.neuron_count, result.train_wall_seconds,
+                result.simulated_learning_ms * 1e-3);
+    std::printf("conductance: contrast %.3f, %.0f%% at G_min, %.0f%% at "
+                "G_max\n",
+                result.conductance_contrast, 100 * result.bottom_fraction,
+                100 * result.top_fraction);
+
+    std::printf("\nmoving error rate:\n");
+    for (const auto& p : result.error_trace) {
+      std::printf("  after %5zu images (%6.1f s bio): error %.1f%%\n",
+                  p.images_seen, p.simulated_ms * 1e-3, 100 * p.error_rate);
+    }
+
+    // Stage 3: artifacts. Retrain a fresh same-seed network to export maps
+    // (same trajectory), and dump the error curve as CSV.
+    const std::string maps_path =
+        args.get_string("maps", "out/mnist_maps.pgm");
+    std::filesystem::create_directories(
+        std::filesystem::path(maps_path).parent_path());
+    WtaNetwork net(spec.network_config());
+    UnsupervisedTrainer trainer(net, spec.trainer_config());
+    trainer.train(data.train.head(spec.train_images));
+    const auto maps = conductance_maps(net, 25);
+    write_pgm(maps_path, tile_images(maps, 5, 5));
+
+    const std::string curve_path =
+        args.get_string("curve", "out/mnist_error.csv");
+    CsvWriter csv(curve_path, {"images", "sim_ms", "error_rate"});
+    for (const auto& p : result.error_trace) {
+      csv.row({static_cast<double>(p.images_seen), p.simulated_ms,
+               p.error_rate});
+    }
+    std::printf("\nwrote %s (5x5 conductance maps) and %s (error curve)\n",
+                maps_path.c_str(), curve_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,59 @@
+#include "pss/baseline/coba_synapse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+CobaState::CobaState(std::size_t neuron_count, ReceptorParams params,
+                     bool conductance_based)
+    : params_(params),
+      conductance_based_(conductance_based),
+      g_exc_(neuron_count, 0.0),
+      g_inh_(neuron_count, 0.0) {
+  PSS_REQUIRE(neuron_count > 0, "need at least one neuron");
+  PSS_REQUIRE(params.tau_exc_ms > 0.0 && params.tau_inh_ms > 0.0,
+              "receptor time constants must be positive");
+}
+
+void CobaState::deliver(NeuronIndex post, double w, bool inhibitory) {
+  PSS_DASSERT(post < g_exc_.size());
+  PSS_DASSERT(w >= 0.0);
+  if (inhibitory) {
+    g_inh_[post] += w;
+  } else {
+    g_exc_[post] += w;
+  }
+}
+
+void CobaState::currents_and_decay(std::span<const double> membrane, TimeMs dt,
+                                   std::span<double> currents) {
+  PSS_REQUIRE(membrane.size() == g_exc_.size() &&
+                  currents.size() == g_exc_.size(),
+              "vector sizes must match neuron count");
+  if (dt != cached_dt_) {
+    cached_dt_ = dt;
+    decay_exc_ = std::exp(-dt / params_.tau_exc_ms);
+    decay_inh_ = std::exp(-dt / params_.tau_inh_ms);
+  }
+  for (std::size_t i = 0; i < g_exc_.size(); ++i) {
+    if (conductance_based_) {
+      currents[i] += g_exc_[i] * (params_.e_exc - membrane[i]) +
+                     g_inh_[i] * (params_.e_inh - membrane[i]);
+    } else {
+      // CUBA: decaying current injection, inhibition as negative current.
+      currents[i] += g_exc_[i] - g_inh_[i];
+    }
+    g_exc_[i] *= decay_exc_;
+    g_inh_[i] *= decay_inh_;
+  }
+}
+
+void CobaState::reset() {
+  std::fill(g_exc_.begin(), g_exc_.end(), 0.0);
+  std::fill(g_inh_.begin(), g_inh_.end(), 0.0);
+}
+
+}  // namespace pss

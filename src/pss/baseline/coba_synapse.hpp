@@ -1,0 +1,58 @@
+// Conductance-based (COBA) receptor dynamics, CARLsim-style.
+//
+// Each post-neuron carries exponentially decaying excitatory (AMPA-like) and
+// inhibitory (GABA-like) conductances; an arriving spike increments the
+// matching conductance by the synaptic weight, and the membrane current is
+//   I = g_exc·(E_exc − v) + g_inh·(E_inh − v).
+// A current-based (CUBA) mode is also provided (decaying current injection),
+// matching CARLsim's two synapse modes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pss/common/types.hpp"
+
+namespace pss {
+
+struct ReceptorParams {
+  double tau_exc_ms = 5.0;    ///< AMPA decay
+  double e_exc = 0.0;         ///< excitatory reversal potential (mV)
+  double tau_inh_ms = 10.0;   ///< GABA-A decay
+  double e_inh = -70.0;       ///< inhibitory reversal potential (mV)
+};
+
+class CobaState {
+ public:
+  CobaState(std::size_t neuron_count, ReceptorParams params,
+            bool conductance_based = true);
+
+  std::size_t size() const { return g_exc_.size(); }
+  bool conductance_based() const { return conductance_based_; }
+  const ReceptorParams& params() const { return params_; }
+
+  /// Registers an arriving spike with weight `w` (w >= 0; sign selected by
+  /// `inhibitory`).
+  void deliver(NeuronIndex post, double w, bool inhibitory);
+
+  /// Total synaptic current for each neuron given its membrane potential,
+  /// then decays the conductances by one step.
+  void currents_and_decay(std::span<const double> membrane, TimeMs dt,
+                          std::span<double> currents);
+
+  std::span<const double> g_exc() const { return g_exc_; }
+  std::span<const double> g_inh() const { return g_inh_; }
+
+  void reset();
+
+ private:
+  ReceptorParams params_;
+  bool conductance_based_;
+  std::vector<double> g_exc_;
+  std::vector<double> g_inh_;
+  TimeMs cached_dt_ = -1.0;
+  double decay_exc_ = 0.0;
+  double decay_inh_ = 0.0;
+};
+
+}  // namespace pss

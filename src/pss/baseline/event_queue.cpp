@@ -1,0 +1,28 @@
+#include "pss/baseline/event_queue.hpp"
+
+namespace pss {
+
+SpikeEventQueue::SpikeEventQueue(std::size_t max_delay_steps)
+    : buckets_(max_delay_steps + 1) {
+  PSS_REQUIRE(max_delay_steps >= 1, "queue needs at least one step of delay");
+}
+
+void SpikeEventQueue::schedule(std::uint32_t synapse_id,
+                               std::size_t delay_steps) {
+  PSS_REQUIRE(delay_steps >= 1 && delay_steps < buckets_.size(),
+              "delay out of range");
+  buckets_[(head_ + delay_steps) % buckets_.size()].push_back(synapse_id);
+}
+
+void SpikeEventQueue::advance() {
+  buckets_[head_].clear();
+  head_ = (head_ + 1) % buckets_.size();
+}
+
+std::size_t SpikeEventQueue::pending_count() const {
+  std::size_t n = 0;
+  for (const auto& b : buckets_) n += b.size();
+  return n;
+}
+
+}  // namespace pss

@@ -1,0 +1,38 @@
+// Delayed spike-event delivery for the CARLsim-style baseline simulator.
+//
+// CARLsim delivers each spike to its targets after a per-connection axonal
+// delay; this ring buffer holds, per future step, the list of synapse ids
+// whose spike arrives then. Capacity covers the maximum delay in the
+// network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+class SpikeEventQueue {
+ public:
+  /// `max_delay_steps` is the largest schedulable delay.
+  explicit SpikeEventQueue(std::size_t max_delay_steps);
+
+  /// Schedules synapse `synapse_id` to fire `delay_steps` from now
+  /// (1 <= delay_steps <= max_delay_steps).
+  void schedule(std::uint32_t synapse_id, std::size_t delay_steps);
+
+  /// Events due at the current step (valid until the next advance()).
+  const std::vector<std::uint32_t>& due() const { return buckets_[head_]; }
+
+  /// Clears the current slot and moves to the next step.
+  void advance();
+
+  std::size_t pending_count() const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> buckets_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace pss

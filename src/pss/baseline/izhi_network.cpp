@@ -1,0 +1,240 @@
+#include "pss/baseline/izhi_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+BaselineNetwork::BaselineNetwork(BaselineConfig config)
+    : config_(config) {
+  PSS_REQUIRE(config.dt > 0.0, "dt must be positive");
+}
+
+int BaselineNetwork::add_group(const std::string& name, std::size_t size,
+                               IzhikevichParameters params, bool inhibitory) {
+  PSS_REQUIRE(!finalized_, "cannot add groups after run()");
+  PSS_REQUIRE(size > 0, "group must not be empty");
+  Group g;
+  g.name = name;
+  g.offset = neuron_params_.size();
+  g.size = size;
+  g.inhibitory = inhibitory;
+  groups_.push_back(g);
+  for (std::size_t i = 0; i < size; ++i) {
+    neuron_params_.push_back(params);
+    v_.push_back(params.v_init);
+    u_.push_back(params.b * params.v_init);
+  }
+  return static_cast<int>(groups_.size()) - 1;
+}
+
+std::size_t BaselineNetwork::group_size(int group) const {
+  PSS_REQUIRE(group >= 0 && static_cast<std::size_t>(group) < groups_.size(),
+              "group id out of range");
+  return groups_[static_cast<std::size_t>(group)].size;
+}
+
+int BaselineNetwork::connect(int pre_group, int post_group,
+                             const std::vector<Connection>& connections) {
+  PSS_REQUIRE(!finalized_, "cannot connect after run()");
+  const Group& pre = groups_.at(static_cast<std::size_t>(pre_group));
+  const Group& post = groups_.at(static_cast<std::size_t>(post_group));
+  validate_connections(connections, pre.size, post.size);
+
+  ConnectionSet set;
+  set.pre_group = pre_group;
+  set.post_group = post_group;
+  set.first_synapse = syn_pre_.size();
+  set.count = connections.size();
+  sets_.push_back(set);
+
+  for (const auto& c : connections) {
+    syn_pre_.push_back(static_cast<NeuronIndex>(pre.offset + c.pre));
+    syn_post_.push_back(static_cast<NeuronIndex>(post.offset + c.post));
+    syn_weight_.push_back(c.weight);
+    syn_delay_steps_.push_back(static_cast<std::uint16_t>(
+        std::max(1.0, std::round(c.delay_ms / config_.dt))));
+    syn_inhibitory_.push_back(pre.inhibitory ? 1 : 0);
+    syn_plastic_.push_back(0);
+  }
+  return static_cast<int>(sets_.size()) - 1;
+}
+
+void BaselineNetwork::set_poisson_drive(int group, double rate_hz,
+                                        double amplitude) {
+  Group& g = groups_.at(static_cast<std::size_t>(group));
+  PSS_REQUIRE(rate_hz >= 0.0, "rate must be non-negative");
+  g.poisson_rate_hz = rate_hz;
+  g.poisson_amplitude = amplitude;
+}
+
+void BaselineNetwork::enable_stdp(int connection_set, TraceStdpParams params) {
+  PSS_REQUIRE(!finalized_, "cannot enable STDP after run()");
+  ConnectionSet& set = sets_.at(static_cast<std::size_t>(connection_set));
+  set.plastic = true;
+  any_plastic_ = true;
+  for (std::size_t k = 0; k < set.count; ++k) {
+    syn_plastic_[set.first_synapse + k] = 1;
+  }
+  stdp_ = std::make_unique<TraceStdp>(neuron_count(), neuron_count(), params);
+}
+
+void BaselineNetwork::finalize() {
+  const std::size_t n = neuron_count();
+  PSS_REQUIRE(n > 0, "network has no neurons");
+
+  // Forward CSR: synapses grouped by pre.
+  csr_offsets_.assign(n + 1, 0);
+  for (NeuronIndex pre : syn_pre_) csr_offsets_[pre + 1]++;
+  for (std::size_t i = 1; i <= n; ++i) csr_offsets_[i] += csr_offsets_[i - 1];
+  csr_synapse_.resize(syn_pre_.size());
+  {
+    std::vector<std::uint32_t> cursor(csr_offsets_.begin(),
+                                      csr_offsets_.end() - 1);
+    for (std::size_t s = 0; s < syn_pre_.size(); ++s) {
+      csr_synapse_[cursor[syn_pre_[s]]++] = static_cast<std::uint32_t>(s);
+    }
+  }
+
+  if (any_plastic_) {
+    rev_offsets_.assign(n + 1, 0);
+    for (NeuronIndex post : syn_post_) rev_offsets_[post + 1]++;
+    for (std::size_t i = 1; i <= n; ++i) rev_offsets_[i] += rev_offsets_[i - 1];
+    rev_synapse_.resize(syn_post_.size());
+    std::vector<std::uint32_t> cursor(rev_offsets_.begin(),
+                                      rev_offsets_.end() - 1);
+    for (std::size_t s = 0; s < syn_post_.size(); ++s) {
+      rev_synapse_[cursor[syn_post_[s]]++] = static_cast<std::uint32_t>(s);
+    }
+  }
+
+  std::size_t max_delay = 1;
+  for (std::uint16_t d : syn_delay_steps_) {
+    max_delay = std::max<std::size_t>(max_delay, d);
+  }
+  queue_ = std::make_unique<SpikeEventQueue>(max_delay);
+  coba_ = std::make_unique<CobaState>(n, config_.receptors,
+                                      config_.conductance_based);
+  finalized_ = true;
+}
+
+ActivityResult BaselineNetwork::run(TimeMs duration_ms,
+                                    std::size_t max_recorded) {
+  PSS_REQUIRE(duration_ms > 0.0, "duration must be positive");
+  if (!finalized_) finalize();
+
+  const std::size_t n = neuron_count();
+  const TimeMs dt = config_.dt;
+  const auto steps = static_cast<StepIndex>(std::ceil(duration_ms / dt));
+
+  PoissonEncoder drive(n, config_.seed);
+  {
+    std::vector<double> rates(n, 0.0);
+    for (const Group& g : groups_) {
+      for (std::size_t i = 0; i < g.size; ++i) {
+        rates[g.offset + i] = g.poisson_rate_hz;
+      }
+    }
+    drive.set_rates(rates);
+  }
+
+  std::vector<double> currents(n, 0.0);
+  std::vector<ChannelIndex> external;
+  std::vector<NeuronIndex> spikes;
+
+  ActivityResult result;
+  result.per_neuron_spikes.assign(n, 0);
+
+  Stopwatch clock;
+  for (StepIndex s = 0; s < steps; ++s) {
+    now_ += dt;
+    ++step_;
+    std::fill(currents.begin(), currents.end(), 0.0);
+
+    // 1. External Poisson drive (direct current injection, CARLsim's
+    //    current-injection input mode); amplitude depends on the owning
+    //    group.
+    drive.active_channels(step_, dt, external);
+    for (ChannelIndex c : external) {
+      for (const Group& g : groups_) {
+        if (c >= g.offset && c < g.offset + g.size) {
+          currents[c] += g.poisson_amplitude;
+          break;
+        }
+      }
+    }
+
+    // 2. Due spike deliveries -> receptor state, plus LTD on pre spikes
+    //    (handled at schedule time), then receptor currents + decay.
+    for (std::uint32_t syn : queue_->due()) {
+      coba_->deliver(syn_post_[syn], std::max(0.0, syn_weight_[syn]),
+                     syn_inhibitory_[syn] != 0);
+    }
+    queue_->advance();
+    coba_->currents_and_decay(v_, dt, currents);
+
+    // 3. Neuron update.
+    spikes.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (izhikevich_step(neuron_params_[i], v_[i], u_[i], currents[i], dt)) {
+        spikes.push_back(static_cast<NeuronIndex>(i));
+      }
+    }
+
+    // 4. Spike handling: schedule deliveries, STDP.
+    for (NeuronIndex j : spikes) {
+      ++result.per_neuron_spikes[j];
+      ++result.total_spikes;
+      if (result.raster.size() < max_recorded) {
+        result.raster.emplace_back(now_, j);
+      }
+      if (stdp_) {
+        // Post-spike LTP on incoming plastic synapses.
+        stdp_->on_post_spike(j);
+        for (std::uint32_t k = rev_offsets_[j]; k < rev_offsets_[j + 1]; ++k) {
+          const std::uint32_t syn = rev_synapse_[k];
+          if (syn_plastic_[syn]) {
+            syn_weight_[syn] =
+                stdp_->apply_potentiation(syn_weight_[syn], syn_pre_[syn]);
+          }
+        }
+        // Pre-spike LTD on outgoing plastic synapses.
+        stdp_->on_pre_spike(j);
+        for (std::uint32_t k = csr_offsets_[j]; k < csr_offsets_[j + 1]; ++k) {
+          const std::uint32_t syn = csr_synapse_[k];
+          if (syn_plastic_[syn]) {
+            syn_weight_[syn] =
+                stdp_->apply_depression(syn_weight_[syn], syn_post_[syn]);
+          }
+        }
+      }
+      for (std::uint32_t k = csr_offsets_[j]; k < csr_offsets_[j + 1]; ++k) {
+        const std::uint32_t syn = csr_synapse_[k];
+        queue_->schedule(syn, syn_delay_steps_[syn]);
+      }
+    }
+    if (stdp_) stdp_->decay(dt);
+  }
+  result.wall_seconds = clock.seconds();
+  result.mean_rate_hz = static_cast<double>(result.total_spikes) /
+                        static_cast<double>(n) / (duration_ms * 1e-3);
+  result.steps_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(steps) / result.wall_seconds
+          : 0.0;
+  return result;
+}
+
+double BaselineNetwork::weight(int connection_set, std::size_t index) const {
+  const ConnectionSet& set = sets_.at(static_cast<std::size_t>(connection_set));
+  PSS_REQUIRE(index < set.count, "connection index out of range");
+  return syn_weight_[set.first_synapse + index];
+}
+
+std::size_t BaselineNetwork::connection_count(int connection_set) const {
+  return sets_.at(static_cast<std::size_t>(connection_set)).count;
+}
+
+}  // namespace pss

@@ -1,0 +1,119 @@
+// CARLsim-style reference simulator (DESIGN.md substitution for CARLsim 4).
+//
+// Follows CARLsim's model choices: Izhikevich 4-parameter neurons organised
+// in groups, COBA (or CUBA) synapses, per-connection axonal delays delivered
+// through an event queue, fixed 1 ms integration steps, Poisson external
+// drive, and optional trace-based ESTDP. It is the second simulator of the
+// Fig. 4 comparison ("our platform is able to produce spiking activities
+// similar to CARLsim") and a usable mini-simulator in its own right.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pss/baseline/coba_synapse.hpp"
+#include "pss/baseline/event_queue.hpp"
+#include "pss/baseline/trace_stdp.hpp"
+#include "pss/common/rng.hpp"
+#include "pss/common/stopwatch.hpp"
+#include "pss/network/simulation.hpp"  // ActivityResult
+#include "pss/network/topology.hpp"
+#include "pss/neuron/izhikevich.hpp"
+
+namespace pss {
+
+struct BaselineConfig {
+  TimeMs dt = kDefaultDtMs;
+  bool conductance_based = true;
+  ReceptorParams receptors;
+  std::uint64_t seed = 42;
+};
+
+class BaselineNetwork {
+ public:
+  explicit BaselineNetwork(BaselineConfig config = {});
+
+  /// Adds a neuron group; returns its group id. Inhibitory groups deliver
+  /// onto the inhibitory receptor.
+  int add_group(const std::string& name, std::size_t size,
+                IzhikevichParameters params, bool inhibitory = false);
+
+  std::size_t group_size(int group) const;
+  std::size_t neuron_count() const { return neuron_params_.size(); }
+
+  /// Wires `connections` (indices local to each group) from pre_group to
+  /// post_group. Must be called before run(). Returns the connection-set id.
+  int connect(int pre_group, int post_group,
+              const std::vector<Connection>& connections);
+
+  /// Applies independent Poisson current drive to a group (rate per neuron).
+  void set_poisson_drive(int group, double rate_hz, double amplitude);
+
+  /// Enables trace STDP on a connection set (weights clamped to the params'
+  /// range).
+  void enable_stdp(int connection_set, TraceStdpParams params);
+
+  /// Runs for `duration_ms`, recording activity. Can be called repeatedly;
+  /// state persists between calls.
+  ActivityResult run(TimeMs duration_ms, std::size_t max_recorded = 20000);
+
+  /// Weight of the k-th connection of a set (post-construction inspection).
+  double weight(int connection_set, std::size_t index) const;
+  std::size_t connection_count(int connection_set) const;
+
+ private:
+  struct Group {
+    std::string name;
+    std::size_t offset;
+    std::size_t size;
+    bool inhibitory;
+    double poisson_rate_hz = 0.0;
+    double poisson_amplitude = 0.0;
+  };
+
+  struct ConnectionSet {
+    int pre_group;
+    int post_group;
+    std::size_t first_synapse;
+    std::size_t count;
+    bool plastic = false;
+  };
+
+  void finalize();
+
+  BaselineConfig config_;
+  std::vector<Group> groups_;
+  std::vector<ConnectionSet> sets_;
+
+  // Flat synapse arrays (global indices).
+  std::vector<NeuronIndex> syn_pre_;
+  std::vector<NeuronIndex> syn_post_;
+  std::vector<double> syn_weight_;
+  std::vector<std::uint16_t> syn_delay_steps_;
+  std::vector<std::uint8_t> syn_inhibitory_;
+  std::vector<std::uint8_t> syn_plastic_;
+
+  // Per-pre CSR over synapses (built lazily at first run).
+  bool finalized_ = false;
+  std::vector<std::uint32_t> csr_offsets_;
+  std::vector<std::uint32_t> csr_synapse_;
+  // Per-post CSR (built only when STDP is active).
+  std::vector<std::uint32_t> rev_offsets_;
+  std::vector<std::uint32_t> rev_synapse_;
+
+  // Neuron state.
+  std::vector<IzhikevichParameters> neuron_params_;
+  std::vector<double> v_;
+  std::vector<double> u_;
+
+  std::unique_ptr<CobaState> coba_;
+  std::unique_ptr<SpikeEventQueue> queue_;
+  std::unique_ptr<TraceStdp> stdp_;
+  bool any_plastic_ = false;
+
+  StepIndex step_ = 0;
+  TimeMs now_ = 0.0;
+};
+
+}  // namespace pss

@@ -1,0 +1,63 @@
+#include "pss/baseline/trace_stdp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+TraceStdp::TraceStdp(std::size_t pre_count, std::size_t post_count,
+                     TraceStdpParams params)
+    : params_(params),
+      pre_trace_(pre_count, 0.0),
+      post_trace_(post_count, 0.0) {
+  PSS_REQUIRE(params.tau_plus_ms > 0.0 && params.tau_minus_ms > 0.0,
+              "trace time constants must be positive");
+  PSS_REQUIRE(params.w_max > params.w_min, "weight range must be non-empty");
+}
+
+void TraceStdp::on_pre_spike(NeuronIndex pre) {
+  PSS_DASSERT(pre < pre_trace_.size());
+  pre_trace_[pre] += 1.0;
+}
+
+void TraceStdp::on_post_spike(NeuronIndex post) {
+  PSS_DASSERT(post < post_trace_.size());
+  post_trace_[post] += 1.0;
+}
+
+double TraceStdp::depression_for(NeuronIndex post) const {
+  PSS_DASSERT(post < post_trace_.size());
+  return params_.a_minus * post_trace_[post];
+}
+
+double TraceStdp::potentiation_for(NeuronIndex pre) const {
+  PSS_DASSERT(pre < pre_trace_.size());
+  return params_.a_plus * pre_trace_[pre];
+}
+
+double TraceStdp::apply_depression(double w, NeuronIndex post) const {
+  return std::max(params_.w_min, w - depression_for(post));
+}
+
+double TraceStdp::apply_potentiation(double w, NeuronIndex pre) const {
+  return std::min(params_.w_max, w + potentiation_for(pre));
+}
+
+void TraceStdp::decay(TimeMs dt) {
+  if (dt != cached_dt_) {
+    cached_dt_ = dt;
+    decay_pre_ = std::exp(-dt / params_.tau_plus_ms);
+    decay_post_ = std::exp(-dt / params_.tau_minus_ms);
+  }
+  for (double& t : pre_trace_) t *= decay_pre_;
+  for (double& t : post_trace_) t *= decay_post_;
+}
+
+void TraceStdp::reset() {
+  std::fill(pre_trace_.begin(), pre_trace_.end(), 0.0);
+  std::fill(post_trace_.begin(), post_trace_.end(), 0.0);
+}
+
+}  // namespace pss

@@ -1,0 +1,68 @@
+// Trace-based deterministic STDP, the rule CARLsim implements (its ESTDP
+// with exponential curves). Used by the baseline simulator; the pss core
+// uses the paper's eq. 4–7 rules instead — having both allows the Fig. 4
+// comparison to pit genuinely different learning machinery against each
+// other.
+//
+// Every neuron carries a pre-trace and a post-trace that jump by 1 on a
+// spike and decay exponentially. On a pre spike the synapse is depressed in
+// proportion to the post-trace (post fired recently => anti-causal); on a
+// post spike it is potentiated in proportion to the pre-trace.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pss/common/types.hpp"
+
+namespace pss {
+
+struct TraceStdpParams {
+  double a_plus = 0.01;     ///< LTP rate
+  double a_minus = 0.012;   ///< LTD rate
+  double tau_plus_ms = 20.0;
+  double tau_minus_ms = 20.0;
+  double w_min = 0.0;
+  double w_max = 1.0;
+};
+
+class TraceStdp {
+ public:
+  TraceStdp(std::size_t pre_count, std::size_t post_count,
+            TraceStdpParams params);
+
+  const TraceStdpParams& params() const { return params_; }
+
+  /// Records a pre-neuron spike and returns the (negative) weight change to
+  /// apply to each of its outgoing synapses as a function of the post
+  /// neuron: call depression_for(post) while iterating.
+  void on_pre_spike(NeuronIndex pre);
+  void on_post_spike(NeuronIndex post);
+
+  /// LTD magnitude for a synapse onto `post` at the current traces.
+  double depression_for(NeuronIndex post) const;
+  /// LTP magnitude for a synapse from `pre` at the current traces.
+  double potentiation_for(NeuronIndex pre) const;
+
+  /// Clamped weight update helpers.
+  double apply_depression(double w, NeuronIndex post) const;
+  double apply_potentiation(double w, NeuronIndex pre) const;
+
+  /// Decays all traces by one step.
+  void decay(TimeMs dt);
+
+  std::span<const double> pre_trace() const { return pre_trace_; }
+  std::span<const double> post_trace() const { return post_trace_; }
+
+  void reset();
+
+ private:
+  TraceStdpParams params_;
+  std::vector<double> pre_trace_;
+  std::vector<double> post_trace_;
+  TimeMs cached_dt_ = -1.0;
+  double decay_pre_ = 0.0;
+  double decay_post_ = 0.0;
+};
+
+}  // namespace pss

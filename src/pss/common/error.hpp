@@ -1,0 +1,44 @@
+// Error handling: one exception type plus precondition macros.
+//
+// Following the Core Guidelines (E.2, I.6): interfaces state preconditions and
+// violations throw rather than corrupt state. Hot simulation kernels use
+// assertions only in debug builds via PSS_DASSERT.
+#pragma once
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pss {
+
+/// Exception thrown for any precondition/configuration violation in pss.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* cond, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace pss
+
+/// Precondition check that is always active (cheap checks on API boundaries).
+#define PSS_REQUIRE(cond, msg)                                         \
+  do {                                                                 \
+    if (!(cond)) ::pss::detail::raise(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+/// Debug-only assertion for hot inner loops.
+#ifdef NDEBUG
+#define PSS_DASSERT(cond) ((void)0)
+#else
+#define PSS_DASSERT(cond) assert(cond)
+#endif

@@ -1,0 +1,46 @@
+// Minimal leveled logger for the simulator and the experiment harnesses.
+//
+// Experiments print their tables to stdout; diagnostic chatter goes through
+// this logger so benches can silence it (set_level(Level::kWarn)).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pss {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (thread-safe) if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace pss
+
+#define PSS_LOG_DEBUG ::pss::detail::LogLine(::pss::LogLevel::kDebug)
+#define PSS_LOG_INFO ::pss::detail::LogLine(::pss::LogLevel::kInfo)
+#define PSS_LOG_WARN ::pss::detail::LogLine(::pss::LogLevel::kWarn)
+#define PSS_LOG_ERROR ::pss::detail::LogLine(::pss::LogLevel::kError)

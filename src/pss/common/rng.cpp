@@ -1,0 +1,95 @@
+#include "pss/common/rng.hpp"
+
+#include <cmath>
+
+namespace pss {
+
+namespace {
+
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kPhiloxW0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kPhiloxW1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline std::uint32_t mulhi(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b)) >> 32);
+}
+
+inline std::uint32_t mullo(std::uint32_t a, std::uint32_t b) {
+  return a * b;
+}
+
+inline std::array<std::uint32_t, 4> round_once(
+    const std::array<std::uint32_t, 4>& ctr,
+    const std::array<std::uint32_t, 2>& key) {
+  const std::uint32_t hi0 = mulhi(kPhiloxM0, ctr[0]);
+  const std::uint32_t lo0 = mullo(kPhiloxM0, ctr[0]);
+  const std::uint32_t hi1 = mulhi(kPhiloxM1, ctr[2]);
+  const std::uint32_t lo1 = mullo(kPhiloxM1, ctr[2]);
+  return {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+}
+
+}  // namespace
+
+std::array<std::uint32_t, 4> philox4x32(std::array<std::uint32_t, 4> counter,
+                                        std::array<std::uint32_t, 2> key) {
+  for (int r = 0; r < 10; ++r) {
+    counter = round_once(counter, key);
+    key[0] += kPhiloxW0;
+    key[1] += kPhiloxW1;
+  }
+  return counter;
+}
+
+std::uint32_t CounterRng::bits(std::uint64_t counter) const {
+  const std::array<std::uint32_t, 4> ctr = {
+      static_cast<std::uint32_t>(counter),
+      static_cast<std::uint32_t>(counter >> 32),
+      static_cast<std::uint32_t>(stream_),
+      static_cast<std::uint32_t>(stream_ >> 32)};
+  const std::array<std::uint32_t, 2> key = {
+      static_cast<std::uint32_t>(seed_),
+      static_cast<std::uint32_t>(seed_ >> 32)};
+  return philox4x32(ctr, key)[0];
+}
+
+double CounterRng::uniform(std::uint64_t counter) const {
+  // 32 bits is plenty of resolution for Bernoulli gates; scale to [0,1).
+  return bits(counter) * (1.0 / 4294967296.0);
+}
+
+double CounterRng::uniform(std::uint64_t counter, double lo, double hi) const {
+  return lo + (hi - lo) * uniform(counter);
+}
+
+bool CounterRng::bernoulli(std::uint64_t counter, double p) const {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform(counter) < p;
+}
+
+std::uint32_t CounterRng::below(std::uint64_t counter, std::uint32_t n) const {
+  // Lemire's multiply-shift; bias is < 2^-32 per draw, irrelevant here.
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(bits(counter)) * n) >> 32);
+}
+
+double CounterRng::normal(std::uint64_t counter) const {
+  // Box–Muller on two independent indexed uniforms. Using 2*counter and
+  // 2*counter+1 keeps draws for distinct counters independent.
+  const double u1 = uniform(2 * counter);
+  const double u2 = uniform(2 * counter + 1);
+  const double r = std::sqrt(-2.0 * std::log(u1 + 1e-300));
+  return r * std::cos(6.283185307179586 * u2);
+}
+
+CounterRng CounterRng::fork(std::uint64_t substream) const {
+  // SplitMix-style mix so fork(0) differs from the parent stream.
+  std::uint64_t z = stream_ + 0x9E3779B97F4A7C15ull * (substream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return CounterRng(seed_, z ^ (z >> 31));
+}
+
+}  // namespace pss

@@ -1,0 +1,94 @@
+// Counter-based random number generation (Philox-4x32-10).
+//
+// The paper performs the stochastic STDP draw "on-board the GPU to leverage
+// the fast CUDA random number generator" (Sec. III-A). cuRAND's default
+// device generator is counter-based: each GPU thread derives an independent
+// stream from (seed, subsequence, offset) with no shared mutable state.
+//
+// We reproduce that discipline on the CPU with Philox-4x32-10 (Salmon et al.,
+// SC'11 — the same family cuRAND ships). Determinism contract: a draw is a
+// pure function of (seed, stream, counter), so simulations are reproducible
+// regardless of how the engine schedules threads, exactly as on the GPU.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pss {
+
+/// Raw Philox-4x32-10 block function: maps a 128-bit counter and 64-bit key
+/// to 128 bits of output. Stateless; safe to call concurrently.
+std::array<std::uint32_t, 4> philox4x32(std::array<std::uint32_t, 4> counter,
+                                        std::array<std::uint32_t, 2> key);
+
+/// A stateless random stream: draws are indexed, not sequential.
+///
+/// `stream` typically identifies the consumer (e.g. a synapse or thread) and
+/// `counter` advances with simulation events, mirroring cuRAND's
+/// (subsequence, offset) addressing.
+class CounterRng {
+ public:
+  CounterRng() = default;
+  explicit CounterRng(std::uint64_t seed, std::uint64_t stream = 0)
+      : seed_(seed), stream_(stream) {}
+
+  /// 32 uniform random bits for event index `counter`.
+  std::uint32_t bits(std::uint64_t counter) const;
+
+  /// Uniform double in [0, 1) for event index `counter`.
+  double uniform(std::uint64_t counter) const;
+
+  /// Uniform double in [lo, hi) for event index `counter`.
+  double uniform(std::uint64_t counter, double lo, double hi) const;
+
+  /// Bernoulli draw: true with probability p (clamped to [0,1]).
+  bool bernoulli(std::uint64_t counter, double p) const;
+
+  /// Uniform integer in [0, n) — rejection-free modulo with 64-bit widening.
+  std::uint32_t below(std::uint64_t counter, std::uint32_t n) const;
+
+  /// Standard normal variate (Box–Muller on two indexed uniforms).
+  double normal(std::uint64_t counter) const;
+
+  std::uint64_t seed() const { return seed_; }
+  std::uint64_t stream() const { return stream_; }
+
+  /// Derive an independent stream (e.g. one per neuron or per kernel).
+  CounterRng fork(std::uint64_t substream) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::uint64_t stream_ = 0;
+};
+
+/// Convenience sequential adapter over CounterRng for code that wants a
+/// classic generator interface (dataset synthesis, shuffles). Satisfies
+/// std::uniform_random_bit_generator so it plugs into <random> and
+/// std::shuffle.
+class SequentialRng {
+ public:
+  using result_type = std::uint32_t;
+
+  SequentialRng() = default;
+  explicit SequentialRng(std::uint64_t seed, std::uint64_t stream = 0)
+      : rng_(seed, stream) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+
+  result_type operator()() { return rng_.bits(next_++); }
+
+  double uniform() { return rng_.uniform(next_++); }
+  double uniform(double lo, double hi) { return rng_.uniform(next_++, lo, hi); }
+  bool bernoulli(double p) { return rng_.bernoulli(next_++, p); }
+  std::uint32_t below(std::uint32_t n) { return rng_.below(next_++, n); }
+  double normal() { return rng_.normal(next_++); }
+
+  const CounterRng& base() const { return rng_; }
+
+ private:
+  CounterRng rng_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace pss

@@ -1,0 +1,26 @@
+// Wall-clock measurement, kept distinct from biological TimeMs on purpose.
+#pragma once
+
+#include <chrono>
+
+namespace pss {
+
+/// Monotonic stopwatch used by the Fig. 4 / Fig. 7b / Fig. 8 run-time
+/// measurements.
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  void reset();
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const;
+
+  /// Milliseconds elapsed since construction or last reset().
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pss

@@ -1,0 +1,47 @@
+// Core vocabulary types shared by every pss module.
+//
+// The simulator operates on a fixed-step clock (paper Sec. III-A simulates
+// the LIF differential equations with explicit Euler steps). Times are
+// expressed in milliseconds of *biological* time; wall-clock measurements use
+// pss::Stopwatch instead so the two cannot be confused.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace pss {
+
+/// Index of a neuron inside a population/layer.
+using NeuronIndex = std::uint32_t;
+
+/// Index of an input channel (one spike train per pixel, paper Fig. 3).
+using ChannelIndex = std::uint32_t;
+
+/// Flat index of a synapse inside a ConductanceMatrix.
+using SynapseIndex = std::uint64_t;
+
+/// Biological simulation time in milliseconds.
+using TimeMs = double;
+
+/// Discrete simulation step count.
+using StepIndex = std::uint64_t;
+
+/// Class label of a dataset sample (0..9 for MNIST-like sets).
+using Label = std::uint8_t;
+
+/// Sentinel for "this neuron/channel has never spiked".
+inline constexpr TimeMs kNeverSpiked = -std::numeric_limits<TimeMs>::infinity();
+
+/// Simulation step width used throughout the paper's experiments.
+inline constexpr TimeMs kDefaultDtMs = 1.0;
+
+/// Side length of MNIST-format images; the paper's network has 28*28 = 784
+/// input spike trains.
+inline constexpr std::size_t kImageSide = 28;
+inline constexpr std::size_t kImagePixels = kImageSide * kImageSide;
+
+/// Number of excitatory neurons in the paper's first layer (Sec. III-B).
+inline constexpr std::size_t kPaperLayerSize = 1000;
+
+}  // namespace pss

@@ -1,0 +1,44 @@
+#include "pss/data/dataset.hpp"
+
+#include <algorithm>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+Dataset Dataset::head(std::size_t n) const {
+  return slice(0, std::min(n, images_.size()));
+}
+
+Dataset Dataset::slice(std::size_t begin, std::size_t end) const {
+  PSS_REQUIRE(begin <= end && end <= images_.size(), "invalid slice bounds");
+  return Dataset(std::vector<Image>(images_.begin() + begin,
+                                    images_.begin() + end));
+}
+
+void Dataset::shuffle(SequentialRng& rng) {
+  for (std::size_t i = images_.size(); i > 1; --i) {
+    const std::size_t j = rng.below(static_cast<std::uint32_t>(i));
+    std::swap(images_[i - 1], images_[j]);
+  }
+}
+
+std::size_t Dataset::class_count() const {
+  Label max_label = 0;
+  for (const auto& img : images_) max_label = std::max(max_label, img.label);
+  return images_.empty() ? 0 : static_cast<std::size_t>(max_label) + 1;
+}
+
+std::size_t Dataset::count_label(Label label) const {
+  return static_cast<std::size_t>(
+      std::count_if(images_.begin(), images_.end(),
+                    [label](const Image& img) { return img.label == label; }));
+}
+
+std::pair<Dataset, Dataset> LabeledDataset::labelling_split(
+    std::size_t labelling_count) const {
+  const std::size_t n = std::min(labelling_count, test.size());
+  return {test.slice(0, n), test.slice(n, test.size())};
+}
+
+}  // namespace pss

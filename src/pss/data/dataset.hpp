@@ -1,0 +1,59 @@
+// Dataset containers and the training/labelling/inference splits of
+// paper Sec. III-B.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/data/image.hpp"
+
+namespace pss {
+
+/// An ordered collection of labelled images.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<Image> images) : images_(std::move(images)) {}
+
+  std::size_t size() const { return images_.size(); }
+  bool empty() const { return images_.empty(); }
+  const Image& operator[](std::size_t i) const { return images_[i]; }
+
+  void push_back(Image image) { images_.push_back(std::move(image)); }
+
+  /// First `n` images (or fewer if the set is smaller).
+  Dataset head(std::size_t n) const;
+
+  /// Images [begin, end).
+  Dataset slice(std::size_t begin, std::size_t end) const;
+
+  /// In-place Fisher–Yates shuffle with a seeded generator.
+  void shuffle(SequentialRng& rng);
+
+  /// Number of distinct labels (assumes labels are 0..k-1).
+  std::size_t class_count() const;
+
+  /// Count of images carrying `label`.
+  std::size_t count_label(Label label) const;
+
+  const std::vector<Image>& images() const { return images_; }
+
+ private:
+  std::vector<Image> images_;
+};
+
+/// Train/test pair as the paper uses it. The paper labels neurons with the
+/// first 1000 test images and infers on the remaining 9000; labelling_split
+/// reproduces that protocol for any test-set size.
+struct LabeledDataset {
+  std::string name;
+  Dataset train;
+  Dataset test;
+
+  /// Splits test into (labelling, inference) with `labelling_count` images
+  /// in the first part (clamped to the test size).
+  std::pair<Dataset, Dataset> labelling_split(std::size_t labelling_count) const;
+};
+
+}  // namespace pss

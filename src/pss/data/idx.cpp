@@ -1,0 +1,154 @@
+#include "pss/data/idx.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "pss/common/error.hpp"
+#include "pss/common/log.hpp"
+
+namespace pss {
+
+namespace {
+
+constexpr std::uint32_t kImageMagic = 0x00000803;
+constexpr std::uint32_t kLabelMagic = 0x00000801;
+
+std::uint32_t read_be32(std::istream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  PSS_REQUIRE(static_cast<bool>(in), "unexpected end of IDX file");
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) |
+         static_cast<std::uint32_t>(b[3]);
+}
+
+void write_be32(std::ostream& out, std::uint32_t v) {
+  const unsigned char b[4] = {static_cast<unsigned char>(v >> 24),
+                              static_cast<unsigned char>(v >> 16),
+                              static_cast<unsigned char>(v >> 8),
+                              static_cast<unsigned char>(v)};
+  out.write(reinterpret_cast<const char*>(b), 4);
+}
+
+std::string find_existing(const std::string& dir,
+                          std::initializer_list<const char*> names) {
+  for (const char* n : names) {
+    const auto p = std::filesystem::path(dir) / n;
+    if (std::filesystem::exists(p)) return p.string();
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<Image> read_idx_images(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PSS_REQUIRE(in.is_open(), "cannot open IDX image file: " + path);
+  PSS_REQUIRE(read_be32(in) == kImageMagic,
+              "bad magic in IDX image file: " + path);
+  const std::uint32_t count = read_be32(in);
+  const std::uint32_t rows = read_be32(in);
+  const std::uint32_t cols = read_be32(in);
+  PSS_REQUIRE(rows > 0 && cols > 0 && rows <= 4096 && cols <= 4096,
+              "implausible IDX image dimensions in " + path);
+  std::vector<Image> images;
+  images.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Image img(static_cast<std::uint16_t>(cols),
+              static_cast<std::uint16_t>(rows));
+    in.read(reinterpret_cast<char*>(img.pixels.data()),
+            static_cast<std::streamsize>(img.pixels.size()));
+    PSS_REQUIRE(static_cast<bool>(in), "truncated IDX image file: " + path);
+    images.push_back(std::move(img));
+  }
+  return images;
+}
+
+std::vector<Label> read_idx_labels(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PSS_REQUIRE(in.is_open(), "cannot open IDX label file: " + path);
+  PSS_REQUIRE(read_be32(in) == kLabelMagic,
+              "bad magic in IDX label file: " + path);
+  const std::uint32_t count = read_be32(in);
+  std::vector<Label> labels(count);
+  in.read(reinterpret_cast<char*>(labels.data()),
+          static_cast<std::streamsize>(labels.size()));
+  PSS_REQUIRE(static_cast<bool>(in), "truncated IDX label file: " + path);
+  return labels;
+}
+
+void write_idx_images(const std::string& path,
+                      const std::vector<Image>& images) {
+  PSS_REQUIRE(!images.empty(), "refusing to write an empty IDX image file");
+  std::ofstream out(path, std::ios::binary);
+  PSS_REQUIRE(out.is_open(), "cannot create IDX image file: " + path);
+  write_be32(out, kImageMagic);
+  write_be32(out, static_cast<std::uint32_t>(images.size()));
+  write_be32(out, images[0].height);
+  write_be32(out, images[0].width);
+  for (const auto& img : images) {
+    PSS_REQUIRE(img.width == images[0].width && img.height == images[0].height,
+                "all images in an IDX file must share dimensions");
+    out.write(reinterpret_cast<const char*>(img.pixels.data()),
+              static_cast<std::streamsize>(img.pixels.size()));
+  }
+}
+
+void write_idx_labels(const std::string& path,
+                      const std::vector<Label>& labels) {
+  std::ofstream out(path, std::ios::binary);
+  PSS_REQUIRE(out.is_open(), "cannot create IDX label file: " + path);
+  write_be32(out, kLabelMagic);
+  write_be32(out, static_cast<std::uint32_t>(labels.size()));
+  out.write(reinterpret_cast<const char*>(labels.data()),
+            static_cast<std::streamsize>(labels.size()));
+}
+
+namespace {
+
+std::optional<Dataset> load_split(const std::string& dir, const char* img_a,
+                                  const char* img_b, const char* lbl_a,
+                                  const char* lbl_b) {
+  const std::string img_path = find_existing(dir, {img_a, img_b});
+  const std::string lbl_path = find_existing(dir, {lbl_a, lbl_b});
+  if (img_path.empty() || lbl_path.empty()) return std::nullopt;
+  auto images = read_idx_images(img_path);
+  const auto labels = read_idx_labels(lbl_path);
+  PSS_REQUIRE(images.size() == labels.size(),
+              "image/label count mismatch in " + dir);
+  for (std::size_t i = 0; i < images.size(); ++i) images[i].label = labels[i];
+  return Dataset(std::move(images));
+}
+
+}  // namespace
+
+std::optional<LabeledDataset> load_idx_dataset(const std::string& directory,
+                                               const std::string& name) {
+  auto train = load_split(directory, "train-images-idx3-ubyte", "train-images",
+                          "train-labels-idx1-ubyte", "train-labels");
+  auto test = load_split(directory, "t10k-images-idx3-ubyte", "t10k-images",
+                         "t10k-labels-idx1-ubyte", "t10k-labels");
+  if (!train || !test) return std::nullopt;
+  return LabeledDataset{name, std::move(*train), std::move(*test)};
+}
+
+std::optional<LabeledDataset> load_real_dataset_from_env(
+    const std::string& name) {
+  const char* env_var =
+      (name == "fashion-mnist") ? "PSS_FASHION_DIR" : "PSS_MNIST_DIR";
+  const char* dir = std::getenv(env_var);
+  if (dir == nullptr) return std::nullopt;
+  auto ds = load_idx_dataset(dir, name);
+  if (ds) {
+    PSS_LOG_INFO << "loaded real " << name << " from " << dir << " ("
+                 << ds->train.size() << " train / " << ds->test.size()
+                 << " test)";
+  } else {
+    PSS_LOG_WARN << env_var << " is set but IDX files not found in " << dir;
+  }
+  return ds;
+}
+
+}  // namespace pss

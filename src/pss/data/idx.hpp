@@ -1,0 +1,42 @@
+// IDX file format support (the format MNIST and Fashion-MNIST ship in).
+//
+// If the real datasets are available (environment variable PSS_MNIST_DIR or
+// an explicit directory), every experiment harness runs on them unchanged;
+// otherwise the synthetic generators substitute (see DESIGN.md).
+//
+// Format reference (Y. LeCun): big-endian magic 0x00000803 for 3-D image
+// tensors and 0x00000801 for 1-D label vectors, followed by dimension sizes
+// and raw unsigned bytes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pss/data/dataset.hpp"
+
+namespace pss {
+
+/// Reads an IDX image file (magic 0x00000803). Throws pss::Error on
+/// malformed input.
+std::vector<Image> read_idx_images(const std::string& path);
+
+/// Reads an IDX label file (magic 0x00000801).
+std::vector<Label> read_idx_labels(const std::string& path);
+
+/// Writes images/labels in IDX format (for round-trip tests and exporting
+/// synthetic sets).
+void write_idx_images(const std::string& path, const std::vector<Image>& images);
+void write_idx_labels(const std::string& path, const std::vector<Label>& labels);
+
+/// Loads a full MNIST-layout dataset from a directory containing
+/// {train,t10k}-{images,labels}-idx{3,1}-ubyte (optionally without the
+/// "-idx?-ubyte" suffix). Returns nullopt if the files are absent.
+std::optional<LabeledDataset> load_idx_dataset(const std::string& directory,
+                                               const std::string& name);
+
+/// Checks PSS_MNIST_DIR (or PSS_FASHION_DIR for name == "fashion-mnist") and
+/// loads the real dataset when present.
+std::optional<LabeledDataset> load_real_dataset_from_env(const std::string& name);
+
+}  // namespace pss

@@ -1,0 +1,126 @@
+#include "pss/data/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+double Image::mean_intensity() const {
+  double sum = 0.0;
+  for (std::uint8_t p : pixels) sum += p;
+  return sum / static_cast<double>(pixels.size());
+}
+
+Canvas::Canvas(std::uint16_t side)
+    : side_(side), ink_(static_cast<std::size_t>(side) * side, 0.0f) {
+  PSS_REQUIRE(side >= 4, "canvas too small");
+}
+
+void Canvas::clear() { std::fill(ink_.begin(), ink_.end(), 0.0f); }
+
+void Canvas::stamp(double x, double y, double radius, double strength) {
+  const double r_px = radius * side_;
+  const double cx = x * side_;
+  const double cy = y * side_;
+  const int lo_x = std::max(0, static_cast<int>(std::floor(cx - r_px - 1)));
+  const int hi_x =
+      std::min<int>(side_ - 1, static_cast<int>(std::ceil(cx + r_px + 1)));
+  const int lo_y = std::max(0, static_cast<int>(std::floor(cy - r_px - 1)));
+  const int hi_y =
+      std::min<int>(side_ - 1, static_cast<int>(std::ceil(cy + r_px + 1)));
+  const double inv_r2 = 1.0 / std::max(1e-9, r_px * r_px);
+  for (int py = lo_y; py <= hi_y; ++py) {
+    for (int px = lo_x; px <= hi_x; ++px) {
+      const double dx = px + 0.5 - cx;
+      const double dy = py + 0.5 - cy;
+      const double d2 = (dx * dx + dy * dy) * inv_r2;
+      if (d2 >= 1.0) continue;
+      // Smooth falloff: full ink at centre, zero at the rim.
+      const double w = 1.0 - d2;
+      ink_[static_cast<std::size_t>(py) * side_ + px] +=
+          static_cast<float>(strength * w);
+    }
+  }
+}
+
+void Canvas::line(double x0, double y0, double x1, double y1, double radius,
+                  double strength) {
+  const double len = std::hypot(x1 - x0, y1 - y0);
+  const int steps = std::max(2, static_cast<int>(len * side_ * 2.0));
+  for (int k = 0; k <= steps; ++k) {
+    const double t = static_cast<double>(k) / steps;
+    stamp(x0 + t * (x1 - x0), y0 + t * (y1 - y0), radius, strength);
+  }
+}
+
+void Canvas::curve(double x0, double y0, double cx, double cy, double x1,
+                   double y1, double radius, double strength) {
+  const double approx_len =
+      std::hypot(cx - x0, cy - y0) + std::hypot(x1 - cx, y1 - cy);
+  const int steps = std::max(2, static_cast<int>(approx_len * side_ * 2.0));
+  for (int k = 0; k <= steps; ++k) {
+    const double t = static_cast<double>(k) / steps;
+    const double mt = 1.0 - t;
+    const double x = mt * mt * x0 + 2.0 * mt * t * cx + t * t * x1;
+    const double y = mt * mt * y0 + 2.0 * mt * t * cy + t * t * y1;
+    stamp(x, y, radius, strength);
+  }
+}
+
+void Canvas::fill(const std::function<bool(double, double)>& inside,
+                  double strength) {
+  for (int py = 0; py < side_; ++py) {
+    for (int px = 0; px < side_; ++px) {
+      const double x = (px + 0.5) / side_;
+      const double y = (py + 0.5) / side_;
+      if (inside(x, y)) {
+        ink_[static_cast<std::size_t>(py) * side_ + px] +=
+            static_cast<float>(strength);
+      }
+    }
+  }
+}
+
+void Canvas::modulate(const std::function<bool(double, double)>& inside,
+                      double factor) {
+  for (int py = 0; py < side_; ++py) {
+    for (int px = 0; px < side_; ++px) {
+      const double x = (px + 0.5) / side_;
+      const double y = (py + 0.5) / side_;
+      if (inside(x, y)) {
+        ink_[static_cast<std::size_t>(py) * side_ + px] *=
+            static_cast<float>(factor);
+      }
+    }
+  }
+}
+
+Image Canvas::render(double peak_intensity, double saturation, double noise,
+                     SequentialRng* rng) const {
+  PSS_REQUIRE(saturation > 0.0, "saturation must be positive");
+  Image img(side_, side_);
+  for (std::size_t i = 0; i < ink_.size(); ++i) {
+    double v = std::min(1.0, ink_[i] / saturation) * peak_intensity;
+    if (noise > 0.0 && rng != nullptr) {
+      v += rng->uniform(-noise, noise) * 255.0;
+    }
+    img.pixels[i] =
+        static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+  }
+  return img;
+}
+
+void Jitter::apply(double& x, double& y) const {
+  const double cx = x - 0.5;
+  const double cy = y - 0.5;
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  const double rx = (c * cx - s * cy) * scale;
+  const double ry = (s * cx + c * cy) * scale;
+  x = rx + 0.5 + dx;
+  y = ry + 0.5 + dy;
+}
+
+}  // namespace pss

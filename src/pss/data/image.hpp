@@ -1,0 +1,96 @@
+// Grayscale image container and a float canvas for procedural rasterisation.
+//
+// Images follow the MNIST convention: 28x28, 8-bit, row-major, intensity 0 =
+// background and 255 = brightest foreground. The Canvas supports the stroke
+// and fill primitives the synthetic dataset generators are built from.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+
+namespace pss {
+
+struct Image {
+  std::uint16_t width = kImageSide;
+  std::uint16_t height = kImageSide;
+  Label label = 0;
+  std::vector<std::uint8_t> pixels;  // row-major, size width*height
+
+  Image() : pixels(kImagePixels, 0) {}
+  Image(std::uint16_t w, std::uint16_t h)
+      : width(w), height(h), pixels(static_cast<std::size_t>(w) * h, 0) {}
+
+  std::size_t pixel_count() const { return pixels.size(); }
+  std::uint8_t at(std::size_t x, std::size_t y) const {
+    return pixels[y * width + x];
+  }
+  std::uint8_t& at(std::size_t x, std::size_t y) {
+    return pixels[y * width + x];
+  }
+  std::span<const std::uint8_t> span() const { return pixels; }
+
+  /// Mean intensity over all pixels — quick feature used by tests.
+  double mean_intensity() const;
+};
+
+/// Float accumulation canvas in normalized [0,1]^2 coordinates. Drawing
+/// operations accumulate "ink"; render() tone-maps to an 8-bit Image.
+class Canvas {
+ public:
+  explicit Canvas(std::uint16_t side = kImageSide);
+
+  std::uint16_t side() const { return side_; }
+
+  void clear();
+
+  /// Stamps a soft round brush of the given radius (normalized units) at
+  /// (x, y), accumulating `strength` ink at the centre.
+  void stamp(double x, double y, double radius, double strength = 1.0);
+
+  /// Draws a line from (x0,y0) to (x1,y1) with a soft brush.
+  void line(double x0, double y0, double x1, double y1, double radius,
+            double strength = 1.0);
+
+  /// Draws a quadratic Bezier curve through control point (cx, cy).
+  void curve(double x0, double y0, double cx, double cy, double x1, double y1,
+             double radius, double strength = 1.0);
+
+  /// Fills every pixel whose normalized centre satisfies `inside`,
+  /// accumulating `strength` ink.
+  void fill(const std::function<bool(double, double)>& inside,
+            double strength = 1.0);
+
+  /// Multiplies existing ink by `factor` wherever `inside` holds — used for
+  /// texture (stripes, shading) on filled shapes.
+  void modulate(const std::function<bool(double, double)>& inside,
+                double factor);
+
+  /// Tone-maps the ink buffer to an 8-bit image: ink >= saturation maps to
+  /// peak intensity, linear below. Adds uniform pixel noise of amplitude
+  /// `noise` (fraction of 255) using `rng`, clamped to [0, 255].
+  Image render(double peak_intensity = 255.0, double saturation = 1.0,
+               double noise = 0.0, SequentialRng* rng = nullptr) const;
+
+ private:
+  std::uint16_t side_;
+  std::vector<float> ink_;
+};
+
+/// Affine jitter applied by the generators: rotate by `angle` radians about
+/// the image centre, scale, then translate (dx, dy) in normalized units.
+struct Jitter {
+  double angle = 0.0;
+  double scale = 1.0;
+  double dx = 0.0;
+  double dy = 0.0;
+
+  /// Maps a normalized point through the jitter transform.
+  void apply(double& x, double& y) const;
+};
+
+}  // namespace pss

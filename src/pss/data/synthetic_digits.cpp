@@ -1,0 +1,159 @@
+#include "pss/data/synthetic_digits.hpp"
+
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Stroke plotter that applies jitter + control-point noise before drawing.
+class DigitBrush {
+ public:
+  DigitBrush(Canvas& canvas, const Jitter& jitter, double radius,
+             double point_noise, SequentialRng& rng)
+      : canvas_(canvas),
+        jitter_(jitter),
+        radius_(radius),
+        point_noise_(point_noise),
+        rng_(rng) {}
+
+  void line(double x0, double y0, double x1, double y1) {
+    perturb(x0, y0);
+    perturb(x1, y1);
+    canvas_.line(x0, y0, x1, y1, radius_);
+  }
+
+  void curve(double x0, double y0, double cx, double cy, double x1,
+             double y1) {
+    perturb(x0, y0);
+    perturb(cx, cy);
+    perturb(x1, y1);
+    canvas_.curve(x0, y0, cx, cy, x1, y1, radius_);
+  }
+
+  /// Parametric ellipse centred at (cx, cy), radii (rx, ry).
+  void ellipse(double cx, double cy, double rx, double ry) {
+    double jcx = cx;
+    double jcy = cy;
+    perturb(jcx, jcy);
+    const int steps = 40;
+    for (int k = 0; k <= steps; ++k) {
+      const double a = kTwoPi * k / steps;
+      double x = jcx + rx * std::cos(a);
+      double y = jcy + ry * std::sin(a);
+      jitter_.apply(x, y);
+      canvas_.stamp(x, y, radius_);
+    }
+  }
+
+ private:
+  void perturb(double& x, double& y) {
+    x += rng_.uniform(-point_noise_, point_noise_);
+    y += rng_.uniform(-point_noise_, point_noise_);
+    jitter_.apply(x, y);
+  }
+
+  Canvas& canvas_;
+  const Jitter& jitter_;
+  double radius_;
+  double point_noise_;
+  SequentialRng& rng_;
+};
+
+void draw_digit_strokes(DigitBrush& b, Label digit) {
+  switch (digit) {
+    case 0:
+      b.ellipse(0.5, 0.5, 0.18, 0.27);
+      break;
+    case 1:
+      b.line(0.52, 0.2, 0.52, 0.8);
+      b.line(0.4, 0.32, 0.52, 0.2);
+      break;
+    case 2:
+      b.curve(0.3, 0.35, 0.5, 0.12, 0.7, 0.38);
+      b.line(0.7, 0.38, 0.3, 0.78);
+      b.line(0.3, 0.78, 0.73, 0.78);
+      break;
+    case 3:
+      b.curve(0.32, 0.24, 0.78, 0.26, 0.5, 0.48);
+      b.curve(0.5, 0.48, 0.82, 0.62, 0.32, 0.78);
+      break;
+    case 4:
+      b.line(0.62, 0.2, 0.26, 0.58);
+      b.line(0.26, 0.58, 0.78, 0.58);
+      b.line(0.63, 0.2, 0.63, 0.82);
+      break;
+    case 5:
+      b.line(0.7, 0.22, 0.33, 0.22);
+      b.line(0.33, 0.22, 0.31, 0.48);
+      b.curve(0.31, 0.48, 0.85, 0.55, 0.34, 0.8);
+      break;
+    case 6:
+      b.curve(0.64, 0.2, 0.3, 0.3, 0.31, 0.62);
+      b.ellipse(0.47, 0.64, 0.16, 0.15);
+      break;
+    case 7:
+      b.line(0.28, 0.25, 0.72, 0.25);
+      b.line(0.72, 0.25, 0.42, 0.8);
+      break;
+    case 8:
+      b.ellipse(0.5, 0.36, 0.14, 0.13);
+      b.ellipse(0.5, 0.64, 0.17, 0.15);
+      break;
+    case 9:
+      b.ellipse(0.5, 0.36, 0.16, 0.14);
+      b.curve(0.66, 0.38, 0.68, 0.6, 0.56, 0.8);
+      break;
+    default:
+      throw Error("digit label must be 0..9");
+  }
+}
+
+}  // namespace
+
+Image render_digit(Label digit, double noise, SequentialRng& rng) {
+  PSS_REQUIRE(digit <= 9, "digit label must be 0..9");
+  Canvas canvas;
+
+  Jitter jitter;
+  jitter.angle = rng.uniform(-0.12, 0.12);
+  jitter.scale = rng.uniform(0.85, 1.08);
+  jitter.dx = rng.uniform(-0.06, 0.06);
+  jitter.dy = rng.uniform(-0.06, 0.06);
+
+  const double radius = rng.uniform(0.035, 0.06);
+  const double point_noise = 0.018;
+  DigitBrush brush(canvas, jitter, radius, point_noise, rng);
+  draw_digit_strokes(brush, digit);
+
+  const double peak = rng.uniform(200.0, 255.0);
+  Image img = canvas.render(peak, /*saturation=*/0.8, noise, &rng);
+  img.label = digit;
+  return img;
+}
+
+LabeledDataset make_synthetic_digits(const SyntheticConfig& config) {
+  LabeledDataset ds;
+  ds.name = "synthetic-mnist";
+
+  SequentialRng train_rng(config.seed, /*stream=*/1);
+  for (std::size_t i = 0; i < config.train_count; ++i) {
+    ds.train.push_back(
+        render_digit(static_cast<Label>(i % 10), config.noise, train_rng));
+  }
+  ds.train.shuffle(train_rng);
+
+  SequentialRng test_rng(config.seed, /*stream=*/2);
+  for (std::size_t i = 0; i < config.test_count; ++i) {
+    ds.test.push_back(
+        render_digit(static_cast<Label>(i % 10), config.noise, test_rng));
+  }
+  ds.test.shuffle(test_rng);
+  return ds;
+}
+
+}  // namespace pss

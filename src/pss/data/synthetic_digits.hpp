@@ -1,0 +1,32 @@
+// Procedural MNIST substitute (see DESIGN.md substitution table).
+//
+// Each of the ten digit classes is a set of strokes (lines and quadratic
+// curves) rasterised with a soft brush onto a 28x28 canvas, with per-sample
+// jitter in rotation, scale, translation, stroke control points, brush width
+// and intensity, plus background pixel noise. The result matches the
+// properties the paper's MNIST experiments depend on: bright class-specific
+// strokes on a dark background, largely disjoint features between classes,
+// and enough intra-class variability that learning is non-trivial.
+#pragma once
+
+#include "pss/common/rng.hpp"
+#include "pss/data/dataset.hpp"
+
+namespace pss {
+
+struct SyntheticConfig {
+  std::size_t train_count = 2000;
+  std::size_t test_count = 600;
+  std::uint64_t seed = 7;
+  /// Background noise amplitude (fraction of full scale).
+  double noise = 0.015;
+};
+
+/// One jittered sample of digit class `digit` (0..9).
+Image render_digit(Label digit, double noise, SequentialRng& rng);
+
+/// A full train/test dataset with uniformly distributed labels.
+/// Train and test samples are drawn from independent RNG streams.
+LabeledDataset make_synthetic_digits(const SyntheticConfig& config = {});
+
+}  // namespace pss

@@ -1,0 +1,259 @@
+#include "pss/data/synthetic_fashion.hpp"
+
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+namespace {
+
+/// Per-sample jittered shape parameters shared by the garment classes.
+struct GarmentGeometry {
+  double cx;           // horizontal centre
+  double top;          // torso top y
+  double bottom;       // torso bottom y
+  double shoulder_hw;  // torso half-width at the shoulders
+  double waist_hw;     // torso half-width at the hem
+  double sleeve_hw;    // extra half-width covered by sleeves
+  double sleeve_end;   // sleeve bottom y
+};
+
+GarmentGeometry jittered_garment(SequentialRng& rng) {
+  GarmentGeometry g;
+  g.cx = 0.5 + rng.uniform(-0.03, 0.03);
+  g.top = 0.24 + rng.uniform(-0.02, 0.02);
+  g.bottom = 0.76 + rng.uniform(-0.02, 0.02);
+  g.shoulder_hw = 0.17 + rng.uniform(-0.015, 0.015);
+  g.waist_hw = 0.15 + rng.uniform(-0.015, 0.015);
+  g.sleeve_hw = 0.11 + rng.uniform(-0.015, 0.015);
+  g.sleeve_end = 0.0;  // set per class
+  return g;
+}
+
+bool in_torso(const GarmentGeometry& g, double x, double y) {
+  if (y < g.top || y > g.bottom) return false;
+  const double t = (y - g.top) / (g.bottom - g.top);
+  const double hw = g.shoulder_hw + (g.waist_hw - g.shoulder_hw) * t;
+  return std::abs(x - g.cx) <= hw;
+}
+
+bool in_sleeves(const GarmentGeometry& g, double x, double y) {
+  if (y < g.top || y > g.sleeve_end) return false;
+  // Sleeves taper as they descend.
+  const double t = (y - g.top) / std::max(1e-9, g.sleeve_end - g.top);
+  const double outer = g.shoulder_hw + g.sleeve_hw * (1.0 - 0.35 * t);
+  const double inner = g.shoulder_hw * (1.0 - 0.15 * t);
+  const double dx = std::abs(x - g.cx);
+  return dx > inner && dx <= outer;
+}
+
+/// Shoe sole wedge: below a slanted top edge, above the sole line.
+bool in_wedge(double x, double y, double cx, double toe_y, double heel_y,
+              double sole_y, double half_len) {
+  if (std::abs(x - cx) > half_len) return false;
+  const double t = (x - (cx - half_len)) / (2.0 * half_len);
+  const double top = heel_y + (toe_y - heel_y) * t;  // heel left, toe right
+  return y >= top && y <= sole_y;
+}
+
+/// Multiplicative speckle texture over the whole lit area.
+void speckle(Image& img, double depth, SequentialRng& rng) {
+  for (auto& p : img.pixels) {
+    if (p == 0) continue;
+    const double f = 1.0 - rng.uniform(0.0, depth);
+    p = static_cast<std::uint8_t>(p * f);
+  }
+}
+
+}  // namespace
+
+const char* fashion_class_name(Label label) {
+  static const char* names[10] = {"t-shirt", "trouser", "pullover", "dress",
+                                  "coat",    "sandal",  "shirt",    "sneaker",
+                                  "bag",     "ankle boot"};
+  PSS_REQUIRE(label <= 9, "fashion label must be 0..9");
+  return names[label];
+}
+
+Image render_fashion(Label label, double noise, SequentialRng& rng) {
+  PSS_REQUIRE(label <= 9, "fashion label must be 0..9");
+  Canvas canvas;
+  GarmentGeometry g = jittered_garment(rng);
+
+  switch (label) {
+    case 0: {  // t-shirt: torso + short sleeves
+      g.sleeve_end = g.top + 0.16;
+      canvas.fill([&](double x, double y) {
+        return in_torso(g, x, y) || in_sleeves(g, x, y);
+      });
+      break;
+    }
+    case 1: {  // trouser: hip band + two legs
+      const double hip_top = g.top;
+      const double hip_bot = g.top + 0.12;
+      const double leg_hw = 0.055 + rng.uniform(-0.008, 0.008);
+      const double gap = 0.065 + rng.uniform(-0.008, 0.008);
+      const double hem = 0.84 + rng.uniform(-0.02, 0.02);
+      canvas.fill([&](double x, double y) {
+        if (y >= hip_top && y <= hip_bot && std::abs(x - g.cx) <= gap + leg_hw)
+          return true;
+        if (y > hip_bot && y <= hem) {
+          const double dx = std::abs(x - g.cx);
+          return dx >= gap - leg_hw && dx <= gap + leg_hw;
+        }
+        return false;
+      });
+      break;
+    }
+    case 2: {  // pullover: torso + long sleeves + knit stripes
+      g.sleeve_end = g.bottom - 0.06;
+      canvas.fill([&](double x, double y) {
+        return in_torso(g, x, y) || in_sleeves(g, x, y);
+      });
+      const double phase = rng.uniform(0.0, 0.08);
+      canvas.modulate(
+          [&](double, double y) {
+            return std::fmod(y + phase, 0.08) < 0.03;
+          },
+          0.65);
+      break;
+    }
+    case 3: {  // dress: narrow bodice flaring to a wide hem
+      const double hem = 0.85 + rng.uniform(-0.02, 0.02);
+      const double top_hw = 0.10 + rng.uniform(-0.01, 0.01);
+      const double hem_hw = 0.22 + rng.uniform(-0.02, 0.02);
+      canvas.fill([&](double x, double y) {
+        if (y < g.top || y > hem) return false;
+        const double t = (y - g.top) / (hem - g.top);
+        const double hw = top_hw + (hem_hw - top_hw) * t * t;
+        return std::abs(x - g.cx) <= hw;
+      });
+      break;
+    }
+    case 4: {  // coat: same torso/sleeves as pullover/shirt, dark open-front
+               // strip and a shaded lapel band are its only distinguishers —
+               // graded interior features, not silhouette (see header).
+      g.sleeve_end = g.bottom - 0.06;
+      canvas.fill([&](double x, double y) {
+        return in_torso(g, x, y) || in_sleeves(g, x, y);
+      });
+      canvas.modulate(
+          [&](double x, double y) {
+            return std::abs(x - g.cx) < 0.025 && y > g.top + 0.06;
+          },
+          0.3);
+      canvas.modulate(
+          [&](double x, double y) {
+            const double dx = std::abs(x - g.cx);
+            return dx >= 0.025 && dx < 0.07 && y > g.top && y < g.top + 0.2;
+          },
+          0.55);
+      break;
+    }
+    case 5: {  // sandal: thin straps + a sole
+      const double sole_y = 0.74 + rng.uniform(-0.02, 0.02);
+      const double half_len = 0.26 + rng.uniform(-0.02, 0.02);
+      canvas.fill([&](double x, double y) {
+        if (std::abs(x - 0.5) > half_len) return false;
+        if (y >= sole_y && y <= sole_y + 0.05) return true;  // sole
+        // Three slanted straps above the sole.
+        for (int k = 0; k < 3; ++k) {
+          const double y0 = sole_y - 0.06 - 0.07 * k + 0.12 * (x - 0.24);
+          if (y >= y0 && y <= y0 + 0.028) return true;
+        }
+        return false;
+      });
+      break;
+    }
+    case 6: {  // shirt: torso + long sleeves + collar notch + button strip
+      g.sleeve_end = g.bottom - 0.06;
+      canvas.fill([&](double x, double y) {
+        return in_torso(g, x, y) || in_sleeves(g, x, y);
+      });
+      canvas.modulate(
+          [&](double x, double y) {  // collar notch
+            return std::abs(x - g.cx) < 0.055 - (y - g.top) * 0.6 &&
+                   y < g.top + 0.09;
+          },
+          0.25);
+      canvas.modulate(
+          [&](double x, double y) {  // button strip
+            return std::abs(x - g.cx) < 0.012 && y > g.top + 0.1;
+          },
+          0.55);
+      break;
+    }
+    case 7: {  // sneaker: low wedge + bright sole stripe
+      const double sole_y = 0.72 + rng.uniform(-0.02, 0.02);
+      const double half_len = 0.27 + rng.uniform(-0.02, 0.02);
+      const double toe_y = sole_y - 0.10;
+      const double heel_y = sole_y - 0.19;
+      canvas.fill([&](double x, double y) {
+        return in_wedge(x, y, 0.5, toe_y, heel_y, sole_y, half_len);
+      });
+      canvas.modulate(
+          [&](double x, double y) {
+            return y > sole_y - 0.035 && std::abs(x - 0.5) <= half_len;
+          },
+          1.8);
+      break;
+    }
+    case 8: {  // bag: body rectangle + handle arc
+      const double top = 0.42 + rng.uniform(-0.02, 0.02);
+      const double bot = 0.78 + rng.uniform(-0.02, 0.02);
+      const double hw = 0.24 + rng.uniform(-0.02, 0.02);
+      canvas.fill([&](double x, double y) {
+        return y >= top && y <= bot && std::abs(x - 0.5) <= hw;
+      });
+      // Handle drawn as a stroked arc above the body.
+      canvas.curve(0.5 - hw * 0.6, top, 0.5, top - 0.22, 0.5 + hw * 0.6, top,
+                   0.025, 1.2);
+      break;
+    }
+    case 9: {  // ankle boot: sneaker wedge + shaft
+      const double sole_y = 0.74 + rng.uniform(-0.02, 0.02);
+      const double half_len = 0.26 + rng.uniform(-0.02, 0.02);
+      const double toe_y = sole_y - 0.11;
+      const double heel_y = sole_y - 0.2;
+      const double shaft_top = 0.32 + rng.uniform(-0.02, 0.02);
+      canvas.fill([&](double x, double y) {
+        if (in_wedge(x, y, 0.5, toe_y, heel_y, sole_y, half_len)) return true;
+        // Shaft rises from the heel side.
+        return x >= 0.5 - half_len && x <= 0.5 - half_len + 0.22 &&
+               y >= shaft_top && y < heel_y + 0.05;
+      });
+      break;
+    }
+    default:
+      throw Error("fashion label must be 0..9");
+  }
+
+  const double peak = rng.uniform(170.0, 235.0);
+  Image img = canvas.render(peak, /*saturation=*/0.9, noise, &rng);
+  speckle(img, 0.25, rng);
+  img.label = label;
+  return img;
+}
+
+LabeledDataset make_synthetic_fashion(const SyntheticConfig& config) {
+  LabeledDataset ds;
+  ds.name = "synthetic-fashion";
+
+  SequentialRng train_rng(config.seed, /*stream=*/3);
+  for (std::size_t i = 0; i < config.train_count; ++i) {
+    ds.train.push_back(
+        render_fashion(static_cast<Label>(i % 10), config.noise, train_rng));
+  }
+  ds.train.shuffle(train_rng);
+
+  SequentialRng test_rng(config.seed, /*stream=*/4);
+  for (std::size_t i = 0; i < config.test_count; ++i) {
+    ds.test.push_back(
+        render_fashion(static_cast<Label>(i % 10), config.noise, test_rng));
+  }
+  ds.test.shuffle(test_rng);
+  return ds;
+}
+
+}  // namespace pss

@@ -1,0 +1,28 @@
+// Procedural Fashion-MNIST substitute (see DESIGN.md substitution table).
+//
+// Ten apparel classes rendered as filled, textured silhouettes. Crucially —
+// and deliberately — several classes share most of their lit area (t-shirt /
+// pullover / coat / shirt all share the torso; sneaker / ankle-boot share the
+// sole wedge) and differ only in smaller features (sleeve length, collar,
+// shaft). This reproduces the property the paper's Fashion-MNIST experiment
+// turns on: "all synapses learn the overlapping features of all classes"
+// under deterministic STDP (Fig. 5a) while stochastic STDP still separates
+// the classes.
+#pragma once
+
+#include "pss/common/rng.hpp"
+#include "pss/data/dataset.hpp"
+#include "pss/data/synthetic_digits.hpp"  // SyntheticConfig
+
+namespace pss {
+
+/// Fashion-MNIST class names (index == label), for table printing.
+const char* fashion_class_name(Label label);
+
+/// One jittered, textured sample of apparel class `label` (0..9).
+Image render_fashion(Label label, double noise, SequentialRng& rng);
+
+/// A full train/test dataset with uniformly distributed labels.
+LabeledDataset make_synthetic_fashion(const SyntheticConfig& config = {});
+
+}  // namespace pss

@@ -1,0 +1,34 @@
+#include "pss/encoding/frequency_control.hpp"
+
+#include <algorithm>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+FrequencyControl::FrequencyControl(double base_f_min_hz, double base_f_max_hz,
+                                   TimeMs base_t_learn_ms) {
+  PSS_REQUIRE(base_f_min_hz >= 0.0 && base_f_max_hz >= base_f_min_hz,
+              "invalid base frequency range");
+  PSS_REQUIRE(base_t_learn_ms > 0.0, "presentation time must be positive");
+  base_ = {base_f_min_hz, base_f_max_hz, base_t_learn_ms, 1.0};
+}
+
+FrequencyPlan FrequencyControl::plan(double boost, TimeMs min_t_learn_ms) const {
+  PSS_REQUIRE(boost >= 1.0, "frequency boost must be >= 1");
+  FrequencyPlan p;
+  p.boost = boost;
+  p.f_min_hz = base_.f_min_hz * boost;
+  p.f_max_hz = base_.f_max_hz * boost;
+  p.t_learn_ms = std::max(min_t_learn_ms, base_.t_learn_ms / boost);
+  return p;
+}
+
+FrequencyPlan FrequencyControl::plan_for_f_max(double f_max_hz,
+                                               TimeMs min_t_learn_ms) const {
+  PSS_REQUIRE(f_max_hz >= base_.f_max_hz,
+              "target f_max below the baseline operating point");
+  return plan(f_max_hz / base_.f_max_hz, min_t_learn_ms);
+}
+
+}  // namespace pss

@@ -1,0 +1,67 @@
+#include "pss/encoding/latency_encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+LatencyEncoder::LatencyEncoder(std::size_t channel_count, TimeMs window_ms,
+                               double spread, bool silent_floor)
+    : window_ms_(window_ms),
+      spread_(spread),
+      silent_floor_(silent_floor),
+      latency_steps_(channel_count, -1.0) {
+  PSS_REQUIRE(channel_count > 0, "encoder needs at least one channel");
+  PSS_REQUIRE(window_ms > 0.0, "window must be positive");
+  PSS_REQUIRE(spread > 0.0 && spread <= 1.0, "spread must be in (0, 1]");
+}
+
+void LatencyEncoder::set_rates(std::span<const double> rates_hz) {
+  PSS_REQUIRE(rates_hz.size() == latency_steps_.size(),
+              "rate vector size must equal channel count");
+  const auto [lo_it, hi_it] =
+      std::minmax_element(rates_hz.begin(), rates_hz.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  const double range = hi - lo;
+  for (std::size_t c = 0; c < rates_hz.size(); ++c) {
+    if (range <= 0.0) {
+      latency_steps_[c] = 0.0;  // uniform input: everyone at window start
+      continue;
+    }
+    const double norm = (rates_hz[c] - lo) / range;
+    if (silent_floor_ && norm <= 0.0) {
+      latency_steps_[c] = -1.0;
+      continue;
+    }
+    latency_steps_[c] = window_ms_ * spread_ * (1.0 - norm);
+  }
+}
+
+bool LatencyEncoder::spikes_at(ChannelIndex c, StepIndex step, TimeMs dt) const {
+  PSS_DASSERT(c < latency_steps_.size());
+  const double latency = latency_steps_[c];
+  if (latency < 0.0) return false;
+  const double t0 = std::fmod(static_cast<double>(step) * dt, window_ms_);
+  // Spike when the window-relative step interval [t0, t0+dt) covers latency.
+  return latency >= t0 && latency < t0 + dt;
+}
+
+void LatencyEncoder::active_channels(StepIndex step, TimeMs dt,
+                                     std::vector<ChannelIndex>& active) const {
+  active.clear();
+  for (std::size_t c = 0; c < latency_steps_.size(); ++c) {
+    if (spikes_at(static_cast<ChannelIndex>(c), step, dt)) {
+      active.push_back(static_cast<ChannelIndex>(c));
+    }
+  }
+}
+
+double LatencyEncoder::latency_ms(ChannelIndex c) const {
+  PSS_REQUIRE(c < latency_steps_.size(), "channel out of range");
+  return latency_steps_[c];
+}
+
+}  // namespace pss

@@ -1,0 +1,53 @@
+// Time-to-first-spike (latency) encoder — a rate-free input coding scheme
+// offered alongside the paper's rate encoders: brighter pixels fire earlier
+// within each repeating encoding window. Latency coding is the standard
+// alternative input regime for STDP networks (e.g. Masquelier & Thorpe) and
+// lets the library explore temporal-code learning beyond the paper.
+//
+// Channel c with intensity-derived rate r in [r_min, r_max] fires once per
+// window of `window_ms`, at latency
+//   t_spike = window * (1 - (r - r_min)/(r_max - r_min)) * spread
+// so the maximum-intensity channel fires at the window start and the
+// minimum-intensity channel late in the window (or never if its rate is at
+// the floor and `silent_floor` is set).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pss/common/types.hpp"
+
+namespace pss {
+
+class LatencyEncoder {
+ public:
+  /// `window_ms` is the encoding frame; `spread` in (0, 1] the fraction of
+  /// the window used for latencies; `silent_floor` drops channels at the
+  /// minimum rate entirely (background suppression).
+  LatencyEncoder(std::size_t channel_count, TimeMs window_ms,
+                 double spread = 0.9, bool silent_floor = true);
+
+  std::size_t channel_count() const { return latency_steps_.size(); }
+  TimeMs window_ms() const { return window_ms_; }
+
+  /// Derives per-channel latencies from rates (Hz); the min/max of the
+  /// vector define the coding range.
+  void set_rates(std::span<const double> rates_hz);
+
+  /// Channels spiking in global step `step` of width dt (cleared first).
+  void active_channels(StepIndex step, TimeMs dt,
+                       std::vector<ChannelIndex>& active) const;
+
+  bool spikes_at(ChannelIndex c, StepIndex step, TimeMs dt) const;
+
+  /// Latency (ms within the window) of channel c; negative = silent.
+  double latency_ms(ChannelIndex c) const;
+
+ private:
+  TimeMs window_ms_;
+  double spread_;
+  bool silent_floor_;
+  std::vector<double> latency_steps_;  // in ms; < 0 means silent
+};
+
+}  // namespace pss

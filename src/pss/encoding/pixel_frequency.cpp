@@ -1,0 +1,25 @@
+#include "pss/encoding/pixel_frequency.hpp"
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+PixelFrequencyMap::PixelFrequencyMap(double f_min_hz, double f_max_hz)
+    : f_min_(f_min_hz), f_max_(f_max_hz) {
+  PSS_REQUIRE(f_min_hz >= 0.0, "frequencies must be non-negative");
+  PSS_REQUIRE(f_max_hz >= f_min_hz, "f_max must not be below f_min");
+}
+
+double PixelFrequencyMap::frequency(std::uint8_t intensity) const {
+  return f_min_ + (f_max_ - f_min_) * (static_cast<double>(intensity) / 255.0);
+}
+
+void PixelFrequencyMap::frequencies(std::span<const std::uint8_t> pixels,
+                                    std::vector<double>& rates_hz) const {
+  rates_hz.resize(pixels.size());
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    rates_hz[i] = frequency(pixels[i]);
+  }
+}
+
+}  // namespace pss

@@ -1,0 +1,37 @@
+// Pixel-intensity → spike-train-frequency conversion (paper Fig. 1d).
+//
+// "Pixel intensity of input images, which is an 8-bit value, is encoded into
+// specific spiking frequency of one spike train. ... Frequency is in a range
+// between f_input_max and f_input_min, and proportional to the pixel
+// intensity." (Sec. III-B). Intensity 0 maps to f_min, intensity 255 to
+// f_max, linear in between.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pss {
+
+class PixelFrequencyMap {
+ public:
+  /// Requires f_max >= f_min >= 0 (Table I gives e.g. [1, 22] Hz baseline,
+  /// [5, 78] Hz high-frequency).
+  PixelFrequencyMap(double f_min_hz, double f_max_hz);
+
+  double f_min_hz() const { return f_min_; }
+  double f_max_hz() const { return f_max_; }
+
+  /// Frequency (Hz) for one 8-bit pixel intensity.
+  double frequency(std::uint8_t intensity) const;
+
+  /// Vectorized conversion of a whole image into per-channel rates.
+  void frequencies(std::span<const std::uint8_t> pixels,
+                   std::vector<double>& rates_hz) const;
+
+ private:
+  double f_min_;
+  double f_max_;
+};
+
+}  // namespace pss

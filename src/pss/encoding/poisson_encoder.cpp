@@ -1,0 +1,44 @@
+#include "pss/encoding/poisson_encoder.hpp"
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+PoissonEncoder::PoissonEncoder(std::size_t channel_count, std::uint64_t seed)
+    : rates_hz_(channel_count, 0.0), rng_(seed, /*stream=*/0x705573ull) {
+  PSS_REQUIRE(channel_count > 0, "encoder needs at least one channel");
+}
+
+void PoissonEncoder::set_rates(std::span<const double> rates_hz) {
+  PSS_REQUIRE(rates_hz.size() == rates_hz_.size(),
+              "rate vector size must equal channel count");
+  for (double r : rates_hz) PSS_REQUIRE(r >= 0.0, "rates must be non-negative");
+  rates_hz_.assign(rates_hz.begin(), rates_hz.end());
+}
+
+void PoissonEncoder::set_uniform_rate(double rate_hz) {
+  PSS_REQUIRE(rate_hz >= 0.0, "rates must be non-negative");
+  rates_hz_.assign(rates_hz_.size(), rate_hz);
+}
+
+bool PoissonEncoder::spikes_at(ChannelIndex c, StepIndex step, TimeMs dt) const {
+  PSS_DASSERT(c < rates_hz_.size());
+  const double p = rates_hz_[c] * dt * 1e-3;
+  // Draw index couples channel and step; fork(c) gives each channel its own
+  // stream so neighbouring channels are uncorrelated.
+  return rng_.fork(c).bernoulli(step, p);
+}
+
+void PoissonEncoder::active_channels(StepIndex step, TimeMs dt,
+                                     std::vector<ChannelIndex>& active) const {
+  active.clear();
+  const std::size_t n = rates_hz_.size();
+  for (std::size_t c = 0; c < n; ++c) {
+    if (rates_hz_[c] <= 0.0) continue;
+    if (spikes_at(static_cast<ChannelIndex>(c), step, dt)) {
+      active.push_back(static_cast<ChannelIndex>(c));
+    }
+  }
+}
+
+}  // namespace pss

@@ -1,0 +1,46 @@
+// Poisson spike-train generator: one train per input channel (paper Fig. 3,
+// "input image is converted to a spike train array, one spike train per
+// pixel").
+//
+// Each channel c fires in a step of width dt with probability rate_c·dt/1000
+// — a Bernoulli thinning of a Poisson process, the standard rate encoding.
+// Draws use the counter-based RNG indexed by (channel, global step) so the
+// generated trains are identical regardless of thread scheduling and can be
+// replayed exactly (the Fig. 6a raster bench relies on this).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+
+namespace pss {
+
+class PoissonEncoder {
+ public:
+  PoissonEncoder(std::size_t channel_count, std::uint64_t seed);
+
+  std::size_t channel_count() const { return rates_hz_.size(); }
+
+  /// Sets per-channel rates in Hz (size must equal channel_count).
+  void set_rates(std::span<const double> rates_hz);
+
+  /// Convenience: same rate everywhere.
+  void set_uniform_rate(double rate_hz);
+
+  /// Emits the channels that spike during global step `step` of width dt
+  /// into `active` (cleared first). Steps may be queried in any order.
+  void active_channels(StepIndex step, TimeMs dt,
+                       std::vector<ChannelIndex>& active) const;
+
+  /// True if channel `c` spikes at `step` — random-access form used by
+  /// raster plotting and tests.
+  bool spikes_at(ChannelIndex c, StepIndex step, TimeMs dt) const;
+
+ private:
+  std::vector<double> rates_hz_;
+  CounterRng rng_;
+};
+
+}  // namespace pss

@@ -1,0 +1,54 @@
+#include "pss/encoding/regular_encoder.hpp"
+
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+RegularEncoder::RegularEncoder(std::size_t channel_count, std::uint64_t seed,
+                               bool randomize_phase)
+    : rates_hz_(channel_count, 0.0), phase_(channel_count, 0.0) {
+  PSS_REQUIRE(channel_count > 0, "encoder needs at least one channel");
+  if (randomize_phase) {
+    SequentialRng rng(seed, /*stream=*/0x7265ull);
+    for (auto& p : phase_) p = rng.uniform();
+  }
+}
+
+void RegularEncoder::set_rates(std::span<const double> rates_hz) {
+  PSS_REQUIRE(rates_hz.size() == rates_hz_.size(),
+              "rate vector size must equal channel count");
+  for (double r : rates_hz) PSS_REQUIRE(r >= 0.0, "rates must be non-negative");
+  rates_hz_.assign(rates_hz.begin(), rates_hz.end());
+}
+
+void RegularEncoder::set_uniform_rate(double rate_hz) {
+  PSS_REQUIRE(rate_hz >= 0.0, "rates must be non-negative");
+  rates_hz_.assign(rates_hz_.size(), rate_hz);
+}
+
+bool RegularEncoder::spikes_at(ChannelIndex c, StepIndex step, TimeMs dt) const {
+  PSS_DASSERT(c < rates_hz_.size());
+  const double f = rates_hz_[c];
+  if (f <= 0.0) return false;
+  const double period_ms = 1000.0 / f;
+  const double t0 = static_cast<double>(step) * dt;
+  const double t1 = t0 + dt;
+  // Spike k occurs at (k + phase)·period; count spikes in [t0, t1).
+  const double k0 = std::ceil(t0 / period_ms - phase_[c]);
+  const double spike_time = (k0 + phase_[c]) * period_ms;
+  return spike_time >= t0 && spike_time < t1;
+}
+
+void RegularEncoder::active_channels(StepIndex step, TimeMs dt,
+                                     std::vector<ChannelIndex>& active) const {
+  active.clear();
+  for (std::size_t c = 0; c < rates_hz_.size(); ++c) {
+    if (spikes_at(static_cast<ChannelIndex>(c), step, dt)) {
+      active.push_back(static_cast<ChannelIndex>(c));
+    }
+  }
+}
+
+}  // namespace pss

@@ -1,0 +1,41 @@
+// Regular (clock-like) spike-train generator.
+//
+// Channel c with rate f fires every 1000/f ms, with a per-channel phase
+// offset so channels with equal rates do not fire in lockstep. Deterministic
+// trains make unit tests exact and give the crisp rasters of Fig. 6a when
+// jitter-free visualization is wanted; learning experiments use the Poisson
+// encoder.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+
+namespace pss {
+
+class RegularEncoder {
+ public:
+  /// `seed` randomizes per-channel phases; phase 0 for all channels when
+  /// `randomize_phase` is false.
+  RegularEncoder(std::size_t channel_count, std::uint64_t seed,
+                 bool randomize_phase = true);
+
+  std::size_t channel_count() const { return rates_hz_.size(); }
+
+  void set_rates(std::span<const double> rates_hz);
+  void set_uniform_rate(double rate_hz);
+
+  /// True if channel c emits a spike in step [step·dt, (step+1)·dt).
+  bool spikes_at(ChannelIndex c, StepIndex step, TimeMs dt) const;
+
+  void active_channels(StepIndex step, TimeMs dt,
+                       std::vector<ChannelIndex>& active) const;
+
+ private:
+  std::vector<double> rates_hz_;
+  std::vector<double> phase_;  // in [0, 1) fractions of a period
+};
+
+}  // namespace pss

@@ -1,0 +1,55 @@
+// A CUDA-host-style buffer abstraction.
+//
+// ParallelSpikeSim's CPU "allocates memory and transfers data in unified data
+// structures to GPU memory when simulation starts" (Sec. III-A). To keep the
+// host-code structure faithful, simulation state lives in device_vector<T>:
+// construction mirrors cudaMalloc + cudaMemcpy, and span()/view() is what
+// kernels receive. On this CPU substrate the "device" is ordinary memory, so
+// the copies are cheap; the value of the type is that module interfaces show
+// exactly which state is kernel-visible.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+template <typename T>
+class device_vector {
+ public:
+  device_vector() = default;
+  explicit device_vector(std::size_t n, T fill = T{}) : data_(n, fill) {}
+  explicit device_vector(std::vector<T> host) : data_(std::move(host)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  void resize(std::size_t n, T fill = T{}) { data_.resize(n, fill); }
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  /// Host -> device transfer (sizes must match, like cudaMemcpy).
+  void upload(std::span<const T> host) {
+    PSS_REQUIRE(host.size() == data_.size(),
+                "upload size mismatch: host " + std::to_string(host.size()) +
+                    " vs device " + std::to_string(data_.size()));
+    std::copy(host.begin(), host.end(), data_.begin());
+  }
+
+  /// Device -> host transfer.
+  std::vector<T> download() const { return data_; }
+
+  /// Kernel-side views.
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  std::vector<T> data_;
+};
+
+}  // namespace pss

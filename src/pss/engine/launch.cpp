@@ -1,0 +1,34 @@
+#include "pss/engine/launch.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+Engine::Engine(std::size_t worker_count) : pool_(worker_count) {}
+
+namespace {
+std::mutex g_engine_mutex;
+std::size_t g_configured_workers = 0;
+bool g_engine_created = false;
+}  // namespace
+
+Engine& default_engine() {
+  static std::unique_ptr<Engine> engine = [] {
+    std::lock_guard<std::mutex> lock(g_engine_mutex);
+    g_engine_created = true;
+    return std::make_unique<Engine>(g_configured_workers);
+  }();
+  return *engine;
+}
+
+void configure_default_engine(std::size_t worker_count) {
+  std::lock_guard<std::mutex> lock(g_engine_mutex);
+  PSS_REQUIRE(!g_engine_created,
+              "configure_default_engine must run before first use");
+  g_configured_workers = worker_count;
+}
+
+}  // namespace pss

@@ -1,0 +1,72 @@
+// Kernel launch API — the heart of the GPU substitution.
+//
+// A pss "kernel" is a callable invoked once per logical thread index, exactly
+// like a CUDA global function over blockIdx*blockDim+threadIdx. The engine
+// partitions the index space over a persistent ThreadPool and synchronizes at
+// the end of the launch (the simulator's per-step cudaDeviceSynchronize).
+//
+// Kernels must be data-parallel: thread i may write only to slot i of its
+// output arrays (or use the documented reduce helpers). Combined with the
+// counter-based RNG this gives bitwise-reproducible results independent of
+// worker count — a property the tests assert.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "pss/engine/thread_pool.hpp"
+
+namespace pss {
+
+class Engine {
+ public:
+  /// `worker_count == 0` -> hardware concurrency.
+  explicit Engine(std::size_t worker_count = 0);
+
+  std::size_t worker_count() const { return pool_.worker_count(); }
+
+  /// Launches `kernel(i)` for every i in [0, thread_count).
+  template <typename Kernel>
+  void launch(std::size_t thread_count, Kernel&& kernel) {
+    const std::function<void(std::size_t, std::size_t)> body =
+        [&kernel](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) kernel(i);
+        };
+    pool_.parallel_for(thread_count, body);
+  }
+
+  /// Parallel sum-reduction of kernel results: sums `kernel(i)` over
+  /// [0, thread_count). The shape CUDA code expresses as a block reduction.
+  template <typename Kernel>
+  double launch_sum(std::size_t thread_count, Kernel&& kernel) {
+    const std::size_t parts = pool_.worker_count();
+    std::vector<double> partial(parts, 0.0);
+    const std::size_t chunk =
+        parts == 0 ? thread_count : (thread_count + parts - 1) / parts;
+    const std::function<void(std::size_t, std::size_t)> body =
+        [&](std::size_t begin, std::size_t end) {
+          double acc = 0.0;
+          for (std::size_t i = begin; i < end; ++i) acc += kernel(i);
+          partial[chunk == 0 ? 0 : begin / chunk] += acc;
+        };
+    pool_.parallel_for(thread_count, body);
+    double total = 0.0;
+    for (double p : partial) total += p;
+    return total;
+  }
+
+ private:
+  ThreadPool pool_;
+};
+
+/// Process-wide default engine (lazily constructed). The simulator and the
+/// benches share it so thread creation cost is paid once, as a real CUDA
+/// context would be.
+Engine& default_engine();
+
+/// Overrides the default engine's worker count. Must be called before the
+/// first default_engine() use; throws afterwards. Used by tests that check
+/// worker-count independence.
+void configure_default_engine(std::size_t worker_count);
+
+}  // namespace pss

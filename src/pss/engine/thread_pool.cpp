@@ -1,0 +1,83 @@
+#include "pss/engine/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace pss {
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  if (worker_count == 0) {
+    worker_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread always executes one chunk itself, so spawn one fewer.
+  const std::size_t spawned = worker_count - 1;
+  tasks_.resize(spawned);
+  workers_.reserve(spawned);
+  for (std::size_t i = 0; i < spawned; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t parts = std::min(n, workers_.size() + 1);
+  if (parts == 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + parts - 1) / parts;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_ = 0;
+    for (std::size_t i = 1; i < parts; ++i) {
+      Task& t = tasks_[i - 1];
+      t.fn = &fn;
+      t.begin = std::min(n, i * chunk);
+      t.end = std::min(n, (i + 1) * chunk);
+      if (t.begin < t.end) ++pending_;
+      else t.fn = nullptr;
+    }
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  fn(0, std::min(n, chunk));  // caller takes the first chunk
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stopping_ ||
+               (generation_ != seen_generation && tasks_[worker_index].fn);
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      task = tasks_[worker_index];
+      tasks_[worker_index].fn = nullptr;
+    }
+    if (task.fn) {
+      (*task.fn)(task.begin, task.end);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_.notify_all();
+    }
+  }
+}
+
+}  // namespace pss

@@ -1,0 +1,55 @@
+// Persistent worker pool backing the kernel-launch API.
+//
+// On the paper's platform each simulation step launches CUDA kernels over all
+// neurons/synapses. Here a fixed pool of std::threads plays the role of the
+// streaming multiprocessors: work is split into contiguous index ranges and
+// handed to workers; the submitting thread blocks until the whole range is
+// done, matching the cudaDeviceSynchronize() at each step boundary.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pss {
+
+class ThreadPool {
+ public:
+  /// `worker_count == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t worker_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size() + 1; }
+
+  /// Runs fn(begin, end) over a partition of [0, n) across all workers and
+  /// the calling thread; returns when every chunk has finished. fn must be
+  /// safe to call concurrently on disjoint ranges.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::vector<Task> tasks_;     // one slot per worker, refilled per launch
+  std::size_t pending_ = 0;     // tasks not yet completed in current launch
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace pss

@@ -1,0 +1,164 @@
+#include "pss/experiment/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pss/common/error.hpp"
+#include "pss/common/log.hpp"
+#include "pss/common/stopwatch.hpp"
+#include "pss/io/pgm.hpp"
+#include "pss/stats/summary.hpp"
+
+namespace pss {
+
+WtaConfig ExperimentSpec::network_config() const {
+  WtaConfig cfg = WtaConfig::from_table1(option, kind, neuron_count);
+  cfg.stdp.rounding = rounding;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TrainerConfig ExperimentSpec::trainer_config() const {
+  TrainerConfig cfg = TrainerConfig::from_table1(option);
+  if (f_min_hz) cfg.f_min_hz = *f_min_hz;
+  if (f_max_hz) cfg.f_max_hz = *f_max_hz;
+  if (t_learn_ms) cfg.t_learn_ms = *t_learn_ms;
+  return cfg;
+}
+
+namespace {
+
+/// Labels and evaluates the current network state (shared by the final
+/// measurement and mid-training checkpoints).
+double evaluate_now(WtaNetwork& network, const PixelFrequencyMap& map,
+                    const Dataset& label_set, const Dataset& eval_set,
+                    TimeMs t_label, TimeMs t_infer,
+                    std::size_t* labelled_out = nullptr) {
+  const LabelingResult labels = label_neurons(network, label_set, map, t_label);
+  if (labelled_out) *labelled_out = labels.labelled_neurons;
+  SnnClassifier classifier(network, labels.neuron_labels, labels.class_count,
+                           map, t_infer);
+  return classifier.evaluate(eval_set).accuracy;
+}
+
+}  // namespace
+
+ExperimentResult run_learning_experiment(const ExperimentSpec& spec,
+                                         const LabeledDataset& data) {
+  PSS_REQUIRE(spec.train_images > 0, "need training images");
+  PSS_REQUIRE(!data.train.empty() && !data.test.empty(),
+              "dataset must have train and test splits");
+
+  Stopwatch total_clock;
+  WtaNetwork network(spec.network_config());
+  const TrainerConfig tcfg = spec.trainer_config();
+  UnsupervisedTrainer trainer(network, tcfg);
+  const PixelFrequencyMap map(tcfg.f_min_hz, tcfg.f_max_hz);
+
+  const Dataset train = data.train.head(spec.train_images);
+  const auto [label_set_full, eval_set_full] =
+      data.labelling_split(spec.label_images);
+  const Dataset eval_set = eval_set_full.head(spec.eval_images);
+  PSS_REQUIRE(!label_set_full.empty() && !eval_set.empty(),
+              "labelling/evaluation splits are empty — test set too small");
+
+  ExperimentResult result;
+  result.name = spec.name;
+  result.neuron_count = spec.neuron_count;
+
+  // Mid-training checkpoints for error-vs-time curves.
+  std::vector<std::size_t> checkpoint_at;
+  if (spec.checkpoints > 0) {
+    for (std::size_t k = 1; k <= spec.checkpoints; ++k) {
+      checkpoint_at.push_back(
+          std::max<std::size_t>(1, train.size() * k / (spec.checkpoints + 1)));
+    }
+  }
+  const Dataset cp_label = label_set_full.head(spec.checkpoint_eval_images);
+  const Dataset cp_eval = eval_set.head(spec.checkpoint_eval_images);
+
+  Stopwatch train_clock;
+  double checkpoint_overhead_s = 0.0;
+  TrainingStats tstats = trainer.train(train, [&](std::size_t index) {
+    if (std::find(checkpoint_at.begin(), checkpoint_at.end(), index + 1) ==
+        checkpoint_at.end()) {
+      return;
+    }
+    Stopwatch cp_clock;
+    const double acc =
+        evaluate_now(network, map, cp_label, cp_eval, spec.t_label_ms,
+                     spec.t_infer_ms);
+    checkpoint_overhead_s += cp_clock.seconds();
+    result.error_trace.push_back(
+        {index + 1, (index + 1) * tcfg.t_learn_ms,
+         train_clock.seconds() - checkpoint_overhead_s, 1.0 - acc});
+  });
+  result.train_wall_seconds = train_clock.seconds() - checkpoint_overhead_s;
+  result.simulated_learning_ms = tstats.simulated_ms;
+
+  std::size_t labelled = 0;
+  result.accuracy =
+      evaluate_now(network, map, label_set_full, eval_set, spec.t_label_ms,
+                   spec.t_infer_ms, &labelled);
+  result.error_rate = 1.0 - result.accuracy;
+  result.labelled_neurons = labelled;
+  result.error_trace.push_back({train.size(), tstats.simulated_ms,
+                                result.train_wall_seconds,
+                                result.error_rate});
+
+  // Conductance-map quality metrics.
+  const ConductanceMatrix& g = network.conductance();
+  double contrast = 0.0;
+  for (std::size_t j = 0; j < g.post_count(); ++j) {
+    contrast += quartile_contrast(g.row(static_cast<NeuronIndex>(j)));
+  }
+  result.conductance_contrast = contrast / static_cast<double>(g.post_count());
+  const auto [bottom, top] = edge_fractions(g);
+  result.bottom_fraction = bottom;
+  result.top_fraction = top;
+
+  result.total_wall_seconds = total_clock.seconds();
+  PSS_LOG_INFO << spec.name << ": accuracy " << result.accuracy << " ("
+               << labelled << "/" << spec.neuron_count
+               << " neurons labelled, " << result.train_wall_seconds
+               << " s training)";
+  return result;
+}
+
+std::vector<Image> conductance_maps(const WtaNetwork& network,
+                                    std::size_t max_maps,
+                                    std::size_t image_side) {
+  PSS_REQUIRE(network.input_channels() == image_side * image_side,
+              "input channel count is not a square image");
+  const ConductanceMatrix& g = network.conductance();
+  const std::size_t count = std::min<std::size_t>(max_maps, g.post_count());
+  std::vector<Image> maps;
+  maps.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    maps.push_back(conductance_to_image(g.row(static_cast<NeuronIndex>(j)),
+                                        image_side, image_side, g.g_min(),
+                                        g.g_max()));
+  }
+  return maps;
+}
+
+std::pair<double, double> edge_fractions(const ConductanceMatrix& matrix,
+                                         double tolerance) {
+  const double range = matrix.g_max() - matrix.g_min();
+  const double lo = matrix.g_min() + tolerance * range;
+  const double hi = matrix.g_max() - tolerance * range;
+  std::uint64_t bottom = 0;
+  std::uint64_t top = 0;
+  std::uint64_t total = 0;
+  for (std::size_t j = 0; j < matrix.post_count(); ++j) {
+    for (double v : matrix.row(static_cast<NeuronIndex>(j))) {
+      ++total;
+      if (v <= lo) ++bottom;
+      if (v >= hi) ++top;
+    }
+  }
+  return {static_cast<double>(bottom) / static_cast<double>(total),
+          static_cast<double>(top) / static_cast<double>(total)};
+}
+
+}  // namespace pss

@@ -1,0 +1,31 @@
+// Parameter sweeps over the experiment harness (Fig. 7a frequency sweep,
+// Table II precision x rounding grid, ablations).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "pss/experiment/experiment.hpp"
+
+namespace pss {
+
+struct SweepPoint {
+  double parameter = 0.0;
+  ExperimentResult result;
+};
+
+/// Runs `base` once per value in `f_max_values`, scaling f_min with the same
+/// ratio as the Table I high-frequency row (f_min = f_max * base_ratio) and
+/// shrinking t_learn proportionally when `scale_t_learn` is set — the
+/// frequency-control module's two phases (Sec. IV-C).
+std::vector<SweepPoint> sweep_input_frequency(
+    const ExperimentSpec& base, const LabeledDataset& data,
+    const std::vector<double>& f_max_values, bool scale_t_learn);
+
+/// Generic sweep: `mutate(spec, value)` produces the spec for each value.
+std::vector<SweepPoint> sweep(
+    const ExperimentSpec& base, const LabeledDataset& data,
+    const std::vector<double>& values,
+    const std::function<void(ExperimentSpec&, double)>& mutate);
+
+}  // namespace pss

@@ -1,0 +1,65 @@
+#include "pss/fixedpoint/qformat.hpp"
+
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+QFormat::QFormat(int integer_bits, int fraction_bits)
+    : integer_bits_(integer_bits), fraction_bits_(fraction_bits) {
+  PSS_REQUIRE(integer_bits >= 0, "integer bits must be non-negative");
+  PSS_REQUIRE(fraction_bits >= 1, "need at least one fractional bit");
+  PSS_REQUIRE(integer_bits + fraction_bits <= 31,
+              "total width must fit a 32-bit code");
+  resolution_ = std::ldexp(1.0, -fraction_bits_);
+  level_count_ = 1u << (integer_bits_ + fraction_bits_);
+  max_value_ = (level_count_ - 1) * resolution_;
+}
+
+QFormat QFormat::parse(const std::string& name) {
+  PSS_REQUIRE(name.size() >= 4 && (name[0] == 'Q' || name[0] == 'q'),
+              "Q-format name must look like 'Q1.7', got '" + name + "'");
+  const auto dot = name.find('.');
+  PSS_REQUIRE(dot != std::string::npos && dot > 1 && dot + 1 < name.size(),
+              "Q-format name must look like 'Q1.7', got '" + name + "'");
+  int m = 0;
+  int n = 0;
+  try {
+    m = std::stoi(name.substr(1, dot - 1));
+    n = std::stoi(name.substr(dot + 1));
+  } catch (const std::exception&) {
+    throw Error("Q-format name must look like 'Q1.7', got '" + name + "'");
+  }
+  return QFormat(m, n);
+}
+
+bool QFormat::representable(double value) const {
+  if (value < 0.0 || value > max_value_) return false;
+  const double scaled = value / resolution_;
+  return scaled == std::floor(scaled);
+}
+
+std::uint32_t QFormat::floor_code(double value) const {
+  if (value <= 0.0) return 0;
+  const double scaled = std::floor(value / resolution_);
+  if (scaled >= static_cast<double>(level_count_ - 1)) return level_count_ - 1;
+  return static_cast<std::uint32_t>(scaled);
+}
+
+double QFormat::from_code(std::uint32_t code) const {
+  if (code >= level_count_) code = level_count_ - 1;
+  return code * resolution_;
+}
+
+std::string QFormat::name() const {
+  return "Q" + std::to_string(integer_bits_) + "." +
+         std::to_string(fraction_bits_);
+}
+
+QFormat q0_2() { return QFormat(0, 2); }
+QFormat q0_4() { return QFormat(0, 4); }
+QFormat q1_7() { return QFormat(1, 7); }
+QFormat q1_15() { return QFormat(1, 15); }
+
+}  // namespace pss

@@ -1,0 +1,68 @@
+// Unsigned Q-format fixed-point descriptions (paper Sec. III-C).
+//
+// The paper stores synapse conductance G ∈ [G_min, G_max] = [0, 1] in fixed
+// point and evaluates Q0.2, Q0.4, Q1.7 and Q1.15 ("2/4/8/16 bit" learning).
+// Qm.n here means m integer bits and n fractional bits, unsigned — the
+// convention that makes Q1.7 an 8-bit and Q1.15 a 16-bit word, matching
+// Table II's row labels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pss {
+
+class QFormat {
+ public:
+  /// Constructs Qm.n. Requires 0 <= m, 1 <= n, m + n <= 31.
+  QFormat(int integer_bits, int fraction_bits);
+
+  /// Parses "Q1.7"-style names (as printed in Table II).
+  static QFormat parse(const std::string& name);
+
+  int integer_bits() const { return integer_bits_; }
+  int fraction_bits() const { return fraction_bits_; }
+  int total_bits() const { return integer_bits_ + fraction_bits_; }
+
+  /// Smallest representable increment: 2^-n. This is also the ΔG used for
+  /// 8-bit-and-below learning (paper: "ΔG is set to 1/2^n").
+  double resolution() const { return resolution_; }
+
+  /// Largest representable value: (2^(m+n) - 1) * 2^-n.
+  double max_value() const { return max_value_; }
+
+  /// Number of representable levels: 2^(m+n).
+  std::uint32_t level_count() const { return level_count_; }
+
+  /// True if `value` lies exactly on the representation grid within range.
+  bool representable(double value) const;
+
+  /// Raw code for the largest representable value <= `value` (clamped).
+  std::uint32_t floor_code(double value) const;
+
+  /// Value of raw code `code` (clamped to the level count).
+  double from_code(std::uint32_t code) const;
+
+  /// "Qm.n" string, e.g. "Q1.15".
+  std::string name() const;
+
+  friend bool operator==(const QFormat& a, const QFormat& b) {
+    return a.integer_bits_ == b.integer_bits_ &&
+           a.fraction_bits_ == b.fraction_bits_;
+  }
+
+ private:
+  int integer_bits_;
+  int fraction_bits_;
+  double resolution_;
+  double max_value_;
+  std::uint32_t level_count_;
+};
+
+/// The four formats evaluated in Table II, in ascending bit width.
+QFormat q0_2();
+QFormat q0_4();
+QFormat q1_7();
+QFormat q1_15();
+
+}  // namespace pss

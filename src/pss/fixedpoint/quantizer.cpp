@@ -1,0 +1,62 @@
+#include "pss/fixedpoint/quantizer.hpp"
+
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+const char* rounding_mode_name(RoundingMode mode) {
+  switch (mode) {
+    case RoundingMode::kTruncate: return "truncation";
+    case RoundingMode::kNearest: return "nearest";
+    case RoundingMode::kStochastic: return "stochastic";
+  }
+  return "?";
+}
+
+Quantizer::Quantizer(QFormat format, RoundingMode mode)
+    : format_(format), mode_(mode) {}
+
+double Quantizer::quantize(double value, double u) const {
+  if (value <= 0.0) return 0.0;
+  if (value >= format_.max_value()) return format_.max_value();
+
+  const double res = format_.resolution();
+  const double scaled = value / res;
+  const double lower = std::floor(scaled);
+  const double frac = scaled - lower;  // == (ΔG - ΔG_trunc)·2^n of eq. 8
+
+  double code = lower;
+  switch (mode_) {
+    case RoundingMode::kTruncate:
+      break;
+    case RoundingMode::kNearest:
+      if (frac >= 0.5) code += 1.0;
+      break;
+    case RoundingMode::kStochastic:
+      if (u < frac) code += 1.0;
+      break;
+  }
+  const double q = code * res;
+  return q > format_.max_value() ? format_.max_value() : q;
+}
+
+double Quantizer::round_up_probability(double value) const {
+  if (value <= 0.0 || value >= format_.max_value()) return 0.0;
+  const double scaled = value / format_.resolution();
+  const double frac = scaled - std::floor(scaled);
+  switch (mode_) {
+    case RoundingMode::kTruncate: return 0.0;
+    case RoundingMode::kNearest: return frac >= 0.5 ? 1.0 : 0.0;
+    case RoundingMode::kStochastic: return frac;
+  }
+  return 0.0;
+}
+
+std::optional<double> low_precision_delta_g(const QFormat& format) {
+  if (format.total_bits() <= 8) return format.resolution();
+  return std::nullopt;
+}
+
+}  // namespace pss

@@ -1,0 +1,61 @@
+// Quantization with the paper's three rounding options (Sec. III-C).
+//
+// "Quantization for low precision learning is performed before the LTP/LTD
+// phase" — i.e. a float update ΔG is computed, added to the conductance, and
+// the result is snapped back to the Q-format grid with one of:
+//   * bit truncation        — round toward zero (floor for non-negative G),
+//   * rounding to nearest   — classic round-half-up,
+//   * stochastic rounding   — round up with probability
+//                             P_up = (ΔG - ΔG_truncated) · 2^n    (eq. 8),
+//                             i.e. proportional to the fractional position
+//                             between the two neighbouring grid points.
+//
+// Stochastic rounding consumes one uniform draw per operation; the draw is a
+// *parameter*, not internal state, so callers can index it with the
+// counter-based RNG and keep results reproducible under any thread schedule.
+#pragma once
+
+#include <optional>
+
+#include "pss/fixedpoint/qformat.hpp"
+
+namespace pss {
+
+enum class RoundingMode {
+  kTruncate,   ///< "bit truncation" column of Table II
+  kNearest,    ///< "rounding to nearest" column
+  kStochastic  ///< "stochastic" column (eq. 8)
+};
+
+const char* rounding_mode_name(RoundingMode mode);
+
+class Quantizer {
+ public:
+  Quantizer(QFormat format, RoundingMode mode);
+
+  const QFormat& format() const { return format_; }
+  RoundingMode mode() const { return mode_; }
+
+  /// Snaps `value` to the grid. `u` is a uniform [0,1) draw, used only by
+  /// stochastic rounding (pass anything for the other modes; default 0 makes
+  /// stochastic rounding degenerate to truncation, which is never what you
+  /// want in learning — so learning code always passes a real draw).
+  double quantize(double value, double u = 0.0) const;
+
+  /// Probability that `quantize(value, u)` rounds up rather than down, i.e.
+  /// eq. 8 evaluated at `value`. Exposed for tests and for the Fig. 6b
+  /// distribution analysis. Returns 0 or 1 for deterministic modes.
+  double round_up_probability(double value) const;
+
+ private:
+  QFormat format_;
+  RoundingMode mode_;
+};
+
+/// The per-update conductance step for low-precision learning: the paper sets
+/// ΔG = 1/2^n for 8-bit and lower precision; for 16-bit and above the float
+/// STDP update (eq. 4/5) is used and then rounded. Returns nullopt in the
+/// latter case.
+std::optional<double> low_precision_delta_g(const QFormat& format);
+
+}  // namespace pss

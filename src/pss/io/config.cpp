@@ -1,0 +1,100 @@
+#include "pss/io/config.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+void parse_line(Config& config, const std::string& raw) {
+  std::string line = raw;
+  const auto hash = line.find('#');
+  if (hash != std::string::npos) line = line.substr(0, hash);
+  line = trim(line);
+  if (line.empty()) return;
+  const auto eq = line.find('=');
+  PSS_REQUIRE(eq != std::string::npos && eq > 0,
+              "config line must be key=value: '" + raw + "'");
+  config.set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+}
+
+}  // namespace
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  PSS_REQUIRE(in.is_open(), "cannot open config file: " + path);
+  Config config;
+  std::string line;
+  while (std::getline(in, line)) parse_line(config, line);
+  return config;
+}
+
+Config Config::from_args(int argc, const char* const* argv, int first) {
+  Config config;
+  for (int i = first; i < argc; ++i) parse_line(config, argv[i]);
+  return config;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw Error("config key '" + key + "' is not a number: " + it->second);
+  }
+}
+
+long Config::get_int(const std::string& key, long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stol(it->second);
+  } catch (const std::exception&) {
+    throw Error("config key '" + key + "' is not an integer: " + it->second);
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw Error("config key '" + key + "' is not a boolean: " + it->second);
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  PSS_REQUIRE(!key.empty(), "empty config key");
+  values_[key] = value;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace pss

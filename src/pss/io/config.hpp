@@ -1,0 +1,40 @@
+// Simple key=value configuration parsing ("CPU ... constructs the simulation
+// environment with configuration and input data file", paper Sec. III-A).
+// Used by the example binaries for command-line and file configuration.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pss {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" lines; '#' starts a comment; blank lines skipped.
+  static Config from_file(const std::string& path);
+
+  /// Parses argv-style "key=value" tokens (unknown tokens throw).
+  static Config from_args(int argc, const char* const* argv, int first = 1);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  void set(const std::string& key, const std::string& value);
+
+  /// Keys present in the config (sorted).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pss

@@ -1,0 +1,53 @@
+#include "pss/io/csv.hpp"
+
+#include <sstream>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  PSS_REQUIRE(out_.is_open(), "cannot create CSV file: " + path);
+  PSS_REQUIRE(!header.empty(), "CSV needs at least one column");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ",";
+    out_ << csv_escape(header[i]);
+  }
+  out_ << "\n";
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  PSS_REQUIRE(cells.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ",";
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << "\n";
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os << v;
+    text.push_back(os.str());
+  }
+  row(text);
+}
+
+}  // namespace pss

@@ -1,0 +1,32 @@
+// Minimal CSV writer for experiment series (accuracy sweeps, error-vs-time
+// curves) so results can be re-plotted outside the repo.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pss {
+
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one row; the cell count must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience numeric row.
+  void row(const std::vector<double>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a cell per RFC 4180 (quotes fields containing comma/quote/newline).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace pss

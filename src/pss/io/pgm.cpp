@@ -1,0 +1,73 @@
+#include "pss/io/pgm.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+void write_pgm(const std::string& path, const Image& image) {
+  std::ofstream out(path, std::ios::binary);
+  PSS_REQUIRE(out.is_open(), "cannot create PGM file: " + path);
+  out << "P5\n" << image.width << " " << image.height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.pixels.data()),
+            static_cast<std::streamsize>(image.pixels.size()));
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PSS_REQUIRE(in.is_open(), "cannot open PGM file: " + path);
+  std::string magic;
+  in >> magic;
+  PSS_REQUIRE(magic == "P5", "not a binary PGM file: " + path);
+  std::size_t w = 0;
+  std::size_t h = 0;
+  std::size_t maxval = 0;
+  in >> w >> h >> maxval;
+  PSS_REQUIRE(maxval == 255, "only 8-bit PGM supported");
+  in.get();  // single whitespace after the header
+  Image img(static_cast<std::uint16_t>(w), static_cast<std::uint16_t>(h));
+  in.read(reinterpret_cast<char*>(img.pixels.data()),
+          static_cast<std::streamsize>(img.pixels.size()));
+  PSS_REQUIRE(static_cast<bool>(in), "truncated PGM file: " + path);
+  return img;
+}
+
+Image conductance_to_image(std::span<const double> row, std::size_t width,
+                           std::size_t height, double g_min, double g_max) {
+  PSS_REQUIRE(row.size() == width * height, "row size must be width*height");
+  PSS_REQUIRE(g_max > g_min, "invalid conductance range");
+  Image img(static_cast<std::uint16_t>(width),
+            static_cast<std::uint16_t>(height));
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const double norm = std::clamp((row[i] - g_min) / (g_max - g_min), 0.0, 1.0);
+    img.pixels[i] = static_cast<std::uint8_t>(norm * 255.0 + 0.5);
+  }
+  return img;
+}
+
+Image tile_images(std::span<const Image> maps, std::size_t cols,
+                  std::size_t rows, std::size_t padding) {
+  PSS_REQUIRE(!maps.empty(), "no images to tile");
+  PSS_REQUIRE(cols > 0 && rows > 0, "grid must be non-empty");
+  const std::size_t cw = maps[0].width;
+  const std::size_t ch = maps[0].height;
+  const std::size_t W = cols * cw + (cols - 1) * padding;
+  const std::size_t H = rows * ch + (rows - 1) * padding;
+  Image sheet(static_cast<std::uint16_t>(W), static_cast<std::uint16_t>(H));
+  for (std::size_t k = 0; k < maps.size() && k < cols * rows; ++k) {
+    PSS_REQUIRE(maps[k].width == cw && maps[k].height == ch,
+                "all tiles must share dimensions");
+    const std::size_t gx = (k % cols) * (cw + padding);
+    const std::size_t gy = (k / cols) * (ch + padding);
+    for (std::size_t y = 0; y < ch; ++y) {
+      for (std::size_t x = 0; x < cw; ++x) {
+        sheet.at(gx + x, gy + y) = maps[k].at(x, y);
+      }
+    }
+  }
+  return sheet;
+}
+
+}  // namespace pss

@@ -1,0 +1,30 @@
+// PGM (portable graymap) output for conductance-map visualizations
+// (Fig. 5 / Fig. 8a). PGM is chosen because it is trivially diffable and
+// viewable without dependencies.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "pss/data/image.hpp"
+
+namespace pss {
+
+/// Writes an 8-bit binary PGM (P5).
+void write_pgm(const std::string& path, const Image& image);
+
+/// Reads a binary PGM written by write_pgm (round-trip tests).
+Image read_pgm(const std::string& path);
+
+/// Renders one neuron's conductance row (length w*h) into an image,
+/// normalizing [g_min, g_max] to [0, 255].
+Image conductance_to_image(std::span<const double> row, std::size_t width,
+                           std::size_t height, double g_min, double g_max);
+
+/// Tiles per-neuron conductance maps into one sheet of `cols` x `rows`
+/// cells (the Fig. 5 grid visualization). `maps` supplies up to cols*rows
+/// images, all of identical size; missing cells stay black.
+Image tile_images(std::span<const Image> maps, std::size_t cols,
+                  std::size_t rows, std::size_t padding = 1);
+
+}  // namespace pss

@@ -1,0 +1,120 @@
+#include "pss/io/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'S', 'S', 'S', 'N', 'A', 'P', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  PSS_REQUIRE(static_cast<bool>(in), "truncated snapshot file");
+  return value;
+}
+
+template <typename T>
+void write_vector(std::ostream& out, const std::vector<T>& v) {
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& in, std::uint64_t max_size) {
+  const auto n = read_pod<std::uint64_t>(in);
+  PSS_REQUIRE(n <= max_size, "implausible vector size in snapshot");
+  std::vector<T> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  PSS_REQUIRE(static_cast<bool>(in), "truncated snapshot file");
+  return v;
+}
+
+}  // namespace
+
+NetworkSnapshot NetworkSnapshot::capture(const WtaNetwork& network,
+                                         const std::vector<int>* labels) {
+  NetworkSnapshot snap;
+  snap.neuron_count = static_cast<std::uint32_t>(network.neuron_count());
+  snap.input_channels = static_cast<std::uint32_t>(network.input_channels());
+  snap.g_min = network.conductance().g_min();
+  snap.g_max = network.conductance().g_max();
+  snap.conductance = network.conductance().to_vector();
+  snap.theta.assign(network.theta().begin(), network.theta().end());
+  if (labels) {
+    PSS_REQUIRE(labels->size() == network.neuron_count(),
+                "label vector size must equal neuron count");
+    snap.neuron_labels.assign(labels->begin(), labels->end());
+  }
+  return snap;
+}
+
+void NetworkSnapshot::restore(WtaNetwork& network) const {
+  PSS_REQUIRE(network.neuron_count() == neuron_count &&
+                  network.input_channels() == input_channels,
+              "snapshot geometry does not match the network");
+  PSS_REQUIRE(conductance.size() ==
+                  static_cast<std::size_t>(neuron_count) * input_channels,
+              "snapshot conductance size is inconsistent");
+  ConductanceMatrix& g = network.conductance();
+  std::size_t k = 0;
+  for (NeuronIndex post = 0; post < neuron_count; ++post) {
+    for (ChannelIndex pre = 0; pre < input_channels; ++pre) {
+      g.set(post, pre, conductance[k++]);
+    }
+  }
+  if (!theta.empty()) network.restore_theta(theta);
+}
+
+void save_snapshot(const std::string& path, const NetworkSnapshot& snapshot) {
+  PSS_REQUIRE(snapshot.neuron_count > 0 && snapshot.input_channels > 0,
+              "refusing to save an empty snapshot");
+  std::ofstream out(path, std::ios::binary);
+  PSS_REQUIRE(out.is_open(), "cannot create snapshot file: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, snapshot.neuron_count);
+  write_pod(out, snapshot.input_channels);
+  write_pod(out, snapshot.g_min);
+  write_pod(out, snapshot.g_max);
+  write_vector(out, snapshot.conductance);
+  write_vector(out, snapshot.theta);
+  write_vector(out, snapshot.neuron_labels);
+  PSS_REQUIRE(static_cast<bool>(out), "snapshot write failed: " + path);
+}
+
+NetworkSnapshot load_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PSS_REQUIRE(in.is_open(), "cannot open snapshot file: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  PSS_REQUIRE(static_cast<bool>(in) &&
+                  std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+              "not a pss snapshot (bad magic): " + path);
+  NetworkSnapshot snap;
+  snap.neuron_count = read_pod<std::uint32_t>(in);
+  snap.input_channels = read_pod<std::uint32_t>(in);
+  snap.g_min = read_pod<double>(in);
+  snap.g_max = read_pod<double>(in);
+  const std::uint64_t synapses =
+      static_cast<std::uint64_t>(snap.neuron_count) * snap.input_channels;
+  snap.conductance = read_vector<double>(in, synapses);
+  snap.theta = read_vector<double>(in, snap.neuron_count);
+  snap.neuron_labels = read_vector<std::int32_t>(in, snap.neuron_count);
+  PSS_REQUIRE(snap.conductance.size() == synapses,
+              "snapshot conductance size is inconsistent");
+  return snap;
+}
+
+}  // namespace pss

@@ -1,0 +1,38 @@
+// Trained-model serialization: persist a WTA network's learned state
+// (conductance matrix, homeostatic offsets, neuron labels) so training and
+// deployment can be separated — load a snapshot and classify without
+// retraining. Binary format with magic/version so stale files fail loudly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pss/network/wta_network.hpp"
+
+namespace pss {
+
+struct NetworkSnapshot {
+  std::uint32_t neuron_count = 0;
+  std::uint32_t input_channels = 0;
+  double g_min = 0.0;
+  double g_max = 1.0;
+  std::vector<double> conductance;  ///< post-major, size neurons*channels
+  std::vector<double> theta;        ///< homeostatic offsets, size neurons
+  std::vector<std::int32_t> neuron_labels;  ///< -1 = unlabelled; may be empty
+
+  /// Captures the learned state of a network (labels optional).
+  static NetworkSnapshot capture(const WtaNetwork& network,
+                                 const std::vector<int>* labels = nullptr);
+
+  /// Writes `network`'s learned state back in (sizes must match the
+  /// network's geometry; theta is informational and not restored into the
+  /// adaptive threshold — restore() returns it for callers that need it).
+  void restore(WtaNetwork& network) const;
+};
+
+/// Binary save/load. Throws pss::Error on IO or format problems.
+void save_snapshot(const std::string& path, const NetworkSnapshot& snapshot);
+NetworkSnapshot load_snapshot(const std::string& path);
+
+}  // namespace pss

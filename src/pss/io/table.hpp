@@ -1,0 +1,34 @@
+// Aligned plain-text table printer — every bench prints its paper table /
+// figure series through this, so output stays uniform and grep-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pss {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Numeric convenience; values formatted with `precision` decimals.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 1);
+
+  /// Renders with column alignment and a header rule.
+  std::string to_string() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed decimals (shared helper).
+std::string format_fixed(double value, int precision);
+
+}  // namespace pss

@@ -1,0 +1,70 @@
+#include "pss/learning/classifier.hpp"
+
+#include <algorithm>
+
+#include "pss/common/error.hpp"
+#include "pss/common/stopwatch.hpp"
+
+namespace pss {
+
+SnnClassifier::SnnClassifier(WtaNetwork& network,
+                             std::vector<int> neuron_labels,
+                             std::size_t class_count,
+                             PixelFrequencyMap frequency_map,
+                             TimeMs t_present_ms)
+    : network_(network),
+      neuron_labels_(std::move(neuron_labels)),
+      class_count_(class_count),
+      frequency_map_(frequency_map),
+      t_present_ms_(t_present_ms),
+      class_sizes_(class_count, 0) {
+  PSS_REQUIRE(neuron_labels_.size() == network.neuron_count(),
+              "label vector size must equal neuron count");
+  PSS_REQUIRE(class_count > 0, "need at least one class");
+  PSS_REQUIRE(t_present_ms > 0.0, "presentation time must be positive");
+  for (int label : neuron_labels_) {
+    if (label >= 0) {
+      PSS_REQUIRE(static_cast<std::size_t>(label) < class_count,
+                  "neuron label out of class range");
+      ++class_sizes_[static_cast<std::size_t>(label)];
+    }
+  }
+}
+
+int SnnClassifier::predict(const Image& image) {
+  frequency_map_.frequencies(image.span(), rates_);
+  const PresentationResult r =
+      network_.present(rates_, t_present_ms_, /*learn=*/false);
+
+  std::vector<double> score(class_count_, 0.0);
+  for (std::size_t j = 0; j < neuron_labels_.size(); ++j) {
+    const int label = neuron_labels_[j];
+    if (label < 0) continue;
+    score[static_cast<std::size_t>(label)] += r.spike_counts[j];
+  }
+  double best = 0.0;
+  int winner = -1;
+  for (std::size_t c = 0; c < class_count_; ++c) {
+    if (class_sizes_[c] == 0) continue;
+    const double mean = score[c] / static_cast<double>(class_sizes_[c]);
+    if (mean > best) {
+      best = mean;
+      winner = static_cast<int>(c);
+    }
+  }
+  return winner;
+}
+
+EvaluationResult SnnClassifier::evaluate(const Dataset& data) {
+  PSS_REQUIRE(!data.empty(), "evaluation set must not be empty");
+  EvaluationResult result(class_count_);
+  Stopwatch clock;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    result.confusion.record(data[i].label, predict(data[i]));
+  }
+  result.accuracy = result.confusion.accuracy();
+  result.wall_seconds = clock.seconds();
+  return result;
+}
+
+}  // namespace pss

@@ -1,0 +1,52 @@
+// Inference (paper Sec. III-B): "The rest of the test set ... are used for
+// inference."
+//
+// An image is presented (learning off); class scores are the mean spike
+// count of the neurons labelled with each class (averaging, as in Diehl &
+// Cook, prevents classes that captured more neurons from dominating). The
+// prediction is the argmax; if no labelled neuron spikes the classifier
+// abstains (-1, counted as an error).
+#pragma once
+
+#include "pss/data/dataset.hpp"
+#include "pss/encoding/pixel_frequency.hpp"
+#include "pss/learning/labeler.hpp"
+#include "pss/network/wta_network.hpp"
+#include "pss/stats/confusion.hpp"
+
+namespace pss {
+
+struct EvaluationResult {
+  ConfusionMatrix confusion;
+  double accuracy = 0.0;
+  double wall_seconds = 0.0;
+
+  explicit EvaluationResult(std::size_t classes) : confusion(classes) {}
+};
+
+class SnnClassifier {
+ public:
+  /// `labels` comes from label_neurons(); class_count from the same result.
+  SnnClassifier(WtaNetwork& network, std::vector<int> neuron_labels,
+                std::size_t class_count, PixelFrequencyMap frequency_map,
+                TimeMs t_present_ms);
+
+  std::size_t class_count() const { return class_count_; }
+
+  /// Predicted class for one image, or -1 (abstain).
+  int predict(const Image& image);
+
+  /// Accuracy + confusion over a dataset.
+  EvaluationResult evaluate(const Dataset& data);
+
+ private:
+  WtaNetwork& network_;
+  std::vector<int> neuron_labels_;
+  std::size_t class_count_;
+  PixelFrequencyMap frequency_map_;
+  TimeMs t_present_ms_;
+  std::vector<std::size_t> class_sizes_;
+  std::vector<double> rates_;
+};
+
+}  // namespace pss

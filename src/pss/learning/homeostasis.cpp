@@ -1,0 +1,41 @@
+#include "pss/learning/homeostasis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+AdaptiveThreshold::AdaptiveThreshold(std::size_t size,
+                                     HomeostasisParams params)
+    : params_(params), theta_(size, 0.0) {
+  PSS_REQUIRE(params.tau_ms > 0.0, "homeostasis tau must be positive");
+  PSS_REQUIRE(params.theta_plus >= 0.0, "theta_plus must be non-negative");
+  decay_per_ms_ = std::exp(-1.0 / params.tau_ms);
+}
+
+void AdaptiveThreshold::reset() { std::fill(theta_.begin(), theta_.end(), 0.0); }
+
+void AdaptiveThreshold::on_spike(NeuronIndex i) {
+  if (!params_.enabled) return;
+  PSS_DASSERT(i < theta_.size());
+  theta_[i] = std::min(params_.theta_max, theta_[i] + params_.theta_plus);
+}
+
+void AdaptiveThreshold::set_theta(std::span<const double> values) {
+  PSS_REQUIRE(values.size() == theta_.size(),
+              "theta snapshot size must match population");
+  theta_.assign(values.begin(), values.end());
+}
+
+void AdaptiveThreshold::decay(TimeMs dt) {
+  if (!params_.enabled) return;
+  if (dt != cached_dt_) {
+    cached_dt_ = dt;
+    cached_factor_ = std::pow(decay_per_ms_, dt);
+  }
+  for (double& t : theta_) t *= cached_factor_;
+}
+
+}  // namespace pss

@@ -1,0 +1,43 @@
+#include "pss/learning/labeler.hpp"
+
+#include <algorithm>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+LabelingResult label_neurons(WtaNetwork& network, const Dataset& labelling_set,
+                             const PixelFrequencyMap& frequency_map,
+                             TimeMs t_present_ms) {
+  PSS_REQUIRE(!labelling_set.empty(), "labelling set must not be empty");
+  const std::size_t classes = labelling_set.class_count();
+  const std::size_t neurons = network.neuron_count();
+
+  LabelingResult result;
+  result.class_count = classes;
+  result.response.assign(neurons, std::vector<std::uint32_t>(classes, 0));
+
+  std::vector<double> rates;
+  for (std::size_t i = 0; i < labelling_set.size(); ++i) {
+    const Image& img = labelling_set[i];
+    frequency_map.frequencies(img.span(), rates);
+    const PresentationResult r =
+        network.present(rates, t_present_ms, /*learn=*/false);
+    for (std::size_t j = 0; j < neurons; ++j) {
+      result.response[j][img.label] += r.spike_counts[j];
+    }
+  }
+
+  result.neuron_labels.assign(neurons, -1);
+  for (std::size_t j = 0; j < neurons; ++j) {
+    const auto& row = result.response[j];
+    const auto it = std::max_element(row.begin(), row.end());
+    if (*it > 0) {
+      result.neuron_labels[j] = static_cast<int>(it - row.begin());
+      ++result.labelled_neurons;
+    }
+  }
+  return result;
+}
+
+}  // namespace pss

@@ -1,0 +1,34 @@
+// Neuron labelling (paper Sec. III-B): "After learning is complete, the
+// first 1000 images in the test set are used to label all the neurons in the
+// first layer."
+//
+// Each labelling image is presented with learning off; every neuron
+// accumulates its spike count per true class, and is assigned the class it
+// responded to most. Neurons that never spike remain unlabelled and take no
+// part in classification.
+#pragma once
+
+#include <vector>
+
+#include "pss/data/dataset.hpp"
+#include "pss/encoding/pixel_frequency.hpp"
+#include "pss/network/wta_network.hpp"
+
+namespace pss {
+
+struct LabelingResult {
+  /// Per-neuron assigned class; -1 = never spiked during labelling.
+  std::vector<int> neuron_labels;
+  /// response[neuron][class] = accumulated spikes.
+  std::vector<std::vector<std::uint32_t>> response;
+  std::size_t labelled_neurons = 0;
+  std::size_t class_count = 0;
+};
+
+/// Presents `labelling_set` (learning off) for `t_present_ms` per image
+/// through the [f_min, f_max] pixel->frequency map and assigns labels.
+LabelingResult label_neurons(WtaNetwork& network, const Dataset& labelling_set,
+                             const PixelFrequencyMap& frequency_map,
+                             TimeMs t_present_ms);
+
+}  // namespace pss

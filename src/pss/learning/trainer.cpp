@@ -1,0 +1,46 @@
+#include "pss/learning/trainer.hpp"
+
+#include "pss/common/error.hpp"
+#include "pss/common/log.hpp"
+
+namespace pss {
+
+TrainerConfig TrainerConfig::from_table1(LearningOption option) {
+  const Table1Row& row = table1_row(option);
+  return TrainerConfig{row.f_input_min_hz, row.f_input_max_hz,
+                       row.t_learn_ms};
+}
+
+UnsupervisedTrainer::UnsupervisedTrainer(WtaNetwork& network,
+                                         TrainerConfig config)
+    : network_(network),
+      config_(config),
+      frequency_map_(config.f_min_hz, config.f_max_hz) {
+  PSS_REQUIRE(config.t_learn_ms > 0.0, "t_learn must be positive");
+}
+
+TrainingStats UnsupervisedTrainer::train(const Dataset& data,
+                                         const ProgressCallback& on_image) {
+  TrainingStats stats;
+  Stopwatch clock;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const Image& img = data[i];
+    PSS_REQUIRE(img.pixel_count() == network_.input_channels(),
+                "image pixel count must equal network input channels");
+    frequency_map_.frequencies(img.span(), rates_);
+    const PresentationResult r =
+        network_.present(rates_, config_.t_learn_ms, /*learn=*/true);
+    ++stats.images_presented;
+    stats.total_post_spikes += r.total_spikes;
+    stats.total_input_spikes += r.input_spikes;
+    stats.simulated_ms += config_.t_learn_ms;
+    if (on_image) on_image(i);
+  }
+  stats.wall_seconds = clock.seconds();
+  PSS_LOG_DEBUG << "trained " << stats.images_presented << " images, "
+                << stats.total_post_spikes << " post spikes, "
+                << stats.wall_seconds << " s";
+  return stats;
+}
+
+}  // namespace pss

@@ -1,0 +1,56 @@
+// Unsupervised training loop (paper Fig. 2 / Sec. III-B).
+//
+// Each training image is converted to per-pixel Poisson rates via the
+// pixel->frequency map and presented to the WTA network for t_learn ms with
+// STDP enabled. The paper's two operating points: 1–22 Hz / 500 ms per image
+// (baseline) and 5–78 Hz / 100 ms per image (high-frequency).
+#pragma once
+
+#include <functional>
+
+#include "pss/common/stopwatch.hpp"
+#include "pss/data/dataset.hpp"
+#include "pss/encoding/pixel_frequency.hpp"
+#include "pss/network/wta_network.hpp"
+
+namespace pss {
+
+struct TrainerConfig {
+  double f_min_hz = 1.0;
+  double f_max_hz = 22.0;
+  TimeMs t_learn_ms = 500.0;
+
+  /// Convenience constructor from a Table I row.
+  static TrainerConfig from_table1(LearningOption option);
+};
+
+struct TrainingStats {
+  std::size_t images_presented = 0;
+  std::uint64_t total_post_spikes = 0;
+  std::uint64_t total_input_spikes = 0;
+  double wall_seconds = 0.0;
+  TimeMs simulated_ms = 0.0;  ///< biological time simulated
+};
+
+class UnsupervisedTrainer {
+ public:
+  /// Invoked after every presented image; `index` counts from 0. Used by the
+  /// Fig. 8c moving-error experiment to checkpoint mid-training.
+  using ProgressCallback = std::function<void(std::size_t index)>;
+
+  UnsupervisedTrainer(WtaNetwork& network, TrainerConfig config);
+
+  const TrainerConfig& config() const { return config_; }
+
+  /// Presents every image of `data` once, learning enabled.
+  TrainingStats train(const Dataset& data,
+                      const ProgressCallback& on_image = nullptr);
+
+ private:
+  WtaNetwork& network_;
+  TrainerConfig config_;
+  PixelFrequencyMap frequency_map_;
+  std::vector<double> rates_;
+};
+
+}  // namespace pss

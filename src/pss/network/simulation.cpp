@@ -1,0 +1,151 @@
+#include "pss/network/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+namespace {
+
+/// Delayed spike delivery: per-step buckets of (neuron, current) deposits.
+class DelayRing {
+ public:
+  DelayRing(std::size_t neuron_count, std::size_t max_delay_steps)
+      : buckets_(max_delay_steps + 1,
+                 std::vector<double>(neuron_count, 0.0)) {}
+
+  void deposit(std::size_t delay_steps, NeuronIndex neuron, double amount) {
+    PSS_DASSERT(delay_steps < buckets_.size());
+    buckets_[(head_ + delay_steps) % buckets_.size()][neuron] += amount;
+  }
+
+  /// Adds the current slot into `currents` and clears it, then advances.
+  void drain_into(std::vector<double>& currents) {
+    auto& slot = buckets_[head_];
+    for (std::size_t i = 0; i < currents.size(); ++i) {
+      currents[i] += slot[i];
+      slot[i] = 0.0;
+    }
+    head_ = (head_ + 1) % buckets_.size();
+  }
+
+ private:
+  std::vector<std::vector<double>> buckets_;
+  std::size_t head_ = 0;
+};
+
+struct Csr {
+  // Connections grouped by pre-neuron for O(spikes) propagation.
+  std::vector<std::uint32_t> offsets;
+  std::vector<NeuronIndex> posts;
+  std::vector<double> weights;
+  std::vector<std::uint16_t> delay_steps;
+  std::size_t max_delay_steps = 1;
+};
+
+Csr build_csr(const std::vector<Connection>& connections,
+              std::size_t neuron_count, TimeMs dt) {
+  validate_connections(connections, neuron_count, neuron_count);
+  Csr csr;
+  csr.offsets.assign(neuron_count + 1, 0);
+  for (const auto& c : connections) csr.offsets[c.pre + 1]++;
+  for (std::size_t i = 1; i <= neuron_count; ++i) {
+    csr.offsets[i] += csr.offsets[i - 1];
+  }
+  csr.posts.resize(connections.size());
+  csr.weights.resize(connections.size());
+  csr.delay_steps.resize(connections.size());
+  std::vector<std::uint32_t> cursor(csr.offsets.begin(),
+                                    csr.offsets.end() - 1);
+  for (const auto& c : connections) {
+    const std::uint32_t slot = cursor[c.pre]++;
+    csr.posts[slot] = c.post;
+    csr.weights[slot] = c.weight;
+    const auto steps = static_cast<std::uint16_t>(
+        std::max(1.0, std::round(c.delay_ms / dt)));
+    csr.delay_steps[slot] = steps;
+    csr.max_delay_steps = std::max<std::size_t>(csr.max_delay_steps, steps);
+  }
+  return csr;
+}
+
+template <typename Population>
+ActivityResult run_activity(Population& population,
+                            const std::vector<Connection>& connections,
+                            const ActivityConfig& config,
+                            std::size_t max_recorded) {
+  PSS_REQUIRE(config.duration_ms > 0.0 && config.dt > 0.0,
+              "invalid activity config");
+  const std::size_t n = population.size();
+  const Csr csr = build_csr(connections, n, config.dt);
+
+  PoissonEncoder input(n, config.seed);
+  input.set_uniform_rate(config.input_rate_hz);
+
+  DelayRing ring(n, csr.max_delay_steps);
+  std::vector<double> currents(n, 0.0);
+  std::vector<NeuronIndex> spikes;
+  std::vector<ChannelIndex> drive;
+
+  ActivityResult result;
+  result.per_neuron_spikes.assign(n, 0);
+
+  const auto steps =
+      static_cast<StepIndex>(std::ceil(config.duration_ms / config.dt));
+  Stopwatch clock;
+  TimeMs now = 0.0;
+  for (StepIndex s = 0; s < steps; ++s) {
+    now += config.dt;
+    std::fill(currents.begin(), currents.end(), 0.0);
+
+    // External Poisson drive.
+    input.active_channels(s, config.dt, drive);
+    for (ChannelIndex c : drive) currents[c] += config.input_amplitude;
+
+    // Recurrent spikes whose delay expires this step.
+    ring.drain_into(currents);
+
+    population.step(currents, now, config.dt, spikes);
+
+    for (NeuronIndex j : spikes) {
+      ++result.per_neuron_spikes[j];
+      ++result.total_spikes;
+      if (result.raster.size() < max_recorded) {
+        result.raster.emplace_back(now, j);
+      }
+      for (std::uint32_t k = csr.offsets[j]; k < csr.offsets[j + 1]; ++k) {
+        ring.deposit(csr.delay_steps[k], csr.posts[k], csr.weights[k]);
+      }
+    }
+  }
+  result.wall_seconds = clock.seconds();
+  result.mean_rate_hz = static_cast<double>(result.total_spikes) /
+                        static_cast<double>(n) /
+                        (config.duration_ms * 1e-3);
+  result.steps_per_second =
+      result.wall_seconds > 0.0 ? static_cast<double>(steps) / result.wall_seconds : 0.0;
+  return result;
+}
+
+}  // namespace
+
+ActivityResult run_lif_activity(std::size_t neuron_count,
+                                const LifParameters& params,
+                                const std::vector<Connection>& connections,
+                                const ActivityConfig& config,
+                                std::size_t max_recorded) {
+  LifPopulation population(neuron_count, params);
+  return run_activity(population, connections, config, max_recorded);
+}
+
+ActivityResult run_izhikevich_activity(
+    std::size_t neuron_count, const IzhikevichParameters& params,
+    const std::vector<Connection>& connections, const ActivityConfig& config,
+    std::size_t max_recorded) {
+  IzhikevichPopulation population(neuron_count, params);
+  return run_activity(population, connections, config, max_recorded);
+}
+
+}  // namespace pss

@@ -1,0 +1,68 @@
+#include "pss/network/topology.hpp"
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+std::vector<Connection> connect_all_to_all(std::size_t pre_count,
+                                           std::size_t post_count,
+                                           const WeightFn& weight,
+                                           TimeMs delay_ms) {
+  PSS_REQUIRE(pre_count > 0 && post_count > 0, "empty population");
+  std::vector<Connection> out;
+  out.reserve(pre_count * post_count);
+  for (std::size_t pre = 0; pre < pre_count; ++pre) {
+    for (std::size_t post = 0; post < post_count; ++post) {
+      out.push_back({static_cast<NeuronIndex>(pre),
+                     static_cast<NeuronIndex>(post),
+                     weight(static_cast<NeuronIndex>(pre),
+                            static_cast<NeuronIndex>(post)),
+                     delay_ms});
+    }
+  }
+  return out;
+}
+
+std::vector<Connection> connect_one_to_one(std::size_t count, double weight,
+                                           TimeMs delay_ms) {
+  PSS_REQUIRE(count > 0, "empty population");
+  std::vector<Connection> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({static_cast<NeuronIndex>(i), static_cast<NeuronIndex>(i),
+                   weight, delay_ms});
+  }
+  return out;
+}
+
+std::vector<Connection> connect_random(std::size_t pre_count,
+                                       std::size_t post_count, double p,
+                                       const WeightFn& weight,
+                                       SequentialRng& rng, TimeMs delay_ms) {
+  PSS_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  std::vector<Connection> out;
+  out.reserve(static_cast<std::size_t>(p * pre_count * post_count * 1.1));
+  for (std::size_t pre = 0; pre < pre_count; ++pre) {
+    for (std::size_t post = 0; post < post_count; ++post) {
+      if (rng.bernoulli(p)) {
+        out.push_back({static_cast<NeuronIndex>(pre),
+                       static_cast<NeuronIndex>(post),
+                       weight(static_cast<NeuronIndex>(pre),
+                              static_cast<NeuronIndex>(post)),
+                       delay_ms});
+      }
+    }
+  }
+  return out;
+}
+
+void validate_connections(const std::vector<Connection>& connections,
+                          std::size_t pre_count, std::size_t post_count) {
+  for (const auto& c : connections) {
+    PSS_REQUIRE(c.pre < pre_count, "connection pre index out of range");
+    PSS_REQUIRE(c.post < post_count, "connection post index out of range");
+    PSS_REQUIRE(c.delay_ms >= 0.0, "negative delay");
+  }
+}
+
+}  // namespace pss

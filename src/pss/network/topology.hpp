@@ -1,0 +1,46 @@
+// Connectivity builders shared by the pss network and the CARLsim-style
+// baseline: explicit connection lists for all-to-all, one-to-one and random
+// sparse wiring (the unified "network object" of paper Sec. III-A
+// encapsulates layer connectivity; these are its building blocks).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+
+namespace pss {
+
+struct Connection {
+  NeuronIndex pre = 0;
+  NeuronIndex post = 0;
+  double weight = 0.0;
+  TimeMs delay_ms = 1.0;
+};
+
+using WeightFn = std::function<double(NeuronIndex pre, NeuronIndex post)>;
+
+/// Every pre connects to every post (paper Fig. 3: input -> first layer).
+std::vector<Connection> connect_all_to_all(std::size_t pre_count,
+                                           std::size_t post_count,
+                                           const WeightFn& weight,
+                                           TimeMs delay_ms = 1.0);
+
+/// pre i connects to post i (paper Fig. 3: first layer -> inhibition layer).
+std::vector<Connection> connect_one_to_one(std::size_t count, double weight,
+                                           TimeMs delay_ms = 1.0);
+
+/// Each (pre, post) pair is wired with probability `p` (used by the Fig. 4
+/// activity benchmark: 10^3 neurons, 10^4 synapses -> p = 0.01).
+std::vector<Connection> connect_random(std::size_t pre_count,
+                                       std::size_t post_count, double p,
+                                       const WeightFn& weight,
+                                       SequentialRng& rng,
+                                       TimeMs delay_ms = 1.0);
+
+/// Validates that all indices are in range; throws pss::Error otherwise.
+void validate_connections(const std::vector<Connection>& connections,
+                          std::size_t pre_count, std::size_t post_count);
+
+}  // namespace pss

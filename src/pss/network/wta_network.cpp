@@ -1,0 +1,261 @@
+#include "pss/network/wta_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+WtaConfig WtaConfig::from_table1(LearningOption option, StdpKind kind,
+                                 std::size_t neuron_count) {
+  const Table1Row& row = table1_row(option);
+  WtaConfig cfg;
+  cfg.neuron_count = neuron_count;
+  cfg.stdp.kind = kind;
+  // Rows <= 8 bit leave alpha/beta blank (delta = 1/2^n); the magnitudes
+  // default to the 16-bit row values, which the deterministic rule needs for
+  // its pre-rounding float delta.
+  cfg.stdp.magnitude = row.magnitude.value_or(
+      StdpMagnitudeParams{0.01, 3.0, 0.005, 3.0, 1.0, 0.0});
+  cfg.stdp.gate = row.gate;
+  cfg.stdp.format = row.format;
+  return cfg;
+}
+
+int PresentationResult::winner() const {
+  if (spike_counts.empty()) return -1;
+  const auto it = std::max_element(spike_counts.begin(), spike_counts.end());
+  if (*it == 0) return -1;
+  return static_cast<int>(it - spike_counts.begin());
+}
+
+const char* neuron_model_name(NeuronModelKind kind) {
+  switch (kind) {
+    case NeuronModelKind::kLif: return "LIF";
+    case NeuronModelKind::kIzhikevich: return "Izhikevich";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The updater sees the scaled eq. 4-5 magnitudes (see learning_rate_scale).
+StdpUpdaterConfig scaled_stdp(const WtaConfig& config) {
+  StdpUpdaterConfig stdp = config.stdp;
+  stdp.magnitude.alpha_p *= config.learning_rate_scale;
+  stdp.magnitude.alpha_d *= config.learning_rate_scale;
+  return stdp;
+}
+
+std::variant<LifPopulation, IzhikevichPopulation> make_population(
+    const WtaConfig& config, Engine* engine) {
+  if (config.neuron_model == NeuronModelKind::kIzhikevich) {
+    return IzhikevichPopulation(config.neuron_count, config.izhikevich,
+                                engine);
+  }
+  return LifPopulation(config.neuron_count, config.lif, engine);
+}
+
+}  // namespace
+
+WtaNetwork::WtaNetwork(const WtaConfig& config, Engine* engine)
+    : config_(config),
+      engine_(engine ? engine : &default_engine()),
+      neurons_(make_population(config, engine ? engine : &default_engine())),
+      conductance_(config.neuron_count, config.input_channels,
+                   config.stdp.magnitude.g_min, config.stdp.magnitude.g_max,
+                   engine_),
+      updater_(scaled_stdp(config)),
+      threshold_(config.neuron_count, config.homeostasis),
+      encoder_(config.input_channels, config.seed),
+      stdp_rng_(config.seed, /*stream=*/0x57d9ull),
+      currents_(config.neuron_count, 0.0),
+      last_pre_spike_(config.input_channels, kNeverSpiked) {
+  PSS_REQUIRE(config.neuron_count > 0, "network needs neurons");
+  PSS_REQUIRE(config.input_channels > 0, "network needs input channels");
+  PSS_REQUIRE(config.dt > 0.0, "dt must be positive");
+  PSS_REQUIRE(config.spike_amplitude > 0.0, "spike amplitude must be positive");
+  PSS_REQUIRE(config.init_g_hi >= config.init_g_lo, "invalid init range");
+
+  SequentialRng init_rng(config.seed, /*stream=*/0x1417ull);
+  const Quantizer* q = nullptr;
+  std::optional<Quantizer> quant;
+  if (config.stdp.format) {
+    quant.emplace(*config.stdp.format, config.stdp.rounding);
+    q = &*quant;
+  }
+  conductance_.initialize_uniform(
+      config.init_g_lo, std::min(config.init_g_hi, updater_.effective_g_max()),
+      init_rng, q);
+  // Beyond ~5 time constants the eq. 7 probability is negligible.
+  dep_horizon_ms_ = 5.0 * config_.stdp.gate.tau_dep;
+}
+
+PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
+                                       TimeMs duration_ms, bool learn,
+                                       bool record_spikes) {
+  PSS_REQUIRE(rates_hz.size() == config_.input_channels,
+              "rate vector size must equal input channel count");
+  PSS_REQUIRE(duration_ms > 0.0, "presentation must have positive duration");
+
+  encoder_.set_rates(rates_hz);
+
+  // Amplitude auto-gain (see WtaConfig::reference_total_rate_hz).
+  double amplitude = config_.spike_amplitude;
+  if (config_.neuron_model == NeuronModelKind::kIzhikevich) {
+    amplitude *= config_.izhikevich_gain;
+  }
+  if (config_.reference_total_rate_hz > 0.0) {
+    double total_rate = 0.0;
+    for (double r : rates_hz) total_rate += r;
+    if (total_rate > 1e-9) {
+      amplitude *= config_.reference_total_rate_hz / total_rate;
+    }
+  }
+
+  // Images are presented independently: dynamic state resets, while the
+  // learned conductances, the homeostatic offsets and the global clock
+  // persist across presentations.
+  std::visit([](auto& pop) { pop.reset(); }, neurons_);
+  std::fill(currents_.begin(), currents_.end(), 0.0);
+  std::fill(last_pre_spike_.begin(), last_pre_spike_.end(), kNeverSpiked);
+  recent_post_spikes_.clear();
+
+  PresentationResult result;
+  result.spike_counts.assign(config_.neuron_count, 0);
+
+  const TimeMs dt = config_.dt;
+  const double decay_factor =
+      config_.current_decay_ms > 0.0 ? std::exp(-dt / config_.current_decay_ms)
+                                     : 0.0;
+  const auto steps = static_cast<StepIndex>(std::ceil(duration_ms / dt));
+
+  for (StepIndex s = 0; s < steps; ++s) {
+    now_ += dt;
+    ++global_step_;
+
+    // 1. Input spike trains for this step (counter-indexed by global step,
+    //    so trains differ across presentations).
+    encoder_.active_channels(global_step_, dt, active_channels_);
+    result.input_spikes += active_channels_.size();
+
+    // Anti-causal depression (eq. 7): an input spike arriving shortly after
+    // a post spike depresses that synapse with P_dep. Evaluated before the
+    // pre-spike timers are refreshed.
+    if (learn && updater_.wants_pre_spike_events() &&
+        !recent_post_spikes_.empty()) {
+      apply_pre_spike_depression(now_);
+    }
+    for (ChannelIndex c : active_channels_) last_pre_spike_[c] = now_;
+
+    // 2. Current accumulation kernel (eq. 3), with optional exponential
+    //    decay standing in for the synaptic current waveform.
+    if (decay_factor == 0.0) {
+      std::fill(currents_.begin(), currents_.end(), 0.0);
+    } else {
+      for (double& i : currents_) i *= decay_factor;
+    }
+    conductance_.accumulate_currents(active_channels_, amplitude, currents_);
+
+    // 3. Neuron-update kernel.
+    const bool use_theta = learn || config_.readout_theta;
+    const std::span<const double> offsets =
+        use_theta ? threshold_.theta() : std::span<const double>{};
+    std::visit(
+        [&](auto& pop) { pop.step(currents_, now_, dt, spikes_, offsets); },
+        neurons_);
+
+    // 4. Post-spike processing: STDP + WTA inhibition + homeostasis.
+    const TimeMs t_in_presentation = static_cast<TimeMs>(s + 1) * dt;
+    for (NeuronIndex j : spikes_) {
+      ++result.spike_counts[j];
+      ++result.total_spikes;
+      if (record_spikes) result.spike_events.emplace_back(t_in_presentation, j);
+      if (learn) {
+        apply_stdp_row(j, now_);
+        if (updater_.wants_pre_spike_events()) {
+          recent_post_spikes_.emplace_back(j, now_);
+        }
+      }
+      // Homeostasis adapts only while learning; during labelling and
+      // inference the thresholds are frozen (Diehl & Cook protocol).
+      if (learn) threshold_.on_spike(j);
+      if (learn) {
+        std::visit(
+            [&](auto& pop) {
+              pop.inhibit_all_except(j, now_ + config_.t_inh_ms);
+            },
+            neurons_);
+      } else if (config_.readout_inhibition) {
+        const TimeMs t_inh = config_.t_inh_readout_ms >= 0.0
+                                 ? config_.t_inh_readout_ms
+                                 : config_.t_inh_ms;
+        std::visit(
+            [&](auto& pop) { pop.inhibit_all_except(j, now_ + t_inh); },
+            neurons_);
+      }
+    }
+    if (learn) threshold_.decay(dt);
+  }
+  return result;
+}
+
+std::uint64_t WtaNetwork::total_spikes() const {
+  return std::visit([](const auto& pop) { return pop.spike_count(); },
+                    neurons_);
+}
+
+void WtaNetwork::apply_stdp_row(NeuronIndex winner, TimeMs t_post) {
+  auto row = conductance_.row_mut(winner);
+  const std::size_t n = row.size();
+  const std::uint64_t base = stdp_event_counter_;
+  stdp_event_counter_ += n * StdpUpdater::kDrawsPerEvent;
+
+  const StdpUpdater& updater = updater_;
+  const CounterRng& rng = stdp_rng_;
+  const auto& last_pre = last_pre_spike_;
+
+  // STDP kernel: one logical thread per afferent synapse. Draw indices are
+  // derived from the event base so results are schedule-independent.
+  engine_->launch(n, [&](std::size_t pre) {
+    const TimeMs t_pre = last_pre[pre];
+    const double gap =
+        t_pre == kNeverSpiked ? std::numeric_limits<double>::infinity()
+                              : t_post - t_pre;
+    const std::uint64_t c = base + pre * StdpUpdater::kDrawsPerEvent;
+    row[pre] = updater.update_at_post_spike(row[pre], gap, rng.uniform(c),
+                                            rng.uniform(c + 1),
+                                            rng.uniform(c + 2));
+  });
+}
+
+void WtaNetwork::apply_pre_spike_depression(TimeMs now) {
+  // Prune post spikes older than the eq. 7 horizon (sorted by time).
+  std::size_t keep = 0;
+  while (keep < recent_post_spikes_.size() &&
+         now - recent_post_spikes_[keep].second > dep_horizon_ms_) {
+    ++keep;
+  }
+  if (keep > 0) {
+    recent_post_spikes_.erase(recent_post_spikes_.begin(),
+                              recent_post_spikes_.begin() +
+                                  static_cast<std::ptrdiff_t>(keep));
+  }
+
+  // Few events on both axes (WTA keeps post spikes sparse), so a serial
+  // host loop with counter-indexed draws is cheap and deterministic.
+  for (const auto& [j, t_post] : recent_post_spikes_) {
+    const double age = now - t_post;
+    auto row = conductance_.row_mut(j);
+    for (ChannelIndex c : active_channels_) {
+      const std::uint64_t k = stdp_event_counter_;
+      stdp_event_counter_ += StdpUpdater::kDrawsPerEvent;
+      row[c] = updater_.update_at_pre_spike(row[c], age, stdp_rng_.uniform(k),
+                                            stdp_rng_.uniform(k + 1));
+    }
+  }
+}
+
+}  // namespace pss

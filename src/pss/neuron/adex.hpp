@@ -1,0 +1,88 @@
+// Adaptive exponential integrate-and-fire (AdEx; Brette & Gerstner 2005).
+//
+// A third neuron model for the "supports different neuron/synaptic models"
+// contribution: richer than LIF (spike-frequency adaptation, exponential
+// spike initiation) while cheaper than conductance-based multi-compartment
+// models. Dynamics:
+//
+//   C dV/dt = -g_L (V - E_L) + g_L ΔT e^{(V - V_T)/ΔT} - w + I
+//   τ_w dw/dt = a (V - E_L) - w
+//   if V > 0 mV:  V <- V_reset,  w <- w + b
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pss/common/types.hpp"
+#include "pss/engine/device_vector.hpp"
+#include "pss/engine/launch.hpp"
+
+namespace pss {
+
+struct AdexParameters {
+  double capacitance = 281.0;  ///< C, pF
+  double g_leak = 30.0;        ///< g_L, nS
+  double e_leak = -70.6;       ///< E_L, mV
+  double delta_t = 2.0;        ///< ΔT, mV (spike-initiation sharpness)
+  double v_threshold = -50.4;  ///< V_T, mV (soft threshold)
+  double v_spike = 0.0;        ///< detection ceiling, mV
+  double v_reset = -70.6;      ///< mV
+  double tau_w = 144.0;        ///< ms
+  double a = 4.0;              ///< subthreshold adaptation, nS
+  double b = 80.5;             ///< spike-triggered adaptation, pA
+  double v_init = -70.6;
+};
+
+/// The canonical regular-spiking parameter set of Brette & Gerstner 2005.
+AdexParameters adex_regular_spiking();
+
+/// Strongly adapting variant (large b): pronounced rate adaptation.
+AdexParameters adex_adapting();
+
+/// One Euler step; current in pA. Returns true on a spike. The exponential
+/// term is clamped to avoid overflow once V escapes past V_T.
+bool adex_step(const AdexParameters& p, double& v, double& w, double current,
+               TimeMs dt);
+
+/// Population container matching the Lif/Izhikevich interface (inhibition +
+/// threshold offsets) so it can drive the WTA network if desired.
+class AdexPopulation {
+ public:
+  AdexPopulation(std::size_t size, AdexParameters params,
+                 Engine* engine = nullptr);
+
+  std::size_t size() const { return v_.size(); }
+  const AdexParameters& params() const { return params_; }
+
+  void reset();
+
+  void step(std::span<const double> input_current, TimeMs now, TimeMs dt,
+            std::vector<NeuronIndex>& spikes,
+            std::span<const double> threshold_offset = {});
+
+  void inhibit(NeuronIndex neuron, TimeMs until);
+  void inhibit_all_except(NeuronIndex winner, TimeMs until);
+
+  std::span<const double> membrane() const { return v_.span(); }
+  std::span<const double> adaptation() const { return w_.span(); }
+  std::span<const TimeMs> last_spike_time() const { return last_spike_.span(); }
+  std::uint64_t spike_count() const { return total_spikes_; }
+
+ private:
+  AdexParameters params_;
+  Engine* engine_;
+  device_vector<double> v_;
+  device_vector<double> w_;
+  device_vector<TimeMs> last_spike_;
+  device_vector<TimeMs> inhibited_until_;
+  device_vector<std::uint8_t> spiked_flag_;
+  std::uint64_t total_spikes_ = 0;
+};
+
+/// Spiking frequency under constant current (pA), for f-I characterization.
+double adex_spiking_frequency(const AdexParameters& params, double current,
+                              TimeMs duration_ms = 2000.0,
+                              TimeMs settle_ms = 200.0,
+                              TimeMs dt = kDefaultDtMs);
+
+}  // namespace pss

@@ -1,0 +1,101 @@
+#include "pss/neuron/characterize.hpp"
+
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+namespace {
+
+template <typename StepFn>
+double measure_frequency(StepFn&& step_once, TimeMs duration_ms,
+                         TimeMs settle_ms, TimeMs dt) {
+  PSS_REQUIRE(duration_ms > settle_ms, "duration must exceed settle time");
+  PSS_REQUIRE(dt > 0.0, "dt must be positive");
+  std::uint64_t spikes = 0;
+  TimeMs t = 0.0;
+  while (t < duration_ms) {
+    t += dt;
+    if (step_once() && t > settle_ms) ++spikes;
+  }
+  const double window_s = (duration_ms - settle_ms) * 1e-3;
+  return static_cast<double>(spikes) / window_s;
+}
+
+}  // namespace
+
+double lif_spiking_frequency(const LifParameters& params, double current,
+                             TimeMs duration_ms, TimeMs settle_ms, TimeMs dt) {
+  double v = params.v_init;
+  return measure_frequency(
+      [&] {
+        v = lif_integrate(params, v, current, dt);
+        if (v > params.v_threshold) {
+          v = params.v_reset;
+          return true;
+        }
+        return false;
+      },
+      duration_ms, settle_ms, dt);
+}
+
+double izhikevich_spiking_frequency(const IzhikevichParameters& params,
+                                    double current, TimeMs duration_ms,
+                                    TimeMs settle_ms, TimeMs dt) {
+  double v = params.v_init;
+  double u = params.b * params.v_init;
+  return measure_frequency(
+      [&] { return izhikevich_step(params, v, u, current, dt); }, duration_ms,
+      settle_ms, dt);
+}
+
+std::vector<FiPoint> lif_fi_curve(const LifParameters& params, double i_min,
+                                  double i_max, std::size_t samples,
+                                  TimeMs duration_ms) {
+  PSS_REQUIRE(samples >= 2, "need at least two samples");
+  PSS_REQUIRE(i_max > i_min, "current range must be non-empty");
+  std::vector<FiPoint> curve;
+  curve.reserve(samples);
+  for (std::size_t k = 0; k < samples; ++k) {
+    const double i =
+        i_min + (i_max - i_min) * static_cast<double>(k) / (samples - 1);
+    curve.push_back({i, lif_spiking_frequency(params, i, duration_ms)});
+  }
+  return curve;
+}
+
+std::vector<FiPoint> izhikevich_fi_curve(const IzhikevichParameters& params,
+                                         double i_min, double i_max,
+                                         std::size_t samples,
+                                         TimeMs duration_ms) {
+  PSS_REQUIRE(samples >= 2, "need at least two samples");
+  PSS_REQUIRE(i_max > i_min, "current range must be non-empty");
+  std::vector<FiPoint> curve;
+  curve.reserve(samples);
+  for (std::size_t k = 0; k < samples; ++k) {
+    const double i =
+        i_min + (i_max - i_min) * static_cast<double>(k) / (samples - 1);
+    curve.push_back({i, izhikevich_spiking_frequency(params, i, duration_ms)});
+  }
+  return curve;
+}
+
+double lif_rheobase(const LifParameters& params, double i_hi,
+                    double tolerance) {
+  double lo = 0.0;
+  double hi = i_hi;
+  PSS_REQUIRE(lif_spiking_frequency(params, hi, 1000.0) > 0.0,
+              "upper current bound does not elicit spiking");
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (lif_spiking_frequency(params, mid, 1000.0) > 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace pss

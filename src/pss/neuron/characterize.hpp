@@ -1,0 +1,51 @@
+// Single-neuron characterization: the f-I curve of Fig. 1a.
+//
+// Drives one neuron with a constant current for a fixed duration and reports
+// its steady spiking frequency. The Fig. 1 bench sweeps the current range and
+// prints the resulting curve for both LIF (paper parameters) and Izhikevich.
+#pragma once
+
+#include <vector>
+
+#include "pss/common/types.hpp"
+#include "pss/neuron/izhikevich.hpp"
+#include "pss/neuron/lif.hpp"
+
+namespace pss {
+
+struct FiPoint {
+  double current = 0.0;
+  double frequency_hz = 0.0;
+};
+
+/// Spiking frequency (Hz) of a single LIF neuron under constant current.
+/// The first `settle_ms` of activity is discarded so the reported value is
+/// steady-state.
+double lif_spiking_frequency(const LifParameters& params, double current,
+                             TimeMs duration_ms = 2000.0,
+                             TimeMs settle_ms = 200.0,
+                             TimeMs dt = kDefaultDtMs);
+
+/// Same for an Izhikevich neuron.
+double izhikevich_spiking_frequency(const IzhikevichParameters& params,
+                                    double current,
+                                    TimeMs duration_ms = 2000.0,
+                                    TimeMs settle_ms = 200.0,
+                                    TimeMs dt = kDefaultDtMs);
+
+/// f-I curve over a uniformly sampled current range (Fig. 1a).
+std::vector<FiPoint> lif_fi_curve(const LifParameters& params, double i_min,
+                                  double i_max, std::size_t samples,
+                                  TimeMs duration_ms = 2000.0);
+
+std::vector<FiPoint> izhikevich_fi_curve(const IzhikevichParameters& params,
+                                         double i_min, double i_max,
+                                         std::size_t samples,
+                                         TimeMs duration_ms = 2000.0);
+
+/// Smallest constant current (within tolerance) that makes the LIF neuron
+/// fire at all — the rheobase visible as the x-intercept of Fig. 1a.
+double lif_rheobase(const LifParameters& params, double i_hi = 50.0,
+                    double tolerance = 1e-3);
+
+}  // namespace pss

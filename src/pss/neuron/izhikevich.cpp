@@ -1,0 +1,96 @@
+#include "pss/neuron/izhikevich.hpp"
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+IzhikevichParameters izhikevich_regular_spiking() {
+  return IzhikevichParameters{0.02, 0.2, -65.0, 8.0, -65.0, 30.0};
+}
+
+IzhikevichParameters izhikevich_fast_spiking() {
+  return IzhikevichParameters{0.1, 0.2, -65.0, 2.0, -65.0, 30.0};
+}
+
+IzhikevichParameters izhikevich_chattering() {
+  return IzhikevichParameters{0.02, 0.2, -50.0, 2.0, -65.0, 30.0};
+}
+
+IzhikevichParameters izhikevich_intrinsically_bursting() {
+  return IzhikevichParameters{0.02, 0.2, -55.0, 4.0, -65.0, 30.0};
+}
+
+IzhikevichPopulation::IzhikevichPopulation(std::size_t size,
+                                           IzhikevichParameters params,
+                                           Engine* engine)
+    : params_(params),
+      engine_(engine ? engine : &default_engine()),
+      v_(size, params.v_init),
+      u_(size, params.b * params.v_init),
+      last_spike_(size, kNeverSpiked),
+      inhibited_until_(size, -1.0),
+      spiked_flag_(size, 0) {
+  PSS_REQUIRE(size > 0, "population must not be empty");
+}
+
+void IzhikevichPopulation::reset() {
+  v_.fill(params_.v_init);
+  u_.fill(params_.b * params_.v_init);
+  last_spike_.fill(kNeverSpiked);
+  inhibited_until_.fill(-1.0);
+  spiked_flag_.fill(0);
+  total_spikes_ = 0;
+}
+
+void IzhikevichPopulation::step(std::span<const double> input_current,
+                                TimeMs now, TimeMs dt,
+                                std::vector<NeuronIndex>& spikes,
+                                std::span<const double> threshold_offset) {
+  PSS_REQUIRE(input_current.size() == size(),
+              "current vector size must equal population size");
+  PSS_REQUIRE(threshold_offset.empty() || threshold_offset.size() == size(),
+              "threshold offset size must equal population size");
+  spikes.clear();
+
+  auto v = v_.span();
+  auto u = u_.span();
+  auto last = last_spike_.span();
+  auto inhibited = inhibited_until_.span();
+  auto flag = spiked_flag_.span();
+  const IzhikevichParameters base = params_;
+
+  engine_->launch(size(), [&](std::size_t i) {
+    flag[i] = 0;
+    if (now <= inhibited[i]) {
+      v[i] = base.c;
+      return;
+    }
+    IzhikevichParameters p = base;
+    if (!threshold_offset.empty()) p.v_peak += threshold_offset[i];
+    flag[i] = izhikevich_step(p, v[i], u[i], input_current[i], dt) ? 1 : 0;
+    if (flag[i]) last[i] = now;
+  });
+
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (flag[i]) {
+      spikes.push_back(static_cast<NeuronIndex>(i));
+      ++total_spikes_;
+    }
+  }
+}
+
+void IzhikevichPopulation::inhibit(NeuronIndex neuron, TimeMs until) {
+  PSS_REQUIRE(neuron < size(), "neuron index out of range");
+  inhibited_until_[neuron] = until;
+}
+
+void IzhikevichPopulation::inhibit_all_except(NeuronIndex winner,
+                                              TimeMs until) {
+  PSS_REQUIRE(winner < size(), "winner index out of range");
+  auto inhibited = inhibited_until_.span();
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i != winner && until > inhibited[i]) inhibited[i] = until;
+  }
+}
+
+}  // namespace pss

@@ -1,0 +1,95 @@
+// Izhikevich two-variable neuron model (Izhikevich 2003).
+//
+// ParallelSpikeSim "supports different neuron/synaptic models" (paper
+// contribution list) and the Fig. 4 comparison target, CARLsim, simulates
+// Izhikevich neurons. This module provides the model both for the pss engine
+// and for the CARLsim-style baseline simulator in pss/baseline.
+//
+//   dv/dt = 0.04 v^2 + 5 v + 140 - u + I
+//   du/dt = a (b v - u)
+//   if v >= 30 mV:  v <- c,  u <- u + d
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pss/common/types.hpp"
+#include "pss/engine/device_vector.hpp"
+#include "pss/engine/launch.hpp"
+
+namespace pss {
+
+struct IzhikevichParameters {
+  double a = 0.02;
+  double b = 0.2;
+  double c = -65.0;
+  double d = 8.0;
+  double v_init = -65.0;
+  double v_peak = 30.0;
+};
+
+/// Canonical parameter presets from Izhikevich 2003 (the ones CARLsim's
+/// tutorials use for cortical populations).
+IzhikevichParameters izhikevich_regular_spiking();
+IzhikevichParameters izhikevich_fast_spiking();
+IzhikevichParameters izhikevich_chattering();
+IzhikevichParameters izhikevich_intrinsically_bursting();
+
+/// One step of the model using the standard two half-step integration for v
+/// (0.5 ms halves at dt = 1 ms), the scheme CARLsim and the original paper
+/// use for numerical stability. Returns true if the neuron spiked.
+inline bool izhikevich_step(const IzhikevichParameters& p, double& v,
+                            double& u, double current, TimeMs dt) {
+  const double half = dt * 0.5;
+  v += half * (0.04 * v * v + 5.0 * v + 140.0 - u + current);
+  v += half * (0.04 * v * v + 5.0 * v + 140.0 - u + current);
+  u += dt * (p.a * (p.b * v - u));
+  if (v >= p.v_peak) {
+    v = p.c;
+    u += p.d;
+    return true;
+  }
+  return false;
+}
+
+/// Population container mirroring LifPopulation's interface (including WTA
+/// inhibition and per-neuron threshold offsets) so the WTA network and the
+/// characterization code treat both models uniformly — the simulator
+/// "supports different neuron/synaptic models".
+class IzhikevichPopulation {
+ public:
+  IzhikevichPopulation(std::size_t size, IzhikevichParameters params,
+                       Engine* engine = nullptr);
+
+  std::size_t size() const { return v_.size(); }
+  const IzhikevichParameters& params() const { return params_; }
+
+  void reset();
+
+  /// `threshold_offset` raises v_peak per neuron (homeostasis); pass {} for
+  /// the plain model.
+  void step(std::span<const double> input_current, TimeMs now, TimeMs dt,
+            std::vector<NeuronIndex>& spikes,
+            std::span<const double> threshold_offset = {});
+
+  /// WTA inhibition: pins the neuron at its reset potential until `until`.
+  void inhibit(NeuronIndex neuron, TimeMs until);
+  void inhibit_all_except(NeuronIndex winner, TimeMs until);
+
+  std::span<const double> membrane() const { return v_.span(); }
+  std::span<const double> recovery() const { return u_.span(); }
+  std::span<const TimeMs> last_spike_time() const { return last_spike_.span(); }
+  std::uint64_t spike_count() const { return total_spikes_; }
+
+ private:
+  IzhikevichParameters params_;
+  Engine* engine_;
+  device_vector<double> v_;
+  device_vector<double> u_;
+  device_vector<TimeMs> last_spike_;
+  device_vector<TimeMs> inhibited_until_;
+  device_vector<std::uint8_t> spiked_flag_;
+  std::uint64_t total_spikes_ = 0;
+};
+
+}  // namespace pss

@@ -1,0 +1,91 @@
+#include "pss/neuron/lif.hpp"
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+LifParameters paper_lif_parameters() { return LifParameters{}; }
+
+LifPopulation::LifPopulation(std::size_t size, LifParameters params,
+                             Engine* engine)
+    : params_(params),
+      engine_(engine ? engine : &default_engine()),
+      membrane_(size, params.v_init),
+      last_spike_(size, kNeverSpiked),
+      inhibited_until_(size, -1.0),
+      spiked_flag_(size, 0) {
+  PSS_REQUIRE(size > 0, "population must not be empty");
+  PSS_REQUIRE(params.b < 0.0, "leak coefficient b must be negative");
+  PSS_REQUIRE(params.v_reset < params.v_threshold,
+              "reset potential must lie below threshold");
+}
+
+void LifPopulation::reset() {
+  membrane_.fill(params_.v_init);
+  last_spike_.fill(kNeverSpiked);
+  inhibited_until_.fill(-1.0);
+  spiked_flag_.fill(0);
+  total_spikes_ = 0;
+}
+
+void LifPopulation::step(std::span<const double> input_current, TimeMs now,
+                         TimeMs dt, std::vector<NeuronIndex>& spikes,
+                         std::span<const double> threshold_offset) {
+  PSS_REQUIRE(input_current.size() == size(),
+              "current vector size must equal population size");
+  PSS_REQUIRE(threshold_offset.empty() || threshold_offset.size() == size(),
+              "threshold offset size must equal population size");
+  spikes.clear();
+
+  auto v = membrane_.span();
+  auto last = last_spike_.span();
+  auto inhibited = inhibited_until_.span();
+  auto flag = spiked_flag_.span();
+  const LifParameters p = params_;
+
+  // Neuron-update kernel: one logical thread per neuron (paper Sec. III-A).
+  engine_->launch(size(), [&](std::size_t i) {
+    flag[i] = 0;
+    if (now <= inhibited[i]) {
+      v[i] = p.v_reset;  // WTA inhibition pins the loser at reset
+      return;
+    }
+    if (p.refractory_ms > 0.0 && last[i] != kNeverSpiked &&
+        now - last[i] < p.refractory_ms) {
+      v[i] = p.v_reset;
+      return;
+    }
+    double vi = lif_integrate(p, v[i], input_current[i], dt);
+    const double threshold =
+        p.v_threshold + (threshold_offset.empty() ? 0.0 : threshold_offset[i]);
+    if (vi > threshold) {
+      vi = p.v_reset;
+      flag[i] = 1;
+      last[i] = now;
+    }
+    v[i] = vi;
+  });
+
+  // Host-side compaction of the spike list (cheap: spikes are sparse).
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (flag[i]) {
+      spikes.push_back(static_cast<NeuronIndex>(i));
+      ++total_spikes_;
+    }
+  }
+}
+
+void LifPopulation::inhibit(NeuronIndex neuron, TimeMs until) {
+  PSS_REQUIRE(neuron < size(), "neuron index out of range");
+  inhibited_until_[neuron] = until;
+}
+
+void LifPopulation::inhibit_all_except(NeuronIndex winner, TimeMs until) {
+  PSS_REQUIRE(winner < size(), "winner index out of range");
+  auto inhibited = inhibited_until_.span();
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i != winner && until > inhibited[i]) inhibited[i] = until;
+  }
+}
+
+}  // namespace pss

@@ -1,0 +1,88 @@
+// Leaky integrate-and-fire neuron model (paper Sec. II-A, eq. 1–3).
+//
+//   dv/dt = a + b·v + c·I          (eq. 1)
+//   v -> v_reset  if v > v_th      (eq. 2)
+//
+// integrated with explicit Euler at the simulator step width. The paper's
+// parameter values (Sec. III-D) give a leak equilibrium of ≈ -68.5 (below the
+// -60.2 threshold), so neurons are silent without input and the f-I curve of
+// Fig. 1a has a rheobase near I ≈ 2.6.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pss/common/types.hpp"
+#include "pss/engine/device_vector.hpp"
+#include "pss/engine/launch.hpp"
+
+namespace pss {
+
+struct LifParameters {
+  double v_threshold = -60.2;
+  double v_reset = -74.7;
+  double v_init = -70.0;  ///< initial membrane potential (Sec. III-D)
+  double a = -6.77;       ///< constant drive term of eq. 1
+  double b = -0.0989;     ///< leak coefficient of eq. 1 (must be < 0)
+  double c = 0.314;       ///< input-current gain of eq. 1
+  TimeMs refractory_ms = 0.0;  ///< optional absolute refractory period
+};
+
+/// The exact parameter set of Sec. III-D used in every paper experiment.
+LifParameters paper_lif_parameters();
+
+/// One Euler step of eq. 1 for a single neuron; returns the new potential.
+inline double lif_integrate(const LifParameters& p, double v, double current,
+                            TimeMs dt) {
+  return v + dt * (p.a + p.b * v + p.c * current);
+}
+
+/// A population of LIF neurons with structure-of-arrays state held in device
+/// buffers and advanced by a data-parallel kernel (one logical GPU thread per
+/// neuron, as in ParallelSpikeSim).
+class LifPopulation {
+ public:
+  LifPopulation(std::size_t size, LifParameters params,
+                Engine* engine = nullptr);
+
+  std::size_t size() const { return membrane_.size(); }
+  const LifParameters& params() const { return params_; }
+
+  /// Restores initial membrane potential and clears spike/inhibition state.
+  void reset();
+
+  /// Advances every neuron by dt given per-neuron input current. `now` is
+  /// the simulation time at the *end* of the step. Appends the indices of
+  /// neurons that spiked to `spikes` (cleared first).
+  ///
+  /// `threshold_offset` optionally raises each neuron's spike threshold
+  /// (adaptive-threshold homeostasis); pass {} for the plain model.
+  void step(std::span<const double> input_current, TimeMs now, TimeMs dt,
+            std::vector<NeuronIndex>& spikes,
+            std::span<const double> threshold_offset = {});
+
+  /// Suppresses a neuron until `until`: membrane pinned at reset, no spikes.
+  /// This is the mechanism behind the WTA inhibition of Fig. 3.
+  void inhibit(NeuronIndex neuron, TimeMs until);
+
+  /// Inhibits every neuron except `winner` (the paper's second-layer
+  /// "inhibitory signal to all other neurons").
+  void inhibit_all_except(NeuronIndex winner, TimeMs until);
+
+  std::span<const double> membrane() const { return membrane_.span(); }
+  std::span<const TimeMs> last_spike_time() const { return last_spike_.span(); }
+
+  /// Total spikes emitted since construction or reset().
+  std::uint64_t spike_count() const { return total_spikes_; }
+
+ private:
+  LifParameters params_;
+  Engine* engine_;
+  device_vector<double> membrane_;
+  device_vector<TimeMs> last_spike_;
+  device_vector<TimeMs> inhibited_until_;
+  device_vector<std::uint8_t> spiked_flag_;
+  std::uint64_t total_spikes_ = 0;
+};
+
+}  // namespace pss

@@ -1,0 +1,71 @@
+#include "pss/stats/confusion.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t class_count)
+    : classes_(class_count),
+      cells_(class_count * class_count, 0),
+      truth_totals_(class_count, 0) {
+  PSS_REQUIRE(class_count > 0, "need at least one class");
+}
+
+void ConfusionMatrix::record(std::size_t truth, int predicted) {
+  PSS_REQUIRE(truth < classes_, "truth label out of range");
+  ++total_;
+  ++truth_totals_[truth];
+  if (predicted < 0) {
+    ++abstentions_;
+    return;
+  }
+  PSS_REQUIRE(static_cast<std::size_t>(predicted) < classes_,
+              "predicted label out of range");
+  ++cells_[truth * classes_ + static_cast<std::size_t>(predicted)];
+  if (static_cast<std::size_t>(predicted) == truth) ++correct_;
+}
+
+std::uint64_t ConfusionMatrix::count(std::size_t truth,
+                                     std::size_t predicted) const {
+  PSS_REQUIRE(truth < classes_ && predicted < classes_, "index out of range");
+  return cells_[truth * classes_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(correct_) /
+                           static_cast<double>(total_);
+}
+
+std::vector<double> ConfusionMatrix::recall() const {
+  std::vector<double> out(classes_, 0.0);
+  for (std::size_t t = 0; t < classes_; ++t) {
+    if (truth_totals_[t] == 0) continue;
+    out[t] = static_cast<double>(cells_[t * classes_ + t]) /
+             static_cast<double>(truth_totals_[t]);
+  }
+  return out;
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << "truth\\pred";
+  for (std::size_t p = 0; p < classes_; ++p) os << std::setw(6) << p;
+  os << "\n";
+  for (std::size_t t = 0; t < classes_; ++t) {
+    os << std::setw(10) << t;
+    for (std::size_t p = 0; p < classes_; ++p) {
+      os << std::setw(6) << cells_[t * classes_ + p];
+    }
+    os << "\n";
+  }
+  os << "accuracy " << std::fixed << std::setprecision(3) << accuracy()
+     << " (" << correct_ << "/" << total_ << ", " << abstentions_
+     << " abstained)";
+  return os.str();
+}
+
+}  // namespace pss

@@ -1,0 +1,43 @@
+// Confusion matrix and accuracy accounting for the inference phase.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pss {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t class_count);
+
+  std::size_t class_count() const { return classes_; }
+
+  /// Records one prediction. `predicted == -1` counts as an abstention
+  /// (always wrong, attributed to no predicted class).
+  void record(std::size_t truth, int predicted);
+
+  std::uint64_t count(std::size_t truth, std::size_t predicted) const;
+  std::uint64_t total() const { return total_; }
+  std::uint64_t correct() const { return correct_; }
+  std::uint64_t abstentions() const { return abstentions_; }
+
+  double accuracy() const;
+  double error_rate() const { return 1.0 - accuracy(); }
+
+  /// Per-class recall (correct / truth-count); 0 for unseen classes.
+  std::vector<double> recall() const;
+
+  /// Multi-line human-readable rendering for experiment logs.
+  std::string to_string() const;
+
+ private:
+  std::size_t classes_;
+  std::vector<std::uint64_t> cells_;  // truth-major
+  std::vector<std::uint64_t> truth_totals_;
+  std::uint64_t total_ = 0;
+  std::uint64_t correct_ = 0;
+  std::uint64_t abstentions_ = 0;
+};
+
+}  // namespace pss

@@ -1,0 +1,70 @@
+#include "pss/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+Histogram::Histogram(double lo, double hi, std::size_t bin_count)
+    : lo_(lo), hi_(hi), counts_(bin_count, 0) {
+  PSS_REQUIRE(hi > lo, "histogram range must be non-empty");
+  PSS_REQUIRE(bin_count > 0, "histogram needs at least one bin");
+  width_ = (hi - lo) / static_cast<double>(bin_count);
+}
+
+void Histogram::add(double value) {
+  const double clamped = std::clamp(value, lo_, hi_);
+  auto i = static_cast<std::size_t>((clamped - lo_) / width_);
+  if (i >= counts_.size()) i = counts_.size() - 1;
+  ++counts_[i];
+  ++total_;
+  sum_ += value;
+  sum_sq_ += value * value;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (double v : values) add(v);
+}
+
+double Histogram::fraction(std::size_t i) const {
+  PSS_REQUIRE(i < counts_.size(), "bin index out of range");
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_[i]) /
+                           static_cast<double>(total_);
+}
+
+double Histogram::center(std::size_t i) const {
+  PSS_REQUIRE(i < counts_.size(), "bin index out of range");
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::mean() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+double Histogram::variance() const {
+  if (total_ == 0) return 0.0;
+  const double m = mean();
+  return sum_sq_ / static_cast<double>(total_) - m * m;
+}
+
+std::string Histogram::to_string(std::size_t max_width) const {
+  std::ostringstream os;
+  const std::uint64_t peak =
+      *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(
+                        static_cast<double>(counts_[i]) * max_width / peak);
+    os << std::fixed << std::setprecision(3) << std::setw(8) << center(i)
+       << " |" << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pss

@@ -1,0 +1,54 @@
+// Fixed-range histogram used by the Fig. 6b conductance-distribution
+// analysis (distribution of all synapse conductances after learning).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pss {
+
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bin_count);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bin_count() const { return counts_.size(); }
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  std::uint64_t bin(std::size_t i) const { return counts_[i]; }
+  std::uint64_t total() const { return total_; }
+
+  /// Fraction of samples in bin i.
+  double fraction(std::size_t i) const;
+
+  /// Bin centre value.
+  double center(std::size_t i) const;
+
+  double mean() const;
+  double variance() const;
+
+  /// Fraction of mass in the lowest bin — the Fig. 6b signature of
+  /// deterministic low-precision collapse ("a large portion of synapses
+  /// drops to the minimal conductance value").
+  double bottom_fraction() const { return fraction(0); }
+  double top_fraction() const { return fraction(bin_count() - 1); }
+
+  /// ASCII bar rendering for bench output.
+  std::string to_string(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace pss

@@ -1,0 +1,57 @@
+#include "pss/stats/raster.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+SpikeRaster::SpikeRaster(std::size_t row_count, TimeMs duration_ms)
+    : rows_(row_count), duration_(duration_ms) {
+  PSS_REQUIRE(row_count > 0, "raster needs rows");
+  PSS_REQUIRE(duration_ms > 0.0, "raster duration must be positive");
+}
+
+void SpikeRaster::record(NeuronIndex row, TimeMs t) {
+  PSS_REQUIRE(row < rows_, "raster row out of range");
+  events_.emplace_back(t, row);
+}
+
+std::vector<TimeMs> SpikeRaster::row_times(NeuronIndex row) const {
+  std::vector<TimeMs> out;
+  for (const auto& [t, r] : events_) {
+    if (r == row) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double SpikeRaster::row_rate_hz(NeuronIndex row) const {
+  std::size_t n = 0;
+  for (const auto& [t, r] : events_) {
+    if (r == row) ++n;
+  }
+  return static_cast<double>(n) / (duration_ * 1e-3);
+}
+
+std::string SpikeRaster::to_string(std::size_t width,
+                                   std::size_t max_rows) const {
+  const std::size_t shown = std::min(rows_, max_rows);
+  const std::size_t stride = (rows_ + shown - 1) / shown;
+  std::vector<std::string> lines(shown, std::string(width, ' '));
+  for (const auto& [t, r] : events_) {
+    const std::size_t line = r / stride;
+    if (line >= shown) continue;
+    auto col = static_cast<std::size_t>(t / duration_ * width);
+    if (col >= width) col = width - 1;
+    lines[line][col] = '.';
+  }
+  std::ostringstream os;
+  for (std::size_t i = 0; i < shown; ++i) {
+    os << lines[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pss

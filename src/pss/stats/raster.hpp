@@ -1,0 +1,42 @@
+// Spike raster recording and ASCII rendering (Fig. 6a: "each dot represents
+// one spike").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pss/common/types.hpp"
+
+namespace pss {
+
+class SpikeRaster {
+ public:
+  SpikeRaster(std::size_t row_count, TimeMs duration_ms);
+
+  std::size_t row_count() const { return rows_; }
+  TimeMs duration_ms() const { return duration_; }
+
+  void record(NeuronIndex row, TimeMs t);
+
+  std::size_t spike_count() const { return events_.size(); }
+  const std::vector<std::pair<TimeMs, NeuronIndex>>& events() const {
+    return events_;
+  }
+
+  /// Spikes of one row, sorted by time.
+  std::vector<TimeMs> row_times(NeuronIndex row) const;
+
+  /// Mean firing rate of a row in Hz.
+  double row_rate_hz(NeuronIndex row) const;
+
+  /// ASCII dot plot: one text row per raster row (subsampled to at most
+  /// `max_rows`), time binned into `width` columns.
+  std::string to_string(std::size_t width = 80, std::size_t max_rows = 24) const;
+
+ private:
+  std::size_t rows_;
+  TimeMs duration_;
+  std::vector<std::pair<TimeMs, NeuronIndex>> events_;
+};
+
+}  // namespace pss

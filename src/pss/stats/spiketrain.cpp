@@ -1,0 +1,106 @@
+#include "pss/stats/spiketrain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+IsiStats isi_statistics(std::span<const TimeMs> spike_times) {
+  IsiStats s;
+  if (spike_times.size() < 2) return s;
+  std::vector<double> intervals;
+  intervals.reserve(spike_times.size() - 1);
+  for (std::size_t i = 1; i < spike_times.size(); ++i) {
+    const double isi = spike_times[i] - spike_times[i - 1];
+    PSS_REQUIRE(isi >= 0.0, "spike times must be sorted ascending");
+    intervals.push_back(isi);
+  }
+  s.interval_count = intervals.size();
+  s.min_ms = *std::min_element(intervals.begin(), intervals.end());
+  s.max_ms = *std::max_element(intervals.begin(), intervals.end());
+  double sum = 0.0;
+  for (double v : intervals) sum += v;
+  s.mean_ms = sum / static_cast<double>(intervals.size());
+  double ss = 0.0;
+  for (double v : intervals) ss += (v - s.mean_ms) * (v - s.mean_ms);
+  s.stddev_ms = std::sqrt(ss / static_cast<double>(intervals.size()));
+  s.cv = s.mean_ms > 0.0 ? s.stddev_ms / s.mean_ms : 0.0;
+  return s;
+}
+
+double fano_factor(std::span<const TimeMs> spike_times, TimeMs duration_ms,
+                   TimeMs window_ms) {
+  PSS_REQUIRE(duration_ms > 0.0 && window_ms > 0.0, "invalid windows");
+  const auto windows = static_cast<std::size_t>(duration_ms / window_ms);
+  PSS_REQUIRE(windows >= 2, "need at least two windows");
+  std::vector<std::size_t> counts(windows, 0);
+  for (TimeMs t : spike_times) {
+    const auto w = static_cast<std::size_t>(t / window_ms);
+    if (w < windows) ++counts[w];
+  }
+  double mean = 0.0;
+  for (std::size_t c : counts) mean += static_cast<double>(c);
+  mean /= static_cast<double>(windows);
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (std::size_t c : counts) {
+    var += (static_cast<double>(c) - mean) * (static_cast<double>(c) - mean);
+  }
+  var /= static_cast<double>(windows);
+  return var / mean;
+}
+
+std::vector<double> rate_curve(std::span<const TimeMs> spike_times,
+                               TimeMs duration_ms, TimeMs bin_ms) {
+  PSS_REQUIRE(duration_ms > 0.0 && bin_ms > 0.0, "invalid bins");
+  const auto bins =
+      static_cast<std::size_t>(std::ceil(duration_ms / bin_ms));
+  std::vector<double> rates(bins, 0.0);
+  for (TimeMs t : spike_times) {
+    auto b = static_cast<std::size_t>(t / bin_ms);
+    if (b >= bins) b = bins - 1;
+    rates[b] += 1.0;
+  }
+  const double to_hz = 1000.0 / bin_ms;
+  for (double& r : rates) r *= to_hz;
+  return rates;
+}
+
+double van_rossum_distance(std::span<const TimeMs> a, std::span<const TimeMs> b,
+                           TimeMs tau_ms) {
+  PSS_REQUIRE(tau_ms > 0.0, "tau must be positive");
+  // D^2 = (1/tau) * [ sum_ij e^{-|ai-aj|/tau} + sum_ij e^{-|bi-bj|/tau}
+  //                   - 2 sum_ij e^{-|ai-bj|/tau} ] / 2
+  // (closed form of the L2 distance between exponentially filtered trains,
+  // up to the conventional normalization; we fold 1/(2 tau) into the sum).
+  auto kernel_sum = [tau_ms](std::span<const TimeMs> x,
+                             std::span<const TimeMs> y) {
+    double s = 0.0;
+    for (TimeMs xi : x) {
+      for (TimeMs yj : y) {
+        s += std::exp(-std::abs(xi - yj) / tau_ms);
+      }
+    }
+    return s;
+  };
+  const double d2 =
+      0.5 * (kernel_sum(a, a) + kernel_sum(b, b) - 2.0 * kernel_sum(a, b));
+  return std::sqrt(std::max(0.0, d2));
+}
+
+double coincidence_fraction(std::span<const TimeMs> a,
+                            std::span<const TimeMs> b, TimeMs window_ms) {
+  PSS_REQUIRE(window_ms >= 0.0, "window must be non-negative");
+  if (a.empty()) return 0.0;
+  std::size_t hits = 0;
+  std::size_t j = 0;
+  for (TimeMs t : a) {
+    while (j < b.size() && b[j] < t - window_ms) ++j;
+    if (j < b.size() && b[j] <= t + window_ms) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(a.size());
+}
+
+}  // namespace pss

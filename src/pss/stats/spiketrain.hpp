@@ -1,0 +1,52 @@
+// Spike-train analysis: the statistics an SNN-simulator release needs to
+// characterize and compare activity — inter-spike-interval moments, CV,
+// Fano factor, binned rate curves, and the van Rossum distance used to
+// quantify "similar spiking activity" between simulators (Fig. 4) more
+// sharply than rate correlation alone.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pss/common/types.hpp"
+
+namespace pss {
+
+struct IsiStats {
+  std::size_t interval_count = 0;
+  double mean_ms = 0.0;
+  double stddev_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  /// Coefficient of variation (stddev/mean). ~1 for a Poisson process,
+  /// -> 0 for a regular (clock-like) train.
+  double cv = 0.0;
+};
+
+/// ISI statistics of one spike train (times must be sorted ascending;
+/// fewer than two spikes yields an all-zero result).
+IsiStats isi_statistics(std::span<const TimeMs> spike_times);
+
+/// Fano factor of spike counts in windows of `window_ms` over [0, duration):
+/// variance/mean of per-window counts. 1 for Poisson, < 1 for regular.
+double fano_factor(std::span<const TimeMs> spike_times, TimeMs duration_ms,
+                   TimeMs window_ms);
+
+/// Binned firing-rate curve (Hz per bin) over [0, duration).
+std::vector<double> rate_curve(std::span<const TimeMs> spike_times,
+                               TimeMs duration_ms, TimeMs bin_ms);
+
+/// van Rossum (2001) spike-train distance: each train is convolved with a
+/// causal exponential kernel exp(-t/tau) and the L2 distance of the filtered
+/// signals is returned (computed in closed form; O(n*m)). 0 iff the trains
+/// are identical; grows with missing/extra/shifted spikes.
+double van_rossum_distance(std::span<const TimeMs> a,
+                           std::span<const TimeMs> b, TimeMs tau_ms);
+
+/// Pairwise smoothed population synchrony: fraction of spikes of train `a`
+/// that have a spike of `b` within +-window_ms (a simple coincidence
+/// measure used by the activity tests).
+double coincidence_fraction(std::span<const TimeMs> a,
+                            std::span<const TimeMs> b, TimeMs window_ms);
+
+}  // namespace pss

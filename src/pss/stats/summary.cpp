@@ -1,0 +1,67 @@
+#include "pss/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+SummaryStats summarize(std::span<const double> values) {
+  SummaryStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = sorted[sorted.size() / 2];
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  double ss = 0.0;
+  for (double v : sorted) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(sorted.size()));
+  return s;
+}
+
+double pearson_correlation(std::span<const double> a,
+                           std::span<const double> b) {
+  PSS_REQUIRE(a.size() == b.size() && !a.empty(),
+              "correlation needs equal-length non-empty series");
+  const auto n = static_cast<double>(a.size());
+  double ma = 0.0;
+  double mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double quartile_contrast(std::span<const double> values) {
+  PSS_REQUIRE(values.size() >= 4, "need at least four values");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t q = sorted.size() / 4;
+  double lo = 0.0;
+  double hi = 0.0;
+  for (std::size_t i = 0; i < q; ++i) {
+    lo += sorted[i];
+    hi += sorted[sorted.size() - 1 - i];
+  }
+  return (hi - lo) / static_cast<double>(q);
+}
+
+}  // namespace pss

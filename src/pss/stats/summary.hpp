@@ -1,0 +1,30 @@
+// Small descriptive-statistics helpers shared by tests and benches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pss {
+
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+SummaryStats summarize(std::span<const double> values);
+
+/// Pearson correlation of two equal-length series (Fig. 4 activity match).
+double pearson_correlation(std::span<const double> a,
+                           std::span<const double> b);
+
+/// Image-contrast measure used for conductance-map quality (Fig. 5): the
+/// difference between the mean of the top quartile and the bottom quartile
+/// of values. High contrast = crisp learned pattern; near zero = washed-out
+/// map that "learned the overlapping features of all classes".
+double quartile_contrast(std::span<const double> values);
+
+}  // namespace pss

@@ -1,0 +1,90 @@
+#include "pss/synapse/conductance_matrix.hpp"
+
+#include <algorithm>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+ConductanceMatrix::ConductanceMatrix(std::size_t post_count,
+                                     std::size_t pre_count, double g_min,
+                                     double g_max, Engine* engine)
+    : post_count_(post_count),
+      pre_count_(pre_count),
+      g_min_(g_min),
+      g_max_(g_max),
+      engine_(engine ? engine : &default_engine()),
+      g_(post_count * pre_count, g_min) {
+  PSS_REQUIRE(post_count > 0 && pre_count > 0, "matrix must be non-empty");
+  PSS_REQUIRE(g_max > g_min, "conductance range must be non-empty");
+}
+
+void ConductanceMatrix::initialize_uniform(double lo, double hi,
+                                           SequentialRng& rng,
+                                           const Quantizer* quantizer) {
+  PSS_REQUIRE(hi >= lo, "invalid init range");
+  for (auto& value : g_.span()) {
+    double v = std::clamp(rng.uniform(lo, hi), g_min_, g_max_);
+    if (quantizer) v = quantizer->quantize(v, rng.uniform());
+    value = v;
+  }
+}
+
+double ConductanceMatrix::get(NeuronIndex post, ChannelIndex pre) const {
+  PSS_DASSERT(post < post_count_ && pre < pre_count_);
+  return g_[static_cast<std::size_t>(post) * pre_count_ + pre];
+}
+
+void ConductanceMatrix::set(NeuronIndex post, ChannelIndex pre, double g) {
+  PSS_DASSERT(post < post_count_ && pre < pre_count_);
+  g_[static_cast<std::size_t>(post) * pre_count_ + pre] =
+      std::clamp(g, g_min_, g_max_);
+}
+
+std::span<const double> ConductanceMatrix::row(NeuronIndex post) const {
+  PSS_REQUIRE(post < post_count_, "post index out of range");
+  return g_.span().subspan(static_cast<std::size_t>(post) * pre_count_,
+                           pre_count_);
+}
+
+std::span<double> ConductanceMatrix::row_mut(NeuronIndex post) {
+  PSS_REQUIRE(post < post_count_, "post index out of range");
+  return g_.span().subspan(static_cast<std::size_t>(post) * pre_count_,
+                           pre_count_);
+}
+
+void ConductanceMatrix::accumulate_currents(
+    std::span<const ChannelIndex> active_pre, double spike_amplitude,
+    std::span<double> currents) const {
+  PSS_REQUIRE(currents.size() == post_count_,
+              "currents vector size must equal post count");
+  if (active_pre.empty()) return;
+  auto g = g_.span();
+  const std::size_t pre_count = pre_count_;
+  engine_->launch(post_count_, [&](std::size_t post) {
+    const double* row = g.data() + post * pre_count;
+    double acc = 0.0;
+    for (ChannelIndex pre : active_pre) acc += row[pre];
+    currents[post] += spike_amplitude * acc;
+  });
+}
+
+double ConductanceMatrix::mean() const {
+  double sum = 0.0;
+  for (double v : g_.span()) sum += v;
+  return sum / static_cast<double>(g_.size());
+}
+
+double ConductanceMatrix::min_value() const {
+  return *std::min_element(g_.span().begin(), g_.span().end());
+}
+
+double ConductanceMatrix::max_value() const {
+  return *std::max_element(g_.span().begin(), g_.span().end());
+}
+
+std::vector<double> ConductanceMatrix::to_vector() const {
+  return g_.download();
+}
+
+}  // namespace pss

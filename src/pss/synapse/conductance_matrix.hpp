@@ -1,0 +1,73 @@
+// Dense all-to-all conductance storage (paper Fig. 3: "input spike trains and
+// first layer are connected by synapses in an all-to-all fashion").
+//
+// Layout is post-major: row(post) is the contiguous conductance array of one
+// neuron — exactly the per-neuron "conductance array that learns to recognize
+// a specific pattern", and the natural access pattern of both hot kernels:
+//   * current accumulation (one kernel thread per post-neuron scans the
+//     active-input list against its row), and
+//   * STDP update on a post spike (touches one full row).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+#include "pss/engine/device_vector.hpp"
+#include "pss/engine/launch.hpp"
+#include "pss/fixedpoint/quantizer.hpp"
+
+namespace pss {
+
+class ConductanceMatrix {
+ public:
+  ConductanceMatrix(std::size_t post_count, std::size_t pre_count,
+                    double g_min = 0.0, double g_max = 1.0,
+                    Engine* engine = nullptr);
+
+  std::size_t post_count() const { return post_count_; }
+  std::size_t pre_count() const { return pre_count_; }
+  std::size_t synapse_count() const { return post_count_ * pre_count_; }
+  double g_min() const { return g_min_; }
+  double g_max() const { return g_max_; }
+
+  /// Fills every conductance uniformly at random in [lo, hi] (clamped to the
+  /// matrix range). If a quantizer is given, values are snapped to its grid —
+  /// low-precision learning starts from representable state.
+  void initialize_uniform(double lo, double hi, SequentialRng& rng,
+                          const Quantizer* quantizer = nullptr);
+
+  double get(NeuronIndex post, ChannelIndex pre) const;
+
+  /// Clamps to [g_min, g_max] and stores. Quantization is the caller's job —
+  /// the STDP updater owns the rounding mode and the RNG counters.
+  void set(NeuronIndex post, ChannelIndex pre, double g);
+
+  std::span<const double> row(NeuronIndex post) const;
+  std::span<double> row_mut(NeuronIndex post);
+
+  /// Current-accumulation kernel (eq. 3): for every post-neuron,
+  ///   I[post] += spike_amplitude · Σ_{pre ∈ active} G[post][pre].
+  /// One logical thread per post-neuron.
+  void accumulate_currents(std::span<const ChannelIndex> active_pre,
+                           double spike_amplitude,
+                           std::span<double> currents) const;
+
+  double mean() const;
+  double min_value() const;
+  double max_value() const;
+
+  /// Flat copy of all conductances (Fig. 6b distribution analysis).
+  std::vector<double> to_vector() const;
+
+ private:
+  std::size_t post_count_;
+  std::size_t pre_count_;
+  double g_min_;
+  double g_max_;
+  Engine* engine_;
+  device_vector<double> g_;
+};
+
+}  // namespace pss

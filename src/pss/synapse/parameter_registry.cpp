@@ -1,0 +1,70 @@
+#include "pss/synapse/parameter_registry.hpp"
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+namespace {
+
+std::vector<Table1Row> build_rows() {
+  std::vector<Table1Row> rows;
+
+  // γ_pot τ_pot γ_dep τ_dep f_max f_min — Table I, transcribed verbatim.
+  Table1Row r2{"2 bit", LearningOption::k2Bit, std::nullopt,
+               StochasticGateParams{0.2, 20.0, 0.2, 10.0}, q0_2(), 22.0, 1.0,
+               500.0};
+  Table1Row r4{"4 bit", LearningOption::k4Bit, std::nullopt,
+               StochasticGateParams{0.3, 30.0, 0.3, 10.0}, q0_4(), 22.0, 1.0,
+               500.0};
+  Table1Row r8{"8 bit", LearningOption::k8Bit, std::nullopt,
+               StochasticGateParams{0.5, 30.0, 0.5, 10.0}, q1_7(), 22.0, 1.0,
+               500.0};
+  Table1Row r16{"16 bit", LearningOption::k16Bit,
+                StdpMagnitudeParams{0.01, 3.0, 0.005, 3.0, 1.0, 0.0},
+                StochasticGateParams{0.9, 30.0, 0.9, 10.0}, q1_15(), 22.0, 1.0,
+                500.0};
+  Table1Row rf{"fp32", LearningOption::kFloat32,
+               StdpMagnitudeParams{0.01, 3.0, 0.005, 3.0, 1.0, 0.0},
+               StochasticGateParams{0.9, 30.0, 0.9, 10.0}, std::nullopt, 22.0,
+               1.0, 500.0};
+  Table1Row rhf{"high frequency", LearningOption::kHighFrequency,
+                StdpMagnitudeParams{0.01, 3.0, 0.005, 3.0, 1.0, 0.0},
+                StochasticGateParams{0.3, 80.0, 0.2, 5.0}, std::nullopt, 78.0,
+                5.0, 100.0};
+
+  rows.push_back(r2);
+  rows.push_back(r4);
+  rows.push_back(r8);
+  rows.push_back(r16);
+  rows.push_back(rf);
+  rows.push_back(rhf);
+  return rows;
+}
+
+}  // namespace
+
+const std::vector<Table1Row>& table1_rows() {
+  static const std::vector<Table1Row> rows = build_rows();
+  return rows;
+}
+
+const Table1Row& table1_row(LearningOption option) {
+  for (const auto& row : table1_rows()) {
+    if (row.option == option) return row;
+  }
+  throw Error("unknown learning option");
+}
+
+const char* learning_option_name(LearningOption option) {
+  switch (option) {
+    case LearningOption::k2Bit: return "2 bit";
+    case LearningOption::k4Bit: return "4 bit";
+    case LearningOption::k8Bit: return "8 bit";
+    case LearningOption::k16Bit: return "16 bit";
+    case LearningOption::kFloat32: return "fp32";
+    case LearningOption::kHighFrequency: return "high frequency";
+  }
+  return "?";
+}
+
+}  // namespace pss

@@ -1,0 +1,54 @@
+// Table I of the paper: the tuned parameter sets for each learning option.
+//
+// Rows 2/4/8-bit leave α/β/G blank because at those widths the update
+// magnitude is fixed at ΔG = 1/2^n (Sec. III-C) — only the stochastic gate
+// (γ, τ) and the input frequency range apply. The 16-bit row doubles as the
+// full-precision (fp32) configuration, and the "high frequency" row is the
+// fast-learning mode of Sec. IV-C (t_learn 100 ms instead of 500 ms).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pss/common/types.hpp"
+#include "pss/fixedpoint/qformat.hpp"
+#include "pss/synapse/stdp_deterministic.hpp"
+#include "pss/synapse/stdp_stochastic.hpp"
+
+namespace pss {
+
+enum class LearningOption {
+  k2Bit,
+  k4Bit,
+  k8Bit,
+  k16Bit,
+  kFloat32,       ///< 16-bit row parameters, no quantization (paper's fp32)
+  kHighFrequency  ///< fast-learning mode (Sec. IV-C)
+};
+
+struct Table1Row {
+  std::string name;
+  LearningOption option;
+  /// α/β/G parameters of eq. 4–5; nullopt for ≤8-bit rows where ΔG = 1/2^n.
+  std::optional<StdpMagnitudeParams> magnitude;
+  StochasticGateParams gate;
+  /// Storage format; nullopt for fp32.
+  std::optional<QFormat> format;
+  double f_input_max_hz = 22.0;
+  double f_input_min_hz = 1.0;
+  /// Per-image presentation time (Sec. IV-C: 500 ms baseline, 100 ms
+  /// high-frequency).
+  TimeMs t_learn_ms = 500.0;
+};
+
+/// The Table I row for a learning option. Values are transcribed verbatim
+/// from the paper.
+const Table1Row& table1_row(LearningOption option);
+
+/// All rows in paper order (2/4/8/16-bit, fp32, high frequency).
+const std::vector<Table1Row>& table1_rows();
+
+const char* learning_option_name(LearningOption option);
+
+}  // namespace pss

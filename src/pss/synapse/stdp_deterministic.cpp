@@ -1,0 +1,37 @@
+#include "pss/synapse/stdp_deterministic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+DeterministicStdp::DeterministicStdp(StdpMagnitudeParams params)
+    : params_(params) {
+  PSS_REQUIRE(params.g_max > params.g_min,
+              "conductance range must be non-empty");
+  PSS_REQUIRE(params.alpha_p >= 0.0 && params.alpha_d >= 0.0,
+              "step magnitudes must be non-negative");
+  inv_range_ = 1.0 / (params.g_max - params.g_min);
+}
+
+double DeterministicStdp::potentiation_delta(double g) const {
+  const double x = std::clamp((g - params_.g_min) * inv_range_, 0.0, 1.0);
+  return params_.alpha_p * std::exp(-params_.beta_p * x);
+}
+
+double DeterministicStdp::depression_delta(double g) const {
+  const double x = std::clamp((params_.g_max - g) * inv_range_, 0.0, 1.0);
+  return params_.alpha_d * std::exp(-params_.beta_d * x);
+}
+
+double DeterministicStdp::potentiate(double g) const {
+  return std::min(params_.g_max, g + potentiation_delta(g));
+}
+
+double DeterministicStdp::depress(double g) const {
+  return std::max(params_.g_min, g - depression_delta(g));
+}
+
+}  // namespace pss

@@ -1,0 +1,55 @@
+// Deterministic conductance-dependent STDP magnitudes (paper eq. 4–5).
+//
+//   ΔG_p = α_p · exp(-β_p · (G - G_min)/(G_max - G_min))     (eq. 4)
+//   ΔG_d = α_d · exp(-β_d · (G_max - G)/(G_max - G_min))     (eq. 5)
+//
+// The rule comes from Querlioz et al. (paper ref. [4]): potentiation steps
+// shrink as G approaches G_max and depression steps shrink as G approaches
+// G_min, which keeps conductances inside [G_min, G_max] with soft bounds.
+//
+// Event semantics (also from ref. [4], and what the paper's baseline
+// reproduces at Diehl-level accuracy): when a post-neuron spikes, every
+// afferent synapse is updated — potentiated if its pre-neuron spiked within
+// the causal window (Δt = t_post - t_pre ≤ window), depressed otherwise.
+// This "depress the stale inputs" branch is what drives background pixels to
+// G_min and is also why the deterministic rule collapses at low precision:
+// with ΔG fixed at 1/2^n every post spike slams hundreds of synapses by a
+// full quantization step (Fig. 6b, bottom).
+#pragma once
+
+namespace pss {
+
+struct StdpMagnitudeParams {
+  double alpha_p = 0.01;   ///< α_p of eq. 4 (Table I, 16-bit row)
+  double beta_p = 3.0;     ///< β_p of eq. 4
+  double alpha_d = 0.005;  ///< α_d of eq. 5
+  double beta_d = 3.0;     ///< β_d of eq. 5
+  double g_max = 1.0;
+  double g_min = 0.0;
+};
+
+class DeterministicStdp {
+ public:
+  explicit DeterministicStdp(StdpMagnitudeParams params);
+
+  const StdpMagnitudeParams& params() const { return params_; }
+
+  /// ΔG_p of eq. 4 evaluated at conductance g (non-negative).
+  double potentiation_delta(double g) const;
+
+  /// ΔG_d of eq. 5 evaluated at conductance g (non-negative; caller
+  /// subtracts).
+  double depression_delta(double g) const;
+
+  /// g + ΔG_p, clamped to [g_min, g_max].
+  double potentiate(double g) const;
+
+  /// g - ΔG_d, clamped to [g_min, g_max].
+  double depress(double g) const;
+
+ private:
+  StdpMagnitudeParams params_;
+  double inv_range_;  // 1 / (g_max - g_min)
+};
+
+}  // namespace pss

@@ -1,0 +1,35 @@
+#include "pss/synapse/stdp_stochastic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+StochasticGate::StochasticGate(StochasticGateParams params) : params_(params) {
+  PSS_REQUIRE(params.gamma_pot >= 0.0 && params.gamma_pot <= 1.0,
+              "gamma_pot must be a probability");
+  PSS_REQUIRE(params.gamma_dep >= 0.0 && params.gamma_dep <= 1.0,
+              "gamma_dep must be a probability");
+  PSS_REQUIRE(params.tau_pot > 0.0 && params.tau_dep > 0.0 &&
+                  params.tau_stale > 0.0,
+              "time constants must be positive");
+}
+
+double StochasticGate::p_pot(double dt) const {
+  if (dt < 0.0) return 0.0;
+  return params_.gamma_pot * std::exp(-dt / params_.tau_pot);
+}
+
+double StochasticGate::p_dep(double dt) const {
+  if (dt > 0.0) return 0.0;
+  return params_.gamma_dep * std::exp(dt / params_.tau_dep);
+}
+
+double StochasticGate::p_dep_stale(double dt) const {
+  if (dt <= 0.0) return 0.0;
+  return params_.gamma_dep * (1.0 - std::exp(-dt / params_.tau_stale));
+}
+
+}  // namespace pss

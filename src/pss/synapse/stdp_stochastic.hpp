@@ -1,0 +1,68 @@
+// Stochastic STDP gate probabilities (paper Sec. II-C, eq. 6–7).
+//
+//   P_pot = γ_pot · exp(-Δt / τ_pot)     for causal pairs, Δt ≥ 0   (eq. 6)
+//   P_dep = γ_dep · exp( Δt / τ_dep)     for anti-causal pairs, Δt ≤ 0 (eq. 7)
+//
+// Δt follows Fig. 1b's sign convention: Δt = t_post_event − t_pre_event for
+// potentiation (pre fired first, Δt ≥ 0), and Δt < 0 "when the spiking
+// neuron spikes before a spike from the input train arrives". Both
+// probabilities therefore decay exponentially with |Δt| and peak at γ.
+//
+// Event semantics in the learning loop: updates are evaluated when a
+// post-neuron spikes (the only cheap point under WTA — post spikes are rare).
+// For each afferent synapse with Δt = t_post − t_pre_last ≥ 0:
+//   * the potentiation draw uses eq. 6 directly: P = p_pot(Δt);
+//   * the depression draw uses the complement form
+//       P = γ_dep · (1 − exp(−Δt / τ_dep)),
+//     which is eq. 7 marginalised over the next pre arrival for a Poisson
+//     train: a synapse whose pre has been silent for Δt is exactly the one
+//     whose next pre spike will arrive after the post spike (anti-causal,
+//     eq. 7), and the longer the silence the more certainly so. The
+//     complement rises with Δt, matching the paper's "for depression, the
+//     probability is higher when Δt is larger".
+// Both forms are exposed so eq. 7 can also be used verbatim at pre-spike
+// events (p_dep) — the Fig. 1c bench plots it — while the learning loop uses
+// p_dep_stale.
+#pragma once
+
+namespace pss {
+
+struct StochasticGateParams {
+  double gamma_pot = 0.9;  ///< γ_pot of eq. 6 (peak potentiation probability)
+  double tau_pot = 30.0;   ///< τ_pot of eq. 6, in ms
+  double gamma_dep = 0.9;  ///< γ_dep of eq. 7
+  double tau_dep = 10.0;   ///< τ_dep of eq. 7, in ms
+  /// Time constant of the *stale-input* depression component (the long-term
+  /// branch of the ref. [14] long-term/short-term synapse): a synapse whose
+  /// pre-neuron has been silent for `gap` is depressed with probability
+  /// γ_dep·(1 − e^(−gap/τ_stale)). Much longer than τ_dep by design — τ_dep
+  /// shapes the anti-causal eq. 7 window (tens of ms), τ_stale discriminates
+  /// "this input is not part of the pattern" (order of the slowest
+  /// information-carrying inter-spike interval).
+  double tau_stale = 80.0;
+};
+
+class StochasticGate {
+ public:
+  explicit StochasticGate(StochasticGateParams params);
+
+  const StochasticGateParams& params() const { return params_; }
+
+  /// Eq. 6: potentiation probability for causal time difference dt ≥ 0.
+  /// Returns 0 for negative dt (anti-causal pairs never potentiate).
+  double p_pot(double dt) const;
+
+  /// Eq. 7 verbatim: depression probability for anti-causal dt ≤ 0.
+  /// Returns 0 for positive dt.
+  double p_dep(double dt) const;
+
+  /// Stale-input depression probability at post-spike events (see
+  /// tau_stale): γ_dep · (1 − e^(−dt/τ_stale)) for dt ≥ 0. Rises from 0 to
+  /// γ_dep.
+  double p_dep_stale(double dt) const;
+
+ private:
+  StochasticGateParams params_;
+};
+
+}  // namespace pss

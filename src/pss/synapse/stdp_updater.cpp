@@ -1,0 +1,83 @@
+#include "pss/synapse/stdp_updater.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+const char* stdp_kind_name(StdpKind kind) {
+  switch (kind) {
+    case StdpKind::kDeterministic: return "deterministic";
+    case StdpKind::kStochastic: return "stochastic";
+  }
+  return "?";
+}
+
+const char* depression_mode_name(DepressionMode mode) {
+  switch (mode) {
+    case DepressionMode::kStaleAtPost: return "stale-at-post";
+    case DepressionMode::kPreSpikeEq7: return "pre-spike-eq7";
+    case DepressionMode::kBoth: return "both";
+  }
+  return "?";
+}
+
+StdpUpdater::StdpUpdater(const StdpUpdaterConfig& config)
+    : config_(config),
+      magnitude_rule_(config.magnitude),
+      gate_(config.gate),
+      effective_g_max_(config.magnitude.g_max),
+      full_quantum_mode_(false) {
+  PSS_REQUIRE(config.det_window_ms > 0.0, "causal window must be positive");
+  if (config_.format) {
+    quantizer_.emplace(*config_.format, config_.rounding);
+    effective_g_max_ = std::min(effective_g_max_, config_.format->max_value());
+    full_quantum_mode_ = config_.kind == StdpKind::kStochastic &&
+                         config_.format->total_bits() <= 8;
+  }
+}
+
+double StdpUpdater::apply(double g, bool potentiate, double u_round) const {
+  const double magnitude = potentiate ? magnitude_rule_.potentiation_delta(g)
+                                      : magnitude_rule_.depression_delta(g);
+  double delta = magnitude;
+  if (quantizer_) {
+    if (full_quantum_mode_) {
+      // "For 8-bit and lower precision learning, ΔG is set to 1/2^n."
+      delta = config_.format->resolution();
+    } else {
+      // Snap the float ΔG of eq. 4-5 to the representation grid with the
+      // selected rounding option (eq. 8 for stochastic rounding).
+      delta = quantizer_->quantize(magnitude, u_round);
+    }
+  }
+  const double g2 = potentiate ? g + delta : g - delta;
+  return std::clamp(g2, config_.magnitude.g_min, effective_g_max_);
+}
+
+double StdpUpdater::update_at_post_spike(double g, double gap_ms, double u_pot,
+                                         double u_dep, double u_round) const {
+  PSS_DASSERT(gap_ms >= 0.0);
+  if (config_.kind == StdpKind::kDeterministic) {
+    return apply(g, gap_ms <= config_.det_window_ms, u_round);
+  }
+  if (u_pot < gate_.p_pot(gap_ms)) return apply(g, true, u_round);
+  if (config_.depression != DepressionMode::kPreSpikeEq7 &&
+      u_dep < gate_.p_dep_stale(gap_ms)) {
+    return apply(g, false, u_round);
+  }
+  return g;
+}
+
+double StdpUpdater::update_at_pre_spike(double g, double post_age_ms,
+                                        double u_gate, double u_round) const {
+  PSS_DASSERT(post_age_ms >= 0.0);
+  if (!wants_pre_spike_events()) return g;
+  // Eq. 7 with Δt = t_post - t_pre = -post_age_ms.
+  if (u_gate < gate_.p_dep(-post_age_ms)) return apply(g, false, u_round);
+  return g;
+}
+
+}  // namespace pss

@@ -1,0 +1,144 @@
+// Tests for the AdEx neuron model and the latency (time-to-first-spike)
+// encoder — the "beyond the paper" extension modules.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pss/common/error.hpp"
+#include "pss/encoding/latency_encoder.hpp"
+#include "pss/neuron/adex.hpp"
+
+namespace pss {
+namespace {
+
+TEST(Adex, SilentAtRestWithoutInput) {
+  EXPECT_DOUBLE_EQ(adex_spiking_frequency(adex_regular_spiking(), 0.0, 1000.0),
+                   0.0);
+}
+
+TEST(Adex, FiresUnderSufficientCurrent) {
+  const double f =
+      adex_spiking_frequency(adex_regular_spiking(), 700.0, 2000.0);
+  EXPECT_GT(f, 5.0);
+  EXPECT_LT(f, 400.0);
+}
+
+TEST(Adex, FrequencyMonotoneInCurrent) {
+  double prev = 0.0;
+  for (double i : {400.0, 600.0, 800.0, 1000.0}) {
+    const double f = adex_spiking_frequency(adex_regular_spiking(), i, 1500.0);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_GT(prev, 0.0);
+}
+
+TEST(Adex, AdaptingVariantFiresSlowerAtSteadyState) {
+  const double rs = adex_spiking_frequency(adex_regular_spiking(), 800.0);
+  const double adapting = adex_spiking_frequency(adex_adapting(), 800.0);
+  EXPECT_LT(adapting, rs)
+      << "larger spike-triggered adaptation must reduce the steady rate";
+}
+
+TEST(Adex, AdaptationVariableJumpsOnSpike) {
+  const AdexParameters p = adex_regular_spiking();
+  double v = p.v_init;
+  double w = 0.0;
+  bool spiked = false;
+  double w_before = 0.0;
+  for (int t = 0; t < 500 && !spiked; ++t) {
+    w_before = w;
+    spiked = adex_step(p, v, w, 900.0, 1.0);
+  }
+  ASSERT_TRUE(spiked);
+  EXPECT_NEAR(w, w_before + p.b, 1e-9 + std::abs(w_before) * 1e-6 + p.b * 0.1);
+  EXPECT_DOUBLE_EQ(v, p.v_reset);
+}
+
+TEST(AdexPopulation, StepResetAndInhibition) {
+  AdexPopulation pop(3, adex_regular_spiking());
+  pop.inhibit(0, 1e6);
+  std::vector<double> current(3, 900.0);
+  std::vector<NeuronIndex> spikes;
+  std::vector<int> counts(3, 0);
+  for (int t = 1; t <= 500; ++t) {
+    pop.step(current, t, 1.0, spikes);
+    for (NeuronIndex j : spikes) counts[j]++;
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], 0);
+  EXPECT_GT(counts[2], 0);
+  pop.reset();
+  EXPECT_EQ(pop.spike_count(), 0u);
+  for (double v : pop.membrane()) {
+    EXPECT_DOUBLE_EQ(v, adex_regular_spiking().v_init);
+  }
+}
+
+TEST(AdexPopulation, ThresholdOffsetSuppresses) {
+  AdexPopulation pop(2, adex_regular_spiking());
+  const std::vector<double> offsets = {0.0, 1000.0};
+  std::vector<double> current(2, 900.0);
+  std::vector<NeuronIndex> spikes;
+  std::vector<int> counts(2, 0);
+  for (int t = 1; t <= 400; ++t) {
+    pop.step(current, t, 1.0, spikes, offsets);
+    for (NeuronIndex j : spikes) counts[j]++;
+  }
+  EXPECT_GT(counts[0], 0);
+  EXPECT_EQ(counts[1], 0);
+}
+
+TEST(LatencyEncoder, BrighterChannelsFireEarlier) {
+  LatencyEncoder enc(3, 100.0);
+  const std::vector<double> rates = {1.0, 11.0, 22.0};
+  enc.set_rates(rates);
+  EXPECT_LT(enc.latency_ms(2), enc.latency_ms(1));
+  EXPECT_DOUBLE_EQ(enc.latency_ms(2), 0.0) << "max intensity at window start";
+  EXPECT_LT(enc.latency_ms(0), 0.0) << "floor channel silent by default";
+}
+
+TEST(LatencyEncoder, OneSpikePerWindowPerActiveChannel) {
+  LatencyEncoder enc(4, 50.0);
+  const std::vector<double> rates = {1.0, 5.0, 10.0, 22.0};
+  enc.set_rates(rates);
+  std::vector<int> counts(4, 0);
+  std::vector<ChannelIndex> active;
+  for (StepIndex s = 0; s < 200; ++s) {  // 4 windows of 50 ms
+    enc.active_channels(s, 1.0, active);
+    for (ChannelIndex c : active) counts[c]++;
+  }
+  EXPECT_EQ(counts[0], 0);  // silent floor
+  EXPECT_EQ(counts[1], 4);
+  EXPECT_EQ(counts[2], 4);
+  EXPECT_EQ(counts[3], 4);
+}
+
+TEST(LatencyEncoder, UniformInputAllAtWindowStart) {
+  LatencyEncoder enc(3, 40.0);
+  const std::vector<double> rates = {7.0, 7.0, 7.0};
+  enc.set_rates(rates);
+  for (ChannelIndex c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(enc.latency_ms(c), 0.0);
+  }
+}
+
+TEST(LatencyEncoder, SilentFloorCanBeDisabled) {
+  LatencyEncoder enc(2, 100.0, 0.9, /*silent_floor=*/false);
+  const std::vector<double> rates = {1.0, 22.0};
+  enc.set_rates(rates);
+  EXPECT_GE(enc.latency_ms(0), 0.0);
+  EXPECT_NEAR(enc.latency_ms(0), 90.0, 1e-9);
+}
+
+TEST(LatencyEncoder, RejectsBadConfig) {
+  EXPECT_THROW(LatencyEncoder(0, 100.0), Error);
+  EXPECT_THROW(LatencyEncoder(2, -5.0), Error);
+  EXPECT_THROW(LatencyEncoder(2, 100.0, 1.5), Error);
+  LatencyEncoder enc(2, 100.0);
+  const std::vector<double> wrong = {1.0};
+  EXPECT_THROW(enc.set_rates(wrong), Error);
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,279 @@
+// Tests for the CARLsim-style baseline simulator substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "pss/baseline/coba_synapse.hpp"
+#include "pss/baseline/event_queue.hpp"
+#include "pss/baseline/izhi_network.hpp"
+#include "pss/baseline/trace_stdp.hpp"
+#include "pss/common/error.hpp"
+
+namespace pss {
+namespace {
+
+TEST(SpikeEventQueue, DeliversAtScheduledDelay) {
+  SpikeEventQueue q(5);
+  q.schedule(42, 2);
+  EXPECT_TRUE(q.due().empty());
+  q.advance();
+  EXPECT_TRUE(q.due().empty());
+  q.advance();
+  ASSERT_EQ(q.due().size(), 1u);
+  EXPECT_EQ(q.due()[0], 42u);
+}
+
+TEST(SpikeEventQueue, SlotClearedAfterAdvance) {
+  SpikeEventQueue q(3);
+  q.schedule(1, 1);
+  q.advance();
+  EXPECT_EQ(q.due().size(), 1u);
+  q.advance();
+  EXPECT_TRUE(q.due().empty());
+  // The wrapped-around slot must be clean for reuse.
+  q.schedule(2, 3);
+  EXPECT_EQ(q.pending_count(), 1u);
+}
+
+TEST(SpikeEventQueue, RejectsOutOfRangeDelay) {
+  SpikeEventQueue q(3);
+  EXPECT_THROW(q.schedule(0, 0), Error);
+  EXPECT_THROW(q.schedule(0, 4), Error);
+}
+
+TEST(CobaState, ExcitatoryCurrentPullsTowardReversal) {
+  CobaState coba(1, ReceptorParams{}, true);
+  coba.deliver(0, 1.0, /*inhibitory=*/false);
+  std::vector<double> currents(1, 0.0);
+  const std::vector<double> v = {-65.0};
+  coba.currents_and_decay(v, 1.0, currents);
+  // I = g * (E_exc - v) = 1 * (0 - (-65)) = +65.
+  EXPECT_DOUBLE_EQ(currents[0], 65.0);
+}
+
+TEST(CobaState, InhibitoryCurrentPullsTowardEInh) {
+  CobaState coba(1, ReceptorParams{}, true);
+  coba.deliver(0, 1.0, /*inhibitory=*/true);
+  std::vector<double> currents(1, 0.0);
+  const std::vector<double> v = {-50.0};
+  coba.currents_and_decay(v, 1.0, currents);
+  // I = g * (E_inh - v) = 1 * (-70 + 50) = -20.
+  EXPECT_DOUBLE_EQ(currents[0], -20.0);
+}
+
+TEST(CobaState, ConductanceDecaysExponentially) {
+  ReceptorParams p;
+  p.tau_exc_ms = 5.0;
+  CobaState coba(1, p, true);
+  coba.deliver(0, 1.0, false);
+  std::vector<double> currents(1, 0.0);
+  const std::vector<double> v = {0.0};
+  coba.currents_and_decay(v, 1.0, currents);  // decays after use
+  EXPECT_NEAR(coba.g_exc()[0], std::exp(-0.2), 1e-12);
+}
+
+TEST(CobaState, CubaModeInjectsPlainCurrent) {
+  CobaState cuba(2, ReceptorParams{}, /*conductance_based=*/false);
+  cuba.deliver(0, 3.0, false);
+  cuba.deliver(1, 2.0, true);
+  std::vector<double> currents(2, 0.0);
+  const std::vector<double> v = {-65.0, -65.0};
+  cuba.currents_and_decay(v, 1.0, currents);
+  EXPECT_DOUBLE_EQ(currents[0], 3.0);
+  EXPECT_DOUBLE_EQ(currents[1], -2.0);
+}
+
+TEST(CobaState, ResetClearsConductance) {
+  CobaState coba(1, ReceptorParams{}, true);
+  coba.deliver(0, 1.0, false);
+  coba.reset();
+  EXPECT_DOUBLE_EQ(coba.g_exc()[0], 0.0);
+}
+
+TEST(TraceStdp, TracesJumpAndDecay) {
+  TraceStdp stdp(2, 2, TraceStdpParams{});
+  stdp.on_pre_spike(0);
+  EXPECT_DOUBLE_EQ(stdp.pre_trace()[0], 1.0);
+  stdp.decay(20.0);  // one tau
+  EXPECT_NEAR(stdp.pre_trace()[0], std::exp(-1.0), 1e-12);
+}
+
+TEST(TraceStdp, PotentiationProportionalToPreTrace) {
+  TraceStdpParams p;
+  p.a_plus = 0.1;
+  TraceStdp stdp(1, 1, p);
+  stdp.on_pre_spike(0);
+  stdp.decay(10.0);
+  const double expected = 0.1 * std::exp(-0.5);
+  EXPECT_NEAR(stdp.potentiation_for(0), expected, 1e-12);
+  EXPECT_NEAR(stdp.apply_potentiation(0.5, 0), 0.5 + expected, 1e-12);
+}
+
+TEST(TraceStdp, DepressionClampsAtWMin) {
+  TraceStdpParams p;
+  p.a_minus = 1.0;
+  TraceStdp stdp(1, 1, p);
+  stdp.on_post_spike(0);
+  EXPECT_DOUBLE_EQ(stdp.apply_depression(0.2, 0), 0.0);
+}
+
+TEST(TraceStdp, PotentiationClampsAtWMax) {
+  TraceStdpParams p;
+  p.a_plus = 1.0;
+  TraceStdp stdp(1, 1, p);
+  stdp.on_pre_spike(0);
+  EXPECT_DOUBLE_EQ(stdp.apply_potentiation(0.9, 0), 1.0);
+}
+
+BaselineConfig quiet_config() {
+  BaselineConfig cfg;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(BaselineNetwork, GroupBookkeeping) {
+  BaselineNetwork net(quiet_config());
+  const int a = net.add_group("exc", 80, izhikevich_regular_spiking());
+  const int b = net.add_group("inh", 20, izhikevich_fast_spiking(), true);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(net.group_size(a), 80u);
+  EXPECT_EQ(net.group_size(b), 20u);
+  EXPECT_EQ(net.neuron_count(), 100u);
+  EXPECT_THROW(net.group_size(7), Error);
+}
+
+TEST(BaselineNetwork, PoissonDriveProducesActivity) {
+  BaselineNetwork net(quiet_config());
+  const int g = net.add_group("exc", 50, izhikevich_regular_spiking());
+  net.set_poisson_drive(g, 100.0, 15.0);
+  const auto r = net.run(500.0);
+  EXPECT_GT(r.total_spikes, 0u);
+  EXPECT_GT(r.mean_rate_hz, 0.5);
+}
+
+TEST(BaselineNetwork, NoDriveNoSpikes) {
+  BaselineNetwork net(quiet_config());
+  net.add_group("exc", 20, izhikevich_regular_spiking());
+  const auto r = net.run(300.0);
+  EXPECT_EQ(r.total_spikes, 0u);
+}
+
+TEST(BaselineNetwork, RecurrentExcitationAmplifiesActivity) {
+  auto run_with_weight = [](double w) {
+    BaselineNetwork net(BaselineConfig{});
+    const int g = net.add_group("exc", 60, izhikevich_regular_spiking());
+    SequentialRng rng(8);
+    net.connect(g, g,
+                connect_random(
+                    60, 60, 0.05,
+                    [w](NeuronIndex, NeuronIndex) { return w; }, rng));
+    net.set_poisson_drive(g, 40.0, 12.0);
+    return net.run(500.0).total_spikes;
+  };
+  EXPECT_GT(run_with_weight(0.4), run_with_weight(0.0));
+}
+
+TEST(BaselineNetwork, InhibitoryGroupSuppressesActivity) {
+  auto run_with_inhibition = [](bool inhibit) {
+    // CUBA mode: inhibitory weight subtracts current outright, so the
+    // comparison is free of conductance-reversal effects near E_inh.
+    BaselineConfig cfg;
+    cfg.conductance_based = false;
+    BaselineNetwork net(cfg);
+    const int e = net.add_group("exc", 50, izhikevich_regular_spiking());
+    const int i = net.add_group("inh", 50, izhikevich_fast_spiking(), true);
+    SequentialRng rng(9);
+    if (inhibit) {
+      net.connect(i, e,
+                  connect_random(
+                      50, 50, 0.3,
+                      [](NeuronIndex, NeuronIndex) { return 1.5; }, rng));
+    }
+    net.set_poisson_drive(e, 60.0, 12.0);
+    net.set_poisson_drive(i, 60.0, 12.0);
+    const auto r = net.run(500.0);
+    std::uint64_t exc_spikes = 0;
+    for (std::size_t n = 0; n < 50; ++n) exc_spikes += r.per_neuron_spikes[n];
+    return exc_spikes;
+  };
+  EXPECT_LT(run_with_inhibition(true), run_with_inhibition(false));
+}
+
+TEST(BaselineNetwork, DelaysPostponeDelivery) {
+  // A single feed-forward synapse with a long delay: the downstream neuron
+  // fires later than with a short delay.
+  auto first_downstream_spike = [](double delay_ms) {
+    BaselineNetwork net(BaselineConfig{});
+    const int src = net.add_group("src", 1, izhikevich_chattering());
+    const int dst = net.add_group("dst", 1, izhikevich_regular_spiking());
+    net.connect(src, dst, {{0, 0, 30.0, delay_ms}});
+    net.set_poisson_drive(src, 500.0, 20.0);
+    const auto r = net.run(300.0);
+    for (const auto& [t, n] : r.raster) {
+      if (n == 1) return t;
+    }
+    return -1.0;
+  };
+  const double fast = first_downstream_spike(1.0);
+  const double slow = first_downstream_spike(40.0);
+  ASSERT_GT(fast, 0.0);
+  ASSERT_GT(slow, 0.0);
+  EXPECT_GT(slow, fast + 20.0);
+}
+
+TEST(BaselineNetwork, TraceStdpChangesWeights) {
+  BaselineNetwork net(quiet_config());
+  const int g = net.add_group("exc", 30, izhikevich_regular_spiking());
+  SequentialRng rng(10);
+  const int conn = net.connect(
+      g, g,
+      connect_random(
+          30, 30, 0.2, [](NeuronIndex, NeuronIndex) { return 0.5; }, rng));
+  net.enable_stdp(conn, TraceStdpParams{});
+  net.set_poisson_drive(g, 80.0, 15.0);
+  net.run(500.0);
+  bool changed = false;
+  for (std::size_t k = 0; k < net.connection_count(conn); ++k) {
+    if (net.weight(conn, k) != 0.5) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(BaselineNetwork, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    BaselineNetwork net(quiet_config());
+    const int g = net.add_group("exc", 40, izhikevich_regular_spiking());
+    SequentialRng rng(11);
+    net.connect(g, g,
+                connect_random(
+                    40, 40, 0.05,
+                    [](NeuronIndex, NeuronIndex) { return 0.5; }, rng));
+    net.set_poisson_drive(g, 60.0, 14.0);
+    return net.run(400.0).per_neuron_spikes;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(BaselineNetwork, CannotModifyAfterRun) {
+  BaselineNetwork net(quiet_config());
+  const int g = net.add_group("exc", 10, izhikevich_regular_spiking());
+  net.set_poisson_drive(g, 50.0, 10.0);
+  net.run(50.0);
+  EXPECT_THROW(net.add_group("late", 5, izhikevich_regular_spiking()), Error);
+  EXPECT_THROW(net.connect(g, g, {{0, 0, 1.0, 1.0}}), Error);
+}
+
+TEST(BaselineNetwork, StatePersistsAcrossRuns) {
+  BaselineNetwork net(quiet_config());
+  const int g = net.add_group("exc", 20, izhikevich_regular_spiking());
+  net.set_poisson_drive(g, 80.0, 15.0);
+  const auto r1 = net.run(300.0);
+  const auto r2 = net.run(300.0);
+  EXPECT_GT(r1.total_spikes, 0u);
+  EXPECT_GT(r2.total_spikes, 0u);
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,127 @@
+// Tests for the dense conductance storage and the current-accumulation
+// kernel (eq. 3).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pss/common/error.hpp"
+#include "pss/common/rng.hpp"
+#include "pss/synapse/conductance_matrix.hpp"
+
+namespace pss {
+namespace {
+
+TEST(ConductanceMatrix, DimensionsAndCounts) {
+  const ConductanceMatrix m(10, 20);
+  EXPECT_EQ(m.post_count(), 10u);
+  EXPECT_EQ(m.pre_count(), 20u);
+  EXPECT_EQ(m.synapse_count(), 200u);
+}
+
+TEST(ConductanceMatrix, InitializeUniformRespectsRange) {
+  ConductanceMatrix m(8, 16, 0.0, 1.0);
+  SequentialRng rng(1);
+  m.initialize_uniform(0.2, 0.6, rng);
+  for (NeuronIndex j = 0; j < 8; ++j) {
+    for (double v : m.row(j)) {
+      EXPECT_GE(v, 0.2);
+      EXPECT_LE(v, 0.6);
+    }
+  }
+}
+
+TEST(ConductanceMatrix, InitializeWithQuantizerSnapsToGrid) {
+  ConductanceMatrix m(4, 4, 0.0, 1.0);
+  SequentialRng rng(2);
+  const Quantizer q(q0_2(), RoundingMode::kNearest);
+  m.initialize_uniform(0.0, 0.75, rng, &q);
+  for (NeuronIndex j = 0; j < 4; ++j) {
+    for (double v : m.row(j)) {
+      EXPECT_TRUE(q0_2().representable(v)) << v;
+    }
+  }
+}
+
+TEST(ConductanceMatrix, SetClampsToRange) {
+  ConductanceMatrix m(2, 2, 0.1, 0.9);
+  m.set(0, 0, 5.0);
+  m.set(0, 1, -5.0);
+  EXPECT_DOUBLE_EQ(m.get(0, 0), 0.9);
+  EXPECT_DOUBLE_EQ(m.get(0, 1), 0.1);
+}
+
+TEST(ConductanceMatrix, RowsAreIndependentViews) {
+  ConductanceMatrix m(3, 4);
+  auto row1 = m.row_mut(1);
+  row1[2] = 0.7;
+  EXPECT_DOUBLE_EQ(m.get(1, 2), 0.7);
+  EXPECT_DOUBLE_EQ(m.get(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m.get(2, 2), 0.0);
+}
+
+TEST(ConductanceMatrix, AccumulateCurrentsMatchesManualSum) {
+  ConductanceMatrix m(3, 5);
+  // g[post][pre] = post + 0.1 * pre for a recognizable pattern (clamped by
+  // the [0,1] default range, so scale down).
+  for (NeuronIndex post = 0; post < 3; ++post) {
+    for (ChannelIndex pre = 0; pre < 5; ++pre) {
+      m.set(post, pre, 0.1 * post + 0.01 * pre);
+    }
+  }
+  const std::vector<ChannelIndex> active = {1, 3};
+  std::vector<double> currents(3, 0.0);
+  m.accumulate_currents(active, 2.0, currents);
+  for (std::size_t post = 0; post < 3; ++post) {
+    const double expected = 2.0 * ((0.1 * post + 0.01) + (0.1 * post + 0.03));
+    EXPECT_NEAR(currents[post], expected, 1e-12);
+  }
+}
+
+TEST(ConductanceMatrix, AccumulateCurrentsAddsToExisting) {
+  ConductanceMatrix m(2, 2);
+  m.set(0, 0, 0.5);
+  std::vector<double> currents = {1.0, 1.0};
+  const std::vector<ChannelIndex> active = {0};
+  m.accumulate_currents(active, 1.0, currents);
+  EXPECT_DOUBLE_EQ(currents[0], 1.5);
+  EXPECT_DOUBLE_EQ(currents[1], 1.0);
+}
+
+TEST(ConductanceMatrix, AccumulateCurrentsEmptyActiveIsNoop) {
+  ConductanceMatrix m(2, 2);
+  m.set(0, 0, 0.5);
+  std::vector<double> currents = {0.25, 0.5};
+  m.accumulate_currents({}, 1.0, currents);
+  EXPECT_DOUBLE_EQ(currents[0], 0.25);
+  EXPECT_DOUBLE_EQ(currents[1], 0.5);
+}
+
+TEST(ConductanceMatrix, StatsAreConsistent) {
+  ConductanceMatrix m(2, 3);
+  const double values[2][3] = {{0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}};
+  for (NeuronIndex j = 0; j < 2; ++j) {
+    for (ChannelIndex c = 0; c < 3; ++c) m.set(j, c, values[j][c]);
+  }
+  EXPECT_NEAR(m.mean(), 0.35, 1e-12);
+  EXPECT_DOUBLE_EQ(m.min_value(), 0.1);
+  EXPECT_DOUBLE_EQ(m.max_value(), 0.6);
+  const auto flat = m.to_vector();
+  EXPECT_EQ(flat.size(), 6u);
+  EXPECT_NEAR(std::accumulate(flat.begin(), flat.end(), 0.0), 2.1, 1e-12);
+}
+
+TEST(ConductanceMatrix, RejectsInvalidConstruction) {
+  EXPECT_THROW(ConductanceMatrix(0, 5), Error);
+  EXPECT_THROW(ConductanceMatrix(5, 0), Error);
+  EXPECT_THROW(ConductanceMatrix(2, 2, 1.0, 1.0), Error);
+}
+
+TEST(ConductanceMatrix, RejectsWrongCurrentVectorSize) {
+  ConductanceMatrix m(3, 3);
+  std::vector<double> wrong(2, 0.0);
+  const std::vector<ChannelIndex> active = {0};
+  EXPECT_THROW(m.accumulate_currents(active, 1.0, wrong), Error);
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,334 @@
+// Tests for the canvas, synthetic dataset generators, dataset containers,
+// and the IDX/PGM file formats.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "pss/common/error.hpp"
+#include "pss/data/dataset.hpp"
+#include "pss/data/idx.hpp"
+#include "pss/data/image.hpp"
+#include "pss/data/synthetic_digits.hpp"
+#include "pss/data/synthetic_fashion.hpp"
+#include "pss/io/pgm.hpp"
+#include "pss/stats/summary.hpp"
+
+namespace pss {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Canvas, StampDepositsInkAtCentre) {
+  Canvas c;
+  c.stamp(0.5, 0.5, 0.1);
+  const Image img = c.render();
+  EXPECT_GT(img.at(14, 14), 200);
+  EXPECT_EQ(img.at(0, 0), 0);
+}
+
+TEST(Canvas, LineCoversEndpoints) {
+  Canvas c;
+  c.line(0.2, 0.5, 0.8, 0.5, 0.05);
+  const Image img = c.render();
+  EXPECT_GT(img.at(6, 14), 100);
+  EXPECT_GT(img.at(22, 14), 100);
+  EXPECT_EQ(img.at(14, 3), 0) << "off-stroke pixels stay dark";
+}
+
+TEST(Canvas, FillHitsPredicateRegionOnly) {
+  Canvas c;
+  c.fill([](double x, double y) { return x < 0.5 && y < 0.5; });
+  const Image img = c.render();
+  EXPECT_GT(img.at(5, 5), 200);
+  EXPECT_EQ(img.at(20, 20), 0);
+}
+
+TEST(Canvas, ModulateDarkensRegion) {
+  Canvas c;
+  c.fill([](double, double) { return true; });
+  c.modulate([](double x, double) { return x < 0.5; }, 0.3);
+  const Image img = c.render();
+  EXPECT_LT(img.at(5, 14), img.at(20, 14));
+}
+
+TEST(Canvas, RenderSaturatesAndClamps) {
+  Canvas c;
+  c.stamp(0.5, 0.5, 0.2, 100.0);  // massive ink
+  const Image img = c.render(255.0, 1.0);
+  EXPECT_EQ(img.at(14, 14), 255);
+}
+
+TEST(Canvas, NoiseNeedsRng) {
+  Canvas c;
+  SequentialRng rng(1);
+  const Image img = c.render(255.0, 1.0, 0.1, &rng);
+  // Pure noise on an empty canvas: some pixels should be non-zero.
+  int lit = 0;
+  for (auto p : img.pixels) {
+    if (p > 0) ++lit;
+  }
+  EXPECT_GT(lit, 50);
+}
+
+TEST(Jitter, IdentityLeavesPointsFixed) {
+  const Jitter identity;
+  double x = 0.3;
+  double y = 0.7;
+  identity.apply(x, y);
+  EXPECT_NEAR(x, 0.3, 1e-12);
+  EXPECT_NEAR(y, 0.7, 1e-12);
+}
+
+TEST(Jitter, TranslationShiftsPoints) {
+  Jitter j;
+  j.dx = 0.1;
+  j.dy = -0.05;
+  double x = 0.5;
+  double y = 0.5;
+  j.apply(x, y);
+  EXPECT_NEAR(x, 0.6, 1e-12);
+  EXPECT_NEAR(y, 0.45, 1e-12);
+}
+
+TEST(Jitter, RotationPreservesCentre) {
+  Jitter j;
+  j.angle = 1.0;
+  double x = 0.5;
+  double y = 0.5;
+  j.apply(x, y);
+  EXPECT_NEAR(x, 0.5, 1e-12);
+  EXPECT_NEAR(y, 0.5, 1e-12);
+}
+
+TEST(SyntheticDigits, AllClassesRender) {
+  SequentialRng rng(1);
+  for (Label d = 0; d <= 9; ++d) {
+    const Image img = render_digit(d, 0.0, rng);
+    EXPECT_EQ(img.label, d);
+    EXPECT_GT(img.mean_intensity(), 2.0) << "digit " << int(d) << " is blank";
+    EXPECT_LT(img.mean_intensity(), 128.0) << "digit " << int(d) << " floods";
+  }
+  EXPECT_THROW(render_digit(10, 0.0, rng), Error);
+}
+
+TEST(SyntheticDigits, ClassesAreVisuallyDistinct) {
+  // Mean images of different classes must differ substantially more than
+  // samples within a class — the property unsupervised clustering needs.
+  SequentialRng rng(5);
+  std::vector<std::vector<double>> mean(10, std::vector<double>(kImagePixels, 0.0));
+  const int per_class = 20;
+  for (Label d = 0; d <= 9; ++d) {
+    for (int k = 0; k < per_class; ++k) {
+      const Image img = render_digit(d, 0.0, rng);
+      for (std::size_t p = 0; p < kImagePixels; ++p) mean[d][p] += img.pixels[p];
+    }
+  }
+  for (Label a = 0; a < 10; ++a) {
+    for (Label b = static_cast<Label>(a + 1); b < 10; ++b) {
+      const double corr = pearson_correlation(mean[a], mean[b]);
+      EXPECT_LT(corr, 0.9) << "classes " << int(a) << " and " << int(b)
+                           << " are nearly identical";
+    }
+  }
+}
+
+TEST(SyntheticDigits, DatasetHasUniformLabels) {
+  const LabeledDataset ds =
+      make_synthetic_digits({.train_count = 100, .test_count = 50, .seed = 3});
+  EXPECT_EQ(ds.train.size(), 100u);
+  EXPECT_EQ(ds.test.size(), 50u);
+  EXPECT_EQ(ds.train.class_count(), 10u);
+  for (Label d = 0; d <= 9; ++d) EXPECT_EQ(ds.train.count_label(d), 10u);
+}
+
+TEST(SyntheticDigits, SeedReproduces) {
+  const auto a = make_synthetic_digits({.train_count = 20, .test_count = 10, .seed = 9});
+  const auto b = make_synthetic_digits({.train_count = 20, .test_count = 10, .seed = 9});
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].pixels, b.train[i].pixels);
+    EXPECT_EQ(a.train[i].label, b.train[i].label);
+  }
+}
+
+TEST(SyntheticDigits, TrainAndTestAreIndependentDraws) {
+  const auto ds = make_synthetic_digits({.train_count = 10, .test_count = 10, .seed = 9});
+  int identical = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (ds.train[i].pixels == ds.test[i].pixels) ++identical;
+  }
+  EXPECT_EQ(identical, 0);
+}
+
+TEST(SyntheticFashion, AllClassesRenderAndAreBrighterThanDigits) {
+  SequentialRng rng(1);
+  for (Label c = 0; c <= 9; ++c) {
+    const Image img = render_fashion(c, 0.0, rng);
+    EXPECT_EQ(img.label, c);
+    EXPECT_GT(img.mean_intensity(), 5.0) << fashion_class_name(c);
+  }
+  EXPECT_THROW(render_fashion(10, 0.0, rng), Error);
+}
+
+TEST(SyntheticFashion, TopsShareSilhouette) {
+  // The deliberate difficulty property (DESIGN.md): pullover(2), coat(4) and
+  // shirt(6) overlap heavily; trouser(1) does not overlap them.
+  SequentialRng rng(4);
+  auto mean_of = [&](Label c) {
+    std::vector<double> m(kImagePixels, 0.0);
+    for (int k = 0; k < 15; ++k) {
+      const Image img = render_fashion(c, 0.0, rng);
+      for (std::size_t p = 0; p < kImagePixels; ++p) m[p] += img.pixels[p];
+    }
+    return m;
+  };
+  const auto pullover = mean_of(2);
+  const auto coat = mean_of(4);
+  const auto shirt = mean_of(6);
+  const auto trouser = mean_of(1);
+  const double vs_coat = pearson_correlation(pullover, coat);
+  const double vs_shirt = pearson_correlation(pullover, shirt);
+  const double vs_trouser = pearson_correlation(pullover, trouser);
+  EXPECT_GT(vs_coat, 0.75);
+  EXPECT_GT(vs_shirt, 0.75);
+  EXPECT_GT(vs_coat, vs_trouser + 0.1) << "tops must overlap more than "
+                                          "unrelated garment classes";
+  EXPECT_GT(vs_shirt, vs_trouser + 0.1);
+}
+
+TEST(SyntheticFashion, ClassNames) {
+  EXPECT_STREQ(fashion_class_name(0), "t-shirt");
+  EXPECT_STREQ(fashion_class_name(9), "ankle boot");
+  EXPECT_THROW(fashion_class_name(12), Error);
+}
+
+TEST(Dataset, HeadSliceShuffle) {
+  Dataset ds;
+  for (int i = 0; i < 10; ++i) {
+    Image img;
+    img.label = static_cast<Label>(i % 3);
+    ds.push_back(img);
+  }
+  EXPECT_EQ(ds.head(4).size(), 4u);
+  EXPECT_EQ(ds.head(99).size(), 10u);
+  EXPECT_EQ(ds.slice(2, 7).size(), 5u);
+  EXPECT_THROW(ds.slice(7, 2), Error);
+  EXPECT_EQ(ds.class_count(), 3u);
+  EXPECT_EQ(ds.count_label(0), 4u);
+
+  SequentialRng rng(1);
+  Dataset shuffled = ds;
+  shuffled.shuffle(rng);
+  EXPECT_EQ(shuffled.size(), ds.size());
+  EXPECT_EQ(shuffled.count_label(0), ds.count_label(0));
+}
+
+TEST(Dataset, LabellingSplitMatchesPaperProtocol) {
+  // Paper: first 1000 test images label, remaining 9000 infer.
+  LabeledDataset ds;
+  for (int i = 0; i < 100; ++i) {
+    Image img;
+    img.label = static_cast<Label>(i % 10);
+    ds.test.push_back(img);
+  }
+  const auto [labelling, inference] = ds.labelling_split(30);
+  EXPECT_EQ(labelling.size(), 30u);
+  EXPECT_EQ(inference.size(), 70u);
+  const auto [all, none] = ds.labelling_split(500);
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_EQ(none.size(), 0u);
+}
+
+TEST(Idx, ImagesRoundTrip) {
+  const auto ds = make_synthetic_digits({.train_count = 12, .test_count = 1, .seed = 2});
+  const std::string path = temp_path("pss_test_images.idx");
+  write_idx_images(path, ds.train.images());
+  const auto back = read_idx_images(path);
+  ASSERT_EQ(back.size(), 12u);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].pixels, ds.train[i].pixels);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Idx, LabelsRoundTrip) {
+  const std::vector<Label> labels = {3, 1, 4, 1, 5, 9, 2, 6};
+  const std::string path = temp_path("pss_test_labels.idx");
+  write_idx_labels(path, labels);
+  EXPECT_EQ(read_idx_labels(path), labels);
+  std::remove(path.c_str());
+}
+
+TEST(Idx, FullDatasetDirectoryRoundTrip) {
+  const auto ds = make_synthetic_digits({.train_count = 10, .test_count = 6, .seed = 2});
+  const auto dir = std::filesystem::temp_directory_path() / "pss_idx_dir";
+  std::filesystem::create_directories(dir);
+  std::vector<Label> train_labels;
+  std::vector<Label> test_labels;
+  for (const auto& img : ds.train.images()) train_labels.push_back(img.label);
+  for (const auto& img : ds.test.images()) test_labels.push_back(img.label);
+  write_idx_images((dir / "train-images-idx3-ubyte").string(), ds.train.images());
+  write_idx_labels((dir / "train-labels-idx1-ubyte").string(), train_labels);
+  write_idx_images((dir / "t10k-images-idx3-ubyte").string(), ds.test.images());
+  write_idx_labels((dir / "t10k-labels-idx1-ubyte").string(), test_labels);
+
+  const auto loaded = load_idx_dataset(dir.string(), "round-trip");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->train.size(), 10u);
+  EXPECT_EQ(loaded->test.size(), 6u);
+  EXPECT_EQ(loaded->train[3].label, ds.train[3].label);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Idx, MissingDirectoryReturnsNullopt) {
+  EXPECT_FALSE(load_idx_dataset("/nonexistent/dir", "x").has_value());
+}
+
+TEST(Idx, RejectsCorruptFiles) {
+  const std::string path = temp_path("pss_bad.idx");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_THROW(read_idx_images(path), Error);
+  EXPECT_THROW(read_idx_labels(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, RoundTrip) {
+  SequentialRng rng(3);
+  const Image img = render_digit(5, 0.02, rng);
+  const std::string path = temp_path("pss_test.pgm");
+  write_pgm(path, img);
+  const Image back = read_pgm(path);
+  EXPECT_EQ(back.pixels, img.pixels);
+  EXPECT_EQ(back.width, img.width);
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, ConductanceToImageNormalizes) {
+  std::vector<double> row(kImagePixels, 0.0);
+  row[0] = 1.0;
+  row[1] = 0.5;
+  const Image img = conductance_to_image(row, kImageSide, kImageSide, 0.0, 1.0);
+  EXPECT_EQ(img.pixels[0], 255);
+  EXPECT_EQ(img.pixels[1], 128);
+  EXPECT_EQ(img.pixels[2], 0);
+}
+
+TEST(Pgm, TileImagesLaysOutGrid) {
+  std::vector<Image> maps(4, Image(4, 4));
+  maps[3].pixels.assign(16, 200);
+  const Image sheet = tile_images(maps, 2, 2, 1);
+  EXPECT_EQ(sheet.width, 9);
+  EXPECT_EQ(sheet.height, 9);
+  EXPECT_EQ(sheet.at(0, 0), 0);
+  EXPECT_EQ(sheet.at(5, 5), 200) << "fourth tile at bottom-right";
+}
+
+}  // namespace
+}  // namespace pss

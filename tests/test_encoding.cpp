@@ -1,0 +1,201 @@
+// Tests for pixel->frequency conversion (Fig. 1d), the spike-train encoders,
+// and the frequency-control module (Sec. IV-C).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "pss/common/error.hpp"
+#include "pss/encoding/frequency_control.hpp"
+#include "pss/encoding/pixel_frequency.hpp"
+#include "pss/encoding/poisson_encoder.hpp"
+#include "pss/encoding/regular_encoder.hpp"
+
+namespace pss {
+namespace {
+
+TEST(PixelFrequencyMap, EndpointsMatchFig1d) {
+  const PixelFrequencyMap map(1.0, 22.0);
+  EXPECT_DOUBLE_EQ(map.frequency(0), 1.0);
+  EXPECT_DOUBLE_EQ(map.frequency(255), 22.0);
+}
+
+TEST(PixelFrequencyMap, LinearInIntensity) {
+  const PixelFrequencyMap map(0.0, 255.0);
+  for (int i = 0; i <= 255; ++i) {
+    EXPECT_NEAR(map.frequency(static_cast<std::uint8_t>(i)),
+                static_cast<double>(i), 1e-9);
+  }
+}
+
+TEST(PixelFrequencyMap, VectorizedConversionMatchesScalar) {
+  const PixelFrequencyMap map(5.0, 78.0);
+  const std::vector<std::uint8_t> pixels = {0, 50, 128, 255};
+  std::vector<double> rates;
+  map.frequencies(pixels, rates);
+  ASSERT_EQ(rates.size(), 4u);
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rates[i], map.frequency(pixels[i]));
+  }
+}
+
+TEST(PixelFrequencyMap, RejectsInvalidRange) {
+  EXPECT_THROW(PixelFrequencyMap(-1.0, 10.0), Error);
+  EXPECT_THROW(PixelFrequencyMap(10.0, 5.0), Error);
+}
+
+TEST(PoissonEncoder, EmpiricalRateMatchesRequested) {
+  PoissonEncoder enc(1, 42);
+  enc.set_uniform_rate(40.0);
+  int spikes = 0;
+  const int steps = 20000;  // 20 s at 1 ms
+  for (int s = 0; s < steps; ++s) {
+    if (enc.spikes_at(0, static_cast<StepIndex>(s), 1.0)) ++spikes;
+  }
+  EXPECT_NEAR(spikes / 20.0, 40.0, 3.0);
+}
+
+TEST(PoissonEncoder, ZeroRateNeverSpikes) {
+  PoissonEncoder enc(4, 42);
+  enc.set_uniform_rate(0.0);
+  std::vector<ChannelIndex> active;
+  for (int s = 0; s < 1000; ++s) {
+    enc.active_channels(static_cast<StepIndex>(s), 1.0, active);
+    EXPECT_TRUE(active.empty());
+  }
+}
+
+TEST(PoissonEncoder, DeterministicAcrossInstances) {
+  PoissonEncoder a(16, 7);
+  PoissonEncoder b(16, 7);
+  a.set_uniform_rate(30.0);
+  b.set_uniform_rate(30.0);
+  std::vector<ChannelIndex> active_a;
+  std::vector<ChannelIndex> active_b;
+  for (int s = 0; s < 500; ++s) {
+    a.active_channels(static_cast<StepIndex>(s), 1.0, active_a);
+    b.active_channels(static_cast<StepIndex>(s), 1.0, active_b);
+    EXPECT_EQ(active_a, active_b);
+  }
+}
+
+TEST(PoissonEncoder, ChannelsAreIndependentStreams) {
+  PoissonEncoder enc(2, 7);
+  enc.set_uniform_rate(200.0);
+  int same = 0;
+  const int steps = 2000;
+  for (int s = 0; s < steps; ++s) {
+    if (enc.spikes_at(0, static_cast<StepIndex>(s), 1.0) ==
+        enc.spikes_at(1, static_cast<StepIndex>(s), 1.0)) {
+      ++same;
+    }
+  }
+  // p(spike) = 0.2; independent channels agree with p = 0.68.
+  EXPECT_NEAR(same / static_cast<double>(steps), 0.68, 0.06);
+}
+
+TEST(PoissonEncoder, RandomAccessStepsAreConsistent) {
+  PoissonEncoder enc(1, 3);
+  enc.set_uniform_rate(100.0);
+  const bool at_50 = enc.spikes_at(0, 50, 1.0);
+  enc.spikes_at(0, 10, 1.0);
+  enc.spikes_at(0, 999, 1.0);
+  EXPECT_EQ(enc.spikes_at(0, 50, 1.0), at_50);
+}
+
+TEST(PoissonEncoder, PerChannelRates) {
+  PoissonEncoder enc(2, 11);
+  const std::vector<double> rates = {5.0, 80.0};
+  enc.set_rates(rates);
+  int c0 = 0;
+  int c1 = 0;
+  for (int s = 0; s < 10000; ++s) {
+    if (enc.spikes_at(0, static_cast<StepIndex>(s), 1.0)) ++c0;
+    if (enc.spikes_at(1, static_cast<StepIndex>(s), 1.0)) ++c1;
+  }
+  EXPECT_NEAR(c0 / 10.0, 5.0, 1.5);
+  EXPECT_NEAR(c1 / 10.0, 80.0, 5.0);
+}
+
+TEST(PoissonEncoder, RejectsBadInput) {
+  PoissonEncoder enc(2, 1);
+  const std::vector<double> wrong_size = {1.0};
+  EXPECT_THROW(enc.set_rates(wrong_size), Error);
+  const std::vector<double> negative = {1.0, -2.0};
+  EXPECT_THROW(enc.set_rates(negative), Error);
+}
+
+TEST(RegularEncoder, ExactSpikeCount) {
+  RegularEncoder enc(1, 0, /*randomize_phase=*/false);
+  enc.set_uniform_rate(10.0);  // every 100 ms
+  int spikes = 0;
+  for (int s = 0; s < 1000; ++s) {
+    if (enc.spikes_at(0, static_cast<StepIndex>(s), 1.0)) ++spikes;
+  }
+  EXPECT_EQ(spikes, 10);
+}
+
+TEST(RegularEncoder, PeriodIsRegular) {
+  RegularEncoder enc(1, 0, false);
+  enc.set_uniform_rate(20.0);  // 50 ms period
+  std::vector<int> times;
+  for (int s = 0; s < 500; ++s) {
+    if (enc.spikes_at(0, static_cast<StepIndex>(s), 1.0)) times.push_back(s);
+  }
+  ASSERT_GE(times.size(), 3u);
+  for (std::size_t i = 2; i < times.size(); ++i) {
+    EXPECT_EQ(times[i] - times[i - 1], times[i - 1] - times[i - 2]);
+  }
+}
+
+TEST(RegularEncoder, PhasesDecorrelateChannels) {
+  RegularEncoder enc(8, 99, true);
+  enc.set_uniform_rate(10.0);
+  std::vector<ChannelIndex> active;
+  std::size_t max_simultaneous = 0;
+  for (int s = 0; s < 300; ++s) {
+    enc.active_channels(static_cast<StepIndex>(s), 1.0, active);
+    max_simultaneous = std::max(max_simultaneous, active.size());
+  }
+  EXPECT_LT(max_simultaneous, 8u) << "random phases must break lockstep";
+}
+
+TEST(FrequencyControl, BaselinePlanIsIdentity) {
+  const FrequencyControl ctl(1.0, 22.0, 500.0);
+  const FrequencyPlan p = ctl.baseline();
+  EXPECT_DOUBLE_EQ(p.f_min_hz, 1.0);
+  EXPECT_DOUBLE_EQ(p.f_max_hz, 22.0);
+  EXPECT_DOUBLE_EQ(p.t_learn_ms, 500.0);
+}
+
+TEST(FrequencyControl, BoostScalesFrequencyAndTime) {
+  // Sec. IV-C's two phases: frequency boost + learning-time reduction.
+  const FrequencyControl ctl(1.0, 22.0, 500.0);
+  const FrequencyPlan p = ctl.plan(5.0);
+  EXPECT_DOUBLE_EQ(p.f_max_hz, 110.0);
+  EXPECT_DOUBLE_EQ(p.f_min_hz, 5.0);
+  EXPECT_DOUBLE_EQ(p.t_learn_ms, 100.0);
+}
+
+TEST(FrequencyControl, LearningTimeClampedAtFloor) {
+  const FrequencyControl ctl(1.0, 22.0, 500.0);
+  const FrequencyPlan p = ctl.plan(100.0, /*min_t_learn_ms=*/20.0);
+  EXPECT_DOUBLE_EQ(p.t_learn_ms, 20.0);
+}
+
+TEST(FrequencyControl, PlanForTargetFMax) {
+  const FrequencyControl ctl(1.0, 22.0, 500.0);
+  const FrequencyPlan p = ctl.plan_for_f_max(78.0);
+  EXPECT_DOUBLE_EQ(p.f_max_hz, 78.0);
+  EXPECT_NEAR(p.boost, 78.0 / 22.0, 1e-12);
+  EXPECT_NEAR(p.t_learn_ms, 500.0 * 22.0 / 78.0, 1e-9);
+}
+
+TEST(FrequencyControl, RejectsDeBoost) {
+  const FrequencyControl ctl(1.0, 22.0, 500.0);
+  EXPECT_THROW(ctl.plan(0.5), Error);
+  EXPECT_THROW(ctl.plan_for_f_max(10.0), Error);
+}
+
+}  // namespace
+}  // namespace pss

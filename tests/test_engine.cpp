@@ -1,0 +1,142 @@
+// Tests for the GPU-substitute execution engine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "pss/common/error.hpp"
+#include "pss/common/rng.hpp"
+#include "pss/engine/device_vector.hpp"
+#include "pss/engine/launch.hpp"
+#include "pss/engine/thread_pool.hpp"
+
+namespace pss {
+namespace {
+
+TEST(ThreadPool, CoversFullRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesEmptyRange) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, HandlesRangeSmallerThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyLaunches) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 100; ++round) {
+    pool.parallel_for(64, [&](std::size_t b, std::size_t e) {
+      total += static_cast<long>(e - b);
+    });
+  }
+  EXPECT_EQ(total.load(), 6400);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  int sum = 0;
+  pool.parallel_for(10, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(Engine, LaunchVisitsEachThreadIndex) {
+  Engine engine(4);
+  std::vector<std::atomic<int>> hits(257);
+  engine.launch(257, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Engine, LaunchSumMatchesSerial) {
+  Engine engine(4);
+  const double parallel =
+      engine.launch_sum(1000, [](std::size_t i) { return i * 0.5; });
+  double serial = 0.0;
+  for (std::size_t i = 0; i < 1000; ++i) serial += i * 0.5;
+  EXPECT_DOUBLE_EQ(parallel, serial);
+}
+
+TEST(Engine, LaunchSumEmptyIsZero) {
+  Engine engine(2);
+  EXPECT_DOUBLE_EQ(engine.launch_sum(0, [](std::size_t) { return 1.0; }), 0.0);
+}
+
+TEST(Engine, ResultsIndependentOfWorkerCount) {
+  // The reproducibility contract: counter-based draws + data-parallel
+  // kernels => identical results for any worker count.
+  auto run = [](std::size_t workers) {
+    Engine engine(workers);
+    CounterRng rng(77, 3);
+    device_vector<double> out(512);
+    auto span = out.span();
+    engine.launch(512, [&](std::size_t i) { span[i] = rng.uniform(i); });
+    return out.download();
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  const auto seven = run(7);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, seven);
+}
+
+TEST(DeviceVector, UploadDownloadRoundTrip) {
+  device_vector<int> v(4);
+  const std::vector<int> host = {1, 2, 3, 4};
+  v.upload(host);
+  EXPECT_EQ(v.download(), host);
+}
+
+TEST(DeviceVector, UploadRejectsSizeMismatch) {
+  device_vector<int> v(4);
+  const std::vector<int> wrong = {1, 2};
+  EXPECT_THROW(v.upload(wrong), Error);
+}
+
+TEST(DeviceVector, FillSetsEveryElement) {
+  device_vector<double> v(10, 1.0);
+  v.fill(3.5);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_DOUBLE_EQ(v[i], 3.5);
+}
+
+TEST(DeviceVector, ConstructFromHostVector) {
+  device_vector<int> v(std::vector<int>{5, 6, 7});
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 7);
+}
+
+TEST(DefaultEngine, IsSingletonAndUsable) {
+  Engine& a = default_engine();
+  Engine& b = default_engine();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> n{0};
+  a.launch(10, [&](std::size_t) { n++; });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(DefaultEngine, ConfigureAfterUseThrows) {
+  default_engine();  // force creation
+  EXPECT_THROW(configure_default_engine(2), Error);
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,205 @@
+// Tests for Q-format fixed point and the three rounding options of
+// paper Sec. III-C / eq. 8.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pss/common/error.hpp"
+#include "pss/common/rng.hpp"
+#include "pss/fixedpoint/qformat.hpp"
+#include "pss/fixedpoint/quantizer.hpp"
+
+namespace pss {
+namespace {
+
+TEST(QFormat, PaperFormatsHaveExpectedWidths) {
+  EXPECT_EQ(q0_2().total_bits(), 2);
+  EXPECT_EQ(q0_4().total_bits(), 4);
+  EXPECT_EQ(q1_7().total_bits(), 8);
+  EXPECT_EQ(q1_15().total_bits(), 16);
+}
+
+TEST(QFormat, ResolutionIsPowerOfTwo) {
+  EXPECT_DOUBLE_EQ(q0_2().resolution(), 0.25);
+  EXPECT_DOUBLE_EQ(q0_4().resolution(), 0.0625);
+  EXPECT_DOUBLE_EQ(q1_7().resolution(), 1.0 / 128.0);
+  EXPECT_DOUBLE_EQ(q1_15().resolution(), 1.0 / 32768.0);
+}
+
+TEST(QFormat, MaxValueMatchesLevels) {
+  // Q0.2: levels {0, .25, .5, .75}.
+  EXPECT_DOUBLE_EQ(q0_2().max_value(), 0.75);
+  EXPECT_EQ(q0_2().level_count(), 4u);
+  // Q1.7: 256 levels up to 255/128.
+  EXPECT_DOUBLE_EQ(q1_7().max_value(), 255.0 / 128.0);
+  EXPECT_EQ(q1_7().level_count(), 256u);
+}
+
+TEST(QFormat, ParseRoundTripsName) {
+  for (const char* name : {"Q0.2", "Q0.4", "Q1.7", "Q1.15", "Q3.5"}) {
+    EXPECT_EQ(QFormat::parse(name).name(), name);
+  }
+}
+
+TEST(QFormat, ParseRejectsGarbage) {
+  EXPECT_THROW(QFormat::parse("1.7"), Error);
+  EXPECT_THROW(QFormat::parse("Q17"), Error);
+  EXPECT_THROW(QFormat::parse("Qx.y"), Error);
+  EXPECT_THROW(QFormat::parse(""), Error);
+}
+
+TEST(QFormat, ConstructorRejectsBadWidths) {
+  EXPECT_THROW(QFormat(-1, 4), Error);
+  EXPECT_THROW(QFormat(0, 0), Error);
+  EXPECT_THROW(QFormat(20, 20), Error);
+}
+
+TEST(QFormat, RepresentableExactlyOnGrid) {
+  const QFormat q = q0_2();
+  EXPECT_TRUE(q.representable(0.0));
+  EXPECT_TRUE(q.representable(0.25));
+  EXPECT_TRUE(q.representable(0.75));
+  EXPECT_FALSE(q.representable(0.3));
+  EXPECT_FALSE(q.representable(1.0));   // above max
+  EXPECT_FALSE(q.representable(-0.25));
+}
+
+TEST(QFormat, FloorCodeAndFromCodeRoundTrip) {
+  const QFormat q = q1_7();
+  for (std::uint32_t code = 0; code < q.level_count(); ++code) {
+    EXPECT_EQ(q.floor_code(q.from_code(code)), code);
+  }
+}
+
+TEST(QFormat, FloorCodeClampsOutOfRange) {
+  const QFormat q = q0_2();
+  EXPECT_EQ(q.floor_code(-1.0), 0u);
+  EXPECT_EQ(q.floor_code(100.0), 3u);
+}
+
+TEST(Quantizer, TruncationRoundsDown) {
+  const Quantizer q(q0_2(), RoundingMode::kTruncate);
+  EXPECT_DOUBLE_EQ(q.quantize(0.49), 0.25);
+  EXPECT_DOUBLE_EQ(q.quantize(0.2499), 0.0);
+  EXPECT_DOUBLE_EQ(q.quantize(0.74), 0.5);
+}
+
+TEST(Quantizer, NearestRoundsHalfUp) {
+  const Quantizer q(q0_2(), RoundingMode::kNearest);
+  EXPECT_DOUBLE_EQ(q.quantize(0.12), 0.0);
+  EXPECT_DOUBLE_EQ(q.quantize(0.125), 0.25);  // half rounds up
+  EXPECT_DOUBLE_EQ(q.quantize(0.13), 0.25);
+  EXPECT_DOUBLE_EQ(q.quantize(0.37), 0.25);
+  EXPECT_DOUBLE_EQ(q.quantize(0.38), 0.5);
+}
+
+TEST(Quantizer, StochasticUsesTheDraw) {
+  const Quantizer q(q0_2(), RoundingMode::kStochastic);
+  // 0.3 is 20% of the way from 0.25 to 0.5: P_up = 0.2 (eq. 8).
+  EXPECT_DOUBLE_EQ(q.quantize(0.3, /*u=*/0.19), 0.5);
+  EXPECT_DOUBLE_EQ(q.quantize(0.3, /*u=*/0.21), 0.25);
+  EXPECT_DOUBLE_EQ(q.round_up_probability(0.3), 0.2);
+}
+
+TEST(Quantizer, StochasticIsUnbiasedInExpectation) {
+  const Quantizer q(q0_4(), RoundingMode::kStochastic);
+  const double value = 0.3;  // between 0.25 and 0.3125
+  SequentialRng rng(123);
+  double sum = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) sum += q.quantize(value, rng.uniform());
+  EXPECT_NEAR(sum / n, value, 0.001)
+      << "eq. 8 must preserve the value in expectation";
+}
+
+TEST(Quantizer, ClampsToRange) {
+  for (const RoundingMode mode :
+       {RoundingMode::kTruncate, RoundingMode::kNearest,
+        RoundingMode::kStochastic}) {
+    const Quantizer q(q0_2(), mode);
+    EXPECT_DOUBLE_EQ(q.quantize(-0.5, 0.99), 0.0);
+    EXPECT_DOUBLE_EQ(q.quantize(9.0, 0.99), 0.75);
+  }
+}
+
+TEST(Quantizer, RoundUpProbabilityDeterministicModes) {
+  const Quantizer trunc(q0_2(), RoundingMode::kTruncate);
+  const Quantizer nearest(q0_2(), RoundingMode::kNearest);
+  EXPECT_DOUBLE_EQ(trunc.round_up_probability(0.3), 0.0);
+  EXPECT_DOUBLE_EQ(nearest.round_up_probability(0.3), 0.0);
+  EXPECT_DOUBLE_EQ(nearest.round_up_probability(0.4), 1.0);
+}
+
+TEST(LowPrecisionDeltaG, PaperRule) {
+  // <= 8 bits: delta = 1/2^n; above: float delta (nullopt).
+  ASSERT_TRUE(low_precision_delta_g(q0_2()).has_value());
+  EXPECT_DOUBLE_EQ(*low_precision_delta_g(q0_2()), 0.25);
+  EXPECT_DOUBLE_EQ(*low_precision_delta_g(q1_7()), 1.0 / 128.0);
+  EXPECT_FALSE(low_precision_delta_g(q1_15()).has_value());
+}
+
+// Property sweep over all paper formats and rounding modes.
+class QuantizerProperty
+    : public ::testing::TestWithParam<std::tuple<int, RoundingMode>> {
+ protected:
+  QFormat format() const {
+    switch (std::get<0>(GetParam())) {
+      case 0: return q0_2();
+      case 1: return q0_4();
+      case 2: return q1_7();
+      default: return q1_15();
+    }
+  }
+};
+
+TEST_P(QuantizerProperty, OutputAlwaysOnGrid) {
+  const Quantizer q(format(), std::get<1>(GetParam()));
+  SequentialRng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform(-0.2, 2.2);
+    const double out = q.quantize(v, rng.uniform());
+    EXPECT_TRUE(format().representable(out)) << "value " << v << " -> " << out;
+  }
+}
+
+TEST_P(QuantizerProperty, QuantizationIsIdempotent) {
+  const Quantizer q(format(), std::get<1>(GetParam()));
+  SequentialRng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const double once = q.quantize(rng.uniform(0.0, 1.0), rng.uniform());
+    EXPECT_DOUBLE_EQ(q.quantize(once, rng.uniform()), once);
+  }
+}
+
+TEST_P(QuantizerProperty, ErrorBoundedByOneStep) {
+  const Quantizer q(format(), std::get<1>(GetParam()));
+  SequentialRng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(0.0, format().max_value());
+    const double out = q.quantize(v, rng.uniform());
+    EXPECT_LE(std::abs(out - v), format().resolution());
+  }
+}
+
+TEST_P(QuantizerProperty, MonotoneNondecreasing) {
+  const Quantizer q(format(), std::get<1>(GetParam()));
+  // For a fixed draw u, quantization must be monotone in the input.
+  for (double u : {0.0, 0.3, 0.7, 0.999}) {
+    double prev = -1.0;
+    for (double v = 0.0; v <= format().max_value(); v += 0.001) {
+      const double out = q.quantize(v, u);
+      EXPECT_GE(out, prev);
+      prev = out;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormatsAllModes, QuantizerProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(RoundingMode::kTruncate,
+                                         RoundingMode::kNearest,
+                                         RoundingMode::kStochastic)));
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,170 @@
+// Tests for homeostasis, the trainer, labeler and classifier, plus a small
+// end-to-end unsupervised-learning integration check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pss/common/error.hpp"
+#include "pss/common/log.hpp"
+#include "pss/data/synthetic_digits.hpp"
+#include "pss/learning/classifier.hpp"
+#include "pss/learning/homeostasis.hpp"
+#include "pss/learning/labeler.hpp"
+#include "pss/learning/trainer.hpp"
+
+namespace pss {
+namespace {
+
+TEST(AdaptiveThreshold, SpikeRaisesTheta) {
+  AdaptiveThreshold theta(3, HomeostasisParams{true, 0.5, 1000.0, 10.0});
+  theta.on_spike(1);
+  theta.on_spike(1);
+  EXPECT_DOUBLE_EQ(theta.theta()[0], 0.0);
+  EXPECT_DOUBLE_EQ(theta.theta()[1], 1.0);
+}
+
+TEST(AdaptiveThreshold, DecayIsExponential) {
+  AdaptiveThreshold theta(1, HomeostasisParams{true, 1.0, 100.0, 10.0});
+  theta.on_spike(0);
+  theta.decay(100.0);
+  EXPECT_NEAR(theta.theta()[0], std::exp(-1.0), 1e-9);
+}
+
+TEST(AdaptiveThreshold, CapAtThetaMax) {
+  AdaptiveThreshold theta(1, HomeostasisParams{true, 5.0, 1000.0, 7.0});
+  for (int i = 0; i < 10; ++i) theta.on_spike(0);
+  EXPECT_DOUBLE_EQ(theta.theta()[0], 7.0);
+}
+
+TEST(AdaptiveThreshold, DisabledIsInert) {
+  AdaptiveThreshold theta(2, HomeostasisParams{false, 1.0, 100.0, 10.0});
+  theta.on_spike(0);
+  theta.decay(1.0);
+  EXPECT_DOUBLE_EQ(theta.theta()[0], 0.0);
+}
+
+TEST(AdaptiveThreshold, ResetClears) {
+  AdaptiveThreshold theta(1, HomeostasisParams{});
+  theta.on_spike(0);
+  theta.reset();
+  EXPECT_DOUBLE_EQ(theta.theta()[0], 0.0);
+}
+
+TEST(AdaptiveThreshold, RejectsBadParams) {
+  EXPECT_THROW(AdaptiveThreshold(1, HomeostasisParams{true, -0.1, 100.0, 1.0}),
+               Error);
+  EXPECT_THROW(AdaptiveThreshold(1, HomeostasisParams{true, 0.1, 0.0, 1.0}),
+               Error);
+}
+
+TEST(TrainerConfig, FromTable1PicksRowOperatingPoint) {
+  const TrainerConfig base = TrainerConfig::from_table1(LearningOption::kFloat32);
+  EXPECT_DOUBLE_EQ(base.f_min_hz, 1.0);
+  EXPECT_DOUBLE_EQ(base.f_max_hz, 22.0);
+  EXPECT_DOUBLE_EQ(base.t_learn_ms, 500.0);
+  const TrainerConfig hf =
+      TrainerConfig::from_table1(LearningOption::kHighFrequency);
+  EXPECT_DOUBLE_EQ(hf.f_max_hz, 78.0);
+  EXPECT_DOUBLE_EQ(hf.t_learn_ms, 100.0);
+}
+
+class LearningPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    set_log_level(LogLevel::kWarn);
+    data_ = new LabeledDataset(make_synthetic_digits(
+        {.train_count = 120, .test_count = 160, .seed = 21}));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static WtaConfig config() {
+    WtaConfig cfg =
+        WtaConfig::from_table1(LearningOption::kFloat32, StdpKind::kStochastic, 40);
+    cfg.seed = 5;
+    return cfg;
+  }
+
+  static LabeledDataset* data_;
+};
+
+LabeledDataset* LearningPipeline::data_ = nullptr;
+
+TEST_F(LearningPipeline, TrainerReportsStats) {
+  WtaNetwork net(config());
+  UnsupervisedTrainer trainer(net, TrainerConfig{1.0, 22.0, 200.0});
+  std::size_t callbacks = 0;
+  const TrainingStats stats =
+      trainer.train(data_->train.head(10), [&](std::size_t) { ++callbacks; });
+  EXPECT_EQ(stats.images_presented, 10u);
+  EXPECT_EQ(callbacks, 10u);
+  EXPECT_DOUBLE_EQ(stats.simulated_ms, 2000.0);
+  EXPECT_GT(stats.total_input_spikes, 0u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+TEST_F(LearningPipeline, LabelerAssignsClasses) {
+  WtaNetwork net(config());
+  UnsupervisedTrainer trainer(net, TrainerConfig{1.0, 22.0, 300.0});
+  trainer.train(data_->train.head(60));
+  const PixelFrequencyMap map(1.0, 22.0);
+  const LabelingResult labels =
+      label_neurons(net, data_->test.head(60), map, 250.0);
+  EXPECT_EQ(labels.neuron_labels.size(), 40u);
+  EXPECT_EQ(labels.class_count, 10u);
+  EXPECT_GT(labels.labelled_neurons, 20u) << "most neurons should respond";
+  for (int label : labels.neuron_labels) {
+    EXPECT_GE(label, -1);
+    EXPECT_LT(label, 10);
+  }
+}
+
+TEST_F(LearningPipeline, EndToEndBeatsChanceByWideMargin) {
+  WtaNetwork net(config());
+  UnsupervisedTrainer trainer(net, TrainerConfig{1.0, 22.0, 400.0});
+  trainer.train(data_->train);
+  const PixelFrequencyMap map(1.0, 22.0);
+  const auto [label_set, eval_set] = data_->labelling_split(80);
+  const LabelingResult labels = label_neurons(net, label_set, map, 300.0);
+  SnnClassifier classifier(net, labels.neuron_labels, labels.class_count, map,
+                           300.0);
+  const EvaluationResult result = classifier.evaluate(eval_set.head(80));
+  EXPECT_GT(result.accuracy, 0.3) << "chance is 0.1";
+  EXPECT_EQ(result.confusion.total(), 80u);
+}
+
+TEST_F(LearningPipeline, ClassifierValidatesInputs) {
+  WtaNetwork net(config());
+  const PixelFrequencyMap map(1.0, 22.0);
+  std::vector<int> wrong_size(10, 0);
+  EXPECT_THROW(SnnClassifier(net, wrong_size, 10, map, 100.0), Error);
+  std::vector<int> bad_label(40, 12);
+  EXPECT_THROW(SnnClassifier(net, bad_label, 10, map, 100.0), Error);
+  std::vector<int> ok(40, -1);
+  EXPECT_THROW(SnnClassifier(net, ok, 0, map, 100.0), Error);
+}
+
+TEST_F(LearningPipeline, UntrainedNetworkNearChance) {
+  WtaNetwork net(config());
+  const PixelFrequencyMap map(1.0, 22.0);
+  const auto [label_set, eval_set] = data_->labelling_split(80);
+  const LabelingResult labels = label_neurons(net, label_set, map, 200.0);
+  SnnClassifier classifier(net, labels.neuron_labels, labels.class_count, map,
+                           200.0);
+  const EvaluationResult result = classifier.evaluate(eval_set.head(60));
+  EXPECT_LT(result.accuracy, 0.45)
+      << "random initial conductances should not classify well";
+}
+
+TEST_F(LearningPipeline, AllAbstainWhenNeuronsUnlabelled) {
+  WtaNetwork net(config());
+  const PixelFrequencyMap map(1.0, 22.0);
+  std::vector<int> unlabelled(40, -1);
+  SnnClassifier classifier(net, unlabelled, 10, map, 100.0);
+  EXPECT_EQ(classifier.predict(data_->test[0]), -1);
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,248 @@
+// Tests for the LIF (paper eq. 1-3) and Izhikevich neuron models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "pss/common/error.hpp"
+#include "pss/neuron/characterize.hpp"
+#include "pss/neuron/izhikevich.hpp"
+#include "pss/neuron/lif.hpp"
+
+namespace pss {
+namespace {
+
+TEST(LifModel, PaperParametersMatchSectionIIID) {
+  const LifParameters p = paper_lif_parameters();
+  EXPECT_DOUBLE_EQ(p.v_threshold, -60.2);
+  EXPECT_DOUBLE_EQ(p.v_reset, -74.7);
+  EXPECT_DOUBLE_EQ(p.v_init, -70.0);
+  EXPECT_DOUBLE_EQ(p.a, -6.77);
+  EXPECT_DOUBLE_EQ(p.b, -0.0989);
+  EXPECT_DOUBLE_EQ(p.c, 0.314);
+}
+
+TEST(LifModel, LeakEquilibriumBelowThreshold) {
+  const LifParameters p = paper_lif_parameters();
+  const double v_eq = -p.a / p.b;  // where dv/dt = 0 at I = 0
+  EXPECT_LT(v_eq, p.v_threshold);
+  // Integrating from init with no input converges to the equilibrium.
+  double v = p.v_init;
+  for (int t = 0; t < 500; ++t) v = lif_integrate(p, v, 0.0, 1.0);
+  EXPECT_NEAR(v, v_eq, 0.1);
+}
+
+TEST(LifModel, SilentWithoutInput) {
+  EXPECT_DOUBLE_EQ(lif_spiking_frequency(paper_lif_parameters(), 0.0, 1000.0),
+                   0.0);
+}
+
+TEST(LifModel, RheobaseNearAnalyticValue) {
+  // Firing requires a + b*v_th + c*I > 0 at the threshold.
+  const LifParameters p = paper_lif_parameters();
+  const double analytic = -(p.a + p.b * p.v_threshold) / p.c;
+  const double measured = lif_rheobase(p);
+  EXPECT_NEAR(measured, analytic, 0.1);
+}
+
+TEST(LifModel, FiCurveMonotoneAboveRheobase) {
+  const auto curve = lif_fi_curve(paper_lif_parameters(), 3.0, 30.0, 10, 1000.0);
+  ASSERT_EQ(curve.size(), 10u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].frequency_hz, curve[i - 1].frequency_hz)
+        << "f-I curve must be non-decreasing (Fig. 1a)";
+  }
+  EXPECT_GT(curve.back().frequency_hz, 0.0);
+}
+
+TEST(LifPopulation, RequiresSaneParameters) {
+  LifParameters p = paper_lif_parameters();
+  p.b = 0.1;  // non-leaky
+  EXPECT_THROW(LifPopulation(10, p), Error);
+  p = paper_lif_parameters();
+  p.v_reset = -50.0;  // above threshold
+  EXPECT_THROW(LifPopulation(10, p), Error);
+  EXPECT_THROW(LifPopulation(0, paper_lif_parameters()), Error);
+}
+
+TEST(LifPopulation, SpikesUnderStrongCurrent) {
+  LifPopulation pop(5, paper_lif_parameters());
+  std::vector<double> current(5, 50.0);
+  std::vector<NeuronIndex> spikes;
+  int total = 0;
+  for (int t = 1; t <= 100; ++t) {
+    pop.step(current, t, 1.0, spikes);
+    total += static_cast<int>(spikes.size());
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_EQ(pop.spike_count(), static_cast<std::uint64_t>(total));
+}
+
+TEST(LifPopulation, ResetRestoresInitialState) {
+  LifPopulation pop(3, paper_lif_parameters());
+  std::vector<double> current(3, 50.0);
+  std::vector<NeuronIndex> spikes;
+  for (int t = 1; t <= 50; ++t) pop.step(current, t, 1.0, spikes);
+  pop.reset();
+  EXPECT_EQ(pop.spike_count(), 0u);
+  for (double v : pop.membrane()) EXPECT_DOUBLE_EQ(v, -70.0);
+  for (double t : pop.last_spike_time()) EXPECT_EQ(t, kNeverSpiked);
+}
+
+TEST(LifPopulation, InhibitionPinsNeuronAtReset) {
+  LifPopulation pop(2, paper_lif_parameters());
+  pop.inhibit(0, 1000.0);
+  std::vector<double> current(2, 50.0);
+  std::vector<NeuronIndex> spikes;
+  int spikes0 = 0;
+  int spikes1 = 0;
+  for (int t = 1; t <= 200; ++t) {
+    pop.step(current, t, 1.0, spikes);
+    for (NeuronIndex j : spikes) (j == 0 ? spikes0 : spikes1)++;
+  }
+  EXPECT_EQ(spikes0, 0) << "inhibited neuron must not spike";
+  EXPECT_GT(spikes1, 0);
+  EXPECT_DOUBLE_EQ(pop.membrane()[0], paper_lif_parameters().v_reset);
+}
+
+TEST(LifPopulation, InhibitAllExceptSparesWinner) {
+  LifPopulation pop(4, paper_lif_parameters());
+  pop.inhibit_all_except(2, 500.0);
+  std::vector<double> current(4, 50.0);
+  std::vector<NeuronIndex> spikes;
+  std::vector<int> counts(4, 0);
+  for (int t = 1; t <= 100; ++t) {
+    pop.step(current, t, 1.0, spikes);
+    for (NeuronIndex j : spikes) counts[j]++;
+  }
+  EXPECT_GT(counts[2], 0);
+  EXPECT_EQ(counts[0] + counts[1] + counts[3], 0);
+}
+
+TEST(LifPopulation, InhibitionExpires) {
+  LifPopulation pop(1, paper_lif_parameters());
+  pop.inhibit(0, 50.0);
+  std::vector<double> current(1, 50.0);
+  std::vector<NeuronIndex> spikes;
+  int before = 0;
+  int after = 0;
+  for (int t = 1; t <= 200; ++t) {
+    pop.step(current, t, 1.0, spikes);
+    (t <= 50 ? before : after) += static_cast<int>(spikes.size());
+  }
+  EXPECT_EQ(before, 0);
+  EXPECT_GT(after, 0);
+}
+
+TEST(LifPopulation, ThresholdOffsetRaisesBar) {
+  LifPopulation pop(2, paper_lif_parameters());
+  const std::vector<double> offsets = {0.0, 500.0};  // neuron 1 unreachable
+  std::vector<double> current(2, 50.0);
+  std::vector<NeuronIndex> spikes;
+  std::vector<int> counts(2, 0);
+  for (int t = 1; t <= 100; ++t) {
+    pop.step(current, t, 1.0, spikes, offsets);
+    for (NeuronIndex j : spikes) counts[j]++;
+  }
+  EXPECT_GT(counts[0], 0);
+  EXPECT_EQ(counts[1], 0);
+}
+
+TEST(LifPopulation, RefractoryPeriodCapsRate) {
+  LifParameters p = paper_lif_parameters();
+  const double free_rate = lif_spiking_frequency(p, 50.0, 1000.0);
+  p.refractory_ms = 20.0;  // max 50 Hz
+  LifPopulation pop(1, p);
+  std::vector<double> current(1, 50.0);
+  std::vector<NeuronIndex> spikes;
+  int count = 0;
+  for (int t = 1; t <= 1000; ++t) {
+    pop.step(current, t, 1.0, spikes);
+    count += static_cast<int>(spikes.size());
+  }
+  EXPECT_LE(count, 52);
+  EXPECT_GT(free_rate, 52.0) << "test needs a strongly driven neuron";
+}
+
+TEST(LifPopulation, RejectsWrongSizeInputs) {
+  LifPopulation pop(4, paper_lif_parameters());
+  std::vector<double> wrong(3, 0.0);
+  std::vector<NeuronIndex> spikes;
+  EXPECT_THROW(pop.step(wrong, 1.0, 1.0, spikes), Error);
+  EXPECT_THROW(pop.inhibit(9, 10.0), Error);
+}
+
+TEST(Izhikevich, RegularSpikingFiresTonically) {
+  const double f =
+      izhikevich_spiking_frequency(izhikevich_regular_spiking(), 10.0, 2000.0);
+  EXPECT_GT(f, 1.0);
+  EXPECT_LT(f, 200.0);
+}
+
+TEST(Izhikevich, FastSpikingOutpacesRegular) {
+  const double rs =
+      izhikevich_spiking_frequency(izhikevich_regular_spiking(), 10.0, 2000.0);
+  const double fs =
+      izhikevich_spiking_frequency(izhikevich_fast_spiking(), 10.0, 2000.0);
+  EXPECT_GT(fs, rs) << "FS neurons fire faster at equal drive";
+}
+
+TEST(Izhikevich, SilentWithoutInput) {
+  EXPECT_DOUBLE_EQ(
+      izhikevich_spiking_frequency(izhikevich_regular_spiking(), 0.0, 1000.0),
+      0.0);
+}
+
+TEST(Izhikevich, FiCurveMonotone) {
+  const auto curve =
+      izhikevich_fi_curve(izhikevich_regular_spiking(), 2.0, 20.0, 8, 1000.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].frequency_hz, curve[i - 1].frequency_hz - 1.0);
+  }
+}
+
+TEST(IzhikevichPopulation, StepAndResetBehave) {
+  IzhikevichPopulation pop(3, izhikevich_regular_spiking());
+  std::vector<double> current(3, 15.0);
+  std::vector<NeuronIndex> spikes;
+  int total = 0;
+  for (int t = 1; t <= 500; ++t) {
+    pop.step(current, t, 1.0, spikes);
+    total += static_cast<int>(spikes.size());
+  }
+  EXPECT_GT(total, 0);
+  pop.reset();
+  EXPECT_EQ(pop.spike_count(), 0u);
+  for (double v : pop.membrane()) EXPECT_DOUBLE_EQ(v, -65.0);
+}
+
+// Property sweep: the LIF population kernel must agree exactly with the
+// single-neuron integrator for any current level.
+class LifKernelEquivalence : public ::testing::TestWithParam<double> {};
+
+TEST_P(LifKernelEquivalence, PopulationMatchesScalarIntegration) {
+  const double current = GetParam();
+  const LifParameters p = paper_lif_parameters();
+  LifPopulation pop(1, p);
+  std::vector<double> i1(1, current);
+  std::vector<NeuronIndex> spikes;
+  double v = p.v_init;
+  for (int t = 1; t <= 300; ++t) {
+    pop.step(i1, t, 1.0, spikes);
+    v = lif_integrate(p, v, current, 1.0);
+    if (v > p.v_threshold) {
+      v = p.v_reset;
+      EXPECT_EQ(spikes.size(), 1u) << "step " << t;
+    } else {
+      EXPECT_TRUE(spikes.empty()) << "step " << t;
+    }
+    EXPECT_DOUBLE_EQ(pop.membrane()[0], v) << "step " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Currents, LifKernelEquivalence,
+                         ::testing::Values(0.0, 1.0, 2.6, 5.0, 10.0, 25.0,
+                                           60.0));
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,271 @@
+// Cross-module property and invariant tests: WTA exclusivity, update
+// monotonicity, encoder statistics, end-to-end determinism — the invariants
+// the paper's mechanisms rest on, checked over parameter sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "pss/common/log.hpp"
+#include "pss/data/synthetic_digits.hpp"
+#include "pss/encoding/poisson_encoder.hpp"
+#include "pss/experiment/experiment.hpp"
+#include "pss/stats/summary.hpp"
+#include "pss/synapse/stdp_updater.hpp"
+
+namespace pss {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WTA exclusivity: after any spike, no *other* neuron may spike within the
+// inhibition window (learning mode).
+TEST(WtaInvariant, NoOtherSpikesInsideInhibitionWindow) {
+  WtaConfig cfg =
+      WtaConfig::from_table1(LearningOption::kFloat32, StdpKind::kStochastic, 25);
+  cfg.input_channels = 64;
+  cfg.t_inh_ms = 15.0;
+  cfg.reference_total_rate_hz = 0.0;
+  cfg.seed = 13;
+  WtaNetwork net(cfg);
+  std::vector<double> rates(64, 30.0);
+
+  const auto r = net.present(rates, 600.0, true, /*record_spikes=*/true);
+  ASSERT_GT(r.spike_events.size(), 3u);
+  for (std::size_t i = 0; i < r.spike_events.size(); ++i) {
+    for (std::size_t k = i + 1; k < r.spike_events.size(); ++k) {
+      const auto& [t1, n1] = r.spike_events[i];
+      const auto& [t2, n2] = r.spike_events[k];
+      if (t2 - t1 > cfg.t_inh_ms) break;
+      if (t2 == t1) continue;  // simultaneous threshold crossings allowed
+      EXPECT_EQ(n1, n2) << "neuron " << n2 << " fired " << (t2 - t1)
+                        << " ms after " << n1
+                        << "'s spike, inside the inhibition window";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Updater monotonicity per event type, over every Table I row.
+class UpdaterMonotonicity : public ::testing::TestWithParam<LearningOption> {};
+
+TEST_P(UpdaterMonotonicity, PotentiationNeverDecreasesConductance) {
+  const Table1Row& row = table1_row(GetParam());
+  StdpUpdaterConfig cfg;
+  cfg.kind = StdpKind::kDeterministic;  // always-update inside the window
+  cfg.magnitude = row.magnitude.value_or(
+      StdpMagnitudeParams{0.01, 3.0, 0.005, 3.0, 1.0, 0.0});
+  cfg.gate = row.gate;
+  cfg.format = row.format;
+  cfg.rounding = RoundingMode::kStochastic;
+  const StdpUpdater u(cfg);
+  SequentialRng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double g = rng.uniform(0.0, u.effective_g_max());
+    // gap inside the window -> potentiation branch.
+    const double g2 = u.update_at_post_spike(g, 1.0, rng.uniform(),
+                                             rng.uniform(), rng.uniform());
+    EXPECT_GE(g2 + 1e-12, g);
+    // gap far outside -> depression branch.
+    const double g3 = u.update_at_post_spike(g, 1e6, rng.uniform(),
+                                             rng.uniform(), rng.uniform());
+    EXPECT_LE(g3 - 1e-12, g);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, UpdaterMonotonicity,
+                         ::testing::Values(LearningOption::k2Bit,
+                                           LearningOption::k4Bit,
+                                           LearningOption::k8Bit,
+                                           LearningOption::k16Bit,
+                                           LearningOption::kFloat32));
+
+// ---------------------------------------------------------------------------
+// Stochastic gate empirical frequencies match eq. 6 within tolerance.
+TEST(StochasticGateStatistics, EmpiricalPotentiationRateMatchesEq6) {
+  StdpUpdaterConfig cfg;
+  cfg.kind = StdpKind::kStochastic;
+  cfg.gate = StochasticGateParams{0.6, 25.0, 0.0, 10.0};  // no depression
+  const StdpUpdater u(cfg);
+  CounterRng rng(99, 1);
+  for (const double gap : {0.0, 10.0, 25.0, 60.0}) {
+    int applied = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t c = static_cast<std::uint64_t>(i) * 3;
+      if (u.update_at_post_spike(0.5, gap, rng.uniform(c), rng.uniform(c + 1),
+                                 rng.uniform(c + 2)) > 0.5) {
+        ++applied;
+      }
+    }
+    const double expected = 0.6 * std::exp(-gap / 25.0);
+    EXPECT_NEAR(static_cast<double>(applied) / n, expected, 0.01)
+        << "gap " << gap;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Poisson encoder: successive steps are uncorrelated (the memorylessness the
+// stochastic STDP analysis assumes).
+TEST(EncoderStatistics, StepsAreUncorrelated) {
+  PoissonEncoder enc(1, 21);
+  enc.set_uniform_rate(300.0);  // p = 0.3 per ms
+  const int n = 20000;
+  int s_prev = enc.spikes_at(0, 0, 1.0) ? 1 : 0;
+  int both = 0;
+  int first = 0;
+  for (int s = 1; s < n; ++s) {
+    const int cur = enc.spikes_at(0, static_cast<StepIndex>(s), 1.0) ? 1 : 0;
+    first += s_prev;
+    both += s_prev & cur;
+    s_prev = cur;
+  }
+  // P(spike | spike at previous step) should equal the marginal p = 0.3.
+  const double conditional = static_cast<double>(both) / first;
+  EXPECT_NEAR(conditional, 0.3, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: the complete experiment (data generation,
+// training, labelling, evaluation) is a pure function of the seeds.
+TEST(EndToEndDeterminism, IdenticalRunsProduceIdenticalAccuracy) {
+  set_log_level(LogLevel::kWarn);
+  auto run_once = [] {
+    const LabeledDataset data = make_synthetic_digits(
+        {.train_count = 50, .test_count = 60, .seed = 17});
+    ExperimentSpec spec;
+    spec.neuron_count = 25;
+    spec.train_images = 50;
+    spec.label_images = 30;
+    spec.eval_images = 30;
+    spec.t_label_ms = 150.0;
+    spec.t_infer_ms = 150.0;
+    spec.seed = 5;
+    return run_learning_experiment(spec, data);
+  };
+  const ExperimentResult a = run_once();
+  const ExperimentResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_EQ(a.labelled_neurons, b.labelled_neurons);
+  EXPECT_DOUBLE_EQ(a.conductance_contrast, b.conductance_contrast);
+  EXPECT_DOUBLE_EQ(a.bottom_fraction, b.bottom_fraction);
+}
+
+TEST(EndToEndDeterminism, DifferentSeedsProduceDifferentNetworks) {
+  set_log_level(LogLevel::kWarn);
+  const LabeledDataset data =
+      make_synthetic_digits({.train_count = 30, .test_count = 30, .seed = 17});
+  auto conductance_for_seed = [&](std::uint64_t seed) {
+    ExperimentSpec spec;
+    spec.neuron_count = 15;
+    spec.train_images = 20;
+    spec.seed = seed;
+    WtaNetwork net(spec.network_config());
+    UnsupervisedTrainer trainer(net, spec.trainer_config());
+    trainer.train(data.train.head(20));
+    return net.conductance().to_vector();
+  };
+  EXPECT_NE(conductance_for_seed(1), conductance_for_seed(2));
+}
+
+// ---------------------------------------------------------------------------
+// Learning monotone-ish in data: more training images should not make the
+// final map contrast collapse (regression guard for the depression-runaway
+// failure mode found during calibration).
+TEST(LearningStability, ContrastSurvivesLongerTraining) {
+  set_log_level(LogLevel::kWarn);
+  const LabeledDataset data = make_synthetic_digits(
+      {.train_count = 160, .test_count = 30, .seed = 23});
+  auto contrast_after = [&](std::size_t images) {
+    ExperimentSpec spec;
+    spec.neuron_count = 20;
+    spec.train_images = images;
+    spec.seed = 9;
+    WtaNetwork net(spec.network_config());
+    UnsupervisedTrainer trainer(net, spec.trainer_config());
+    trainer.train(data.train.head(images));
+    double total = 0.0;
+    for (NeuronIndex j = 0; j < net.neuron_count(); ++j) {
+      total += quartile_contrast(net.conductance().row(j));
+    }
+    return total / static_cast<double>(net.neuron_count());
+  };
+  const double short_run = contrast_after(40);
+  const double long_run = contrast_after(160);
+  EXPECT_GT(long_run, 0.5 * short_run)
+      << "contrast must not collapse with continued training";
+  EXPECT_GT(long_run, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// The Table II mechanism, pinned end to end: at Q0.2 with truncation the
+// deterministic float ΔG (≈0.01-0.05 after learning-rate scaling) is below
+// one 0.25 quantum, so training must leave the conductance matrix bitwise
+// unchanged — chance accuracy is structural, not statistical. The stochastic
+// rule applies full quanta through its eq. 6/7 gates and must keep learning
+// under the identical configuration.
+TEST(TableTwoMechanism, DeterministicTruncationFreezesLearning) {
+  set_log_level(LogLevel::kWarn);
+  const LabeledDataset data =
+      make_synthetic_digits({.train_count = 12, .test_count = 4, .seed = 41});
+  for (const StdpKind kind :
+       {StdpKind::kDeterministic, StdpKind::kStochastic}) {
+    WtaConfig cfg = WtaConfig::from_table1(LearningOption::k2Bit, kind, 20);
+    cfg.stdp.rounding = RoundingMode::kTruncate;
+    cfg.seed = 6;
+    WtaNetwork net(cfg);
+    const auto before = net.conductance().to_vector();
+    UnsupervisedTrainer trainer(net, TrainerConfig::from_table1(
+                                         LearningOption::k2Bit));
+    trainer.train(data.train);
+    ASSERT_GT(net.total_spikes(), 0u) << "network must be active";
+    if (kind == StdpKind::kDeterministic) {
+      EXPECT_EQ(net.conductance().to_vector(), before)
+          << "truncated deterministic updates must all round to zero";
+    } else {
+      EXPECT_NE(net.conductance().to_vector(), before)
+          << "stochastic full-quantum updates must keep learning";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The LIF population cannot exceed one spike per step per neuron: firing
+// rate is bounded by 1000/dt Hz regardless of drive.
+TEST(RateBounds, LifRateBoundedByStepRate) {
+  LifPopulation pop(1, paper_lif_parameters());
+  std::vector<double> current(1, 1e9);
+  std::vector<NeuronIndex> spikes;
+  int count = 0;
+  for (int t = 1; t <= 1000; ++t) {
+    pop.step(current, t, 1.0, spikes);
+    count += static_cast<int>(spikes.size());
+  }
+  EXPECT_LE(count, 1000);
+  EXPECT_GT(count, 400) << "astronomical drive should fire nearly every step";
+}
+
+// ---------------------------------------------------------------------------
+// Classifier output domain over a random network and arbitrary images.
+TEST(ClassifierDomain, PredictionsAlwaysInRange) {
+  WtaConfig cfg =
+      WtaConfig::from_table1(LearningOption::kFloat32, StdpKind::kStochastic, 20);
+  cfg.seed = 31;
+  WtaNetwork net(cfg);
+  std::vector<int> labels(20);
+  for (std::size_t j = 0; j < 20; ++j) {
+    labels[j] = static_cast<int>(j % 10);
+  }
+  SnnClassifier classifier(net, labels, 10, PixelFrequencyMap(1.0, 22.0),
+                           100.0);
+  SequentialRng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    const Image img = render_digit(static_cast<Label>(i * 2), 0.05, rng);
+    const int p = classifier.predict(img);
+    EXPECT_GE(p, -1);
+    EXPECT_LT(p, 10);
+  }
+}
+
+}  // namespace
+}  // namespace pss

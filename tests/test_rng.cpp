@@ -1,0 +1,208 @@
+// Tests for the counter-based Philox RNG — the cuRAND substitute.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+
+namespace pss {
+namespace {
+
+TEST(Philox, IsDeterministic) {
+  const std::array<std::uint32_t, 4> ctr = {1, 2, 3, 4};
+  const std::array<std::uint32_t, 2> key = {5, 6};
+  EXPECT_EQ(philox4x32(ctr, key), philox4x32(ctr, key));
+}
+
+TEST(Philox, DifferentCountersGiveDifferentBlocks) {
+  const std::array<std::uint32_t, 2> key = {5, 6};
+  EXPECT_NE(philox4x32({1, 0, 0, 0}, key), philox4x32({2, 0, 0, 0}, key));
+}
+
+TEST(Philox, DifferentKeysGiveDifferentBlocks) {
+  const std::array<std::uint32_t, 4> ctr = {1, 2, 3, 4};
+  EXPECT_NE(philox4x32(ctr, {1, 0}), philox4x32(ctr, {2, 0}));
+}
+
+TEST(CounterRng, SameSeedStreamCounterReproduces) {
+  CounterRng a(42, 7);
+  CounterRng b(42, 7);
+  for (std::uint64_t c = 0; c < 100; ++c) {
+    EXPECT_EQ(a.bits(c), b.bits(c));
+  }
+}
+
+TEST(CounterRng, DrawsAreIndexedNotSequential) {
+  CounterRng rng(42, 7);
+  const std::uint32_t fifth = rng.bits(5);
+  rng.bits(0);
+  rng.bits(99);
+  EXPECT_EQ(fifth, rng.bits(5)) << "order of queries must not matter";
+}
+
+TEST(CounterRng, DifferentSeedsDiffer) {
+  CounterRng a(1, 0);
+  CounterRng b(2, 0);
+  int equal = 0;
+  for (std::uint64_t c = 0; c < 64; ++c) {
+    if (a.bits(c) == b.bits(c)) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(CounterRng, DifferentStreamsDiffer) {
+  CounterRng a(1, 0);
+  CounterRng b(1, 1);
+  int equal = 0;
+  for (std::uint64_t c = 0; c < 64; ++c) {
+    if (a.bits(c) == b.bits(c)) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(CounterRng, UniformInUnitInterval) {
+  CounterRng rng(3, 0);
+  for (std::uint64_t c = 0; c < 1000; ++c) {
+    const double u = rng.uniform(c);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(CounterRng, UniformMeanIsHalf) {
+  CounterRng rng(3, 0);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int c = 0; c < n; ++c) sum += rng.uniform(static_cast<std::uint64_t>(c));
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(CounterRng, UniformRangeRespectsBounds) {
+  CounterRng rng(3, 0);
+  for (std::uint64_t c = 0; c < 500; ++c) {
+    const double u = rng.uniform(c, -2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(CounterRng, BernoulliExtremes) {
+  CounterRng rng(3, 0);
+  for (std::uint64_t c = 0; c < 100; ++c) {
+    EXPECT_FALSE(rng.bernoulli(c, 0.0));
+    EXPECT_TRUE(rng.bernoulli(c, 1.0));
+    EXPECT_FALSE(rng.bernoulli(c, -1.0));
+    EXPECT_TRUE(rng.bernoulli(c, 2.0));
+  }
+}
+
+TEST(CounterRng, BernoulliMatchesProbability) {
+  CounterRng rng(9, 2);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 20000;
+  for (int c = 0; c < n; ++c) {
+    if (rng.bernoulli(static_cast<std::uint64_t>(c), p)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(CounterRng, BelowStaysInRange) {
+  CounterRng rng(5, 0);
+  for (std::uint64_t c = 0; c < 1000; ++c) {
+    EXPECT_LT(rng.below(c, 13), 13u);
+  }
+}
+
+TEST(CounterRng, BelowCoversAllValues) {
+  CounterRng rng(5, 0);
+  std::set<std::uint32_t> seen;
+  for (std::uint64_t c = 0; c < 500; ++c) seen.insert(rng.below(c, 7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(CounterRng, NormalMomentsAreStandard) {
+  CounterRng rng(11, 0);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int c = 0; c < n; ++c) {
+    const double z = rng.normal(static_cast<std::uint64_t>(c));
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(CounterRng, ForkIsIndependentOfParent) {
+  CounterRng parent(42, 7);
+  CounterRng child = parent.fork(0);
+  EXPECT_EQ(child.seed(), parent.seed());
+  EXPECT_NE(child.stream(), parent.stream())
+      << "fork(0) must not alias the parent stream";
+}
+
+TEST(CounterRng, ForksAreMutuallyDistinct) {
+  CounterRng parent(42, 7);
+  std::set<std::uint64_t> streams;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    streams.insert(parent.fork(i).stream());
+  }
+  EXPECT_EQ(streams.size(), 100u);
+}
+
+TEST(SequentialRng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<SequentialRng>);
+  SequentialRng rng(1);
+  EXPECT_NE(rng(), rng()) << "sequential draws should differ";
+}
+
+TEST(SequentialRng, SameSeedSameSequence) {
+  SequentialRng a(7);
+  SequentialRng b(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SequentialRng, UniformHelpersInRange) {
+  SequentialRng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(rng.uniform(), 1.0);
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+    EXPECT_LT(rng.below(5), 5u);
+  }
+}
+
+// Distribution sanity over several (seed, stream) combinations: a chi-squared
+// style uniformity check on bytes.
+class RngDistribution
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(RngDistribution, BytesRoughlyUniform) {
+  const auto [seed, stream] = GetParam();
+  CounterRng rng(seed, stream);
+  std::vector<int> buckets(16, 0);
+  const int n = 16000;
+  for (int c = 0; c < n; ++c) {
+    buckets[rng.bits(static_cast<std::uint64_t>(c)) & 0xF]++;
+  }
+  for (int b = 0; b < 16; ++b) {
+    EXPECT_NEAR(buckets[b], n / 16, n / 16 * 0.15) << "bucket " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndStreams, RngDistribution,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{0, 0},
+                      std::pair<std::uint64_t, std::uint64_t>{1, 0},
+                      std::pair<std::uint64_t, std::uint64_t>{0, 1},
+                      std::pair<std::uint64_t, std::uint64_t>{0xdeadbeef, 42},
+                      std::pair<std::uint64_t, std::uint64_t>{~0ull, ~0ull}));
+
+}  // namespace
+}  // namespace pss

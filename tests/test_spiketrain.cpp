@@ -1,0 +1,142 @@
+// Tests for the spike-train analysis module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pss/common/error.hpp"
+#include "pss/common/rng.hpp"
+#include "pss/neuron/izhikevich.hpp"
+#include "pss/stats/spiketrain.hpp"
+
+namespace pss {
+namespace {
+
+TEST(IsiStatistics, RegularTrainHasZeroCv) {
+  const std::vector<TimeMs> train = {10, 20, 30, 40, 50};
+  const IsiStats s = isi_statistics(train);
+  EXPECT_EQ(s.interval_count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 10.0);
+  EXPECT_DOUBLE_EQ(s.stddev_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.cv, 0.0);
+  EXPECT_DOUBLE_EQ(s.min_ms, 10.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 10.0);
+}
+
+TEST(IsiStatistics, FewSpikesYieldEmptyStats) {
+  EXPECT_EQ(isi_statistics({}).interval_count, 0u);
+  const std::vector<TimeMs> one = {5.0};
+  EXPECT_EQ(isi_statistics(one).interval_count, 0u);
+}
+
+TEST(IsiStatistics, PoissonTrainHasCvNearOne) {
+  // Generate an exponential-ISI train.
+  SequentialRng rng(3);
+  std::vector<TimeMs> train;
+  TimeMs t = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    t += -50.0 * std::log(1.0 - rng.uniform());  // mean ISI 50 ms
+    train.push_back(t);
+  }
+  const IsiStats s = isi_statistics(train);
+  EXPECT_NEAR(s.mean_ms, 50.0, 3.0);
+  EXPECT_NEAR(s.cv, 1.0, 0.08);
+}
+
+TEST(IsiStatistics, RejectsUnsortedInput) {
+  const std::vector<TimeMs> bad = {10, 5, 20};
+  EXPECT_THROW(isi_statistics(bad), Error);
+}
+
+TEST(FanoFactor, PoissonNearOneRegularNearZero) {
+  SequentialRng rng(5);
+  std::vector<TimeMs> poisson;
+  TimeMs t = 0.0;
+  while (t < 100000.0) {
+    t += -20.0 * std::log(1.0 - rng.uniform());
+    poisson.push_back(t);
+  }
+  EXPECT_NEAR(fano_factor(poisson, 100000.0, 500.0), 1.0, 0.25);
+
+  std::vector<TimeMs> regular;
+  for (TimeMs rt = 20.0; rt < 100000.0; rt += 20.0) regular.push_back(rt);
+  EXPECT_LT(fano_factor(regular, 100000.0, 500.0), 0.1);
+}
+
+TEST(FanoFactor, EmptyTrainIsZero) {
+  EXPECT_DOUBLE_EQ(fano_factor({}, 1000.0, 100.0), 0.0);
+}
+
+TEST(RateCurve, CountsPerBinConvertToHz) {
+  const std::vector<TimeMs> train = {10, 20, 30, 150};
+  const auto curve = rate_curve(train, 200.0, 100.0);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0], 30.0);  // 3 spikes / 100 ms
+  EXPECT_DOUBLE_EQ(curve[1], 10.0);
+}
+
+TEST(VanRossum, IdenticalTrainsHaveZeroDistance) {
+  const std::vector<TimeMs> a = {10, 50, 90};
+  EXPECT_NEAR(van_rossum_distance(a, a, 10.0), 0.0, 1e-9);
+}
+
+TEST(VanRossum, DistanceGrowsWithMissingSpikes) {
+  const std::vector<TimeMs> full = {10, 50, 90};
+  const std::vector<TimeMs> missing_one = {10, 50};
+  const std::vector<TimeMs> missing_two = {10};
+  const double d1 = van_rossum_distance(full, missing_one, 10.0);
+  const double d2 = van_rossum_distance(full, missing_two, 10.0);
+  EXPECT_GT(d1, 0.1);
+  EXPECT_GT(d2, d1);
+}
+
+TEST(VanRossum, DistanceGrowsWithTemporalShift) {
+  const std::vector<TimeMs> a = {100.0};
+  const std::vector<TimeMs> small_shift = {102.0};
+  const std::vector<TimeMs> large_shift = {140.0};
+  const double d_small = van_rossum_distance(a, small_shift, 10.0);
+  const double d_large = van_rossum_distance(a, large_shift, 10.0);
+  EXPECT_GT(d_small, 0.0);
+  EXPECT_GT(d_large, d_small);
+}
+
+TEST(VanRossum, SymmetricInArguments) {
+  const std::vector<TimeMs> a = {10, 30, 80};
+  const std::vector<TimeMs> b = {15, 60};
+  EXPECT_DOUBLE_EQ(van_rossum_distance(a, b, 12.0),
+                   van_rossum_distance(b, a, 12.0));
+}
+
+TEST(IsiStatistics, DistinguishesIzhikevichFiringPatterns) {
+  // Integration with the neuron models: a chattering neuron's burst ISIs
+  // are far more irregular than a regular-spiking neuron's tonic train.
+  auto train_of = [](const IzhikevichParameters& params) {
+    double v = params.v_init;
+    double u = params.b * params.v_init;
+    std::vector<TimeMs> times;
+    for (int t = 0; t < 3000; ++t) {
+      if (izhikevich_step(params, v, u, 10.0, 1.0) && t > 200) {
+        times.push_back(static_cast<TimeMs>(t));
+      }
+    }
+    return times;
+  };
+  const auto rs = train_of(izhikevich_regular_spiking());
+  const auto ch = train_of(izhikevich_chattering());
+  ASSERT_GT(rs.size(), 5u);
+  ASSERT_GT(ch.size(), 5u);
+  const double cv_rs = isi_statistics(rs).cv;
+  const double cv_ch = isi_statistics(ch).cv;
+  EXPECT_LT(cv_rs, 0.3) << "tonic regular spiking";
+  EXPECT_GT(cv_ch, cv_rs + 0.3) << "bursting yields bimodal ISIs";
+}
+
+TEST(Coincidence, ExactAndWindowedMatches) {
+  const std::vector<TimeMs> a = {10, 20, 30};
+  const std::vector<TimeMs> b = {10, 22, 300};
+  EXPECT_DOUBLE_EQ(coincidence_fraction(a, b, 0.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(coincidence_fraction(a, b, 2.0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(coincidence_fraction({}, b, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace pss

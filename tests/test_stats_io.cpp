@@ -1,0 +1,248 @@
+// Tests for the statistics helpers and the io module (PGM is covered in
+// test_data.cpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "pss/common/error.hpp"
+#include "pss/common/log.hpp"
+#include "pss/io/config.hpp"
+#include "pss/io/csv.hpp"
+#include "pss/io/table.hpp"
+#include "pss/stats/confusion.hpp"
+#include "pss/stats/histogram.hpp"
+#include "pss/stats/raster.hpp"
+#include "pss/stats/summary.hpp"
+
+namespace pss {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);   // bin 0
+  h.add(0.3);   // bin 1
+  h.add(0.99);  // bin 3
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(2), 0u);
+  EXPECT_EQ(h.bin(3), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(3), 1u);
+}
+
+TEST(Histogram, FractionsAndEdgeMetrics) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 8; ++i) h.add(0.01);
+  for (int i = 0; i < 2; ++i) h.add(0.99);
+  EXPECT_DOUBLE_EQ(h.bottom_fraction(), 0.8);
+  EXPECT_DOUBLE_EQ(h.top_fraction(), 0.2);
+}
+
+TEST(Histogram, MeanAndVarianceTrackRawValues) {
+  Histogram h(0.0, 10.0, 5);
+  for (double v : {2.0, 4.0, 6.0, 8.0}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h.variance(), 5.0);
+}
+
+TEST(Histogram, CentersAndRendering) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.center(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.center(1), 0.75);
+  h.add(0.1);
+  EXPECT_NE(h.to_string().find('#'), std::string::npos);
+}
+
+TEST(ConfusionMatrix, AccuracyAndRecall) {
+  ConfusionMatrix m(3);
+  m.record(0, 0);
+  m.record(0, 1);
+  m.record(1, 1);
+  m.record(2, 2);
+  m.record(2, 2);
+  EXPECT_EQ(m.total(), 5u);
+  EXPECT_EQ(m.correct(), 4u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.8);
+  const auto recall = m.recall();
+  EXPECT_DOUBLE_EQ(recall[0], 0.5);
+  EXPECT_DOUBLE_EQ(recall[1], 1.0);
+  EXPECT_DOUBLE_EQ(recall[2], 1.0);
+}
+
+TEST(ConfusionMatrix, AbstentionsCountAsErrors) {
+  ConfusionMatrix m(2);
+  m.record(0, -1);
+  m.record(1, 1);
+  EXPECT_EQ(m.abstentions(), 1u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.5);
+}
+
+TEST(ConfusionMatrix, RejectsOutOfRange) {
+  ConfusionMatrix m(2);
+  EXPECT_THROW(m.record(5, 0), Error);
+  EXPECT_THROW(m.record(0, 7), Error);
+  EXPECT_THROW(m.count(0, 9), Error);
+}
+
+TEST(ConfusionMatrix, EmptyAccuracyIsZero) {
+  EXPECT_DOUBLE_EQ(ConfusionMatrix(4).accuracy(), 0.0);
+}
+
+TEST(SpikeRaster, RecordsAndQueriesRows) {
+  SpikeRaster raster(4, 100.0);
+  raster.record(2, 10.0);
+  raster.record(2, 30.0);
+  raster.record(1, 50.0);
+  EXPECT_EQ(raster.spike_count(), 3u);
+  EXPECT_EQ(raster.row_times(2), (std::vector<TimeMs>{10.0, 30.0}));
+  EXPECT_DOUBLE_EQ(raster.row_rate_hz(2), 20.0);
+  EXPECT_DOUBLE_EQ(raster.row_rate_hz(0), 0.0);
+  EXPECT_THROW(raster.record(9, 1.0), Error);
+}
+
+TEST(SpikeRaster, AsciiRenderingShowsDots) {
+  SpikeRaster raster(2, 100.0);
+  raster.record(0, 50.0);
+  const std::string art = raster.to_string(10, 2);
+  EXPECT_NE(art.find('.'), std::string::npos);
+}
+
+TEST(Summary, BasicStats) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const SummaryStats s = summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Summary, EmptyIsAllZero) {
+  const SummaryStats s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, PearsonCorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> up = {2, 4, 6, 8};
+  const std::vector<double> down = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(a, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(a, down), -1.0, 1e-12);
+  const std::vector<double> flat = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson_correlation(a, flat), 0.0);
+}
+
+TEST(Summary, QuartileContrast) {
+  // Bottom quartile mean 0, top quartile mean 1 -> contrast 1.
+  const std::vector<double> v = {0.0, 0.0, 0.5, 0.5, 0.5, 0.5, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(quartile_contrast(v), 1.0);
+  const std::vector<double> uniform(8, 0.4);
+  EXPECT_DOUBLE_EQ(quartile_contrast(uniform), 0.0);
+}
+
+TEST(TablePrinter, AlignsColumnsAndFormats) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row("beta", {2.345}, 2);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.35"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_THROW(t.add_row({"too", "many", "cells"}), Error);
+}
+
+TEST(TablePrinter, FormatFixedHelper) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(78.0, 0), "78");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = temp_path("pss_test.csv");
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.row(std::vector<std::string>{"1", "2"});
+    csv.row(std::vector<double>{3.5, 4.5});
+    EXPECT_EQ(csv.rows_written(), 2u);
+    EXPECT_THROW(csv.row(std::vector<std::string>{"only-one"}), Error);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Config, ParsesArgsAndTypes) {
+  const char* argv[] = {"prog", "alpha=1.5", "count=42", "flag=true",
+                        "name=test"};
+  const Config c = Config::from_args(5, argv);
+  EXPECT_DOUBLE_EQ(c.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(c.get_int("count", 0), 42);
+  EXPECT_TRUE(c.get_bool("flag", false));
+  EXPECT_EQ(c.get_string("name", ""), "test");
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+  EXPECT_TRUE(c.has("alpha"));
+  EXPECT_FALSE(c.has("beta"));
+}
+
+TEST(Config, ParsesFileWithComments) {
+  const std::string path = temp_path("pss_test.cfg");
+  {
+    std::ofstream out(path);
+    out << "# comment line\n"
+        << "key = value # trailing comment\n"
+        << "\n"
+        << "n=3\n";
+  }
+  const Config c = Config::from_file(path);
+  EXPECT_EQ(c.get_string("key", ""), "value");
+  EXPECT_EQ(c.get_int("n", 0), 3);
+  EXPECT_EQ(c.keys().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Config, RejectsMalformedInput) {
+  const char* bad[] = {"prog", "no-equals-sign"};
+  EXPECT_THROW(Config::from_args(2, bad), Error);
+  const char* badnum[] = {"prog", "x=abc"};
+  const Config c = Config::from_args(2, badnum);
+  EXPECT_THROW(c.get_double("x", 0.0), Error);
+  EXPECT_THROW(c.get_bool("x", false), Error);
+}
+
+TEST(Log, LevelGateWorks) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold messages must not crash and are dropped silently.
+  PSS_LOG_DEBUG << "dropped";
+  PSS_LOG_INFO << "dropped too";
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace pss

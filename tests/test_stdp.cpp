@@ -1,0 +1,299 @@
+// Tests for the STDP rules: eq. 4-5 magnitudes, eq. 6-7 gates, and the
+// unified updater with precision/rounding handling (the paper's core).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "pss/common/error.hpp"
+#include "pss/common/rng.hpp"
+#include "pss/synapse/parameter_registry.hpp"
+#include "pss/synapse/stdp_deterministic.hpp"
+#include "pss/synapse/stdp_stochastic.hpp"
+#include "pss/synapse/stdp_updater.hpp"
+
+namespace pss {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+StdpMagnitudeParams paper16() {
+  return StdpMagnitudeParams{0.01, 3.0, 0.005, 3.0, 1.0, 0.0};
+}
+
+TEST(DeterministicStdp, Equation4AtBounds) {
+  const DeterministicStdp rule(paper16());
+  // At G = G_min the exponent is 0: delta = alpha_p.
+  EXPECT_DOUBLE_EQ(rule.potentiation_delta(0.0), 0.01);
+  // At G = G_max: alpha_p * e^-beta_p.
+  EXPECT_NEAR(rule.potentiation_delta(1.0), 0.01 * std::exp(-3.0), 1e-12);
+}
+
+TEST(DeterministicStdp, Equation5AtBounds) {
+  const DeterministicStdp rule(paper16());
+  EXPECT_DOUBLE_EQ(rule.depression_delta(1.0), 0.005);
+  EXPECT_NEAR(rule.depression_delta(0.0), 0.005 * std::exp(-3.0), 1e-12);
+}
+
+TEST(DeterministicStdp, PotentiationDeltaDecreasesWithG) {
+  const DeterministicStdp rule(paper16());
+  double prev = rule.potentiation_delta(0.0);
+  for (double g = 0.1; g <= 1.0; g += 0.1) {
+    const double d = rule.potentiation_delta(g);
+    EXPECT_LT(d, prev) << "soft bound: smaller steps near G_max";
+    prev = d;
+  }
+}
+
+TEST(DeterministicStdp, DepressionDeltaIncreasesWithG) {
+  const DeterministicStdp rule(paper16());
+  double prev = rule.depression_delta(0.0);
+  for (double g = 0.1; g <= 1.0; g += 0.1) {
+    const double d = rule.depression_delta(g);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(DeterministicStdp, PotentiateAndDepressClamp) {
+  const DeterministicStdp rule(paper16());
+  EXPECT_LE(rule.potentiate(0.9999), 1.0);
+  EXPECT_GE(rule.depress(0.0001), 0.0);
+}
+
+TEST(DeterministicStdp, RespectsCustomRange) {
+  StdpMagnitudeParams p = paper16();
+  p.g_min = 0.2;
+  p.g_max = 0.6;
+  const DeterministicStdp rule(p);
+  EXPECT_DOUBLE_EQ(rule.potentiation_delta(0.2), p.alpha_p);
+  EXPECT_DOUBLE_EQ(rule.depression_delta(0.6), p.alpha_d);
+  EXPECT_GE(rule.depress(0.21), 0.2);
+}
+
+TEST(DeterministicStdp, RejectsEmptyRange) {
+  StdpMagnitudeParams p = paper16();
+  p.g_min = p.g_max = 0.5;
+  EXPECT_THROW(DeterministicStdp{p}, Error);
+}
+
+TEST(StochasticGate, Equation6Values) {
+  const StochasticGate gate(StochasticGateParams{0.9, 30.0, 0.9, 10.0});
+  EXPECT_DOUBLE_EQ(gate.p_pot(0.0), 0.9);
+  EXPECT_NEAR(gate.p_pot(30.0), 0.9 * std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(gate.p_pot(-5.0), 0.0) << "anti-causal pairs never potentiate";
+}
+
+TEST(StochasticGate, Equation7Values) {
+  const StochasticGate gate(StochasticGateParams{0.9, 30.0, 0.9, 10.0});
+  EXPECT_DOUBLE_EQ(gate.p_dep(0.0), 0.9);
+  EXPECT_NEAR(gate.p_dep(-10.0), 0.9 * std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(gate.p_dep(5.0), 0.0) << "causal pairs never depress via eq.7";
+}
+
+TEST(StochasticGate, StaleDepressionRisesWithGap) {
+  const StochasticGate gate(StochasticGateParams{0.9, 30.0, 0.9, 10.0, 80.0});
+  EXPECT_DOUBLE_EQ(gate.p_dep_stale(0.0), 0.0);
+  double prev = 0.0;
+  for (double gap = 10.0; gap <= 500.0; gap += 10.0) {
+    const double p = gate.p_dep_stale(gap);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  EXPECT_NEAR(gate.p_dep_stale(1e9), 0.9, 1e-9) << "saturates at gamma_dep";
+}
+
+TEST(StochasticGate, ProbabilitiesDecayWithAbsoluteDt) {
+  // Fig. 1c: both curves peak at dt = 0 and decay with |dt|.
+  const StochasticGate gate(StochasticGateParams{0.5, 20.0, 0.4, 15.0});
+  EXPECT_GT(gate.p_pot(5.0), gate.p_pot(25.0));
+  EXPECT_GT(gate.p_dep(-5.0), gate.p_dep(-25.0));
+}
+
+TEST(StochasticGate, RejectsInvalidParams) {
+  EXPECT_THROW(StochasticGate(StochasticGateParams{1.5, 30.0, 0.9, 10.0}),
+               Error);
+  EXPECT_THROW(StochasticGate(StochasticGateParams{0.9, -1.0, 0.9, 10.0}),
+               Error);
+}
+
+StdpUpdaterConfig det_config() {
+  StdpUpdaterConfig cfg;
+  cfg.kind = StdpKind::kDeterministic;
+  cfg.magnitude = paper16();
+  cfg.gate = StochasticGateParams{0.9, 30.0, 0.9, 10.0};
+  return cfg;
+}
+
+StdpUpdaterConfig sto_config() {
+  StdpUpdaterConfig cfg = det_config();
+  cfg.kind = StdpKind::kStochastic;
+  return cfg;
+}
+
+TEST(StdpUpdater, DeterministicPotentiatesInsideWindow) {
+  const StdpUpdater u(det_config());
+  const double g = 0.5;
+  EXPECT_GT(u.update_at_post_spike(g, 10.0, 0.99, 0.99, 0.0), g);
+  EXPECT_GT(u.update_at_post_spike(g, 20.0, 0.99, 0.99, 0.0), g);
+}
+
+TEST(StdpUpdater, DeterministicDepressesOutsideWindow) {
+  const StdpUpdater u(det_config());
+  const double g = 0.5;
+  EXPECT_LT(u.update_at_post_spike(g, 20.1, 0.0, 0.0, 0.0), g);
+  EXPECT_LT(u.update_at_post_spike(g, kInf, 0.0, 0.0, 0.0), g);
+}
+
+TEST(StdpUpdater, DeterministicIgnoresDraws) {
+  const StdpUpdater u(det_config());
+  EXPECT_DOUBLE_EQ(u.update_at_post_spike(0.5, 10.0, 0.0, 0.0, 0.0),
+                   u.update_at_post_spike(0.5, 10.0, 0.99, 0.99, 0.0));
+}
+
+TEST(StdpUpdater, DeterministicHasNoPreSpikePathway) {
+  const StdpUpdater u(det_config());
+  EXPECT_FALSE(u.wants_pre_spike_events());
+  EXPECT_DOUBLE_EQ(u.update_at_pre_spike(0.5, 3.0, 0.0, 0.0), 0.5);
+}
+
+TEST(StdpUpdater, StochasticPotentiationGatedByEq6) {
+  const StdpUpdater u(sto_config());
+  const double g = 0.5;
+  const double p = 0.9 * std::exp(-10.0 / 30.0);
+  // Draw below the gate probability -> potentiate; above (and below the
+  // stale-dep gate, which is small at gap 10) -> unchanged.
+  EXPECT_GT(u.update_at_post_spike(g, 10.0, p - 0.01, 0.99, 0.0), g);
+  EXPECT_DOUBLE_EQ(u.update_at_post_spike(g, 10.0, p + 0.01, 0.99, 0.0), g);
+}
+
+TEST(StdpUpdater, StochasticStaleDepressionAtLargeGap) {
+  const StdpUpdater u(sto_config());
+  const double g = 0.5;
+  // gap = inf: p_pot = 0, stale dep probability = gamma_dep.
+  EXPECT_LT(u.update_at_post_spike(g, kInf, 0.0, 0.5, 0.0), g);
+  EXPECT_DOUBLE_EQ(u.update_at_post_spike(g, kInf, 0.0, 0.91, 0.0), g);
+}
+
+TEST(StdpUpdater, PreSpikeEq7ModeDepresses) {
+  StdpUpdaterConfig cfg = sto_config();
+  cfg.depression = DepressionMode::kPreSpikeEq7;
+  const StdpUpdater u(cfg);
+  EXPECT_TRUE(u.wants_pre_spike_events());
+  const double g = 0.5;
+  const double p5 = 0.9 * std::exp(-5.0 / 10.0);
+  EXPECT_LT(u.update_at_pre_spike(g, 5.0, p5 - 0.01, 0.0), g);
+  EXPECT_DOUBLE_EQ(u.update_at_pre_spike(g, 5.0, p5 + 0.01, 0.0), g);
+  // In this mode there is no stale depression at post spikes.
+  EXPECT_DOUBLE_EQ(u.update_at_post_spike(g, kInf, 0.5, 0.0, 0.0), g);
+}
+
+TEST(StdpUpdater, Fp32UsesFloatDeltas) {
+  const StdpUpdater u(det_config());
+  const double g = 0.5;
+  const DeterministicStdp rule(paper16());
+  EXPECT_DOUBLE_EQ(u.update_at_post_spike(g, 5.0, 0.0, 0.0, 0.0),
+                   g + rule.potentiation_delta(g));
+}
+
+TEST(StdpUpdater, StochasticLowPrecisionUsesFullQuantum) {
+  StdpUpdaterConfig cfg = sto_config();
+  cfg.format = q0_2();
+  const StdpUpdater u(cfg);
+  // Start on-grid; a successful potentiation moves exactly one 0.25 step.
+  EXPECT_DOUBLE_EQ(u.update_at_post_spike(0.25, 0.0, 0.0, 0.0, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(u.update_at_post_spike(0.5, kInf, 0.99, 0.0, 0.0), 0.25);
+}
+
+TEST(StdpUpdater, DeterministicLowPrecisionTruncationKillsLearning) {
+  // The Table II mechanism: float delta ~0.01 << 0.25 quantum -> truncation
+  // and nearest produce zero update; stochastic rounding sometimes applies a
+  // full quantum (eq. 8).
+  StdpUpdaterConfig cfg = det_config();
+  cfg.format = q0_2();
+  cfg.rounding = RoundingMode::kTruncate;
+  EXPECT_DOUBLE_EQ(StdpUpdater(cfg).update_at_post_spike(0.5, 5.0, 0, 0, 0.0),
+                   0.5);
+  cfg.rounding = RoundingMode::kNearest;
+  EXPECT_DOUBLE_EQ(StdpUpdater(cfg).update_at_post_spike(0.5, 5.0, 0, 0, 0.0),
+                   0.5);
+  cfg.rounding = RoundingMode::kStochastic;
+  const StdpUpdater stoch_round(cfg);
+  // Potentiation delta at g=0.5 is 0.01*e^-1.5 ~ 0.00223; P_up = delta*4.
+  const double p_up = 0.01 * std::exp(-1.5) * 4.0;
+  EXPECT_DOUBLE_EQ(stoch_round.update_at_post_spike(0.5, 5.0, 0, 0, p_up * 0.9),
+                   0.75);
+  EXPECT_DOUBLE_EQ(stoch_round.update_at_post_spike(0.5, 5.0, 0, 0, p_up * 1.1),
+                   0.5);
+}
+
+TEST(StdpUpdater, EffectiveGMaxRespectsFormat) {
+  StdpUpdaterConfig cfg = sto_config();
+  EXPECT_DOUBLE_EQ(StdpUpdater(cfg).effective_g_max(), 1.0);
+  cfg.format = q0_2();
+  EXPECT_DOUBLE_EQ(StdpUpdater(cfg).effective_g_max(), 0.75);
+  cfg.format = q1_7();
+  EXPECT_DOUBLE_EQ(StdpUpdater(cfg).effective_g_max(), 1.0)
+      << "Q1.7 can represent beyond g_max; clamp is g_max";
+}
+
+TEST(StdpUpdater, NamesAreStable) {
+  EXPECT_STREQ(stdp_kind_name(StdpKind::kDeterministic), "deterministic");
+  EXPECT_STREQ(stdp_kind_name(StdpKind::kStochastic), "stochastic");
+  EXPECT_STREQ(depression_mode_name(DepressionMode::kStaleAtPost),
+               "stale-at-post");
+}
+
+// Property sweep over every Table I row x rule kind: conductance must stay
+// in range and (for fixed-point rows) on the representation grid through
+// long random event sequences.
+class UpdaterProperty
+    : public ::testing::TestWithParam<std::tuple<LearningOption, StdpKind>> {};
+
+TEST_P(UpdaterProperty, ConductanceStaysInRangeAndOnGrid) {
+  const auto [option, kind] = GetParam();
+  const Table1Row& row = table1_row(option);
+  StdpUpdaterConfig cfg;
+  cfg.kind = kind;
+  cfg.magnitude = row.magnitude.value_or(paper16());
+  cfg.gate = row.gate;
+  cfg.format = row.format;
+  const StdpUpdater u(cfg);
+
+  SequentialRng rng(2024);
+  double g = 0.5;
+  if (row.format) {
+    g = Quantizer(*row.format, RoundingMode::kNearest).quantize(g);
+  }
+  for (int event = 0; event < 5000; ++event) {
+    const double gap = rng.uniform(0.0, 400.0);
+    if (rng.bernoulli(0.8)) {
+      g = u.update_at_post_spike(g, gap, rng.uniform(), rng.uniform(),
+                                 rng.uniform());
+    } else {
+      g = u.update_at_pre_spike(g, gap, rng.uniform(), rng.uniform());
+    }
+    ASSERT_GE(g, cfg.magnitude.g_min);
+    ASSERT_LE(g, u.effective_g_max());
+    if (row.format) {
+      // Deltas are grid-quantized (or a full quantum), so a grid-initialized
+      // conductance must stay on the grid forever.
+      ASSERT_TRUE(row.format->representable(g))
+          << "event " << event << ": g = " << g << " left the grid";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRows, UpdaterProperty,
+    ::testing::Combine(::testing::Values(LearningOption::k2Bit,
+                                         LearningOption::k4Bit,
+                                         LearningOption::k8Bit,
+                                         LearningOption::k16Bit,
+                                         LearningOption::kFloat32,
+                                         LearningOption::kHighFrequency),
+                       ::testing::Values(StdpKind::kDeterministic,
+                                         StdpKind::kStochastic)));
+
+}  // namespace
+}  // namespace pss

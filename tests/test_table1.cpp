@@ -1,0 +1,102 @@
+// Verifies the Table I registry against the paper, cell by cell.
+#include <gtest/gtest.h>
+
+#include "pss/common/error.hpp"
+#include "pss/synapse/parameter_registry.hpp"
+
+namespace pss {
+namespace {
+
+TEST(Table1, HasAllSixRows) {
+  EXPECT_EQ(table1_rows().size(), 6u);
+}
+
+TEST(Table1, TwoBitRow) {
+  const Table1Row& r = table1_row(LearningOption::k2Bit);
+  EXPECT_FALSE(r.magnitude.has_value()) << "alpha/beta blank at 2 bit";
+  EXPECT_DOUBLE_EQ(r.gate.gamma_pot, 0.2);
+  EXPECT_DOUBLE_EQ(r.gate.tau_pot, 20.0);
+  EXPECT_DOUBLE_EQ(r.gate.gamma_dep, 0.2);
+  EXPECT_DOUBLE_EQ(r.gate.tau_dep, 10.0);
+  ASSERT_TRUE(r.format.has_value());
+  EXPECT_EQ(r.format->name(), "Q0.2");
+  EXPECT_DOUBLE_EQ(r.f_input_max_hz, 22.0);
+  EXPECT_DOUBLE_EQ(r.f_input_min_hz, 1.0);
+}
+
+TEST(Table1, FourBitRow) {
+  const Table1Row& r = table1_row(LearningOption::k4Bit);
+  EXPECT_FALSE(r.magnitude.has_value());
+  EXPECT_DOUBLE_EQ(r.gate.gamma_pot, 0.3);
+  EXPECT_DOUBLE_EQ(r.gate.tau_pot, 30.0);
+  EXPECT_DOUBLE_EQ(r.gate.gamma_dep, 0.3);
+  EXPECT_EQ(r.format->name(), "Q0.4");
+}
+
+TEST(Table1, EightBitRow) {
+  const Table1Row& r = table1_row(LearningOption::k8Bit);
+  EXPECT_DOUBLE_EQ(r.gate.gamma_pot, 0.5);
+  EXPECT_DOUBLE_EQ(r.gate.gamma_dep, 0.5);
+  EXPECT_DOUBLE_EQ(r.gate.tau_dep, 10.0);
+  EXPECT_EQ(r.format->name(), "Q1.7");
+}
+
+TEST(Table1, SixteenBitRowHasMagnitudes) {
+  const Table1Row& r = table1_row(LearningOption::k16Bit);
+  ASSERT_TRUE(r.magnitude.has_value());
+  EXPECT_DOUBLE_EQ(r.magnitude->alpha_p, 0.01);
+  EXPECT_DOUBLE_EQ(r.magnitude->beta_p, 3.0);
+  EXPECT_DOUBLE_EQ(r.magnitude->alpha_d, 0.005);
+  EXPECT_DOUBLE_EQ(r.magnitude->beta_d, 3.0);
+  EXPECT_DOUBLE_EQ(r.magnitude->g_max, 1.0);
+  EXPECT_DOUBLE_EQ(r.magnitude->g_min, 0.0);
+  EXPECT_DOUBLE_EQ(r.gate.gamma_pot, 0.9);
+  EXPECT_EQ(r.format->name(), "Q1.15");
+}
+
+TEST(Table1, HighFrequencyRowExtendsRange) {
+  // Sec. IV-C: short-term behaviour = higher tau_pot, lower tau_dep; the
+  // operating point moves to 5-78 Hz at 100 ms per image.
+  const Table1Row& r = table1_row(LearningOption::kHighFrequency);
+  EXPECT_DOUBLE_EQ(r.gate.gamma_pot, 0.3);
+  EXPECT_DOUBLE_EQ(r.gate.tau_pot, 80.0);
+  EXPECT_DOUBLE_EQ(r.gate.gamma_dep, 0.2);
+  EXPECT_DOUBLE_EQ(r.gate.tau_dep, 5.0);
+  EXPECT_DOUBLE_EQ(r.f_input_max_hz, 78.0);
+  EXPECT_DOUBLE_EQ(r.f_input_min_hz, 5.0);
+  EXPECT_DOUBLE_EQ(r.t_learn_ms, 100.0);
+  EXPECT_FALSE(r.format.has_value());
+  const Table1Row& base = table1_row(LearningOption::k16Bit);
+  EXPECT_GT(r.gate.tau_pot, base.gate.tau_pot);
+  EXPECT_LT(r.gate.tau_dep, base.gate.tau_dep);
+}
+
+TEST(Table1, Fp32RowSharesSixteenBitParameters) {
+  const Table1Row& fp = table1_row(LearningOption::kFloat32);
+  const Table1Row& b16 = table1_row(LearningOption::k16Bit);
+  EXPECT_FALSE(fp.format.has_value());
+  ASSERT_TRUE(fp.magnitude.has_value());
+  EXPECT_DOUBLE_EQ(fp.magnitude->alpha_p, b16.magnitude->alpha_p);
+  EXPECT_DOUBLE_EQ(fp.gate.gamma_pot, b16.gate.gamma_pot);
+}
+
+TEST(Table1, BaselineRowsUse500msLearning) {
+  for (const auto option :
+       {LearningOption::k2Bit, LearningOption::k4Bit, LearningOption::k8Bit,
+        LearningOption::k16Bit, LearningOption::kFloat32}) {
+    EXPECT_DOUBLE_EQ(table1_row(option).t_learn_ms, 500.0)
+        << learning_option_name(option);
+  }
+}
+
+TEST(Table1, NamesMatchEnum) {
+  EXPECT_STREQ(learning_option_name(LearningOption::k2Bit), "2 bit");
+  EXPECT_STREQ(learning_option_name(LearningOption::kHighFrequency),
+               "high frequency");
+  for (const auto& row : table1_rows()) {
+    EXPECT_EQ(row.name, learning_option_name(row.option));
+  }
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,195 @@
+// pss_run — the configuration-file driver (paper Sec. III-A: the CPU
+// "constructs the simulation environment with configuration and input data
+// file"). One binary covers the three deployment modes:
+//
+//   train:  run the unsupervised protocol, report accuracy, optionally save
+//           a model snapshot.
+//   infer:  load a snapshot and classify a test set (no training).
+//   both:   train then immediately reload the saved snapshot and verify.
+//
+// Usage:
+//   pss_run <config-file> [key=value overrides...]
+//   pss_run mode=train dataset=mnist option=2bit snapshot=model.bin
+//
+// Recognized keys (all optional; defaults in parentheses):
+//   mode=train|infer|both (train)     dataset=mnist|fashion (mnist)
+//   kind=stochastic|deterministic     option=fp32|16bit|8bit|4bit|2bit|highfreq
+//   rounding=nearest|trunc|stochastic neurons=100 train=400 label=250 eval=250
+//   seed=1  snapshot=<path>  maps=<path.pgm>  verbose=0|1
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "pss/common/error.hpp"
+#include "pss/common/log.hpp"
+#include "pss/data/idx.hpp"
+#include "pss/data/synthetic_digits.hpp"
+#include "pss/data/synthetic_fashion.hpp"
+#include "pss/experiment/experiment.hpp"
+#include "pss/io/config.hpp"
+#include "pss/io/pgm.hpp"
+#include "pss/io/snapshot.hpp"
+#include "pss/learning/trainer.hpp"
+
+using namespace pss;
+
+namespace {
+
+Config parse_cli(int argc, char** argv) {
+  // First positional argument without '=' is a config file; later key=value
+  // tokens override it.
+  Config config;
+  int first_kv = 1;
+  if (argc > 1 && std::string(argv[1]).find('=') == std::string::npos) {
+    config = Config::from_file(argv[1]);
+    first_kv = 2;
+  }
+  const Config overrides = Config::from_args(argc, argv, first_kv);
+  for (const auto& key : overrides.keys()) {
+    config.set(key, overrides.get_string(key, ""));
+  }
+  return config;
+}
+
+LearningOption parse_option(const std::string& name) {
+  if (name == "fp32") return LearningOption::kFloat32;
+  if (name == "16bit") return LearningOption::k16Bit;
+  if (name == "8bit") return LearningOption::k8Bit;
+  if (name == "4bit") return LearningOption::k4Bit;
+  if (name == "2bit") return LearningOption::k2Bit;
+  if (name == "highfreq") return LearningOption::kHighFrequency;
+  throw Error("unknown option: " + name);
+}
+
+RoundingMode parse_rounding(const std::string& name) {
+  if (name == "nearest") return RoundingMode::kNearest;
+  if (name == "trunc") return RoundingMode::kTruncate;
+  if (name == "stochastic") return RoundingMode::kStochastic;
+  throw Error("unknown rounding: " + name);
+}
+
+LabeledDataset load_data(const Config& cfg, const ExperimentSpec& spec) {
+  const std::string which =
+      cfg.get_string("dataset", "mnist") == "fashion" ? "fashion-mnist"
+                                                      : "mnist";
+  if (auto real = load_real_dataset_from_env(which)) return std::move(*real);
+  SyntheticConfig synth;
+  synth.train_count = spec.train_images + 100;
+  synth.test_count = spec.label_images + spec.eval_images;
+  synth.seed = 7;
+  return which == "fashion-mnist" ? make_synthetic_fashion(synth)
+                                  : make_synthetic_digits(synth);
+}
+
+ExperimentSpec spec_from_config(const Config& cfg) {
+  ExperimentSpec spec;
+  spec.name = cfg.get_string("name", "pss_run");
+  spec.kind = cfg.get_string("kind", "stochastic") == "deterministic"
+                  ? StdpKind::kDeterministic
+                  : StdpKind::kStochastic;
+  spec.option = parse_option(cfg.get_string("option", "fp32"));
+  spec.rounding = parse_rounding(cfg.get_string("rounding", "nearest"));
+  spec.neuron_count = static_cast<std::size_t>(cfg.get_int("neurons", 100));
+  spec.train_images = static_cast<std::size_t>(cfg.get_int("train", 400));
+  spec.label_images = static_cast<std::size_t>(cfg.get_int("label", 250));
+  spec.eval_images = static_cast<std::size_t>(cfg.get_int("eval", 250));
+  spec.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  return spec;
+}
+
+int run_train(const Config& cfg) {
+  const ExperimentSpec spec = spec_from_config(cfg);
+  const LabeledDataset data = load_data(cfg, spec);
+  std::printf("train: %s STDP, %s, %zu neurons, %zu images (%s)\n",
+              stdp_kind_name(spec.kind), learning_option_name(spec.option),
+              spec.neuron_count, spec.train_images, data.name.c_str());
+
+  // Explicit pipeline so the trained network can be snapshotted.
+  WtaNetwork net(spec.network_config());
+  UnsupervisedTrainer trainer(net, spec.trainer_config());
+  const TrainingStats stats = trainer.train(data.train.head(spec.train_images));
+  const PixelFrequencyMap map(spec.trainer_config().f_min_hz,
+                              spec.trainer_config().f_max_hz);
+  const auto [label_set, eval_set] = data.labelling_split(spec.label_images);
+  const LabelingResult labels =
+      label_neurons(net, label_set, map, spec.t_label_ms);
+  SnnClassifier classifier(net, labels.neuron_labels, labels.class_count, map,
+                           spec.t_infer_ms);
+  const EvaluationResult eval =
+      classifier.evaluate(eval_set.head(spec.eval_images));
+
+  std::printf("accuracy %.1f%% (%llu/%llu) | %zu labelled neurons | %.1f s "
+              "training wall\n",
+              100.0 * eval.accuracy,
+              static_cast<unsigned long long>(eval.confusion.correct()),
+              static_cast<unsigned long long>(eval.confusion.total()),
+              labels.labelled_neurons, stats.wall_seconds);
+
+  if (cfg.has("snapshot")) {
+    const std::string path = cfg.get_string("snapshot", "");
+    save_snapshot(path, NetworkSnapshot::capture(net, &labels.neuron_labels));
+    std::printf("snapshot saved: %s\n", path.c_str());
+  }
+  if (cfg.has("maps")) {
+    const std::string path = cfg.get_string("maps", "");
+    write_pgm(path, tile_images(conductance_maps(net, 25), 5, 5));
+    std::printf("conductance maps saved: %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int run_infer(const Config& cfg) {
+  PSS_REQUIRE(cfg.has("snapshot"), "infer mode needs snapshot=<path>");
+  const ExperimentSpec spec = spec_from_config(cfg);
+  const LabeledDataset data = load_data(cfg, spec);
+  const NetworkSnapshot snap =
+      load_snapshot(cfg.get_string("snapshot", ""));
+  PSS_REQUIRE(!snap.neuron_labels.empty(),
+              "snapshot carries no neuron labels; retrain with mode=train");
+
+  WtaConfig net_cfg = spec.network_config();
+  net_cfg.neuron_count = snap.neuron_count;
+  net_cfg.input_channels = snap.input_channels;
+  WtaNetwork net(net_cfg);
+  snap.restore(net);
+
+  const PixelFrequencyMap map(spec.trainer_config().f_min_hz,
+                              spec.trainer_config().f_max_hz);
+  std::vector<int> labels(snap.neuron_labels.begin(),
+                          snap.neuron_labels.end());
+  std::size_t classes = 1;
+  for (int l : labels) classes = std::max(classes, static_cast<std::size_t>(l + 1));
+  SnnClassifier classifier(net, labels, classes, map, spec.t_infer_ms);
+  const EvaluationResult eval =
+      classifier.evaluate(data.test.head(spec.eval_images));
+  std::printf("infer: accuracy %.1f%% on %llu images\n",
+              100.0 * eval.accuracy,
+              static_cast<unsigned long long>(eval.confusion.total()));
+  std::printf("%s\n", eval.confusion.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Config cfg = parse_cli(argc, argv);
+    if (!cfg.get_bool("verbose", false)) set_log_level(LogLevel::kWarn);
+    const std::string mode = cfg.get_string("mode", "train");
+    if (mode == "train") return run_train(cfg);
+    if (mode == "infer") return run_infer(cfg);
+    if (mode == "both") {
+      Config with_snapshot = cfg;
+      if (!cfg.has("snapshot")) {
+        with_snapshot.set("snapshot", "out/pss_model.bin");
+        std::filesystem::create_directories("out");
+      }
+      const int rc = run_train(with_snapshot);
+      return rc != 0 ? rc : run_infer(with_snapshot);
+    }
+    throw Error("unknown mode: " + mode + " (train|infer|both)");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pss_run: %s\n", e.what());
+    return 1;
+  }
+}
