@@ -8,6 +8,8 @@
 //   rounding=nearest|trunc|stochastic
 //   neurons=100 train=400 label=250 eval=250 seed=1
 //   maps=out/mnist_maps.pgm   curve=out/mnist_error.csv  checkpoints=4
+//   workers=1 (0 = all cores; image-parallel labelling/eval, identical
+//   results)   batch=1 (> 1 = minibatch STDP training)
 // Real MNIST is used when PSS_MNIST_DIR points at the IDX files.
 #include <cstdio>
 #include <filesystem>
@@ -76,6 +78,12 @@ int main(int argc, char** argv) {
     spec.label_images = static_cast<std::size_t>(args.get_int("label", 250));
     spec.eval_images = static_cast<std::size_t>(args.get_int("eval", 250));
     spec.checkpoints = static_cast<std::size_t>(args.get_int("checkpoints", 4));
+    const auto workers = args.get_int("workers", 1);
+    const auto batch = args.get_int("batch", 1);
+    PSS_REQUIRE(workers >= 0, "workers must be >= 0 (0 = all cores)");
+    PSS_REQUIRE(batch >= 1, "batch must be >= 1");
+    spec.workers = static_cast<std::size_t>(workers);
+    spec.batch_size = static_cast<std::size_t>(batch);
     spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
     std::printf("pipeline: %s STDP, %s, rounding %s, %zu neurons, %zu train "

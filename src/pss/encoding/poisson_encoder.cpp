@@ -14,30 +14,43 @@ void PoissonEncoder::set_rates(std::span<const double> rates_hz) {
               "rate vector size must equal channel count");
   for (double r : rates_hz) PSS_REQUIRE(r >= 0.0, "rates must be non-negative");
   rates_hz_.assign(rates_hz.begin(), rates_hz.end());
+  nonzero_.clear();
+  for (std::size_t c = 0; c < rates_hz_.size(); ++c) {
+    if (rates_hz_[c] > 0.0) nonzero_.push_back(static_cast<ChannelIndex>(c));
+  }
 }
 
 void PoissonEncoder::set_uniform_rate(double rate_hz) {
   PSS_REQUIRE(rate_hz >= 0.0, "rates must be non-negative");
   rates_hz_.assign(rates_hz_.size(), rate_hz);
+  nonzero_.clear();
+  if (rate_hz > 0.0) {
+    nonzero_.reserve(rates_hz_.size());
+    for (std::size_t c = 0; c < rates_hz_.size(); ++c) {
+      nonzero_.push_back(static_cast<ChannelIndex>(c));
+    }
+  }
+}
+
+void PoissonEncoder::set_presentation(std::uint64_t presentation_index) {
+  PSS_DASSERT(presentation_index < (1ull << 32));
+  presentation_base_ = presentation_index << 32;
 }
 
 bool PoissonEncoder::spikes_at(ChannelIndex c, StepIndex step, TimeMs dt) const {
   PSS_DASSERT(c < rates_hz_.size());
+  PSS_DASSERT(step < (1ull << 32));
   const double p = rates_hz_[c] * dt * 1e-3;
-  // Draw index couples channel and step; fork(c) gives each channel its own
-  // stream so neighbouring channels are uncorrelated.
-  return rng_.fork(c).bernoulli(step, p);
+  // Draw index couples (presentation, step); fork(c) gives each channel its
+  // own stream so neighbouring channels are uncorrelated.
+  return rng_.fork(c).bernoulli(presentation_base_ | step, p);
 }
 
 void PoissonEncoder::active_channels(StepIndex step, TimeMs dt,
                                      std::vector<ChannelIndex>& active) const {
   active.clear();
-  const std::size_t n = rates_hz_.size();
-  for (std::size_t c = 0; c < n; ++c) {
-    if (rates_hz_[c] <= 0.0) continue;
-    if (spikes_at(static_cast<ChannelIndex>(c), step, dt)) {
-      active.push_back(static_cast<ChannelIndex>(c));
-    }
+  for (ChannelIndex c : nonzero_) {
+    if (spikes_at(c, step, dt)) active.push_back(c);
   }
 }
 

@@ -4,9 +4,10 @@
 //
 // Each channel c fires in a step of width dt with probability rate_c·dt/1000
 // — a Bernoulli thinning of a Poisson process, the standard rate encoding.
-// Draws use the counter-based RNG indexed by (channel, global step) so the
-// generated trains are identical regardless of thread scheduling and can be
-// replayed exactly (the Fig. 6a raster bench relies on this).
+// Draws use the counter-based RNG indexed by (channel, presentation, step) so
+// the generated trains are identical regardless of thread scheduling and can
+// be replayed exactly (the Fig. 6a raster bench and the batched presentation
+// engine both rely on this).
 #pragma once
 
 #include <span>
@@ -29,8 +30,17 @@ class PoissonEncoder {
   /// Convenience: same rate everywhere.
   void set_uniform_rate(double rate_hz);
 
-  /// Emits the channels that spike during global step `step` of width dt
-  /// into `active` (cleared first). Steps may be queried in any order.
+  /// Selects which presentation subsequent draws belong to. Each presentation
+  /// owns an independent 2^32-step slice of the counter space, so spike
+  /// trains depend only on (seed, presentation, step) — never on how many
+  /// presentations ran before on this encoder instance. Defaults to 0, which
+  /// preserves the plain step-indexed behaviour for single-run callers.
+  void set_presentation(std::uint64_t presentation_index);
+  std::uint64_t presentation() const { return presentation_base_ >> 32; }
+
+  /// Emits the channels that spike during step `step` of width dt into
+  /// `active` (cleared first). Steps may be queried in any order. Only
+  /// channels with a nonzero rate are visited.
   void active_channels(StepIndex step, TimeMs dt,
                        std::vector<ChannelIndex>& active) const;
 
@@ -40,7 +50,9 @@ class PoissonEncoder {
 
  private:
   std::vector<double> rates_hz_;
+  std::vector<ChannelIndex> nonzero_;  // channels with rate > 0, ascending
   CounterRng rng_;
+  std::uint64_t presentation_base_ = 0;  // presentation_index << 32
 };
 
 }  // namespace pss

@@ -1,0 +1,12 @@
+#include "pss/engine/batch_runner.hpp"
+
+namespace pss {
+
+BatchRunner::BatchRunner(std::size_t worker_count) : pool_(worker_count) {
+  engines_.reserve(pool_.worker_count());
+  for (std::size_t i = 0; i < pool_.worker_count(); ++i) {
+    engines_.push_back(std::make_unique<Engine>(1));
+  }
+}
+
+}  // namespace pss

@@ -1,0 +1,91 @@
+// Image-level parallelism for independent presentations.
+//
+// Labelling and test-set evaluation present images against frozen
+// conductances, and the minibatch STDP mode computes per-image deltas against
+// a frozen batch-start state — in all three cases the presentations are
+// independent, so the win the paper gets from kernel-level parallelism is
+// available here as embarrassing parallelism across images (cf. minibatch SNN
+// processing, Saunders et al. 2019).
+//
+// A BatchRunner shards an index space [0, count) across a persistent worker
+// pool. Each worker owns a serial Engine (one worker, inline launches) for
+// its WtaNetwork replica: with a handful of hundred-neuron kernels per step,
+// one image per core beats splitting each kernel across cores — so the
+// parallelism is across presentations, not within one.
+//
+// Determinism: because WtaNetwork::present() is a pure function of
+// (frozen state, presentation index, rates) — see wta_network.hpp — replicas
+// replay any presentation bit for bit, and results assembled in index order
+// are identical for every worker count. Tests assert this.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "pss/common/error.hpp"
+#include "pss/engine/launch.hpp"
+#include "pss/engine/thread_pool.hpp"
+
+namespace pss {
+
+class BatchRunner {
+ public:
+  /// `worker_count == 0` -> hardware concurrency.
+  explicit BatchRunner(std::size_t worker_count = 0);
+
+  std::size_t worker_count() const { return pool_.worker_count(); }
+
+  /// Serial engine dedicated to worker `w` — replicas constructed on it run
+  /// every kernel inline on the worker's thread.
+  Engine& worker_engine(std::size_t w) {
+    PSS_REQUIRE(w < engines_.size(), "worker index out of range");
+    return *engines_[w];
+  }
+
+  /// Runs body(worker, index) for every index in [0, count), contiguous
+  /// index ranges sharded across workers (at most worker_count() shards;
+  /// worker 0 is the calling thread). `body` must touch only worker-local
+  /// state plus disjoint per-index output slots.
+  template <typename Body>
+  void run(std::size_t count, Body&& body) {
+    pool_.parallel_shards(
+        count, [&body](std::size_t shard, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) body(shard, i);
+        });
+  }
+
+ private:
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<Engine>> engines_;  // one serial engine/worker
+};
+
+/// Lazily-built per-worker state (typically a WtaNetwork replica). Each slot
+/// is created at most once, on first use, on its worker's own thread — so
+/// construction cost is paid in parallel and only by workers that actually
+/// receive a shard.
+template <typename T>
+class PerWorker {
+ public:
+  explicit PerWorker(std::size_t worker_count) : slots_(worker_count) {}
+
+  /// Returns worker `w`'s instance, constructing it via `make()` on first
+  /// access.
+  template <typename Make>
+  T& get(std::size_t w, Make&& make) {
+    PSS_DASSERT(w < slots_.size());
+    auto& slot = slots_[w];
+    if (!slot) slot.emplace(make());
+    return *slot;
+  }
+
+  /// Worker `w`'s instance if it was ever created.
+  std::optional<T>& slot(std::size_t w) { return slots_[w]; }
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  std::vector<std::optional<T>> slots_;
+};
+
+}  // namespace pss

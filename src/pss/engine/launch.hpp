@@ -9,10 +9,16 @@
 // output arrays (or use the documented reduce helpers). Combined with the
 // counter-based RNG this gives bitwise-reproducible results independent of
 // worker count — a property the tests assert.
+//
+// Dispatch cost control: waking the pool costs a mutex + two condvar hops
+// (microseconds), which dominates kernels of a few hundred indices — the
+// simulator's common case (one conductance row, one small neuron layer). A
+// launch whose index space is at most grain() therefore runs inline on the
+// calling thread; kernels stay bitwise-identical either way, so the cutoff
+// is purely a scheduling decision.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "pss/engine/thread_pool.hpp"
 
@@ -20,43 +26,74 @@ namespace pss {
 
 class Engine {
  public:
+  /// Default inline cutoff: below this many kernel threads, pool wake-up
+  /// overhead exceeds the work for every kernel this simulator launches.
+  static constexpr std::size_t kDefaultGrain = 2048;
+
   /// `worker_count == 0` -> hardware concurrency.
   explicit Engine(std::size_t worker_count = 0);
 
   std::size_t worker_count() const { return pool_.worker_count(); }
 
+  /// Smallest index space worth waking the pool for. 0 forces every launch
+  /// through the pool (benchmarks use this to measure dispatch overhead).
+  std::size_t grain() const { return grain_; }
+  void set_grain(std::size_t grain) { grain_ = grain; }
+
   /// Launches `kernel(i)` for every i in [0, thread_count).
   template <typename Kernel>
   void launch(std::size_t thread_count, Kernel&& kernel) {
-    const std::function<void(std::size_t, std::size_t)> body =
-        [&kernel](std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) kernel(i);
-        };
-    pool_.parallel_for(thread_count, body);
+    if (thread_count == 0) return;
+    ++launch_count_;
+    if (thread_count <= grain_ || pool_.worker_count() == 1) {
+      for (std::size_t i = 0; i < thread_count; ++i) kernel(i);
+      return;
+    }
+    ++dispatch_count_;
+    pool_.parallel_for(thread_count,
+                       [&kernel](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) kernel(i);
+                       });
   }
 
   /// Parallel sum-reduction of kernel results: sums `kernel(i)` over
   /// [0, thread_count). The shape CUDA code expresses as a block reduction.
+  /// Partial sums combine in shard order, so the result is deterministic for
+  /// a fixed worker count.
   template <typename Kernel>
   double launch_sum(std::size_t thread_count, Kernel&& kernel) {
-    const std::size_t parts = pool_.worker_count();
-    std::vector<double> partial(parts, 0.0);
-    const std::size_t chunk =
-        parts == 0 ? thread_count : (thread_count + parts - 1) / parts;
-    const std::function<void(std::size_t, std::size_t)> body =
-        [&](std::size_t begin, std::size_t end) {
+    if (thread_count == 0) return 0.0;
+    ++launch_count_;
+    if (thread_count <= grain_ || pool_.worker_count() == 1) {
+      double total = 0.0;
+      for (std::size_t i = 0; i < thread_count; ++i) total += kernel(i);
+      return total;
+    }
+    ++dispatch_count_;
+    std::vector<double> partial(pool_.worker_count(), 0.0);
+    pool_.parallel_shards(
+        thread_count,
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
           double acc = 0.0;
           for (std::size_t i = begin; i < end; ++i) acc += kernel(i);
-          partial[chunk == 0 ? 0 : begin / chunk] += acc;
-        };
-    pool_.parallel_for(thread_count, body);
+          partial[shard] = acc;
+        });
     double total = 0.0;
     for (double p : partial) total += p;
     return total;
   }
 
+  /// Launch statistics (counted on the submitting thread; an Engine has one
+  /// submitter at a time). dispatch_count() is the subset of launches that
+  /// woke the pool — the per-step dispatch budget the benches verify.
+  std::uint64_t launch_count() const { return launch_count_; }
+  std::uint64_t dispatch_count() const { return dispatch_count_; }
+
  private:
   ThreadPool pool_;
+  std::size_t grain_ = kDefaultGrain;
+  std::uint64_t launch_count_ = 0;
+  std::uint64_t dispatch_count_ = 0;
 };
 
 /// Process-wide default engine (lazily constructed). The simulator and the

@@ -26,14 +26,15 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::parallel_for(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+void ThreadPool::parallel_for(std::size_t n, RangeFn fn, void* ctx) {
   if (n == 0) return;
   const std::size_t parts = std::min(n, workers_.size() + 1);
   if (parts == 1) {
-    fn(0, n);
+    fn(ctx, 0, n);
     return;
   }
+  // Chunk i covers [i*chunk, (i+1)*chunk) — parallel_shards relies on this
+  // partition to recover the shard index from `begin`.
   const std::size_t chunk = (n + parts - 1) / parts;
 
   {
@@ -41,7 +42,8 @@ void ThreadPool::parallel_for(
     pending_ = 0;
     for (std::size_t i = 1; i < parts; ++i) {
       Task& t = tasks_[i - 1];
-      t.fn = &fn;
+      t.fn = fn;
+      t.ctx = ctx;
       t.begin = std::min(n, i * chunk);
       t.end = std::min(n, (i + 1) * chunk);
       if (t.begin < t.end) ++pending_;
@@ -51,7 +53,7 @@ void ThreadPool::parallel_for(
   }
   wake_.notify_all();
 
-  fn(0, std::min(n, chunk));  // caller takes the first chunk
+  fn(ctx, 0, std::min(n, chunk));  // caller takes the first chunk
 
   std::unique_lock<std::mutex> lock(mutex_);
   done_.wait(lock, [this] { return pending_ == 0; });
@@ -73,7 +75,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       tasks_[worker_index].fn = nullptr;
     }
     if (task.fn) {
-      (*task.fn)(task.begin, task.end);
+      task.fn(task.ctx, task.begin, task.end);
       std::lock_guard<std::mutex> lock(mutex_);
       if (--pending_ == 0) done_.notify_all();
     }

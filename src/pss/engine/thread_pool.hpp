@@ -5,19 +5,30 @@
 // streaming multiprocessors: work is split into contiguous index ranges and
 // handed to workers; the submitting thread blocks until the whole range is
 // done, matching the cudaDeviceSynchronize() at each step boundary.
+//
+// Dispatch is non-owning: a launch hands workers a raw (function pointer,
+// context) pair borrowed for the duration of the call, so launching a kernel
+// never allocates (the std::function it previously built per launch cost more
+// than some of the kernels it dispatched).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace pss {
 
 class ThreadPool {
  public:
+  /// Raw range task: fn(ctx, begin, end). `ctx` points at caller-owned state
+  /// that outlives the parallel_for call.
+  using RangeFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
   /// `worker_count == 0` means hardware_concurrency (at least 1).
   explicit ThreadPool(std::size_t worker_count = 0);
   ~ThreadPool();
@@ -27,15 +38,43 @@ class ThreadPool {
 
   std::size_t worker_count() const { return workers_.size() + 1; }
 
-  /// Runs fn(begin, end) over a partition of [0, n) across all workers and
-  /// the calling thread; returns when every chunk has finished. fn must be
-  /// safe to call concurrently on disjoint ranges.
-  void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+  /// Runs fn(ctx, begin, end) over a partition of [0, n) across all workers
+  /// and the calling thread; returns when every chunk has finished. fn must
+  /// be safe to call concurrently on disjoint ranges. Only one thread may
+  /// submit to a pool at a time.
+  void parallel_for(std::size_t n, RangeFn fn, void* ctx);
+
+  /// Callable adapter: borrows `f` (no copy, no allocation) for the duration
+  /// of the call.
+  template <typename F>
+  void parallel_for(std::size_t n, F&& f) {
+    using Fn = std::remove_reference_t<F>;
+    parallel_for(
+        n,
+        [](void* ctx, std::size_t begin, std::size_t end) {
+          (*static_cast<Fn*>(ctx))(begin, end);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(f))));
+  }
+
+  /// Like parallel_for but also passes the shard index (0 = calling thread;
+  /// at most worker_count() shards per launch) so callers can keep
+  /// per-shard state without atomics. `f(shard, begin, end)`.
+  template <typename F>
+  void parallel_shards(std::size_t n, F&& f) {
+    // Mirrors the partition arithmetic of parallel_for (chunk i starts at
+    // i*chunk), which is what makes begin/chunk the shard id.
+    const std::size_t parts = std::min(n, worker_count());
+    const std::size_t chunk = parts == 0 ? 1 : (n + parts - 1) / parts;
+    parallel_for(n, [&f, chunk](std::size_t begin, std::size_t end) {
+      f(begin / chunk, begin, end);
+    });
+  }
 
  private:
   struct Task {
-    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    RangeFn fn = nullptr;
+    void* ctx = nullptr;
     std::size_t begin = 0;
     std::size_t end = 0;
   };

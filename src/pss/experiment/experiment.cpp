@@ -23,22 +23,28 @@ TrainerConfig ExperimentSpec::trainer_config() const {
   if (f_min_hz) cfg.f_min_hz = *f_min_hz;
   if (f_max_hz) cfg.f_max_hz = *f_max_hz;
   if (t_learn_ms) cfg.t_learn_ms = *t_learn_ms;
+  cfg.batch_size = batch_size;
   return cfg;
 }
 
 namespace {
 
 /// Labels and evaluates the current network state (shared by the final
-/// measurement and mid-training checkpoints).
+/// measurement and mid-training checkpoints). With a runner, both phases go
+/// image-parallel — the results are identical either way.
 double evaluate_now(WtaNetwork& network, const PixelFrequencyMap& map,
                     const Dataset& label_set, const Dataset& eval_set,
-                    TimeMs t_label, TimeMs t_infer,
+                    TimeMs t_label, TimeMs t_infer, BatchRunner* runner,
                     std::size_t* labelled_out = nullptr) {
-  const LabelingResult labels = label_neurons(network, label_set, map, t_label);
+  const LabelingResult labels =
+      runner ? label_neurons(network, label_set, map, t_label, *runner)
+             : label_neurons(network, label_set, map, t_label);
   if (labelled_out) *labelled_out = labels.labelled_neurons;
   SnnClassifier classifier(network, labels.neuron_labels, labels.class_count,
                            map, t_infer);
-  return classifier.evaluate(eval_set).accuracy;
+  return (runner ? classifier.evaluate(eval_set, *runner)
+                 : classifier.evaluate(eval_set))
+      .accuracy;
 }
 
 }  // namespace
@@ -54,6 +60,10 @@ ExperimentResult run_learning_experiment(const ExperimentSpec& spec,
   const TrainerConfig tcfg = spec.trainer_config();
   UnsupervisedTrainer trainer(network, tcfg);
   const PixelFrequencyMap map(tcfg.f_min_hz, tcfg.f_max_hz);
+
+  std::optional<BatchRunner> runner;
+  if (spec.workers != 1 || spec.batch_size > 1) runner.emplace(spec.workers);
+  BatchRunner* runner_ptr = runner ? &*runner : nullptr;
 
   const Dataset train = data.train.head(spec.train_images);
   const auto [label_set_full, eval_set_full] =
@@ -79,7 +89,7 @@ ExperimentResult run_learning_experiment(const ExperimentSpec& spec,
 
   Stopwatch train_clock;
   double checkpoint_overhead_s = 0.0;
-  TrainingStats tstats = trainer.train(train, [&](std::size_t index) {
+  const auto on_image = [&](std::size_t index) {
     if (std::find(checkpoint_at.begin(), checkpoint_at.end(), index + 1) ==
         checkpoint_at.end()) {
       return;
@@ -87,19 +97,24 @@ ExperimentResult run_learning_experiment(const ExperimentSpec& spec,
     Stopwatch cp_clock;
     const double acc =
         evaluate_now(network, map, cp_label, cp_eval, spec.t_label_ms,
-                     spec.t_infer_ms);
+                     spec.t_infer_ms, runner_ptr);
     checkpoint_overhead_s += cp_clock.seconds();
     result.error_trace.push_back(
         {index + 1, (index + 1) * tcfg.t_learn_ms,
          train_clock.seconds() - checkpoint_overhead_s, 1.0 - acc});
-  });
+  };
+  // Minibatch STDP (spec.batch_size > 1) trains through the runner; with
+  // per-image updates the sequential trainer is the reference path.
+  TrainingStats tstats = spec.batch_size > 1
+                             ? trainer.train(train, *runner, on_image)
+                             : trainer.train(train, on_image);
   result.train_wall_seconds = train_clock.seconds() - checkpoint_overhead_s;
   result.simulated_learning_ms = tstats.simulated_ms;
 
   std::size_t labelled = 0;
   result.accuracy =
       evaluate_now(network, map, label_set_full, eval_set, spec.t_label_ms,
-                   spec.t_infer_ms, &labelled);
+                   spec.t_infer_ms, runner_ptr, &labelled);
   result.error_rate = 1.0 - result.accuracy;
   result.labelled_neurons = labelled;
   result.error_trace.push_back({train.size(), tstats.simulated_ms,

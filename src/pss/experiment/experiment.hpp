@@ -49,6 +49,15 @@ struct ExperimentSpec {
   std::size_t checkpoints = 0;
   std::size_t checkpoint_eval_images = 100;
 
+  /// Batched presentation engine. `workers` != 1 runs labelling and
+  /// evaluation image-parallel on a BatchRunner (0 = hardware concurrency;
+  /// results are bitwise-identical to the sequential path at any worker
+  /// count). `batch_size` > 1 additionally switches training to minibatch
+  /// STDP (a different — batched — learning schedule; still worker-count
+  /// independent).
+  std::size_t workers = 1;
+  std::size_t batch_size = 1;
+
   std::uint64_t seed = 1;
 
   /// Full WtaConfig derived from this spec (exposed for tests).

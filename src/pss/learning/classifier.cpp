@@ -35,12 +35,18 @@ int SnnClassifier::predict(const Image& image) {
   frequency_map_.frequencies(image.span(), rates_);
   const PresentationResult r =
       network_.present(rates_, t_present_ms_, /*learn=*/false);
+  return predict_from_counts(r.spike_counts);
+}
 
+int SnnClassifier::predict_from_counts(
+    std::span<const std::uint32_t> spike_counts) const {
+  PSS_REQUIRE(spike_counts.size() == neuron_labels_.size(),
+              "spike count vector size must equal neuron count");
   std::vector<double> score(class_count_, 0.0);
   for (std::size_t j = 0; j < neuron_labels_.size(); ++j) {
     const int label = neuron_labels_[j];
     if (label < 0) continue;
-    score[static_cast<std::size_t>(label)] += r.spike_counts[j];
+    score[static_cast<std::size_t>(label)] += spike_counts[j];
   }
   double best = 0.0;
   int winner = -1;
@@ -61,6 +67,41 @@ EvaluationResult SnnClassifier::evaluate(const Dataset& data) {
   Stopwatch clock;
   for (std::size_t i = 0; i < data.size(); ++i) {
     result.confusion.record(data[i].label, predict(data[i]));
+  }
+  result.accuracy = result.confusion.accuracy();
+  result.wall_seconds = clock.seconds();
+  return result;
+}
+
+EvaluationResult SnnClassifier::evaluate(const Dataset& data,
+                                         BatchRunner& runner) {
+  PSS_REQUIRE(!data.empty(), "evaluation set must not be empty");
+  EvaluationResult result(class_count_);
+  Stopwatch clock;
+
+  const std::uint64_t base = network_.presentation_index();
+
+  struct WorkerState {
+    WtaNetwork net;
+    std::vector<double> rates;
+  };
+  PerWorker<WorkerState> workers(runner.worker_count());
+  std::vector<int> predictions(data.size(), -1);
+
+  runner.run(data.size(), [&](std::size_t w, std::size_t i) {
+    WorkerState& state = workers.get(w, [&] {
+      return WorkerState{network_.replicate(&runner.worker_engine(w)), {}};
+    });
+    frequency_map_.frequencies(data[i].span(), state.rates);
+    state.net.set_presentation_index(base + i);
+    const PresentationResult r =
+        state.net.present(state.rates, t_present_ms_, /*learn=*/false);
+    predictions[i] = predict_from_counts(r.spike_counts);
+  });
+  network_.skip_presentations(data.size(), t_present_ms_);
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    result.confusion.record(data[i].label, predictions[i]);
   }
   result.accuracy = result.confusion.accuracy();
   result.wall_seconds = clock.seconds();

@@ -8,8 +8,11 @@
 // abstains (-1, counted as an error).
 #pragma once
 
+#include <span>
+
 #include "pss/data/dataset.hpp"
 #include "pss/encoding/pixel_frequency.hpp"
+#include "pss/engine/batch_runner.hpp"
 #include "pss/learning/labeler.hpp"
 #include "pss/network/wta_network.hpp"
 #include "pss/stats/confusion.hpp"
@@ -36,8 +39,17 @@ class SnnClassifier {
   /// Predicted class for one image, or -1 (abstain).
   int predict(const Image& image);
 
+  /// Pure scoring half of predict(): argmax of the mean per-class spike
+  /// counts. Lets batched evaluation score replica-produced counts.
+  int predict_from_counts(std::span<const std::uint32_t> spike_counts) const;
+
   /// Accuracy + confusion over a dataset.
   EvaluationResult evaluate(const Dataset& data);
+
+  /// Batched evaluation: images presented in parallel on `runner`'s worker
+  /// replicas; predictions are recorded in image order, so the confusion
+  /// matrix is bit-for-bit the sequential one at any worker count.
+  EvaluationResult evaluate(const Dataset& data, BatchRunner& runner);
 
  private:
   WtaNetwork& network_;

@@ -6,6 +6,23 @@
 
 namespace pss {
 
+namespace {
+
+/// Argmax pass shared by the sequential and batched paths.
+void assign_labels(LabelingResult& result, std::size_t neurons) {
+  result.neuron_labels.assign(neurons, -1);
+  for (std::size_t j = 0; j < neurons; ++j) {
+    const auto& row = result.response[j];
+    const auto it = std::max_element(row.begin(), row.end());
+    if (*it > 0) {
+      result.neuron_labels[j] = static_cast<int>(it - row.begin());
+      ++result.labelled_neurons;
+    }
+  }
+}
+
+}  // namespace
+
 LabelingResult label_neurons(WtaNetwork& network, const Dataset& labelling_set,
                              const PixelFrequencyMap& frequency_map,
                              TimeMs t_present_ms) {
@@ -28,15 +45,51 @@ LabelingResult label_neurons(WtaNetwork& network, const Dataset& labelling_set,
     }
   }
 
-  result.neuron_labels.assign(neurons, -1);
-  for (std::size_t j = 0; j < neurons; ++j) {
-    const auto& row = result.response[j];
-    const auto it = std::max_element(row.begin(), row.end());
-    if (*it > 0) {
-      result.neuron_labels[j] = static_cast<int>(it - row.begin());
-      ++result.labelled_neurons;
+  assign_labels(result, neurons);
+  return result;
+}
+
+LabelingResult label_neurons(WtaNetwork& network, const Dataset& labelling_set,
+                             const PixelFrequencyMap& frequency_map,
+                             TimeMs t_present_ms, BatchRunner& runner) {
+  PSS_REQUIRE(!labelling_set.empty(), "labelling set must not be empty");
+  const std::size_t classes = labelling_set.class_count();
+  const std::size_t neurons = network.neuron_count();
+
+  // Image i replays as presentation base + i on whichever replica gets it —
+  // exactly the index the sequential loop would have used.
+  const std::uint64_t base = network.presentation_index();
+
+  struct WorkerState {
+    WtaNetwork net;
+    std::vector<double> rates;
+  };
+  PerWorker<WorkerState> workers(runner.worker_count());
+  std::vector<std::vector<std::uint32_t>> counts(labelling_set.size());
+
+  runner.run(labelling_set.size(), [&](std::size_t w, std::size_t i) {
+    WorkerState& state = workers.get(w, [&] {
+      return WorkerState{network.replicate(&runner.worker_engine(w)), {}};
+    });
+    frequency_map.frequencies(labelling_set[i].span(), state.rates);
+    state.net.set_presentation_index(base + i);
+    counts[i] =
+        state.net.present(state.rates, t_present_ms, /*learn=*/false)
+            .spike_counts;
+  });
+  network.skip_presentations(labelling_set.size(), t_present_ms);
+
+  LabelingResult result;
+  result.class_count = classes;
+  result.response.assign(neurons, std::vector<std::uint32_t>(classes, 0));
+  for (std::size_t i = 0; i < labelling_set.size(); ++i) {
+    const int label = labelling_set[i].label;
+    for (std::size_t j = 0; j < neurons; ++j) {
+      result.response[j][label] += counts[i][j];
     }
   }
+
+  assign_labels(result, neurons);
   return result;
 }
 

@@ -6,12 +6,18 @@
 // accumulates its spike count per true class, and is assigned the class it
 // responded to most. Neurons that never spike remain unlabelled and take no
 // part in classification.
+//
+// Labelling presentations are independent (conductances and thresholds are
+// frozen), so the batched overload shards images across a BatchRunner's
+// worker replicas and accumulates the responses in image order — producing
+// bit-for-bit the sequential result at any worker count.
 #pragma once
 
 #include <vector>
 
 #include "pss/data/dataset.hpp"
 #include "pss/encoding/pixel_frequency.hpp"
+#include "pss/engine/batch_runner.hpp"
 #include "pss/network/wta_network.hpp"
 
 namespace pss {
@@ -30,5 +36,13 @@ struct LabelingResult {
 LabelingResult label_neurons(WtaNetwork& network, const Dataset& labelling_set,
                              const PixelFrequencyMap& frequency_map,
                              TimeMs t_present_ms);
+
+/// Batched labelling: identical result, images presented in parallel on
+/// `runner`'s worker replicas. `network` itself is only read (plus its
+/// presentation counter advancing past the batch, as the sequential path
+/// would have left it).
+LabelingResult label_neurons(WtaNetwork& network, const Dataset& labelling_set,
+                             const PixelFrequencyMap& frequency_map,
+                             TimeMs t_present_ms, BatchRunner& runner);
 
 }  // namespace pss

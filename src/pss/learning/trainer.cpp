@@ -1,5 +1,8 @@
 #include "pss/learning/trainer.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "pss/common/error.hpp"
 #include "pss/common/log.hpp"
 
@@ -38,6 +41,112 @@ TrainingStats UnsupervisedTrainer::train(const Dataset& data,
   }
   stats.wall_seconds = clock.seconds();
   PSS_LOG_DEBUG << "trained " << stats.images_presented << " images, "
+                << stats.total_post_spikes << " post spikes, "
+                << stats.wall_seconds << " s";
+  return stats;
+}
+
+TrainingStats UnsupervisedTrainer::train(const Dataset& data,
+                                         BatchRunner& runner,
+                                         const ProgressCallback& on_image) {
+  const std::size_t batch = std::max<std::size_t>(1, config_.batch_size);
+  const std::size_t pre_count = network_.input_channels();
+  // Deltas clamp to the range the sequential updater itself enforces, so
+  // quantized runs stay on the representable grid.
+  const double g_lo = network_.conductance().g_min();
+  const double g_hi = std::min(network_.conductance().g_max(),
+                               network_.updater().effective_g_max());
+  const double theta_max = network_.config().homeostasis.theta_max;
+
+  /// Everything one image contributes to the batch-boundary update.
+  struct ImageOutcome {
+    std::vector<std::pair<std::size_t, double>> g_deltas;  ///< (flat idx, ΔG)
+    std::vector<double> theta;  ///< full offsets after the image
+    std::uint64_t post_spikes = 0;
+    std::uint64_t input_spikes = 0;
+  };
+
+  struct WorkerState {
+    WtaNetwork net;
+    std::vector<double> rates;
+  };
+  PerWorker<WorkerState> workers(runner.worker_count());
+
+  TrainingStats stats;
+  Stopwatch clock;
+  std::vector<ImageOutcome> outcomes;
+
+  for (std::size_t b = 0; b < data.size(); b += batch) {
+    const std::size_t count = std::min(batch, data.size() - b);
+
+    // Frozen batch-start state every replica presents against.
+    const std::vector<double> g0 = network_.conductance().to_vector();
+    const std::vector<double> theta0(network_.theta().begin(),
+                                     network_.theta().end());
+    const std::uint64_t pbase = network_.presentation_index();
+
+    // Replicas created in an earlier batch carry that batch's mutations;
+    // re-freeze them. First-use replicas copy the live state when built.
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      if (workers.slot(w)) workers.slot(w)->net.sync_from(network_);
+    }
+
+    outcomes.assign(count, {});
+    runner.run(count, [&](std::size_t w, std::size_t k) {
+      WorkerState& state = workers.get(w, [&] {
+        return WorkerState{network_.replicate(&runner.worker_engine(w)), {}};
+      });
+      const Image& img = data[b + k];
+      PSS_REQUIRE(img.pixel_count() == pre_count,
+                  "image pixel count must equal network input channels");
+      frequency_map_.frequencies(img.span(), state.rates);
+      state.net.set_presentation_index(pbase + k);
+      const PresentationResult r =
+          state.net.present(state.rates, config_.t_learn_ms, /*learn=*/true);
+
+      ImageOutcome& out = outcomes[k];
+      out.post_spikes = r.total_spikes;
+      out.input_spikes = r.input_spikes;
+      const auto g = state.net.conductance().values();
+      for (std::size_t s = 0; s < g.size(); ++s) {
+        if (g[s] != g0[s]) out.g_deltas.emplace_back(s, g[s] - g0[s]);
+      }
+      out.theta.assign(state.net.theta().begin(), state.net.theta().end());
+      // Back to the frozen state for this worker's next image in the batch.
+      state.net.sync_from(network_);
+    });
+
+    // Batch-boundary update, strictly in image order — the result depends on
+    // the batch split but never on which worker ran which image.
+    std::vector<double> g_acc = g0;
+    std::vector<double> theta_acc = theta0;
+    for (std::size_t k = 0; k < count; ++k) {
+      const ImageOutcome& out = outcomes[k];
+      for (const auto& [s, dg] : out.g_deltas) {
+        g_acc[s] = std::clamp(g_acc[s] + dg, g_lo, g_hi);
+      }
+      for (std::size_t j = 0; j < theta_acc.size(); ++j) {
+        theta_acc[j] = std::clamp(theta_acc[j] + (out.theta[j] - theta0[j]),
+                                  0.0, theta_max);
+      }
+      ++stats.images_presented;
+      stats.total_post_spikes += out.post_spikes;
+      stats.total_input_spikes += out.input_spikes;
+      stats.simulated_ms += config_.t_learn_ms;
+    }
+    network_.conductance().upload(g_acc);
+    network_.restore_theta(theta_acc);
+    network_.skip_presentations(count, config_.t_learn_ms);
+
+    if (on_image) {
+      for (std::size_t k = 0; k < count; ++k) on_image(b + k);
+    }
+  }
+
+  stats.wall_seconds = clock.seconds();
+  PSS_LOG_DEBUG << "minibatch-trained " << stats.images_presented
+                << " images (batch " << batch << ", "
+                << runner.worker_count() << " workers), "
                 << stats.total_post_spikes << " post spikes, "
                 << stats.wall_seconds << " s";
   return stats;

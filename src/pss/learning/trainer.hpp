@@ -11,6 +11,7 @@
 #include "pss/common/stopwatch.hpp"
 #include "pss/data/dataset.hpp"
 #include "pss/encoding/pixel_frequency.hpp"
+#include "pss/engine/batch_runner.hpp"
 #include "pss/network/wta_network.hpp"
 
 namespace pss {
@@ -19,6 +20,14 @@ struct TrainerConfig {
   double f_min_hz = 1.0;
   double f_max_hz = 22.0;
   TimeMs t_learn_ms = 500.0;
+
+  /// Minibatch size for the batched train() overload (Saunders et al. 2019):
+  /// each batch's images are presented in parallel against the frozen
+  /// batch-start state, their STDP/threshold deltas accumulated and applied
+  /// at the batch boundary in image order. 1 = per-image updates computed on
+  /// a replica (sequential-equivalent update schedule). Ignored by the
+  /// sequential train().
+  std::size_t batch_size = 1;
 
   /// Convenience constructor from a Table I row.
   static TrainerConfig from_table1(LearningOption option);
@@ -44,6 +53,16 @@ class UnsupervisedTrainer {
 
   /// Presents every image of `data` once, learning enabled.
   TrainingStats train(const Dataset& data,
+                      const ProgressCallback& on_image = nullptr);
+
+  /// Minibatch STDP training (opt-in; batch size from config().batch_size).
+  /// Images of one batch run in parallel on `runner`'s worker replicas, all
+  /// starting from the frozen batch-start network; each image's conductance
+  /// and threshold deltas are applied to the live network at the batch
+  /// boundary, in image order. Results are therefore bitwise independent of
+  /// the worker count (only the batch size changes the learning schedule).
+  /// Progress callbacks fire in image order at batch boundaries.
+  TrainingStats train(const Dataset& data, BatchRunner& runner,
                       const ProgressCallback& on_image = nullptr);
 
  private:

@@ -121,9 +121,12 @@ ActivityResult run_activity(Population& population,
     }
   }
   result.wall_seconds = clock.seconds();
+  // Normalize by the time actually simulated — ceil(duration/dt) steps of dt
+  // each — not the requested duration, which overstates rates whenever the
+  // duration is not a multiple of dt.
+  const TimeMs simulated_ms = static_cast<TimeMs>(steps) * config.dt;
   result.mean_rate_hz = static_cast<double>(result.total_spikes) /
-                        static_cast<double>(n) /
-                        (config.duration_ms * 1e-3);
+                        static_cast<double>(n) / (simulated_ms * 1e-3);
   result.steps_per_second =
       result.wall_seconds > 0.0 ? static_cast<double>(steps) / result.wall_seconds : 0.0;
   return result;

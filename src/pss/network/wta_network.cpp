@@ -101,6 +101,12 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
   PSS_REQUIRE(duration_ms > 0.0, "presentation must have positive duration");
 
   encoder_.set_rates(rates_hz);
+  encoder_.set_presentation(presentation_index_);
+  // Per-presentation STDP stream: draws depend only on the presentation
+  // index and the within-presentation event counter, never on how many
+  // learning events earlier presentations produced.
+  presentation_rng_ = stdp_rng_.fork(presentation_index_);
+  stdp_event_counter_ = 0;
 
   // Amplitude auto-gain (see WtaConfig::reference_total_rate_hz).
   double amplitude = config_.spike_amplitude;
@@ -133,12 +139,15 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
   const auto steps = static_cast<StepIndex>(std::ceil(duration_ms / dt));
 
   for (StepIndex s = 0; s < steps; ++s) {
-    now_ += dt;
-    ++global_step_;
+    // Presentation-local clock: every timer that consumes it (membrane
+    // dynamics, inhibition, pre/post spike gaps) resets at the presentation
+    // boundary, so using local time keeps presentations exactly replayable.
+    const TimeMs t = static_cast<TimeMs>(s + 1) * dt;
 
-    // 1. Input spike trains for this step (counter-indexed by global step,
-    //    so trains differ across presentations).
-    encoder_.active_channels(global_step_, dt, active_channels_);
+    // 1. Input spike trains for this step (counter-indexed by
+    //    (presentation, step), so trains differ across presentations but
+    //    are independent of presentation order).
+    encoder_.active_channels(s, dt, active_channels_);
     result.input_spikes += active_channels_.size();
 
     // Anti-causal depression (eq. 7): an input spike arriving shortly after
@@ -146,37 +155,50 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
     // pre-spike timers are refreshed.
     if (learn && updater_.wants_pre_spike_events() &&
         !recent_post_spikes_.empty()) {
-      apply_pre_spike_depression(now_);
+      apply_pre_spike_depression(t);
     }
-    for (ChannelIndex c : active_channels_) last_pre_spike_[c] = now_;
+    for (ChannelIndex c : active_channels_) last_pre_spike_[c] = t;
 
-    // 2. Current accumulation kernel (eq. 3), with optional exponential
-    //    decay standing in for the synaptic current waveform.
-    if (decay_factor == 0.0) {
-      std::fill(currents_.begin(), currents_.end(), 0.0);
-    } else {
-      for (double& i : currents_) i *= decay_factor;
-    }
-    conductance_.accumulate_currents(active_channels_, amplitude, currents_);
-
-    // 3. Neuron-update kernel.
     const bool use_theta = learn || config_.readout_theta;
     const std::span<const double> offsets =
         use_theta ? threshold_.theta() : std::span<const double>{};
-    std::visit(
-        [&](auto& pop) { pop.step(currents_, now_, dt, spikes_, offsets); },
-        neurons_);
+
+    if (config_.fused_step) {
+      // 2+3 fused: current decay, accumulation (eq. 3) and the neuron
+      // update in one kernel launch (one dispatch per step instead of
+      // three; bitwise-identical to the unfused branch below).
+      std::visit(
+          [&](auto& pop) {
+            pop.step_fused(currents_, decay_factor, conductance_.values(),
+                           config_.input_channels, active_channels_, amplitude,
+                           t, dt, spikes_, offsets);
+          },
+          neurons_);
+    } else {
+      // 2. Current accumulation kernel (eq. 3), with optional exponential
+      //    decay standing in for the synaptic current waveform.
+      if (decay_factor == 0.0) {
+        std::fill(currents_.begin(), currents_.end(), 0.0);
+      } else {
+        for (double& i : currents_) i *= decay_factor;
+      }
+      conductance_.accumulate_currents(active_channels_, amplitude, currents_);
+
+      // 3. Neuron-update kernel.
+      std::visit(
+          [&](auto& pop) { pop.step(currents_, t, dt, spikes_, offsets); },
+          neurons_);
+    }
 
     // 4. Post-spike processing: STDP + WTA inhibition + homeostasis.
-    const TimeMs t_in_presentation = static_cast<TimeMs>(s + 1) * dt;
     for (NeuronIndex j : spikes_) {
       ++result.spike_counts[j];
       ++result.total_spikes;
-      if (record_spikes) result.spike_events.emplace_back(t_in_presentation, j);
+      if (record_spikes) result.spike_events.emplace_back(t, j);
       if (learn) {
-        apply_stdp_row(j, now_);
+        apply_stdp_row(j, t);
         if (updater_.wants_pre_spike_events()) {
-          recent_post_spikes_.emplace_back(j, now_);
+          recent_post_spikes_.emplace_back(j, t);
         }
       }
       // Homeostasis adapts only while learning; during labelling and
@@ -184,22 +206,56 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
       if (learn) threshold_.on_spike(j);
       if (learn) {
         std::visit(
-            [&](auto& pop) {
-              pop.inhibit_all_except(j, now_ + config_.t_inh_ms);
-            },
+            [&](auto& pop) { pop.inhibit_all_except(j, t + config_.t_inh_ms); },
             neurons_);
       } else if (config_.readout_inhibition) {
         const TimeMs t_inh = config_.t_inh_readout_ms >= 0.0
                                  ? config_.t_inh_readout_ms
                                  : config_.t_inh_ms;
         std::visit(
-            [&](auto& pop) { pop.inhibit_all_except(j, now_ + t_inh); },
+            [&](auto& pop) { pop.inhibit_all_except(j, t + t_inh); },
             neurons_);
       }
     }
     if (learn) threshold_.decay(dt);
   }
+
+  // The biological clock and the presentation counter advance only at the
+  // boundary, keeping them equal on networks that split the same workload
+  // differently (sequential vs batched).
+  now_ += static_cast<TimeMs>(steps) * dt;
+  ++presentation_index_;
   return result;
+}
+
+void WtaNetwork::set_presentation_index(std::uint64_t index) {
+  PSS_REQUIRE(index < (1ull << 32),
+              "presentation index must fit in 32 bits (encoder packs it "
+              "with the step counter)");
+  presentation_index_ = index;
+}
+
+void WtaNetwork::skip_presentations(std::uint64_t count, TimeMs duration_ms) {
+  PSS_REQUIRE(duration_ms > 0.0, "presentation must have positive duration");
+  const auto steps = static_cast<StepIndex>(std::ceil(duration_ms / config_.dt));
+  presentation_index_ += count;
+  now_ += static_cast<TimeMs>(count) * static_cast<TimeMs>(steps) * config_.dt;
+}
+
+WtaNetwork WtaNetwork::replicate(Engine* engine) const {
+  WtaNetwork twin(config_, engine);
+  twin.sync_from(*this);
+  return twin;
+}
+
+void WtaNetwork::sync_from(const WtaNetwork& source) {
+  PSS_REQUIRE(config_.neuron_count == source.config_.neuron_count &&
+                  config_.input_channels == source.config_.input_channels,
+              "sync_from requires identically shaped networks");
+  conductance_.upload(source.conductance_.values());
+  threshold_.set_theta(source.threshold_.theta());
+  now_ = source.now_;
+  presentation_index_ = source.presentation_index_;
 }
 
 std::uint64_t WtaNetwork::total_spikes() const {
@@ -214,7 +270,7 @@ void WtaNetwork::apply_stdp_row(NeuronIndex winner, TimeMs t_post) {
   stdp_event_counter_ += n * StdpUpdater::kDrawsPerEvent;
 
   const StdpUpdater& updater = updater_;
-  const CounterRng& rng = stdp_rng_;
+  const CounterRng& rng = presentation_rng_;
   const auto& last_pre = last_pre_spike_;
 
   // STDP kernel: one logical thread per afferent synapse. Draw indices are
@@ -252,8 +308,9 @@ void WtaNetwork::apply_pre_spike_depression(TimeMs now) {
     for (ChannelIndex c : active_channels_) {
       const std::uint64_t k = stdp_event_counter_;
       stdp_event_counter_ += StdpUpdater::kDrawsPerEvent;
-      row[c] = updater_.update_at_pre_spike(row[c], age, stdp_rng_.uniform(k),
-                                            stdp_rng_.uniform(k + 1));
+      row[c] = updater_.update_at_pre_spike(row[c], age,
+                                            presentation_rng_.uniform(k),
+                                            presentation_rng_.uniform(k + 1));
     }
   }
 }

@@ -50,6 +50,12 @@ struct WtaConfig {
   double spike_amplitude = 3.0;    ///< v_pre of eq. 3 (paper: tuned to input)
   TimeMs current_decay_ms = 2.5;   ///< synaptic current decay; 0 = eq. 3 verbatim
 
+  /// Fuse the per-step current-decay + accumulate + neuron-update kernels
+  /// into a single launch (bitwise-identical results, one dispatch instead
+  /// of three). Off = the original three-kernel sequence, kept for A/B
+  /// benchmarking.
+  bool fused_step = true;
+
   /// Amplitude auto-gain — the "tuned based on input spiking frequency and
   /// voltage" part of Sec. II-B made explicit. When > 0, each presentation
   /// scales the per-spike amplitude by (reference / Σ channel rates), so the
@@ -117,9 +123,43 @@ class WtaNetwork {
   /// ms. STDP runs only when `learn` is true. Membrane state, synaptic
   /// current and per-image spike timers are reset at the start of each
   /// presentation (the paper presents images independently).
+  ///
+  /// Determinism contract: every random draw inside a presentation is
+  /// counter-indexed by (presentation_index, step), and all dynamic state
+  /// resets at the presentation boundary, so the outcome is a pure function
+  /// of (config, conductances, theta, presentation_index, rates). A replica
+  /// with the same frozen state replays any presentation bit for bit — the
+  /// property the batched presentation engine builds on. The index advances
+  /// by one per call.
   PresentationResult present(std::span<const double> rates_hz,
                              TimeMs duration_ms, bool learn,
                              bool record_spikes = false);
+
+  /// Index the next present() call will use (== presentations completed so
+  /// far unless overridden).
+  std::uint64_t presentation_index() const { return presentation_index_; }
+
+  /// Repositions the presentation counter — a replica replays presentation k
+  /// of the source network by setting index k before present(). Must be
+  /// < 2^32 (the encoder packs it with the step counter).
+  void set_presentation_index(std::uint64_t index);
+
+  /// Advances the presentation counter and biological clock as if `count`
+  /// presentations of `duration_ms` each had run, without simulating them.
+  /// Keeps a network that delegated those presentations to replicas in sync
+  /// with the sequential path.
+  void skip_presentations(std::uint64_t count, TimeMs duration_ms);
+
+  /// Deep-copies this network onto another engine: same config, current
+  /// conductances, homeostatic offsets, clock and presentation index. The
+  /// copy replays upcoming presentations bitwise-identically to the source;
+  /// batch workers each own one (with a serial Engine — the pool parallelism
+  /// is across images, not within a replica).
+  WtaNetwork replicate(Engine* engine) const;
+
+  /// Synchronizes a replica with `source` without reconstructing it: copies
+  /// conductances, theta, clock and presentation index (configs must match).
+  void sync_from(const WtaNetwork& source);
 
   ConductanceMatrix& conductance() { return conductance_; }
   const ConductanceMatrix& conductance() const { return conductance_; }
@@ -153,11 +193,12 @@ class WtaNetwork {
   StdpUpdater updater_;
   AdaptiveThreshold threshold_;
   PoissonEncoder encoder_;
-  CounterRng stdp_rng_;
+  CounterRng stdp_rng_;          ///< root stream; forked per presentation
+  CounterRng presentation_rng_;  ///< stdp_rng_.fork(presentation) during present()
 
   TimeMs now_ = 0.0;
-  StepIndex global_step_ = 0;
-  std::uint64_t stdp_event_counter_ = 0;
+  std::uint64_t presentation_index_ = 0;
+  std::uint64_t stdp_event_counter_ = 0;  ///< within-presentation draw index
 
   // Scratch buffers reused across steps.
   std::vector<double> currents_;

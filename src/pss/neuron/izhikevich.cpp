@@ -79,6 +79,57 @@ void IzhikevichPopulation::step(std::span<const double> input_current,
   }
 }
 
+void IzhikevichPopulation::step_fused(
+    std::span<double> currents, double decay_factor,
+    std::span<const double> conductance, std::size_t pre_count,
+    std::span<const ChannelIndex> active_pre, double amplitude, TimeMs now,
+    TimeMs dt, std::vector<NeuronIndex>& spikes,
+    std::span<const double> threshold_offset) {
+  PSS_REQUIRE(currents.size() == size(),
+              "current vector size must equal population size");
+  PSS_REQUIRE(conductance.size() == size() * pre_count,
+              "conductance buffer size must equal size * pre_count");
+  PSS_REQUIRE(threshold_offset.empty() || threshold_offset.size() == size(),
+              "threshold offset size must equal population size");
+  spikes.clear();
+
+  auto v = v_.span();
+  auto u = u_.span();
+  auto last = last_spike_.span();
+  auto inhibited = inhibited_until_.span();
+  auto flag = spiked_flag_.span();
+  const IzhikevichParameters base = params_;
+
+  engine_->launch(size(), [&](std::size_t i) {
+    // Matches the unfused decay + accumulate_currents sequence bit for bit.
+    double ci = decay_factor == 0.0 ? 0.0 : currents[i] * decay_factor;
+    if (!active_pre.empty()) {
+      const double* row = conductance.data() + i * pre_count;
+      double acc = 0.0;
+      for (ChannelIndex pre : active_pre) acc += row[pre];
+      ci += amplitude * acc;
+    }
+    currents[i] = ci;
+
+    flag[i] = 0;
+    if (now <= inhibited[i]) {
+      v[i] = base.c;
+      return;
+    }
+    IzhikevichParameters p = base;
+    if (!threshold_offset.empty()) p.v_peak += threshold_offset[i];
+    flag[i] = izhikevich_step(p, v[i], u[i], ci, dt) ? 1 : 0;
+    if (flag[i]) last[i] = now;
+  });
+
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (flag[i]) {
+      spikes.push_back(static_cast<NeuronIndex>(i));
+      ++total_spikes_;
+    }
+  }
+}
+
 void IzhikevichPopulation::inhibit(NeuronIndex neuron, TimeMs until) {
   PSS_REQUIRE(neuron < size(), "neuron index out of range");
   inhibited_until_[neuron] = until;

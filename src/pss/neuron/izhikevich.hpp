@@ -72,6 +72,13 @@ class IzhikevichPopulation {
             std::vector<NeuronIndex>& spikes,
             std::span<const double> threshold_offset = {});
 
+  /// Fused decay + accumulate + update step; see LifPopulation::step_fused.
+  void step_fused(std::span<double> currents, double decay_factor,
+                  std::span<const double> conductance, std::size_t pre_count,
+                  std::span<const ChannelIndex> active_pre, double amplitude,
+                  TimeMs now, TimeMs dt, std::vector<NeuronIndex>& spikes,
+                  std::span<const double> threshold_offset = {});
+
   /// WTA inhibition: pins the neuron at its reset potential until `until`.
   void inhibit(NeuronIndex neuron, TimeMs until);
   void inhibit_all_except(NeuronIndex winner, TimeMs until);

@@ -61,6 +61,19 @@ class LifPopulation {
             std::vector<NeuronIndex>& spikes,
             std::span<const double> threshold_offset = {});
 
+  /// Fused presentation-step kernel: current decay + synaptic accumulation
+  /// (eq. 3) + neuron update in ONE launch, eliminating two of the three
+  /// per-step dispatches. `currents` is updated in place:
+  ///   I[i] = I[i]·decay + amplitude·Σ_{pre ∈ active} G[i·pre_count + pre]
+  /// (decay_factor == 0 clears instead). Floating-point operation order is
+  /// identical to the unfused decay/accumulate_currents/step sequence, so
+  /// the two paths are bitwise-interchangeable (asserted by tests).
+  void step_fused(std::span<double> currents, double decay_factor,
+                  std::span<const double> conductance, std::size_t pre_count,
+                  std::span<const ChannelIndex> active_pre, double amplitude,
+                  TimeMs now, TimeMs dt, std::vector<NeuronIndex>& spikes,
+                  std::span<const double> threshold_offset = {});
+
   /// Suppresses a neuron until `until`: membrane pinned at reset, no spikes.
   /// This is the mechanism behind the WTA inhibition of Fig. 3.
   void inhibit(NeuronIndex neuron, TimeMs until);

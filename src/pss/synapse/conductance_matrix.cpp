@@ -87,4 +87,10 @@ std::vector<double> ConductanceMatrix::to_vector() const {
   return g_.download();
 }
 
+void ConductanceMatrix::upload(std::span<const double> values) {
+  PSS_REQUIRE(values.size() == g_.size(),
+              "upload size must equal synapse count");
+  std::copy(values.begin(), values.end(), g_.span().begin());
+}
+
 }  // namespace pss

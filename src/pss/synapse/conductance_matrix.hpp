@@ -61,6 +61,14 @@ class ConductanceMatrix {
   /// Flat copy of all conductances (Fig. 6b distribution analysis).
   std::vector<double> to_vector() const;
 
+  /// Read-only view of the full post-major buffer (post*pre_count + pre).
+  /// The fused step kernel and replica sharing read through this.
+  std::span<const double> values() const { return g_.span(); }
+
+  /// Bulk-replaces every conductance (no clamping — values must already lie
+  /// in range, e.g. copied from another matrix of the same shape).
+  void upload(std::span<const double> values);
+
  private:
   std::size_t post_count_;
   std::size_t pre_count_;

@@ -7,6 +7,7 @@
 
 #include "pss/common/error.hpp"
 #include "pss/common/rng.hpp"
+#include "pss/engine/batch_runner.hpp"
 #include "pss/engine/device_vector.hpp"
 #include "pss/engine/launch.hpp"
 #include "pss/engine/thread_pool.hpp"
@@ -60,6 +61,37 @@ TEST(ThreadPool, SingleWorkerRunsInline) {
   EXPECT_EQ(sum, 45);
 }
 
+TEST(ThreadPool, RawRangeFnForm) {
+  // The non-owning dispatch primitive the template adapters build on.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  const ThreadPool::RangeFn fn = [](void* ctx, std::size_t b, std::size_t e) {
+    auto* h = static_cast<std::vector<std::atomic<int>>*>(ctx);
+    for (std::size_t i = b; i < e; ++i) (*h)[i]++;
+  };
+  pool.parallel_for(100, fn, &hits);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ShardsPartitionRangeWithStableIds) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  std::vector<std::atomic<int>> shard_of(1000);
+  pool.parallel_shards(1000, [&](std::size_t shard, std::size_t b,
+                                 std::size_t e) {
+    EXPECT_LT(shard, pool.worker_count());
+    for (std::size_t i = b; i < e; ++i) {
+      hits[i]++;
+      shard_of[i] = static_cast<int>(shard);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Contiguous ranges: shard ids must be non-decreasing over the index space.
+  for (std::size_t i = 1; i < 1000; ++i) {
+    EXPECT_LE(shard_of[i - 1].load(), shard_of[i].load());
+  }
+}
+
 TEST(Engine, LaunchVisitsEachThreadIndex) {
   Engine engine(4);
   std::vector<std::atomic<int>> hits(257);
@@ -97,6 +129,96 @@ TEST(Engine, ResultsIndependentOfWorkerCount) {
   const auto seven = run(7);
   EXPECT_EQ(one, four);
   EXPECT_EQ(one, seven);
+}
+
+TEST(Engine, GrainCutoffRunsSmallLaunchesInline) {
+  Engine engine(4);
+  EXPECT_EQ(engine.grain(), Engine::kDefaultGrain);
+  std::atomic<int> n{0};
+  engine.launch(100, [&](std::size_t) { n++; });  // 100 <= grain -> inline
+  EXPECT_EQ(n.load(), 100);
+  EXPECT_EQ(engine.launch_count(), 1u);
+  EXPECT_EQ(engine.dispatch_count(), 0u);
+
+  engine.launch(Engine::kDefaultGrain + 1, [](std::size_t) {});
+  EXPECT_EQ(engine.launch_count(), 2u);
+  EXPECT_EQ(engine.dispatch_count(), 1u);
+
+  engine.set_grain(0);  // force dispatch regardless of size
+  engine.launch(100, [&](std::size_t) { n++; });
+  EXPECT_EQ(n.load(), 200);
+  EXPECT_EQ(engine.dispatch_count(), 2u);
+}
+
+TEST(Engine, SerialEngineNeverDispatches) {
+  Engine engine(1);
+  engine.set_grain(0);
+  std::atomic<int> n{0};
+  engine.launch(5000, [&](std::size_t) { n++; });
+  engine.launch_sum(5000, [](std::size_t) { return 1.0; });
+  EXPECT_EQ(n.load(), 5000);
+  EXPECT_EQ(engine.launch_count(), 2u);
+  EXPECT_EQ(engine.dispatch_count(), 0u);
+}
+
+TEST(Engine, LaunchSumIdenticalInlineOrDispatched) {
+  // launch_sum combines per-shard partials in shard order, so for a fixed
+  // worker count the dispatched result is deterministic; and because every
+  // kernel value is exactly representable here, it equals the inline sum.
+  Engine inline_engine(4);  // n <= grain -> serial accumulation
+  Engine forced(4);
+  forced.set_grain(0);  // always through the pool
+  auto kernel = [](std::size_t i) { return static_cast<double>(i); };
+  const double a = inline_engine.launch_sum(2000, kernel);
+  const double b = forced.launch_sum(2000, kernel);
+  const double c = forced.launch_sum(2000, kernel);
+  EXPECT_DOUBLE_EQ(a, 2000.0 * 1999.0 / 2.0);
+  EXPECT_DOUBLE_EQ(b, c);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(BatchRunner, VisitsEveryIndexOnceWithValidWorkerIds) {
+  BatchRunner runner(4);
+  EXPECT_EQ(runner.worker_count(), 4u);
+  std::vector<std::atomic<int>> hits(333);
+  runner.run(333, [&](std::size_t worker, std::size_t i) {
+    EXPECT_LT(worker, runner.worker_count());
+    hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(BatchRunner, WorkerEnginesAreSerialAndDistinct) {
+  BatchRunner runner(3);
+  for (std::size_t w = 0; w < runner.worker_count(); ++w) {
+    EXPECT_EQ(runner.worker_engine(w).worker_count(), 1u);
+    for (std::size_t v = w + 1; v < runner.worker_count(); ++v) {
+      EXPECT_NE(&runner.worker_engine(w), &runner.worker_engine(v));
+    }
+  }
+  EXPECT_THROW(runner.worker_engine(3), Error);
+}
+
+TEST(BatchRunner, PerWorkerBuildsLazilyOncePerWorker) {
+  BatchRunner runner(4);
+  PerWorker<int> state(runner.worker_count());
+  std::atomic<int> builds{0};
+  std::atomic<long> total{0};
+  runner.run(100, [&](std::size_t w, std::size_t i) {
+    int& slot = state.get(w, [&] {
+      builds++;
+      return 1000 * static_cast<int>(w);
+    });
+    total += slot + static_cast<long>(i);
+  });
+  // At most one construction per worker, and only for workers that ran.
+  EXPECT_LE(builds.load(), 4);
+  EXPECT_GE(builds.load(), 1);
+  std::size_t used = 0;
+  for (std::size_t w = 0; w < state.size(); ++w) {
+    if (state.slot(w)) ++used;
+  }
+  EXPECT_EQ(static_cast<int>(used), builds.load());
 }
 
 TEST(DeviceVector, UploadDownloadRoundTrip) {

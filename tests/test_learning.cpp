@@ -7,6 +7,8 @@
 #include "pss/common/error.hpp"
 #include "pss/common/log.hpp"
 #include "pss/data/synthetic_digits.hpp"
+#include "pss/engine/batch_runner.hpp"
+#include "pss/engine/launch.hpp"
 #include "pss/learning/classifier.hpp"
 #include "pss/learning/homeostasis.hpp"
 #include "pss/learning/labeler.hpp"
@@ -156,6 +158,113 @@ TEST_F(LearningPipeline, UntrainedNetworkNearChance) {
   const EvaluationResult result = classifier.evaluate(eval_set.head(60));
   EXPECT_LT(result.accuracy, 0.45)
       << "random initial conductances should not classify well";
+}
+
+TEST_F(LearningPipeline, BatchedLabellingAndEvalMatchSequential) {
+  // Core acceptance criterion: batched labelling/evaluation is bitwise
+  // identical to the sequential path at every worker count.
+  WtaNetwork net(config());
+  UnsupervisedTrainer trainer(net, TrainerConfig{1.0, 22.0, 250.0});
+  trainer.train(data_->train.head(25));
+
+  Engine serial(1);
+  WtaNetwork seq = net.replicate(&serial);
+  WtaNetwork par1 = net.replicate(&serial);
+  WtaNetwork par3 = net.replicate(&serial);
+
+  const PixelFrequencyMap map(1.0, 22.0);
+  const auto [label_set_full, eval_set] = data_->labelling_split(60);
+  const Dataset label_set = label_set_full.head(30);
+  const Dataset eval = eval_set.head(30);
+
+  BatchRunner one(1);
+  BatchRunner three(3);
+  const LabelingResult a = label_neurons(seq, label_set, map, 200.0);
+  const LabelingResult b = label_neurons(par1, label_set, map, 200.0, one);
+  const LabelingResult c = label_neurons(par3, label_set, map, 200.0, three);
+  EXPECT_EQ(a.neuron_labels, b.neuron_labels);
+  EXPECT_EQ(a.neuron_labels, c.neuron_labels);
+  EXPECT_EQ(a.response, b.response);
+  EXPECT_EQ(a.response, c.response);
+  EXPECT_EQ(a.labelled_neurons, c.labelled_neurons);
+  // The source network's clock/counter advance exactly as sequentially.
+  EXPECT_EQ(seq.presentation_index(), par3.presentation_index());
+  EXPECT_DOUBLE_EQ(seq.now(), par3.now());
+
+  SnnClassifier ca(seq, a.neuron_labels, a.class_count, map, 200.0);
+  SnnClassifier cb(par1, b.neuron_labels, b.class_count, map, 200.0);
+  SnnClassifier cc(par3, c.neuron_labels, c.class_count, map, 200.0);
+  const EvaluationResult ra = ca.evaluate(eval);
+  const EvaluationResult rb = cb.evaluate(eval, one);
+  const EvaluationResult rc = cc.evaluate(eval, three);
+  EXPECT_DOUBLE_EQ(ra.accuracy, rb.accuracy);
+  EXPECT_DOUBLE_EQ(ra.accuracy, rc.accuracy);
+  EXPECT_EQ(ra.confusion.to_string(), rb.confusion.to_string());
+  EXPECT_EQ(ra.confusion.to_string(), rc.confusion.to_string());
+}
+
+TEST_F(LearningPipeline, MinibatchTrainingIsWorkerCountInvariant) {
+  // Minibatch STDP changes the update schedule (batch boundaries), but for a
+  // fixed batch size the result must not depend on how many workers computed
+  // the per-image deltas.
+  TrainerConfig tc{1.0, 22.0, 250.0};
+  tc.batch_size = 5;
+
+  WtaNetwork a(config());
+  WtaNetwork b(config());
+  UnsupervisedTrainer ta(a, tc);
+  UnsupervisedTrainer tb(b, tc);
+  BatchRunner one(1);
+  BatchRunner four(4);
+  const Dataset train = data_->train.head(18);  // last batch partial (3)
+  const TrainingStats sa = ta.train(train, one);
+  const TrainingStats sb = tb.train(train, four);
+
+  EXPECT_EQ(a.conductance().to_vector(), b.conductance().to_vector());
+  EXPECT_EQ(std::vector<double>(a.theta().begin(), a.theta().end()),
+            std::vector<double>(b.theta().begin(), b.theta().end()));
+  EXPECT_EQ(sa.total_post_spikes, sb.total_post_spikes);
+  EXPECT_EQ(sa.total_input_spikes, sb.total_input_spikes);
+  EXPECT_EQ(a.presentation_index(), b.presentation_index());
+  EXPECT_DOUBLE_EQ(a.now(), b.now());
+}
+
+TEST_F(LearningPipeline, MinibatchTrainingStillLearns) {
+  TrainerConfig tc{1.0, 22.0, 300.0};
+  tc.batch_size = 6;
+  WtaNetwork net(config());
+  UnsupervisedTrainer trainer(net, tc);
+  BatchRunner runner(2);
+  const auto before = net.conductance().to_vector();
+  std::size_t callbacks = 0;
+  const TrainingStats stats = trainer.train(
+      data_->train.head(24), runner, [&](std::size_t index) {
+        EXPECT_EQ(index, callbacks);  // in image order, every image
+        ++callbacks;
+      });
+  EXPECT_EQ(stats.images_presented, 24u);
+  EXPECT_EQ(callbacks, 24u);
+  EXPECT_DOUBLE_EQ(stats.simulated_ms, 24 * 300.0);
+  EXPECT_GT(stats.total_post_spikes, 0u);
+  EXPECT_NE(net.conductance().to_vector(), before)
+      << "minibatch STDP must still move conductances";
+}
+
+TEST_F(LearningPipeline, MinibatchKeepsQuantizedConductanceOnGrid) {
+  // Accumulated deltas must respect the low-precision grid: grid values are
+  // binary fractions, so delta accumulation is exact.
+  WtaConfig cfg =
+      WtaConfig::from_table1(LearningOption::k2Bit, StdpKind::kStochastic, 40);
+  cfg.seed = 5;
+  TrainerConfig tc{1.0, 22.0, 250.0};
+  tc.batch_size = 4;
+  WtaNetwork net(cfg);
+  UnsupervisedTrainer trainer(net, tc);
+  BatchRunner runner(3);
+  trainer.train(data_->train.head(12), runner);
+  for (double g : net.conductance().to_vector()) {
+    ASSERT_TRUE(q0_2().representable(g)) << g;
+  }
 }
 
 TEST_F(LearningPipeline, AllAbstainWhenNeuronsUnlabelled) {

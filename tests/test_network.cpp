@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "pss/common/error.hpp"
+#include "pss/engine/launch.hpp"
 #include "pss/network/simulation.hpp"
 #include "pss/network/topology.hpp"
 #include "pss/network/wta_network.hpp"
@@ -268,6 +269,97 @@ TEST(WtaNetwork, IzhikevichModelOptionWorks) {
   EXPECT_STREQ(neuron_model_name(cfg.neuron_model), "Izhikevich");
 }
 
+TEST(WtaNetwork, FusedStepMatchesUnfusedBitwise) {
+  // The fused decay+accumulate+integrate kernel must preserve the exact FP
+  // operation order of the three-phase path: spikes AND conductances bitwise.
+  WtaConfig fused_cfg = small_config();
+  WtaConfig unfused_cfg = small_config();
+  unfused_cfg.fused_step = false;
+  WtaNetwork fused(fused_cfg);
+  WtaNetwork unfused(unfused_cfg);
+  const auto rates = pattern_rates(70.0, 2.0);
+  for (int i = 0; i < 5; ++i) {
+    const auto rf = fused.present(rates, 350.0, true);
+    const auto ru = unfused.present(rates, 350.0, true);
+    EXPECT_EQ(rf.spike_counts, ru.spike_counts) << "presentation " << i;
+    EXPECT_EQ(rf.input_spikes, ru.input_spikes);
+  }
+  EXPECT_EQ(fused.conductance().to_vector(), unfused.conductance().to_vector());
+  EXPECT_EQ(std::vector<double>(fused.theta().begin(), fused.theta().end()),
+            std::vector<double>(unfused.theta().begin(),
+                                unfused.theta().end()));
+}
+
+TEST(WtaNetwork, FusedStepMatchesUnfusedOnIzhikevich) {
+  WtaConfig fused_cfg = small_config();
+  fused_cfg.neuron_model = NeuronModelKind::kIzhikevich;
+  WtaConfig unfused_cfg = fused_cfg;
+  unfused_cfg.fused_step = false;
+  WtaNetwork fused(fused_cfg);
+  WtaNetwork unfused(unfused_cfg);
+  const auto rates = pattern_rates(70.0, 2.0);
+  for (int i = 0; i < 3; ++i) {
+    const auto rf = fused.present(rates, 350.0, true);
+    const auto ru = unfused.present(rates, 350.0, true);
+    EXPECT_EQ(rf.spike_counts, ru.spike_counts) << "presentation " << i;
+  }
+  EXPECT_EQ(fused.conductance().to_vector(), unfused.conductance().to_vector());
+}
+
+TEST(WtaNetwork, ReplicaReplaysPresentationsBitwise) {
+  // The determinism contract behind image-parallel batching: a replica
+  // synced to the source's state replays any presentation bit for bit.
+  WtaNetwork net(small_config());
+  const auto rates = pattern_rates(70.0, 2.0);
+  for (int i = 0; i < 4; ++i) net.present(rates, 300.0, true);  // warm up
+
+  Engine serial(1);
+  WtaNetwork replica = net.replicate(&serial);
+  EXPECT_EQ(replica.presentation_index(), net.presentation_index());
+  EXPECT_EQ(replica.conductance().to_vector(), net.conductance().to_vector());
+
+  const auto r_net = net.present(rates, 300.0, true);
+  const auto r_rep = replica.present(rates, 300.0, true);
+  EXPECT_EQ(r_net.spike_counts, r_rep.spike_counts);
+  EXPECT_EQ(net.conductance().to_vector(), replica.conductance().to_vector());
+  EXPECT_EQ(std::vector<double>(net.theta().begin(), net.theta().end()),
+            std::vector<double>(replica.theta().begin(),
+                                replica.theta().end()));
+}
+
+TEST(WtaNetwork, PresentationIndexDrivesTheDraws) {
+  // Presenting image k on a replica whose index was advanced to k must match
+  // the source presenting images 0..k in order — this is what lets workers
+  // jump straight to their shard.
+  WtaNetwork net(small_config());
+  const auto rates = pattern_rates();
+  Engine serial(1);
+  WtaNetwork replica = net.replicate(&serial);
+
+  net.present(rates, 250.0, false);               // image 0 (readout)
+  const auto second = net.present(rates, 250.0, false);  // image 1
+
+  replica.set_presentation_index(1);              // skip straight to image 1
+  const auto jumped = replica.present(rates, 250.0, false);
+  EXPECT_EQ(jumped.spike_counts, second.spike_counts);
+}
+
+TEST(WtaNetwork, SkipPresentationsAdvancesClockAndIndex) {
+  WtaNetwork net(small_config());
+  net.present(pattern_rates(), 250.0, false);
+  EXPECT_EQ(net.presentation_index(), 1u);
+  net.skip_presentations(3, 250.0);
+  EXPECT_EQ(net.presentation_index(), 4u);
+  EXPECT_DOUBLE_EQ(net.now(), 4 * 250.0);
+  // After the skip the network continues exactly where a sequential run
+  // would be.
+  WtaNetwork seq(small_config());
+  for (int i = 0; i < 4; ++i) seq.present(pattern_rates(), 250.0, false);
+  const auto a = net.present(pattern_rates(), 250.0, false);
+  const auto b = seq.present(pattern_rates(), 250.0, false);
+  EXPECT_EQ(a.spike_counts, b.spike_counts);
+}
+
 TEST(ActivitySimulation, RatesScaleWithDrive) {
   SequentialRng rng(3);
   const auto conns = connect_random(
@@ -300,6 +392,24 @@ TEST(ActivitySimulation, RecordsRasterAndPerNeuronCounts) {
   EXPECT_EQ(sum, r.total_spikes);
   EXPECT_EQ(r.raster.size(), std::min<std::size_t>(r.total_spikes, 20000));
   EXPECT_GT(r.steps_per_second, 0.0);
+}
+
+TEST(ActivitySimulation, MeanRateNormalizedBySimulatedTime) {
+  // duration_ms = 100.5 with dt = 1.0 runs ceil(100.5) = 101 steps; the mean
+  // rate must divide by the simulated 101 ms, not the requested 100.5 ms.
+  SequentialRng rng(5);
+  const auto conns = connect_random(
+      40, 40, 0.05, [](NeuronIndex, NeuronIndex) { return 1.0; }, rng);
+  ActivityConfig cfg;
+  cfg.duration_ms = 100.5;
+  cfg.dt = 1.0;
+  cfg.input_rate_hz = 120.0;
+  cfg.input_amplitude = 18.0;
+  const auto r = run_lif_activity(40, paper_lif_parameters(), conns, cfg);
+  ASSERT_GT(r.total_spikes, 0u);
+  const double expected =
+      static_cast<double>(r.total_spikes) / 40.0 / (101.0 * 1e-3);
+  EXPECT_DOUBLE_EQ(r.mean_rate_hz, expected);
 }
 
 TEST(ActivitySimulation, IzhikevichVariantRuns) {

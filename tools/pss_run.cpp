@@ -16,8 +16,11 @@
 //   kind=stochastic|deterministic     option=fp32|16bit|8bit|4bit|2bit|highfreq
 //   rounding=nearest|trunc|stochastic neurons=100 train=400 label=250 eval=250
 //   seed=1  snapshot=<path>  maps=<path.pgm>  verbose=0|1
+//   workers=1 (0 = all cores; != 1 runs labelling/eval image-parallel with
+//   bitwise-identical results)  batch=1 (> 1 = minibatch STDP training)
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 #include <string>
 
 #include "pss/common/error.hpp"
@@ -93,8 +96,22 @@ ExperimentSpec spec_from_config(const Config& cfg) {
   spec.train_images = static_cast<std::size_t>(cfg.get_int("train", 400));
   spec.label_images = static_cast<std::size_t>(cfg.get_int("label", 250));
   spec.eval_images = static_cast<std::size_t>(cfg.get_int("eval", 250));
+  const auto workers = cfg.get_int("workers", 1);
+  const auto batch = cfg.get_int("batch", 1);
+  PSS_REQUIRE(workers >= 0, "workers must be >= 0 (0 = all cores)");
+  PSS_REQUIRE(batch >= 1, "batch must be >= 1");
+  spec.workers = static_cast<std::size_t>(workers);
+  spec.batch_size = static_cast<std::size_t>(batch);
   spec.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
   return spec;
+}
+
+/// Emplaces a BatchRunner for the spec (left empty when the run is fully
+/// sequential). Out-param because a BatchRunner owns a thread pool and
+/// cannot move.
+void make_runner(const ExperimentSpec& spec,
+                 std::optional<BatchRunner>& runner) {
+  if (spec.workers != 1 || spec.batch_size > 1) runner.emplace(spec.workers);
 }
 
 int run_train(const Config& cfg) {
@@ -107,16 +124,23 @@ int run_train(const Config& cfg) {
   // Explicit pipeline so the trained network can be snapshotted.
   WtaNetwork net(spec.network_config());
   UnsupervisedTrainer trainer(net, spec.trainer_config());
-  const TrainingStats stats = trainer.train(data.train.head(spec.train_images));
+  std::optional<BatchRunner> runner;
+  make_runner(spec, runner);
+  const Dataset train_set = data.train.head(spec.train_images);
+  const TrainingStats stats = spec.batch_size > 1
+                                  ? trainer.train(train_set, *runner)
+                                  : trainer.train(train_set);
   const PixelFrequencyMap map(spec.trainer_config().f_min_hz,
                               spec.trainer_config().f_max_hz);
   const auto [label_set, eval_set] = data.labelling_split(spec.label_images);
   const LabelingResult labels =
-      label_neurons(net, label_set, map, spec.t_label_ms);
+      runner ? label_neurons(net, label_set, map, spec.t_label_ms, *runner)
+             : label_neurons(net, label_set, map, spec.t_label_ms);
   SnnClassifier classifier(net, labels.neuron_labels, labels.class_count, map,
                            spec.t_infer_ms);
   const EvaluationResult eval =
-      classifier.evaluate(eval_set.head(spec.eval_images));
+      runner ? classifier.evaluate(eval_set.head(spec.eval_images), *runner)
+             : classifier.evaluate(eval_set.head(spec.eval_images));
 
   std::printf("accuracy %.1f%% (%llu/%llu) | %zu labelled neurons | %.1f s "
               "training wall\n",
@@ -160,8 +184,11 @@ int run_infer(const Config& cfg) {
   std::size_t classes = 1;
   for (int l : labels) classes = std::max(classes, static_cast<std::size_t>(l + 1));
   SnnClassifier classifier(net, labels, classes, map, spec.t_infer_ms);
+  std::optional<BatchRunner> runner;
+  make_runner(spec, runner);
   const EvaluationResult eval =
-      classifier.evaluate(data.test.head(spec.eval_images));
+      runner ? classifier.evaluate(data.test.head(spec.eval_images), *runner)
+             : classifier.evaluate(data.test.head(spec.eval_images));
   std::printf("infer: accuracy %.1f%% on %llu images\n",
               100.0 * eval.accuracy,
               static_cast<unsigned long long>(eval.confusion.total()));
