@@ -12,16 +12,16 @@
 //      identity-checked against the sequential confusion matrix;
 //   4. minibatch STDP training vs per-image training.
 //
-// Results also land in out/BENCH_batch_runner.json for sweep scripts.
+// Results land in out/BENCH_batch_runner.json for sweep scripts — published
+// through the shared metrics registry (pss.metrics.v1, "bench.*" gauges), the
+// same schema every other bench emits.
 // Arguments: neurons=50 images=40 t_ms=200 workers=1,2,4 seed=9 scale=...
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "pss/common/stopwatch.hpp"
 #include "pss/engine/batch_runner.hpp"
 #include "pss/learning/classifier.hpp"
 #include "pss/learning/labeler.hpp"
@@ -146,13 +146,13 @@ int main(int argc, char** argv) {
 
     Engine serial(1);
     WtaNetwork seq_net = trained.replicate(&serial);
-    Stopwatch seq_clock;
+    bench::RecordedTimer seq_clock("batch_runner.sequential_label_eval");
     const LabelingResult seq_labels =
         label_neurons(seq_net, label_set, map, t_ms);
     SnnClassifier seq_classifier(seq_net, seq_labels.neuron_labels,
                                  seq_labels.class_count, map, t_ms);
     const EvaluationResult seq_eval = seq_classifier.evaluate(eval_set);
-    const double sequential_s = seq_clock.seconds();
+    const double sequential_s = seq_clock.stop();
 
     TablePrinter scaling(
         {"workers", "seconds", "speedup", "accuracy", "identical"});
@@ -162,13 +162,14 @@ int main(int argc, char** argv) {
     for (std::size_t w : worker_counts) {
       BatchRunner runner(w);
       WtaNetwork net = trained.replicate(&serial);
-      Stopwatch clock;
+      bench::RecordedTimer clock("batch_runner.label_eval.w" +
+                                 std::to_string(w));
       const LabelingResult labels =
           label_neurons(net, label_set, map, t_ms, runner);
       SnnClassifier classifier(net, labels.neuron_labels, labels.class_count,
                                map, t_ms);
       const EvaluationResult eval = classifier.evaluate(eval_set, runner);
-      const double batched_s = clock.seconds();
+      const double batched_s = clock.stop();
       batched_timings.emplace_back(w, batched_s);
       const bool identical =
           labels.neuron_labels == seq_labels.neuron_labels &&
@@ -207,36 +208,26 @@ int main(int argc, char** argv) {
     }
     training.print();
 
-    // ---- JSON record -----------------------------------------------------
-    const std::string json_path = bench::out_dir() + "/BENCH_batch_runner.json";
-    std::ofstream json(json_path);
-    json << "{\n"
-         << "  \"neurons\": " << neurons << ",\n"
-         << "  \"images\": " << images << ",\n"
-         << "  \"t_ms\": " << t_ms << ",\n"
-         << "  \"fused_launches_per_step\": " << fused_launch_per_step
-         << ",\n"
-         << "  \"fused_dispatches_per_step\": " << fused_dispatch_per_step
-         << ",\n"
-         << "  \"fused_identical\": " << (fused_identical ? "true" : "false")
-         << ",\n"
-         << "  \"unfused_train_s\": " << unfused_s << ",\n"
-         << "  \"fused_train_s\": " << fused_s << ",\n"
-         << "  \"sequential_label_eval_s\": " << sequential_s << ",\n"
-         << "  \"batched_label_eval\": [";
-    for (std::size_t i = 0; i < batched_timings.size(); ++i) {
-      json << (i ? ", " : "") << "{\"workers\": " << batched_timings[i].first
-           << ", \"seconds\": " << batched_timings[i].second << "}";
+    // ---- JSON record (shared pss.metrics.v1 schema) ---------------------
+    bench::record("batch_runner.neurons", static_cast<double>(neurons));
+    bench::record("batch_runner.images", static_cast<double>(images));
+    bench::record("batch_runner.t_ms", t_ms);
+    bench::record("batch_runner.fused_launches_per_step",
+                  fused_launch_per_step);
+    bench::record("batch_runner.fused_dispatches_per_step",
+                  fused_dispatch_per_step);
+    bench::record("batch_runner.fused_identical",
+                  fused_identical ? 1.0 : 0.0);
+    bench::record("batch_runner.unfused_train_s", unfused_s);
+    bench::record("batch_runner.fused_train_s", fused_s);
+    bench::record("batch_runner.per_image_train_s", per_image_s);
+    // (label_eval.w<N>.seconds gauges were recorded by the RecordedTimers.)
+    for (const auto& [w, s_] : minibatch_timings) {
+      bench::record("batch_runner.minibatch_train.w" + std::to_string(w) +
+                        ".seconds",
+                    s_);
     }
-    json << "],\n"
-         << "  \"per_image_train_s\": " << per_image_s << ",\n"
-         << "  \"minibatch_train\": [";
-    for (std::size_t i = 0; i < minibatch_timings.size(); ++i) {
-      json << (i ? ", " : "")
-           << "{\"workers\": " << minibatch_timings[i].first
-           << ", \"seconds\": " << minibatch_timings[i].second << "}";
-    }
-    json << "]\n}\n";
+    const std::string json_path = bench::write_bench_record("batch_runner");
     std::printf("\nwrote %s\n", json_path.c_str());
   });
 }

@@ -21,6 +21,7 @@
 #include "pss/experiment/experiment.hpp"
 #include "pss/io/config.hpp"
 #include "pss/io/table.hpp"
+#include "pss/obs/metrics.hpp"
 
 namespace pss::bench {
 
@@ -97,6 +98,50 @@ inline std::string out_dir() {
   return dir;
 }
 
+/// Records a scalar bench result as the gauge "bench.<name>". Every bench
+/// publishes through the registry so all BENCH_*.json files share one schema
+/// (pss.metrics.v1) instead of each bench hand-rolling its own JSON.
+inline void record(const std::string& name, double value) {
+  obs::metrics().gauge("bench." + name).set(value);
+}
+
+/// Times a section and records "bench.<name>.seconds" on stop (or
+/// destruction). Replaces the per-bench Stopwatch + manual bookkeeping.
+class RecordedTimer {
+ public:
+  explicit RecordedTimer(std::string name)
+      : name_(std::move(name)), t0_(obs::monotonic_ns()) {}
+
+  /// Stops the timer, records the gauge, and returns elapsed seconds.
+  double stop() {
+    if (!stopped_) {
+      seconds_ = static_cast<double>(obs::monotonic_ns() - t0_) * 1e-9;
+      record(name_ + ".seconds", seconds_);
+      stopped_ = true;
+    }
+    return seconds_;
+  }
+
+  ~RecordedTimer() { stop(); }
+
+  RecordedTimer(const RecordedTimer&) = delete;
+  RecordedTimer& operator=(const RecordedTimer&) = delete;
+
+ private:
+  std::string name_;
+  std::uint64_t t0_;
+  bool stopped_ = false;
+  double seconds_ = 0.0;
+};
+
+/// Dumps the registry (counters + gauges + histograms, including every
+/// record() call so far) to out/BENCH_<bench_name>.json and returns the path.
+inline std::string write_bench_record(const std::string& bench_name) {
+  const std::string path = out_dir() + "/BENCH_" + bench_name + ".json";
+  obs::write_metrics_json(path, bench_name);
+  return path;
+}
+
 inline void print_header(const char* figure, const char* claim) {
   std::printf("================================================================\n");
   std::printf("%s\n", figure);
@@ -109,6 +154,9 @@ inline int bench_main(int argc, char** argv,
   try {
     const Config args = Config::from_args(argc, argv);
     if (!args.get_bool("verbose", false)) set_log_level(LogLevel::kWarn);
+    // Benches publish results through the metrics registry (record() /
+    // write_bench_record()), so collection is on by default here.
+    obs::set_metrics_enabled(args.get_bool("obs", true));
     body(args);
     return 0;
   } catch (const std::exception& e) {

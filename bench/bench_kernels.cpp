@@ -2,15 +2,30 @@
 // simulator — neuron update, current accumulation (eq. 3), STDP row update —
 // plus the Philox draw and the Poisson encoder. These are the per-step costs
 // behind the Fig. 4 performance comparison.
+//
+// Also measures the observability layer itself: BM_TraceSpanDisabled /
+// BM_MetricsCounterDisabled pin the disabled-path cost (one relaxed load +
+// branch — the "zero-cost when off" contract), and BM_EngineLaunchInline
+// runs with obs off vs on so the <2% per-step regression budget is checkable
+// from the same binary.
+//
+// Results are routed through the metrics registry and written to
+// out/BENCH_kernels.json in the shared pss.metrics.v1 schema (gauge
+// "bench.kernels.<name>.real_ns" per benchmark), the same format every other
+// bench emits.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "pss/common/rng.hpp"
 #include "pss/encoding/poisson_encoder.hpp"
+#include "pss/engine/launch.hpp"
 #include "pss/neuron/lif.hpp"
+#include "pss/obs/metrics.hpp"
+#include "pss/obs/trace.hpp"
 #include "pss/synapse/conductance_matrix.hpp"
 #include "pss/synapse/stdp_updater.hpp"
 
@@ -98,30 +113,113 @@ void BM_PoissonEncoderStep(benchmark::State& state) {
 }
 BENCHMARK(BM_PoissonEncoderStep);
 
+// ---- observability-layer overhead -----------------------------------------
+
+/// Disabled path: what every instrumented call site pays when tracing is off.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  obs::set_trace_enabled(false);
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.span", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  obs::set_trace_enabled(true);
+  obs::reset_trace();
+  std::uint64_t emitted = 0;
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.span", "bench");
+    benchmark::DoNotOptimize(&span);
+    // Bound buffer growth so long runs measure the append, not allocation.
+    if (++emitted % 65536 == 0) {
+      state.PauseTiming();
+      obs::reset_trace();
+      state.ResumeTiming();
+    }
+  }
+  obs::set_trace_enabled(false);
+  obs::reset_trace();
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+void BM_MetricsCounterDisabled(benchmark::State& state) {
+  obs::set_metrics_enabled(false);
+  obs::Counter& c = obs::metrics().counter("bench.counter");
+  for (auto _ : state) {
+    if (obs::metrics_enabled()) c.add(1);  // the gated call-site pattern
+    benchmark::DoNotOptimize(&c);
+  }
+}
+BENCHMARK(BM_MetricsCounterDisabled);
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  obs::set_metrics_enabled(true);
+  obs::Counter& c = obs::metrics().counter("bench.counter");
+  for (auto _ : state) {
+    c.add(1);
+    benchmark::DoNotOptimize(&c);
+  }
+  obs::set_metrics_enabled(false);
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+/// Inline engine launch (the common small-network path) with the obs layer
+/// off vs on — the pair bounds the per-launch accounting overhead that the
+/// <2% per-step regression budget constrains.
+void BM_EngineLaunchInline(benchmark::State& state) {
+  obs::set_metrics_enabled(state.range(0) != 0);
+  Engine engine(1);
+  std::vector<double> v(256, 1.0);
+  for (auto _ : state) {
+    engine.launch("bench.kernel", v.size(),
+                  [&](std::size_t i) { v[i] = v[i] * 1.0000001 + 1e-12; });
+    benchmark::DoNotOptimize(v.data());
+  }
+  obs::set_metrics_enabled(false);
+  state.SetLabel(state.range(0) != 0 ? "obs on" : "obs off");
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(v.size()));
+}
+BENCHMARK(BM_EngineLaunchInline)->Arg(0)->Arg(1);
+
+/// Console reporter that mirrors every run into the metrics registry so the
+/// machine-readable record shares the pss.metrics.v1 schema with the other
+/// benches (gauge "bench.kernels.<name>.real_ns").
+class RegistryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      std::string name = run.benchmark_name();
+      for (char& ch : name) {
+        if (ch == '/' || ch == ':' || ch == ' ') ch = '.';
+      }
+      obs::metrics()
+          .gauge("bench.kernels." + name + ".real_ns")
+          .set(run.GetAdjustedRealTime());
+      obs::metrics()
+          .gauge("bench.kernels." + name + ".iterations")
+          .set(static_cast<double>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 }  // namespace pss
 
-// Like BENCHMARK_MAIN(), but defaults --benchmark_out to BENCH_kernels.json
-// so CI and sweep scripts always get a machine-readable record; any explicit
-// --benchmark_out on the command line wins.
+// Like BENCHMARK_MAIN(), but routes results through the metrics registry and
+// always writes out/BENCH_kernels.json (pss.metrics.v1) so CI and sweep
+// scripts get a machine-readable record in the same schema as every other
+// bench. google-benchmark's own --benchmark_out still works if passed.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]).starts_with("--benchmark_out")) {
-      has_out = true;
-    }
-  }
-  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
-  std::string format_flag = "--benchmark_out_format=json";
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(format_flag.data());
-  }
-  int count = static_cast<int>(args.size());
-  benchmark::Initialize(&count, args.data());
-  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  pss::RegistryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  std::filesystem::create_directories("out");
+  pss::obs::write_metrics_json("out/BENCH_kernels.json", "bench_kernels");
+  std::printf("wrote out/BENCH_kernels.json\n");
   return 0;
 }

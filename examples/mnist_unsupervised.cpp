@@ -10,6 +10,8 @@
 //   maps=out/mnist_maps.pgm   curve=out/mnist_error.csv  checkpoints=4
 //   workers=1 (0 = all cores; image-parallel labelling/eval, identical
 //   results)   batch=1 (> 1 = minibatch STDP training)
+//   metrics=<path.json>  trace=<path.json>  manifest=<path.json>
+//   (observability sidecars — see README "Observability")
 // Real MNIST is used when PSS_MNIST_DIR points at the IDX files.
 #include <cstdio>
 #include <filesystem>
@@ -24,6 +26,9 @@
 #include "pss/io/csv.hpp"
 #include "pss/io/pgm.hpp"
 #include "pss/learning/trainer.hpp"
+#include "pss/obs/manifest.hpp"
+#include "pss/obs/metrics.hpp"
+#include "pss/obs/trace.hpp"
 
 using namespace pss;
 
@@ -52,6 +57,18 @@ int main(int argc, char** argv) {
   try {
     const Config args = Config::from_args(argc, argv);
     if (!args.get_bool("verbose", false)) set_log_level(LogLevel::kWarn);
+
+    const std::string trace_path = args.get_string("trace", "");
+    const std::string metrics_path = args.get_string("metrics", "");
+    const std::string manifest_path = args.get_string("manifest", "");
+    const bool want_obs =
+        !trace_path.empty() || !metrics_path.empty() || !manifest_path.empty();
+    if (want_obs) obs::set_metrics_enabled(true);
+    if (!trace_path.empty()) {
+      obs::set_trace_enabled(true);
+      obs::reset_trace();
+    }
+    const std::uint64_t wall_t0 = obs::monotonic_ns();
 
     LabeledDataset data;
     if (auto real = load_real_dataset_from_env("mnist")) {
@@ -132,6 +149,41 @@ int main(int argc, char** argv) {
     }
     std::printf("\nwrote %s (5x5 conductance maps) and %s (error curve)\n",
                 maps_path.c_str(), curve_path.c_str());
+
+    if (want_obs) {
+      publish_engine_stats(default_engine(), "engine");
+      if (!metrics_path.empty()) {
+        obs::write_metrics_json(metrics_path, "mnist_unsupervised");
+        std::printf("metrics saved: %s\n", metrics_path.c_str());
+      }
+      if (!trace_path.empty()) {
+        obs::write_chrome_trace(trace_path);
+        std::printf("trace saved: %s\n", trace_path.c_str());
+      }
+      if (!manifest_path.empty()) {
+        obs::RunManifest manifest;
+        manifest.tool = "mnist_unsupervised";
+        manifest.dataset = data.name;
+        manifest.seed = spec.seed;
+        manifest.workers = spec.workers;
+        manifest.batch_size = spec.batch_size;
+        for (const auto& key : args.keys()) {
+          manifest.config.emplace_back(key, args.get_string(key, ""));
+        }
+        manifest.wall_seconds =
+            static_cast<double>(obs::monotonic_ns() - wall_t0) * 1e-9;
+        manifest.results.emplace_back("accuracy", result.accuracy);
+        manifest.results.emplace_back(
+            "labelled_neurons",
+            static_cast<double>(result.labelled_neurons));
+        manifest.results.emplace_back("train_wall_seconds",
+                                      result.train_wall_seconds);
+        manifest.results.emplace_back("conductance_contrast",
+                                      result.conductance_contrast);
+        obs::write_manifest(manifest_path, manifest);
+        std::printf("manifest saved: %s\n", manifest_path.c_str());
+      }
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -2,8 +2,14 @@
 //
 // Experiments print their tables to stdout; diagnostic chatter goes through
 // this logger so benches can silence it (set_level(Level::kWarn)).
+//
+// Each emitted line carries an ISO-8601 UTC timestamp and a level tag:
+//   2026-08-05T12:34:56.789Z [pss INFO] trained 400 images ...
+// Output goes to a pluggable sink (stderr by default); tests install their
+// own sink via set_log_sink to capture lines instead of scraping stderr.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,6 +20,21 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global log threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Receives every formatted line that passes the threshold. The string is
+/// the complete line (timestamp + level tag + message, no trailing newline).
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+
+/// Replaces the output sink. An empty sink restores the stderr default.
+/// The sink is invoked under the logger's mutex, so it may be stateful.
+void set_log_sink(LogSink sink);
+
+/// "DEBUG" / "INFO" / "WARN" / "ERROR".
+const char* log_level_name(LogLevel level);
+
+/// Formats `message` the way the logger emits it: ISO-8601 UTC timestamp
+/// with millisecond precision, then "[pss LEVEL]", then the message.
+std::string format_log_line(LogLevel level, const std::string& message);
 
 /// Emit one log line (thread-safe) if `level` passes the threshold.
 void log_message(LogLevel level, const std::string& message);

@@ -1,6 +1,7 @@
 #include "pss/encoding/poisson_encoder.hpp"
 
 #include "pss/common/error.hpp"
+#include "pss/obs/metrics.hpp"
 
 namespace pss {
 
@@ -17,6 +18,10 @@ void PoissonEncoder::set_rates(std::span<const double> rates_hz) {
   nonzero_.clear();
   for (std::size_t c = 0; c < rates_hz_.size(); ++c) {
     if (rates_hz_[c] > 0.0) nonzero_.push_back(static_cast<ChannelIndex>(c));
+  }
+  if (obs::metrics_enabled()) {
+    obs::metrics().gauge("encoder.active_channels")
+        .set(static_cast<double>(nonzero_.size()));
   }
 }
 
@@ -51,6 +56,13 @@ void PoissonEncoder::active_channels(StepIndex step, TimeMs dt,
   active.clear();
   for (ChannelIndex c : nonzero_) {
     if (spikes_at(c, step, dt)) active.push_back(c);
+  }
+  if (obs::metrics_enabled()) {
+    // Static refs: the registry lookup happens once, not per step.
+    static obs::Counter& spikes = obs::metrics().counter("encoder.spikes");
+    static obs::Counter& steps = obs::metrics().counter("encoder.steps");
+    spikes.add(active.size());
+    steps.add(1);
   }
 }
 

@@ -9,4 +9,25 @@ BatchRunner::BatchRunner(std::size_t worker_count) : pool_(worker_count) {
   }
 }
 
+obs::FixedHistogram& BatchRunner::shard_seconds_histogram() {
+  // Exponential edges from 1 ms to ~1000 s — one shard is a contiguous run
+  // of whole image presentations.
+  static obs::FixedHistogram& h = obs::metrics().histogram(
+      "batch.shard_seconds",
+      {1e-3, 1e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 1000.0});
+  return h;
+}
+
+void BatchRunner::publish_stats(const std::string& prefix) const {
+  for (std::size_t w = 0; w < engines_.size(); ++w) {
+    publish_engine_stats(*engines_[w],
+                         prefix + ".engine." + std::to_string(w));
+  }
+  for (std::size_t w = 0; w < pool_.worker_count(); ++w) {
+    obs::metrics()
+        .gauge(prefix + ".worker." + std::to_string(w) + ".busy_ns")
+        .set(static_cast<double>(pool_.worker_busy_ns(w)));
+  }
+}
+
 }  // namespace pss

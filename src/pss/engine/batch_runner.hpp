@@ -22,11 +22,14 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "pss/common/error.hpp"
 #include "pss/engine/launch.hpp"
 #include "pss/engine/thread_pool.hpp"
+#include "pss/obs/metrics.hpp"
+#include "pss/obs/trace.hpp"
 
 namespace pss {
 
@@ -48,15 +51,42 @@ class BatchRunner {
   /// index ranges sharded across workers (at most worker_count() shards;
   /// worker 0 is the calling thread). `body` must touch only worker-local
   /// state plus disjoint per-index output slots.
+  ///
+  /// While obs::metrics_enabled(), each shard's wall time lands in the
+  /// `batch.shard_seconds` histogram (plus `batch.runs`/`batch.items`
+  /// counters) and each shard emits a `batch.shard` trace span — purely
+  /// observational, so results stay bitwise identical.
   template <typename Body>
   void run(std::size_t count, Body&& body) {
+    const bool observed = obs::metrics_enabled();
+    if (observed) {
+      obs::metrics().counter("batch.runs").add(1);
+      obs::metrics().counter("batch.items").add(count);
+    }
     pool_.parallel_shards(
-        count, [&body](std::size_t shard, std::size_t begin, std::size_t end) {
+        count,
+        [&body, observed](std::size_t shard, std::size_t begin,
+                          std::size_t end) {
+          if (!observed) {
+            for (std::size_t i = begin; i < end; ++i) body(shard, i);
+            return;
+          }
+          obs::TraceSpan span("batch.shard", "batch",
+                              static_cast<std::int64_t>(shard));
+          const std::uint64_t t0 = obs::monotonic_ns();
           for (std::size_t i = begin; i < end; ++i) body(shard, i);
+          shard_seconds_histogram().observe(
+              static_cast<double>(obs::monotonic_ns() - t0) * 1e-9);
         });
   }
 
+  /// Mirrors every worker engine's launch accounting (and the runner pool's
+  /// busy time) into the metrics registry under `<prefix>.engine.<w>.*`.
+  void publish_stats(const std::string& prefix) const;
+
  private:
+  static obs::FixedHistogram& shard_seconds_histogram();
+
   ThreadPool pool_;
   std::vector<std::unique_ptr<Engine>> engines_;  // one serial engine/worker
 };

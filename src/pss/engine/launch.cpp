@@ -31,4 +31,23 @@ void configure_default_engine(std::size_t worker_count) {
   g_configured_workers = worker_count;
 }
 
+void publish_engine_stats(const Engine& engine, const std::string& prefix) {
+  obs::MetricsRegistry& reg = obs::metrics();
+  reg.gauge(prefix + ".workers").set(static_cast<double>(engine.worker_count()));
+  reg.gauge(prefix + ".launches").set(static_cast<double>(engine.launch_count()));
+  reg.gauge(prefix + ".dispatches")
+      .set(static_cast<double>(engine.dispatch_count()));
+  for (const LaunchTagStats& s : engine.tag_stats()) {
+    const std::string base = prefix + ".tag." + s.tag;
+    reg.gauge(base + ".launches").set(static_cast<double>(s.launches));
+    reg.gauge(base + ".dispatches").set(static_cast<double>(s.dispatches));
+    reg.gauge(base + ".inline_ns").set(static_cast<double>(s.inline_ns));
+    reg.gauge(base + ".dispatch_ns").set(static_cast<double>(s.dispatch_ns));
+  }
+  for (std::size_t w = 0; w < engine.pool().worker_count(); ++w) {
+    reg.gauge(prefix + ".worker." + std::to_string(w) + ".busy_ns")
+        .set(static_cast<double>(engine.pool().worker_busy_ns(w)));
+  }
+}
+
 }  // namespace pss

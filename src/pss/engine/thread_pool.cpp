@@ -2,12 +2,15 @@
 
 #include <algorithm>
 
+#include "pss/obs/metrics.hpp"
+
 namespace pss {
 
 ThreadPool::ThreadPool(std::size_t worker_count) {
   if (worker_count == 0) {
     worker_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  busy_ns_ = std::make_unique<BusySlot[]>(worker_count);
   // The calling thread always executes one chunk itself, so spawn one fewer.
   const std::size_t spawned = worker_count - 1;
   tasks_.resize(spawned);
@@ -26,11 +29,28 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
+std::uint64_t ThreadPool::worker_busy_ns(std::size_t w) const {
+  return w < worker_count() ? busy_ns_[w].ns.load(std::memory_order_relaxed)
+                            : 0;
+}
+
+void ThreadPool::reset_busy_ns() {
+  for (std::size_t w = 0; w < worker_count(); ++w) {
+    busy_ns_[w].ns.store(0, std::memory_order_relaxed);
+  }
+}
+
 void ThreadPool::parallel_for(std::size_t n, RangeFn fn, void* ctx) {
   if (n == 0) return;
+  const bool timed = obs::metrics_enabled();
   const std::size_t parts = std::min(n, workers_.size() + 1);
   if (parts == 1) {
+    const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
     fn(ctx, 0, n);
+    if (timed) {
+      busy_ns_[0].ns.fetch_add(obs::monotonic_ns() - t0,
+                               std::memory_order_relaxed);
+    }
     return;
   }
   // Chunk i covers [i*chunk, (i+1)*chunk) — parallel_shards relies on this
@@ -53,7 +73,14 @@ void ThreadPool::parallel_for(std::size_t n, RangeFn fn, void* ctx) {
   }
   wake_.notify_all();
 
-  fn(ctx, 0, std::min(n, chunk));  // caller takes the first chunk
+  {
+    const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
+    fn(ctx, 0, std::min(n, chunk));  // caller takes the first chunk
+    if (timed) {
+      busy_ns_[0].ns.fetch_add(obs::monotonic_ns() - t0,
+                               std::memory_order_relaxed);
+    }
+  }
 
   std::unique_lock<std::mutex> lock(mutex_);
   done_.wait(lock, [this] { return pending_ == 0; });
@@ -75,7 +102,13 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       tasks_[worker_index].fn = nullptr;
     }
     if (task.fn) {
+      const bool timed = obs::metrics_enabled();
+      const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
       task.fn(task.ctx, task.begin, task.end);
+      if (timed) {
+        busy_ns_[worker_index + 1].ns.fetch_add(obs::monotonic_ns() - t0,
+                                                std::memory_order_relaxed);
+      }
       std::lock_guard<std::mutex> lock(mutex_);
       if (--pending_ == 0) done_.notify_all();
     }

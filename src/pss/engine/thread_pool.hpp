@@ -12,6 +12,7 @@
 // than some of the kernels it dispatched).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -57,6 +58,12 @@ class ThreadPool {
         const_cast<void*>(static_cast<const void*>(std::addressof(f))));
   }
 
+  /// Nanoseconds worker `w` has spent executing chunks (0 = the calling
+  /// thread's chunks) since construction or reset_busy_ns(). Collected only
+  /// while obs::metrics_enabled(); per-worker utilization is busy/wall.
+  std::uint64_t worker_busy_ns(std::size_t w) const;
+  void reset_busy_ns();
+
   /// Like parallel_for but also passes the shard index (0 = calling thread;
   /// at most worker_count() shards per launch) so callers can keep
   /// per-shard state without atomics. `f(shard, begin, end)`.
@@ -79,9 +86,16 @@ class ThreadPool {
     std::size_t end = 0;
   };
 
+  /// Per-worker busy-time slot, padded so concurrent relaxed adds from
+  /// different workers never share a cache line.
+  struct alignas(64) BusySlot {
+    std::atomic<std::uint64_t> ns{0};
+  };
+
   void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
+  std::unique_ptr<BusySlot[]> busy_ns_;  // slot 0 = calling thread
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;

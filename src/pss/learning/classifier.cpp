@@ -4,6 +4,7 @@
 
 #include "pss/common/error.hpp"
 #include "pss/common/stopwatch.hpp"
+#include "pss/obs/trace.hpp"
 
 namespace pss {
 
@@ -63,6 +64,8 @@ int SnnClassifier::predict_from_counts(
 
 EvaluationResult SnnClassifier::evaluate(const Dataset& data) {
   PSS_REQUIRE(!data.empty(), "evaluation set must not be empty");
+  obs::TraceSpan span("evaluate", "pipeline",
+                      static_cast<std::int64_t>(data.size()));
   EvaluationResult result(class_count_);
   Stopwatch clock;
   for (std::size_t i = 0; i < data.size(); ++i) {
@@ -76,6 +79,8 @@ EvaluationResult SnnClassifier::evaluate(const Dataset& data) {
 EvaluationResult SnnClassifier::evaluate(const Dataset& data,
                                          BatchRunner& runner) {
   PSS_REQUIRE(!data.empty(), "evaluation set must not be empty");
+  obs::TraceSpan span("evaluate", "pipeline",
+                      static_cast<std::int64_t>(data.size()));
   EvaluationResult result(class_count_);
   Stopwatch clock;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "pss/common/error.hpp"
+#include "pss/obs/trace.hpp"
 
 namespace pss {
 
@@ -27,6 +28,8 @@ LabelingResult label_neurons(WtaNetwork& network, const Dataset& labelling_set,
                              const PixelFrequencyMap& frequency_map,
                              TimeMs t_present_ms) {
   PSS_REQUIRE(!labelling_set.empty(), "labelling set must not be empty");
+  obs::TraceSpan span("label", "pipeline",
+                      static_cast<std::int64_t>(labelling_set.size()));
   const std::size_t classes = labelling_set.class_count();
   const std::size_t neurons = network.neuron_count();
 
@@ -53,6 +56,8 @@ LabelingResult label_neurons(WtaNetwork& network, const Dataset& labelling_set,
                              const PixelFrequencyMap& frequency_map,
                              TimeMs t_present_ms, BatchRunner& runner) {
   PSS_REQUIRE(!labelling_set.empty(), "labelling set must not be empty");
+  obs::TraceSpan span("label", "pipeline",
+                      static_cast<std::int64_t>(labelling_set.size()));
   const std::size_t classes = labelling_set.class_count();
   const std::size_t neurons = network.neuron_count();
 

@@ -3,10 +3,35 @@
 #include <algorithm>
 #include <utility>
 
+#include <cmath>
+
 #include "pss/common/error.hpp"
 #include "pss/common/log.hpp"
+#include "pss/obs/metrics.hpp"
+#include "pss/obs/trace.hpp"
 
 namespace pss {
+
+namespace {
+
+/// Publishes the learning-progress gauges: mean conductance of the matrix
+/// and mean |ΔG| against `prev` (the drift a presentation/batch caused).
+/// `prev` is updated to the current values. Purely observational.
+void publish_conductance_drift(std::span<const double> g,
+                               std::vector<double>& prev) {
+  double sum = 0.0;
+  double drift = 0.0;
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    sum += g[s];
+    drift += std::abs(g[s] - prev[s]);
+  }
+  const double n = g.empty() ? 1.0 : static_cast<double>(g.size());
+  obs::metrics().gauge("train.mean_conductance").set(sum / n);
+  obs::metrics().gauge("train.conductance_drift").set(drift / n);
+  prev.assign(g.begin(), g.end());
+}
+
+}  // namespace
 
 TrainerConfig TrainerConfig::from_table1(LearningOption option) {
   const Table1Row& row = table1_row(option);
@@ -26,6 +51,14 @@ TrainingStats UnsupervisedTrainer::train(const Dataset& data,
                                          const ProgressCallback& on_image) {
   TrainingStats stats;
   Stopwatch clock;
+  obs::TraceSpan train_span("train", "pipeline",
+                            static_cast<std::int64_t>(data.size()));
+  const bool observed = obs::metrics_enabled();
+  std::vector<double> prev_g;
+  if (observed) {
+    const auto g = network_.conductance().values();
+    prev_g.assign(g.begin(), g.end());
+  }
   for (std::size_t i = 0; i < data.size(); ++i) {
     const Image& img = data[i];
     PSS_REQUIRE(img.pixel_count() == network_.input_channels(),
@@ -37,6 +70,9 @@ TrainingStats UnsupervisedTrainer::train(const Dataset& data,
     stats.total_post_spikes += r.total_spikes;
     stats.total_input_spikes += r.input_spikes;
     stats.simulated_ms += config_.t_learn_ms;
+    if (observed) {
+      publish_conductance_drift(network_.conductance().values(), prev_g);
+    }
     if (on_image) on_image(i);
   }
   stats.wall_seconds = clock.seconds();
@@ -74,10 +110,20 @@ TrainingStats UnsupervisedTrainer::train(const Dataset& data,
 
   TrainingStats stats;
   Stopwatch clock;
+  obs::TraceSpan train_span("train", "pipeline",
+                            static_cast<std::int64_t>(data.size()));
+  const bool observed = obs::metrics_enabled();
+  std::vector<double> prev_g;
+  if (observed) {
+    const auto g = network_.conductance().values();
+    prev_g.assign(g.begin(), g.end());
+  }
   std::vector<ImageOutcome> outcomes;
 
   for (std::size_t b = 0; b < data.size(); b += batch) {
     const std::size_t count = std::min(batch, data.size() - b);
+    obs::TraceSpan batch_span("train.batch", "pipeline",
+                              static_cast<std::int64_t>(b / batch));
 
     // Frozen batch-start state every replica presents against.
     const std::vector<double> g0 = network_.conductance().to_vector();
@@ -137,6 +183,7 @@ TrainingStats UnsupervisedTrainer::train(const Dataset& data,
     network_.conductance().upload(g_acc);
     network_.restore_theta(theta_acc);
     network_.skip_presentations(count, config_.t_learn_ms);
+    if (observed) publish_conductance_drift(g_acc, prev_g);
 
     if (on_image) {
       for (std::size_t k = 0; k < count; ++k) on_image(b + k);

@@ -5,8 +5,22 @@
 #include <limits>
 
 #include "pss/common/error.hpp"
+#include "pss/obs/metrics.hpp"
+#include "pss/obs/trace.hpp"
 
 namespace pss {
+
+namespace {
+
+// Phase indices for the per-presentation time breakdown (manifest phases).
+enum PresentPhase { kPhEncode = 0, kPhIntegrate, kPhStdp, kPhHomeostasis };
+constexpr const char* kPhaseCounter[] = {
+    "phase.encode.ns", "phase.integrate.ns", "phase.stdp.ns",
+    "phase.homeostasis.ns"};
+constexpr const char* kPhaseSpan[] = {"encode", "integrate", "stdp",
+                                      "homeostasis"};
+
+}  // namespace
 
 WtaConfig WtaConfig::from_table1(LearningOption option, StdpKind kind,
                                  std::size_t neuron_count) {
@@ -138,6 +152,23 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
                                      : 0.0;
   const auto steps = static_cast<StepIndex>(std::ceil(duration_ms / dt));
 
+  // Phase accounting (observational only — never touches RNG or any
+  // simulated state, so results are bitwise identical with it on or off).
+  // Each phase_stop() charges the time since the previous mark to one
+  // phase, so the four buckets partition the step loop's wall time exactly.
+  const bool observed = obs::metrics_enabled();
+  const bool traced = obs::trace_enabled();
+  const bool timed = observed || traced;
+  std::uint64_t phase_ns[4] = {0, 0, 0, 0};
+  const std::uint64_t present_t0 = timed ? obs::monotonic_ns() : 0;
+  std::uint64_t mark = present_t0;
+  const auto phase_stop = [&](PresentPhase p) {
+    if (!timed) return;
+    const std::uint64_t now_ns = obs::monotonic_ns();
+    phase_ns[p] += now_ns - mark;
+    mark = now_ns;
+  };
+
   for (StepIndex s = 0; s < steps; ++s) {
     // Presentation-local clock: every timer that consumes it (membrane
     // dynamics, inhibition, pre/post spike gaps) resets at the presentation
@@ -149,6 +180,7 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
     //    are independent of presentation order).
     encoder_.active_channels(s, dt, active_channels_);
     result.input_spikes += active_channels_.size();
+    phase_stop(kPhEncode);
 
     // Anti-causal depression (eq. 7): an input spike arriving shortly after
     // a post spike depresses that synapse with P_dep. Evaluated before the
@@ -158,6 +190,7 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
       apply_pre_spike_depression(t);
     }
     for (ChannelIndex c : active_channels_) last_pre_spike_[c] = t;
+    phase_stop(kPhStdp);
 
     const bool use_theta = learn || config_.readout_theta;
     const std::span<const double> offsets =
@@ -189,6 +222,7 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
           [&](auto& pop) { pop.step(currents_, t, dt, spikes_, offsets); },
           neurons_);
     }
+    phase_stop(kPhIntegrate);
 
     // 4. Post-spike processing: STDP + WTA inhibition + homeostasis.
     for (NeuronIndex j : spikes_) {
@@ -196,7 +230,9 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
       ++result.total_spikes;
       if (record_spikes) result.spike_events.emplace_back(t, j);
       if (learn) {
+        phase_stop(kPhHomeostasis);  // loop bookkeeping up to here
         apply_stdp_row(j, t);
+        phase_stop(kPhStdp);
         if (updater_.wants_pre_spike_events()) {
           recent_post_spikes_.emplace_back(j, t);
         }
@@ -218,6 +254,39 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
       }
     }
     if (learn) threshold_.decay(dt);
+    phase_stop(kPhHomeostasis);
+  }
+
+  if (timed) {
+    const std::uint64_t present_end = obs::monotonic_ns();
+    if (observed) {
+      auto& reg = obs::metrics();
+      for (int p = 0; p < 4; ++p) {
+        reg.counter(kPhaseCounter[p]).add(phase_ns[p]);
+      }
+      reg.counter("present.count").add(1);
+      reg.counter("present.steps").add(steps);
+      reg.counter("present.input_spikes").add(result.input_spikes);
+      reg.counter("present.output_spikes").add(result.total_spikes);
+      static obs::FixedHistogram& spikes_hist = reg.histogram(
+          "present.spikes_per_image",
+          {0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0});
+      spikes_hist.observe(static_cast<double>(result.total_spikes));
+    }
+    if (traced) {
+      // One real span for the presentation plus synthetic sequential spans
+      // for the four phases, laid out back to back from the presentation
+      // start — per-step spans at dt = 0.5 ms would swamp the trace file.
+      obs::emit_trace_event("present", learn ? "train" : "readout",
+                            present_t0, present_end - present_t0,
+                            static_cast<std::int64_t>(presentation_index_));
+      std::uint64_t cursor = present_t0;
+      for (int p = 0; p < 4; ++p) {
+        if (phase_ns[p] == 0) continue;
+        obs::emit_trace_event(kPhaseSpan[p], "phase", cursor, phase_ns[p]);
+        cursor += phase_ns[p];
+      }
+    }
   }
 
   // The biological clock and the presentation counter advance only at the
@@ -275,7 +344,7 @@ void WtaNetwork::apply_stdp_row(NeuronIndex winner, TimeMs t_post) {
 
   // STDP kernel: one logical thread per afferent synapse. Draw indices are
   // derived from the event base so results are schedule-independent.
-  engine_->launch(n, [&](std::size_t pre) {
+  engine_->launch("stdp.row", n, [&](std::size_t pre) {
     const TimeMs t_pre = last_pre[pre];
     const double gap =
         t_pre == kNeverSpiked ? std::numeric_limits<double>::infinity()

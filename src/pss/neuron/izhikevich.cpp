@@ -59,7 +59,7 @@ void IzhikevichPopulation::step(std::span<const double> input_current,
   auto flag = spiked_flag_.span();
   const IzhikevichParameters base = params_;
 
-  engine_->launch(size(), [&](std::size_t i) {
+  engine_->launch("izhi.step", size(), [&](std::size_t i) {
     flag[i] = 0;
     if (now <= inhibited[i]) {
       v[i] = base.c;
@@ -100,7 +100,7 @@ void IzhikevichPopulation::step_fused(
   auto flag = spiked_flag_.span();
   const IzhikevichParameters base = params_;
 
-  engine_->launch(size(), [&](std::size_t i) {
+  engine_->launch("izhi.fused", size(), [&](std::size_t i) {
     // Matches the unfused decay + accumulate_currents sequence bit for bit.
     double ci = decay_factor == 0.0 ? 0.0 : currents[i] * decay_factor;
     if (!active_pre.empty()) {

@@ -44,7 +44,7 @@ void LifPopulation::step(std::span<const double> input_current, TimeMs now,
   const LifParameters p = params_;
 
   // Neuron-update kernel: one logical thread per neuron (paper Sec. III-A).
-  engine_->launch(size(), [&](std::size_t i) {
+  engine_->launch("lif.step", size(), [&](std::size_t i) {
     flag[i] = 0;
     if (now <= inhibited[i]) {
       v[i] = p.v_reset;  // WTA inhibition pins the loser at reset
@@ -96,7 +96,7 @@ void LifPopulation::step_fused(std::span<double> currents, double decay_factor,
   auto flag = spiked_flag_.span();
   const LifParameters p = params_;
 
-  engine_->launch(size(), [&](std::size_t i) {
+  engine_->launch("lif.fused", size(), [&](std::size_t i) {
     // Synaptic current update (all neurons, inhibited or not — matches the
     // unfused decay + accumulate_currents sequence bit for bit).
     double ci = decay_factor == 0.0 ? 0.0 : currents[i] * decay_factor;

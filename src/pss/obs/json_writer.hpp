@@ -1,0 +1,136 @@
+// Minimal streaming JSON writer shared by every observability export
+// (metrics registry dump, Chrome trace, run manifest, bench records).
+//
+// The simulator previously hand-assembled JSON with printf-style code in each
+// bench; this writer centralizes escaping, comma placement and non-finite
+// handling so every emitted file is syntactically valid by construction
+// (tools/validate_manifest.py re-checks the output in the test preset).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pss::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Writes the key of the next object member.
+  JsonWriter& key(std::string_view name) {
+    separate();
+    write_string(name);
+    os_ << ": ";
+    just_wrote_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    separate();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    separate();
+    // JSON has no NaN/Inf literals; map them to null so files always parse.
+    if (!std::isfinite(v)) {
+      os_ << "null";
+      return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+
+  /// key + scalar in one call.
+  template <typename T>
+  JsonWriter& member(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  JsonWriter& open(char c) {
+    separate();
+    os_ << c;
+    need_comma_.push_back(false);
+    return *this;
+  }
+
+  JsonWriter& close(char c) {
+    need_comma_.pop_back();
+    os_ << c;
+    if (!need_comma_.empty()) need_comma_.back() = true;
+    return *this;
+  }
+
+  /// Emits the comma before a sibling value and marks the container dirty.
+  void separate() {
+    if (just_wrote_key_) {
+      just_wrote_key_ = false;
+      return;  // value belongs to the key just written — no comma
+    }
+    if (!need_comma_.empty()) {
+      if (need_comma_.back()) os_ << ", ";
+      need_comma_.back() = true;
+    }
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<bool> need_comma_;  // one flag per open container
+  bool just_wrote_key_ = false;
+};
+
+}  // namespace pss::obs

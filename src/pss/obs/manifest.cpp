@@ -1,0 +1,79 @@
+#include "pss/obs/manifest.hpp"
+
+#include <fstream>
+
+#include "pss/common/error.hpp"
+#include "pss/obs/json_writer.hpp"
+#include "pss/obs/metrics.hpp"
+
+namespace pss::obs {
+
+std::vector<std::pair<std::string, double>> phase_seconds() {
+  const std::string prefix = "phase.";
+  const std::string suffix = ".ns";
+  std::vector<std::pair<std::string, double>> phases;
+  for (const MetricSnapshot& row : metrics().snapshot()) {
+    if (row.kind != MetricSnapshot::Kind::kCounter) continue;
+    if (row.name.size() <= prefix.size() + suffix.size() ||
+        row.name.compare(0, prefix.size(), prefix) != 0 ||
+        row.name.compare(row.name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+      continue;
+    }
+    const std::string phase = row.name.substr(
+        prefix.size(), row.name.size() - prefix.size() - suffix.size());
+    phases.emplace_back(phase, static_cast<double>(row.count) * 1e-9);
+  }
+  return phases;  // snapshot() is name-sorted already
+}
+
+void write_manifest(const std::string& path, const RunManifest& manifest) {
+  std::ofstream os(path);
+  PSS_REQUIRE(os.good(), "cannot open manifest output file: " + path);
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("schema", "pss.manifest.v1");
+  w.member("tool", manifest.tool);
+  w.member("dataset", manifest.dataset);
+  w.member("seed", manifest.seed);
+  w.member("workers", manifest.workers);
+  w.member("batch_size", manifest.batch_size);
+  w.member("wall_seconds", manifest.wall_seconds);
+
+  w.key("config").begin_object();
+  for (const auto& [key, value] : manifest.config) w.member(key, value);
+  w.end_object();
+
+  const auto phases = phase_seconds();
+  double phase_total = 0.0;
+  w.key("phases").begin_object();
+  for (const auto& [name, seconds] : phases) {
+    phase_total += seconds;
+    w.key(name).begin_object();
+    w.member("seconds", seconds);
+    w.member("fraction", manifest.wall_seconds > 0.0
+                             ? seconds / manifest.wall_seconds
+                             : 0.0);
+    w.end_object();
+  }
+  w.end_object();
+  w.member("phase_seconds_total", phase_total);
+  // How much of the measured wall time the phase instrumentation explains
+  // (the acceptance bar: within 10% for an instrumented run).
+  w.member("phase_coverage", manifest.wall_seconds > 0.0
+                                 ? phase_total / manifest.wall_seconds
+                                 : 0.0);
+
+  w.key("results").begin_object();
+  for (const auto& [key, value] : manifest.results) w.member(key, value);
+  w.end_object();
+
+  w.key("metrics");
+  metrics().write_json_object(w);
+
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace pss::obs

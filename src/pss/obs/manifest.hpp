@@ -1,0 +1,44 @@
+// Run manifest: a JSON sidecar every pss_run / example / bench invocation
+// can emit, recording what ran (config, seed, worker count), how long each
+// simulation phase took, and the final metrics — the before/after record
+// the ROADMAP requires for every performance PR.
+//
+// Phase times come from the "phase.<name>.ns" counters the instrumented
+// presentation loop maintains (see wta_network.cpp); the full metrics
+// registry is embedded verbatim so one file carries the whole run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pss::obs {
+
+struct RunManifest {
+  std::string tool;      ///< producing binary, e.g. "pss_run"
+  std::string dataset;   ///< dataset name as reported by the loader
+  std::uint64_t seed = 0;
+  std::size_t workers = 1;
+  std::size_t batch_size = 1;
+
+  /// Wall-clock seconds of the measured pipeline (train + label + eval for a
+  /// training run). The phase breakdown is validated against this total.
+  double wall_seconds = 0.0;
+
+  /// Raw key=value configuration, in the order supplied.
+  std::vector<std::pair<std::string, std::string>> config;
+
+  /// Headline results (accuracy, labelled_neurons, ...).
+  std::vector<std::pair<std::string, double>> results;
+};
+
+/// Simulation-phase breakdown read back from the metrics registry
+/// ("phase.<name>.ns" counters). Seconds per phase, sorted by name.
+std::vector<std::pair<std::string, double>> phase_seconds();
+
+/// Writes `manifest` (plus the phase breakdown and the full registry dump)
+/// to `path` as the "pss.manifest.v1" schema.
+void write_manifest(const std::string& path, const RunManifest& manifest);
+
+}  // namespace pss::obs

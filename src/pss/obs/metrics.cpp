@@ -1,0 +1,280 @@
+#include "pss/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "pss/common/error.hpp"
+#include "pss/obs/json_writer.hpp"
+
+namespace pss::obs {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<std::size_t> g_next_shard{0};
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::size_t this_thread_shard() {
+  thread_local const std::size_t shard =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---- Gauge ----------------------------------------------------------------
+
+std::uint64_t Gauge::to_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::from_bits(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+// ---- FixedHistogram -------------------------------------------------------
+
+FixedHistogram::FixedHistogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges)) {
+  PSS_REQUIRE(!edges_.empty(), "histogram needs at least one bucket edge");
+  PSS_REQUIRE(std::is_sorted(edges_.begin(), edges_.end()) &&
+                  std::adjacent_find(edges_.begin(), edges_.end()) ==
+                      edges_.end(),
+              "histogram bucket edges must be strictly increasing");
+  for (Shard& s : shards_) {
+    s.counts = std::make_unique<std::atomic<std::uint64_t>[]>(bucket_count());
+    for (std::size_t i = 0; i < bucket_count(); ++i) {
+      s.counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void FixedHistogram::observe(double value) {
+  // First bucket whose upper edge is >= value; above the last edge ->
+  // overflow bucket.
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - edges_.begin());
+  Shard& s = shards_[this_thread_shard()];
+  s.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t expected = s.sum_bits.load(std::memory_order_relaxed);
+  while (!s.sum_bits.compare_exchange_weak(
+      expected, std::bit_cast<std::uint64_t>(
+                    std::bit_cast<double>(expected) + value),
+      std::memory_order_relaxed, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> FixedHistogram::counts() const {
+  std::vector<std::uint64_t> merged(bucket_count(), 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < bucket_count(); ++i) {
+      merged[i] += s.counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+std::uint64_t FixedHistogram::total() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts()) total += c;
+  return total;
+}
+
+double FixedHistogram::sum() const {
+  double sum = 0.0;
+  for (const Shard& s : shards_) {
+    sum += std::bit_cast<double>(s.sum_bits.load(std::memory_order_relaxed));
+  }
+  return sum;
+}
+
+void FixedHistogram::reset() {
+  for (Shard& s : shards_) {
+    for (std::size_t i = 0; i < bucket_count(); ++i) {
+      s.counts[i].store(0, std::memory_order_relaxed);
+    }
+    s.sum_bits.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---- MetricsRegistry ------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  // node-based maps: references stay valid across later registrations.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const { return *impl_; }
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl().mutex);
+  auto& slot = impl().counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl().mutex);
+  auto& slot = impl().gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+FixedHistogram& MetricsRegistry::histogram(const std::string& name,
+                                           std::vector<double> upper_edges) {
+  std::lock_guard<std::mutex> lock(impl().mutex);
+  auto& slot = impl().histograms[name];
+  if (!slot) slot = std::make_unique<FixedHistogram>(std::move(upper_edges));
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl().mutex);
+  for (auto& [name, c] : impl().counters) c->reset();
+  for (auto& [name, g] : impl().gauges) g->reset();
+  for (auto& [name, h] : impl().histograms) h->reset();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl().mutex);
+  std::vector<MetricSnapshot> rows;
+  rows.reserve(impl().counters.size() + impl().gauges.size() +
+               impl().histograms.size());
+  for (const auto& [name, c] : impl().counters) {
+    MetricSnapshot row;
+    row.kind = MetricSnapshot::Kind::kCounter;
+    row.name = name;
+    row.count = c->value();
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [name, g] : impl().gauges) {
+    MetricSnapshot row;
+    row.kind = MetricSnapshot::Kind::kGauge;
+    row.name = name;
+    row.value = g->value();
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [name, h] : impl().histograms) {
+    MetricSnapshot row;
+    row.kind = MetricSnapshot::Kind::kHistogram;
+    row.name = name;
+    row.edges = h->upper_edges();
+    row.buckets = h->counts();
+    row.count = h->total();
+    row.value = h->sum();
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::ostringstream os;
+  for (const MetricSnapshot& row : snapshot()) {
+    switch (row.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        os << "counter " << row.name << ' ' << row.count << '\n';
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        os << "gauge " << row.name << ' ' << row.value << '\n';
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        os << "histogram " << row.name << " total " << row.count << " sum "
+           << row.value;
+        for (std::size_t i = 0; i < row.buckets.size(); ++i) {
+          if (i < row.edges.size()) {
+            os << " le" << row.edges[i] << '=' << row.buckets[i];
+          } else {
+            os << " inf=" << row.buckets[i];
+          }
+        }
+        os << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+void MetricsRegistry::write_json(std::ostream& os,
+                                 const std::string& label) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("schema", "pss.metrics.v1");
+  if (!label.empty()) w.member("label", label);
+  w.key("metrics");
+  write_json_object(w);
+  w.end_object();
+  os << '\n';
+}
+
+void MetricsRegistry::write_json_object(JsonWriter& w) const {
+  const std::vector<MetricSnapshot> rows = snapshot();
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const MetricSnapshot& row : rows) {
+    if (row.kind == MetricSnapshot::Kind::kCounter) {
+      w.member(row.name, row.count);
+    }
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const MetricSnapshot& row : rows) {
+    if (row.kind == MetricSnapshot::Kind::kGauge) w.member(row.name, row.value);
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const MetricSnapshot& row : rows) {
+    if (row.kind != MetricSnapshot::Kind::kHistogram) continue;
+    w.key(row.name).begin_object();
+    w.key("upper_edges").begin_array();
+    for (double e : row.edges) w.value(e);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (std::uint64_t c : row.buckets) w.value(c);
+    w.end_array();
+    w.member("total", row.count);
+    w.member("sum", row.value);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void write_metrics_json(const std::string& path, const std::string& label) {
+  std::ofstream os(path);
+  PSS_REQUIRE(os.good(), "cannot open metrics output file: " + path);
+  metrics().write_json(os, label);
+}
+
+}  // namespace pss::obs

@@ -1,0 +1,184 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms, cheap enough to live inside kernels.
+//
+// Hot-path writes are thread-sharded: each thread increments its own
+// cache-line-padded shard (relaxed atomics, no contention), and readers merge
+// the shards on demand. That keeps an enabled counter add at roughly the
+// cost of one uncontended atomic increment, and — combined with the global
+// pss::obs::metrics_enabled() gate — the disabled path at a single relaxed
+// load + branch (bench_kernels measures both).
+//
+// Instrumentation is observational only: no metric read or write feeds back
+// into simulation state or RNG draws, so enabling observability cannot
+// perturb the bitwise-reproducibility contracts (tests assert this).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pss::obs {
+
+class JsonWriter;
+
+/// Global collection gate for the hot-path instrumentation (engine launches,
+/// per-step phase timing, encoder counters...). Off by default: the
+/// instrumented code then costs one relaxed atomic load + branch per probe.
+/// Explicit registry writes (benches, manifests) work regardless of the gate.
+bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+/// Shards per sharded metric. Threads hash onto shards round-robin; more
+/// simultaneous writers than shards only costs contention, never correctness.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Index of the calling thread's shard (assigned once per thread).
+std::size_t this_thread_shard();
+
+/// Monotonically increasing counter (thread-sharded, merged on read).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    shards_[this_thread_shard()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+/// Last-write-wins scalar, plus an accumulate form for floating-point sums.
+class Gauge {
+ public:
+  void set(double v) { bits_.store(to_bits(v), std::memory_order_relaxed); }
+
+  /// Atomic accumulate (CAS loop; gauges are not hot-path metrics).
+  void add(double delta) {
+    std::uint64_t expected = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(
+        expected, to_bits(from_bits(expected) + delta),
+        std::memory_order_relaxed, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const {
+    return from_bits(bits_.load(std::memory_order_relaxed));
+  }
+
+  void reset() { set(0.0); }
+
+ private:
+  static std::uint64_t to_bits(double v);
+  static double from_bits(std::uint64_t bits);
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations with
+/// value <= upper_edges[i] (first matching bucket); values above the last
+/// edge land in the overflow bucket. Counts are thread-sharded like Counter.
+class FixedHistogram {
+ public:
+  /// `upper_edges` must be non-empty and strictly increasing (checked).
+  explicit FixedHistogram(std::vector<double> upper_edges);
+
+  const std::vector<double>& upper_edges() const { return edges_; }
+  std::size_t bucket_count() const { return edges_.size() + 1; }  // + overflow
+
+  void observe(double value);
+
+  /// Merged per-bucket counts (last entry = overflow bucket).
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t total() const;
+  /// Sum of observed values (for means).
+  double sum() const;
+
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::atomic<std::uint64_t> sum_bits{0};
+  };
+
+  std::vector<double> edges_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Snapshot row used by the exporters.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind;
+  std::string name;
+  std::uint64_t count = 0;              // counter value / histogram total
+  double value = 0.0;                   // gauge value / histogram sum
+  std::vector<double> edges;            // histogram only
+  std::vector<std::uint64_t> buckets;   // histogram only (incl. overflow)
+};
+
+/// Name-keyed registry. Registration takes a lock; returned references are
+/// stable for the process lifetime, so hot paths look a metric up once
+/// (e.g. in a function-local static) and then write lock-free.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Re-requesting an existing histogram ignores `upper_edges`.
+  FixedHistogram& histogram(const std::string& name,
+                            std::vector<double> upper_edges);
+
+  /// Zeroes every metric's value; registrations (and references) survive.
+  void reset();
+
+  /// All metrics, sorted by name.
+  std::vector<MetricSnapshot> snapshot() const;
+
+  /// One line per metric: "counter <name> <value>" etc.
+  std::string to_text() const;
+
+  /// Serializes the registry as the "pss.metrics.v1" JSON schema into `os`.
+  /// `label` (optional) names the producing run/bench in the record.
+  void write_json(std::ostream& os, const std::string& label = "") const;
+
+  /// Writes the registry as one JSON object value ({"counters": ...,
+  /// "gauges": ..., "histograms": ...}) into an in-progress document — used
+  /// by the run manifest to embed the final metrics.
+  void write_json_object(JsonWriter& w) const;
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+  mutable std::unique_ptr<Impl> impl_;
+
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+};
+
+/// The process-wide registry (lazily constructed, never destroyed before
+/// exit-time flushes).
+MetricsRegistry& metrics();
+
+/// Writes the global registry to `path` (pss.metrics.v1 schema).
+void write_metrics_json(const std::string& path, const std::string& label = "");
+
+/// Monotonic nanosecond clock shared by all timing instrumentation.
+std::uint64_t monotonic_ns();
+
+}  // namespace pss::obs

@@ -1,0 +1,161 @@
+#include "pss/obs/trace.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "pss/common/error.hpp"
+#include "pss/obs/json_writer.hpp"
+#include "pss/obs/metrics.hpp"
+
+namespace pss::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+std::atomic<std::uint64_t> g_epoch_ns{0};
+
+/// Per-thread event buffer. Appends lock the buffer's own mutex (uncontended
+/// in steady state — only the owning thread writes, collectors read rarely),
+/// which keeps concurrent collection tsan-clean without a global lock on the
+/// hot path.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct Collector {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;  // never freed: thread
+                                                       // exit keeps events
+};
+
+Collector& collector() {
+  static Collector* c = new Collector();
+  return *c;
+}
+
+ThreadBuffer& this_thread_buffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto owned = std::make_unique<ThreadBuffer>();
+    ThreadBuffer* raw = owned.get();
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    raw->tid = static_cast<std::uint32_t>(c.buffers.size());
+    c.buffers.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buffer;
+}
+
+std::uint64_t epoch_ns() {
+  std::uint64_t epoch = g_epoch_ns.load(std::memory_order_relaxed);
+  if (epoch == 0) {
+    // First use: pin the epoch once (harmless race — first store wins).
+    std::uint64_t expected = 0;
+    g_epoch_ns.compare_exchange_strong(expected, monotonic_ns(),
+                                       std::memory_order_relaxed);
+    epoch = g_epoch_ns.load(std::memory_order_relaxed);
+  }
+  return epoch;
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool enabled) {
+  if (enabled) epoch_ns();  // pin the epoch before the first span
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void reset_trace() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  for (auto& buffer : c.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  g_epoch_ns.store(monotonic_ns(), std::memory_order_relaxed);
+}
+
+void emit_trace_event(const char* name, const char* category,
+                      std::uint64_t begin_abs_ns, std::uint64_t dur_ns,
+                      std::int64_t arg) {
+  if (!trace_enabled()) return;
+  const std::uint64_t epoch = epoch_ns();
+  ThreadBuffer& buffer = this_thread_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(TraceEvent{
+      name, category, begin_abs_ns > epoch ? begin_abs_ns - epoch : 0, dur_ns,
+      buffer.tid, arg});
+}
+
+std::vector<TraceEvent> collect_trace() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  std::vector<TraceEvent> merged;
+  for (auto& buffer : c.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    merged.insert(merged.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return merged;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream os(path);
+  PSS_REQUIRE(os.good(), "cannot open trace output file: " + path);
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : collect_trace()) {
+    w.begin_object();
+    w.member("name", e.name);
+    w.member("cat", e.category);
+    w.member("ph", "X");
+    w.member("ts", static_cast<double>(e.begin_ns) * 1e-3);   // microseconds
+    w.member("dur", static_cast<double>(e.dur_ns) * 1e-3);
+    w.member("pid", 1);
+    w.member("tid", static_cast<std::uint64_t>(e.tid));
+    if (e.arg >= 0) {
+      w.key("args").begin_object();
+      w.member("i", e.arg);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+std::vector<SpanTotal> span_totals() {
+  std::map<std::string, SpanTotal> by_name;
+  for (const TraceEvent& e : collect_trace()) {
+    SpanTotal& t = by_name[e.name];
+    if (t.name.empty()) t.name = e.name;
+    t.total_ns += e.dur_ns;
+    ++t.count;
+  }
+  std::vector<SpanTotal> totals;
+  totals.reserve(by_name.size());
+  for (auto& [name, t] : by_name) totals.push_back(std::move(t));
+  return totals;
+}
+
+std::uint64_t TraceSpan::begin_now() { return monotonic_ns(); }
+
+void TraceSpan::finish() {
+  const std::uint64_t end = monotonic_ns();
+  emit_trace_event(name_, category_, begin_ns_,
+                   end > begin_ns_ ? end - begin_ns_ : 0, arg_);
+}
+
+}  // namespace pss::obs

@@ -1,0 +1,102 @@
+// Phase-scoped tracing: RAII spans recorded per thread, exported as Chrome
+// trace_event JSON ("traceEvents" complete events) loadable in Perfetto or
+// chrome://tracing.
+//
+// Cost model: when tracing is disabled (the default) constructing a TraceSpan
+// is one relaxed atomic load + branch — bench_kernels verifies the disabled
+// path stays in the nanosecond range. When enabled, each span costs two
+// steady_clock reads plus an append to the calling thread's own buffer
+// (guarded by that buffer's uncontended mutex, so collection from another
+// thread is race-free under tsan).
+//
+// Span names/categories must be string literals (pointers are stored, not
+// copied) — the same rule Chrome's own macros impose.
+//
+// Tracing is observational only: no span interacts with simulation state or
+// RNG streams, so results are bitwise identical with tracing on or off (the
+// obs tests assert this, and the worker-count-invariance tests pass with
+// tracing enabled).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pss::obs {
+
+bool trace_enabled();
+void set_trace_enabled(bool enabled);
+
+/// One completed span ("ph": "X"). Timestamps are nanoseconds on the
+/// monotonic_ns() clock, relative to the trace epoch.
+struct TraceEvent {
+  const char* name;
+  const char* category;
+  std::uint64_t begin_ns;
+  std::uint64_t dur_ns;
+  std::uint32_t tid;       ///< small per-thread id (registration order)
+  std::int64_t arg;        ///< rendered as args:{"i": arg}; < 0 = omitted
+};
+
+/// Clears all buffered events and restarts the trace epoch at now.
+void reset_trace();
+
+/// Records a complete event. `begin_abs_ns` is an absolute monotonic_ns()
+/// timestamp (converted to the trace epoch internally). Used directly for
+/// synthesized spans (e.g. per-phase accumulated times laid out sequentially
+/// inside a presentation); RAII callers use TraceSpan instead. No-op when
+/// tracing is disabled.
+void emit_trace_event(const char* name, const char* category,
+                      std::uint64_t begin_abs_ns, std::uint64_t dur_ns,
+                      std::int64_t arg = -1);
+
+/// Snapshot of every buffered event (all threads), in per-thread order.
+std::vector<TraceEvent> collect_trace();
+
+/// Writes the buffered events as Chrome trace JSON:
+///   {"traceEvents": [{"name": ..., "ph": "X", "ts": <us>, "dur": <us>,
+///                     "pid": 1, "tid": ...}, ...]}
+void write_chrome_trace(const std::string& path);
+
+/// Total recorded time and span count per distinct span name — the
+/// phase-time breakdown the run manifest embeds.
+struct SpanTotal {
+  std::string name;
+  std::uint64_t total_ns = 0;
+  std::uint64_t count = 0;
+};
+std::vector<SpanTotal> span_totals();
+
+/// RAII span: records [construction, destruction) on the calling thread.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "phase",
+                     std::int64_t arg = -1)
+      : active_(trace_enabled()) {
+    if (active_) {
+      name_ = name;
+      category_ = category;
+      arg_ = arg;
+      begin_ns_ = begin_now();
+    }
+  }
+
+  ~TraceSpan() {
+    if (active_) finish();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  static std::uint64_t begin_now();
+  void finish();
+
+  bool active_;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::int64_t arg_ = -1;
+  std::uint64_t begin_ns_ = 0;
+};
+
+}  // namespace pss::obs

@@ -61,7 +61,7 @@ void ConductanceMatrix::accumulate_currents(
   if (active_pre.empty()) return;
   auto g = g_.span();
   const std::size_t pre_count = pre_count_;
-  engine_->launch(post_count_, [&](std::size_t post) {
+  engine_->launch("current.accumulate", post_count_, [&](std::size_t post) {
     const double* row = g.data() + post * pre_count;
     double acc = 0.0;
     for (ChannelIndex pre : active_pre) acc += row[pre];

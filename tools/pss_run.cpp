@@ -18,6 +18,12 @@
 //   seed=1  snapshot=<path>  maps=<path.pgm>  verbose=0|1
 //   workers=1 (0 = all cores; != 1 runs labelling/eval image-parallel with
 //   bitwise-identical results)  batch=1 (> 1 = minibatch STDP training)
+//
+// Observability (all optional; see README "Observability"):
+//   metrics=<path.json>   dump the metrics registry (pss.metrics.v1)
+//   trace=<path.json>     Chrome trace_event JSON (open in Perfetto)
+//   manifest=<path.json>  run manifest: config + phase times + metrics
+//                         (pss.manifest.v1)
 #include <cstdio>
 #include <filesystem>
 #include <optional>
@@ -33,6 +39,9 @@
 #include "pss/io/pgm.hpp"
 #include "pss/io/snapshot.hpp"
 #include "pss/learning/trainer.hpp"
+#include "pss/obs/manifest.hpp"
+#include "pss/obs/metrics.hpp"
+#include "pss/obs/trace.hpp"
 
 using namespace pss;
 
@@ -114,7 +123,7 @@ void make_runner(const ExperimentSpec& spec,
   if (spec.workers != 1 || spec.batch_size > 1) runner.emplace(spec.workers);
 }
 
-int run_train(const Config& cfg) {
+int run_train(const Config& cfg, obs::RunManifest* manifest) {
   const ExperimentSpec spec = spec_from_config(cfg);
   const LabeledDataset data = load_data(cfg, spec);
   std::printf("train: %s STDP, %s, %zu neurons, %zu images (%s)\n",
@@ -149,6 +158,17 @@ int run_train(const Config& cfg) {
               static_cast<unsigned long long>(eval.confusion.total()),
               labels.labelled_neurons, stats.wall_seconds);
 
+  if (manifest) {
+    manifest->dataset = data.name;
+    manifest->results.emplace_back("accuracy", eval.accuracy);
+    manifest->results.emplace_back(
+        "labelled_neurons", static_cast<double>(labels.labelled_neurons));
+    manifest->results.emplace_back("train_wall_seconds", stats.wall_seconds);
+    manifest->results.emplace_back(
+        "train_post_spikes", static_cast<double>(stats.total_post_spikes));
+  }
+  if (runner && obs::metrics_enabled()) runner->publish_stats("batch");
+
   if (cfg.has("snapshot")) {
     const std::string path = cfg.get_string("snapshot", "");
     save_snapshot(path, NetworkSnapshot::capture(net, &labels.neuron_labels));
@@ -162,7 +182,7 @@ int run_train(const Config& cfg) {
   return 0;
 }
 
-int run_infer(const Config& cfg) {
+int run_infer(const Config& cfg, obs::RunManifest* manifest) {
   PSS_REQUIRE(cfg.has("snapshot"), "infer mode needs snapshot=<path>");
   const ExperimentSpec spec = spec_from_config(cfg);
   const LabeledDataset data = load_data(cfg, spec);
@@ -193,6 +213,13 @@ int run_infer(const Config& cfg) {
               100.0 * eval.accuracy,
               static_cast<unsigned long long>(eval.confusion.total()));
   std::printf("%s\n", eval.confusion.to_string().c_str());
+  if (manifest) {
+    if (manifest->dataset.empty()) manifest->dataset = data.name;
+    manifest->results.emplace_back("infer.accuracy", eval.accuracy);
+    manifest->results.emplace_back(
+        "infer.images", static_cast<double>(eval.confusion.total()));
+  }
+  if (runner && obs::metrics_enabled()) runner->publish_stats("infer.batch");
   return 0;
 }
 
@@ -202,19 +229,66 @@ int main(int argc, char** argv) {
   try {
     const Config cfg = parse_cli(argc, argv);
     if (!cfg.get_bool("verbose", false)) set_log_level(LogLevel::kWarn);
+
+    const std::string trace_path = cfg.get_string("trace", "");
+    const std::string metrics_path = cfg.get_string("metrics", "");
+    const std::string manifest_path = cfg.get_string("manifest", "");
+    const bool want_obs =
+        !trace_path.empty() || !metrics_path.empty() || !manifest_path.empty();
+    if (want_obs) obs::set_metrics_enabled(true);
+    if (!trace_path.empty()) {
+      obs::set_trace_enabled(true);
+      obs::reset_trace();
+    }
+
+    obs::RunManifest manifest;
+    manifest.tool = "pss_run";
+    const ExperimentSpec spec = spec_from_config(cfg);
+    manifest.seed = spec.seed;
+    manifest.workers = spec.workers;
+    manifest.batch_size = spec.batch_size;
+    for (const auto& key : cfg.keys()) {
+      manifest.config.emplace_back(key, cfg.get_string(key, ""));
+    }
+    obs::RunManifest* mp = want_obs ? &manifest : nullptr;
+
+    const std::uint64_t wall_t0 = obs::monotonic_ns();
+    int rc = 0;
     const std::string mode = cfg.get_string("mode", "train");
-    if (mode == "train") return run_train(cfg);
-    if (mode == "infer") return run_infer(cfg);
-    if (mode == "both") {
+    if (mode == "train") {
+      rc = run_train(cfg, mp);
+    } else if (mode == "infer") {
+      rc = run_infer(cfg, mp);
+    } else if (mode == "both") {
       Config with_snapshot = cfg;
       if (!cfg.has("snapshot")) {
         with_snapshot.set("snapshot", "out/pss_model.bin");
         std::filesystem::create_directories("out");
       }
-      const int rc = run_train(with_snapshot);
-      return rc != 0 ? rc : run_infer(with_snapshot);
+      rc = run_train(with_snapshot, mp);
+      if (rc == 0) rc = run_infer(with_snapshot, mp);
+    } else {
+      throw Error("unknown mode: " + mode + " (train|infer|both)");
     }
-    throw Error("unknown mode: " + mode + " (train|infer|both)");
+    manifest.wall_seconds =
+        static_cast<double>(obs::monotonic_ns() - wall_t0) * 1e-9;
+
+    if (want_obs) {
+      publish_engine_stats(default_engine(), "engine");
+      if (!metrics_path.empty()) {
+        obs::write_metrics_json(metrics_path, "pss_run");
+        std::printf("metrics saved: %s\n", metrics_path.c_str());
+      }
+      if (!trace_path.empty()) {
+        obs::write_chrome_trace(trace_path);
+        std::printf("trace saved: %s\n", trace_path.c_str());
+      }
+      if (!manifest_path.empty()) {
+        obs::write_manifest(manifest_path, manifest);
+        std::printf("manifest saved: %s\n", manifest_path.c_str());
+      }
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pss_run: %s\n", e.what());
     return 1;

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Schema validator for the pss observability artifacts.
+
+Validates any of the three JSON files the instrumented binaries emit:
+
+  pss.metrics.v1    (pss_run metrics=..., bench BENCH_*.json records)
+  pss.manifest.v1   (pss_run manifest=...)
+  Chrome trace      (pss_run trace=..., detected by "traceEvents")
+
+Usage:
+  tools/validate_manifest.py FILE [FILE...]
+
+Exits non-zero (and prints the reason) on the first invalid file. Pure
+stdlib — no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+
+
+def fail(path: str, message: str) -> None:
+    print(f"validate_manifest: {path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond: bool, path: str, message: str) -> None:
+    if not cond:
+        fail(path, message)
+
+
+def is_num(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate_metrics_object(m: dict, path: str, where: str) -> None:
+    expect(isinstance(m, dict), path, f"{where}: must be an object")
+    for section in ("counters", "gauges", "histograms"):
+        expect(section in m, path, f"{where}: missing '{section}'")
+    counters = m["counters"]
+    expect(isinstance(counters, dict), path, f"{where}.counters: not an object")
+    for name, value in counters.items():
+        expect(isinstance(value, int) and value >= 0, path,
+               f"{where}.counters[{name}]: not a non-negative integer")
+    gauges = m["gauges"]
+    expect(isinstance(gauges, dict), path, f"{where}.gauges: not an object")
+    for name, value in gauges.items():
+        expect(value is None or is_num(value), path,
+               f"{where}.gauges[{name}]: not a number")
+    hists = m["histograms"]
+    expect(isinstance(hists, dict), path, f"{where}.histograms: not an object")
+    for name, h in hists.items():
+        ctx = f"{where}.histograms[{name}]"
+        expect(isinstance(h, dict), path, f"{ctx}: not an object")
+        for key in ("upper_edges", "counts", "total", "sum"):
+            expect(key in h, path, f"{ctx}: missing '{key}'")
+        edges = h["upper_edges"]
+        counts = h["counts"]
+        expect(isinstance(edges, list) and len(edges) >= 1, path,
+               f"{ctx}.upper_edges: need at least one edge")
+        expect(all(is_num(e) for e in edges), path,
+               f"{ctx}.upper_edges: non-numeric edge")
+        expect(all(b < a for b, a in zip(edges, edges[1:])), path,
+               f"{ctx}.upper_edges: not strictly increasing")
+        expect(isinstance(counts, list) and len(counts) == len(edges) + 1,
+               path, f"{ctx}.counts: expected {len(edges) + 1} buckets "
+               "(edges + overflow)")
+        expect(all(isinstance(c, int) and c >= 0 for c in counts), path,
+               f"{ctx}.counts: non-count entry")
+        expect(h["total"] == sum(counts), path,
+               f"{ctx}: total {h['total']} != sum of buckets {sum(counts)}")
+
+
+def validate_metrics(doc: dict, path: str) -> None:
+    expect(doc.get("schema") == "pss.metrics.v1", path,
+           f"schema is {doc.get('schema')!r}, expected 'pss.metrics.v1'")
+    expect("metrics" in doc, path, "missing 'metrics'")
+    validate_metrics_object(doc["metrics"], path, "metrics")
+
+
+def validate_manifest(doc: dict, path: str) -> None:
+    expect(doc.get("schema") == "pss.manifest.v1", path,
+           f"schema is {doc.get('schema')!r}, expected 'pss.manifest.v1'")
+    for key in ("tool", "dataset"):
+        expect(isinstance(doc.get(key), str), path, f"'{key}': not a string")
+    for key in ("seed", "workers", "batch_size"):
+        expect(isinstance(doc.get(key), int), path, f"'{key}': not an integer")
+    expect(is_num(doc.get("wall_seconds")) and doc["wall_seconds"] >= 0, path,
+           "'wall_seconds': not a non-negative number")
+    expect(isinstance(doc.get("config"), dict), path, "'config': not an object")
+
+    phases = doc.get("phases")
+    expect(isinstance(phases, dict), path, "'phases': not an object")
+    phase_total = 0.0
+    for name, entry in phases.items():
+        ctx = f"phases[{name}]"
+        expect(isinstance(entry, dict), path, f"{ctx}: not an object")
+        expect(is_num(entry.get("seconds")) and entry["seconds"] >= 0, path,
+               f"{ctx}.seconds: not a non-negative number")
+        expect(is_num(entry.get("fraction")), path,
+               f"{ctx}.fraction: not a number")
+        phase_total += entry["seconds"]
+    expect(is_num(doc.get("phase_seconds_total")), path,
+           "'phase_seconds_total': not a number")
+    expect(math.isclose(doc["phase_seconds_total"], phase_total,
+                        rel_tol=1e-6, abs_tol=1e-9), path,
+           f"phase_seconds_total {doc['phase_seconds_total']} != "
+           f"sum of phases {phase_total}")
+    expect(is_num(doc.get("phase_coverage")), path,
+           "'phase_coverage': not a number")
+
+    results = doc.get("results")
+    expect(isinstance(results, dict), path, "'results': not an object")
+    for name, value in results.items():
+        expect(is_num(value), path, f"results[{name}]: not a number")
+
+    validate_metrics_object(doc.get("metrics"), path, "metrics")
+
+
+def validate_trace(doc: dict, path: str) -> None:
+    events = doc.get("traceEvents")
+    expect(isinstance(events, list), path, "'traceEvents': not a list")
+    expect(len(events) > 0, path, "trace contains no events")
+    for i, e in enumerate(events):
+        ctx = f"traceEvents[{i}]"
+        expect(isinstance(e, dict), path, f"{ctx}: not an object")
+        expect(isinstance(e.get("name"), str) and e["name"], path,
+               f"{ctx}.name: not a non-empty string")
+        expect(e.get("ph") == "X", path,
+               f"{ctx}.ph: {e.get('ph')!r}, expected 'X' (complete event)")
+        for key in ("ts", "dur"):
+            expect(is_num(e.get(key)) and e[key] >= 0, path,
+                   f"{ctx}.{key}: not a non-negative number")
+        for key in ("pid", "tid"):
+            expect(isinstance(e.get(key), int), path,
+                   f"{ctx}.{key}: not an integer")
+
+
+def validate_file(path: str) -> str:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(path, f"cannot parse: {exc}")
+    expect(isinstance(doc, dict), path, "top level is not an object")
+    if "traceEvents" in doc:
+        validate_trace(doc, path)
+        return "chrome-trace"
+    schema = doc.get("schema")
+    if schema == "pss.manifest.v1":
+        validate_manifest(doc, path)
+    elif schema == "pss.metrics.v1":
+        validate_metrics(doc, path)
+    else:
+        fail(path, f"unrecognized document (schema={schema!r})")
+    return schema
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        kind = validate_file(path)
+        print(f"validate_manifest: {path}: OK ({kind})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
