@@ -12,6 +12,8 @@
 //   results)   batch=1 (> 1 = minibatch STDP training)
 //   metrics=<path.json>  trace=<path.json>  manifest=<path.json>
 //   (observability sidecars — see README "Observability")
+//   checkpoint=<path> checkpoint_every=<N> resume=<path> faults=<spec>
+//   (fault tolerance — see README "Fault tolerance & resume")
 // Real MNIST is used when PSS_MNIST_DIR points at the IDX files.
 #include <cstdio>
 #include <filesystem>
@@ -29,6 +31,7 @@
 #include "pss/obs/manifest.hpp"
 #include "pss/obs/metrics.hpp"
 #include "pss/obs/trace.hpp"
+#include "pss/robust/fault_injection.hpp"
 
 using namespace pss;
 
@@ -57,6 +60,10 @@ int main(int argc, char** argv) {
   try {
     const Config args = Config::from_args(argc, argv);
     if (!args.get_bool("verbose", false)) set_log_level(LogLevel::kWarn);
+
+    if (args.has("faults")) {
+      robust::faults().arm_from_spec(args.get_string("faults", ""));
+    }
 
     const std::string trace_path = args.get_string("trace", "");
     const std::string metrics_path = args.get_string("metrics", "");
@@ -102,6 +109,17 @@ int main(int argc, char** argv) {
     spec.workers = static_cast<std::size_t>(workers);
     spec.batch_size = static_cast<std::size_t>(batch);
     spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const auto checkpoint_every = args.get_int("checkpoint_every", 0);
+    PSS_REQUIRE(checkpoint_every >= 0, "checkpoint_every must be >= 0");
+    spec.train_checkpoint_every =
+        static_cast<std::size_t>(checkpoint_every);
+    spec.train_checkpoint_path = args.get_string("checkpoint", "");
+    spec.resume_path = args.get_string("resume", "");
+    if (const auto parent =
+            std::filesystem::path(spec.train_checkpoint_path).parent_path();
+        !parent.empty()) {
+      std::filesystem::create_directories(parent);
+    }
 
     std::printf("pipeline: %s STDP, %s, rounding %s, %zu neurons, %zu train "
                 "images (%s)\n",
@@ -135,7 +153,12 @@ int main(int argc, char** argv) {
     std::filesystem::create_directories(
         std::filesystem::path(maps_path).parent_path());
     WtaNetwork net(spec.network_config());
-    UnsupervisedTrainer trainer(net, spec.trainer_config());
+    // The maps retrain is a throwaway replay — keep it from overwriting the
+    // real run's checkpoint file.
+    TrainerConfig maps_cfg = spec.trainer_config();
+    maps_cfg.checkpoint_every = 0;
+    maps_cfg.checkpoint_path.clear();
+    UnsupervisedTrainer trainer(net, maps_cfg);
     trainer.train(data.train.head(spec.train_images));
     const auto maps = conductance_maps(net, 25);
     write_pgm(maps_path, tile_images(maps, 5, 5));
@@ -180,6 +203,14 @@ int main(int argc, char** argv) {
                                       result.train_wall_seconds);
         manifest.results.emplace_back("conductance_contrast",
                                       result.conductance_contrast);
+        if (spec.train_checkpoint_every > 0 || result.lineage.resumed) {
+          manifest.has_checkpoint = true;
+          manifest.resumed = result.lineage.resumed;
+          manifest.checkpoint_run_id = result.lineage.run_id;
+          manifest.checkpoint_parent_run_id = result.lineage.parent_run_id;
+          manifest.checkpoint_count = result.lineage.checkpoint_count;
+          manifest.presentation_cursor = result.lineage.presentation_cursor;
+        }
         obs::write_manifest(manifest_path, manifest);
         std::printf("manifest saved: %s\n", manifest_path.c_str());
       }

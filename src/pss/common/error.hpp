@@ -18,6 +18,14 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A failure that is expected to succeed if retried (I/O hiccup, injected
+/// transient fault). BatchRunner re-attempts work items that throw this, up
+/// to its retry budget; everything else is treated as permanent.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void raise(const char* cond, const char* file, int line,
                                const std::string& msg) {

@@ -1,6 +1,37 @@
 #include "pss/engine/batch_runner.hpp"
 
+#include <algorithm>
+
 namespace pss {
+
+void ShardFailureLog::record(std::size_t shard, std::size_t index,
+                             std::string what) {
+  obs::metrics().counter("batch.failures").add(1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  failures_.push_back(Failure{shard, index, std::move(what)});
+}
+
+bool ShardFailureLog::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failures_.empty();
+}
+
+std::size_t ShardFailureLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failures_.size();
+}
+
+void ShardFailureLog::rethrow_if_any() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (failures_.empty()) return;
+  const auto first = std::min_element(
+      failures_.begin(), failures_.end(),
+      [](const Failure& a, const Failure& b) { return a.index < b.index; });
+  throw Error("batch worker failure: shard " + std::to_string(first->shard) +
+              " item " + std::to_string(first->index) + ": " + first->what +
+              " (" + std::to_string(failures_.size()) +
+              " item(s) failed this run)");
+}
 
 BatchRunner::BatchRunner(std::size_t worker_count) : pool_(worker_count) {
   engines_.reserve(pool_.worker_count());

@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,8 +31,32 @@
 #include "pss/engine/thread_pool.hpp"
 #include "pss/obs/metrics.hpp"
 #include "pss/obs/trace.hpp"
+#include "pss/robust/fault_injection.hpp"
 
 namespace pss {
+
+/// Collects per-item failures across shards of one BatchRunner::run so the
+/// whole batch can finish before anything is rethrown on the caller. When
+/// several items fail, the lowest item index is reported — deterministic
+/// regardless of worker count or scheduling.
+class ShardFailureLog {
+ public:
+  void record(std::size_t shard, std::size_t index, std::string what);
+  bool empty() const;
+  std::size_t size() const;
+  /// Throws pss::Error describing the lowest-index failure (with shard
+  /// context and the total failure count); no-op when empty.
+  void rethrow_if_any() const;
+
+ private:
+  struct Failure {
+    std::size_t shard = 0;
+    std::size_t index = 0;
+    std::string what;
+  };
+  mutable std::mutex mutex_;
+  std::vector<Failure> failures_;
+};
 
 class BatchRunner {
  public:
@@ -56,6 +81,17 @@ class BatchRunner {
   /// `batch.shard_seconds` histogram (plus `batch.runs`/`batch.items`
   /// counters) and each shard emits a `batch.shard` trace span — purely
   /// observational, so results stay bitwise identical.
+  ///
+  /// Failure semantics: an item that throws TransientError (e.g. the
+  /// `shard.worker` injected fault) is re-attempted up to retry_budget()
+  /// times — bodies must be idempotent per index, which ours are (each item
+  /// re-derives everything from frozen batch-start state). Any other
+  /// exception, or an exhausted budget, records the failure, abandons that
+  /// shard's remaining items, lets every other shard finish, and then
+  /// rethrows on the caller as pss::Error with shard/item context. Retries
+  /// and failures land in the `batch.retries` / `batch.failures` counters
+  /// (always, independent of the metrics gate). The runner stays usable
+  /// after a failed run.
   template <typename Body>
   void run(std::size_t count, Body&& body) {
     const bool observed = obs::metrics_enabled();
@@ -63,22 +99,29 @@ class BatchRunner {
       obs::metrics().counter("batch.runs").add(1);
       obs::metrics().counter("batch.items").add(count);
     }
+    ShardFailureLog failures;
     pool_.parallel_shards(
         count,
-        [&body, observed](std::size_t shard, std::size_t begin,
-                          std::size_t end) {
+        [this, &body, &failures, observed](std::size_t shard,
+                                           std::size_t begin,
+                                           std::size_t end) {
           if (!observed) {
-            for (std::size_t i = begin; i < end; ++i) body(shard, i);
+            run_shard(shard, begin, end, body, failures);
             return;
           }
           obs::TraceSpan span("batch.shard", "batch",
                               static_cast<std::int64_t>(shard));
           const std::uint64_t t0 = obs::monotonic_ns();
-          for (std::size_t i = begin; i < end; ++i) body(shard, i);
+          run_shard(shard, begin, end, body, failures);
           shard_seconds_histogram().observe(
               static_cast<double>(obs::monotonic_ns() - t0) * 1e-9);
         });
+    failures.rethrow_if_any();
   }
+
+  /// Extra attempts granted to an item that throws TransientError.
+  std::size_t retry_budget() const { return retry_budget_; }
+  void set_retry_budget(std::size_t budget) { retry_budget_ = budget; }
 
   /// Mirrors every worker engine's launch accounting (and the runner pool's
   /// busy time) into the metrics registry under `<prefix>.engine.<w>.*`.
@@ -87,8 +130,40 @@ class BatchRunner {
  private:
   static obs::FixedHistogram& shard_seconds_histogram();
 
+  template <typename Body>
+  void run_shard(std::size_t shard, std::size_t begin, std::size_t end,
+                 Body& body, ShardFailureLog& failures) {
+    for (std::size_t i = begin; i < end; ++i) {
+      std::size_t attempt = 0;
+      for (;;) {
+        try {
+          robust::fault_point("shard.worker");
+          body(shard, i);
+          break;
+        } catch (const TransientError& e) {
+          if (attempt < retry_budget_) {
+            ++attempt;
+            obs::metrics().counter("batch.retries").add(1);
+            continue;
+          }
+          failures.record(shard, i,
+                          std::string(e.what()) + " (retry budget of " +
+                              std::to_string(retry_budget_) + " exhausted)");
+          return;  // abandon this shard; other shards run to completion
+        } catch (const std::exception& e) {
+          failures.record(shard, i, e.what());
+          return;
+        } catch (...) {
+          failures.record(shard, i, "unknown exception");
+          return;
+        }
+      }
+    }
+  }
+
   ThreadPool pool_;
   std::vector<std::unique_ptr<Engine>> engines_;  // one serial engine/worker
+  std::size_t retry_budget_ = 2;
 };
 
 /// Lazily-built per-worker state (typically a WtaNetwork replica). Each slot

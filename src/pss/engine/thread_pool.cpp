@@ -60,6 +60,7 @@ void ThreadPool::parallel_for(std::size_t n, RangeFn fn, void* ctx) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     pending_ = 0;
+    chunk_errors_.assign(parts, nullptr);
     for (std::size_t i = 1; i < parts; ++i) {
       Task& t = tasks_[i - 1];
       t.fn = fn;
@@ -75,7 +76,12 @@ void ThreadPool::parallel_for(std::size_t n, RangeFn fn, void* ctx) {
 
   {
     const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
-    fn(ctx, 0, std::min(n, chunk));  // caller takes the first chunk
+    try {
+      fn(ctx, 0, std::min(n, chunk));  // caller takes the first chunk
+    } catch (...) {
+      // Must not rethrow yet: workers still hold borrowed ctx pointers.
+      chunk_errors_[0] = std::current_exception();
+    }
     if (timed) {
       busy_ns_[0].ns.fetch_add(obs::monotonic_ns() - t0,
                                std::memory_order_relaxed);
@@ -84,6 +90,14 @@ void ThreadPool::parallel_for(std::size_t n, RangeFn fn, void* ctx) {
 
   std::unique_lock<std::mutex> lock(mutex_);
   done_.wait(lock, [this] { return pending_ == 0; });
+  for (std::exception_ptr& e : chunk_errors_) {
+    if (e) {
+      std::exception_ptr raised = e;
+      e = nullptr;
+      lock.unlock();
+      std::rethrow_exception(raised);
+    }
+  }
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
@@ -104,12 +118,18 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     if (task.fn) {
       const bool timed = obs::metrics_enabled();
       const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
-      task.fn(task.ctx, task.begin, task.end);
+      std::exception_ptr error;
+      try {
+        task.fn(task.ctx, task.begin, task.end);
+      } catch (...) {
+        error = std::current_exception();
+      }
       if (timed) {
         busy_ns_[worker_index + 1].ns.fetch_add(obs::monotonic_ns() - t0,
                                                 std::memory_order_relaxed);
       }
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error) chunk_errors_[worker_index + 1] = std::move(error);
       if (--pending_ == 0) done_.notify_all();
     }
   }

@@ -16,6 +16,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -43,6 +44,12 @@ class ThreadPool {
   /// and the calling thread; returns when every chunk has finished. fn must
   /// be safe to call concurrently on disjoint ranges. Only one thread may
   /// submit to a pool at a time.
+  ///
+  /// A chunk that throws no longer terminates the process: the exception is
+  /// captured, every other chunk still runs to completion (the pool stays
+  /// usable), and the exception is rethrown on the submitting thread. When
+  /// several chunks throw in one launch, the lowest chunk index wins —
+  /// deterministic regardless of thread scheduling.
   void parallel_for(std::size_t n, RangeFn fn, void* ctx);
 
   /// Callable adapter: borrows `f` (no copy, no allocation) for the duration
@@ -100,6 +107,7 @@ class ThreadPool {
   std::condition_variable wake_;
   std::condition_variable done_;
   std::vector<Task> tasks_;     // one slot per worker, refilled per launch
+  std::vector<std::exception_ptr> chunk_errors_;  // slot i = chunk i
   std::size_t pending_ = 0;     // tasks not yet completed in current launch
   std::uint64_t generation_ = 0;
   bool stopping_ = false;

@@ -7,6 +7,7 @@
 #include "pss/common/log.hpp"
 #include "pss/common/stopwatch.hpp"
 #include "pss/io/pgm.hpp"
+#include "pss/robust/synaptic_faults.hpp"
 #include "pss/stats/summary.hpp"
 
 namespace pss {
@@ -24,6 +25,8 @@ TrainerConfig ExperimentSpec::trainer_config() const {
   if (f_max_hz) cfg.f_max_hz = *f_max_hz;
   if (t_learn_ms) cfg.t_learn_ms = *t_learn_ms;
   cfg.batch_size = batch_size;
+  cfg.checkpoint_every = train_checkpoint_every;
+  cfg.checkpoint_path = train_checkpoint_path;
   return cfg;
 }
 
@@ -59,6 +62,22 @@ ExperimentResult run_learning_experiment(const ExperimentSpec& spec,
   WtaNetwork network(spec.network_config());
   const TrainerConfig tcfg = spec.trainer_config();
   UnsupervisedTrainer trainer(network, tcfg);
+  if (!spec.resume_path.empty()) {
+    trainer.resume_from(robust::load_checkpoint(spec.resume_path));
+  }
+  // Companion-paper synaptic faults (armed via `synapse.*` fault points):
+  // damage the initial conductances before any training. STDP may later
+  // rewrite stuck cells — the model is initial-state damage, not a
+  // persistent hardware clamp.
+  if (const robust::SynapticFaultPlan fault_plan =
+          robust::synaptic_plan_from_injector();
+      fault_plan.any()) {
+    const robust::SynapticFaultSummary damage =
+        robust::apply_synaptic_faults(network.conductance(), fault_plan);
+    PSS_LOG_INFO << "synaptic faults: " << damage.stuck_lo << " stuck-lo, "
+                 << damage.stuck_hi << " stuck-hi, " << damage.perturbed
+                 << " perturbed";
+  }
   const PixelFrequencyMap map(tcfg.f_min_hz, tcfg.f_max_hz);
 
   std::optional<BatchRunner> runner;
@@ -110,6 +129,7 @@ ExperimentResult run_learning_experiment(const ExperimentSpec& spec,
                              : trainer.train(train, on_image);
   result.train_wall_seconds = train_clock.seconds() - checkpoint_overhead_s;
   result.simulated_learning_ms = tstats.simulated_ms;
+  result.lineage = trainer.lineage();
 
   std::size_t labelled = 0;
   result.accuracy =

@@ -60,6 +60,16 @@ struct ExperimentSpec {
 
   std::uint64_t seed = 1;
 
+  /// Fault tolerance: write a training checkpoint every N images to
+  /// `train_checkpoint_path` (0 = off), and/or resume an interrupted run
+  /// from the checkpoint file at `resume_path` before training. A resumed
+  /// run continues bitwise-identically to the uninterrupted one (same spec
+  /// and seed required; see src/pss/robust/checkpoint.hpp). Distinct from
+  /// `checkpoints` above, which configures mid-training *evaluations*.
+  std::size_t train_checkpoint_every = 0;
+  std::string train_checkpoint_path;
+  std::string resume_path;
+
   /// Full WtaConfig derived from this spec (exposed for tests).
   WtaConfig network_config() const;
   TrainerConfig trainer_config() const;
@@ -89,6 +99,9 @@ struct ExperimentResult {
   double top_fraction = 0.0;          ///< synapses at/near G_max
 
   std::vector<ErrorTracePoint> error_trace;
+
+  /// Run identity / resume ancestry (from the trainer; see obs manifests).
+  robust::CheckpointLineage lineage;
 };
 
 /// Runs the full protocol on `data`. The dataset's test split is divided

@@ -58,21 +58,39 @@ std::string Config::get_string(const std::string& key,
 double Config::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
+  // stod alone would accept partial parses ("1e" -> 1, "4x" -> 4); checking
+  // the end position rejects trailing garbage instead of silently truncating.
+  std::size_t pos = 0;
+  double value = 0.0;
   try {
-    return std::stod(it->second);
+    value = std::stod(it->second, &pos);
   } catch (const std::exception&) {
-    throw Error("config key '" + key + "' is not a number: " + it->second);
+    throw Error("config key '" + key + "' is not a number: '" + it->second +
+                "'");
   }
+  if (pos != it->second.size()) {
+    throw Error("config key '" + key + "' has trailing garbage after the "
+                "number: '" + it->second + "'");
+  }
+  return value;
 }
 
 long Config::get_int(const std::string& key, long fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
+  std::size_t pos = 0;
+  long value = 0;
   try {
-    return std::stol(it->second);
+    value = std::stol(it->second, &pos);
   } catch (const std::exception&) {
-    throw Error("config key '" + key + "' is not an integer: " + it->second);
+    throw Error("config key '" + key + "' is not an integer: '" + it->second +
+                "'");
   }
+  if (pos != it->second.size()) {
+    throw Error("config key '" + key + "' has trailing garbage after the "
+                "integer: '" + it->second + "'");
+  }
+  return value;
 }
 
 bool Config::get_bool(const std::string& key, bool fallback) const {

@@ -1,9 +1,11 @@
 #include "pss/io/snapshot.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #include "pss/common/error.hpp"
+#include "pss/robust/fault_injection.hpp"
 
 namespace pss {
 
@@ -31,11 +33,23 @@ void write_vector(std::ostream& out, const std::vector<T>& v) {
             static_cast<std::streamsize>(v.size() * sizeof(T)));
 }
 
+/// Reads a length-prefixed vector, validating the declared element count
+/// against both the plausible maximum and the bytes actually left in the
+/// file — a corrupt or truncated count fails with a named section error
+/// before any allocation (never bad_alloc or a silent short read).
 template <typename T>
-std::vector<T> read_vector(std::istream& in, std::uint64_t max_size) {
+std::vector<T> read_vector(std::istream& in, std::uint64_t max_size,
+                           std::uint64_t file_size, const char* section) {
   const auto n = read_pod<std::uint64_t>(in);
-  PSS_REQUIRE(n <= max_size, "implausible vector size in snapshot");
-  std::vector<T> v(n);
+  const auto pos = static_cast<std::uint64_t>(in.tellg());
+  const std::uint64_t remaining = file_size > pos ? file_size - pos : 0;
+  PSS_REQUIRE(n <= max_size, "snapshot section '" + std::string(section) +
+                                 "' declares an implausible element count");
+  PSS_REQUIRE(n <= remaining / sizeof(T),
+              "snapshot section '" + std::string(section) + "' declares " +
+                  std::to_string(n) + " elements but only " +
+                  std::to_string(remaining) + " bytes remain in the file");
+  std::vector<T> v(static_cast<std::size_t>(n));
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(n * sizeof(T)));
   PSS_REQUIRE(static_cast<bool>(in), "truncated snapshot file");
@@ -81,22 +95,41 @@ void NetworkSnapshot::restore(WtaNetwork& network) const {
 void save_snapshot(const std::string& path, const NetworkSnapshot& snapshot) {
   PSS_REQUIRE(snapshot.neuron_count > 0 && snapshot.input_channels > 0,
               "refusing to save an empty snapshot");
-  std::ofstream out(path, std::ios::binary);
-  PSS_REQUIRE(out.is_open(), "cannot create snapshot file: " + path);
-  out.write(kMagic, sizeof(kMagic));
-  write_pod(out, snapshot.neuron_count);
-  write_pod(out, snapshot.input_channels);
-  write_pod(out, snapshot.g_min);
-  write_pod(out, snapshot.g_max);
-  write_vector(out, snapshot.conductance);
-  write_vector(out, snapshot.theta);
-  write_vector(out, snapshot.neuron_labels);
-  PSS_REQUIRE(static_cast<bool>(out), "snapshot write failed: " + path);
+  // Atomic write: serialize to a temp file and rename into place, so a crash
+  // (or the io.snapshot.write injected fault) never leaves a half-written
+  // snapshot at `path`.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    PSS_REQUIRE(out.is_open(), "cannot create snapshot file: " + tmp);
+    out.write(kMagic, sizeof(kMagic));
+    write_pod(out, snapshot.neuron_count);
+    write_pod(out, snapshot.input_channels);
+    write_pod(out, snapshot.g_min);
+    write_pod(out, snapshot.g_max);
+    write_vector(out, snapshot.conductance);
+    write_vector(out, snapshot.theta);
+    write_vector(out, snapshot.neuron_labels);
+    out.flush();
+    PSS_REQUIRE(static_cast<bool>(out), "snapshot write failed: " + tmp);
+  }
+  try {
+    robust::fault_point("io.snapshot.write");
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  PSS_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "cannot rename snapshot into place: " + path);
 }
 
 NetworkSnapshot load_snapshot(const std::string& path) {
+  robust::fault_point("io.snapshot.read");
   std::ifstream in(path, std::ios::binary);
   PSS_REQUIRE(in.is_open(), "cannot open snapshot file: " + path);
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
   char magic[8];
   in.read(magic, sizeof(magic));
   PSS_REQUIRE(static_cast<bool>(in) &&
@@ -109,9 +142,11 @@ NetworkSnapshot load_snapshot(const std::string& path) {
   snap.g_max = read_pod<double>(in);
   const std::uint64_t synapses =
       static_cast<std::uint64_t>(snap.neuron_count) * snap.input_channels;
-  snap.conductance = read_vector<double>(in, synapses);
-  snap.theta = read_vector<double>(in, snap.neuron_count);
-  snap.neuron_labels = read_vector<std::int32_t>(in, snap.neuron_count);
+  snap.conductance = read_vector<double>(in, synapses, file_size,
+                                         "conductance");
+  snap.theta = read_vector<double>(in, snap.neuron_count, file_size, "theta");
+  snap.neuron_labels =
+      read_vector<std::int32_t>(in, snap.neuron_count, file_size, "labels");
   PSS_REQUIRE(snap.conductance.size() == synapses,
               "snapshot conductance size is inconsistent");
   return snap;

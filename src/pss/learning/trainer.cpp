@@ -9,10 +9,21 @@
 #include "pss/common/log.hpp"
 #include "pss/obs/metrics.hpp"
 #include "pss/obs/trace.hpp"
+#include "pss/robust/fault_injection.hpp"
+#include "pss/robust/guards.hpp"
 
 namespace pss {
 
 namespace {
+
+/// splitmix64 finalizer: derives run ids from seeds / parent ids. Purely a
+/// label-mixing function — never feeds back into simulation RNG.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 /// Publishes the learning-progress gauges: mean conductance of the matrix
 /// and mean |ΔG| against `prev` (the drift a presentation/batch caused).
@@ -45,11 +56,66 @@ UnsupervisedTrainer::UnsupervisedTrainer(WtaNetwork& network,
       config_(config),
       frequency_map_(config.f_min_hz, config.f_max_hz) {
   PSS_REQUIRE(config.t_learn_ms > 0.0, "t_learn must be positive");
+  PSS_REQUIRE(config_.checkpoint_every == 0 || !config_.checkpoint_path.empty(),
+              "checkpoint_every requires a checkpoint_path");
+  lineage_.run_id = mix64(network.config().seed ^ 0x70737372756e31ull);
+}
+
+void UnsupervisedTrainer::resume_from(const robust::TrainingCheckpoint& cp) {
+  cp.restore(network_);
+  start_image_ = cp.images_done;
+  last_checkpoint_images_ = cp.images_done;
+  base_stats_.images_presented = static_cast<std::size_t>(cp.images_presented);
+  base_stats_.total_post_spikes = cp.total_post_spikes;
+  base_stats_.total_input_spikes = cp.total_input_spikes;
+  base_stats_.wall_seconds = cp.wall_seconds;
+  base_stats_.simulated_ms = cp.simulated_ms;
+  lineage_.resumed = true;
+  lineage_.parent_run_id = cp.run_id;
+  lineage_.run_id = mix64(cp.run_id ^ (cp.images_done + 1));
+  lineage_.checkpoint_count = cp.checkpoint_count;
+  lineage_.presentation_cursor = cp.presentation_cursor;
+  PSS_LOG_INFO << "resuming from checkpoint: " << cp.images_done
+               << " images done, presentation cursor "
+               << cp.presentation_cursor << ", checkpoint #"
+               << cp.checkpoint_count;
+}
+
+void UnsupervisedTrainer::maybe_checkpoint(std::uint64_t images_done,
+                                           const TrainingStats& stats,
+                                           const Stopwatch& clock) {
+  if (config_.checkpoint_every == 0) return;
+  if (images_done - last_checkpoint_images_ < config_.checkpoint_every) return;
+  robust::TrainingCheckpoint cp = robust::TrainingCheckpoint::capture(network_);
+  cp.run_id = lineage_.run_id;
+  cp.parent_run_id = lineage_.parent_run_id;
+  cp.checkpoint_count = lineage_.checkpoint_count + 1;
+  cp.images_done = images_done;
+  cp.images_presented = stats.images_presented;
+  cp.total_post_spikes = stats.total_post_spikes;
+  cp.total_input_spikes = stats.total_input_spikes;
+  cp.simulated_ms = stats.simulated_ms;
+  cp.wall_seconds = base_stats_.wall_seconds + clock.seconds();
+  try {
+    robust::save_checkpoint(config_.checkpoint_path, cp);
+  } catch (const std::exception& e) {
+    // The write is atomic, so the previous checkpoint file is still valid;
+    // losing one checkpoint is strictly better than losing the run.
+    obs::metrics().counter("checkpoint.failures").add(1);
+    PSS_LOG_WARN << "checkpoint write failed (training continues): "
+                 << e.what();
+    return;
+  }
+  ++lineage_.checkpoint_count;
+  lineage_.presentation_cursor = cp.presentation_cursor;
+  last_checkpoint_images_ = images_done;
+  obs::metrics().counter("checkpoint.writes").add(1);
 }
 
 TrainingStats UnsupervisedTrainer::train(const Dataset& data,
                                          const ProgressCallback& on_image) {
-  TrainingStats stats;
+  TrainingStats stats = base_stats_;
+  stats.wall_seconds = 0.0;
   Stopwatch clock;
   obs::TraceSpan train_span("train", "pipeline",
                             static_cast<std::int64_t>(data.size()));
@@ -59,7 +125,7 @@ TrainingStats UnsupervisedTrainer::train(const Dataset& data,
     const auto g = network_.conductance().values();
     prev_g.assign(g.begin(), g.end());
   }
-  for (std::size_t i = 0; i < data.size(); ++i) {
+  for (std::size_t i = start_image_; i < data.size(); ++i) {
     const Image& img = data[i];
     PSS_REQUIRE(img.pixel_count() == network_.input_channels(),
                 "image pixel count must equal network input channels");
@@ -73,9 +139,18 @@ TrainingStats UnsupervisedTrainer::train(const Dataset& data,
     if (observed) {
       publish_conductance_drift(network_.conductance().values(), prev_g);
     }
+    if (config_.divergence_checks) {
+      robust::require_finite_network(network_,
+                                     "image " + std::to_string(i));
+    }
+    // The checkpoint lands after the progress callback so any state the
+    // callback touches (e.g. a mid-train evaluation presenting images on
+    // this network) is part of the captured cursor.
     if (on_image) on_image(i);
+    maybe_checkpoint(i + 1, stats, clock);
+    robust::fault_point("train.interrupt");
   }
-  stats.wall_seconds = clock.seconds();
+  stats.wall_seconds = base_stats_.wall_seconds + clock.seconds();
   PSS_LOG_DEBUG << "trained " << stats.images_presented << " images, "
                 << stats.total_post_spikes << " post spikes, "
                 << stats.wall_seconds << " s";
@@ -86,6 +161,14 @@ TrainingStats UnsupervisedTrainer::train(const Dataset& data,
                                          BatchRunner& runner,
                                          const ProgressCallback& on_image) {
   const std::size_t batch = std::max<std::size_t>(1, config_.batch_size);
+  // Batches are carved from image 0 in fixed strides, so a resume point must
+  // sit on a batch boundary for the remaining schedule (and therefore the
+  // result) to be bitwise-identical to an uninterrupted batched run. The
+  // batched path only writes checkpoints at batch boundaries, so this only
+  // rejects cross-mode resumes (sequential checkpoint into batched run).
+  PSS_REQUIRE(start_image_ % batch == 0 || start_image_ >= data.size(),
+              "resume point must align with the batch size for "
+              "bitwise-reproducible batched training");
   const std::size_t pre_count = network_.input_channels();
   // Deltas clamp to the range the sequential updater itself enforces, so
   // quantized runs stay on the representable grid.
@@ -108,7 +191,8 @@ TrainingStats UnsupervisedTrainer::train(const Dataset& data,
   };
   PerWorker<WorkerState> workers(runner.worker_count());
 
-  TrainingStats stats;
+  TrainingStats stats = base_stats_;
+  stats.wall_seconds = 0.0;
   Stopwatch clock;
   obs::TraceSpan train_span("train", "pipeline",
                             static_cast<std::int64_t>(data.size()));
@@ -120,7 +204,7 @@ TrainingStats UnsupervisedTrainer::train(const Dataset& data,
   }
   std::vector<ImageOutcome> outcomes;
 
-  for (std::size_t b = 0; b < data.size(); b += batch) {
+  for (std::size_t b = start_image_; b < data.size(); b += batch) {
     const std::size_t count = std::min(batch, data.size() - b);
     obs::TraceSpan batch_span("train.batch", "pipeline",
                               static_cast<std::int64_t>(b / batch));
@@ -184,13 +268,19 @@ TrainingStats UnsupervisedTrainer::train(const Dataset& data,
     network_.restore_theta(theta_acc);
     network_.skip_presentations(count, config_.t_learn_ms);
     if (observed) publish_conductance_drift(g_acc, prev_g);
+    if (config_.divergence_checks) {
+      robust::require_finite_network(
+          network_, "batch ending at image " + std::to_string(b + count));
+    }
 
     if (on_image) {
       for (std::size_t k = 0; k < count; ++k) on_image(b + k);
     }
+    maybe_checkpoint(b + count, stats, clock);
+    robust::fault_point("train.interrupt");
   }
 
-  stats.wall_seconds = clock.seconds();
+  stats.wall_seconds = base_stats_.wall_seconds + clock.seconds();
   PSS_LOG_DEBUG << "minibatch-trained " << stats.images_presented
                 << " images (batch " << batch << ", "
                 << runner.worker_count() << " workers), "

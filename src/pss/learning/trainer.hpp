@@ -7,12 +7,14 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "pss/common/stopwatch.hpp"
 #include "pss/data/dataset.hpp"
 #include "pss/encoding/pixel_frequency.hpp"
 #include "pss/engine/batch_runner.hpp"
 #include "pss/network/wta_network.hpp"
+#include "pss/robust/checkpoint.hpp"
 
 namespace pss {
 
@@ -28,6 +30,19 @@ struct TrainerConfig {
   /// a replica (sequential-equivalent update schedule). Ignored by the
   /// sequential train().
   std::size_t batch_size = 1;
+
+  /// Write a training checkpoint to `checkpoint_path` every this many images
+  /// (0 = never). The batched path checkpoints at the first batch boundary
+  /// at or past each multiple. A failed checkpoint write logs a warning and
+  /// training continues — writes are atomic, so the previous checkpoint
+  /// survives.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
+
+  /// Scan conductances and theta for NaN/Inf/out-of-bounds after every
+  /// image (sequential) or batch; on divergence training throws pss::Error
+  /// carrying a structured report instead of checkpointing corrupt state.
+  bool divergence_checks = true;
 
   /// Convenience constructor from a Table I row.
   static TrainerConfig from_table1(LearningOption option);
@@ -65,11 +80,29 @@ class UnsupervisedTrainer {
   TrainingStats train(const Dataset& data, BatchRunner& runner,
                       const ProgressCallback& on_image = nullptr);
 
+  /// Restores network state (conductances, theta, presentation cursor) and
+  /// training progress from `cp`, so the next train() call skips the first
+  /// `cp.images_done` images and continues bitwise-identically to the run
+  /// that wrote the checkpoint. Must be called before train(); geometry and
+  /// seed must match the network (throws pss::Error otherwise).
+  void resume_from(const robust::TrainingCheckpoint& cp);
+
+  /// This run's identity and resume ancestry (surfaced in run manifests).
+  const robust::CheckpointLineage& lineage() const { return lineage_; }
+
  private:
+  void maybe_checkpoint(std::uint64_t images_done, const TrainingStats& stats,
+                        const Stopwatch& clock);
+
   WtaNetwork& network_;
   TrainerConfig config_;
   PixelFrequencyMap frequency_map_;
   std::vector<double> rates_;
+
+  robust::CheckpointLineage lineage_;
+  std::uint64_t start_image_ = 0;    ///< images already trained before resume
+  TrainingStats base_stats_;         ///< stats carried over from the parent
+  std::uint64_t last_checkpoint_images_ = 0;
 };
 
 }  // namespace pss

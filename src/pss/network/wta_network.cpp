@@ -304,6 +304,12 @@ void WtaNetwork::set_presentation_index(std::uint64_t index) {
   presentation_index_ = index;
 }
 
+void WtaNetwork::restore_cursor(std::uint64_t presentation_index, TimeMs now) {
+  PSS_REQUIRE(now >= 0.0, "biological time cannot be negative");
+  set_presentation_index(presentation_index);
+  now_ = now;
+}
+
 void WtaNetwork::skip_presentations(std::uint64_t count, TimeMs duration_ms) {
   PSS_REQUIRE(duration_ms > 0.0, "presentation must have positive duration");
   const auto steps = static_cast<StepIndex>(std::ceil(duration_ms / config_.dt));

@@ -144,6 +144,12 @@ class WtaNetwork {
   /// < 2^32 (the encoder packs it with the step counter).
   void set_presentation_index(std::uint64_t index);
 
+  /// Restores the presentation cursor (counter + biological clock) from a
+  /// checkpoint. With the conductances and theta also restored, the next
+  /// present() replays exactly what an uninterrupted run would have done —
+  /// presentation RNG state is derived from the index alone.
+  void restore_cursor(std::uint64_t presentation_index, TimeMs now);
+
   /// Advances the presentation counter and biological clock as if `count`
   /// presentations of `duration_ms` each had run, without simulating them.
   /// Keeps a network that delegated those presentations to replicas in sync

@@ -1,12 +1,24 @@
 #include "pss/obs/manifest.hpp"
 
 #include <fstream>
+#include <iomanip>
+#include <sstream>
 
 #include "pss/common/error.hpp"
 #include "pss/obs/json_writer.hpp"
 #include "pss/obs/metrics.hpp"
 
 namespace pss::obs {
+
+namespace {
+
+std::string hex_id(std::uint64_t id) {
+  std::ostringstream os;
+  os << "0x" << std::hex << std::setfill('0') << std::setw(16) << id;
+  return os.str();
+}
+
+}  // namespace
 
 std::vector<std::pair<std::string, double>> phase_seconds() {
   const std::string prefix = "phase.";
@@ -68,6 +80,16 @@ void write_manifest(const std::string& path, const RunManifest& manifest) {
   w.key("results").begin_object();
   for (const auto& [key, value] : manifest.results) w.member(key, value);
   w.end_object();
+
+  if (manifest.has_checkpoint) {
+    w.key("checkpoint").begin_object();
+    w.member("resumed", manifest.resumed);
+    w.member("run_id", hex_id(manifest.checkpoint_run_id));
+    w.member("parent_run_id", hex_id(manifest.checkpoint_parent_run_id));
+    w.member("checkpoint_count", manifest.checkpoint_count);
+    w.member("presentation_cursor", manifest.presentation_cursor);
+    w.end_object();
+  }
 
   w.key("metrics");
   metrics().write_json_object(w);

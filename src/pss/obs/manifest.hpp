@@ -31,6 +31,16 @@ struct RunManifest {
 
   /// Headline results (accuracy, labelled_neurons, ...).
   std::vector<std::pair<std::string, double>> results;
+
+  /// Checkpoint/resume lineage (pss/robust/checkpoint.hpp). Emitted as a
+  /// "checkpoint" object when has_checkpoint is true; run ids serialize as
+  /// hex strings so 64-bit values survive JSON number precision.
+  bool has_checkpoint = false;
+  bool resumed = false;
+  std::uint64_t checkpoint_run_id = 0;
+  std::uint64_t checkpoint_parent_run_id = 0;
+  std::uint64_t checkpoint_count = 0;
+  std::uint64_t presentation_cursor = 0;
 };
 
 /// Simulation-phase breakdown read back from the metrics registry

@@ -1,0 +1,258 @@
+#include "pss/robust/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "pss/common/error.hpp"
+#include "pss/network/wta_network.hpp"
+#include "pss/robust/crc32.hpp"
+#include "pss/robust/fault_injection.hpp"
+
+namespace pss::robust {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'S', 'S', 'C', 'K', 'P', 'T', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void append_pod(std::vector<unsigned char>& buf, const T& value) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&value);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+void append_vector(std::vector<unsigned char>& buf, const std::vector<T>& v) {
+  append_pod(buf, static_cast<std::uint64_t>(v.size()));
+  const auto* p = reinterpret_cast<const unsigned char*>(v.data());
+  buf.insert(buf.end(), p, p + v.size() * sizeof(T));
+}
+
+/// Bounds-checked reader over the in-memory payload: every extraction
+/// verifies the declared size against the bytes actually remaining before
+/// touching (or allocating) anything.
+class PayloadReader {
+ public:
+  PayloadReader(const unsigned char* data, std::size_t size,
+                const std::string& path)
+      : data_(data), size_(size), path_(path) {}
+
+  template <typename T>
+  T pod(const char* field) {
+    require(sizeof(T), field);
+    T value{};
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> vector(const char* field) {
+    const auto n = pod<std::uint64_t>(field);
+    const std::size_t remaining = size_ - pos_;
+    if (n > remaining / sizeof(T)) {
+      throw Error("checkpoint " + path_ + ": section '" + field +
+                  "' declares " + std::to_string(n) + " elements but only " +
+                  std::to_string(remaining) + " bytes remain");
+    }
+    std::vector<T> v(static_cast<std::size_t>(n));
+    std::memcpy(v.data(), data_ + pos_, v.size() * sizeof(T));
+    pos_ += v.size() * sizeof(T);
+    return v;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  void require(std::size_t bytes, const char* field) {
+    if (size_ - pos_ < bytes) {
+      throw Error("checkpoint " + path_ + ": truncated at field '" + field +
+                  "'");
+    }
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::string path_;
+};
+
+std::vector<unsigned char> serialize_payload(const TrainingCheckpoint& cp) {
+  std::vector<unsigned char> buf;
+  buf.reserve(128 + cp.conductance.size() * sizeof(double) +
+              cp.theta.size() * sizeof(double));
+  append_pod(buf, cp.run_id);
+  append_pod(buf, cp.parent_run_id);
+  append_pod(buf, cp.checkpoint_count);
+  append_pod(buf, cp.seed);
+  append_pod(buf, cp.images_done);
+  append_pod(buf, cp.presentation_cursor);
+  append_pod(buf, cp.now_ms);
+  append_pod(buf, cp.simulated_ms);
+  append_pod(buf, cp.wall_seconds);
+  append_pod(buf, cp.images_presented);
+  append_pod(buf, cp.total_post_spikes);
+  append_pod(buf, cp.total_input_spikes);
+  append_pod(buf, cp.neuron_count);
+  append_pod(buf, cp.input_channels);
+  append_pod(buf, cp.g_min);
+  append_pod(buf, cp.g_max);
+  append_vector(buf, cp.conductance);
+  append_vector(buf, cp.theta);
+  return buf;
+}
+
+TrainingCheckpoint parse_payload(const unsigned char* data, std::size_t size,
+                                 const std::string& path) {
+  PayloadReader in(data, size, path);
+  TrainingCheckpoint cp;
+  cp.run_id = in.pod<std::uint64_t>("run_id");
+  cp.parent_run_id = in.pod<std::uint64_t>("parent_run_id");
+  cp.checkpoint_count = in.pod<std::uint64_t>("checkpoint_count");
+  cp.seed = in.pod<std::uint64_t>("seed");
+  cp.images_done = in.pod<std::uint64_t>("images_done");
+  cp.presentation_cursor = in.pod<std::uint64_t>("presentation_cursor");
+  cp.now_ms = in.pod<double>("now_ms");
+  cp.simulated_ms = in.pod<double>("simulated_ms");
+  cp.wall_seconds = in.pod<double>("wall_seconds");
+  cp.images_presented = in.pod<std::uint64_t>("images_presented");
+  cp.total_post_spikes = in.pod<std::uint64_t>("total_post_spikes");
+  cp.total_input_spikes = in.pod<std::uint64_t>("total_input_spikes");
+  cp.neuron_count = in.pod<std::uint32_t>("neuron_count");
+  cp.input_channels = in.pod<std::uint32_t>("input_channels");
+  cp.g_min = in.pod<double>("g_min");
+  cp.g_max = in.pod<double>("g_max");
+  cp.conductance = in.vector<double>("conductance");
+  cp.theta = in.vector<double>("theta");
+  PSS_REQUIRE(in.remaining() == 0,
+              "checkpoint " + path + ": trailing bytes after last section");
+  const std::uint64_t synapses =
+      static_cast<std::uint64_t>(cp.neuron_count) * cp.input_channels;
+  PSS_REQUIRE(cp.conductance.size() == synapses,
+              "checkpoint " + path + ": conductance size does not match "
+              "declared geometry");
+  PSS_REQUIRE(cp.theta.size() == cp.neuron_count,
+              "checkpoint " + path + ": theta size does not match neuron "
+              "count");
+  return cp;
+}
+
+}  // namespace
+
+TrainingCheckpoint TrainingCheckpoint::capture(const WtaNetwork& network) {
+  TrainingCheckpoint cp;
+  cp.seed = network.config().seed;
+  cp.presentation_cursor = network.presentation_index();
+  cp.now_ms = network.now();
+  cp.neuron_count = static_cast<std::uint32_t>(network.neuron_count());
+  cp.input_channels = static_cast<std::uint32_t>(network.input_channels());
+  cp.g_min = network.conductance().g_min();
+  cp.g_max = network.conductance().g_max();
+  cp.conductance = network.conductance().to_vector();
+  cp.theta.assign(network.theta().begin(), network.theta().end());
+  return cp;
+}
+
+void TrainingCheckpoint::restore(WtaNetwork& network) const {
+  PSS_REQUIRE(network.neuron_count() == neuron_count &&
+                  network.input_channels() == input_channels,
+              "checkpoint geometry does not match the network");
+  PSS_REQUIRE(network.config().seed == seed,
+              "checkpoint seed does not match the network — resuming with a "
+              "different seed would break bitwise reproducibility");
+  ConductanceMatrix& g = network.conductance();
+  std::size_t k = 0;
+  for (NeuronIndex post = 0; post < neuron_count; ++post) {
+    for (ChannelIndex pre = 0; pre < input_channels; ++pre) {
+      g.set(post, pre, conductance[k++]);
+    }
+  }
+  network.restore_theta(theta);
+  network.restore_cursor(presentation_cursor, now_ms);
+}
+
+void save_checkpoint(const std::string& path, const TrainingCheckpoint& cp) {
+  PSS_REQUIRE(cp.neuron_count > 0 && cp.input_channels > 0,
+              "refusing to save an empty checkpoint");
+  std::vector<unsigned char> payload = serialize_payload(cp);
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  if (faults().should_fire("snapshot.corrupt")) {
+    // Corrupt after the CRC is computed: the file lands on disk but
+    // load_checkpoint rejects it — exercises the detection path.
+    payload[payload.size() / 2] ^= 0x5A;
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    PSS_REQUIRE(out.is_open(), "cannot create checkpoint file: " + tmp);
+    out.write(kMagic, sizeof(kMagic));
+    out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+    const auto payload_size = static_cast<std::uint64_t>(payload.size());
+    out.write(reinterpret_cast<const char*>(&payload_size),
+              sizeof(payload_size));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    PSS_REQUIRE(static_cast<bool>(out), "checkpoint write failed: " + tmp);
+  }
+
+  // Injected IO failure fires before the rename, so the previous checkpoint
+  // (if any) is still intact — exactly the guarantee real crashes get.
+  try {
+    fault_point("io.snapshot.write");
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+
+  PSS_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "cannot rename checkpoint into place: " + path);
+}
+
+TrainingCheckpoint load_checkpoint(const std::string& path) {
+  fault_point("io.snapshot.read");
+  std::ifstream in(path, std::ios::binary);
+  PSS_REQUIRE(in.is_open(), "cannot open checkpoint file: " + path);
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  constexpr std::uint64_t kHeaderSize =
+      sizeof(kMagic) + sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+      sizeof(std::uint32_t);
+  PSS_REQUIRE(file_size >= kHeaderSize,
+              "checkpoint " + path + ": file shorter than the header");
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  PSS_REQUIRE(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+              "not a pss checkpoint (bad magic): " + path);
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  PSS_REQUIRE(version == kVersion,
+              "checkpoint " + path + ": unsupported version " +
+                  std::to_string(version));
+  std::uint64_t payload_size = 0;
+  in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
+  std::uint32_t declared_crc = 0;
+  in.read(reinterpret_cast<char*>(&declared_crc), sizeof(declared_crc));
+  PSS_REQUIRE(static_cast<bool>(in), "checkpoint " + path + ": short header");
+  PSS_REQUIRE(payload_size == file_size - kHeaderSize,
+              "checkpoint " + path + ": declared payload size " +
+                  std::to_string(payload_size) + " does not match file (" +
+                  std::to_string(file_size - kHeaderSize) + " bytes present)");
+
+  std::vector<unsigned char> payload(static_cast<std::size_t>(payload_size));
+  in.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+  PSS_REQUIRE(static_cast<bool>(in), "checkpoint " + path + ": short payload");
+  const std::uint32_t actual_crc = crc32(payload.data(), payload.size());
+  PSS_REQUIRE(actual_crc == declared_crc,
+              "checkpoint " + path + ": payload CRC mismatch (corrupt file)");
+  return parse_payload(payload.data(), payload.size(), path);
+}
+
+}  // namespace pss::robust

@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — the checksum guarding
+// checkpoint payloads against silent corruption. Matches zlib's crc32(), so
+// Python-side tooling (tools/validate_manifest.py and friends) can verify
+// artifacts with the standard library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pss::robust {
+
+/// CRC of `size` bytes at `data`, chained onto `crc` (pass the previous
+/// return value to checksum a buffer in pieces; start with 0).
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc = 0);
+
+}  // namespace pss::robust

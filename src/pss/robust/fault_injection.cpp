@@ -1,0 +1,197 @@
+#include "pss/robust/fault_injection.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "pss/common/error.hpp"
+#include "pss/common/rng.hpp"
+#include "pss/obs/metrics.hpp"
+
+namespace pss::robust {
+
+namespace {
+
+/// FNV-1a over the point name: maps each point to its own Philox stream so
+/// fire decisions at different points never share a counter sequence.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+double parse_number(const std::string& clause, const std::string& value) {
+  std::size_t pos = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || value.empty()) {
+    throw Error("fault spec: bad number '" + value + "' in clause '" + clause +
+                "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+void FaultInjector::arm(const std::string& point, FaultArm arm) {
+  PSS_REQUIRE(!point.empty(), "fault point name must be non-empty");
+  PSS_REQUIRE(arm.rate >= 0.0 && arm.rate <= 1.0,
+              "fault rate must be in [0, 1]");
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_[point] = PointState{arm, 0, 0};
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_from_spec(const std::string& spec) {
+  std::stringstream clauses(spec);
+  std::string clause;
+  while (std::getline(clauses, clause, ';')) {
+    // Trim surrounding whitespace.
+    const auto first = clause.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const auto last = clause.find_last_not_of(" \t");
+    clause = clause.substr(first, last - first + 1);
+
+    const auto colon = clause.find(':');
+    const std::string point = clause.substr(0, colon);
+    if (point.empty()) {
+      throw Error("fault spec: missing point name in clause '" + clause + "'");
+    }
+    FaultArm arm;
+    if (colon != std::string::npos) {
+      std::stringstream opts(clause.substr(colon + 1));
+      std::string opt;
+      while (std::getline(opts, opt, ',')) {
+        if (opt.empty()) continue;
+        const auto eq = opt.find('=');
+        if (eq == std::string::npos) {
+          throw Error("fault spec: expected key=value, got '" + opt +
+                      "' in clause '" + clause + "'");
+        }
+        const std::string key = opt.substr(0, eq);
+        const std::string value = opt.substr(eq + 1);
+        if (key == "rate") {
+          arm.rate = parse_number(clause, value);
+        } else if (key == "after") {
+          arm.after = static_cast<std::uint64_t>(parse_number(clause, value));
+        } else if (key == "count") {
+          arm.count = static_cast<std::uint64_t>(parse_number(clause, value));
+        } else if (key == "param") {
+          arm.param = parse_number(clause, value);
+        } else if (key == "kind") {
+          if (value == "transient") {
+            arm.transient = true;
+          } else if (value == "fatal") {
+            arm.transient = false;
+          } else {
+            throw Error("fault spec: kind must be transient|fatal, got '" +
+                        value + "' in clause '" + clause + "'");
+          }
+        } else {
+          throw Error("fault spec: unknown key '" + key + "' in clause '" +
+                      clause + "'");
+        }
+      }
+    }
+    this->arm(point, arm);
+  }
+}
+
+void FaultInjector::disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.erase(point);
+  if (points_.empty()) any_armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::set_seed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = seed;
+}
+
+bool FaultInjector::armed(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return points_.count(point) != 0;
+}
+
+bool FaultInjector::should_fire(const std::string& point) {
+  if (!any_armed_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  PointState& st = it->second;
+  const std::uint64_t hit = st.hits++;
+  if (hit < st.arm.after) return false;
+  if (st.fires >= st.arm.count) return false;
+  const bool fire =
+      st.arm.rate >= 1.0 ||
+      CounterRng(seed_, fnv1a(point)).bernoulli(hit, st.arm.rate);
+  if (fire) ++st.fires;
+  return fire;
+}
+
+double FaultInjector::param(const std::string& point, double fallback) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? fallback : it->second.arm.param;
+}
+
+double FaultInjector::rate(const std::string& point, double fallback) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? fallback : it->second.arm.rate;
+}
+
+bool FaultInjector::transient(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? true : it->second.arm.transient;
+}
+
+std::uint64_t FaultInjector::fired(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FaultInjector::armed_points() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [name, state] : points_) out.push_back(name);
+  return out;
+}
+
+FaultInjector& faults() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    if (const char* env = std::getenv("PSS_FAULTS"); env && *env) {
+      inj->arm_from_spec(env);
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+void fault_point(const char* point) {
+  FaultInjector& inj = faults();
+  if (!inj.any_armed()) return;
+  if (!inj.should_fire(point)) return;
+  obs::metrics().counter(std::string("fault.") + point + ".fired").add(1);
+  const std::string what = std::string("injected fault at ") + point;
+  if (inj.transient(point)) throw TransientError(what);
+  throw Error(what);
+}
+
+}  // namespace pss::robust

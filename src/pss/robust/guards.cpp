@@ -1,0 +1,71 @@
+#include "pss/robust/guards.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "pss/common/error.hpp"
+#include "pss/network/wta_network.hpp"
+#include "pss/obs/metrics.hpp"
+
+namespace pss::robust {
+
+std::string DivergenceReport::to_string() const {
+  std::ostringstream os;
+  os << "divergence report";
+  if (!context.empty()) os << " [" << context << "]";
+  os << ": nan=" << nan_count << " inf=" << inf_count
+     << " below_g_min=" << below_min << " above_g_max=" << above_max
+     << " theta_nonfinite=" << theta_nonfinite;
+  if (first_bad_synapse >= 0) {
+    os << " first_bad_synapse=" << first_bad_synapse << " (value "
+       << first_bad_value << ")";
+  }
+  os << " presentation_cursor=" << presentation_cursor;
+  return os.str();
+}
+
+DivergenceReport scan_network(const WtaNetwork& network,
+                              const std::string& context) {
+  DivergenceReport report;
+  report.context = context;
+  report.presentation_cursor = network.presentation_index();
+
+  const ConductanceMatrix& g = network.conductance();
+  const double lo = g.g_min();
+  const double hi = g.g_max();
+  const std::span<const double> values = g.values();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double v = values[i];
+    bool bad = true;
+    if (std::isnan(v)) {
+      ++report.nan_count;
+    } else if (std::isinf(v)) {
+      ++report.inf_count;
+    } else if (v < lo) {
+      ++report.below_min;
+    } else if (v > hi) {
+      ++report.above_max;
+    } else {
+      bad = false;
+    }
+    if (bad && report.first_bad_synapse < 0) {
+      report.first_bad_synapse = static_cast<std::int64_t>(i);
+      report.first_bad_value = v;
+    }
+  }
+  for (const double t : network.theta()) {
+    if (!std::isfinite(t)) ++report.theta_nonfinite;
+  }
+  return report;
+}
+
+void require_finite_network(const WtaNetwork& network,
+                            const std::string& context) {
+  const DivergenceReport report = scan_network(network, context);
+  if (report.diverged()) {
+    obs::metrics().counter("train.divergence").add(1);
+    throw Error(report.to_string());
+  }
+}
+
+}  // namespace pss::robust

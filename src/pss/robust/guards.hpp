@@ -1,0 +1,48 @@
+// Numeric-divergence guards for the training loop: detect NaN/Inf and
+// out-of-bounds learned state early and fail with a structured report naming
+// the first bad synapse, instead of silently training on (and checkpointing)
+// corrupted state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pss {
+class WtaNetwork;
+}
+
+namespace pss::robust {
+
+/// What scan_network() found. Counts cover the full conductance matrix and
+/// theta vector; `first_bad_*` locate the earliest offender for debugging.
+struct DivergenceReport {
+  std::uint64_t nan_count = 0;        ///< non-finite conductances (NaN)
+  std::uint64_t inf_count = 0;        ///< non-finite conductances (±Inf)
+  std::uint64_t below_min = 0;        ///< finite but < g_min
+  std::uint64_t above_max = 0;        ///< finite but > g_max
+  std::uint64_t theta_nonfinite = 0;  ///< NaN/Inf homeostatic offsets
+  std::int64_t first_bad_synapse = -1;  ///< flat index; -1 = none
+  double first_bad_value = 0.0;
+  std::uint64_t presentation_cursor = 0;
+  std::string context;  ///< where the scan ran (e.g. "image 1234")
+
+  bool diverged() const {
+    return nan_count || inf_count || below_min || above_max || theta_nonfinite;
+  }
+
+  /// One-line human-readable summary (used as the Error message).
+  std::string to_string() const;
+};
+
+/// Scans the network's conductances and theta for non-finite or
+/// out-of-bounds values. Read-only; cost is one pass over the synapse matrix
+/// (run it per image/batch, not per step).
+DivergenceReport scan_network(const WtaNetwork& network,
+                              const std::string& context = "");
+
+/// scan_network + throw pss::Error with the report text when diverged; also
+/// bumps the `train.divergence` metrics counter.
+void require_finite_network(const WtaNetwork& network,
+                            const std::string& context = "");
+
+}  // namespace pss::robust

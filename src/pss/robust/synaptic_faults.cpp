@@ -1,0 +1,63 @@
+#include "pss/robust/synaptic_faults.hpp"
+
+#include "pss/common/rng.hpp"
+#include "pss/robust/fault_injection.hpp"
+#include "pss/synapse/conductance_matrix.hpp"
+
+namespace pss::robust {
+
+SynapticFaultSummary apply_synaptic_faults(ConductanceMatrix& g,
+                                           const SynapticFaultPlan& plan) {
+  SynapticFaultSummary summary;
+  if (!plan.any()) return summary;
+
+  const CounterRng root(plan.seed);
+  const CounterRng lo_rng = root.fork(1);
+  const CounterRng hi_rng = root.fork(2);
+  const CounterRng gate_rng = root.fork(3);
+  const CounterRng noise_rng = root.fork(4);
+  const double range = g.g_max() - g.g_min();
+  const double sigma = plan.perturb_sigma * range;
+
+  const std::size_t posts = g.post_count();
+  const std::size_t pres = g.pre_count();
+  for (std::size_t post = 0; post < posts; ++post) {
+    for (std::size_t pre = 0; pre < pres; ++pre) {
+      const std::uint64_t synapse = post * pres + pre;
+      if (lo_rng.bernoulli(synapse, plan.stuck_lo_rate)) {
+        g.set(static_cast<NeuronIndex>(post), static_cast<ChannelIndex>(pre),
+              g.g_min());
+        ++summary.stuck_lo;
+      } else if (hi_rng.bernoulli(synapse, plan.stuck_hi_rate)) {
+        g.set(static_cast<NeuronIndex>(post), static_cast<ChannelIndex>(pre),
+              g.g_max());
+        ++summary.stuck_hi;
+      } else if (gate_rng.bernoulli(synapse, plan.perturb_rate)) {
+        const double value =
+            g.get(static_cast<NeuronIndex>(post),
+                  static_cast<ChannelIndex>(pre)) +
+            sigma * noise_rng.normal(synapse);
+        // set() clamps to [g_min, g_max].
+        g.set(static_cast<NeuronIndex>(post), static_cast<ChannelIndex>(pre),
+              value);
+        ++summary.perturbed;
+      }
+    }
+  }
+  return summary;
+}
+
+SynapticFaultPlan synaptic_plan_from_injector() {
+  SynapticFaultPlan plan;
+  FaultInjector& inj = faults();
+  plan.stuck_lo_rate = inj.rate("synapse.stuck_lo", 0.0);
+  plan.stuck_hi_rate = inj.rate("synapse.stuck_hi", 0.0);
+  plan.perturb_rate = inj.rate("synapse.perturb", 0.0);
+  if (inj.armed("synapse.perturb")) {
+    const double sigma = inj.param("synapse.perturb", 0.0);
+    if (sigma > 0.0) plan.perturb_sigma = sigma;
+  }
+  return plan;
+}
+
+}  // namespace pss::robust

@@ -1,0 +1,53 @@
+// Synaptic fault models from the authors' companion paper ("Improving
+// Robustness of ReRAM-based SNN Accelerator with Stochastic STDP", She et
+// al. 2019): ReRAM crossbar cells that are stuck at the minimum or maximum
+// conductance (stuck-at-G_min / stuck-at-G_max manufacturing defects) and
+// random conductance perturbation (programming noise / drift).
+//
+// Faults are applied deterministically: each synapse's fate is a Philox draw
+// from a stream forked per decision type and indexed by the flat synapse id,
+// so a (seed, plan) pair always damages the same cells — experiments comparing
+// deterministic vs stochastic STDP see identical fault patterns.
+#pragma once
+
+#include <cstdint>
+
+namespace pss {
+class ConductanceMatrix;
+}
+
+namespace pss::robust {
+
+struct SynapticFaultPlan {
+  double stuck_lo_rate = 0.0;   ///< fraction of synapses stuck at g_min
+  double stuck_hi_rate = 0.0;   ///< fraction of synapses stuck at g_max
+  double perturb_rate = 0.0;    ///< fraction receiving Gaussian perturbation
+  double perturb_sigma = 0.1;   ///< perturbation stddev as fraction of range
+  std::uint64_t seed = 0x5eed;  ///< fault-pattern seed (independent of net)
+
+  bool any() const {
+    return stuck_lo_rate > 0.0 || stuck_hi_rate > 0.0 || perturb_rate > 0.0;
+  }
+};
+
+struct SynapticFaultSummary {
+  std::uint64_t stuck_lo = 0;
+  std::uint64_t stuck_hi = 0;
+  std::uint64_t perturbed = 0;
+
+  std::uint64_t total() const { return stuck_lo + stuck_hi + perturbed; }
+};
+
+/// Damages `g` in place per the plan. Decision order per synapse: stuck-lo,
+/// else stuck-hi, else perturb (a cell is affected by at most one fault).
+/// Perturbed values are clamped back into [g_min, g_max].
+SynapticFaultSummary apply_synaptic_faults(ConductanceMatrix& g,
+                                           const SynapticFaultPlan& plan);
+
+/// Builds a plan from the globally armed fault points `synapse.stuck_lo`,
+/// `synapse.stuck_hi` and `synapse.perturb` (rate = fault rate; the perturb
+/// point's `param`, when set, overrides perturb_sigma). Returns a plan with
+/// any() == false when none are armed.
+SynapticFaultPlan synaptic_plan_from_injector();
+
+}  // namespace pss::robust

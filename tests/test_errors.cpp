@@ -85,13 +85,13 @@ TEST(ErrorContract, LearningPipeline) {
   WtaNetwork net(cfg);
 
   // Trainer rejects images whose pixel count mismatches the network.
-  UnsupervisedTrainer trainer(net, TrainerConfig{1.0, 22.0, 100.0});
+  UnsupervisedTrainer trainer(net, TrainerConfig{.f_min_hz = 1.0, .f_max_hz = 22.0, .t_learn_ms = 100.0});
   Dataset wrong;
   wrong.push_back(Image(8, 8));  // 64 pixels vs 16 channels
   EXPECT_THROW(trainer.train(wrong), Error);
 
   // Zero presentation time.
-  EXPECT_THROW(UnsupervisedTrainer(net, TrainerConfig{1.0, 22.0, 0.0}), Error);
+  EXPECT_THROW(UnsupervisedTrainer(net, TrainerConfig{.f_min_hz = 1.0, .f_max_hz = 22.0, .t_learn_ms = 0.0}), Error);
 
   // Labeler rejects an empty labelling set.
   const PixelFrequencyMap map(1.0, 22.0);

@@ -96,7 +96,7 @@ LabeledDataset* LearningPipeline::data_ = nullptr;
 
 TEST_F(LearningPipeline, TrainerReportsStats) {
   WtaNetwork net(config());
-  UnsupervisedTrainer trainer(net, TrainerConfig{1.0, 22.0, 200.0});
+  UnsupervisedTrainer trainer(net, TrainerConfig{.f_min_hz = 1.0, .f_max_hz = 22.0, .t_learn_ms = 200.0});
   std::size_t callbacks = 0;
   const TrainingStats stats =
       trainer.train(data_->train.head(10), [&](std::size_t) { ++callbacks; });
@@ -109,7 +109,7 @@ TEST_F(LearningPipeline, TrainerReportsStats) {
 
 TEST_F(LearningPipeline, LabelerAssignsClasses) {
   WtaNetwork net(config());
-  UnsupervisedTrainer trainer(net, TrainerConfig{1.0, 22.0, 300.0});
+  UnsupervisedTrainer trainer(net, TrainerConfig{.f_min_hz = 1.0, .f_max_hz = 22.0, .t_learn_ms = 300.0});
   trainer.train(data_->train.head(60));
   const PixelFrequencyMap map(1.0, 22.0);
   const LabelingResult labels =
@@ -125,7 +125,7 @@ TEST_F(LearningPipeline, LabelerAssignsClasses) {
 
 TEST_F(LearningPipeline, EndToEndBeatsChanceByWideMargin) {
   WtaNetwork net(config());
-  UnsupervisedTrainer trainer(net, TrainerConfig{1.0, 22.0, 400.0});
+  UnsupervisedTrainer trainer(net, TrainerConfig{.f_min_hz = 1.0, .f_max_hz = 22.0, .t_learn_ms = 400.0});
   trainer.train(data_->train);
   const PixelFrequencyMap map(1.0, 22.0);
   const auto [label_set, eval_set] = data_->labelling_split(80);
@@ -164,7 +164,7 @@ TEST_F(LearningPipeline, BatchedLabellingAndEvalMatchSequential) {
   // Core acceptance criterion: batched labelling/evaluation is bitwise
   // identical to the sequential path at every worker count.
   WtaNetwork net(config());
-  UnsupervisedTrainer trainer(net, TrainerConfig{1.0, 22.0, 250.0});
+  UnsupervisedTrainer trainer(net, TrainerConfig{.f_min_hz = 1.0, .f_max_hz = 22.0, .t_learn_ms = 250.0});
   trainer.train(data_->train.head(25));
 
   Engine serial(1);

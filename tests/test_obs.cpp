@@ -453,7 +453,7 @@ std::vector<double> train_conductances(bool observe) {
   synth.test_count = 4;
   LabeledDataset data = make_synthetic_digits(synth);
   WtaNetwork net(small_config());
-  UnsupervisedTrainer trainer(net, TrainerConfig{1.0, 22.0, 60.0});
+  UnsupervisedTrainer trainer(net, TrainerConfig{.f_min_hz = 1.0, .f_max_hz = 22.0, .t_learn_ms = 60.0});
   trainer.train(data.train.head(10));
   obs::set_metrics_enabled(false);
   obs::set_trace_enabled(false);
@@ -479,7 +479,7 @@ TEST(Reproducibility, WorkerCountInvarianceHoldsWithTracingOn) {
   const PixelFrequencyMap map(1.0, 22.0);
 
   WtaNetwork trained(small_config());
-  UnsupervisedTrainer trainer(trained, TrainerConfig{1.0, 22.0, 60.0});
+  UnsupervisedTrainer trainer(trained, TrainerConfig{.f_min_hz = 1.0, .f_max_hz = 22.0, .t_learn_ms = 60.0});
   trainer.train(data.train.head(8));
 
   // Sequential labelling, observability off.

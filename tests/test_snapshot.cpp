@@ -95,7 +95,7 @@ TEST(Snapshot, RestoredNetworkClassifiesLikeOriginal) {
       WtaConfig::from_table1(LearningOption::kFloat32, StdpKind::kStochastic, 30);
   cfg.seed = 11;
   WtaNetwork trained(cfg);
-  UnsupervisedTrainer trainer(trained, TrainerConfig{1.0, 22.0, 300.0});
+  UnsupervisedTrainer trainer(trained, TrainerConfig{.f_min_hz = 1.0, .f_max_hz = 22.0, .t_learn_ms = 300.0});
   trainer.train(data.train);
   const PixelFrequencyMap map(1.0, 22.0);
   const LabelingResult labels =

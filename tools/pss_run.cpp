@@ -24,6 +24,16 @@
 //   trace=<path.json>     Chrome trace_event JSON (open in Perfetto)
 //   manifest=<path.json>  run manifest: config + phase times + metrics
 //                         (pss.manifest.v1)
+//
+// Fault tolerance (see README "Fault tolerance & resume"):
+//   checkpoint=<path>       training checkpoint file (atomic writes)
+//   checkpoint_every=<N>    write it every N trained images (0 = off)
+//   resume=<path>           resume an interrupted run from this checkpoint;
+//                           continues bitwise-identically (same config/seed)
+//   retries=<N>             BatchRunner retry budget for transient faults (2)
+//   faults=<spec>           arm deterministic fault injection, e.g.
+//                           "io.snapshot.write:count=1" (or env PSS_FAULTS;
+//                           see src/pss/robust/fault_injection.hpp)
 #include <cstdio>
 #include <filesystem>
 #include <optional>
@@ -42,6 +52,9 @@
 #include "pss/obs/manifest.hpp"
 #include "pss/obs/metrics.hpp"
 #include "pss/obs/trace.hpp"
+#include "pss/robust/checkpoint.hpp"
+#include "pss/robust/fault_injection.hpp"
+#include "pss/robust/synaptic_faults.hpp"
 
 using namespace pss;
 
@@ -112,7 +125,29 @@ ExperimentSpec spec_from_config(const Config& cfg) {
   spec.workers = static_cast<std::size_t>(workers);
   spec.batch_size = static_cast<std::size_t>(batch);
   spec.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  const auto checkpoint_every = cfg.get_int("checkpoint_every", 0);
+  PSS_REQUIRE(checkpoint_every >= 0, "checkpoint_every must be >= 0");
+  spec.train_checkpoint_every = static_cast<std::size_t>(checkpoint_every);
+  spec.train_checkpoint_path = cfg.get_string("checkpoint", "");
+  spec.resume_path = cfg.get_string("resume", "");
   return spec;
+}
+
+/// Applies companion-paper synaptic faults (stuck-at rails / perturbation)
+/// when any `synapse.*` fault point is armed. In train mode this damages the
+/// initial conductances (STDP may later rewrite stuck cells — the model is
+/// initial-state damage, not a persistent hardware clamp); in infer mode it
+/// damages the restored snapshot, matching the bench_fault_sweep protocol.
+void maybe_damage_synapses(WtaNetwork& net, const char* when) {
+  const robust::SynapticFaultPlan plan = robust::synaptic_plan_from_injector();
+  if (!plan.any()) return;
+  const robust::SynapticFaultSummary summary =
+      robust::apply_synaptic_faults(net.conductance(), plan);
+  std::printf("synaptic faults (%s): %llu stuck-lo, %llu stuck-hi, "
+              "%llu perturbed\n",
+              when, static_cast<unsigned long long>(summary.stuck_lo),
+              static_cast<unsigned long long>(summary.stuck_hi),
+              static_cast<unsigned long long>(summary.perturbed));
 }
 
 /// Emplaces a BatchRunner for the spec (left empty when the run is fully
@@ -133,8 +168,18 @@ int run_train(const Config& cfg, obs::RunManifest* manifest) {
   // Explicit pipeline so the trained network can be snapshotted.
   WtaNetwork net(spec.network_config());
   UnsupervisedTrainer trainer(net, spec.trainer_config());
+  if (!spec.resume_path.empty()) {
+    trainer.resume_from(robust::load_checkpoint(spec.resume_path));
+    std::printf("resumed from checkpoint: %s\n", spec.resume_path.c_str());
+  }
+  maybe_damage_synapses(net, "pre-train");
   std::optional<BatchRunner> runner;
   make_runner(spec, runner);
+  if (runner && cfg.has("retries")) {
+    const auto retries = cfg.get_int("retries", 2);
+    PSS_REQUIRE(retries >= 0, "retries must be >= 0");
+    runner->set_retry_budget(static_cast<std::size_t>(retries));
+  }
   const Dataset train_set = data.train.head(spec.train_images);
   const TrainingStats stats = spec.batch_size > 1
                                   ? trainer.train(train_set, *runner)
@@ -166,6 +211,15 @@ int run_train(const Config& cfg, obs::RunManifest* manifest) {
     manifest->results.emplace_back("train_wall_seconds", stats.wall_seconds);
     manifest->results.emplace_back(
         "train_post_spikes", static_cast<double>(stats.total_post_spikes));
+    const robust::CheckpointLineage& lin = trainer.lineage();
+    if (spec.train_checkpoint_every > 0 || lin.resumed) {
+      manifest->has_checkpoint = true;
+      manifest->resumed = lin.resumed;
+      manifest->checkpoint_run_id = lin.run_id;
+      manifest->checkpoint_parent_run_id = lin.parent_run_id;
+      manifest->checkpoint_count = lin.checkpoint_count;
+      manifest->presentation_cursor = lin.presentation_cursor;
+    }
   }
   if (runner && obs::metrics_enabled()) runner->publish_stats("batch");
 
@@ -196,6 +250,7 @@ int run_infer(const Config& cfg, obs::RunManifest* manifest) {
   net_cfg.input_channels = snap.input_channels;
   WtaNetwork net(net_cfg);
   snap.restore(net);
+  maybe_damage_synapses(net, "post-restore");
 
   const PixelFrequencyMap map(spec.trainer_config().f_min_hz,
                               spec.trainer_config().f_max_hz);
@@ -229,6 +284,14 @@ int main(int argc, char** argv) {
   try {
     const Config cfg = parse_cli(argc, argv);
     if (!cfg.get_bool("verbose", false)) set_log_level(LogLevel::kWarn);
+
+    if (cfg.has("faults")) {
+      robust::faults().arm_from_spec(cfg.get_string("faults", ""));
+    }
+    if (cfg.has("fault_seed")) {
+      robust::faults().set_seed(
+          static_cast<std::uint64_t>(cfg.get_int("fault_seed", 0)));
+    }
 
     const std::string trace_path = cfg.get_string("trace", "");
     const std::string metrics_path = cfg.get_string("metrics", "");

@@ -116,7 +116,33 @@ def validate_manifest(doc: dict, path: str) -> None:
     for name, value in results.items():
         expect(is_num(value), path, f"results[{name}]: not a number")
 
+    if "checkpoint" in doc:
+        validate_checkpoint_sidecar(doc["checkpoint"], path)
+
     validate_metrics_object(doc.get("metrics"), path, "metrics")
+
+
+def validate_checkpoint_sidecar(cp, path: str) -> None:
+    """Resume-lineage metadata written by checkpointing runs (optional)."""
+    expect(isinstance(cp, dict), path, "'checkpoint': not an object")
+    expect(isinstance(cp.get("resumed"), bool), path,
+           "checkpoint.resumed: not a boolean")
+    # Run ids are 64-bit values serialized as 0x-prefixed hex strings so they
+    # survive JSON number precision.
+    for key in ("run_id", "parent_run_id"):
+        value = cp.get(key)
+        expect(isinstance(value, str) and value.startswith("0x"), path,
+               f"checkpoint.{key}: not a 0x-prefixed hex string")
+        try:
+            int(value, 16)
+        except ValueError:
+            fail(path, f"checkpoint.{key}: not parseable as hex: {value!r}")
+    for key in ("checkpoint_count", "presentation_cursor"):
+        expect(isinstance(cp.get(key), int) and cp[key] >= 0, path,
+               f"checkpoint.{key}: not a non-negative integer")
+    if cp["resumed"]:
+        expect(int(cp["parent_run_id"], 16) != 0, path,
+               "checkpoint: resumed run must carry a non-zero parent_run_id")
 
 
 def validate_trace(doc: dict, path: str) -> None:
