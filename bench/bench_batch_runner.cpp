@@ -40,11 +40,13 @@ std::vector<std::size_t> parse_workers(const Config& args) {
   return workers;
 }
 
-WtaConfig bench_config(std::size_t neurons, std::uint64_t seed, bool fused) {
+WtaConfig bench_config(std::size_t neurons, std::uint64_t seed, bool fused,
+                       const std::string& backend) {
   WtaConfig cfg = WtaConfig::from_table1(LearningOption::kFloat32,
                                          StdpKind::kStochastic, neurons);
   cfg.seed = seed;
   cfg.fused_step = fused;
+  cfg.backend = backend;
   return cfg;
 }
 
@@ -65,6 +67,8 @@ int main(int argc, char** argv) {
     const std::uint64_t seed =
         static_cast<std::uint64_t>(args.get_int("seed", 9));
     const std::vector<std::size_t> worker_counts = parse_workers(args);
+    // Compute backend for every network in the sweep (backend=cpu|cpu_simd).
+    const std::string backend = args.get_string("backend", "cpu");
 
     const LabeledDataset data =
         bench::load_dataset("mnist", bench::Scale{}, seed);
@@ -91,7 +95,7 @@ int main(int argc, char** argv) {
           Accounting{"unfused + grain cutoff", false, Engine::kDefaultGrain}}) {
       Engine engine(2);
       engine.set_grain(acc.grain);
-      WtaNetwork net(bench_config(neurons, seed, acc.fused), &engine);
+      WtaNetwork net(bench_config(neurons, seed, acc.fused, backend), &engine);
       net.present(rates, t_ms, true);
       const double per_step =
           static_cast<double>(engine.launch_count()) / steps;
@@ -118,7 +122,7 @@ int main(int argc, char** argv) {
     std::vector<double> g_fused;
     std::vector<double> g_unfused;
     for (bool fused : {true, false}) {
-      WtaNetwork net(bench_config(neurons, seed, fused));
+      WtaNetwork net(bench_config(neurons, seed, fused, backend));
       UnsupervisedTrainer trainer(net, TrainerConfig{1.0, 22.0, t_ms});
       const TrainingStats stats = trainer.train(data.train.head(images));
       (fused ? fused_s : unfused_s) = stats.wall_seconds;
@@ -135,7 +139,7 @@ int main(int argc, char** argv) {
     // ---- 3. batched labelling + evaluation ------------------------------
     std::printf("\n[3] labelling + evaluation, %zu + %zu images\n", images,
                 images);
-    WtaNetwork trained(bench_config(neurons, seed, true));
+    WtaNetwork trained(bench_config(neurons, seed, true, backend));
     {
       UnsupervisedTrainer trainer(trained, TrainerConfig{1.0, 22.0, t_ms});
       trainer.train(data.train.head(images));
@@ -187,7 +191,7 @@ int main(int argc, char** argv) {
     TablePrinter training({"schedule", "workers", "seconds", "speedup"});
     double per_image_s = 0.0;
     {
-      WtaNetwork net(bench_config(neurons, seed, true));
+      WtaNetwork net(bench_config(neurons, seed, true, backend));
       UnsupervisedTrainer trainer(net, TrainerConfig{1.0, 22.0, t_ms});
       per_image_s = trainer.train(data.train.head(images)).wall_seconds;
       training.add_row(
@@ -197,7 +201,7 @@ int main(int argc, char** argv) {
     for (std::size_t w : worker_counts) {
       TrainerConfig tc{1.0, 22.0, t_ms};
       tc.batch_size = 8;
-      WtaNetwork net(bench_config(neurons, seed, true));
+      WtaNetwork net(bench_config(neurons, seed, true, backend));
       UnsupervisedTrainer trainer(net, tc);
       BatchRunner runner(w);
       const double s =

@@ -18,8 +18,12 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "pss/backend/backend.hpp"
+#include "pss/backend/kernels.hpp"
+#include "pss/backend/state_pool.hpp"
 #include "pss/common/rng.hpp"
 #include "pss/encoding/poisson_encoder.hpp"
 #include "pss/engine/launch.hpp"
@@ -31,6 +35,11 @@
 
 namespace pss {
 namespace {
+
+/// Benchmarks taking a backend argument map 0 -> cpu, 1 -> cpu_simd.
+const char* backend_arg_name(std::int64_t arg) {
+  return arg == 0 ? "cpu" : "cpu_simd";
+}
 
 void BM_PhiloxDraw(benchmark::State& state) {
   CounterRng rng(42, 7);
@@ -98,6 +107,85 @@ void BM_StdpRowUpdate(benchmark::State& state) {
   state.SetLabel(state.range(0) == 0 ? "deterministic" : "stochastic");
 }
 BENCHMARK(BM_StdpRowUpdate)->Arg(0)->Arg(1);
+
+// ---- backend kernel-table dispatch ----------------------------------------
+// The same two hot kernels measured through the pluggable backend seam
+// (registry lookup + kernel-table function pointer), per backend. Compare
+// against the direct-call benchmarks above to see the dispatch cost, and
+// across Arg(0)/Arg(1) for the cpu vs cpu_simd kernel difference
+// (bench_backend holds the authoritative cross-backend numbers).
+
+void BM_BackendFusedStep(benchmark::State& state) {
+  const char* name = backend_arg_name(state.range(0));
+  auto backend = make_backend(name);
+  StatePool pool(backend.get(), StatePool::Geometry{256, kImagePixels});
+  pool.set_g_bounds(0.0, 1.0);
+  SequentialRng init(7);
+  pool.init_g_uniform(0.2, 0.8, init, nullptr);
+  std::vector<ChannelIndex> active;
+  for (std::size_t c = 0; c < kImagePixels; c += 3) {
+    active.push_back(static_cast<ChannelIndex>(c));
+  }
+
+  LifFusedStepArgs args;
+  args.params = paper_lif_parameters();
+  args.step.state =
+      NeuronStateView{pool.membrane(), pool.recovery(), pool.last_spike(),
+                      pool.inhibited_until(), pool.spiked()};
+  args.step.currents = pool.currents();
+  args.step.decay_factor = 0.8;
+  args.step.conductance = std::as_const(pool).g();
+  args.step.pre_count = pool.channels();
+  args.step.active_pre = active;
+  args.step.amplitude = 3.0;
+  args.step.dt = 0.5;
+  TimeMs t = 0.0;
+  for (auto _ : state) {
+    t += 0.5;
+    args.step.now = t;
+    backend->kernels().lif_step_fused(backend->engine(), args);
+    benchmark::DoNotOptimize(pool.currents().data());
+  }
+  state.SetLabel(name);
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_BackendFusedStep)->Arg(0)->Arg(1);
+
+void BM_BackendStdpRow(benchmark::State& state) {
+  const char* name = backend_arg_name(state.range(0));
+  auto backend = make_backend(name);
+  StatePool pool(backend.get(), StatePool::Geometry{8, kImagePixels});
+  pool.set_g_bounds(0.0, 1.0);
+  SequentialRng init(7);
+  pool.init_g_uniform(0.2, 0.8, init, nullptr);
+  auto last_pre = pool.last_pre_spike();
+  for (std::size_t c = 0; c < pool.channels(); ++c) {
+    last_pre[c] = (c % 2 == 0) ? kNeverSpiked
+                               : 0.5 * static_cast<double>((c * 13) % 80);
+  }
+  const StdpUpdater updater{StdpUpdaterConfig{}};
+  CounterRng rng(3, 9);
+
+  StdpRowArgs args;
+  args.updater = &updater;
+  args.last_pre_spike = std::as_const(pool).last_pre_spike();
+  args.rng = &rng;
+  std::uint64_t event = 0;
+  for (auto _ : state) {
+    ++event;
+    args.row = pool.g_row(static_cast<NeuronIndex>(event % 8));
+    args.t_post = 40.0 + static_cast<double>(event);
+    args.counter_base =
+        event * static_cast<std::uint64_t>(kImagePixels) *
+        StdpUpdater::kDrawsPerEvent;
+    backend->kernels().stdp_row(backend->engine(), args);
+    benchmark::DoNotOptimize(args.row.data());
+  }
+  state.SetLabel(name);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(kImagePixels));
+}
+BENCHMARK(BM_BackendStdpRow)->Arg(0)->Arg(1);
 
 void BM_PoissonEncoderStep(benchmark::State& state) {
   PoissonEncoder enc(kImagePixels, 5);

@@ -10,6 +10,7 @@
 //   maps=out/mnist_maps.pgm   curve=out/mnist_error.csv  checkpoints=4
 //   workers=1 (0 = all cores; image-parallel labelling/eval, identical
 //   results)   batch=1 (> 1 = minibatch STDP training)
+//   backend=cpu|cpu_simd (cpu)  compute backend (README "Compute backends")
 //   metrics=<path.json>  trace=<path.json>  manifest=<path.json>
 //   (observability sidecars — see README "Observability")
 //   checkpoint=<path> checkpoint_every=<N> resume=<path> faults=<spec>
@@ -31,50 +32,23 @@
 #include "pss/obs/manifest.hpp"
 #include "pss/obs/metrics.hpp"
 #include "pss/obs/trace.hpp"
-#include "pss/robust/fault_injection.hpp"
+#include "tools/run_options.hpp"
 
 using namespace pss;
 
-namespace {
-
-LearningOption parse_option(const std::string& name) {
-  if (name == "fp32") return LearningOption::kFloat32;
-  if (name == "16bit") return LearningOption::k16Bit;
-  if (name == "8bit") return LearningOption::k8Bit;
-  if (name == "4bit") return LearningOption::k4Bit;
-  if (name == "2bit") return LearningOption::k2Bit;
-  if (name == "highfreq") return LearningOption::kHighFrequency;
-  throw Error("unknown option: " + name);
-}
-
-RoundingMode parse_rounding(const std::string& name) {
-  if (name == "nearest") return RoundingMode::kNearest;
-  if (name == "trunc") return RoundingMode::kTruncate;
-  if (name == "stochastic") return RoundingMode::kStochastic;
-  throw Error("unknown rounding: " + name);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Config args = Config::from_args(argc, argv);
     if (!args.get_bool("verbose", false)) set_log_level(LogLevel::kWarn);
 
-    if (args.has("faults")) {
-      robust::faults().arm_from_spec(args.get_string("faults", ""));
-    }
+    tools::arm_faults_from_config(args);
 
-    const std::string trace_path = args.get_string("trace", "");
-    const std::string metrics_path = args.get_string("metrics", "");
-    const std::string manifest_path = args.get_string("manifest", "");
-    const bool want_obs =
-        !trace_path.empty() || !metrics_path.empty() || !manifest_path.empty();
-    if (want_obs) obs::set_metrics_enabled(true);
-    if (!trace_path.empty()) {
-      obs::set_trace_enabled(true);
-      obs::reset_trace();
-    }
+    const tools::ObsPaths obs_paths = tools::enable_observability(args);
+    const std::string& trace_path = obs_paths.trace;
+    const std::string& metrics_path = obs_paths.metrics;
+    const std::string& manifest_path = obs_paths.manifest;
+    const bool want_obs = obs_paths.any();
     const std::uint64_t wall_t0 = obs::monotonic_ns();
 
     LabeledDataset data;
@@ -90,31 +64,11 @@ int main(int argc, char** argv) {
       data = make_synthetic_digits(cfg);
     }
 
-    ExperimentSpec spec;
-    spec.name = "mnist_unsupervised";
-    spec.kind = args.get_string("kind", "stochastic") == "deterministic"
-                    ? StdpKind::kDeterministic
-                    : StdpKind::kStochastic;
-    spec.option = parse_option(args.get_string("option", "fp32"));
-    spec.rounding = parse_rounding(args.get_string("rounding", "nearest"));
-    spec.neuron_count = static_cast<std::size_t>(args.get_int("neurons", 100));
-    spec.train_images = static_cast<std::size_t>(args.get_int("train", 400));
-    spec.label_images = static_cast<std::size_t>(args.get_int("label", 250));
-    spec.eval_images = static_cast<std::size_t>(args.get_int("eval", 250));
-    spec.checkpoints = static_cast<std::size_t>(args.get_int("checkpoints", 4));
-    const auto workers = args.get_int("workers", 1);
-    const auto batch = args.get_int("batch", 1);
-    PSS_REQUIRE(workers >= 0, "workers must be >= 0 (0 = all cores)");
-    PSS_REQUIRE(batch >= 1, "batch must be >= 1");
-    spec.workers = static_cast<std::size_t>(workers);
-    spec.batch_size = static_cast<std::size_t>(batch);
-    spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-    const auto checkpoint_every = args.get_int("checkpoint_every", 0);
-    PSS_REQUIRE(checkpoint_every >= 0, "checkpoint_every must be >= 0");
-    spec.train_checkpoint_every =
-        static_cast<std::size_t>(checkpoint_every);
-    spec.train_checkpoint_path = args.get_string("checkpoint", "");
-    spec.resume_path = args.get_string("resume", "");
+    ExperimentSpec spec =
+        tools::spec_from_config(args, /*default_name=*/"mnist_unsupervised");
+    // This demo defaults to four mid-training error-curve checkpoints; the
+    // shared parser's default is 0 (final evaluation only).
+    if (!args.has("checkpoints")) spec.checkpoints = 4;
     if (const auto parent =
             std::filesystem::path(spec.train_checkpoint_path).parent_path();
         !parent.empty()) {

@@ -1,0 +1,137 @@
+#include "pss/backend/backend.hpp"
+
+#include <cstring>
+#include <functional>
+#include <new>
+
+#include "pss/backend/kernels.hpp"
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+namespace {
+
+/// CPU backend: host memory, synchronous launches on the wrapped Engine.
+/// Both registered CPU backends are instances of this class — they differ
+/// only in which kernel table they dispatch.
+class CpuBackend final : public Backend {
+ public:
+  CpuBackend(const char* name, Engine* engine, const KernelTable& table)
+      : name_(name), engine_(engine ? engine : &default_engine()),
+        table_(&table) {}
+
+  const char* name() const override { return name_; }
+  Engine& engine() const override { return *engine_; }
+
+  void* alloc_bytes(std::size_t bytes) override {
+    void* p = ::operator new(bytes);
+    std::memset(p, 0, bytes);
+    return p;
+  }
+  void free_bytes(void* ptr, std::size_t) noexcept override {
+    ::operator delete(ptr);
+  }
+  void copy_to_device(void* dst, const void* src,
+                      std::size_t bytes) override {
+    std::memcpy(dst, src, bytes);
+  }
+  void copy_to_host(void* dst, const void* src, std::size_t bytes) override {
+    std::memcpy(dst, src, bytes);
+  }
+
+  /// Engine::launch blocks until the grid completes, so there is never
+  /// outstanding work to wait for.
+  void synchronize() override {}
+
+  const KernelTable& kernels() const override { return *table_; }
+
+ private:
+  const char* name_;
+  Engine* engine_;
+  const KernelTable* table_;
+};
+
+struct BackendEntry {
+  BackendInfo info;
+  std::function<std::unique_ptr<Backend>(Engine*)> factory;  ///< may throw
+};
+
+const std::vector<BackendEntry>& entries() {
+  static const std::vector<BackendEntry> table = [] {
+    std::vector<BackendEntry> e;
+    e.push_back({{"cpu",
+                  "reference Engine/ThreadPool kernels (bitwise-identical "
+                  "to the pre-backend code)",
+                  true},
+                 [](Engine* engine) -> std::unique_ptr<Backend> {
+                   return std::make_unique<CpuBackend>("cpu", engine,
+                                                       cpu_kernel_table());
+                 }});
+    e.push_back({{"cpu_simd",
+                  "cpu + vectorized fused-step and STDP-row kernels "
+                  "(STDP draws bitwise-identical; fused step reassociates "
+                  "the row sum, ULP-level differences)",
+                  true},
+                 [](Engine* engine) -> std::unique_ptr<Backend> {
+                   return std::make_unique<CpuBackend>(
+                       "cpu_simd", engine, cpu_simd_kernel_table());
+                 }});
+    e.push_back({{"cuda", "CUDA device backend (stub, not yet implemented)",
+                  false},
+                 [](Engine*) -> std::unique_ptr<Backend> {
+                   throw Error(
+                       "backend 'cuda' is a stub: CUDA support is not built "
+                       "into this binary. Reconfigure with "
+                       "-DPSS_ENABLE_CUDA=ON to opt in (currently fails at "
+                       "configure time with a clear message — the kernels "
+                       "are not implemented yet); use backend=cpu or "
+                       "backend=cpu_simd meanwhile.");
+                 }});
+    return e;
+  }();
+  return table;
+}
+
+}  // namespace
+
+const std::vector<BackendInfo>& backend_registry() {
+  static const std::vector<BackendInfo> infos = [] {
+    std::vector<BackendInfo> v;
+    for (const auto& e : entries()) v.push_back(e.info);
+    return v;
+  }();
+  return infos;
+}
+
+std::vector<std::string> backend_names() {
+  std::vector<std::string> names;
+  for (const auto& e : entries()) names.push_back(e.info.name);
+  return names;
+}
+
+bool backend_available(const std::string& name) {
+  for (const auto& e : entries()) {
+    if (e.info.name == name) return e.info.available;
+  }
+  return false;
+}
+
+std::unique_ptr<Backend> make_backend(const std::string& name,
+                                      Engine* engine) {
+  for (const auto& e : entries()) {
+    if (e.info.name == name) return e.factory(engine);
+  }
+  std::string known;
+  for (const auto& e : entries()) {
+    if (!known.empty()) known += "|";
+    known += e.info.name;
+  }
+  throw Error("unknown backend '" + name + "' (known: " + known + ")");
+}
+
+Backend& default_backend() {
+  static CpuBackend backend("cpu", &default_engine(), cpu_kernel_table());
+  return backend;
+}
+
+}  // namespace pss

@@ -1,0 +1,104 @@
+// Pluggable compute backend — the device seam of the paper's architecture.
+//
+// ParallelSpikeSim maps every hot loop (encode, current accumulation, neuron
+// update, STDP row update) onto GPU kernels. Our Engine emulates the CUDA
+// launch model on a thread pool; this layer makes the *dispatch* pluggable so
+// alternative implementations of the same kernels (vectorized CPU today, a
+// real CUDA backend later) can be swapped behind one interface:
+//
+//   Backend  — buffer alloc/copy (the cudaMalloc/cudaMemcpy seam),
+//              stream-ordered kernel enqueue via a KernelTable, synchronize.
+//   Registry — backends are constructed by name ("cpu", "cpu_simd"; "cuda"
+//              is a stub gated behind the PSS_ENABLE_CUDA CMake option).
+//
+// Rule: new hot-path kernels must be *registered* — added to the KernelTable
+// and implemented per backend — never inlined as ad-hoc Engine::launch
+// lambdas at call sites. The table is the single place compute is dispatched
+// from (see DESIGN.md "Compute backends").
+//
+// Contract: the `cpu` backend wraps the existing Engine/ThreadPool kernels
+// unchanged and is bitwise-identical to the pre-backend code at any worker
+// count. `cpu_simd` replaces the fused-step and STDP-row kernels with
+// vectorized variants; the STDP row is still bitwise-identical (batched
+// Philox produces the same draws), while the fused step reassociates the
+// row-gather sum (documented ULP-level differences; see kernels_simd.cpp).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pss/engine/launch.hpp"
+
+namespace pss {
+
+struct KernelTable;
+
+/// Abstract compute device. On CPU backends, "device" buffers live in host
+/// memory and kernel enqueues run synchronously on the wrapped Engine (the
+/// stream is the Engine itself); a GPU backend would return device pointers
+/// and enqueue asynchronously, with synchronize() as the stream barrier.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  virtual const char* name() const = 0;
+
+  /// The launch engine this backend enqueues kernels on.
+  virtual Engine& engine() const = 0;
+
+  /// Device buffer management (the cudaMalloc/cudaFree seam). Returned
+  /// memory is zero-filled. CPU backends hand out host pointers.
+  virtual void* alloc_bytes(std::size_t bytes) = 0;
+  virtual void free_bytes(void* ptr, std::size_t bytes) noexcept = 0;
+
+  /// Host<->device transfer (the cudaMemcpy seam; plain memcpy on CPU).
+  virtual void copy_to_device(void* dst, const void* src,
+                              std::size_t bytes) = 0;
+  virtual void copy_to_host(void* dst, const void* src, std::size_t bytes) = 0;
+
+  /// Blocks until all enqueued kernels have completed. No-op on CPU backends
+  /// (Engine::launch returns only after the grid finishes).
+  virtual void synchronize() = 0;
+
+  /// The registered kernel implementations this backend dispatches.
+  virtual const KernelTable& kernels() const = 0;
+
+ protected:
+  Backend() = default;
+};
+
+/// One registry entry. `available` is false for stubs that are registered by
+/// name (so error messages can say how to enable them) but cannot be built —
+/// currently the `cuda` entry, gated behind -DPSS_ENABLE_CUDA.
+struct BackendInfo {
+  std::string name;
+  std::string description;
+  bool available = true;
+};
+
+/// All registered backends, in registration order (cpu first — the default).
+const std::vector<BackendInfo>& backend_registry();
+
+/// Names of all registered backends (including unavailable stubs).
+std::vector<std::string> backend_names();
+
+/// True if `name` is registered and constructible.
+bool backend_available(const std::string& name);
+
+/// Constructs a backend by name, bound to `engine` (nullptr = the process
+/// default engine). Throws pss::Error for unknown names (listing the valid
+/// ones) and for registered-but-unavailable stubs ("cuda" explains the
+/// PSS_ENABLE_CUDA gate).
+std::unique_ptr<Backend> make_backend(const std::string& name,
+                                      Engine* engine = nullptr);
+
+/// Process-wide `cpu` backend over default_engine(), for components
+/// constructed without an explicit backend (tests, benches, standalone use).
+Backend& default_backend();
+
+}  // namespace pss

@@ -1,0 +1,161 @@
+// Registered kernel descriptors — the five hot loops of the simulator
+// (paper Sec. III-A) expressed as backend-dispatchable entry points:
+//
+//   1. poisson/regular encode      — input spike-train generation
+//   2. current decay + accumulate  — eq. 3 (the standalone, unfused form)
+//   3. LIF / Izhikevich step       — neuron update, plain and fused variants
+//   4. WTA inhibition scan         — Fig. 3's second-layer reflex
+//   5. STDP row update             — deterministic/stochastic learning rule
+//
+// Each kernel is a plain function pointer taking the Engine to launch on and
+// an argument struct of spans into StatePool buffers. Argument structs are
+// views: they own nothing and must not outlive the pool.
+//
+// Rule: new hot-path kernels are added HERE (a new table slot + per-backend
+// implementations), never as inline Engine::launch lambdas at call sites.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+#include "pss/engine/launch.hpp"
+#include "pss/neuron/izhikevich.hpp"
+#include "pss/neuron/lif.hpp"
+#include "pss/synapse/stdp_updater.hpp"
+
+namespace pss {
+
+/// SoA views of one population's per-neuron state (StatePool sections).
+struct NeuronStateView {
+  std::span<double> v;                ///< membrane potential
+  std::span<double> u;                ///< Izhikevich recovery (empty for LIF)
+  std::span<TimeMs> last_spike;
+  std::span<TimeMs> inhibited_until;
+  std::span<std::uint8_t> spiked;     ///< per-neuron spike flag (out)
+};
+
+/// Plain neuron step: externally computed input currents, state update only.
+struct NeuronStepArgs {
+  NeuronStateView state;
+  std::span<const double> input_current;
+  std::span<const double> threshold_offset;  ///< empty = no homeostasis
+  TimeMs now = 0.0;
+  TimeMs dt = 0.0;
+};
+
+/// Fused presentation step: current decay + synaptic accumulation (eq. 3) +
+/// neuron update in one launch. `currents` is updated in place:
+///   I[i] = I[i]·decay + amplitude·Σ_{pre ∈ active} G[i·pre_count + pre]
+/// (decay_factor == 0 clears instead).
+struct FusedStepArgs {
+  NeuronStateView state;
+  std::span<double> currents;
+  double decay_factor = 0.0;
+  std::span<const double> conductance;  ///< post-major, size n·pre_count
+  std::size_t pre_count = 0;
+  std::span<const ChannelIndex> active_pre;
+  double amplitude = 0.0;
+  std::span<const double> threshold_offset;
+  TimeMs now = 0.0;
+  TimeMs dt = 0.0;
+};
+
+struct LifStepArgs {
+  LifParameters params;
+  NeuronStepArgs step;
+};
+
+struct LifFusedStepArgs {
+  LifParameters params;
+  FusedStepArgs step;
+};
+
+struct IzhikevichStepArgs {
+  IzhikevichParameters params;
+  NeuronStepArgs step;
+};
+
+struct IzhikevichFusedStepArgs {
+  IzhikevichParameters params;
+  FusedStepArgs step;
+};
+
+/// Standalone current-accumulation kernel (eq. 3), used by the unfused path:
+///   I[post] += amplitude · Σ_{pre ∈ active} G[post·pre_count + pre].
+struct CurrentAccumulateArgs {
+  std::span<const double> conductance;
+  std::size_t pre_count = 0;
+  std::span<const ChannelIndex> active_pre;
+  double amplitude = 0.0;
+  std::span<double> currents;
+};
+
+/// WTA inhibition scan: extend every neuron's inhibition window to `until`,
+/// except the winner's (never shortens an existing window).
+struct InhibitScanArgs {
+  std::span<TimeMs> inhibited_until;
+  NeuronIndex winner = 0;
+  TimeMs until = 0.0;
+};
+
+/// Poisson encode: emit the channels (from the nonzero-rate candidate list)
+/// that spike at `step` into *active, cleared first and in ascending channel
+/// order. Channel c spikes with p = rates_hz[c]·dt·1e-3, drawn from
+/// rng->fork(c) at counter (presentation_base | step).
+struct PoissonEncodeArgs {
+  const CounterRng* rng = nullptr;
+  std::span<const double> rates_hz;
+  std::span<const ChannelIndex> channels;  ///< candidates (rate > 0)
+  std::uint64_t presentation_base = 0;     ///< presentation_index << 32
+  StepIndex step = 0;
+  TimeMs dt = 0.0;
+  std::vector<ChannelIndex>* active = nullptr;
+};
+
+/// Regular (clock-like) encode over all channels; see RegularEncoder.
+struct RegularEncodeArgs {
+  std::span<const double> rates_hz;
+  std::span<const double> phase;  ///< per-channel phase in [0, 1)
+  StepIndex step = 0;
+  TimeMs dt = 0.0;
+  std::vector<ChannelIndex>* active = nullptr;
+};
+
+/// STDP row update at a post spike: one logical thread per afferent synapse
+/// of the winner's conductance row. Draw indices derive from counter_base so
+/// results are schedule-independent (3 draws per synapse).
+struct StdpRowArgs {
+  const StdpUpdater* updater = nullptr;
+  std::span<double> row;                 ///< winner's conductance row
+  std::span<const TimeMs> last_pre_spike;
+  TimeMs t_post = 0.0;
+  const CounterRng* rng = nullptr;
+  std::uint64_t counter_base = 0;
+};
+
+/// The dispatch table: one entry per registered kernel, filled per backend.
+struct KernelTable {
+  void (*poisson_encode)(Engine&, const PoissonEncodeArgs&) = nullptr;
+  void (*regular_encode)(Engine&, const RegularEncodeArgs&) = nullptr;
+  void (*current_accumulate)(Engine&, const CurrentAccumulateArgs&) = nullptr;
+  void (*lif_step)(Engine&, const LifStepArgs&) = nullptr;
+  void (*lif_step_fused)(Engine&, const LifFusedStepArgs&) = nullptr;
+  void (*izhikevich_step)(Engine&, const IzhikevichStepArgs&) = nullptr;
+  void (*izhikevich_step_fused)(Engine&,
+                                const IzhikevichFusedStepArgs&) = nullptr;
+  void (*inhibit_scan)(Engine&, const InhibitScanArgs&) = nullptr;
+  void (*stdp_row)(Engine&, const StdpRowArgs&) = nullptr;
+};
+
+/// Reference table: the pre-backend Engine::launch kernel bodies, moved
+/// verbatim (same launch tags, same floating-point operation order —
+/// bitwise-identical results, asserted by tests/test_backend.cpp).
+const KernelTable& cpu_kernel_table();
+
+/// cpu + vectorized fused-step and STDP-row kernels (see kernels_simd.cpp).
+const KernelTable& cpu_simd_kernel_table();
+
+}  // namespace pss

@@ -1,0 +1,76 @@
+#include "pss/backend/state_pool.hpp"
+
+#include <algorithm>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+StatePool::StatePool(Backend* backend, Geometry geometry)
+    : backend_(backend ? backend : &default_backend()),
+      geometry_(geometry),
+      membrane_(backend_, geometry.neurons, 0.0),
+      recovery_(backend_, geometry.neurons, 0.0),
+      last_spike_(backend_, geometry.neurons, kNeverSpiked),
+      inhibited_until_(backend_, geometry.neurons, -1.0),
+      spiked_(backend_, geometry.neurons, std::uint8_t{0}),
+      currents_(backend_, geometry.neurons, 0.0),
+      rates_(backend_, geometry.channels, 0.0),
+      last_pre_spike_(backend_, geometry.channels, kNeverSpiked),
+      g_(backend_, geometry.neurons * geometry.channels, 0.0) {
+  PSS_REQUIRE(geometry.neurons > 0, "state pool needs at least one neuron");
+}
+
+void StatePool::set_g_bounds(double g_min, double g_max) {
+  PSS_REQUIRE(g_max > g_min, "conductance range must be non-empty");
+  g_min_ = g_min;
+  g_max_ = g_max;
+  learn_hi_ = g_max;
+  g_.fill(g_min);
+}
+
+void StatePool::set_learn_cap(double cap) {
+  learn_hi_ = std::min(g_max_, cap);
+}
+
+std::span<double> StatePool::g_row(NeuronIndex post) {
+  PSS_REQUIRE(post < geometry_.neurons, "post index out of range");
+  return g_.span().subspan(
+      static_cast<std::size_t>(post) * geometry_.channels, geometry_.channels);
+}
+
+std::span<const double> StatePool::g_row(NeuronIndex post) const {
+  PSS_REQUIRE(post < geometry_.neurons, "post index out of range");
+  return g_.span().subspan(
+      static_cast<std::size_t>(post) * geometry_.channels, geometry_.channels);
+}
+
+double StatePool::clamp_g(double value) const {
+  return std::clamp(value, g_min_, g_max_);
+}
+
+void StatePool::load_g(std::span<const double> values, bool clamp) {
+  PSS_REQUIRE(values.size() == g_.size(),
+              "conductance load size must equal synapse count");
+  auto dst = g_.span();
+  if (clamp) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      dst[i] = clamp_g(values[i]);
+    }
+  } else {
+    backend_->copy_to_device(dst.data(), values.data(),
+                             values.size() * sizeof(double));
+  }
+}
+
+void StatePool::init_g_uniform(double lo, double hi, SequentialRng& rng,
+                               const Quantizer* quantizer) {
+  PSS_REQUIRE(hi >= lo, "invalid init range");
+  for (auto& value : g_.span()) {
+    double v = clamp_g(rng.uniform(lo, hi));
+    if (quantizer) v = quantizer->quantize(v, rng.uniform());
+    value = v;
+  }
+}
+
+}  // namespace pss

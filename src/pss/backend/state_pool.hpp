@@ -1,0 +1,179 @@
+// StatePool — the per-presentation hot state as structure-of-arrays buffers
+// owned by a Backend.
+//
+// Everything the five hot kernels touch lives here, allocated through the
+// backend's buffer seam (host memory on CPU backends; device memory on a
+// future CUDA backend):
+//
+//   per neuron   membrane v, recovery u (Izhikevich), last-spike time,
+//                inhibition deadline, spike flag, synaptic current
+//   per channel  encoder rate, last pre-spike time
+//   per synapse  conductance G (post-major: row(post) is contiguous)
+//
+// One pool is shared by a WtaNetwork and all its components; standalone
+// components (tests, benches) create their own. The pool also owns the ONE
+// bounds-checked conductance-row accessor (g_row) and the single clamp /
+// bulk-load path — the STDP updaters, checkpoint restore and trainer merge
+// all route through it instead of keeping private copies of the bounds
+// logic.
+#pragma once
+
+#include <cstring>
+#include <span>
+
+#include "pss/backend/backend.hpp"
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+#include "pss/fixedpoint/quantizer.hpp"
+
+namespace pss {
+
+/// A typed device buffer allocated through a Backend (the device_vector
+/// analogue for pool sections). Move-only; frees on destruction.
+template <typename T>
+class PoolBuffer {
+ public:
+  PoolBuffer() = default;
+  PoolBuffer(Backend* backend, std::size_t count, T fill)
+      : backend_(backend), size_(count) {
+    if (count == 0) return;
+    data_ = static_cast<T*>(backend_->alloc_bytes(count * sizeof(T)));
+    for (std::size_t i = 0; i < count; ++i) data_[i] = fill;
+  }
+  ~PoolBuffer() { release(); }
+
+  PoolBuffer(const PoolBuffer&) = delete;
+  PoolBuffer& operator=(const PoolBuffer&) = delete;
+  PoolBuffer(PoolBuffer&& other) noexcept { swap(other); }
+  PoolBuffer& operator=(PoolBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+
+  std::size_t size() const { return size_; }
+  std::span<T> span() { return {data_, size_}; }
+  std::span<const T> span() const { return {data_, size_}; }
+
+  void fill(T value) {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = value;
+  }
+
+ private:
+  void release() noexcept {
+    if (data_) backend_->free_bytes(data_, size_ * sizeof(T));
+    data_ = nullptr;
+    size_ = 0;
+  }
+  void swap(PoolBuffer& other) noexcept {
+    std::swap(backend_, other.backend_);
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+
+  Backend* backend_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class StatePool {
+ public:
+  struct Geometry {
+    std::size_t neurons = 1;
+    std::size_t channels = 0;  ///< 0 = no encoder/synapse sections
+  };
+
+  StatePool(Backend* backend, Geometry geometry);
+
+  StatePool(const StatePool&) = delete;
+  StatePool& operator=(const StatePool&) = delete;
+
+  Backend& backend() const { return *backend_; }
+  Engine& engine() const { return backend_->engine(); }
+  std::size_t neurons() const { return geometry_.neurons; }
+  std::size_t channels() const { return geometry_.channels; }
+
+  // --- per-neuron sections -------------------------------------------------
+  std::span<double> membrane() { return membrane_.span(); }
+  std::span<const double> membrane() const { return membrane_.span(); }
+  std::span<double> recovery() { return recovery_.span(); }
+  std::span<const double> recovery() const { return recovery_.span(); }
+  std::span<TimeMs> last_spike() { return last_spike_.span(); }
+  std::span<const TimeMs> last_spike() const { return last_spike_.span(); }
+  std::span<TimeMs> inhibited_until() { return inhibited_until_.span(); }
+  std::span<const TimeMs> inhibited_until() const {
+    return inhibited_until_.span();
+  }
+  std::span<std::uint8_t> spiked() { return spiked_.span(); }
+  std::span<double> currents() { return currents_.span(); }
+  std::span<const double> currents() const { return currents_.span(); }
+
+  // --- per-channel sections ------------------------------------------------
+  std::span<double> rates() { return rates_.span(); }
+  std::span<const double> rates() const { return rates_.span(); }
+  std::span<TimeMs> last_pre_spike() { return last_pre_spike_.span(); }
+  std::span<const TimeMs> last_pre_spike() const {
+    return last_pre_spike_.span();
+  }
+
+  // --- conductance section (neurons × channels, post-major) ---------------
+  /// Sets the representable range [g_min, g_max] and resets the learning cap
+  /// to g_max. Must be called before any conductance access.
+  void set_g_bounds(double g_min, double g_max);
+
+  /// Caps the range learning may reach (min(g_max, cap)) — the quantizer's
+  /// max representable value when a fixed-point format is active.
+  void set_learn_cap(double cap);
+
+  double g_min() const { return g_min_; }
+  double g_max() const { return g_max_; }
+  /// The range STDP-learned values are clamped to: [g_min, min(g_max, cap)].
+  double learn_lo() const { return g_min_; }
+  double learn_hi() const { return learn_hi_; }
+
+  std::span<double> g() { return g_.span(); }
+  std::span<const double> g() const { return g_.span(); }
+
+  /// THE conductance-row accessor: bounds-checked contiguous row of one
+  /// post-neuron. Every consumer (STDP kernels, checkpoint restore, fused
+  /// step, map export) goes through here — do not hand-compute offsets.
+  std::span<double> g_row(NeuronIndex post);
+  std::span<const double> g_row(NeuronIndex post) const;
+
+  /// Clamps a value to the representable range [g_min, g_max].
+  double clamp_g(double value) const;
+
+  /// Bulk conductance load (checkpoint restore / replica sync / snapshot).
+  /// `clamp` routes every element through clamp_g — the one place restore
+  /// bounds handling lives.
+  void load_g(std::span<const double> values, bool clamp);
+
+  /// Uniform-random conductance init, clamped to the range and optionally
+  /// snapped to a quantizer grid (low-precision learning starts from
+  /// representable state). The single init/quantize site.
+  void init_g_uniform(double lo, double hi, SequentialRng& rng,
+                      const Quantizer* quantizer);
+
+ private:
+  Backend* backend_;
+  Geometry geometry_;
+
+  PoolBuffer<double> membrane_;
+  PoolBuffer<double> recovery_;
+  PoolBuffer<TimeMs> last_spike_;
+  PoolBuffer<TimeMs> inhibited_until_;
+  PoolBuffer<std::uint8_t> spiked_;
+  PoolBuffer<double> currents_;
+
+  PoolBuffer<double> rates_;
+  PoolBuffer<TimeMs> last_pre_spike_;
+
+  PoolBuffer<double> g_;
+  double g_min_ = 0.0;
+  double g_max_ = 1.0;
+  double learn_hi_ = 1.0;
+};
+
+}  // namespace pss

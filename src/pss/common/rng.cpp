@@ -59,6 +59,53 @@ double CounterRng::uniform(std::uint64_t counter) const {
   return bits(counter) * (1.0 / 4294967296.0);
 }
 
+void CounterRng::uniform_many(std::uint64_t first, std::span<double> out) const {
+  uniform_many(first, 1, out);
+}
+
+void CounterRng::uniform_many(std::uint64_t first, std::uint64_t stride,
+                              std::span<double> out) const {
+  const std::uint32_t s0 = static_cast<std::uint32_t>(stream_);
+  const std::uint32_t s1 = static_cast<std::uint32_t>(stream_ >> 32);
+  const std::uint32_t k0 = static_cast<std::uint32_t>(seed_);
+  const std::uint32_t k1 = static_cast<std::uint32_t>(seed_ >> 32);
+
+  constexpr std::size_t kLanes = 8;
+  std::size_t i = 0;
+  for (; i + kLanes <= out.size(); i += kLanes) {
+    // Interleaved lanes: each runs the same key schedule, so the key update
+    // stays scalar while the per-lane round bodies form independent chains.
+    std::uint32_t c0[kLanes], c1[kLanes], c2[kLanes], c3[kLanes];
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      const std::uint64_t counter = first + (i + lane) * stride;
+      c0[lane] = static_cast<std::uint32_t>(counter);
+      c1[lane] = static_cast<std::uint32_t>(counter >> 32);
+      c2[lane] = s0;
+      c3[lane] = s1;
+    }
+    std::uint32_t key0 = k0;
+    std::uint32_t key1 = k1;
+    for (int r = 0; r < 10; ++r) {
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        const std::uint32_t hi0 = mulhi(kPhiloxM0, c0[lane]);
+        const std::uint32_t lo0 = mullo(kPhiloxM0, c0[lane]);
+        const std::uint32_t hi1 = mulhi(kPhiloxM1, c2[lane]);
+        const std::uint32_t lo1 = mullo(kPhiloxM1, c2[lane]);
+        c0[lane] = hi1 ^ c1[lane] ^ key0;
+        c1[lane] = lo1;
+        c2[lane] = hi0 ^ c3[lane] ^ key1;
+        c3[lane] = lo0;
+      }
+      key0 += kPhiloxW0;
+      key1 += kPhiloxW1;
+    }
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      out[i + lane] = c0[lane] * (1.0 / 4294967296.0);
+    }
+  }
+  for (; i < out.size(); ++i) out[i] = uniform(first + i * stride);
+}
+
 double CounterRng::uniform(std::uint64_t counter, double lo, double hi) const {
   return lo + (hi - lo) * uniform(counter);
 }

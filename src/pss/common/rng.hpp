@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 namespace pss {
 
@@ -37,6 +38,21 @@ class CounterRng {
 
   /// Uniform double in [0, 1) for event index `counter`.
   double uniform(std::uint64_t counter) const;
+
+  /// Bulk draw: out[i] = uniform(first + i), bitwise-identical to the
+  /// per-call form. Evaluates Philox blocks in interleaved groups so the
+  /// ten-round dependency chain pipelines across lanes (and auto-vectorizes),
+  /// which is several times faster than n scalar calls.
+  void uniform_many(std::uint64_t first, std::span<double> out) const;
+
+  /// Strided bulk draw: out[i] = uniform(first + i * stride), bitwise
+  /// identical to the per-call form. Lets callers that consume one slot out
+  /// of a fixed-size per-event draw group (e.g. the STDP row kernel's
+  /// kDrawsPerEvent layout) pull just that slot without paying Philox for
+  /// the unused counters — indexed draws are independent, so skipping
+  /// counters never changes the values drawn at the others.
+  void uniform_many(std::uint64_t first, std::uint64_t stride,
+                    std::span<double> out) const;
 
   /// Uniform double in [lo, hi) for event index `counter`.
   double uniform(std::uint64_t counter, double lo, double hi) const;

@@ -1,23 +1,47 @@
 #include "pss/encoding/poisson_encoder.hpp"
 
+#include <algorithm>
+#include <utility>
+
+#include "pss/backend/backend.hpp"
+#include "pss/backend/kernels.hpp"
+#include "pss/backend/state_pool.hpp"
 #include "pss/common/error.hpp"
 #include "pss/obs/metrics.hpp"
 
 namespace pss {
 
 PoissonEncoder::PoissonEncoder(std::size_t channel_count, std::uint64_t seed)
-    : rates_hz_(channel_count, 0.0), rng_(seed, /*stream=*/0x705573ull) {
+    : rng_(seed, /*stream=*/0x705573ull) {
   PSS_REQUIRE(channel_count > 0, "encoder needs at least one channel");
+  owned_pool_ = std::make_unique<StatePool>(
+      &default_backend(), StatePool::Geometry{1, channel_count});
+  pool_ = owned_pool_.get();
+}
+
+PoissonEncoder::PoissonEncoder(StatePool& pool, std::uint64_t seed)
+    : pool_(&pool), rng_(seed, /*stream=*/0x705573ull) {
+  PSS_REQUIRE(pool.channels() > 0, "encoder needs at least one channel");
+}
+
+PoissonEncoder::~PoissonEncoder() = default;
+PoissonEncoder::PoissonEncoder(PoissonEncoder&&) noexcept = default;
+PoissonEncoder& PoissonEncoder::operator=(PoissonEncoder&&) noexcept = default;
+
+std::size_t PoissonEncoder::channel_count() const { return pool_->channels(); }
+
+std::span<const double> PoissonEncoder::rates() const {
+  return std::as_const(*pool_).rates();
 }
 
 void PoissonEncoder::set_rates(std::span<const double> rates_hz) {
-  PSS_REQUIRE(rates_hz.size() == rates_hz_.size(),
+  PSS_REQUIRE(rates_hz.size() == channel_count(),
               "rate vector size must equal channel count");
   for (double r : rates_hz) PSS_REQUIRE(r >= 0.0, "rates must be non-negative");
-  rates_hz_.assign(rates_hz.begin(), rates_hz.end());
+  std::copy(rates_hz.begin(), rates_hz.end(), pool_->rates().begin());
   nonzero_.clear();
-  for (std::size_t c = 0; c < rates_hz_.size(); ++c) {
-    if (rates_hz_[c] > 0.0) nonzero_.push_back(static_cast<ChannelIndex>(c));
+  for (std::size_t c = 0; c < rates_hz.size(); ++c) {
+    if (rates_hz[c] > 0.0) nonzero_.push_back(static_cast<ChannelIndex>(c));
   }
   if (obs::metrics_enabled()) {
     obs::metrics().gauge("encoder.active_channels")
@@ -27,11 +51,12 @@ void PoissonEncoder::set_rates(std::span<const double> rates_hz) {
 
 void PoissonEncoder::set_uniform_rate(double rate_hz) {
   PSS_REQUIRE(rate_hz >= 0.0, "rates must be non-negative");
-  rates_hz_.assign(rates_hz_.size(), rate_hz);
+  auto rates = pool_->rates();
+  std::fill(rates.begin(), rates.end(), rate_hz);
   nonzero_.clear();
   if (rate_hz > 0.0) {
-    nonzero_.reserve(rates_hz_.size());
-    for (std::size_t c = 0; c < rates_hz_.size(); ++c) {
+    nonzero_.reserve(rates.size());
+    for (std::size_t c = 0; c < rates.size(); ++c) {
       nonzero_.push_back(static_cast<ChannelIndex>(c));
     }
   }
@@ -43,9 +68,9 @@ void PoissonEncoder::set_presentation(std::uint64_t presentation_index) {
 }
 
 bool PoissonEncoder::spikes_at(ChannelIndex c, StepIndex step, TimeMs dt) const {
-  PSS_DASSERT(c < rates_hz_.size());
+  PSS_DASSERT(c < channel_count());
   PSS_DASSERT(step < (1ull << 32));
-  const double p = rates_hz_[c] * dt * 1e-3;
+  const double p = rates()[c] * dt * 1e-3;
   // Draw index couples (presentation, step); fork(c) gives each channel its
   // own stream so neighbouring channels are uncorrelated.
   return rng_.fork(c).bernoulli(presentation_base_ | step, p);
@@ -53,10 +78,10 @@ bool PoissonEncoder::spikes_at(ChannelIndex c, StepIndex step, TimeMs dt) const 
 
 void PoissonEncoder::active_channels(StepIndex step, TimeMs dt,
                                      std::vector<ChannelIndex>& active) const {
-  active.clear();
-  for (ChannelIndex c : nonzero_) {
-    if (spikes_at(c, step, dt)) active.push_back(c);
-  }
+  PoissonEncodeArgs args{&rng_,  rates(), nonzero_, presentation_base_,
+                         step,   dt,      &active};
+  Backend& backend = pool_->backend();
+  backend.kernels().poisson_encode(backend.engine(), args);
   if (obs::metrics_enabled()) {
     // Static refs: the registry lookup happens once, not per step.
     static obs::Counter& spikes = obs::metrics().counter("encoder.spikes");

@@ -8,8 +8,13 @@
 // the generated trains are identical regardless of thread scheduling and can
 // be replayed exactly (the Fig. 6a raster bench and the batched presentation
 // engine both rely on this).
+//
+// Per-channel rates live in a StatePool's rates section (backend-owned hot
+// state); the encode step itself dispatches through the backend's registered
+// poisson_encode kernel.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -18,11 +23,22 @@
 
 namespace pss {
 
+class Backend;
+class StatePool;
+
 class PoissonEncoder {
  public:
+  /// Standalone: allocates a private pool on the default `cpu` backend.
   PoissonEncoder(std::size_t channel_count, std::uint64_t seed);
 
-  std::size_t channel_count() const { return rates_hz_.size(); }
+  /// Shares `pool` (non-owning); channel count = pool->channels().
+  PoissonEncoder(StatePool& pool, std::uint64_t seed);
+
+  ~PoissonEncoder();
+  PoissonEncoder(PoissonEncoder&&) noexcept;
+  PoissonEncoder& operator=(PoissonEncoder&&) noexcept;
+
+  std::size_t channel_count() const;
 
   /// Sets per-channel rates in Hz (size must equal channel_count).
   void set_rates(std::span<const double> rates_hz);
@@ -49,7 +65,11 @@ class PoissonEncoder {
   bool spikes_at(ChannelIndex c, StepIndex step, TimeMs dt) const;
 
  private:
-  std::vector<double> rates_hz_;
+  std::span<const double> rates() const;
+
+  std::unique_ptr<Backend> owned_backend_;  ///< standalone ctor only
+  std::unique_ptr<StatePool> owned_pool_;   ///< standalone ctor only
+  StatePool* pool_ = nullptr;               ///< never null after construction
   std::vector<ChannelIndex> nonzero_;  // channels with rate > 0, ascending
   CounterRng rng_;
   std::uint64_t presentation_base_ = 0;  // presentation_index << 32

@@ -1,36 +1,66 @@
 #include "pss/encoding/regular_encoder.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "pss/backend/backend.hpp"
+#include "pss/backend/kernels.hpp"
+#include "pss/backend/state_pool.hpp"
 #include "pss/common/error.hpp"
 
 namespace pss {
 
 RegularEncoder::RegularEncoder(std::size_t channel_count, std::uint64_t seed,
-                               bool randomize_phase)
-    : rates_hz_(channel_count, 0.0), phase_(channel_count, 0.0) {
+                               bool randomize_phase) {
   PSS_REQUIRE(channel_count > 0, "encoder needs at least one channel");
+  owned_pool_ = std::make_unique<StatePool>(
+      &default_backend(), StatePool::Geometry{1, channel_count});
+  pool_ = owned_pool_.get();
+  init_phases(seed, randomize_phase);
+}
+
+RegularEncoder::RegularEncoder(StatePool& pool, std::uint64_t seed,
+                               bool randomize_phase)
+    : pool_(&pool) {
+  PSS_REQUIRE(pool.channels() > 0, "encoder needs at least one channel");
+  init_phases(seed, randomize_phase);
+}
+
+RegularEncoder::~RegularEncoder() = default;
+RegularEncoder::RegularEncoder(RegularEncoder&&) noexcept = default;
+RegularEncoder& RegularEncoder::operator=(RegularEncoder&&) noexcept = default;
+
+void RegularEncoder::init_phases(std::uint64_t seed, bool randomize_phase) {
+  phase_.assign(channel_count(), 0.0);
   if (randomize_phase) {
     SequentialRng rng(seed, /*stream=*/0x7265ull);
     for (auto& p : phase_) p = rng.uniform();
   }
 }
 
+std::size_t RegularEncoder::channel_count() const { return pool_->channels(); }
+
+std::span<const double> RegularEncoder::rates() const {
+  return std::as_const(*pool_).rates();
+}
+
 void RegularEncoder::set_rates(std::span<const double> rates_hz) {
-  PSS_REQUIRE(rates_hz.size() == rates_hz_.size(),
+  PSS_REQUIRE(rates_hz.size() == channel_count(),
               "rate vector size must equal channel count");
   for (double r : rates_hz) PSS_REQUIRE(r >= 0.0, "rates must be non-negative");
-  rates_hz_.assign(rates_hz.begin(), rates_hz.end());
+  std::copy(rates_hz.begin(), rates_hz.end(), pool_->rates().begin());
 }
 
 void RegularEncoder::set_uniform_rate(double rate_hz) {
   PSS_REQUIRE(rate_hz >= 0.0, "rates must be non-negative");
-  rates_hz_.assign(rates_hz_.size(), rate_hz);
+  auto rates = pool_->rates();
+  std::fill(rates.begin(), rates.end(), rate_hz);
 }
 
 bool RegularEncoder::spikes_at(ChannelIndex c, StepIndex step, TimeMs dt) const {
-  PSS_DASSERT(c < rates_hz_.size());
-  const double f = rates_hz_[c];
+  PSS_DASSERT(c < channel_count());
+  const double f = rates()[c];
   if (f <= 0.0) return false;
   const double period_ms = 1000.0 / f;
   const double t0 = static_cast<double>(step) * dt;
@@ -43,12 +73,9 @@ bool RegularEncoder::spikes_at(ChannelIndex c, StepIndex step, TimeMs dt) const 
 
 void RegularEncoder::active_channels(StepIndex step, TimeMs dt,
                                      std::vector<ChannelIndex>& active) const {
-  active.clear();
-  for (std::size_t c = 0; c < rates_hz_.size(); ++c) {
-    if (spikes_at(static_cast<ChannelIndex>(c), step, dt)) {
-      active.push_back(static_cast<ChannelIndex>(c));
-    }
-  }
+  RegularEncodeArgs args{rates(), phase_, step, dt, &active};
+  Backend& backend = pool_->backend();
+  backend.kernels().regular_encode(backend.engine(), args);
 }
 
 }  // namespace pss

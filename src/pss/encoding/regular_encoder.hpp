@@ -5,8 +5,12 @@
 // trains make unit tests exact and give the crisp rasters of Fig. 6a when
 // jitter-free visualization is wanted; learning experiments use the Poisson
 // encoder.
+//
+// Rates live in a StatePool's rates section; the encode step dispatches
+// through the backend's registered regular_encode kernel.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -15,14 +19,26 @@
 
 namespace pss {
 
+class Backend;
+class StatePool;
+
 class RegularEncoder {
  public:
   /// `seed` randomizes per-channel phases; phase 0 for all channels when
-  /// `randomize_phase` is false.
+  /// `randomize_phase` is false. Standalone: allocates a private pool on the
+  /// default `cpu` backend.
   RegularEncoder(std::size_t channel_count, std::uint64_t seed,
                  bool randomize_phase = true);
 
-  std::size_t channel_count() const { return rates_hz_.size(); }
+  /// Shares `pool` (non-owning); channel count = pool->channels().
+  RegularEncoder(StatePool& pool, std::uint64_t seed,
+                 bool randomize_phase = true);
+
+  ~RegularEncoder();
+  RegularEncoder(RegularEncoder&&) noexcept;
+  RegularEncoder& operator=(RegularEncoder&&) noexcept;
+
+  std::size_t channel_count() const;
 
   void set_rates(std::span<const double> rates_hz);
   void set_uniform_rate(double rate_hz);
@@ -34,7 +50,11 @@ class RegularEncoder {
                        std::vector<ChannelIndex>& active) const;
 
  private:
-  std::vector<double> rates_hz_;
+  std::span<const double> rates() const;
+  void init_phases(std::uint64_t seed, bool randomize_phase);
+
+  std::unique_ptr<StatePool> owned_pool_;  ///< standalone ctor only
+  StatePool* pool_ = nullptr;              ///< never null after construction
   std::vector<double> phase_;  // in [0, 1) fractions of a period
 };
 

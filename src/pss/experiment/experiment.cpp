@@ -16,6 +16,7 @@ WtaConfig ExperimentSpec::network_config() const {
   WtaConfig cfg = WtaConfig::from_table1(option, kind, neuron_count);
   cfg.stdp.rounding = rounding;
   cfg.seed = seed;
+  cfg.backend = backend;
   return cfg;
 }
 

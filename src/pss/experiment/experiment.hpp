@@ -60,6 +60,10 @@ struct ExperimentSpec {
 
   std::uint64_t seed = 1;
 
+  /// Compute backend name (registry key: cpu | cpu_simd | cuda stub). The
+  /// spec validates the name at network construction time.
+  std::string backend = "cpu";
+
   /// Fault tolerance: write a training checkpoint every N images to
   /// `train_checkpoint_path` (0 = off), and/or resume an interrupted run
   /// from the checkpoint file at `resume_path` before training. A resumed

@@ -171,10 +171,11 @@ TrainingStats UnsupervisedTrainer::train(const Dataset& data,
               "bitwise-reproducible batched training");
   const std::size_t pre_count = network_.input_channels();
   // Deltas clamp to the range the sequential updater itself enforces, so
-  // quantized runs stay on the representable grid.
-  const double g_lo = network_.conductance().g_min();
-  const double g_hi = std::min(network_.conductance().g_max(),
-                               network_.updater().effective_g_max());
+  // quantized runs stay on the representable grid. The StatePool owns the
+  // learnable range (g_min .. min(g_max, updater cap)); read it back rather
+  // than recomputing it here.
+  const double g_lo = network_.conductance().learn_lo();
+  const double g_hi = network_.conductance().learn_hi();
   const double theta_max = network_.config().homeostasis.theta_max;
 
   /// Everything one image contributes to the batch-boundary update.

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "pss/backend/backend.hpp"
+#include "pss/backend/kernels.hpp"
+#include "pss/backend/state_pool.hpp"
 #include "pss/common/error.hpp"
 #include "pss/obs/metrics.hpp"
 #include "pss/obs/trace.hpp"
@@ -64,34 +68,37 @@ StdpUpdaterConfig scaled_stdp(const WtaConfig& config) {
 }
 
 std::variant<LifPopulation, IzhikevichPopulation> make_population(
-    const WtaConfig& config, Engine* engine) {
+    const WtaConfig& config, StatePool& pool) {
   if (config.neuron_model == NeuronModelKind::kIzhikevich) {
-    return IzhikevichPopulation(config.neuron_count, config.izhikevich,
-                                engine);
+    return IzhikevichPopulation(pool, config.izhikevich);
   }
-  return LifPopulation(config.neuron_count, config.lif, engine);
+  return LifPopulation(pool, config.lif);
 }
 
 }  // namespace
 
 WtaNetwork::WtaNetwork(const WtaConfig& config, Engine* engine)
     : config_(config),
-      engine_(engine ? engine : &default_engine()),
-      neurons_(make_population(config, engine ? engine : &default_engine())),
-      conductance_(config.neuron_count, config.input_channels,
-                   config.stdp.magnitude.g_min, config.stdp.magnitude.g_max,
-                   engine_),
+      backend_(make_backend(config.backend, engine)),
+      pool_(std::make_unique<StatePool>(
+          backend_.get(),
+          StatePool::Geometry{config.neuron_count, config.input_channels})),
+      neurons_(make_population(config, *pool_)),
+      conductance_(*pool_, config.stdp.magnitude.g_min,
+                   config.stdp.magnitude.g_max),
       updater_(scaled_stdp(config)),
       threshold_(config.neuron_count, config.homeostasis),
-      encoder_(config.input_channels, config.seed),
-      stdp_rng_(config.seed, /*stream=*/0x57d9ull),
-      currents_(config.neuron_count, 0.0),
-      last_pre_spike_(config.input_channels, kNeverSpiked) {
+      encoder_(*pool_, config.seed),
+      stdp_rng_(config.seed, /*stream=*/0x57d9ull) {
   PSS_REQUIRE(config.neuron_count > 0, "network needs neurons");
   PSS_REQUIRE(config.input_channels > 0, "network needs input channels");
   PSS_REQUIRE(config.dt > 0.0, "dt must be positive");
   PSS_REQUIRE(config.spike_amplitude > 0.0, "spike amplitude must be positive");
   PSS_REQUIRE(config.init_g_hi >= config.init_g_lo, "invalid init range");
+
+  // Learned conductances saturate at the quantizer's cap; the pool is the
+  // one place the learnable range [learn_lo, learn_hi] is recorded.
+  pool_->set_learn_cap(updater_.effective_g_max());
 
   SequentialRng init_rng(config.seed, /*stream=*/0x1417ull);
   const Quantizer* q = nullptr;
@@ -106,6 +113,10 @@ WtaNetwork::WtaNetwork(const WtaConfig& config, Engine* engine)
   // Beyond ~5 time constants the eq. 7 probability is negligible.
   dep_horizon_ms_ = 5.0 * config_.stdp.gate.tau_dep;
 }
+
+WtaNetwork::~WtaNetwork() = default;
+WtaNetwork::WtaNetwork(WtaNetwork&&) noexcept = default;
+WtaNetwork& WtaNetwork::operator=(WtaNetwork&&) noexcept = default;
 
 PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
                                        TimeMs duration_ms, bool learn,
@@ -139,8 +150,10 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
   // learned conductances, the homeostatic offsets and the global clock
   // persist across presentations.
   std::visit([](auto& pop) { pop.reset(); }, neurons_);
-  std::fill(currents_.begin(), currents_.end(), 0.0);
-  std::fill(last_pre_spike_.begin(), last_pre_spike_.end(), kNeverSpiked);
+  const auto currents = pool_->currents();
+  const auto last_pre_spike = pool_->last_pre_spike();
+  std::fill(currents.begin(), currents.end(), 0.0);
+  std::fill(last_pre_spike.begin(), last_pre_spike.end(), kNeverSpiked);
   recent_post_spikes_.clear();
 
   PresentationResult result;
@@ -189,7 +202,7 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
         !recent_post_spikes_.empty()) {
       apply_pre_spike_depression(t);
     }
-    for (ChannelIndex c : active_channels_) last_pre_spike_[c] = t;
+    for (ChannelIndex c : active_channels_) last_pre_spike[c] = t;
     phase_stop(kPhStdp);
 
     const bool use_theta = learn || config_.readout_theta;
@@ -202,7 +215,7 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
       // three; bitwise-identical to the unfused branch below).
       std::visit(
           [&](auto& pop) {
-            pop.step_fused(currents_, decay_factor, conductance_.values(),
+            pop.step_fused(currents, decay_factor, conductance_.values(),
                            config_.input_channels, active_channels_, amplitude,
                            t, dt, spikes_, offsets);
           },
@@ -211,15 +224,15 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
       // 2. Current accumulation kernel (eq. 3), with optional exponential
       //    decay standing in for the synaptic current waveform.
       if (decay_factor == 0.0) {
-        std::fill(currents_.begin(), currents_.end(), 0.0);
+        std::fill(currents.begin(), currents.end(), 0.0);
       } else {
-        for (double& i : currents_) i *= decay_factor;
+        for (double& i : currents) i *= decay_factor;
       }
-      conductance_.accumulate_currents(active_channels_, amplitude, currents_);
+      conductance_.accumulate_currents(active_channels_, amplitude, currents);
 
       // 3. Neuron-update kernel.
       std::visit(
-          [&](auto& pop) { pop.step(currents_, t, dt, spikes_, offsets); },
+          [&](auto& pop) { pop.step(currents, t, dt, spikes_, offsets); },
           neurons_);
     }
     phase_stop(kPhIntegrate);
@@ -340,26 +353,15 @@ std::uint64_t WtaNetwork::total_spikes() const {
 
 void WtaNetwork::apply_stdp_row(NeuronIndex winner, TimeMs t_post) {
   auto row = conductance_.row_mut(winner);
-  const std::size_t n = row.size();
   const std::uint64_t base = stdp_event_counter_;
-  stdp_event_counter_ += n * StdpUpdater::kDrawsPerEvent;
+  stdp_event_counter_ += row.size() * StdpUpdater::kDrawsPerEvent;
 
-  const StdpUpdater& updater = updater_;
-  const CounterRng& rng = presentation_rng_;
-  const auto& last_pre = last_pre_spike_;
-
-  // STDP kernel: one logical thread per afferent synapse. Draw indices are
-  // derived from the event base so results are schedule-independent.
-  engine_->launch("stdp.row", n, [&](std::size_t pre) {
-    const TimeMs t_pre = last_pre[pre];
-    const double gap =
-        t_pre == kNeverSpiked ? std::numeric_limits<double>::infinity()
-                              : t_post - t_pre;
-    const std::uint64_t c = base + pre * StdpUpdater::kDrawsPerEvent;
-    row[pre] = updater.update_at_post_spike(row[pre], gap, rng.uniform(c),
-                                            rng.uniform(c + 1),
-                                            rng.uniform(c + 2));
-  });
+  // Registered STDP kernel: one logical thread per afferent synapse. Draw
+  // indices are derived from the event base so results are
+  // schedule-independent.
+  StdpRowArgs args{&updater_, row, std::as_const(*pool_).last_pre_spike(),
+                   t_post, &presentation_rng_, base};
+  backend_->kernels().stdp_row(backend_->engine(), args);
 }
 
 void WtaNetwork::apply_pre_spike_depression(TimeMs now) {

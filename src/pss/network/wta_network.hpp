@@ -12,7 +12,9 @@
 // updated by the StdpUpdater (deterministic or stochastic, any precision).
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -34,6 +36,11 @@ enum class NeuronModelKind { kLif, kIzhikevich };
 const char* neuron_model_name(NeuronModelKind kind);
 
 struct WtaConfig {
+  /// Compute backend the network's state and kernels live on — a name from
+  /// the backend registry ("cpu", "cpu_simd"; see src/pss/backend/).
+  /// Construction throws pss::Error for unknown or unavailable names.
+  std::string backend = "cpu";
+
   std::size_t input_channels = kImagePixels;
   std::size_t neuron_count = 100;  ///< paper uses 1000; scaled experiments less
   NeuronModelKind neuron_model = NeuronModelKind::kLif;
@@ -115,7 +122,16 @@ class WtaNetwork {
  public:
   explicit WtaNetwork(const WtaConfig& config, Engine* engine = nullptr);
 
+  ~WtaNetwork();
+  WtaNetwork(WtaNetwork&&) noexcept;
+  WtaNetwork& operator=(WtaNetwork&&) noexcept;
+
   const WtaConfig& config() const { return config_; }
+
+  /// The compute backend the network dispatches its kernels through.
+  Backend& backend() const { return *backend_; }
+  /// The SoA state pool holding the network's per-presentation hot state.
+  StatePool& pool() const { return *pool_; }
   std::size_t neuron_count() const { return config_.neuron_count; }
   std::size_t input_channels() const { return config_.input_channels; }
 
@@ -193,7 +209,8 @@ class WtaNetwork {
   void apply_pre_spike_depression(TimeMs now);
 
   WtaConfig config_;
-  Engine* engine_;
+  std::unique_ptr<Backend> backend_;   ///< from the registry (config.backend)
+  std::unique_ptr<StatePool> pool_;    ///< SoA hot state, shared by components
   Population neurons_;
   ConductanceMatrix conductance_;
   StdpUpdater updater_;
@@ -206,9 +223,8 @@ class WtaNetwork {
   std::uint64_t presentation_index_ = 0;
   std::uint64_t stdp_event_counter_ = 0;  ///< within-presentation draw index
 
-  // Scratch buffers reused across steps.
-  std::vector<double> currents_;
-  std::vector<TimeMs> last_pre_spike_;
+  // Host-side scratch reused across steps (the dense per-step state —
+  // currents, pre-spike timers — lives in the pool).
   std::vector<ChannelIndex> active_channels_;
   std::vector<NeuronIndex> spikes_;
 

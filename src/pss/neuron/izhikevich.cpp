@@ -1,5 +1,11 @@
 #include "pss/neuron/izhikevich.hpp"
 
+#include <algorithm>
+#include <utility>
+
+#include "pss/backend/backend.hpp"
+#include "pss/backend/kernels.hpp"
+#include "pss/backend/state_pool.hpp"
 #include "pss/common/error.hpp"
 
 namespace pss {
@@ -23,23 +29,64 @@ IzhikevichParameters izhikevich_intrinsically_bursting() {
 IzhikevichPopulation::IzhikevichPopulation(std::size_t size,
                                            IzhikevichParameters params,
                                            Engine* engine)
-    : params_(params),
-      engine_(engine ? engine : &default_engine()),
-      v_(size, params.v_init),
-      u_(size, params.b * params.v_init),
-      last_spike_(size, kNeverSpiked),
-      inhibited_until_(size, -1.0),
-      spiked_flag_(size, 0) {
+    : params_(params) {
   PSS_REQUIRE(size > 0, "population must not be empty");
+  if (engine) owned_backend_ = make_backend("cpu", engine);
+  Backend* backend = owned_backend_ ? owned_backend_.get() : &default_backend();
+  owned_pool_ = std::make_unique<StatePool>(
+      backend, StatePool::Geometry{size, 0});
+  pool_ = owned_pool_.get();
+  reset();
+}
+
+IzhikevichPopulation::IzhikevichPopulation(StatePool& pool,
+                                           IzhikevichParameters params)
+    : params_(params), pool_(&pool) {
+  reset();
+}
+
+IzhikevichPopulation::~IzhikevichPopulation() = default;
+IzhikevichPopulation::IzhikevichPopulation(IzhikevichPopulation&&) noexcept =
+    default;
+IzhikevichPopulation& IzhikevichPopulation::operator=(
+    IzhikevichPopulation&&) noexcept = default;
+
+std::size_t IzhikevichPopulation::size() const { return pool_->neurons(); }
+
+std::span<const double> IzhikevichPopulation::membrane() const {
+  return std::as_const(*pool_).membrane();
+}
+
+std::span<const double> IzhikevichPopulation::recovery() const {
+  return std::as_const(*pool_).recovery();
+}
+
+std::span<const TimeMs> IzhikevichPopulation::last_spike_time() const {
+  return std::as_const(*pool_).last_spike();
 }
 
 void IzhikevichPopulation::reset() {
-  v_.fill(params_.v_init);
-  u_.fill(params_.b * params_.v_init);
-  last_spike_.fill(kNeverSpiked);
-  inhibited_until_.fill(-1.0);
-  spiked_flag_.fill(0);
+  auto v = pool_->membrane();
+  std::fill(v.begin(), v.end(), params_.v_init);
+  auto u = pool_->recovery();
+  std::fill(u.begin(), u.end(), params_.b * params_.v_init);
+  auto last = pool_->last_spike();
+  std::fill(last.begin(), last.end(), kNeverSpiked);
+  auto inhibited = pool_->inhibited_until();
+  std::fill(inhibited.begin(), inhibited.end(), -1.0);
+  auto flag = pool_->spiked();
+  std::fill(flag.begin(), flag.end(), std::uint8_t{0});
   total_spikes_ = 0;
+}
+
+void IzhikevichPopulation::collect_spikes(std::vector<NeuronIndex>& spikes) {
+  const auto flag = pool_->spiked();
+  for (std::size_t i = 0; i < flag.size(); ++i) {
+    if (flag[i]) {
+      spikes.push_back(static_cast<NeuronIndex>(i));
+      ++total_spikes_;
+    }
+  }
 }
 
 void IzhikevichPopulation::step(std::span<const double> input_current,
@@ -52,31 +99,18 @@ void IzhikevichPopulation::step(std::span<const double> input_current,
               "threshold offset size must equal population size");
   spikes.clear();
 
-  auto v = v_.span();
-  auto u = u_.span();
-  auto last = last_spike_.span();
-  auto inhibited = inhibited_until_.span();
-  auto flag = spiked_flag_.span();
-  const IzhikevichParameters base = params_;
+  IzhikevichStepArgs args;
+  args.params = params_;
+  args.step.state = {pool_->membrane(), pool_->recovery(), pool_->last_spike(),
+                     pool_->inhibited_until(), pool_->spiked()};
+  args.step.input_current = input_current;
+  args.step.threshold_offset = threshold_offset;
+  args.step.now = now;
+  args.step.dt = dt;
+  Backend& backend = pool_->backend();
+  backend.kernels().izhikevich_step(backend.engine(), args);
 
-  engine_->launch("izhi.step", size(), [&](std::size_t i) {
-    flag[i] = 0;
-    if (now <= inhibited[i]) {
-      v[i] = base.c;
-      return;
-    }
-    IzhikevichParameters p = base;
-    if (!threshold_offset.empty()) p.v_peak += threshold_offset[i];
-    flag[i] = izhikevich_step(p, v[i], u[i], input_current[i], dt) ? 1 : 0;
-    if (flag[i]) last[i] = now;
-  });
-
-  for (std::size_t i = 0; i < size(); ++i) {
-    if (flag[i]) {
-      spikes.push_back(static_cast<NeuronIndex>(i));
-      ++total_spikes_;
-    }
-  }
+  collect_spikes(spikes);
 }
 
 void IzhikevichPopulation::step_fused(
@@ -93,55 +127,36 @@ void IzhikevichPopulation::step_fused(
               "threshold offset size must equal population size");
   spikes.clear();
 
-  auto v = v_.span();
-  auto u = u_.span();
-  auto last = last_spike_.span();
-  auto inhibited = inhibited_until_.span();
-  auto flag = spiked_flag_.span();
-  const IzhikevichParameters base = params_;
+  IzhikevichFusedStepArgs args;
+  args.params = params_;
+  args.step.state = {pool_->membrane(), pool_->recovery(), pool_->last_spike(),
+                     pool_->inhibited_until(), pool_->spiked()};
+  args.step.currents = currents;
+  args.step.decay_factor = decay_factor;
+  args.step.conductance = conductance;
+  args.step.pre_count = pre_count;
+  args.step.active_pre = active_pre;
+  args.step.amplitude = amplitude;
+  args.step.threshold_offset = threshold_offset;
+  args.step.now = now;
+  args.step.dt = dt;
+  Backend& backend = pool_->backend();
+  backend.kernels().izhikevich_step_fused(backend.engine(), args);
 
-  engine_->launch("izhi.fused", size(), [&](std::size_t i) {
-    // Matches the unfused decay + accumulate_currents sequence bit for bit.
-    double ci = decay_factor == 0.0 ? 0.0 : currents[i] * decay_factor;
-    if (!active_pre.empty()) {
-      const double* row = conductance.data() + i * pre_count;
-      double acc = 0.0;
-      for (ChannelIndex pre : active_pre) acc += row[pre];
-      ci += amplitude * acc;
-    }
-    currents[i] = ci;
-
-    flag[i] = 0;
-    if (now <= inhibited[i]) {
-      v[i] = base.c;
-      return;
-    }
-    IzhikevichParameters p = base;
-    if (!threshold_offset.empty()) p.v_peak += threshold_offset[i];
-    flag[i] = izhikevich_step(p, v[i], u[i], ci, dt) ? 1 : 0;
-    if (flag[i]) last[i] = now;
-  });
-
-  for (std::size_t i = 0; i < size(); ++i) {
-    if (flag[i]) {
-      spikes.push_back(static_cast<NeuronIndex>(i));
-      ++total_spikes_;
-    }
-  }
+  collect_spikes(spikes);
 }
 
 void IzhikevichPopulation::inhibit(NeuronIndex neuron, TimeMs until) {
   PSS_REQUIRE(neuron < size(), "neuron index out of range");
-  inhibited_until_[neuron] = until;
+  pool_->inhibited_until()[neuron] = until;
 }
 
 void IzhikevichPopulation::inhibit_all_except(NeuronIndex winner,
                                               TimeMs until) {
   PSS_REQUIRE(winner < size(), "winner index out of range");
-  auto inhibited = inhibited_until_.span();
-  for (std::size_t i = 0; i < size(); ++i) {
-    if (i != winner && until > inhibited[i]) inhibited[i] = until;
-  }
+  InhibitScanArgs args{pool_->inhibited_until(), winner, until};
+  Backend& backend = pool_->backend();
+  backend.kernels().inhibit_scan(backend.engine(), args);
 }
 
 }  // namespace pss

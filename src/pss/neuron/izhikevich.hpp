@@ -10,14 +10,17 @@
 //   if v >= 30 mV:  v <- c,  u <- u + d
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "pss/common/types.hpp"
-#include "pss/engine/device_vector.hpp"
-#include "pss/engine/launch.hpp"
 
 namespace pss {
+
+class Backend;
+class Engine;
+class StatePool;
 
 struct IzhikevichParameters {
   double a = 0.02;
@@ -55,14 +58,26 @@ inline bool izhikevich_step(const IzhikevichParameters& p, double& v,
 /// Population container mirroring LifPopulation's interface (including WTA
 /// inhibition and per-neuron threshold offsets) so the WTA network and the
 /// characterization code treat both models uniformly — the simulator
-/// "supports different neuron/synaptic models".
+/// "supports different neuron/synaptic models". State lives in a
+/// backend-owned StatePool (shared with the network, or private for
+/// standalone use) and steps dispatch through registered kernels.
 class IzhikevichPopulation {
  public:
+  /// Standalone: allocates a private pool on the default `cpu` backend (or
+  /// one wrapping `engine` when given).
   IzhikevichPopulation(std::size_t size, IzhikevichParameters params,
                        Engine* engine = nullptr);
 
-  std::size_t size() const { return v_.size(); }
+  /// Shares `pool` (non-owning; the pool must outlive the population).
+  IzhikevichPopulation(StatePool& pool, IzhikevichParameters params);
+
+  ~IzhikevichPopulation();
+  IzhikevichPopulation(IzhikevichPopulation&&) noexcept;
+  IzhikevichPopulation& operator=(IzhikevichPopulation&&) noexcept;
+
+  std::size_t size() const;
   const IzhikevichParameters& params() const { return params_; }
+  StatePool& pool() const { return *pool_; }
 
   void reset();
 
@@ -83,19 +98,18 @@ class IzhikevichPopulation {
   void inhibit(NeuronIndex neuron, TimeMs until);
   void inhibit_all_except(NeuronIndex winner, TimeMs until);
 
-  std::span<const double> membrane() const { return v_.span(); }
-  std::span<const double> recovery() const { return u_.span(); }
-  std::span<const TimeMs> last_spike_time() const { return last_spike_.span(); }
+  std::span<const double> membrane() const;
+  std::span<const double> recovery() const;
+  std::span<const TimeMs> last_spike_time() const;
   std::uint64_t spike_count() const { return total_spikes_; }
 
  private:
+  void collect_spikes(std::vector<NeuronIndex>& spikes);
+
   IzhikevichParameters params_;
-  Engine* engine_;
-  device_vector<double> v_;
-  device_vector<double> u_;
-  device_vector<TimeMs> last_spike_;
-  device_vector<TimeMs> inhibited_until_;
-  device_vector<std::uint8_t> spiked_flag_;
+  std::unique_ptr<Backend> owned_backend_;  ///< standalone ctor only
+  std::unique_ptr<StatePool> owned_pool_;   ///< standalone ctor only
+  StatePool* pool_ = nullptr;               ///< never null after construction
   std::uint64_t total_spikes_ = 0;
 };
 

@@ -1,31 +1,81 @@
 #include "pss/neuron/lif.hpp"
 
+#include <algorithm>
+#include <utility>
+
+#include "pss/backend/backend.hpp"
+#include "pss/backend/kernels.hpp"
+#include "pss/backend/state_pool.hpp"
 #include "pss/common/error.hpp"
 
 namespace pss {
 
 LifParameters paper_lif_parameters() { return LifParameters{}; }
 
-LifPopulation::LifPopulation(std::size_t size, LifParameters params,
-                             Engine* engine)
-    : params_(params),
-      engine_(engine ? engine : &default_engine()),
-      membrane_(size, params.v_init),
-      last_spike_(size, kNeverSpiked),
-      inhibited_until_(size, -1.0),
-      spiked_flag_(size, 0) {
-  PSS_REQUIRE(size > 0, "population must not be empty");
+namespace {
+
+void validate(const LifParameters& params) {
   PSS_REQUIRE(params.b < 0.0, "leak coefficient b must be negative");
   PSS_REQUIRE(params.v_reset < params.v_threshold,
               "reset potential must lie below threshold");
 }
 
+}  // namespace
+
+LifPopulation::LifPopulation(std::size_t size, LifParameters params,
+                             Engine* engine)
+    : params_(params) {
+  PSS_REQUIRE(size > 0, "population must not be empty");
+  validate(params);
+  if (engine) owned_backend_ = make_backend("cpu", engine);
+  Backend* backend = owned_backend_ ? owned_backend_.get() : &default_backend();
+  owned_pool_ = std::make_unique<StatePool>(
+      backend, StatePool::Geometry{size, 0});
+  pool_ = owned_pool_.get();
+  reset();
+}
+
+LifPopulation::LifPopulation(StatePool& pool, LifParameters params)
+    : params_(params), pool_(&pool) {
+  validate(params);
+  reset();
+}
+
+LifPopulation::~LifPopulation() = default;
+LifPopulation::LifPopulation(LifPopulation&&) noexcept = default;
+LifPopulation& LifPopulation::operator=(LifPopulation&&) noexcept = default;
+
+std::size_t LifPopulation::size() const { return pool_->neurons(); }
+
+std::span<const double> LifPopulation::membrane() const {
+  return std::as_const(*pool_).membrane();
+}
+
+std::span<const TimeMs> LifPopulation::last_spike_time() const {
+  return std::as_const(*pool_).last_spike();
+}
+
 void LifPopulation::reset() {
-  membrane_.fill(params_.v_init);
-  last_spike_.fill(kNeverSpiked);
-  inhibited_until_.fill(-1.0);
-  spiked_flag_.fill(0);
+  auto v = pool_->membrane();
+  std::fill(v.begin(), v.end(), params_.v_init);
+  auto last = pool_->last_spike();
+  std::fill(last.begin(), last.end(), kNeverSpiked);
+  auto inhibited = pool_->inhibited_until();
+  std::fill(inhibited.begin(), inhibited.end(), -1.0);
+  auto flag = pool_->spiked();
+  std::fill(flag.begin(), flag.end(), std::uint8_t{0});
   total_spikes_ = 0;
+}
+
+void LifPopulation::collect_spikes(std::vector<NeuronIndex>& spikes) {
+  // Host-side compaction of the spike list (cheap: spikes are sparse).
+  const auto flag = pool_->spiked();
+  for (std::size_t i = 0; i < flag.size(); ++i) {
+    if (flag[i]) {
+      spikes.push_back(static_cast<NeuronIndex>(i));
+      ++total_spikes_;
+    }
+  }
 }
 
 void LifPopulation::step(std::span<const double> input_current, TimeMs now,
@@ -37,42 +87,18 @@ void LifPopulation::step(std::span<const double> input_current, TimeMs now,
               "threshold offset size must equal population size");
   spikes.clear();
 
-  auto v = membrane_.span();
-  auto last = last_spike_.span();
-  auto inhibited = inhibited_until_.span();
-  auto flag = spiked_flag_.span();
-  const LifParameters p = params_;
+  LifStepArgs args;
+  args.params = params_;
+  args.step.state = {pool_->membrane(), {}, pool_->last_spike(),
+                     pool_->inhibited_until(), pool_->spiked()};
+  args.step.input_current = input_current;
+  args.step.threshold_offset = threshold_offset;
+  args.step.now = now;
+  args.step.dt = dt;
+  Backend& backend = pool_->backend();
+  backend.kernels().lif_step(backend.engine(), args);
 
-  // Neuron-update kernel: one logical thread per neuron (paper Sec. III-A).
-  engine_->launch("lif.step", size(), [&](std::size_t i) {
-    flag[i] = 0;
-    if (now <= inhibited[i]) {
-      v[i] = p.v_reset;  // WTA inhibition pins the loser at reset
-      return;
-    }
-    if (p.refractory_ms > 0.0 && last[i] != kNeverSpiked &&
-        now - last[i] < p.refractory_ms) {
-      v[i] = p.v_reset;
-      return;
-    }
-    double vi = lif_integrate(p, v[i], input_current[i], dt);
-    const double threshold =
-        p.v_threshold + (threshold_offset.empty() ? 0.0 : threshold_offset[i]);
-    if (vi > threshold) {
-      vi = p.v_reset;
-      flag[i] = 1;
-      last[i] = now;
-    }
-    v[i] = vi;
-  });
-
-  // Host-side compaction of the spike list (cheap: spikes are sparse).
-  for (std::size_t i = 0; i < size(); ++i) {
-    if (flag[i]) {
-      spikes.push_back(static_cast<NeuronIndex>(i));
-      ++total_spikes_;
-    }
-  }
+  collect_spikes(spikes);
 }
 
 void LifPopulation::step_fused(std::span<double> currents, double decay_factor,
@@ -90,64 +116,35 @@ void LifPopulation::step_fused(std::span<double> currents, double decay_factor,
               "threshold offset size must equal population size");
   spikes.clear();
 
-  auto v = membrane_.span();
-  auto last = last_spike_.span();
-  auto inhibited = inhibited_until_.span();
-  auto flag = spiked_flag_.span();
-  const LifParameters p = params_;
+  LifFusedStepArgs args;
+  args.params = params_;
+  args.step.state = {pool_->membrane(), {}, pool_->last_spike(),
+                     pool_->inhibited_until(), pool_->spiked()};
+  args.step.currents = currents;
+  args.step.decay_factor = decay_factor;
+  args.step.conductance = conductance;
+  args.step.pre_count = pre_count;
+  args.step.active_pre = active_pre;
+  args.step.amplitude = amplitude;
+  args.step.threshold_offset = threshold_offset;
+  args.step.now = now;
+  args.step.dt = dt;
+  Backend& backend = pool_->backend();
+  backend.kernels().lif_step_fused(backend.engine(), args);
 
-  engine_->launch("lif.fused", size(), [&](std::size_t i) {
-    // Synaptic current update (all neurons, inhibited or not — matches the
-    // unfused decay + accumulate_currents sequence bit for bit).
-    double ci = decay_factor == 0.0 ? 0.0 : currents[i] * decay_factor;
-    if (!active_pre.empty()) {
-      const double* row = conductance.data() + i * pre_count;
-      double acc = 0.0;
-      for (ChannelIndex pre : active_pre) acc += row[pre];
-      ci += amplitude * acc;
-    }
-    currents[i] = ci;
-
-    flag[i] = 0;
-    if (now <= inhibited[i]) {
-      v[i] = p.v_reset;
-      return;
-    }
-    if (p.refractory_ms > 0.0 && last[i] != kNeverSpiked &&
-        now - last[i] < p.refractory_ms) {
-      v[i] = p.v_reset;
-      return;
-    }
-    double vi = lif_integrate(p, v[i], ci, dt);
-    const double threshold =
-        p.v_threshold + (threshold_offset.empty() ? 0.0 : threshold_offset[i]);
-    if (vi > threshold) {
-      vi = p.v_reset;
-      flag[i] = 1;
-      last[i] = now;
-    }
-    v[i] = vi;
-  });
-
-  for (std::size_t i = 0; i < size(); ++i) {
-    if (flag[i]) {
-      spikes.push_back(static_cast<NeuronIndex>(i));
-      ++total_spikes_;
-    }
-  }
+  collect_spikes(spikes);
 }
 
 void LifPopulation::inhibit(NeuronIndex neuron, TimeMs until) {
   PSS_REQUIRE(neuron < size(), "neuron index out of range");
-  inhibited_until_[neuron] = until;
+  pool_->inhibited_until()[neuron] = until;
 }
 
 void LifPopulation::inhibit_all_except(NeuronIndex winner, TimeMs until) {
   PSS_REQUIRE(winner < size(), "winner index out of range");
-  auto inhibited = inhibited_until_.span();
-  for (std::size_t i = 0; i < size(); ++i) {
-    if (i != winner && until > inhibited[i]) inhibited[i] = until;
-  }
+  InhibitScanArgs args{pool_->inhibited_until(), winner, until};
+  Backend& backend = pool_->backend();
+  backend.kernels().inhibit_scan(backend.engine(), args);
 }
 
 }  // namespace pss

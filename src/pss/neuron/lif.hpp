@@ -9,14 +9,17 @@
 // Fig. 1a has a rheobase near I ≈ 2.6.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "pss/common/types.hpp"
-#include "pss/engine/device_vector.hpp"
-#include "pss/engine/launch.hpp"
 
 namespace pss {
+
+class Backend;
+class Engine;
+class StatePool;
 
 struct LifParameters {
   double v_threshold = -60.2;
@@ -37,16 +40,29 @@ inline double lif_integrate(const LifParameters& p, double v, double current,
   return v + dt * (p.a + p.b * v + p.c * current);
 }
 
-/// A population of LIF neurons with structure-of-arrays state held in device
-/// buffers and advanced by a data-parallel kernel (one logical GPU thread per
-/// neuron, as in ParallelSpikeSim).
+/// A population of LIF neurons whose structure-of-arrays state lives in a
+/// backend-owned StatePool and is advanced by registered kernels (one logical
+/// GPU thread per neuron, as in ParallelSpikeSim). The population either
+/// shares a pool with its network (WtaNetwork) or owns one of its own
+/// (standalone use in tests and benches).
 class LifPopulation {
  public:
+  /// Standalone: allocates a private pool on the default `cpu` backend (or
+  /// one wrapping `engine` when given).
   LifPopulation(std::size_t size, LifParameters params,
                 Engine* engine = nullptr);
 
-  std::size_t size() const { return membrane_.size(); }
+  /// Shares `pool` (non-owning; the pool must outlive the population and
+  /// have at least one neuron section).
+  LifPopulation(StatePool& pool, LifParameters params);
+
+  ~LifPopulation();
+  LifPopulation(LifPopulation&&) noexcept;
+  LifPopulation& operator=(LifPopulation&&) noexcept;
+
+  std::size_t size() const;
   const LifParameters& params() const { return params_; }
+  StatePool& pool() const { return *pool_; }
 
   /// Restores initial membrane potential and clears spike/inhibition state.
   void reset();
@@ -65,9 +81,10 @@ class LifPopulation {
   /// (eq. 3) + neuron update in ONE launch, eliminating two of the three
   /// per-step dispatches. `currents` is updated in place:
   ///   I[i] = I[i]·decay + amplitude·Σ_{pre ∈ active} G[i·pre_count + pre]
-  /// (decay_factor == 0 clears instead). Floating-point operation order is
-  /// identical to the unfused decay/accumulate_currents/step sequence, so
-  /// the two paths are bitwise-interchangeable (asserted by tests).
+  /// (decay_factor == 0 clears instead). On the `cpu` backend the operation
+  /// order is identical to the unfused decay/accumulate_currents/step
+  /// sequence, so the two paths are bitwise-interchangeable (asserted by
+  /// tests).
   void step_fused(std::span<double> currents, double decay_factor,
                   std::span<const double> conductance, std::size_t pre_count,
                   std::span<const ChannelIndex> active_pre, double amplitude,
@@ -82,19 +99,19 @@ class LifPopulation {
   /// "inhibitory signal to all other neurons").
   void inhibit_all_except(NeuronIndex winner, TimeMs until);
 
-  std::span<const double> membrane() const { return membrane_.span(); }
-  std::span<const TimeMs> last_spike_time() const { return last_spike_.span(); }
+  std::span<const double> membrane() const;
+  std::span<const TimeMs> last_spike_time() const;
 
   /// Total spikes emitted since construction or reset().
   std::uint64_t spike_count() const { return total_spikes_; }
 
  private:
+  void collect_spikes(std::vector<NeuronIndex>& spikes);
+
   LifParameters params_;
-  Engine* engine_;
-  device_vector<double> membrane_;
-  device_vector<TimeMs> last_spike_;
-  device_vector<TimeMs> inhibited_until_;
-  device_vector<std::uint8_t> spiked_flag_;
+  std::unique_ptr<Backend> owned_backend_;  ///< standalone ctor only
+  std::unique_ptr<StatePool> owned_pool_;   ///< standalone ctor only
+  StatePool* pool_ = nullptr;               ///< never null after construction
   std::uint64_t total_spikes_ = 0;
 };
 

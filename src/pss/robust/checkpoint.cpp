@@ -161,13 +161,9 @@ void TrainingCheckpoint::restore(WtaNetwork& network) const {
   PSS_REQUIRE(network.config().seed == seed,
               "checkpoint seed does not match the network — resuming with a "
               "different seed would break bitwise reproducibility");
-  ConductanceMatrix& g = network.conductance();
-  std::size_t k = 0;
-  for (NeuronIndex post = 0; post < neuron_count; ++post) {
-    for (ChannelIndex pre = 0; pre < input_channels; ++pre) {
-      g.set(post, pre, conductance[k++]);
-    }
-  }
+  // One bulk load through the StatePool; clamping matches what the
+  // per-element set() path used to do.
+  network.conductance().upload_clamped(conductance);
   network.restore_theta(theta);
   network.restore_cursor(presentation_cursor, now_ms);
 }

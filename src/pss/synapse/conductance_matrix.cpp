@@ -1,96 +1,117 @@
 #include "pss/synapse/conductance_matrix.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "pss/backend/backend.hpp"
+#include "pss/backend/kernels.hpp"
+#include "pss/backend/state_pool.hpp"
 #include "pss/common/error.hpp"
 
 namespace pss {
 
 ConductanceMatrix::ConductanceMatrix(std::size_t post_count,
                                      std::size_t pre_count, double g_min,
-                                     double g_max, Engine* engine)
-    : post_count_(post_count),
-      pre_count_(pre_count),
-      g_min_(g_min),
-      g_max_(g_max),
-      engine_(engine ? engine : &default_engine()),
-      g_(post_count * pre_count, g_min) {
+                                     double g_max, Engine* engine) {
   PSS_REQUIRE(post_count > 0 && pre_count > 0, "matrix must be non-empty");
-  PSS_REQUIRE(g_max > g_min, "conductance range must be non-empty");
+  if (engine) owned_backend_ = make_backend("cpu", engine);
+  Backend* backend = owned_backend_ ? owned_backend_.get() : &default_backend();
+  owned_pool_ = std::make_unique<StatePool>(
+      backend, StatePool::Geometry{post_count, pre_count});
+  pool_ = owned_pool_.get();
+  pool_->set_g_bounds(g_min, g_max);
 }
+
+ConductanceMatrix::ConductanceMatrix(StatePool& pool, double g_min,
+                                     double g_max)
+    : pool_(&pool) {
+  PSS_REQUIRE(pool.neurons() > 0 && pool.channels() > 0,
+              "matrix must be non-empty");
+  pool_->set_g_bounds(g_min, g_max);
+}
+
+ConductanceMatrix::~ConductanceMatrix() = default;
+ConductanceMatrix::ConductanceMatrix(ConductanceMatrix&&) noexcept = default;
+ConductanceMatrix& ConductanceMatrix::operator=(ConductanceMatrix&&) noexcept =
+    default;
+
+std::size_t ConductanceMatrix::post_count() const { return pool_->neurons(); }
+std::size_t ConductanceMatrix::pre_count() const { return pool_->channels(); }
+std::size_t ConductanceMatrix::synapse_count() const {
+  return pool_->neurons() * pool_->channels();
+}
+double ConductanceMatrix::g_min() const { return pool_->g_min(); }
+double ConductanceMatrix::g_max() const { return pool_->g_max(); }
+double ConductanceMatrix::learn_lo() const { return pool_->learn_lo(); }
+double ConductanceMatrix::learn_hi() const { return pool_->learn_hi(); }
 
 void ConductanceMatrix::initialize_uniform(double lo, double hi,
                                            SequentialRng& rng,
                                            const Quantizer* quantizer) {
-  PSS_REQUIRE(hi >= lo, "invalid init range");
-  for (auto& value : g_.span()) {
-    double v = std::clamp(rng.uniform(lo, hi), g_min_, g_max_);
-    if (quantizer) v = quantizer->quantize(v, rng.uniform());
-    value = v;
-  }
+  pool_->init_g_uniform(lo, hi, rng, quantizer);
 }
 
 double ConductanceMatrix::get(NeuronIndex post, ChannelIndex pre) const {
-  PSS_DASSERT(post < post_count_ && pre < pre_count_);
-  return g_[static_cast<std::size_t>(post) * pre_count_ + pre];
+  PSS_DASSERT(pre < pre_count());
+  return std::as_const(*pool_).g_row(post)[pre];
 }
 
 void ConductanceMatrix::set(NeuronIndex post, ChannelIndex pre, double g) {
-  PSS_DASSERT(post < post_count_ && pre < pre_count_);
-  g_[static_cast<std::size_t>(post) * pre_count_ + pre] =
-      std::clamp(g, g_min_, g_max_);
+  PSS_DASSERT(pre < pre_count());
+  pool_->g_row(post)[pre] = pool_->clamp_g(g);
 }
 
 std::span<const double> ConductanceMatrix::row(NeuronIndex post) const {
-  PSS_REQUIRE(post < post_count_, "post index out of range");
-  return g_.span().subspan(static_cast<std::size_t>(post) * pre_count_,
-                           pre_count_);
+  return std::as_const(*pool_).g_row(post);
 }
 
 std::span<double> ConductanceMatrix::row_mut(NeuronIndex post) {
-  PSS_REQUIRE(post < post_count_, "post index out of range");
-  return g_.span().subspan(static_cast<std::size_t>(post) * pre_count_,
-                           pre_count_);
+  return pool_->g_row(post);
 }
 
 void ConductanceMatrix::accumulate_currents(
     std::span<const ChannelIndex> active_pre, double spike_amplitude,
     std::span<double> currents) const {
-  PSS_REQUIRE(currents.size() == post_count_,
+  PSS_REQUIRE(currents.size() == post_count(),
               "currents vector size must equal post count");
-  if (active_pre.empty()) return;
-  auto g = g_.span();
-  const std::size_t pre_count = pre_count_;
-  engine_->launch("current.accumulate", post_count_, [&](std::size_t post) {
-    const double* row = g.data() + post * pre_count;
-    double acc = 0.0;
-    for (ChannelIndex pre : active_pre) acc += row[pre];
-    currents[post] += spike_amplitude * acc;
-  });
+  CurrentAccumulateArgs args{std::as_const(*pool_).g(), pre_count(), active_pre,
+                             spike_amplitude, currents};
+  Backend& backend = pool_->backend();
+  backend.kernels().current_accumulate(backend.engine(), args);
 }
 
 double ConductanceMatrix::mean() const {
   double sum = 0.0;
-  for (double v : g_.span()) sum += v;
-  return sum / static_cast<double>(g_.size());
+  const auto g = values();
+  for (double v : g) sum += v;
+  return sum / static_cast<double>(g.size());
 }
 
 double ConductanceMatrix::min_value() const {
-  return *std::min_element(g_.span().begin(), g_.span().end());
+  const auto g = values();
+  return *std::min_element(g.begin(), g.end());
 }
 
 double ConductanceMatrix::max_value() const {
-  return *std::max_element(g_.span().begin(), g_.span().end());
+  const auto g = values();
+  return *std::max_element(g.begin(), g.end());
 }
 
 std::vector<double> ConductanceMatrix::to_vector() const {
-  return g_.download();
+  const auto g = values();
+  return std::vector<double>(g.begin(), g.end());
+}
+
+std::span<const double> ConductanceMatrix::values() const {
+  return std::as_const(*pool_).g();
 }
 
 void ConductanceMatrix::upload(std::span<const double> values) {
-  PSS_REQUIRE(values.size() == g_.size(),
-              "upload size must equal synapse count");
-  std::copy(values.begin(), values.end(), g_.span().begin());
+  pool_->load_g(values, /*clamp=*/false);
+}
+
+void ConductanceMatrix::upload_clamped(std::span<const double> values) {
+  pool_->load_g(values, /*clamp=*/true);
 }
 
 }  // namespace pss

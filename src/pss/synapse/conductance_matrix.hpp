@@ -7,30 +7,55 @@
 //   * current accumulation (one kernel thread per post-neuron scans the
 //     active-input list against its row), and
 //   * STDP update on a post spike (touches one full row).
+//
+// The buffer itself lives in the StatePool's conductance section; this class
+// is the synapse-level API over it. All bounds/clamp/row-offset handling is
+// delegated to the pool's single accessor set — do not reimplement it here
+// or at call sites.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "pss/common/rng.hpp"
 #include "pss/common/types.hpp"
-#include "pss/engine/device_vector.hpp"
-#include "pss/engine/launch.hpp"
 #include "pss/fixedpoint/quantizer.hpp"
 
 namespace pss {
 
+class Backend;
+class Engine;
+class StatePool;
+
 class ConductanceMatrix {
  public:
+  /// Standalone: allocates a private pool on the default `cpu` backend (or
+  /// one wrapping `engine` when given).
   ConductanceMatrix(std::size_t post_count, std::size_t pre_count,
                     double g_min = 0.0, double g_max = 1.0,
                     Engine* engine = nullptr);
 
-  std::size_t post_count() const { return post_count_; }
-  std::size_t pre_count() const { return pre_count_; }
-  std::size_t synapse_count() const { return post_count_ * pre_count_; }
-  double g_min() const { return g_min_; }
-  double g_max() const { return g_max_; }
+  /// Shares `pool` (non-owning): the matrix is the view over the pool's
+  /// conductance section, shaped neurons × channels.
+  ConductanceMatrix(StatePool& pool, double g_min, double g_max);
+
+  ~ConductanceMatrix();
+  ConductanceMatrix(ConductanceMatrix&&) noexcept;
+  ConductanceMatrix& operator=(ConductanceMatrix&&) noexcept;
+
+  std::size_t post_count() const;
+  std::size_t pre_count() const;
+  std::size_t synapse_count() const;
+  double g_min() const;
+  double g_max() const;
+
+  /// The range STDP learning may reach: [learn_lo, learn_hi] =
+  /// [g_min, min(g_max, quantizer cap)] (see StatePool::set_learn_cap).
+  double learn_lo() const;
+  double learn_hi() const;
+
+  StatePool& pool() const { return *pool_; }
 
   /// Fills every conductance uniformly at random in [lo, hi] (clamped to the
   /// matrix range). If a quantizer is given, values are snapped to its grid —
@@ -63,19 +88,20 @@ class ConductanceMatrix {
 
   /// Read-only view of the full post-major buffer (post*pre_count + pre).
   /// The fused step kernel and replica sharing read through this.
-  std::span<const double> values() const { return g_.span(); }
+  std::span<const double> values() const;
 
   /// Bulk-replaces every conductance (no clamping — values must already lie
   /// in range, e.g. copied from another matrix of the same shape).
   void upload(std::span<const double> values);
 
+  /// Bulk-replace with every element clamped to [g_min, g_max] — the restore
+  /// path for external data (checkpoints, damaged snapshots).
+  void upload_clamped(std::span<const double> values);
+
  private:
-  std::size_t post_count_;
-  std::size_t pre_count_;
-  double g_min_;
-  double g_max_;
-  Engine* engine_;
-  device_vector<double> g_;
+  std::unique_ptr<Backend> owned_backend_;  ///< standalone ctor only
+  std::unique_ptr<StatePool> owned_pool_;   ///< standalone ctor only
+  StatePool* pool_ = nullptr;               ///< never null after construction
 };
 
 }  // namespace pss

@@ -29,7 +29,9 @@ StdpUpdater::StdpUpdater(const StdpUpdaterConfig& config)
       magnitude_rule_(config.magnitude),
       gate_(config.gate),
       effective_g_max_(config.magnitude.g_max),
-      full_quantum_mode_(false) {
+      full_quantum_mode_(false),
+      nonneg_deltas_(config.magnitude.alpha_p >= 0.0 &&
+                     config.magnitude.alpha_d >= 0.0) {
   PSS_REQUIRE(config.det_window_ms > 0.0, "causal window must be positive");
   if (config_.format) {
     quantizer_.emplace(*config_.format, config_.rounding);
@@ -40,6 +42,19 @@ StdpUpdater::StdpUpdater(const StdpUpdaterConfig& config)
 }
 
 double StdpUpdater::apply(double g, bool potentiate, double u_round) const {
+  // Saturation fast path: with α_p, α_d ≥ 0 every ΔG is ≥ 0 (eq. 4–5,
+  // quantized or full-quantum alike), so a synapse already at the bound it
+  // is moving toward comes back clamped to that same bound — the magnitude
+  // math cannot change the result. Bitwise-identical to the full path; in a
+  // trained network most conductances sit at the bounds (the paper's bimodal
+  // maps), so this skips most of the exp() calls in the learning hot loop.
+  if (nonneg_deltas_) {
+    if (potentiate) {
+      if (g >= effective_g_max_) return effective_g_max_;
+    } else if (g <= config_.magnitude.g_min) {
+      return config_.magnitude.g_min;
+    }
+  }
   const double magnitude = potentiate ? magnitude_rule_.potentiation_delta(g)
                                       : magnitude_rule_.depression_delta(g);
   double delta = magnitude;
@@ -66,6 +81,19 @@ double StdpUpdater::update_at_post_spike(double g, double gap_ms, double u_pot,
   if (u_pot < gate_.p_pot(gap_ms)) return apply(g, true, u_round);
   if (config_.depression != DepressionMode::kPreSpikeEq7 &&
       u_dep < gate_.p_dep_stale(gap_ms)) {
+    return apply(g, false, u_round);
+  }
+  return g;
+}
+
+double StdpUpdater::update_at_post_spike_gated(double g, double p_pot,
+                                               double p_dep_stale,
+                                               double u_pot, double u_dep,
+                                               double u_round) const {
+  PSS_DASSERT(config_.kind == StdpKind::kStochastic);
+  if (u_pot < p_pot) return apply(g, true, u_round);
+  if (config_.depression != DepressionMode::kPreSpikeEq7 &&
+      u_dep < p_dep_stale) {
     return apply(g, false, u_round);
   }
   return g;

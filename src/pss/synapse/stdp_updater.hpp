@@ -91,6 +91,41 @@ class StdpUpdater {
   double update_at_post_spike(double g, double gap_ms, double u_pot,
                               double u_dep, double u_round) const;
 
+  /// Stochastic post-spike event with the eq. 6 / stale-depression gate
+  /// probabilities supplied by the caller instead of recomputed here.
+  /// Bitwise-identical to update_at_post_spike(g, gap, ...) whenever
+  /// p_pot == gate().p_pot(gap) and p_dep_stale == gate().p_dep_stale(gap);
+  /// exists so bulk kernels (cpu_simd) can hoist/memoize the exp() calls —
+  /// e.g. every never-fired pre shares p_pot(∞) = +0 and
+  /// p_dep_stale(∞) = γ_dep exactly. Stochastic rule only.
+  double update_at_post_spike_gated(double g, double p_pot,
+                                    double p_dep_stale, double u_pot,
+                                    double u_dep, double u_round) const;
+
+  /// The eq. 6–7 gate evaluator (for callers precomputing probabilities to
+  /// feed update_at_post_spike_gated).
+  const StochasticGate& gate() const { return gate_; }
+
+  /// Which of the kDrawsPerEvent post-spike draw slots this configuration
+  /// can ever read. Counter-indexed draws are independent, so bulk callers
+  /// may skip generating unused slots without changing any consumed value:
+  ///  * slot 0 (u_pot)   — stochastic rule only;
+  ///  * slot 1 (u_dep)   — stochastic rule with a stale-at-post pathway;
+  ///  * slot 2 (u_round) — stochastic *rounding* into a fixed-point grid
+  ///                       (full-quantum mode and deterministic rounding
+  ///                       never consult the draw).
+  bool consumes_pot_draw() const {
+    return config_.kind == StdpKind::kStochastic;
+  }
+  bool consumes_dep_draw() const {
+    return config_.kind == StdpKind::kStochastic &&
+           config_.depression != DepressionMode::kPreSpikeEq7;
+  }
+  bool consumes_round_draw() const {
+    return quantizer_.has_value() && !full_quantum_mode_ &&
+           config_.rounding == RoundingMode::kStochastic;
+  }
+
   /// Pre-spike event: new conductance when an input spike arrives
   /// `post_age_ms` after the post-neuron's last spike (+inf if the post
   /// neuron has not fired). No-op unless the depression mode includes the
@@ -121,6 +156,7 @@ class StdpUpdater {
   std::optional<Quantizer> quantizer_;
   double effective_g_max_;
   bool full_quantum_mode_;  // stochastic rule at <= 8 bits
+  bool nonneg_deltas_;      // α_p, α_d ≥ 0 → saturation fast path is exact
 };
 
 }  // namespace pss

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Diff two pss.metrics.v1 bench files (e.g. BENCH_backend.json before/after
+a kernel change) gauge by gauge.
+
+Usage:
+    tools/bench_summary.py A.json B.json [--prefix bench.]
+
+Prints one row per gauge present in either file: the value in A, the value
+in B, and B/A. Counters are compared the same way when --counters is given.
+Ratios for *.ns / *.seconds gauges read as "B took X times as long as A"
+(< 1 means B is faster). Stdlib only; exit code 1 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "pss.metrics.v1":
+        raise ValueError(f"{path}: not a pss.metrics.v1 file "
+                         f"(schema={doc.get('schema')!r})")
+    metrics = doc.get("metrics", {})
+    return doc.get("label", "?"), metrics
+
+
+def fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float) and value != int(value):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def diff_section(name, a_map, b_map, prefix):
+    names = sorted(set(a_map) | set(b_map))
+    names = [n for n in names if n.startswith(prefix)]
+    if not names:
+        return
+    width = max(len(n) for n in names)
+    print(f"{name}:")
+    print(f"  {'name':<{width}}  {'A':>14}  {'B':>14}  {'B/A':>8}")
+    for n in names:
+        a, b = a_map.get(n), b_map.get(n)
+        if a is not None and b is not None and a != 0:
+            ratio = f"{b / a:.3f}"
+        else:
+            ratio = "-"
+        print(f"  {n:<{width}}  {fmt(a):>14}  {fmt(b):>14}  {ratio:>8}")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff the gauges of two pss.metrics.v1 files.")
+    parser.add_argument("file_a")
+    parser.add_argument("file_b")
+    parser.add_argument("--prefix", default="",
+                        help="only show metrics whose name starts with this")
+    parser.add_argument("--counters", action="store_true",
+                        help="also diff the counters section")
+    args = parser.parse_args(argv)
+
+    try:
+        label_a, metrics_a = load_metrics(args.file_a)
+        label_b, metrics_b = load_metrics(args.file_b)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"bench_summary: {err}", file=sys.stderr)
+        return 1
+
+    print(f"A = {args.file_a} (label {label_a})")
+    print(f"B = {args.file_b} (label {label_b})")
+    diff_section("gauges", metrics_a.get("gauges", {}),
+                 metrics_b.get("gauges", {}), args.prefix)
+    if args.counters:
+        diff_section("counters", metrics_a.get("counters", {}),
+                     metrics_b.get("counters", {}), args.prefix)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -16,6 +16,8 @@
 //   kind=stochastic|deterministic     option=fp32|16bit|8bit|4bit|2bit|highfreq
 //   rounding=nearest|trunc|stochastic neurons=100 train=400 label=250 eval=250
 //   seed=1  snapshot=<path>  maps=<path.pgm>  verbose=0|1
+//   backend=cpu|cpu_simd (cpu)  compute backend (see README "Compute
+//   backends"; cpu_simd vectorizes the fused-step and STDP-row kernels)
 //   workers=1 (0 = all cores; != 1 runs labelling/eval image-parallel with
 //   bitwise-identical results)  batch=1 (> 1 = minibatch STDP training)
 //
@@ -55,6 +57,7 @@
 #include "pss/robust/checkpoint.hpp"
 #include "pss/robust/fault_injection.hpp"
 #include "pss/robust/synaptic_faults.hpp"
+#include "tools/run_options.hpp"
 
 using namespace pss;
 
@@ -76,23 +79,6 @@ Config parse_cli(int argc, char** argv) {
   return config;
 }
 
-LearningOption parse_option(const std::string& name) {
-  if (name == "fp32") return LearningOption::kFloat32;
-  if (name == "16bit") return LearningOption::k16Bit;
-  if (name == "8bit") return LearningOption::k8Bit;
-  if (name == "4bit") return LearningOption::k4Bit;
-  if (name == "2bit") return LearningOption::k2Bit;
-  if (name == "highfreq") return LearningOption::kHighFrequency;
-  throw Error("unknown option: " + name);
-}
-
-RoundingMode parse_rounding(const std::string& name) {
-  if (name == "nearest") return RoundingMode::kNearest;
-  if (name == "trunc") return RoundingMode::kTruncate;
-  if (name == "stochastic") return RoundingMode::kStochastic;
-  throw Error("unknown rounding: " + name);
-}
-
 LabeledDataset load_data(const Config& cfg, const ExperimentSpec& spec) {
   const std::string which =
       cfg.get_string("dataset", "mnist") == "fashion" ? "fashion-mnist"
@@ -107,30 +93,7 @@ LabeledDataset load_data(const Config& cfg, const ExperimentSpec& spec) {
 }
 
 ExperimentSpec spec_from_config(const Config& cfg) {
-  ExperimentSpec spec;
-  spec.name = cfg.get_string("name", "pss_run");
-  spec.kind = cfg.get_string("kind", "stochastic") == "deterministic"
-                  ? StdpKind::kDeterministic
-                  : StdpKind::kStochastic;
-  spec.option = parse_option(cfg.get_string("option", "fp32"));
-  spec.rounding = parse_rounding(cfg.get_string("rounding", "nearest"));
-  spec.neuron_count = static_cast<std::size_t>(cfg.get_int("neurons", 100));
-  spec.train_images = static_cast<std::size_t>(cfg.get_int("train", 400));
-  spec.label_images = static_cast<std::size_t>(cfg.get_int("label", 250));
-  spec.eval_images = static_cast<std::size_t>(cfg.get_int("eval", 250));
-  const auto workers = cfg.get_int("workers", 1);
-  const auto batch = cfg.get_int("batch", 1);
-  PSS_REQUIRE(workers >= 0, "workers must be >= 0 (0 = all cores)");
-  PSS_REQUIRE(batch >= 1, "batch must be >= 1");
-  spec.workers = static_cast<std::size_t>(workers);
-  spec.batch_size = static_cast<std::size_t>(batch);
-  spec.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
-  const auto checkpoint_every = cfg.get_int("checkpoint_every", 0);
-  PSS_REQUIRE(checkpoint_every >= 0, "checkpoint_every must be >= 0");
-  spec.train_checkpoint_every = static_cast<std::size_t>(checkpoint_every);
-  spec.train_checkpoint_path = cfg.get_string("checkpoint", "");
-  spec.resume_path = cfg.get_string("resume", "");
-  return spec;
+  return tools::spec_from_config(cfg, /*default_name=*/"pss_run");
 }
 
 /// Applies companion-paper synaptic faults (stuck-at rails / perturbation)
@@ -285,24 +248,13 @@ int main(int argc, char** argv) {
     const Config cfg = parse_cli(argc, argv);
     if (!cfg.get_bool("verbose", false)) set_log_level(LogLevel::kWarn);
 
-    if (cfg.has("faults")) {
-      robust::faults().arm_from_spec(cfg.get_string("faults", ""));
-    }
-    if (cfg.has("fault_seed")) {
-      robust::faults().set_seed(
-          static_cast<std::uint64_t>(cfg.get_int("fault_seed", 0)));
-    }
+    tools::arm_faults_from_config(cfg);
 
-    const std::string trace_path = cfg.get_string("trace", "");
-    const std::string metrics_path = cfg.get_string("metrics", "");
-    const std::string manifest_path = cfg.get_string("manifest", "");
-    const bool want_obs =
-        !trace_path.empty() || !metrics_path.empty() || !manifest_path.empty();
-    if (want_obs) obs::set_metrics_enabled(true);
-    if (!trace_path.empty()) {
-      obs::set_trace_enabled(true);
-      obs::reset_trace();
-    }
+    const tools::ObsPaths obs_paths = tools::enable_observability(cfg);
+    const std::string& trace_path = obs_paths.trace;
+    const std::string& metrics_path = obs_paths.metrics;
+    const std::string& manifest_path = obs_paths.manifest;
+    const bool want_obs = obs_paths.any();
 
     obs::RunManifest manifest;
     manifest.tool = "pss_run";

@@ -1,0 +1,97 @@
+#include "tools/run_options.hpp"
+
+#include "pss/backend/backend.hpp"
+#include "pss/common/error.hpp"
+#include "pss/obs/metrics.hpp"
+#include "pss/obs/trace.hpp"
+#include "pss/robust/fault_injection.hpp"
+
+namespace pss::tools {
+
+LearningOption parse_learning_option(const std::string& name) {
+  if (name == "fp32") return LearningOption::kFloat32;
+  if (name == "16bit") return LearningOption::k16Bit;
+  if (name == "8bit") return LearningOption::k8Bit;
+  if (name == "4bit") return LearningOption::k4Bit;
+  if (name == "2bit") return LearningOption::k2Bit;
+  if (name == "highfreq") return LearningOption::kHighFrequency;
+  throw Error("unknown option: " + name);
+}
+
+RoundingMode parse_rounding_mode(const std::string& name) {
+  if (name == "nearest") return RoundingMode::kNearest;
+  if (name == "trunc") return RoundingMode::kTruncate;
+  if (name == "stochastic") return RoundingMode::kStochastic;
+  throw Error("unknown rounding: " + name);
+}
+
+namespace {
+
+std::string require_known_backend(const std::string& name) {
+  std::string known;
+  for (const BackendInfo& info : backend_registry()) {
+    if (info.name == name) return name;
+    if (!known.empty()) known += "|";
+    known += info.name;
+  }
+  throw Error("unknown backend '" + name + "' (known: " + known + ")");
+}
+
+}  // namespace
+
+ExperimentSpec spec_from_config(const Config& cfg,
+                                const std::string& default_name) {
+  ExperimentSpec spec;
+  spec.name = cfg.get_string("name", default_name);
+  spec.kind = cfg.get_string("kind", "stochastic") == "deterministic"
+                  ? StdpKind::kDeterministic
+                  : StdpKind::kStochastic;
+  spec.option = parse_learning_option(cfg.get_string("option", "fp32"));
+  spec.rounding = parse_rounding_mode(cfg.get_string("rounding", "nearest"));
+  spec.neuron_count = static_cast<std::size_t>(cfg.get_int("neurons", 100));
+  spec.train_images = static_cast<std::size_t>(cfg.get_int("train", 400));
+  spec.label_images = static_cast<std::size_t>(cfg.get_int("label", 250));
+  spec.eval_images = static_cast<std::size_t>(cfg.get_int("eval", 250));
+  const auto checkpoints = cfg.get_int("checkpoints", 0);
+  PSS_REQUIRE(checkpoints >= 0, "checkpoints must be >= 0");
+  spec.checkpoints = static_cast<std::size_t>(checkpoints);
+  const auto workers = cfg.get_int("workers", 1);
+  const auto batch = cfg.get_int("batch", 1);
+  PSS_REQUIRE(workers >= 0, "workers must be >= 0 (0 = all cores)");
+  PSS_REQUIRE(batch >= 1, "batch must be >= 1");
+  spec.workers = static_cast<std::size_t>(workers);
+  spec.batch_size = static_cast<std::size_t>(batch);
+  spec.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  spec.backend = require_known_backend(cfg.get_string("backend", "cpu"));
+  const auto checkpoint_every = cfg.get_int("checkpoint_every", 0);
+  PSS_REQUIRE(checkpoint_every >= 0, "checkpoint_every must be >= 0");
+  spec.train_checkpoint_every = static_cast<std::size_t>(checkpoint_every);
+  spec.train_checkpoint_path = cfg.get_string("checkpoint", "");
+  spec.resume_path = cfg.get_string("resume", "");
+  return spec;
+}
+
+void arm_faults_from_config(const Config& cfg) {
+  if (cfg.has("faults")) {
+    robust::faults().arm_from_spec(cfg.get_string("faults", ""));
+  }
+  if (cfg.has("fault_seed")) {
+    robust::faults().set_seed(
+        static_cast<std::uint64_t>(cfg.get_int("fault_seed", 0)));
+  }
+}
+
+ObsPaths enable_observability(const Config& cfg) {
+  ObsPaths paths;
+  paths.metrics = cfg.get_string("metrics", "");
+  paths.trace = cfg.get_string("trace", "");
+  paths.manifest = cfg.get_string("manifest", "");
+  if (paths.any()) obs::set_metrics_enabled(true);
+  if (!paths.trace.empty()) {
+    obs::set_trace_enabled(true);
+    obs::reset_trace();
+  }
+  return paths;
+}
+
+}  // namespace pss::tools

@@ -1,0 +1,49 @@
+// Shared command-line option handling for the runnable front-ends
+// (tools/pss_run, examples/mnist_unsupervised). Every key that configures an
+// ExperimentSpec — including the compute-backend selector `backend=` — is
+// parsed in exactly one place, so adding a flag here adds it to every tool
+// that links pss_tool_options.
+#pragma once
+
+#include <string>
+
+#include "pss/experiment/experiment.hpp"
+#include "pss/io/config.hpp"
+
+namespace pss::tools {
+
+/// fp32|16bit|8bit|4bit|2bit|highfreq -> Table I learning option.
+LearningOption parse_learning_option(const std::string& name);
+
+/// nearest|trunc|stochastic -> quantizer rounding mode.
+RoundingMode parse_rounding_mode(const std::string& name);
+
+/// Builds an ExperimentSpec from the shared keys:
+///   kind= option= rounding= neurons= train= label= eval= seed=
+///   workers= batch= backend= checkpoints=
+///   checkpoint= checkpoint_every= resume=
+/// `backend=` is validated against the backend registry so a typo fails at
+/// parse time; the cuda stub's gating message still surfaces at network
+/// construction (see src/pss/backend/backend.hpp).
+ExperimentSpec spec_from_config(const Config& cfg,
+                                const std::string& default_name);
+
+/// Arms deterministic fault injection from faults= / fault_seed= keys
+/// (no-op when neither key is present).
+void arm_faults_from_config(const Config& cfg);
+
+/// Observability sidecar paths (empty string = not requested).
+struct ObsPaths {
+  std::string metrics;
+  std::string trace;
+  std::string manifest;
+  bool any() const {
+    return !metrics.empty() || !trace.empty() || !manifest.empty();
+  }
+};
+
+/// Reads metrics=/trace=/manifest= and switches the metrics registry and
+/// tracer on when any of them is requested.
+ObsPaths enable_observability(const Config& cfg);
+
+}  // namespace pss::tools
