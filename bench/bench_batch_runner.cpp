@@ -98,9 +98,10 @@ int main(int argc, char** argv) {
       WtaNetwork net(bench_config(neurons, seed, acc.fused, backend), &engine);
       net.present(rates, t_ms, true);
       const double per_step =
-          static_cast<double>(engine.launch_count()) / steps;
+          static_cast<double>(engine.launch_count()) / static_cast<double>(steps);
       const double disp_per_step =
-          static_cast<double>(engine.dispatch_count()) / steps;
+          static_cast<double>(engine.dispatch_count()) /
+          static_cast<double>(steps);
       launches.add_row({acc.name, std::to_string(engine.launch_count()),
                         std::to_string(engine.dispatch_count()),
                         format_fixed(per_step, 2),

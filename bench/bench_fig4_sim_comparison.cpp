@@ -113,8 +113,8 @@ int main(int argc, char** argv) {
     // to a shuffled-pair control).
     auto times_of = [](const ActivityResult& r, NeuronIndex n) {
       std::vector<TimeMs> out;
-      for (const auto& [t, j] : r.raster) {
-        if (j == n) out.push_back(t);
+      for (const auto& [spike_t, j] : r.raster) {
+        if (j == n) out.push_back(spike_t);
       }
       return out;
     };
@@ -124,7 +124,7 @@ int main(int argc, char** argv) {
         izh.per_neuron_spikes.begin());
     const auto train_izh = times_of(izh, busiest);
     const auto train_base = times_of(base, busiest);
-    const auto train_other = times_of(base, (busiest + 1) % neurons);
+    const auto train_other = times_of(base, static_cast<NeuronIndex>((busiest + 1) % neurons));
     if (train_izh.size() > 2 && train_base.size() > 2) {
       const IsiStats cv_izh = isi_statistics(train_izh);
       std::printf("busiest neuron ISI: mean %.1f ms, CV %.2f (Poisson-like "

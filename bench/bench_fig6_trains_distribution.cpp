@@ -26,7 +26,7 @@ void show_raster(const Image& img, double f_min, double f_max,
   SpikeRaster raster(rates.size(), duration);
   std::vector<ChannelIndex> active;
   std::uint64_t spikes = 0;
-  for (StepIndex s = 0; s * 1.0 < duration; ++s) {
+  for (StepIndex s = 0; static_cast<double>(s) * 1.0 < duration; ++s) {
     enc.active_channels(s, 1.0, active);
     for (ChannelIndex c : active) raster.record(c, static_cast<TimeMs>(s));
     spikes += active.size();

@@ -40,6 +40,7 @@ using namespace pss;
 int main(int argc, char** argv) {
   try {
     const Config args = Config::from_args(argc, argv);
+    tools::require_known_keys(args, {"maps", "curve", "retries", "verbose"});
     if (!args.get_bool("verbose", false)) set_log_level(LogLevel::kWarn);
 
     tools::arm_faults_from_config(args);

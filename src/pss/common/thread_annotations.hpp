@@ -1,0 +1,74 @@
+// Clang thread-safety (capability) annotation macros.
+//
+// The determinism contracts (bitwise worker-count invariance, checkpoint
+// resume, cross-backend equivalence) all hinge on shared state being mutated
+// only under the right lock or through atomics. Runtime tests catch races we
+// happen to execute; these annotations let `-Wthread-safety` prove the
+// locking discipline at compile time on every path, executed or not.
+//
+// The macros expand to Clang's capability attributes when the compiler
+// supports them (clang with -Wthread-safety) and to nothing otherwise
+// (GCC builds see plain declarations). Annotated classes therefore compile
+// everywhere, but a clang build is the one that enforces the discipline —
+// tools/ci_static_gate.sh runs it when clang is on PATH.
+//
+// Usage (see ThreadPool for the canonical example):
+//   std::mutex mutex_;
+//   std::size_t pending_ PSS_GUARDED_BY(mutex_);
+//   void drain() PSS_REQUIRES(mutex_);
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PSS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PSS_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability (std::mutex already is one in
+/// libc++/libstdc++ clang builds; use this for hand-rolled locks).
+#define PSS_CAPABILITY(x) PSS_THREAD_ANNOTATION(capability(x))
+
+/// A lock implementing shared/exclusive semantics.
+#define PSS_SCOPED_CAPABILITY PSS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define PSS_GUARDED_BY(x) PSS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define PSS_PT_GUARDED_BY(x) PSS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held (exclusively) on entry.
+#define PSS_REQUIRES(...) \
+  PSS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires the listed capabilities held (shared) on entry.
+#define PSS_REQUIRES_SHARED(...) \
+  PSS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define PSS_ACQUIRE(...) PSS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define PSS_ACQUIRE_SHARED(...) \
+  PSS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, released on return).
+#define PSS_RELEASE(...) PSS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define PSS_RELEASE_SHARED(...) \
+  PSS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define PSS_EXCLUDES(...) PSS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares which lock a try-acquire function obtains on success.
+#define PSS_TRY_ACQUIRE(...) \
+  PSS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Returns a reference to the capability protecting the returned data.
+#define PSS_RETURN_CAPABILITY(x) PSS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: body is exempt from analysis (document why at each use).
+#define PSS_NO_THREAD_SAFETY_ANALYSIS \
+  PSS_THREAD_ANNOTATION(no_thread_safety_analysis)

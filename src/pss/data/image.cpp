@@ -102,7 +102,8 @@ Image Canvas::render(double peak_intensity, double saturation, double noise,
   PSS_REQUIRE(saturation > 0.0, "saturation must be positive");
   Image img(side_, side_);
   for (std::size_t i = 0; i < ink_.size(); ++i) {
-    double v = std::min(1.0, ink_[i] / saturation) * peak_intensity;
+    double v =
+        std::min(1.0, static_cast<double>(ink_[i]) / saturation) * peak_intensity;
     if (noise > 0.0 && rng != nullptr) {
       v += rng->uniform(-noise, noise) * 255.0;
     }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "pss/common/error.hpp"
+#include "pss/common/thread_annotations.hpp"
 #include "pss/engine/launch.hpp"
 #include "pss/engine/thread_pool.hpp"
 #include "pss/obs/metrics.hpp"
@@ -55,7 +56,9 @@ class ShardFailureLog {
     std::string what;
   };
   mutable std::mutex mutex_;
-  std::vector<Failure> failures_;
+  /// Appended concurrently by shards, merged by the submitting thread in
+  /// rethrow_if_any(); every access path must hold mutex_.
+  std::vector<Failure> failures_ PSS_GUARDED_BY(mutex_);
 };
 
 class BatchRunner {

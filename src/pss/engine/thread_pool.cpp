@@ -74,13 +74,14 @@ void ThreadPool::parallel_for(std::size_t n, RangeFn fn, void* ctx) {
   }
   wake_.notify_all();
 
+  std::exception_ptr caller_error;
   {
     const std::uint64_t t0 = timed ? obs::monotonic_ns() : 0;
     try {
       fn(ctx, 0, std::min(n, chunk));  // caller takes the first chunk
     } catch (...) {
       // Must not rethrow yet: workers still hold borrowed ctx pointers.
-      chunk_errors_[0] = std::current_exception();
+      caller_error = std::current_exception();
     }
     if (timed) {
       busy_ns_[0].ns.fetch_add(obs::monotonic_ns() - t0,
@@ -89,7 +90,8 @@ void ThreadPool::parallel_for(std::size_t n, RangeFn fn, void* ctx) {
   }
 
   std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [this] { return pending_ == 0; });
+  if (caller_error) chunk_errors_[0] = std::move(caller_error);
+  while (pending_ != 0) done_.wait(lock);
   for (std::exception_ptr& e : chunk_errors_) {
     if (e) {
       std::exception_ptr raised = e;
@@ -106,10 +108,12 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] {
-        return stopping_ ||
-               (generation_ != seen_generation && tasks_[worker_index].fn);
-      });
+      // Explicit wait loop (not the predicate overload) so the guarded
+      // reads are visibly under mutex_ for the thread-safety analysis.
+      while (!stopping_ &&
+             !(generation_ != seen_generation && tasks_[worker_index].fn)) {
+        wake_.wait(lock);
+      }
       if (stopping_) return;
       seen_generation = generation_;
       task = tasks_[worker_index];

@@ -23,6 +23,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "pss/common/thread_annotations.hpp"
+
 namespace pss {
 
 class ThreadPool {
@@ -101,16 +103,23 @@ class ThreadPool {
 
   void worker_loop(std::size_t worker_index);
 
+  // workers_ and busy_ns_ are written only during construction (and joined
+  // at destruction); busy-time slots are per-thread relaxed atomics. All
+  // launch coordination state below is guarded by mutex_ — the annotations
+  // let clang's -Wthread-safety prove every access path holds it.
   std::vector<std::thread> workers_;
   std::unique_ptr<BusySlot[]> busy_ns_;  // slot 0 = calling thread
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
-  std::vector<Task> tasks_;     // one slot per worker, refilled per launch
-  std::vector<std::exception_ptr> chunk_errors_;  // slot i = chunk i
-  std::size_t pending_ = 0;     // tasks not yet completed in current launch
-  std::uint64_t generation_ = 0;
-  bool stopping_ = false;
+  /// One slot per worker, refilled per launch.
+  std::vector<Task> tasks_ PSS_GUARDED_BY(mutex_);
+  /// Slot i = chunk i; merged by the submitter after the launch drains.
+  std::vector<std::exception_ptr> chunk_errors_ PSS_GUARDED_BY(mutex_);
+  /// Tasks not yet completed in the current launch.
+  std::size_t pending_ PSS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ PSS_GUARDED_BY(mutex_) = 0;
+  bool stopping_ PSS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pss

@@ -120,7 +120,7 @@ ExperimentResult run_learning_experiment(const ExperimentSpec& spec,
                      spec.t_infer_ms, runner_ptr);
     checkpoint_overhead_s += cp_clock.seconds();
     result.error_trace.push_back(
-        {index + 1, (index + 1) * tcfg.t_learn_ms,
+        {index + 1, static_cast<double>(index + 1) * tcfg.t_learn_ms,
          train_clock.seconds() - checkpoint_overhead_s, 1.0 - acc});
   };
   // Minibatch STDP (spec.batch_size > 1) trains through the runner; with

@@ -53,8 +53,14 @@ double QFormat::from_code(std::uint32_t code) const {
 }
 
 std::string QFormat::name() const {
-  return "Q" + std::to_string(integer_bits_) + "." +
-         std::to_string(fraction_bits_);
+  // Built by appending onto a named string: the `"Q" + std::to_string(...)`
+  // rvalue chain trips GCC 12's false-positive -Wrestrict (PR 105329), which
+  // would breach the -Werror wall of the lint preset.
+  std::string out = "Q";
+  out += std::to_string(integer_bits_);
+  out += '.';
+  out += std::to_string(fraction_bits_);
+  return out;
 }
 
 QFormat q0_2() { return QFormat(0, 2); }

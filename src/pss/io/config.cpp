@@ -25,7 +25,20 @@ void parse_line(Config& config, const std::string& raw) {
   const auto eq = line.find('=');
   PSS_REQUIRE(eq != std::string::npos && eq > 0,
               "config line must be key=value: '" + raw + "'");
-  config.set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+  const std::string key = trim(line.substr(0, eq));
+  const std::string value = trim(line.substr(eq + 1));
+  // Within one source (one file, one argv) both of these are almost
+  // certainly typos: a bare `key=` that meant to pass a value, or the same
+  // key twice where only the last would silently win. Overrides across
+  // sources (file then CLI) still work — they go through set() directly.
+  PSS_REQUIRE(!value.empty(),
+              "config key '" + key + "' has an empty value (use key=value, "
+              "or drop the key to keep its default)");
+  PSS_REQUIRE(!config.has(key),
+              "duplicate config key '" + key + "' (each key may appear once "
+              "per file or command line; later overrides belong on the "
+              "command line)");
+  config.set(key, value);
 }
 
 }  // namespace

@@ -37,7 +37,7 @@ struct TrainerConfig {
   /// training continues — writes are atomic, so the previous checkpoint
   /// survives.
   std::size_t checkpoint_every = 0;
-  std::string checkpoint_path;
+  std::string checkpoint_path{};
 
   /// Scan conductances and theta for NaN/Inf/out-of-bounds after every
   /// image (sequential) or batch; on divergence training throws pss::Error

@@ -41,7 +41,8 @@ std::vector<Connection> connect_random(std::size_t pre_count,
                                        SequentialRng& rng, TimeMs delay_ms) {
   PSS_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
   std::vector<Connection> out;
-  out.reserve(static_cast<std::size_t>(p * pre_count * post_count * 1.1));
+  out.reserve(static_cast<std::size_t>(p * static_cast<double>(pre_count) *
+                                       static_cast<double>(post_count) * 1.1));
   for (std::size_t pre = 0; pre < pre_count; ++pre) {
     for (std::size_t post = 0; post < post_count; ++post) {
       if (rng.bernoulli(p)) {

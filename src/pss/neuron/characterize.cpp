@@ -59,7 +59,8 @@ std::vector<FiPoint> lif_fi_curve(const LifParameters& params, double i_min,
   curve.reserve(samples);
   for (std::size_t k = 0; k < samples; ++k) {
     const double i =
-        i_min + (i_max - i_min) * static_cast<double>(k) / (samples - 1);
+        i_min + (i_max - i_min) * static_cast<double>(k) /
+        static_cast<double>(samples - 1);
     curve.push_back({i, lif_spiking_frequency(params, i, duration_ms)});
   }
   return curve;
@@ -75,7 +76,8 @@ std::vector<FiPoint> izhikevich_fi_curve(const IzhikevichParameters& params,
   curve.reserve(samples);
   for (std::size_t k = 0; k < samples; ++k) {
     const double i =
-        i_min + (i_max - i_min) * static_cast<double>(k) / (samples - 1);
+        i_min + (i_max - i_min) * static_cast<double>(k) /
+        static_cast<double>(samples - 1);
     curve.push_back({i, izhikevich_spiking_frequency(params, i, duration_ms)});
   }
   return curve;

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "pss/common/error.hpp"
+#include "pss/common/thread_annotations.hpp"
 #include "pss/obs/json_writer.hpp"
 
 namespace pss::obs {
@@ -113,10 +114,15 @@ void FixedHistogram::reset() {
 
 struct MetricsRegistry::Impl {
   mutable std::mutex mutex;
-  // node-based maps: references stay valid across later registrations.
-  std::map<std::string, std::unique_ptr<Counter>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges;
-  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms;
+  // Node-based maps: references stay valid across later registrations, so a
+  // hot path looks its metric up once and then writes lock-free through the
+  // sharded atomics. The maps themselves (registration, snapshot, reset)
+  // are only touched under `mutex` — enforced by the annotations.
+  std::map<std::string, std::unique_ptr<Counter>> counters
+      PSS_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges PSS_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms
+      PSS_GUARDED_BY(mutex);
 };
 
 MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}

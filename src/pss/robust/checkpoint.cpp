@@ -236,6 +236,15 @@ TrainingCheckpoint load_checkpoint(const std::string& path) {
   std::uint32_t declared_crc = 0;
   in.read(reinterpret_cast<char*>(&declared_crc), sizeof(declared_crc));
   PSS_REQUIRE(static_cast<bool>(in), "checkpoint " + path + ": short header");
+  // The declared size feeds a std::size_t allocation below; on a 32-bit
+  // size_t a >4 GiB value would silently wrap before the mismatch check ever
+  // saw it. A real checkpoint is a few MiB, so reject implausible headers
+  // outright while the value is still uint64.
+  constexpr std::uint64_t kMaxPayloadSize = std::uint64_t{1} << 32;  // 4 GiB
+  PSS_REQUIRE(payload_size < kMaxPayloadSize,
+              "checkpoint " + path + ": header declares an implausible "
+              "payload size (" + std::to_string(payload_size) +
+              " bytes, limit " + std::to_string(kMaxPayloadSize) + ")");
   PSS_REQUIRE(payload_size == file_size - kHeaderSize,
               "checkpoint " + path + ": declared payload size " +
                   std::to_string(payload_size) + " does not match file (" +

@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "pss/common/thread_annotations.hpp"
+
 namespace pss::robust {
 
 struct FaultArm {
@@ -95,8 +97,13 @@ class FaultInjector {
   };
 
   mutable std::mutex mutex_;
-  std::map<std::string, PointState> points_;
-  std::uint64_t seed_ = 0xfa017u;
+  /// Armed points plus their hit/fire counters — arm/probe/query all mutate
+  /// or read this map, so every access path must hold mutex_. The ordered
+  /// map also keeps armed_points() deterministic.
+  std::map<std::string, PointState> points_ PSS_GUARDED_BY(mutex_);
+  std::uint64_t seed_ PSS_GUARDED_BY(mutex_) = 0xfa017u;
+  /// Lock-free fast-path gate: lets should_fire() skip the lock entirely
+  /// while nothing is armed (one relaxed load per probe).
   std::atomic<bool> any_armed_{false};
 };
 

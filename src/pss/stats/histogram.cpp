@@ -60,7 +60,9 @@ std::string Histogram::to_string(std::size_t max_width) const {
     const std::size_t bar =
         peak == 0 ? 0
                   : static_cast<std::size_t>(
-                        static_cast<double>(counts_[i]) * max_width / peak);
+                        static_cast<double>(counts_[i]) *
+                        static_cast<double>(max_width) /
+                        static_cast<double>(peak));
     os << std::fixed << std::setprecision(3) << std::setw(8) << center(i)
        << " |" << std::string(bar, '#') << " " << counts_[i] << "\n";
   }

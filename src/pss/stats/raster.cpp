@@ -43,7 +43,8 @@ std::string SpikeRaster::to_string(std::size_t width,
   for (const auto& [t, r] : events_) {
     const std::size_t line = r / stride;
     if (line >= shown) continue;
-    auto col = static_cast<std::size_t>(t / duration_ * width);
+    auto col =
+        static_cast<std::size_t>(t / duration_ * static_cast<double>(width));
     if (col >= width) col = width - 1;
     lines[line][col] = '.';
   }

@@ -1,0 +1,14 @@
+// Fixture: <random> engines/distributions in a kernel TU (Philox-only
+// territory) plus a raw malloc.
+#include <cstdlib>
+#include <random>
+
+double bad_kernel_rng(unsigned long seed_value) {
+  std::mt19937_64 engine(seed_value);  // line 7: kernel-rng
+  std::normal_distribution<double> dist(0.0, 1.0);  // line 8: kernel-rng
+  return dist(engine);
+}
+
+void* bad_kernel_alloc(unsigned n) {
+  return malloc(n);  // line 13: raw-alloc
+}

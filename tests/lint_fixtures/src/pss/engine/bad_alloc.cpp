@@ -1,0 +1,10 @@
+// Fixture: raw allocation in a hot path (engine/).
+#include <cstdlib>
+
+double* bad_new(unsigned n) {
+  return new double[n];  // line 5: raw-alloc
+}
+
+void bad_free(void* p) {
+  free(p);  // line 9: raw-alloc
+}

@@ -1,0 +1,24 @@
+// Fixture: every banned entropy source in one numeric-path file.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned bad_libc_rng() {
+  return static_cast<unsigned>(rand());  // line 8: nondeterministic-rng
+}
+
+unsigned bad_hardware_entropy() {
+  std::random_device rd;  // line 12: nondeterministic-rng
+  return rd();
+}
+
+long bad_time_seed() {
+  return time(nullptr);  // line 17: nondeterministic-rng
+}
+
+long bad_chrono_seed() {
+  // nondeterministic-rng: chrono-derived value flowing into a seed.
+  const auto seed = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<long>(seed.count());
+}

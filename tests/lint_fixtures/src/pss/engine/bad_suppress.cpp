@@ -1,0 +1,5 @@
+// Fixture: a suppression naming an unknown rule is itself an error (and
+// does not silence the underlying finding).
+double* bad_suppression(unsigned n) {
+  return new double[n];  // pss-lint: allow(not-a-rule)
+}

@@ -1,0 +1,8 @@
+// Fixture: a violation carrying a valid suppression — must land in the
+// report's "suppressed" list, not "violations".
+#include <random>
+
+unsigned suppressed_entropy() {
+  std::random_device rd;  // pss-lint: allow(nondeterministic-rng)
+  return rd();
+}

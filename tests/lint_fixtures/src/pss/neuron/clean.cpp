@@ -1,0 +1,14 @@
+// Fixture: a clean numeric-path file. Mentions of banned constructs in
+// comments and string literals must NOT fire any rule:
+//   rand() srand() std::random_device malloc(64) new double[3]
+#include <string>
+
+// for (auto& kv : some_unordered_map) { ... }  — commented-out iteration
+const char* clean_description() {
+  return "this string mentions rand() and malloc( and std::mt19937";
+}
+
+double clean_sum(double a, double b) {
+  const std::string note = "new delete free( calloc(";
+  return a + b + static_cast<double>(note.size()) * 0.0;
+}

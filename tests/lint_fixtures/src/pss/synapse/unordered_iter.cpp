@@ -1,0 +1,21 @@
+// Fixture: iteration over unordered containers in a numeric path — the
+// order feeds the sums, so results depend on the hash implementation.
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+double bad_unordered_sum() {
+  std::unordered_map<std::string, double> weights;
+  weights["a"] = 0.5;
+  double sum = 0.0;
+  for (const auto& kv : weights) {  // line 12: unordered-iteration
+    sum += kv.second;
+  }
+  return sum;
+}
+
+std::size_t bad_unordered_begin() {
+  std::unordered_map<int, double> table{{1, 2.0}};
+  auto it = table.begin();  // line 19: unordered-iteration
+  return static_cast<std::size_t>(it->first);
+}

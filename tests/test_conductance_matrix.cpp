@@ -72,7 +72,8 @@ TEST(ConductanceMatrix, AccumulateCurrentsMatchesManualSum) {
   std::vector<double> currents(3, 0.0);
   m.accumulate_currents(active, 2.0, currents);
   for (std::size_t post = 0; post < 3; ++post) {
-    const double expected = 2.0 * ((0.1 * post + 0.01) + (0.1 * post + 0.03));
+    const double p = static_cast<double>(post);
+    const double expected = 2.0 * ((0.1 * p + 0.01) + (0.1 * p + 0.03));
     EXPECT_NEAR(currents[post], expected, 1e-12);
   }
 }

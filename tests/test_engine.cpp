@@ -102,9 +102,12 @@ TEST(Engine, LaunchVisitsEachThreadIndex) {
 TEST(Engine, LaunchSumMatchesSerial) {
   Engine engine(4);
   const double parallel =
-      engine.launch_sum(1000, [](std::size_t i) { return i * 0.5; });
+      engine.launch_sum(1000,
+                        [](std::size_t i) { return static_cast<double>(i) * 0.5; });
   double serial = 0.0;
-  for (std::size_t i = 0; i < 1000; ++i) serial += i * 0.5;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    serial += static_cast<double>(i) * 0.5;
+  }
   EXPECT_DOUBLE_EQ(parallel, serial);
 }
 

@@ -158,7 +158,8 @@ TEST(WtaNetwork, WtaInhibitionConcentratesLearningSpikes) {
   ASSERT_GT(r.total_spikes, 0u);
   const auto top = *std::max_element(r.spike_counts.begin(),
                                      r.spike_counts.end());
-  EXPECT_GT(static_cast<double>(top) / r.total_spikes, 0.3)
+  EXPECT_GT(static_cast<double>(top) / static_cast<double>(r.total_spikes),
+            0.3)
       << "hard WTA should concentrate spikes on the winner";
 }
 
@@ -174,7 +175,7 @@ TEST(WtaNetwork, PresentationsAreIndependent) {
   // Same network, frozen weights: responses should be similar in magnitude.
   EXPECT_NEAR(static_cast<double>(r1.total_spikes),
               static_cast<double>(r2.total_spikes),
-              std::max<double>(6.0, 0.5 * r1.total_spikes));
+              std::max<double>(6.0, 0.5 * static_cast<double>(r1.total_spikes)));
 }
 
 TEST(WtaNetwork, BiologicalClockAdvances) {

@@ -1,0 +1,138 @@
+// Negative-path coverage for the shared front-end option layer: config
+// parsing must fail loudly on typos (unknown keys, duplicates, bare `key=`)
+// instead of silently running with defaults, and the failure message must
+// point at the likely fix ("did you mean 'backend'?").
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pss/common/error.hpp"
+#include "pss/io/config.hpp"
+#include "tools/run_options.hpp"
+
+using namespace pss;
+
+namespace {
+
+Config config_from(std::initializer_list<const char*> kvs) {
+  std::vector<const char*> argv = {"test_options"};
+  argv.insert(argv.end(), kvs.begin(), kvs.end());
+  return Config::from_args(static_cast<int>(argv.size()), argv.data(), 1);
+}
+
+std::string error_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(OptionsNegative, UnknownKeySuggestsNearestKnownKey) {
+  const Config cfg = config_from({"bakend=cpu"});
+  const std::string msg =
+      error_message([&] { tools::require_known_keys(cfg); });
+  EXPECT_NE(msg.find("unknown config key 'bakend'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("did you mean 'backend'?"), std::string::npos) << msg;
+}
+
+TEST(OptionsNegative, UnknownKeyFarFromEverythingGetsNoSuggestion) {
+  const Config cfg = config_from({"zzqqzz=1"});
+  const std::string msg =
+      error_message([&] { tools::require_known_keys(cfg); });
+  EXPECT_NE(msg.find("unknown config key 'zzqqzz'"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("did you mean"), std::string::npos) << msg;
+}
+
+TEST(OptionsNegative, ToolSpecificExtraKeysAreAccepted) {
+  const Config cfg = config_from({"seed=3", "maps=out/x.pgm"});
+  EXPECT_THROW(tools::require_known_keys(cfg), Error);
+  EXPECT_NO_THROW(tools::require_known_keys(cfg, {"maps"}));
+}
+
+TEST(OptionsNegative, EverySharedKeyIsAcceptedWithoutExtras) {
+  Config cfg;
+  for (const std::string& key : tools::shared_config_keys()) {
+    cfg.set(key, "1");
+  }
+  EXPECT_NO_THROW(tools::require_known_keys(cfg));
+}
+
+TEST(OptionsNegative, DuplicateKeyOnCommandLineIsRejected) {
+  const std::string msg =
+      error_message([] { config_from({"seed=1", "seed=2"}); });
+  EXPECT_NE(msg.find("duplicate config key 'seed'"), std::string::npos) << msg;
+}
+
+TEST(OptionsNegative, EmptyValueIsRejected) {
+  const std::string msg = error_message([] { config_from({"seed="}); });
+  EXPECT_NE(msg.find("config key 'seed' has an empty value"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(OptionsNegative, DuplicateKeyInConfigFileIsRejected) {
+  const std::string path = testing::TempDir() + "/pss_dup_key.cfg";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "neurons=100\n# comment line\nneurons=200\n";
+  }
+  const std::string msg =
+      error_message([&] { Config::from_file(path); });
+  EXPECT_NE(msg.find("duplicate config key 'neurons'"), std::string::npos)
+      << msg;
+}
+
+TEST(OptionsNegative, EmptyValueInConfigFileIsRejected) {
+  const std::string path = testing::TempDir() + "/pss_empty_value.cfg";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "workers=\n";
+  }
+  const std::string msg =
+      error_message([&] { Config::from_file(path); });
+  EXPECT_NE(msg.find("config key 'workers' has an empty value"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(OptionsNegative, BackendTypoGetsSuggestion) {
+  const Config cfg = config_from({"backend=cpu_simdd"});
+  const std::string msg = error_message(
+      [&] { tools::spec_from_config(cfg, "test_options"); });
+  EXPECT_NE(msg.find("unknown backend 'cpu_simdd'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("did you mean 'cpu_simd'?"), std::string::npos) << msg;
+}
+
+TEST(OptionsNegative, BackendFarFromEverythingStillListsKnown) {
+  const Config cfg = config_from({"backend=tpu9999"});
+  const std::string msg = error_message(
+      [&] { tools::spec_from_config(cfg, "test_options"); });
+  EXPECT_NE(msg.find("unknown backend 'tpu9999'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("known:"), std::string::npos) << msg;
+}
+
+TEST(OptionsPositive, ValidConfigStillBuildsASpec) {
+  const Config cfg = config_from(
+      {"kind=deterministic", "option=8bit", "rounding=trunc", "neurons=40",
+       "train=10", "label=5", "eval=5", "seed=7", "backend=cpu"});
+  EXPECT_NO_THROW(tools::require_known_keys(cfg));
+  const ExperimentSpec spec = tools::spec_from_config(cfg, "test_options");
+  EXPECT_EQ(spec.neuron_count, 40u);
+  EXPECT_EQ(spec.backend, "cpu");
+  EXPECT_EQ(spec.seed, 7u);
+}
+
+TEST(OptionsPositive, CrossSourceOverrideStillWorksViaSet) {
+  // pss_run merges file + CLI by calling set() per key — that path must stay
+  // overwrite-capable even though one source rejects duplicates.
+  Config cfg = config_from({"seed=1"});
+  cfg.set("seed", "2");
+  EXPECT_EQ(cfg.get_int("seed", 0), 2);
+}
+
+}  // namespace

@@ -321,6 +321,27 @@ TEST_F(CheckpointTest, RoundTripIsBitwise) {
   std::remove(path.c_str());
 }
 
+TEST_F(CheckpointTest, RejectsImplausibleDeclaredPayloadSize) {
+  WtaNetwork net(tiny_config());
+  const std::string path = temp_path("pss_ckpt_huge_decl.bin");
+  robust::save_checkpoint(path, trained_checkpoint(net));
+  // Declared payload size lives at header offset 12. Declare ~5 GiB: the
+  // loader must reject the header while the size is still uint64 — before it
+  // reaches the size_t allocation (which would wrap on 32-bit) or tries to
+  // reconcile it against the file length.
+  patch_u64(path, 12, 5ull * 1024 * 1024 * 1024);
+  try {
+    robust::load_checkpoint(path);
+    FAIL() << "expected rejection of a >4 GiB declared payload size";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible"), std::string::npos)
+        << e.what();
+  } catch (const std::bad_alloc&) {
+    FAIL() << "implausible-size validation must reject before allocating";
+  }
+  std::remove(path.c_str());
+}
+
 TEST_F(CheckpointTest, CorruptionMatrix) {
   WtaNetwork net(tiny_config());
   const robust::TrainingCheckpoint cp = trained_checkpoint(net);

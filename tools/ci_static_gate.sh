@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Single-command static gate: warning wall as errors, determinism lint,
+# clang-tidy gate (skipped when clang-tidy is absent), then the sanitizer
+# suites. Every stage runs even if an earlier one fails; the summary at the
+# end is the one pass/fail signal CI needs.
+#
+# Usage: tools/ci_static_gate.sh [--skip-sanitizers]
+#   --skip-sanitizers   stop after the lint/tidy stages (fast local gate)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT" || exit 2
+
+SKIP_SAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizers) SKIP_SAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+declare -a NAMES
+declare -a RESULTS
+
+record() {  # record <name> <status-word>
+  NAMES+=("$1")
+  RESULTS+=("$2")
+}
+
+run_stage() {  # run_stage <name> <cmd...>
+  local name="$1"; shift
+  echo
+  echo "=== [$name] $*"
+  if "$@"; then
+    record "$name" PASS
+  else
+    record "$name" FAIL
+  fi
+}
+
+# Stage 1: warning-wall build. The lint preset configures with PSS_WERROR=ON
+# so -Wall -Wextra -Wconversion -Wshadow -Wdouble-promotion are all fatal.
+run_stage "warning-wall" cmake --preset lint
+run_stage "warning-wall-build" cmake --build --preset lint -j "$JOBS"
+
+# Stage 2: determinism linter, directly (also registered as `ctest -L lint`).
+if command -v python3 >/dev/null 2>&1; then
+  run_stage "pss-lint" python3 tools/lint/pss_lint.py --root "$ROOT" \
+    --json build-lint/lint_report.json
+else
+  echo "=== [pss-lint] SKIP: no python3 on PATH"
+  record "pss-lint" SKIP
+fi
+
+# Stage 3: clang-tidy gate. The container may only have GCC; the tidy targets
+# exist only when clang-tidy was found at configure time.
+if command -v clang-tidy >/dev/null 2>&1 && [ -d build-lint ]; then
+  run_stage "tidy-gate" cmake --build build-lint --target tidy-gate
+else
+  echo "=== [tidy-gate] SKIP: clang-tidy not installed"
+  record "tidy-gate" SKIP
+fi
+
+# Stage 4: lint + options test labels from the wall build.
+run_stage "ctest-lint" ctest --preset lint
+
+# Stage 5: sanitizer suites (the slow half of the gate).
+if [ "$SKIP_SAN" -eq 0 ]; then
+  run_stage "tsan-configure" cmake --preset tsan
+  run_stage "tsan-build" cmake --build --preset tsan -j "$JOBS"
+  run_stage "tsan-ctest" ctest --preset tsan
+  run_stage "asan-configure" cmake --preset asan
+  run_stage "asan-build" cmake --build --preset asan -j "$JOBS"
+  run_stage "asan-ctest" ctest --preset asan
+else
+  record "sanitizers" SKIP
+fi
+
+echo
+echo "=== static gate summary ==="
+EXIT=0
+for i in "${!NAMES[@]}"; do
+  printf '  %-20s %s\n' "${NAMES[$i]}" "${RESULTS[$i]}"
+  [ "${RESULTS[$i]}" = FAIL ] && EXIT=1
+done
+if [ "$EXIT" -eq 0 ]; then
+  echo "static gate: PASS"
+else
+  echo "static gate: FAIL"
+fi
+exit "$EXIT"

@@ -76,6 +76,8 @@ Config parse_cli(int argc, char** argv) {
   for (const auto& key : overrides.keys()) {
     config.set(key, overrides.get_string(key, ""));
   }
+  tools::require_known_keys(
+      config, {"mode", "dataset", "snapshot", "maps", "retries", "verbose"});
   return config;
 }
 

@@ -1,5 +1,8 @@
 #include "tools/run_options.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "pss/backend/backend.hpp"
 #include "pss/common/error.hpp"
 #include "pss/obs/metrics.hpp"
@@ -27,17 +30,83 @@ RoundingMode parse_rounding_mode(const std::string& name) {
 
 namespace {
 
+/// Classic Levenshtein distance, used only on short identifier-like strings
+/// (keys, backend names) to power "did you mean" suggestions.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+/// " — did you mean 'x'?" when some candidate is close enough, else "".
+std::string suggestion_for(const std::string& got,
+                           const std::vector<std::string>& candidates) {
+  std::size_t best = got.size() >= 5 ? 3 : 2;  // tolerance scales with length
+  const std::string* pick = nullptr;
+  for (const std::string& c : candidates) {
+    const std::size_t d = edit_distance(got, c);
+    if (d < best) {
+      best = d;
+      pick = &c;
+    }
+  }
+  return pick ? " — did you mean '" + *pick + "'?" : "";
+}
+
 std::string require_known_backend(const std::string& name) {
+  std::vector<std::string> names;
   std::string known;
   for (const BackendInfo& info : backend_registry()) {
     if (info.name == name) return name;
     if (!known.empty()) known += "|";
     known += info.name;
+    names.push_back(info.name);
   }
-  throw Error("unknown backend '" + name + "' (known: " + known + ")");
+  throw Error("unknown backend '" + name + "' (known: " + known + ")" +
+              suggestion_for(name, names));
 }
 
 }  // namespace
+
+const std::vector<std::string>& shared_config_keys() {
+  static const std::vector<std::string> keys = {
+      "backend",    "batch",   "checkpoint", "checkpoint_every",
+      "checkpoints", "eval",   "fault_seed", "faults",
+      "kind",       "label",   "manifest",   "metrics",
+      "name",       "neurons", "option",     "resume",
+      "rounding",   "seed",    "trace",      "train",
+      "workers",
+  };
+  return keys;
+}
+
+void require_known_keys(const Config& cfg,
+                        const std::vector<std::string>& extra) {
+  std::vector<std::string> known = shared_config_keys();
+  known.insert(known.end(), extra.begin(), extra.end());
+  for (const std::string& key : cfg.keys()) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (k == key) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw Error("unknown config key '" + key + "'" +
+                  suggestion_for(key, known));
+    }
+  }
+}
 
 ExperimentSpec spec_from_config(const Config& cfg,
                                 const std::string& default_name) {

@@ -6,11 +6,24 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "pss/experiment/experiment.hpp"
 #include "pss/io/config.hpp"
 
 namespace pss::tools {
+
+/// Every key the shared parser understands (spec_from_config +
+/// arm_faults_from_config + enable_observability), sorted.
+const std::vector<std::string>& shared_config_keys();
+
+/// Rejects any cfg key that is neither a shared key nor in `extra` (the
+/// tool's own keys), throwing pss::Error that names the offender and — when
+/// a known key is within small edit distance — suggests it ("did you mean
+/// 'backend'?"). Call after parsing so typos fail loudly instead of
+/// silently running with defaults.
+void require_known_keys(const Config& cfg,
+                        const std::vector<std::string>& extra = {});
 
 /// fp32|16bit|8bit|4bit|2bit|highfreq -> Table I learning option.
 LearningOption parse_learning_option(const std::string& name);
