@@ -139,8 +139,21 @@ void publish_pair(const std::string& kernel, double cpu_s, double simd_s) {
               kernel.c_str(), cpu_s * 1e9, simd_s * 1e9, cpu_s / simd_s);
 }
 
+/// Wall time charged to each simulation phase during one e2e run, read as
+/// deltas of the global phase.*.ns counters WtaNetwork::present maintains.
+struct PhaseBreakdown {
+  double encode_ns = 0.0;
+  double integrate_ns = 0.0;
+  double stdp_ns = 0.0;
+  double aggregate() const { return encode_ns + integrate_ns + stdp_ns; }
+};
+
+double phase_counter(const char* name) {
+  return static_cast<double>(obs::metrics().counter(name).value());
+}
+
 double run_e2e(const std::string& backend, const LabeledDataset& data,
-               std::uint64_t seed, double* accuracy) {
+               std::uint64_t seed, double* accuracy, PhaseBreakdown* phases) {
   ExperimentSpec spec;
   spec.name = "bench_backend_e2e";
   spec.neuron_count = 50;
@@ -149,10 +162,67 @@ double run_e2e(const std::string& backend, const LabeledDataset& data,
   spec.eval_images = 120;
   spec.seed = seed;
   spec.backend = backend;
+  const double enc0 = phase_counter("phase.encode.ns");
+  const double int0 = phase_counter("phase.integrate.ns");
+  const double stdp0 = phase_counter("phase.stdp.ns");
   Stopwatch sw;
   const ExperimentResult result = run_learning_experiment(spec, data);
+  const double seconds = sw.seconds();
   if (accuracy) *accuracy = result.accuracy;
-  return sw.seconds();
+  if (phases) {
+    phases->encode_ns = phase_counter("phase.encode.ns") - enc0;
+    phases->integrate_ns = phase_counter("phase.integrate.ns") - int0;
+    phases->stdp_ns = phase_counter("phase.stdp.ns") - stdp0;
+  }
+  return seconds;
+}
+
+void publish_e2e(const std::string& backend, double seconds, double accuracy,
+                 const PhaseBreakdown& phases) {
+  const std::string prefix = "bench.backend.";
+  obs::metrics().gauge(prefix + "e2e." + backend + ".seconds").set(seconds);
+  obs::metrics().gauge(prefix + "e2e." + backend + ".accuracy").set(accuracy);
+  obs::metrics()
+      .gauge(prefix + "phase.encode." + backend + ".ns")
+      .set(phases.encode_ns);
+  obs::metrics()
+      .gauge(prefix + "phase.integrate." + backend + ".ns")
+      .set(phases.integrate_ns);
+  obs::metrics()
+      .gauge(prefix + "phase.stdp." + backend + ".ns")
+      .set(phases.stdp_ns);
+  obs::metrics()
+      .gauge(prefix + "phase.aggregate." + backend + ".ns")
+      .set(phases.aggregate());
+  std::printf("  phases %-10s encode %7.1f ms  integrate %7.1f ms  "
+              "stdp %7.1f ms  aggregate %7.1f ms\n",
+              backend.c_str(), phases.encode_ns / 1e6,
+              phases.integrate_ns / 1e6, phases.stdp_ns / 1e6,
+              phases.aggregate() / 1e6);
+}
+
+void publish_phase_speedup(const std::string& backend,
+                           const PhaseBreakdown& ref,
+                           const PhaseBreakdown& other) {
+  const std::string prefix = "bench.backend.phase.";
+  obs::metrics()
+      .gauge(prefix + "encode." + backend + ".speedup")
+      .set(ref.encode_ns / other.encode_ns);
+  obs::metrics()
+      .gauge(prefix + "integrate." + backend + ".speedup")
+      .set(ref.integrate_ns / other.integrate_ns);
+  obs::metrics()
+      .gauge(prefix + "stdp." + backend + ".speedup")
+      .set(ref.stdp_ns / other.stdp_ns);
+  obs::metrics()
+      .gauge(prefix + "aggregate." + backend + ".speedup")
+      .set(ref.aggregate() / other.aggregate());
+  std::printf("  vs cpu %-10s encode %6.2fx  integrate %6.2fx  "
+              "stdp %6.2fx  aggregate %6.2fx\n",
+              backend.c_str(), ref.encode_ns / other.encode_ns,
+              ref.integrate_ns / other.integrate_ns,
+              ref.stdp_ns / other.stdp_ns,
+              ref.aggregate() / other.aggregate());
 }
 
 }  // namespace
@@ -235,9 +305,14 @@ int main(int argc, char** argv) {
       synth.test_count = 240;
       synth.seed = 7;
       const LabeledDataset data = make_synthetic_digits(synth);
-      double acc_cpu = 0.0, acc_simd = 0.0;
-      const double e2e_cpu = run_e2e("cpu", data, seed, &acc_cpu);
-      const double e2e_simd = run_e2e("cpu_simd", data, seed, &acc_simd);
+      double acc_cpu = 0.0, acc_simd = 0.0, acc_sparse = 0.0;
+      PhaseBreakdown ph_cpu, ph_simd, ph_sparse;
+      const double e2e_cpu = run_e2e("cpu", data, seed, &acc_cpu, &ph_cpu);
+      const double e2e_simd =
+          run_e2e("cpu_simd", data, seed, &acc_simd, &ph_simd);
+      const double e2e_sparse =
+          run_e2e("cpu_sparse", data, seed, &acc_sparse, &ph_sparse);
+      // Legacy pair gauges (the simd comparison the bench started with).
       obs::metrics().gauge("bench.backend.e2e.cpu.seconds").set(e2e_cpu);
       obs::metrics().gauge("bench.backend.e2e.cpu_simd.seconds").set(e2e_simd);
       obs::metrics().gauge("bench.backend.e2e.speedup").set(e2e_cpu / e2e_simd);
@@ -249,6 +324,17 @@ int main(int argc, char** argv) {
                   "speedup %.2fx  (accuracy %.1f%% vs %.1f%%)\n",
                   e2e_cpu, e2e_simd, e2e_cpu / e2e_simd, 100.0 * acc_cpu,
                   100.0 * acc_simd);
+      std::printf("  e2e pipeline   cpu_sparse %6.2f s   speedup %.2fx  "
+                  "(accuracy %.1f%%)\n",
+                  e2e_sparse, e2e_cpu / e2e_sparse, 100.0 * acc_sparse);
+      // Per-phase wall time per backend, and each backend's per-phase
+      // speedup against the reference. The sparse backend's acceptance
+      // criterion is the encode+integrate+stdp aggregate.
+      publish_e2e("cpu", e2e_cpu, acc_cpu, ph_cpu);
+      publish_e2e("cpu_simd", e2e_simd, acc_simd, ph_simd);
+      publish_e2e("cpu_sparse", e2e_sparse, acc_sparse, ph_sparse);
+      publish_phase_speedup("cpu_simd", ph_cpu, ph_simd);
+      publish_phase_speedup("cpu_sparse", ph_cpu, ph_sparse);
     }
 
     obs::write_metrics_json(out, "bench_backend");

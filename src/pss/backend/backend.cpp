@@ -12,7 +12,7 @@ namespace pss {
 namespace {
 
 /// CPU backend: host memory, synchronous launches on the wrapped Engine.
-/// Both registered CPU backends are instances of this class — they differ
+/// Every registered CPU backend is an instance of this class — they differ
 /// only in which kernel table they dispatch.
 class CpuBackend final : public Backend {
  public:
@@ -86,6 +86,15 @@ const std::vector<BackendEntry>& entries() {
                  [](Engine* engine) -> std::unique_ptr<Backend> {
                    return std::make_unique<CpuBackend>(
                        "cpu_simd", engine, cpu_simd_kernel_table());
+                 }});
+    e.push_back({{"cpu_sparse",
+                  "cpu + event-driven sparse path: event-list encoders, CSR "
+                  "spike propagation, lazy STDP (network-level trajectories "
+                  "statistically match cpu; Poisson draw indexing differs)",
+                  true},
+                 [](Engine* engine) -> std::unique_ptr<Backend> {
+                   return std::make_unique<CpuBackend>(
+                       "cpu_sparse", engine, cpu_sparse_kernel_table());
                  }});
     e.push_back({{"cuda", "CUDA device backend (stub, not yet implemented)",
                   false},

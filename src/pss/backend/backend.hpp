@@ -8,8 +8,9 @@
 //
 //   Backend  — buffer alloc/copy (the cudaMalloc/cudaMemcpy seam),
 //              stream-ordered kernel enqueue via a KernelTable, synchronize.
-//   Registry — backends are constructed by name ("cpu", "cpu_simd"; "cuda"
-//              is a stub gated behind the PSS_ENABLE_CUDA CMake option).
+//   Registry — backends are constructed by name ("cpu", "cpu_simd",
+//              "cpu_sparse"; "cuda" is a stub gated behind the
+//              PSS_ENABLE_CUDA CMake option).
 //
 // Rule: new hot-path kernels must be *registered* — added to the KernelTable
 // and implemented per backend — never inlined as ad-hoc Engine::launch
@@ -22,6 +23,10 @@
 // vectorized variants; the STDP row is still bitwise-identical (batched
 // Philox produces the same draws), while the fused step reassociates the
 // row-gather sum (documented ULP-level differences; see kernels_simd.cpp).
+// `cpu_sparse` adds the event-driven sparse-path kernels (event-list
+// encoders, CSR propagation, lazy STDP flush; see kernels_sparse.cpp) on top
+// of the reference dense slots — WtaNetwork probes the table and switches to
+// the event-driven presentation loop when they are present.
 #pragma once
 
 #include <cstddef>

@@ -15,6 +15,7 @@
 // implementations), never as inline Engine::launch lambdas at call sites.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "pss/common/rng.hpp"
 #include "pss/common/types.hpp"
 #include "pss/engine/launch.hpp"
+#include "pss/engine/spike_events.hpp"
 #include "pss/neuron/izhikevich.hpp"
 #include "pss/neuron/lif.hpp"
 #include "pss/synapse/stdp_updater.hpp"
@@ -136,6 +138,141 @@ struct StdpRowArgs {
   std::uint64_t counter_base = 0;
 };
 
+/// Event-driven Poisson encode: build the whole presentation's spike event
+/// list at once via geometric inter-spike sampling. Channel c's gaps between
+/// successive spikes are Geometric(p = rates_hz[c]·dt·1e-3) — the exact
+/// inter-spike law of the dense per-step Bernoulli process — so the list is
+/// statistically identical to the dense encoder's output while costing
+/// O(spikes) Philox draws instead of O(channels × steps). Draw k of channel
+/// c comes from rng->fork(c) at counter (presentation_base | k): a pure
+/// function of (seed, presentation, channel), worker-count invariant, and
+/// independent of presentation order — the same determinism contract as the
+/// dense path (the *draw indexing* differs, so the two paths produce
+/// different, equally-distributed trains; see DESIGN.md "Sparse event path").
+struct PoissonEncodeEventsArgs {
+  const CounterRng* rng = nullptr;
+  std::span<const double> rates_hz;
+  std::span<const ChannelIndex> channels;  ///< candidates (rate > 0)
+  std::size_t channel_count = 0;           ///< total channels (list geometry)
+  std::uint64_t presentation_base = 0;     ///< presentation_index << 32
+  StepIndex steps = 0;                     ///< presentation length
+  TimeMs dt = 0.0;
+  SpikeEventList* out = nullptr;
+};
+
+/// Event-driven Regular encode: next-spike-time phase arithmetic. Spike k of
+/// channel c lands at (k + phase[c])·period; the builder walks k instead of
+/// scanning steps. Bitwise-identical per-step slices to the dense
+/// regular_encode kernel (asserted by tests/test_properties.cpp).
+struct RegularEncodeEventsArgs {
+  std::span<const double> rates_hz;
+  std::span<const double> phase;  ///< per-channel phase in [0, 1)
+  StepIndex steps = 0;
+  TimeMs dt = 0.0;
+  SpikeEventList* out = nullptr;
+};
+
+/// CSR spike propagation (eq. 3 along fired rows only): for each active
+/// channel c, currents[cols[i]] += amplitude · G[cols[i]·pre_count + c] over
+/// c's CSR row. One launch per active channel (distinct targets within a row,
+/// so partitioned dispatch is race-free); channels accumulate in ascending
+/// order. Per-neuron currents sum per-channel contributions one add at a
+/// time, a different association than the dense gather's row sum — ULP-level
+/// divergence from the cpu backend, identical across worker counts.
+struct SparseAccumulateArgs {
+  std::span<const std::uint32_t> row_ptr;  ///< channels + 1
+  std::span<const NeuronIndex> cols;
+  std::span<const double> conductance;  ///< post-major, size n·pre_count
+  std::size_t pre_count = 0;
+  std::span<const ChannelIndex> active_pre;
+  double amplitude = 0.0;
+  std::span<double> currents;
+};
+
+/// One deferred post-spike row update (lazy STDP): recorded when the post
+/// neuron fired, applied when the synapse's pre fires or at presentation end.
+/// counter_base is reserved at record time exactly as the eager path would
+/// have (row_size · kDrawsPerEvent counters), so deferred application
+/// consumes bit-identical draws.
+struct PendingPostEvent {
+  TimeMs t_post = 0.0;
+  std::uint32_t step = 0;  ///< step index of the post spike
+  std::uint64_t counter_base = 0;
+};
+
+/// Lazy-STDP row flush: apply every not-yet-applied pending post-spike event
+/// of one conductance row, per synapse, in event order. progress[pre] counts
+/// the events already applied to synapse `pre` (catch-up on pre-spike
+/// arrival advances it mid-presentation); the flush completes all rows'
+/// chains. Historical pre-spike times are reconstructed from the event
+/// list's channel_history — for event at step s, the last pre spike is the
+/// latest history step s' ≤ s, giving gap = t_post − (s'+1)·dt, the exact
+/// value the eager path read from last_pre_spike[] at the time (spike times
+/// are (step+1)·dt in both, so the doubles match bit for bit).
+struct StdpFlushArgs {
+  const StdpUpdater* updater = nullptr;
+  std::span<double> row;                 ///< one post neuron's conductance row
+  std::span<std::uint32_t> progress;     ///< per-synapse applied-event count
+  std::span<const PendingPostEvent> events;  ///< ascending t_post
+  const SpikeEventList* history = nullptr;   ///< channel_history source
+  TimeMs dt = 0.0;
+  const CounterRng* rng = nullptr;
+  /// Optional: incremented by the number of event applications actually
+  /// performed (whole-chain and per-event skips excluded). Atomic because
+  /// blocks may run on different pool workers; the total is deterministic.
+  std::atomic<std::uint64_t>* applied = nullptr;
+};
+
+/// Shared scalar chain applier behind the lazy-STDP path: everything
+/// stdp_apply_chain needs hoisted out of the per-synapse loop. Build once
+/// per batch with make_stdp_chain_context.
+struct StdpChainContext {
+  const StdpUpdater* updater = nullptr;
+  const StochasticGate* gate = nullptr;
+  bool stochastic = false;
+  bool need_dep = false;    ///< updater consumes the stale-depression draw
+  bool need_round = false;  ///< updater consumes the rounding draw
+  /// Whole-chain skip is sound: α_p, α_d ≥ 0 (the apply() saturation fast
+  /// path is exact) and, for the stochastic rule, p_pot(∞) is exactly +0.
+  bool can_park = false;
+  double p_pot_inf = 0.0;
+  double p_dep_inf = 0.0;
+  double g_floor = 0.0;  ///< G_min — the absorbing bound for silent synapses
+  TimeMs dt = 0.0;
+};
+
+StdpChainContext make_stdp_chain_context(const StdpUpdater& updater, TimeMs dt);
+
+/// Distance between consecutive events' counter_base when it is the same for
+/// every adjacent pair (the common case: nothing else consumed draw counters
+/// between the deferred post spikes), 0 otherwise. A uniform stride lets
+/// stdp_apply_chain pull a whole chain's draws for one slot with the strided
+/// bulk generator instead of scalar calls — bitwise-identical either way.
+/// Compute once per row; the stride is a property of the shared event list,
+/// not of the synapse.
+std::uint64_t stdp_chain_counter_stride(
+    std::span<const PendingPostEvent> events);
+
+/// Applies events[from..) of one row's pending chain to the single synapse
+/// `pre` holding conductance `g`, reading pre-spike times from the
+/// channel's presentation spike history. Bitwise-identical to applying the
+/// same events eagerly with update_at_post_spike: draws are counter-indexed
+/// off each event's reserved base (so the slots a configuration never reads
+/// are simply not generated), gate probabilities are memoized by exact gap
+/// bits, and chains pinned at G_min with no pre spikes are skipped whole.
+/// `counter_stride` is stdp_chain_counter_stride(events) (0 always works; a
+/// nonzero value enables bulk draw generation). Both the stdp.flush kernel
+/// and WtaNetwork's catch-up path funnel here. When `applied` is non-null it
+/// is incremented by the number of events that reached the updater (skips
+/// excluded).
+double stdp_apply_chain(const StdpChainContext& ctx, double g,
+                        ChannelIndex pre,
+                        std::span<const PendingPostEvent> events,
+                        std::size_t from,
+                        std::span<const std::uint32_t> hist,
+                        const CounterRng& rng, std::uint64_t counter_stride,
+                        std::uint64_t* applied);
+
 /// The dispatch table: one entry per registered kernel, filled per backend.
 struct KernelTable {
   void (*poisson_encode)(Engine&, const PoissonEncodeArgs&) = nullptr;
@@ -148,6 +285,16 @@ struct KernelTable {
                                 const IzhikevichFusedStepArgs&) = nullptr;
   void (*inhibit_scan)(Engine&, const InhibitScanArgs&) = nullptr;
   void (*stdp_row)(Engine&, const StdpRowArgs&) = nullptr;
+
+  // Event-driven sparse path (kernels_sparse.cpp). Null on backends without
+  // a sparse path — WtaNetwork selects the event-driven presentation loop by
+  // probing poisson_encode_events, so dense backends need no stubs.
+  void (*poisson_encode_events)(Engine&,
+                                const PoissonEncodeEventsArgs&) = nullptr;
+  void (*regular_encode_events)(Engine&,
+                                const RegularEncodeEventsArgs&) = nullptr;
+  void (*sparse_accumulate)(Engine&, const SparseAccumulateArgs&) = nullptr;
+  void (*stdp_flush)(Engine&, const StdpFlushArgs&) = nullptr;
 };
 
 /// Reference table: the pre-backend Engine::launch kernel bodies, moved
@@ -157,5 +304,11 @@ const KernelTable& cpu_kernel_table();
 
 /// cpu + vectorized fused-step and STDP-row kernels (see kernels_simd.cpp).
 const KernelTable& cpu_simd_kernel_table();
+
+/// cpu + the event-driven sparse path: event-list encoders (geometric
+/// inter-spike sampling / phase arithmetic), CSR spike propagation, and the
+/// lazy-STDP row flush (see kernels_sparse.cpp). All dense slots are the
+/// reference cpu kernels, so per-kernel equivalence vs `cpu` is inherited.
+const KernelTable& cpu_sparse_kernel_table();
 
 }  // namespace pss

@@ -63,6 +63,34 @@ void StatePool::load_g(std::span<const double> values, bool clamp) {
   }
 }
 
+void StatePool::build_sparse() {
+  if (has_sparse()) return;
+  const std::size_t channels = geometry_.channels;
+  const std::size_t neurons = geometry_.neurons;
+  PSS_REQUIRE(channels > 0, "sparse sections need an encoder/synapse section");
+  csr_row_ptr_ = PoolBuffer<std::uint32_t>(backend_, channels + 1, 0);
+  csr_cols_ = PoolBuffer<NeuronIndex>(backend_, channels * neurons, 0);
+  stdp_progress_ = PoolBuffer<std::uint32_t>(backend_, neurons * channels, 0);
+  auto row_ptr = csr_row_ptr_.span();
+  auto cols = csr_cols_.span();
+  for (std::size_t c = 0; c <= channels; ++c) {
+    row_ptr[c] = static_cast<std::uint32_t>(c * neurons);
+  }
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t j = 0; j < neurons; ++j) {
+      cols[c * neurons + j] = static_cast<NeuronIndex>(j);
+    }
+  }
+}
+
+std::span<std::uint32_t> StatePool::stdp_progress_row(NeuronIndex post) {
+  PSS_REQUIRE(post < geometry_.neurons, "post index out of range");
+  PSS_REQUIRE(stdp_progress_.size() != 0,
+              "stdp progress requires build_sparse()");
+  return stdp_progress_.span().subspan(
+      static_cast<std::size_t>(post) * geometry_.channels, geometry_.channels);
+}
+
 void StatePool::init_g_uniform(double lo, double hi, SequentialRng& rng,
                                const Quantizer* quantizer) {
   PSS_REQUIRE(hi >= lo, "invalid init range");

@@ -156,6 +156,28 @@ class StatePool {
   void init_g_uniform(double lo, double hi, SequentialRng& rng,
                       const Quantizer* quantizer);
 
+  // --- sparse-path sections (allocated on demand by build_sparse) ----------
+  /// Allocates the CSR channel→neuron connectivity view and the per-synapse
+  /// lazy-STDP progress counters. The network is all-to-all (every channel
+  /// feeds every neuron, paper Fig. 3), so row c is simply [0, neurons) —
+  /// the CSR form is the contract sparse_accumulate propagates along, and
+  /// the layout a pruned or topographic connectivity would slot into.
+  /// Idempotent; only the event-driven path calls it, so dense pools carry
+  /// no extra footprint.
+  void build_sparse();
+  bool has_sparse() const { return csr_row_ptr_.size() != 0; }
+
+  std::span<const std::uint32_t> csr_row_ptr() const {
+    return csr_row_ptr_.span();
+  }
+  std::span<const NeuronIndex> csr_cols() const { return csr_cols_.span(); }
+
+  /// Per-synapse applied-event counters for the lazy-STDP flush, post-major
+  /// like g(): row(post) counts how many of post's pending events each
+  /// afferent synapse has absorbed. Presentation scratch (reset each
+  /// presentation), pool-resident so the flush kernel reads device memory.
+  std::span<std::uint32_t> stdp_progress_row(NeuronIndex post);
+
  private:
   Backend* backend_;
   Geometry geometry_;
@@ -174,6 +196,10 @@ class StatePool {
   double g_min_ = 0.0;
   double g_max_ = 1.0;
   double learn_hi_ = 1.0;
+
+  PoolBuffer<std::uint32_t> csr_row_ptr_;
+  PoolBuffer<NeuronIndex> csr_cols_;
+  PoolBuffer<std::uint32_t> stdp_progress_;
 };
 
 }  // namespace pss

@@ -38,6 +38,17 @@ void PoissonEncoder::set_rates(std::span<const double> rates_hz) {
   PSS_REQUIRE(rates_hz.size() == channel_count(),
               "rate vector size must equal channel count");
   for (double r : rates_hz) PSS_REQUIRE(r >= 0.0, "rates must be non-negative");
+  // Memo: repeated presentations of the same image skip the copy and the
+  // nonzero-candidate rebuild (the dense precompute this feeds is otherwise
+  // recomputed per presentation even for identical rate vectors).
+  if (rates_seen_ && std::equal(rates_hz.begin(), rates_hz.end(),
+                                pool_->rates().begin())) {
+    if (obs::metrics_enabled()) {
+      obs::metrics().counter("encoder.set_rates_memo_hits").add(1);
+    }
+    return;
+  }
+  rates_seen_ = true;
   std::copy(rates_hz.begin(), rates_hz.end(), pool_->rates().begin());
   nonzero_.clear();
   for (std::size_t c = 0; c < rates_hz.size(); ++c) {
@@ -51,6 +62,7 @@ void PoissonEncoder::set_rates(std::span<const double> rates_hz) {
 
 void PoissonEncoder::set_uniform_rate(double rate_hz) {
   PSS_REQUIRE(rate_hz >= 0.0, "rates must be non-negative");
+  rates_seen_ = true;
   auto rates = pool_->rates();
   std::fill(rates.begin(), rates.end(), rate_hz);
   nonzero_.clear();
@@ -88,6 +100,25 @@ void PoissonEncoder::active_channels(StepIndex step, TimeMs dt,
     static obs::Counter& steps = obs::metrics().counter("encoder.steps");
     spikes.add(active.size());
     steps.add(1);
+  }
+}
+
+bool PoissonEncoder::supports_events() const {
+  return pool_->backend().kernels().poisson_encode_events != nullptr;
+}
+
+void PoissonEncoder::build_events(StepIndex steps, TimeMs dt,
+                                  SpikeEventList& out) const {
+  PSS_DASSERT(steps < (1ull << 32));
+  PoissonEncodeEventsArgs args{&rng_,  rates(), nonzero_,
+                               channel_count(), presentation_base_,
+                               steps,  dt,      &out};
+  Backend& backend = pool_->backend();
+  backend.kernels().poisson_encode_events(backend.engine(), args);
+  if (obs::metrics_enabled()) {
+    static obs::Counter& events =
+        obs::metrics().counter("encoder.events_emitted");
+    events.add(out.total());
   }
 }
 

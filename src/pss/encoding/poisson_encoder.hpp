@@ -25,6 +25,7 @@ namespace pss {
 
 class Backend;
 class StatePool;
+struct SpikeEventList;
 
 class PoissonEncoder {
  public:
@@ -64,6 +65,18 @@ class PoissonEncoder {
   /// raster plotting and tests.
   bool spikes_at(ChannelIndex c, StepIndex step, TimeMs dt) const;
 
+  /// True if the backend registers the event-list encode kernel (the
+  /// event-driven presentation loop probes this).
+  bool supports_events() const;
+
+  /// Builds the whole presentation's spike events at once via geometric
+  /// inter-spike sampling — O(spikes) Philox draws instead of
+  /// O(channels × steps). Same presentation-indexed streams and worker-count
+  /// invariance as active_channels, but a different draw indexing: the
+  /// resulting trains are equal in distribution, not bitwise (see
+  /// PoissonEncodeEventsArgs). Requires supports_events().
+  void build_events(StepIndex steps, TimeMs dt, SpikeEventList& out) const;
+
  private:
   std::span<const double> rates() const;
 
@@ -71,6 +84,7 @@ class PoissonEncoder {
   std::unique_ptr<StatePool> owned_pool_;   ///< standalone ctor only
   StatePool* pool_ = nullptr;               ///< never null after construction
   std::vector<ChannelIndex> nonzero_;  // channels with rate > 0, ascending
+  bool rates_seen_ = false;  // set_rates called at least once (memo guard)
   CounterRng rng_;
   std::uint64_t presentation_base_ = 0;  // presentation_index << 32
 };

@@ -78,4 +78,15 @@ void RegularEncoder::active_channels(StepIndex step, TimeMs dt,
   backend.kernels().regular_encode(backend.engine(), args);
 }
 
+bool RegularEncoder::supports_events() const {
+  return pool_->backend().kernels().regular_encode_events != nullptr;
+}
+
+void RegularEncoder::build_events(StepIndex steps, TimeMs dt,
+                                  SpikeEventList& out) const {
+  RegularEncodeEventsArgs args{rates(), phase_, steps, dt, &out};
+  Backend& backend = pool_->backend();
+  backend.kernels().regular_encode_events(backend.engine(), args);
+}
+
 }  // namespace pss

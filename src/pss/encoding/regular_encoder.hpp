@@ -21,6 +21,7 @@ namespace pss {
 
 class Backend;
 class StatePool;
+struct SpikeEventList;
 
 class RegularEncoder {
  public:
@@ -48,6 +49,15 @@ class RegularEncoder {
 
   void active_channels(StepIndex step, TimeMs dt,
                        std::vector<ChannelIndex>& active) const;
+
+  /// True if the backend registers the event-list encode kernel.
+  bool supports_events() const;
+
+  /// Builds the whole presentation's spike events at once via next-spike-time
+  /// phase arithmetic. Per-step slices are bitwise-identical to
+  /// active_channels (see RegularEncodeEventsArgs). Requires
+  /// supports_events().
+  void build_events(StepIndex steps, TimeMs dt, SpikeEventList& out) const;
 
  private:
   std::span<const double> rates() const;

@@ -1,0 +1,93 @@
+// SpikeEventList — the per-presentation spike event currency of the sparse
+// compute path.
+//
+// The dense step loop asks "which channels fire at step s?" 784 times per
+// millisecond; the event-driven path answers the whole presentation at once:
+// encoders build one SpikeEventList up front (geometric inter-spike sampling
+// for Poisson, phase arithmetic for Regular) and the step loop consumes
+// per-step slices. The list is stored twice, because its two consumers index
+// it on different axes:
+//
+//   step-major     at_step(s) — the integration/propagation loop's active
+//                  channel slice for step s (ascending channel order, the
+//                  same contract as the dense encoders' `active` output);
+//   channel-major  channel_history(c) — every step channel c fired at,
+//                  ascending. The lazy-STDP flush reconstructs historical
+//                  pre-spike times from this when it applies deferred
+//                  post-spike updates long after the fact.
+//
+// Plain host vectors, rebuilt per presentation: the list is presentation
+// scratch (like the active-channel vector it replaces), not pool state.
+// Event counts are bounded by steps × channels, far below u32 range.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pss/common/types.hpp"
+
+namespace pss {
+
+struct SpikeEventList {
+  StepIndex steps = 0;  ///< presentation length the list was built for
+
+  /// Step-major CSR: channels firing at step s are
+  /// step_channels[step_offsets[s] .. step_offsets[s+1]), ascending.
+  std::vector<std::uint32_t> step_offsets;  // size steps + 1
+  std::vector<ChannelIndex> step_channels;
+
+  /// Channel-major CSR over the same events: the steps channel c fires at
+  /// are channel_steps[channel_offsets[c] .. channel_offsets[c+1]),
+  /// ascending. channel_offsets covers every channel (size channels + 1).
+  std::vector<std::uint32_t> channel_offsets;
+  std::vector<std::uint32_t> channel_steps;
+
+  std::size_t total() const { return step_channels.size(); }
+
+  std::span<const ChannelIndex> at_step(StepIndex s) const {
+    const auto lo = step_offsets[static_cast<std::size_t>(s)];
+    const auto hi = step_offsets[static_cast<std::size_t>(s) + 1];
+    return std::span<const ChannelIndex>(step_channels).subspan(lo, hi - lo);
+  }
+
+  std::span<const std::uint32_t> channel_history(ChannelIndex c) const {
+    const auto lo = channel_offsets[c];
+    const auto hi = channel_offsets[c + 1];
+    return std::span<const std::uint32_t>(channel_steps).subspan(lo, hi - lo);
+  }
+
+  void clear() {
+    steps = 0;
+    step_offsets.clear();
+    step_channels.clear();
+    channel_offsets.clear();
+    channel_steps.clear();
+  }
+
+  /// Rebuilds the step-major view from a filled channel-major view (the
+  /// encoders sample per channel, the step loop consumes per step). Counting
+  /// sort: O(total + steps), stable, and — iterating channels in ascending
+  /// order — leaves each step's slice in ascending channel order, matching
+  /// the dense encoders' output contract.
+  void index_by_step(StepIndex step_count) {
+    steps = step_count;
+    const std::size_t n = static_cast<std::size_t>(step_count);
+    step_offsets.assign(n + 1, 0);
+    for (const std::uint32_t s : channel_steps) ++step_offsets[s + 1];
+    for (std::size_t s = 0; s < n; ++s) step_offsets[s + 1] += step_offsets[s];
+    step_channels.resize(channel_steps.size());
+    std::vector<std::uint32_t> cursor(step_offsets.begin(),
+                                      step_offsets.end() - 1);
+    const std::size_t channels = channel_offsets.size() - 1;
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::uint32_t i = channel_offsets[c]; i < channel_offsets[c + 1];
+           ++i) {
+        step_channels[cursor[channel_steps[i]]++] =
+            static_cast<ChannelIndex>(c);
+      }
+    }
+  }
+};
+
+}  // namespace pss

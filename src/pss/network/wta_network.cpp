@@ -1,6 +1,7 @@
 #include "pss/network/wta_network.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -23,6 +24,15 @@ constexpr const char* kPhaseCounter[] = {
     "phase.homeostasis.ns"};
 constexpr const char* kPhaseSpan[] = {"encode", "integrate", "stdp",
                                       "homeostasis"};
+
+/// Input-spike occupancy per step — the quantity the event-driven path's
+/// costs scale with (the dense path's costs don't, which is the point).
+obs::FixedHistogram& spikes_per_step_histogram() {
+  static obs::FixedHistogram& hist = obs::metrics().histogram(
+      "present.spikes_per_step",
+      {0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0});
+  return hist;
+}
 
 }  // namespace
 
@@ -112,6 +122,14 @@ WtaNetwork::WtaNetwork(const WtaConfig& config, Engine* engine)
       init_rng, q);
   // Beyond ~5 time constants the eq. 7 probability is negligible.
   dep_horizon_ms_ = 5.0 * config_.stdp.gate.tau_dep;
+
+  // Event-driven path: selected by probing the kernel table, not the backend
+  // name, so any backend registering the sparse slots gets it.
+  sparse_ = backend_->kernels().poisson_encode_events != nullptr;
+  if (sparse_) {
+    pool_->build_sparse();
+    pending_.resize(config.neuron_count);
+  }
 }
 
 WtaNetwork::~WtaNetwork() = default;
@@ -182,69 +200,24 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
     mark = now_ns;
   };
 
-  for (StepIndex s = 0; s < steps; ++s) {
-    // Presentation-local clock: every timer that consumes it (membrane
-    // dynamics, inhibition, pre/post spike gaps) resets at the presentation
-    // boundary, so using local time keeps presentations exactly replayable.
-    const TimeMs t = static_cast<TimeMs>(s + 1) * dt;
+  // Lazy STDP is an event-driven-path feature (pending events key off the
+  // presentation's event list); eager rows remain available there for A/B.
+  const bool lazy = sparse_ && learn && config_.lazy_stdp;
 
-    // 1. Input spike trains for this step (counter-indexed by
-    //    (presentation, step), so trains differ across presentations but
-    //    are independent of presentation order).
-    encoder_.active_channels(s, dt, active_channels_);
-    result.input_spikes += active_channels_.size();
-    phase_stop(kPhEncode);
-
-    // Anti-causal depression (eq. 7): an input spike arriving shortly after
-    // a post spike depresses that synapse with P_dep. Evaluated before the
-    // pre-spike timers are refreshed.
-    if (learn && updater_.wants_pre_spike_events() &&
-        !recent_post_spikes_.empty()) {
-      apply_pre_spike_depression(t);
-    }
-    for (ChannelIndex c : active_channels_) last_pre_spike[c] = t;
-    phase_stop(kPhStdp);
-
-    const bool use_theta = learn || config_.readout_theta;
-    const std::span<const double> offsets =
-        use_theta ? threshold_.theta() : std::span<const double>{};
-
-    if (config_.fused_step) {
-      // 2+3 fused: current decay, accumulation (eq. 3) and the neuron
-      // update in one kernel launch (one dispatch per step instead of
-      // three; bitwise-identical to the unfused branch below).
-      std::visit(
-          [&](auto& pop) {
-            pop.step_fused(currents, decay_factor, conductance_.values(),
-                           config_.input_channels, active_channels_, amplitude,
-                           t, dt, spikes_, offsets);
-          },
-          neurons_);
-    } else {
-      // 2. Current accumulation kernel (eq. 3), with optional exponential
-      //    decay standing in for the synaptic current waveform.
-      if (decay_factor == 0.0) {
-        std::fill(currents.begin(), currents.end(), 0.0);
-      } else {
-        for (double& i : currents) i *= decay_factor;
-      }
-      conductance_.accumulate_currents(active_channels_, amplitude, currents);
-
-      // 3. Neuron-update kernel.
-      std::visit(
-          [&](auto& pop) { pop.step(currents, t, dt, spikes_, offsets); },
-          neurons_);
-    }
-    phase_stop(kPhIntegrate);
-
-    // 4. Post-spike processing: STDP + WTA inhibition + homeostasis.
+  // 4. Post-spike processing: STDP (eager row sweep or lazy deferral) + WTA
+  //    inhibition + homeostasis. Shared by both step loops.
+  const auto process_post_spikes = [&](TimeMs t, StepIndex s) {
     for (NeuronIndex j : spikes_) {
       ++result.spike_counts[j];
       ++result.total_spikes;
       if (record_spikes) result.spike_events.emplace_back(t, j);
       if (learn) {
         phase_stop(kPhHomeostasis);  // loop bookkeeping up to here
-        apply_stdp_row(j, t);
+        if (lazy) {
+          defer_stdp_row(j, t, s);
+        } else {
+          apply_stdp_row(j, t);
+        }
         phase_stop(kPhStdp);
         if (updater_.wants_pre_spike_events()) {
           recent_post_spikes_.emplace_back(j, t);
@@ -266,8 +239,151 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
             neurons_);
       }
     }
-    if (learn) threshold_.decay(dt);
-    phase_stop(kPhHomeostasis);
+  };
+
+  if (sparse_) {
+    // Event-driven presentation: one encode call builds the whole
+    // presentation's spike events (geometric inter-spike sampling), then
+    // each step consumes its slice — per-step cost scales with spikes
+    // (~0.9/step on MNIST-like input), not channels (784).
+    encoder_.build_events(steps, dt, events_);
+    result.input_spikes = events_.total();
+    phase_stop(kPhEncode);
+
+    const auto row_ptr = pool_->csr_row_ptr();
+    const auto cols = pool_->csr_cols();
+    const KernelTable& kernels = backend_->kernels();
+    Engine& engine = backend_->engine();
+
+    for (StepIndex s = 0; s < steps; ++s) {
+      const TimeMs t = static_cast<TimeMs>(s + 1) * dt;
+      const auto active = events_.at_step(s);
+      if (observed) {
+        spikes_per_step_histogram().observe(
+            static_cast<double>(active.size()));
+      }
+
+      // Lazy STDP: every synapse read this step (integration along the
+      // active CSR rows, eq. 7 depression at active channels) is first
+      // caught up on its row's pending post events, so its trajectory is
+      // bitwise-equal to eager updates.
+      if (lazy && !active.empty() && !rows_with_pending_.empty()) {
+        catch_up_synapses(active);
+      }
+      if (learn && updater_.wants_pre_spike_events() &&
+          !recent_post_spikes_.empty()) {
+        apply_pre_spike_depression(t, active);
+      }
+      // Eager STDP reads the last-pre timers; the lazy path reconstructs
+      // pre-spike times from the event list's channel history instead.
+      if (learn && !lazy) {
+        for (ChannelIndex c : active) last_pre_spike[c] = t;
+      }
+      phase_stop(kPhStdp);
+
+      // 2. CSR spike propagation: conductance accumulates only along fired
+      //    rows. 3. Neuron-update kernel (the unfused form — with ~1 active
+      //    row per step there is no dense gather left to fuse).
+      if (decay_factor == 0.0) {
+        std::fill(currents.begin(), currents.end(), 0.0);
+      } else {
+        for (double& i : currents) i *= decay_factor;
+      }
+      if (!active.empty()) {
+        SparseAccumulateArgs args{row_ptr,
+                                  cols,
+                                  conductance_.values(),
+                                  config_.input_channels,
+                                  active,
+                                  amplitude,
+                                  currents};
+        kernels.sparse_accumulate(engine, args);
+      }
+      const bool use_theta = learn || config_.readout_theta;
+      const std::span<const double> offsets =
+          use_theta ? threshold_.theta() : std::span<const double>{};
+      std::visit(
+          [&](auto& pop) { pop.step(currents, t, dt, spikes_, offsets); },
+          neurons_);
+      phase_stop(kPhIntegrate);
+
+      process_post_spikes(t, s);
+      if (learn) threshold_.decay(dt);
+      phase_stop(kPhHomeostasis);
+    }
+
+    // Complete every pending row's event chain (the bulk of the lazy work,
+    // batched per row with strided draws and memoized gates).
+    if (lazy && !rows_with_pending_.empty()) {
+      flush_pending();
+      phase_stop(kPhStdp);
+    }
+  } else {
+    for (StepIndex s = 0; s < steps; ++s) {
+      // Presentation-local clock: every timer that consumes it (membrane
+      // dynamics, inhibition, pre/post spike gaps) resets at the
+      // presentation boundary, so using local time keeps presentations
+      // exactly replayable.
+      const TimeMs t = static_cast<TimeMs>(s + 1) * dt;
+
+      // 1. Input spike trains for this step (counter-indexed by
+      //    (presentation, step), so trains differ across presentations but
+      //    are independent of presentation order).
+      encoder_.active_channels(s, dt, active_channels_);
+      result.input_spikes += active_channels_.size();
+      if (observed) {
+        spikes_per_step_histogram().observe(
+            static_cast<double>(active_channels_.size()));
+      }
+      phase_stop(kPhEncode);
+
+      // Anti-causal depression (eq. 7): an input spike arriving shortly
+      // after a post spike depresses that synapse with P_dep. Evaluated
+      // before the pre-spike timers are refreshed.
+      if (learn && updater_.wants_pre_spike_events() &&
+          !recent_post_spikes_.empty()) {
+        apply_pre_spike_depression(t, active_channels_);
+      }
+      for (ChannelIndex c : active_channels_) last_pre_spike[c] = t;
+      phase_stop(kPhStdp);
+
+      const bool use_theta = learn || config_.readout_theta;
+      const std::span<const double> offsets =
+          use_theta ? threshold_.theta() : std::span<const double>{};
+
+      if (config_.fused_step) {
+        // 2+3 fused: current decay, accumulation (eq. 3) and the neuron
+        // update in one kernel launch (one dispatch per step instead of
+        // three; bitwise-identical to the unfused branch below).
+        std::visit(
+            [&](auto& pop) {
+              pop.step_fused(currents, decay_factor, conductance_.values(),
+                             config_.input_channels, active_channels_,
+                             amplitude, t, dt, spikes_, offsets);
+            },
+            neurons_);
+      } else {
+        // 2. Current accumulation kernel (eq. 3), with optional exponential
+        //    decay standing in for the synaptic current waveform.
+        if (decay_factor == 0.0) {
+          std::fill(currents.begin(), currents.end(), 0.0);
+        } else {
+          for (double& i : currents) i *= decay_factor;
+        }
+        conductance_.accumulate_currents(active_channels_, amplitude,
+                                         currents);
+
+        // 3. Neuron-update kernel.
+        std::visit(
+            [&](auto& pop) { pop.step(currents, t, dt, spikes_, offsets); },
+            neurons_);
+      }
+      phase_stop(kPhIntegrate);
+
+      process_post_spikes(t, s);
+      if (learn) threshold_.decay(dt);
+      phase_stop(kPhHomeostasis);
+    }
   }
 
   if (timed) {
@@ -364,7 +480,8 @@ void WtaNetwork::apply_stdp_row(NeuronIndex winner, TimeMs t_post) {
   backend_->kernels().stdp_row(backend_->engine(), args);
 }
 
-void WtaNetwork::apply_pre_spike_depression(TimeMs now) {
+void WtaNetwork::apply_pre_spike_depression(
+    TimeMs now, std::span<const ChannelIndex> active) {
   // Prune post spikes older than the eq. 7 horizon (sorted by time).
   std::size_t keep = 0;
   while (keep < recent_post_spikes_.size() &&
@@ -382,13 +499,85 @@ void WtaNetwork::apply_pre_spike_depression(TimeMs now) {
   for (const auto& [j, t_post] : recent_post_spikes_) {
     const double age = now - t_post;
     auto row = conductance_.row_mut(j);
-    for (ChannelIndex c : active_channels_) {
+    for (ChannelIndex c : active) {
       const std::uint64_t k = stdp_event_counter_;
       stdp_event_counter_ += StdpUpdater::kDrawsPerEvent;
       row[c] = updater_.update_at_pre_spike(row[c], age,
                                             presentation_rng_.uniform(k),
                                             presentation_rng_.uniform(k + 1));
     }
+  }
+}
+
+void WtaNetwork::defer_stdp_row(NeuronIndex winner, TimeMs t_post,
+                                StepIndex step) {
+  // Reserve the exact counter block the eager row sweep would have consumed
+  // — deferred application then draws bit-identical uniforms, and the
+  // pre-spike depression events interleaved later in the presentation keep
+  // their own counters unchanged.
+  const std::uint64_t base = stdp_event_counter_;
+  stdp_event_counter_ +=
+      config_.input_channels * StdpUpdater::kDrawsPerEvent;
+  if (pending_[winner].empty()) rows_with_pending_.push_back(winner);
+  pending_[winner].push_back(
+      PendingPostEvent{t_post, static_cast<std::uint32_t>(step), base});
+}
+
+void WtaNetwork::catch_up_synapses(std::span<const ChannelIndex> active) {
+  // Serial host loop: WTA keeps both axes small (~1 active channel per step,
+  // a handful of rows with pending events), and each (row, channel) pair
+  // applies only the events recorded since its last catch-up. The chain
+  // walk itself — gap reconstruction from the channel history, draw-slot
+  // elision, memoized gate probabilities — is the same stdp_apply_chain the
+  // stdp.flush kernel uses, so the serial catch-up and the parallel flush
+  // cannot drift apart. Bitwise equals the eager path's order: post events
+  // in time order, interleaved with the immediate pre-spike depression.
+  std::uint64_t applied = 0;
+  const StdpChainContext ctx = make_stdp_chain_context(updater_, config_.dt);
+  for (NeuronIndex j : rows_with_pending_) {
+    const auto& events = pending_[j];
+    auto row = conductance_.row_mut(j);
+    const auto progress = pool_->stdp_progress_row(j);
+    const auto n_events = static_cast<std::uint32_t>(events.size());
+    const std::uint64_t stride = stdp_chain_counter_stride(events);
+    for (ChannelIndex c : active) {
+      const std::uint32_t done = progress[c];
+      if (done >= n_events) continue;
+      progress[c] = n_events;
+      row[c] = stdp_apply_chain(ctx, row[c], c, events, done,
+                                events_.channel_history(c),
+                                presentation_rng_, stride, &applied);
+    }
+  }
+  if (applied != 0 && obs::metrics_enabled()) {
+    static obs::Counter& touched =
+        obs::metrics().counter("sparse.synapses_touched");
+    touched.add(applied);
+  }
+}
+
+void WtaNetwork::flush_pending() {
+  const bool observed = obs::metrics_enabled();
+  std::atomic<std::uint64_t> applied{0};
+  for (NeuronIndex j : rows_with_pending_) {
+    auto& events = pending_[j];
+    const auto progress = pool_->stdp_progress_row(j);
+    StdpFlushArgs args{&updater_, conductance_.row_mut(j), progress,
+                       events,    &events_,                config_.dt,
+                       &presentation_rng_,                 &applied};
+    backend_->kernels().stdp_flush(backend_->engine(), args);
+    // Reset the lazy scratch for the next presentation.
+    std::fill(progress.begin(), progress.end(), 0u);
+    events.clear();
+  }
+  rows_with_pending_.clear();
+  const std::uint64_t n = applied.load(std::memory_order_relaxed);
+  if (observed && n != 0) {
+    // Honest application count: chain skips and gate-elided events are
+    // excluded, so the counter tracks work actually done, not work deferred.
+    static obs::Counter& touched =
+        obs::metrics().counter("sparse.synapses_touched");
+    touched.add(n);
   }
 }
 

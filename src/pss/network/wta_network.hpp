@@ -18,9 +18,11 @@
 #include <variant>
 #include <vector>
 
+#include "pss/backend/kernels.hpp"
 #include "pss/common/rng.hpp"
 #include "pss/common/types.hpp"
 #include "pss/encoding/poisson_encoder.hpp"
+#include "pss/engine/spike_events.hpp"
 #include "pss/learning/homeostasis.hpp"
 #include "pss/neuron/izhikevich.hpp"
 #include "pss/neuron/lif.hpp"
@@ -60,8 +62,19 @@ struct WtaConfig {
   /// Fuse the per-step current-decay + accumulate + neuron-update kernels
   /// into a single launch (bitwise-identical results, one dispatch instead
   /// of three). Off = the original three-kernel sequence, kept for A/B
-  /// benchmarking.
+  /// benchmarking. Ignored on event-driven backends (the sparse loop
+  /// propagates along CSR rows instead of gathering dense rows).
   bool fused_step = true;
+
+  /// Lazy STDP on event-driven backends (backends registering the sparse
+  /// kernel-table slots, e.g. cpu_sparse): post-spike row updates are
+  /// recorded as pending events and applied per synapse on demand — when the
+  /// synapse's pre fires (catch-up) or at presentation end (bulk flush) —
+  /// instead of sweeping the dense row at every post spike. Final
+  /// conductances are bitwise-identical to the eager sweep on the same
+  /// backend (asserted by tests/test_properties.cpp); off = eager rows, kept
+  /// for that A/B. Ignored on dense backends.
+  bool lazy_stdp = true;
 
   /// Amplitude auto-gain — the "tuned based on input spiking frequency and
   /// voltage" part of Sec. II-B made explicit. When > 0, each presentation
@@ -206,7 +219,20 @@ class WtaNetwork {
   using Population = std::variant<LifPopulation, IzhikevichPopulation>;
 
   void apply_stdp_row(NeuronIndex winner, TimeMs t_post);
-  void apply_pre_spike_depression(TimeMs now);
+  void apply_pre_spike_depression(TimeMs now,
+                                  std::span<const ChannelIndex> active);
+
+  // --- lazy-STDP machinery (event-driven backends only) --------------------
+  /// Records a post-spike row update as pending, reserving the same RNG
+  /// counter block the eager path would have consumed.
+  void defer_stdp_row(NeuronIndex winner, TimeMs t_post, StepIndex step);
+  /// Applies every pending event to the (pending row × active channel)
+  /// synapses about to be read this step, keeping their trajectories
+  /// bitwise-equal to eager updates.
+  void catch_up_synapses(std::span<const ChannelIndex> active);
+  /// Presentation-end flush: completes every pending row's event chain via
+  /// the backend's stdp_flush kernel and resets the lazy scratch.
+  void flush_pending();
 
   WtaConfig config_;
   std::unique_ptr<Backend> backend_;   ///< from the registry (config.backend)
@@ -227,6 +253,17 @@ class WtaNetwork {
   // currents, pre-spike timers — lives in the pool).
   std::vector<ChannelIndex> active_channels_;
   std::vector<NeuronIndex> spikes_;
+
+  /// True when the backend registers the event-list encode kernels — the
+  /// presentation loop then goes event-driven (list-sliced encoding, CSR
+  /// propagation, lazy STDP per config_.lazy_stdp).
+  bool sparse_ = false;
+  /// The presentation's spike events (encoder output + lazy-STDP history).
+  SpikeEventList events_;
+  /// Per post neuron: deferred post-spike row updates, ascending in time.
+  std::vector<std::vector<PendingPostEvent>> pending_;
+  /// Post neurons with non-empty pending lists, in first-spike order.
+  std::vector<NeuronIndex> rows_with_pending_;
 
   /// Recent post spikes (neuron, time) inside the eq. 7 horizon — the
   /// candidates for anti-causal depression at pre-spike events.

@@ -144,6 +144,14 @@ class StdpUpdater {
   /// Q0.2 caps conductance at 0.75 even though g_max = 1.
   double effective_g_max() const { return effective_g_max_; }
 
+  /// True when α_p, α_d ≥ 0 — apply()'s saturation fast path is then exact:
+  /// a synapse at the bound it is moving toward returns that bound bitwise,
+  /// for every draw value. Bulk callers build on this to skip entire event
+  /// chains of synapses parked at g_min with no pre spikes (gap = ∞ makes
+  /// potentiation probability exactly +0), without generating any draws —
+  /// see kernels_sparse.cpp's stdp_flush.
+  bool nonneg_deltas() const { return nonneg_deltas_; }
+
   /// Uniform draws each event type consumes (RNG counter bookkeeping).
   static constexpr std::uint64_t kDrawsPerEvent = 3;
 

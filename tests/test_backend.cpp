@@ -34,9 +34,11 @@ TEST(BackendRegistry, ListsCpuBackendsAndCudaStub) {
   const auto names = backend_names();
   EXPECT_NE(std::find(names.begin(), names.end(), "cpu"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "cpu_simd"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "cpu_sparse"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "cuda"), names.end());
   EXPECT_TRUE(backend_available("cpu"));
   EXPECT_TRUE(backend_available("cpu_simd"));
+  EXPECT_TRUE(backend_available("cpu_sparse"));
   EXPECT_FALSE(backend_available("cuda"));
   EXPECT_FALSE(backend_available("tpu"));
 }
@@ -300,6 +302,98 @@ TEST(StatePoolTest, RejectsEmptyGeometryAndInvertedBounds) {
                Error);
   StatePool pool(&default_backend(), StatePool::Geometry{1, 1});
   EXPECT_THROW(pool.set_g_bounds(1.0, 1.0), Error);
+}
+
+// --- sparse event backend ---------------------------------------------------
+
+/// The event-path kernel slots are what WtaNetwork probes to pick the sparse
+/// loop: all four present on cpu_sparse, all four absent on the dense tables
+/// (dense backends need no stubs — the probe is the feature flag).
+TEST(SparseBackend, EventKernelSlotsGateTheSparsePath) {
+  auto sparse = make_backend("cpu_sparse");
+  EXPECT_NE(sparse->kernels().poisson_encode_events, nullptr);
+  EXPECT_NE(sparse->kernels().regular_encode_events, nullptr);
+  EXPECT_NE(sparse->kernels().sparse_accumulate, nullptr);
+  EXPECT_NE(sparse->kernels().stdp_flush, nullptr);
+  // The dense slots stay populated — the sparse table is an overlay, and
+  // readout still uses the dense fused step.
+  EXPECT_NE(sparse->kernels().lif_step_fused, nullptr);
+  for (const char* dense : {"cpu", "cpu_simd"}) {
+    auto backend = make_backend(dense);
+    EXPECT_EQ(backend->kernels().poisson_encode_events, nullptr) << dense;
+    EXPECT_EQ(backend->kernels().regular_encode_events, nullptr) << dense;
+    EXPECT_EQ(backend->kernels().sparse_accumulate, nullptr) << dense;
+    EXPECT_EQ(backend->kernels().stdp_flush, nullptr) << dense;
+  }
+}
+
+/// Whole-network worker-count invariance on the sparse path: event building,
+/// CSR accumulation, and the lazy-STDP flush all use counter-indexed draws
+/// and worker-independent partitioning, so the trained conductance matrix is
+/// bitwise-identical at every worker count.
+TEST(SparseBackend, NetworkIsWorkerCountInvariant) {
+  auto run = [](std::size_t workers) {
+    WtaConfig cfg = WtaConfig::from_table1(LearningOption::kFloat32,
+                                           StdpKind::kStochastic, 12);
+    cfg.backend = "cpu_sparse";
+    cfg.seed = 7;
+    Engine engine(workers);
+    WtaNetwork net(cfg, &engine);
+    std::vector<double> rates(cfg.input_channels);
+    for (std::size_t c = 0; c < rates.size(); ++c) {
+      rates[c] = (c % 7 == 0) ? 22.0 : 2.0;
+    }
+    for (int i = 0; i < 6; ++i) {
+      net.present(rates, 150.0, /*learn=*/true);
+    }
+    return net.conductance().to_vector();
+  };
+  const auto ref = run(1);
+  for (std::size_t workers : {4u, 7u}) {
+    const auto got = run(workers);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(got[i], ref[i]) << "synapse " << i << " workers=" << workers;
+    }
+  }
+}
+
+/// cpu vs cpu_sparse is a *statistical* equivalence, not a bitwise one: the
+/// event-list Poisson encoder indexes its draws per spike interval (geometric
+/// sampling) while the dense path draws per step, so the trains are
+/// distributionally equal but not identical. Train both on the same input
+/// statistics and require the learned populations to agree in the aggregate.
+TEST(SparseBackend, MatchesDenseBackendStatistically) {
+  auto train = [](const std::string& backend) {
+    WtaConfig cfg = WtaConfig::from_table1(LearningOption::kFloat32,
+                                           StdpKind::kStochastic, 15);
+    cfg.backend = backend;
+    cfg.seed = 19;
+    WtaNetwork net(cfg);
+    std::vector<double> rates(cfg.input_channels);
+    for (std::size_t c = 0; c < rates.size(); ++c) {
+      rates[c] = (c % 5 < 2) ? 20.0 : 2.0;
+    }
+    // Long enough for homeostasis to settle both populations onto its
+    // firing-rate target; early spike counts are WTA-chaotic.
+    for (int i = 0; i < 30; ++i) {
+      net.present(rates, 200.0, /*learn=*/true);
+    }
+    double mean = 0.0;
+    const auto g = net.conductance().to_vector();
+    for (const double v : g) mean += v;
+    mean /= static_cast<double>(g.size());
+    return std::pair<double, std::uint64_t>{mean, net.total_spikes()};
+  };
+  const auto [dense_mean, dense_spikes] = train("cpu");
+  const auto [sparse_mean, sparse_spikes] = train("cpu_sparse");
+  ASSERT_GT(dense_spikes, 0u);
+  ASSERT_GT(sparse_spikes, 0u);
+  // Same drive statistics → comparable activity and learned mass.
+  EXPECT_LT(sparse_spikes, dense_spikes * 3);
+  EXPECT_LT(dense_spikes, sparse_spikes * 3);
+  EXPECT_NEAR(sparse_mean, dense_mean, 0.15)
+      << "dense=" << dense_mean << " sparse=" << sparse_mean;
 }
 
 }  // namespace

@@ -7,9 +7,13 @@
 #include <cmath>
 #include <map>
 
+#include "pss/backend/backend.hpp"
+#include "pss/backend/state_pool.hpp"
 #include "pss/common/log.hpp"
 #include "pss/data/synthetic_digits.hpp"
 #include "pss/encoding/poisson_encoder.hpp"
+#include "pss/encoding/regular_encoder.hpp"
+#include "pss/engine/spike_events.hpp"
 #include "pss/experiment/experiment.hpp"
 #include "pss/stats/summary.hpp"
 #include "pss/synapse/stdp_updater.hpp"
@@ -265,6 +269,140 @@ TEST(ClassifierDomain, PredictionsAlwaysInRange) {
     EXPECT_GE(p, -1);
     EXPECT_LT(p, 10);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse event path (cpu_sparse). Lazy STDP is a pure *scheduling* change:
+// deferring the per-synapse updates (catch-up on pre spike + presentation-end
+// flush) must leave the final conductance matrix bitwise-identical to the
+// eager per-post-spike row sweep on the same backend — the contract
+// documented at WtaConfig::lazy_stdp.
+TEST(SparseLazyStdp, DeferredFlushBitwiseMatchesEager) {
+  set_log_level(LogLevel::kWarn);
+  auto run = [](bool lazy) {
+    WtaConfig cfg = WtaConfig::from_table1(LearningOption::kFloat32,
+                                           StdpKind::kStochastic, 20);
+    cfg.backend = "cpu_sparse";
+    cfg.lazy_stdp = lazy;
+    cfg.seed = 7;
+    WtaNetwork net(cfg);
+    const PixelFrequencyMap freq(1.0, 22.0);
+    SequentialRng rng(3);
+    std::vector<double> rates;
+    for (int i = 0; i < 10; ++i) {
+      const Image img = render_digit(static_cast<Label>(i % 5), 0.05, rng);
+      freq.frequencies(img.pixels, rates);
+      net.present(rates, 150.0, /*learn=*/true);
+    }
+    return net.conductance().to_vector();
+  };
+  const auto lazy = run(true);
+  const auto eager = run(false);
+  ASSERT_EQ(lazy.size(), eager.size());
+  for (std::size_t i = 0; i < lazy.size(); ++i) {
+    ASSERT_EQ(lazy[i], eager[i]) << "synapse " << i << " diverged";
+  }
+}
+
+// The deferred updates must respect the same clamp domain as the eager path:
+// every conductance inside [g_min, effective_g_max] after training, for both
+// the fp32 and a quantized Table I row (the quantized row exercises the
+// full-quantum flush branch).
+TEST(SparseLazyStdp, ConductanceStaysInBounds) {
+  set_log_level(LogLevel::kWarn);
+  for (const LearningOption option :
+       {LearningOption::kFloat32, LearningOption::k2Bit}) {
+    WtaConfig cfg =
+        WtaConfig::from_table1(option, StdpKind::kStochastic, 15);
+    cfg.backend = "cpu_sparse";
+    cfg.seed = 11;
+    WtaNetwork net(cfg);
+    const StdpUpdater updater(cfg.stdp);
+    const PixelFrequencyMap freq(1.0, 22.0);
+    SequentialRng rng(5);
+    std::vector<double> rates;
+    for (int i = 0; i < 8; ++i) {
+      const Image img = render_digit(static_cast<Label>(i % 4), 0.05, rng);
+      freq.frequencies(img.pixels, rates);
+      net.present(rates, 150.0, /*learn=*/true);
+    }
+    ASSERT_GT(net.total_spikes(), 0u) << "network must be active";
+    for (const double g : net.conductance().to_vector()) {
+      ASSERT_GE(g, cfg.stdp.magnitude.g_min);
+      ASSERT_LE(g, updater.effective_g_max());
+    }
+  }
+}
+
+// The regular encoder's event list is documented bitwise-identical to its
+// per-step dense queries — phase arithmetic on both paths, same rounding.
+TEST(SparseEvents, RegularEventListMatchesDenseStepForStep) {
+  auto backend = make_backend("cpu_sparse");
+  StatePool pool(backend.get(), StatePool::Geometry{1, 48});
+  RegularEncoder enc(pool, /*seed=*/21, /*randomize_phase=*/true);
+  std::vector<double> rates(48);
+  for (std::size_t c = 0; c < rates.size(); ++c) {
+    rates[c] = static_cast<double>(c) * 2.5;  // includes silent channel 0
+  }
+  enc.set_rates(rates);
+  ASSERT_TRUE(enc.supports_events());
+
+  constexpr StepIndex kSteps = 400;
+  constexpr TimeMs kDt = 1.0;
+  SpikeEventList events;
+  enc.build_events(kSteps, kDt, events);
+  events.index_by_step(kSteps);
+
+  std::vector<ChannelIndex> dense;
+  for (StepIndex s = 0; s < kSteps; ++s) {
+    enc.active_channels(s, kDt, dense);
+    std::sort(dense.begin(), dense.end());
+    const auto sparse = events.at_step(s);
+    std::vector<ChannelIndex> sparse_sorted(sparse.begin(), sparse.end());
+    std::sort(sparse_sorted.begin(), sparse_sorted.end());
+    ASSERT_EQ(sparse_sorted, dense) << "step " << s;
+  }
+}
+
+// The Poisson event list uses geometric inter-spike sampling with
+// presentation-forked counter draws: rebuilding the same presentation must
+// reproduce the list exactly, and advancing the presentation index must
+// change it (fresh fork, fresh trains).
+TEST(SparseEvents, PoissonEventListIsDeterministicPerPresentation) {
+  auto backend = make_backend("cpu_sparse");
+  StatePool pool(backend.get(), StatePool::Geometry{1, 32});
+  PoissonEncoder enc(pool, /*seed=*/9);
+  enc.set_uniform_rate(40.0);
+  ASSERT_TRUE(enc.supports_events());
+
+  constexpr StepIndex kSteps = 300;
+  constexpr TimeMs kDt = 1.0;
+  auto history_snapshot = [&](SpikeEventList& ev) {
+    std::vector<std::vector<std::uint32_t>> all;
+    for (ChannelIndex c = 0; c < 32; ++c) {
+      const auto h = ev.channel_history(c);
+      all.emplace_back(h.begin(), h.end());
+    }
+    return all;
+  };
+
+  enc.set_presentation(4);
+  SpikeEventList first;
+  enc.build_events(kSteps, kDt, first);
+  ASSERT_GT(first.total(), 0u);
+  const auto first_hist = history_snapshot(first);
+
+  enc.set_presentation(4);
+  SpikeEventList again;
+  enc.build_events(kSteps, kDt, again);
+  EXPECT_EQ(first_hist, history_snapshot(again))
+      << "same presentation must replay identical trains";
+
+  enc.set_presentation(5);
+  SpikeEventList next;
+  enc.build_events(kSteps, kDt, next);
+  EXPECT_NE(first_hist, history_snapshot(next))
+      << "a new presentation must fork fresh trains";
 }
 
 }  // namespace

@@ -135,6 +135,31 @@ def main():
         check(json.load(f)["status"] == "pass",
               "clean tree report status should be pass")
 
+    # --- real-tree kernel TUs: Philox-only, no suppressions ----------------
+    # The backend kernel translation units (including the event-driven
+    # kernels_sparse.cpp) must stay clean under kernel-rng without a single
+    # suppression — the rule is the determinism guarantee, not a guideline.
+    repo_root = os.path.dirname(os.path.abspath(args.fixtures))
+    repo_root = os.path.dirname(repo_root)
+    kernel_tus = ["kernels_cpu.cpp", "kernels_simd.cpp", "kernels_sparse.cpp"]
+    for tu in kernel_tus:
+        check(os.path.exists(
+                  os.path.join(repo_root, "src", "pss", "backend", tu)),
+              "expected kernel TU missing from tree: %s" % tu)
+    proc = run_lint(args.lint,
+                    ["--root", repo_root, "--rules", "kernel-rng",
+                     "--json", report_path, "--quiet"])
+    check(proc.returncode == 0,
+          "repo kernel TUs must be kernel-rng clean, got %d: %s"
+          % (proc.returncode, proc.stderr))
+    with open(report_path) as f:
+        repo_report = json.load(f)
+    check(repo_report["files_scanned"] > 0, "repo scan saw no files")
+    check(not any(s["rule"] == "kernel-rng" and
+                  os.path.basename(s["file"]) in kernel_tus
+                  for s in repo_report["suppressed"]),
+          "kernel TUs must not carry kernel-rng suppressions")
+
     # --- usage errors: exit 2 ----------------------------------------------
     proc = run_lint(args.lint, ["--root", args.fixtures,
                                 "--rules", "no-such-rule"])

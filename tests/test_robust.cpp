@@ -482,6 +482,44 @@ TEST_F(ResumeTest, SequentialKillAndResumeIsBitwise) {
   std::remove(path.c_str());
 }
 
+/// Same kill/resume discipline on the event-driven backend: checkpoints are
+/// captured at presentation boundaries, where the lazy-STDP pending lists
+/// have just been flushed — so a resume replays the sparse path bitwise, with
+/// no deferred updates to lose.
+TEST_F(ResumeTest, SparseBackendKillAndResumeIsBitwise) {
+  const LabeledDataset data =
+      make_synthetic_digits({.train_count = 8, .test_count = 1, .seed = 4});
+  const Dataset train = data.train.head(8);
+  WtaConfig cfg = tiny_config();
+  cfg.backend = "cpu_sparse";
+
+  WtaNetwork ref(cfg);
+  UnsupervisedTrainer tref(ref, fast_trainer());
+  const TrainingStats sref = tref.train(train);
+
+  const std::string path = temp_path("pss_resume_sparse.ckpt");
+  TrainerConfig tc = fast_trainer();
+  tc.checkpoint_every = 3;
+  tc.checkpoint_path = path;
+  WtaNetwork a(cfg);
+  UnsupervisedTrainer ta(a, tc);
+  robust::faults().arm("train.interrupt",
+                       {.rate = 1.0, .after = 4, .count = 1,
+                        .transient = false});
+  EXPECT_THROW(ta.train(train), Error);
+  robust::faults().clear();
+
+  WtaNetwork b(cfg);
+  UnsupervisedTrainer tb(b, tc);
+  const robust::TrainingCheckpoint cp = robust::load_checkpoint(path);
+  EXPECT_EQ(cp.images_done, 3u);
+  tb.resume_from(cp);
+  const TrainingStats sb = tb.train(train);
+
+  expect_bitwise_equal(final_state(ref, sref), final_state(b, sb));
+  std::remove(path.c_str());
+}
+
 TEST_F(ResumeTest, BatchedKillAndResumeIsBitwiseAcrossWorkerCounts) {
   const LabeledDataset data =
       make_synthetic_digits({.train_count = 8, .test_count = 1, .seed = 4});

@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
 """Diff two pss.metrics.v1 bench files (e.g. BENCH_backend.json before/after
-a kernel change) gauge by gauge.
+a kernel change) gauge by gauge, and render the per-backend phase table.
 
 Usage:
-    tools/bench_summary.py A.json B.json [--prefix bench.]
+    tools/bench_summary.py A.json [B.json] [--prefix bench.]
 
-Prints one row per gauge present in either file: the value in A, the value
-in B, and B/A. Counters are compared the same way when --counters is given.
-Ratios for *.ns / *.seconds gauges read as "B took X times as long as A"
-(< 1 means B is faster). Stdlib only; exit code 1 on malformed input.
+With two files, prints one row per gauge present in either file: the value
+in A, the value in B, and B/A. Counters are compared the same way when
+--counters is given. Ratios for *.ns / *.seconds gauges read as "B took X
+times as long as A" (< 1 means B is faster).
+
+With one file, or whenever a file carries bench.backend.phase.* gauges
+(written by bench_backend), renders the phase breakdown as a table — one row
+per phase (encode/integrate/stdp/aggregate), one column pair per backend
+(milliseconds + speedup vs the reference backend). Stdlib only; exit code 1
+on malformed input.
 """
 
 import argparse
@@ -51,11 +57,59 @@ def diff_section(name, a_map, b_map, prefix):
         print(f"  {n:<{width}}  {fmt(a):>14}  {fmt(b):>14}  {ratio:>8}")
 
 
+PHASE_PREFIX = "bench.backend.phase."
+PHASE_ORDER = ("encode", "integrate", "stdp", "aggregate")
+
+
+def parse_phase_gauges(gauges):
+    """bench.backend.phase.<phase>.<backend>.<ns|speedup> -> nested dict."""
+    phases = {}
+    for name, value in gauges.items():
+        if not name.startswith(PHASE_PREFIX):
+            continue
+        parts = name[len(PHASE_PREFIX):].split(".")
+        if len(parts) != 3 or parts[2] not in ("ns", "speedup"):
+            continue
+        phase, backend, unit = parts
+        phases.setdefault(phase, {}).setdefault(backend, {})[unit] = value
+    return phases
+
+
+def phase_table(title, gauges):
+    phases = parse_phase_gauges(gauges)
+    if not phases:
+        return
+    backends = sorted({b for per in phases.values() for b in per})
+    # The backend with no speedup gauge is the reference the others are
+    # measured against (bench_backend publishes speedups vs `cpu`).
+    backends.sort(key=lambda b: (any("speedup" in phases[p].get(b, {})
+                                     for p in phases), b))
+    ordered = [p for p in PHASE_ORDER if p in phases]
+    ordered += sorted(p for p in phases if p not in PHASE_ORDER)
+    width = max(len(p) for p in ordered + ["phase"])
+    print(f"{title} phase breakdown (ms, speedup vs reference):")
+    header = f"  {'phase':<{width}}"
+    for b in backends:
+        header += f"  {b:>10}  {'x':>6}"
+    print(header)
+    for phase in ordered:
+        row = f"  {phase:<{width}}"
+        for b in backends:
+            cell = phases[phase].get(b, {})
+            ns, speedup = cell.get("ns"), cell.get("speedup")
+            ms = f"{ns / 1e6:.1f}" if ns is not None else "-"
+            x = f"{speedup:.2f}" if speedup is not None else "-"
+            row += f"  {ms:>10}  {x:>6}"
+        print(row)
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
-        description="Diff the gauges of two pss.metrics.v1 files.")
+        description="Diff the gauges of two pss.metrics.v1 files and render "
+                    "the per-backend phase table.")
     parser.add_argument("file_a")
-    parser.add_argument("file_b")
+    parser.add_argument("file_b", nargs="?",
+                        help="omit to just summarize one bench file")
     parser.add_argument("--prefix", default="",
                         help="only show metrics whose name starts with this")
     parser.add_argument("--counters", action="store_true",
@@ -64,10 +118,16 @@ def main(argv):
 
     try:
         label_a, metrics_a = load_metrics(args.file_a)
-        label_b, metrics_b = load_metrics(args.file_b)
+        if args.file_b is not None:
+            label_b, metrics_b = load_metrics(args.file_b)
     except (OSError, ValueError, json.JSONDecodeError) as err:
         print(f"bench_summary: {err}", file=sys.stderr)
         return 1
+
+    if args.file_b is None:
+        print(f"A = {args.file_a} (label {label_a})")
+        phase_table("A", metrics_a.get("gauges", {}))
+        return 0
 
     print(f"A = {args.file_a} (label {label_a})")
     print(f"B = {args.file_b} (label {label_b})")
@@ -76,6 +136,8 @@ def main(argv):
     if args.counters:
         diff_section("counters", metrics_a.get("counters", {}),
                      metrics_b.get("counters", {}), args.prefix)
+    phase_table("A", metrics_a.get("gauges", {}))
+    phase_table("B", metrics_b.get("gauges", {}))
     return 0
 
 

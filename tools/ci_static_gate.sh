@@ -65,6 +65,11 @@ fi
 # Stage 4: lint + options test labels from the wall build.
 run_stage "ctest-lint" ctest --preset lint
 
+# Stage 4b: event-driven sparse-path suite (label `sparse`) from the wall
+# build — lazy-STDP bitwise equivalence, event-list encoders, sparse resume.
+run_stage "ctest-sparse" ctest --test-dir build-lint -L sparse \
+  --output-on-failure -j "$JOBS"
+
 # Stage 5: sanitizer suites (the slow half of the gate).
 if [ "$SKIP_SAN" -eq 0 ]; then
   run_stage "tsan-configure" cmake --preset tsan
