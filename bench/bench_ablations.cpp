@@ -44,7 +44,7 @@ ExperimentResult run_with(const bench::Scale& scale,
 }  // namespace
 
 int main(int argc, char** argv) {
-  return bench::bench_main(argc, argv, [](const Config& args) {
+  return bench::bench_main(argc, argv, "ablations", [](const Config& args) {
     bench::Scale scale = bench::parse_scale(args);
     if (scale.name == "quick") scale.train_images = 250;
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));

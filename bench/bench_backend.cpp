@@ -17,11 +17,21 @@
 // End-to-end section: the full unsupervised pipeline (train → label → infer)
 // through ExperimentSpec with only the backend name swapped.
 //
+// Hardware-counter profile: after every timed section, an untimed pass
+// re-runs the kernels (and one sparse e2e run) with obs::profile_enabled()
+// on, so the per-kernel cycles/IPC/cache-miss tables in the
+// `<out>.profile.json` sidecar (pss.profile.v1) come from the same code
+// paths without the ~µs counter-group reads distorting the published
+// timings. Where perf_event_open is blocked (containers) the sidecar
+// reports "available": 0 instead of failing.
+//
 // Arguments: neurons=256 active=256 dram_neurons=1000 dram_active=128
-//            repeats=5 iters=200 e2e=1 out=BENCH_backend.json seed=3
+//            repeats=5 iters=200 e2e=1 profile=1 out=BENCH_backend.json
+//            seed=3
 // The committed repo-root BENCH_backend.json is this bench's output, run from
 // the repo root with defaults; refresh it when the kernels change and diff
-// with tools/bench_summary.py.
+// with tools/bench_summary.py. tools/bench_compare.py gates it against
+// bench/baselines/backend.json.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -39,6 +49,7 @@
 #include "pss/experiment/experiment.hpp"
 #include "pss/io/config.hpp"
 #include "pss/obs/metrics.hpp"
+#include "pss/obs/perf.hpp"
 
 using namespace pss;
 
@@ -335,6 +346,45 @@ int main(int argc, char** argv) {
       publish_e2e("cpu_sparse", e2e_sparse, acc_sparse, ph_sparse);
       publish_phase_speedup("cpu_simd", ph_cpu, ph_simd);
       publish_phase_speedup("cpu_sparse", ph_cpu, ph_sparse);
+    }
+
+    // --- hardware-counter profile (untimed pass) --------------------------
+    if (args.get_bool("profile", true)) {
+      obs::set_profile_enabled(true);
+      const std::size_t prof_iters = std::min<std::size_t>(iters, 100);
+      for (std::size_t i = 0; i < prof_iters; ++i) {
+        const TimeMs t = 0.5 * static_cast<double>(i + 1);
+        cpu.fused_step(t);
+        simd.fused_step(t);
+        cpu.stdp_row(static_cast<NeuronIndex>(i % neurons),
+                     static_cast<double>(i), i * draws_per_row);
+        simd.stdp_row(static_cast<NeuronIndex>(i % neurons),
+                      static_cast<double>(i), i * draws_per_row);
+      }
+      if (args.get_bool("e2e", true)) {
+        // One sparse e2e run fills the per-phase rows (phase.encode /
+        // integrate / stdp / homeostasis) and the sparse kernel tags;
+        // cpu_sparse because it is the cheapest full pipeline.
+        SyntheticConfig synth;
+        synth.train_count = 240;
+        synth.test_count = 240;
+        synth.seed = 7;
+        const LabeledDataset data = make_synthetic_digits(synth);
+        run_e2e("cpu_sparse", data, seed, nullptr, nullptr);
+      }
+      obs::set_profile_enabled(false);
+      obs::publish_profile_stats();
+      std::string profile_out = out;
+      const std::string suffix = ".json";
+      if (profile_out.size() >= suffix.size() &&
+          profile_out.compare(profile_out.size() - suffix.size(),
+                              suffix.size(), suffix) == 0) {
+        profile_out.resize(profile_out.size() - suffix.size());
+      }
+      profile_out += ".profile.json";
+      obs::write_profile_json(profile_out, "bench_backend");
+      std::printf("wrote %s (profile.available=%d)\n", profile_out.c_str(),
+                  obs::profile_available() ? 1 : 0);
     }
 
     obs::write_metrics_json(out, "bench_backend");

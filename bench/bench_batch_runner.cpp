@@ -53,7 +53,7 @@ WtaConfig bench_config(std::size_t neurons, std::uint64_t seed, bool fused,
 }  // namespace
 
 int main(int argc, char** argv) {
-  return bench::bench_main(argc, argv, [](const Config& args) {
+  return bench::bench_main(argc, argv, "batch_runner", [](const Config& args) {
     bench::print_header(
         "Batched presentation engine — launch overhead & image parallelism",
         "fused stepping cuts per-step kernel launches 3x; independent "

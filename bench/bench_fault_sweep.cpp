@@ -19,7 +19,7 @@
 using namespace pss;
 
 int main(int argc, char** argv) {
-  return bench::bench_main(argc, argv, [](const Config& args) {
+  return bench::bench_main(argc, argv, "fault_sweep", [](const Config& args) {
     bench::Scale scale = bench::parse_scale(args);
     if (scale.name == "quick") {
       // 20 evaluation cells: keep each affordable.

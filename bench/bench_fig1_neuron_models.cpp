@@ -14,7 +14,7 @@
 using namespace pss;
 
 int main(int argc, char** argv) {
-  return bench::bench_main(argc, argv, [](const Config&) {
+  return bench::bench_main(argc, argv, "fig1_neuron_models", [](const Config&) {
     bench::print_header(
         "Fig. 1a — LIF spiking frequency vs input current",
         "LIF with Sec. III-D parameters: silent below rheobase (~2.6), "

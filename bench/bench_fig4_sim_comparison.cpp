@@ -32,7 +32,7 @@ std::vector<double> to_rates(const std::vector<std::uint32_t>& spikes,
 }  // namespace
 
 int main(int argc, char** argv) {
-  return bench::bench_main(argc, argv, [](const Config& args) {
+  return bench::bench_main(argc, argv, "fig4_sim_comparison", [](const Config& args) {
     bench::print_header(
         "Fig. 4 — spiking activity & simulation performance comparison",
         "equivalent spiking activity across simulators; ParallelSpikeSim "

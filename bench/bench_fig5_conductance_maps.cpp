@@ -38,7 +38,7 @@ ExperimentResult run_and_dump_maps(const ExperimentSpec& spec,
 }  // namespace
 
 int main(int argc, char** argv) {
-  return bench::bench_main(argc, argv, [](const Config& args) {
+  return bench::bench_main(argc, argv, "fig5_conductance_maps", [](const Config& args) {
     const bench::Scale scale = bench::parse_scale(args);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 

@@ -51,7 +51,7 @@ Histogram conductance_histogram(const ExperimentSpec& spec,
 }  // namespace
 
 int main(int argc, char** argv) {
-  return bench::bench_main(argc, argv, [](const Config& args) {
+  return bench::bench_main(argc, argv, "fig6_trains_distribution", [](const Config& args) {
     const bench::Scale scale = bench::parse_scale(args);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     const LabeledDataset mnist = bench::load_dataset("mnist", scale, 7);

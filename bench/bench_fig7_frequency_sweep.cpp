@@ -13,7 +13,7 @@
 using namespace pss;
 
 int main(int argc, char** argv) {
-  return bench::bench_main(argc, argv, [](const Config& args) {
+  return bench::bench_main(argc, argv, "fig7_frequency_sweep", [](const Config& args) {
     bench::Scale scale = bench::parse_scale(args);
     if (scale.name == "quick") scale.train_images = 250;  // 10 sweeps below
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));

@@ -15,7 +15,7 @@
 using namespace pss;
 
 int main(int argc, char** argv) {
-  return bench::bench_main(argc, argv, [](const Config& args) {
+  return bench::bench_main(argc, argv, "fig8_summary", [](const Config& args) {
     const bench::Scale scale = bench::parse_scale(args);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     const LabeledDataset mnist = bench::load_dataset("mnist", scale, 7);

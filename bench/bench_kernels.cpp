@@ -29,6 +29,7 @@
 #include "pss/engine/launch.hpp"
 #include "pss/neuron/lif.hpp"
 #include "pss/obs/metrics.hpp"
+#include "pss/obs/perf.hpp"
 #include "pss/obs/trace.hpp"
 #include "pss/synapse/conductance_matrix.hpp"
 #include "pss/synapse/stdp_updater.hpp"
@@ -242,6 +243,19 @@ void BM_MetricsCounterDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsCounterDisabled);
 
+/// The profiler's disabled path: the same relaxed-load + branch pattern as
+/// BM_MetricsCounterDisabled, pinning the per-launch cost of the
+/// obs::profile_enabled() gate to the PR 2 budget (a few ns).
+void BM_ProfileGateDisabled(benchmark::State& state) {
+  obs::set_profile_enabled(false);
+  obs::ProfileAccum& row = obs::profiler().row("bench.gate");
+  for (auto _ : state) {
+    const obs::PerfScope scope(obs::profile_enabled() ? &row : nullptr);
+    benchmark::DoNotOptimize(&row);
+  }
+}
+BENCHMARK(BM_ProfileGateDisabled);
+
 void BM_MetricsCounterAdd(benchmark::State& state) {
   obs::set_metrics_enabled(true);
   obs::Counter& c = obs::metrics().counter("bench.counter");
@@ -307,7 +321,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   std::filesystem::create_directories("out");
+  pss::obs::publish_profile_stats();
   pss::obs::write_metrics_json("out/BENCH_kernels.json", "bench_kernels");
+  pss::obs::write_profile_json("out/BENCH_kernels.profile.json",
+                               "bench_kernels");
   std::printf("wrote out/BENCH_kernels.json\n");
   return 0;
 }

@@ -8,7 +8,7 @@
 using namespace pss;
 
 int main(int argc, char** argv) {
-  return bench::bench_main(argc, argv, [](const Config&) {
+  return bench::bench_main(argc, argv, "table1_parameters", [](const Config&) {
     bench::print_header("Table I — parameters for different learning options",
                         "verbatim transcription; blank α/β cells mean "
                         "ΔG = 1/2^n at that precision");

@@ -12,7 +12,7 @@
 using namespace pss;
 
 int main(int argc, char** argv) {
-  return bench::bench_main(argc, argv, [](const Config& args) {
+  return bench::bench_main(argc, argv, "table2_low_precision", [](const Config& args) {
     bench::Scale scale = bench::parse_scale(args);
     if (scale.name == "quick") {
       // 24 cells: keep each affordable.

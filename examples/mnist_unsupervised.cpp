@@ -12,12 +12,14 @@
 //   results)   batch=1 (> 1 = minibatch STDP training)
 //   backend=cpu|cpu_simd (cpu)  compute backend (README "Compute backends")
 //   metrics=<path.json>  trace=<path.json>  manifest=<path.json>
-//   (observability sidecars — see README "Observability")
+//   profile=<path.json>  prom=<path.prom>  metrics_port=<port>
+//   (observability sidecars + live exposition — see README "Observability")
 //   checkpoint=<path> checkpoint_every=<N> resume=<path> faults=<spec>
 //   (fault tolerance — see README "Fault tolerance & resume")
 // Real MNIST is used when PSS_MNIST_DIR points at the IDX files.
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 #include <string>
 
 #include "pss/common/error.hpp"
@@ -29,8 +31,10 @@
 #include "pss/io/csv.hpp"
 #include "pss/io/pgm.hpp"
 #include "pss/learning/trainer.hpp"
+#include "pss/obs/exporter.hpp"
 #include "pss/obs/manifest.hpp"
 #include "pss/obs/metrics.hpp"
+#include "pss/obs/perf.hpp"
 #include "pss/obs/trace.hpp"
 #include "tools/run_options.hpp"
 
@@ -50,6 +54,12 @@ int main(int argc, char** argv) {
     const std::string& metrics_path = obs_paths.metrics;
     const std::string& manifest_path = obs_paths.manifest;
     const bool want_obs = obs_paths.any();
+    std::optional<obs::MetricsExporter> exporter;
+    if (obs_paths.metrics_port >= 0) {
+      exporter.emplace(static_cast<std::uint16_t>(obs_paths.metrics_port));
+      std::printf("metrics exporter listening on 127.0.0.1:%u\n",
+                  static_cast<unsigned>(exporter->port()));
+    }
     const std::uint64_t wall_t0 = obs::monotonic_ns();
 
     LabeledDataset data;
@@ -130,6 +140,7 @@ int main(int argc, char** argv) {
 
     if (want_obs) {
       publish_engine_stats(default_engine(), "engine");
+      obs::publish_profile_stats();
       if (!metrics_path.empty()) {
         obs::write_metrics_json(metrics_path, "mnist_unsupervised");
         std::printf("metrics saved: %s\n", metrics_path.c_str());
@@ -168,6 +179,14 @@ int main(int argc, char** argv) {
         }
         obs::write_manifest(manifest_path, manifest);
         std::printf("manifest saved: %s\n", manifest_path.c_str());
+      }
+      if (!obs_paths.profile.empty()) {
+        obs::write_profile_json(obs_paths.profile, "mnist_unsupervised");
+        std::printf("profile saved: %s\n", obs_paths.profile.c_str());
+      }
+      if (!obs_paths.prom.empty()) {
+        obs::write_prometheus_text(obs_paths.prom);
+        std::printf("prometheus text saved: %s\n", obs_paths.prom.c_str());
       }
     }
     return 0;

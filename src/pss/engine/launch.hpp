@@ -20,17 +20,26 @@
 // Observability: every launch site may pass a static tag string; the engine
 // keeps per-tag launch/dispatch counts and — only while
 // obs::metrics_enabled() — per-tag wall time split into inline vs dispatched
-// launches. With observability off the added cost is one relaxed atomic load
-// + branch per launch (bench_kernels measures it).
+// launches. While obs::profile_enabled(), each launch is additionally
+// bracketed by a hardware-counter read pair (cycles / instructions /
+// cache-misses / branch-misses) aggregated per tag into obs::profiler()
+// under "kernel.<tag>" — this is the perf-counter seam in the KernelTable
+// dispatch path (DESIGN.md §4b). Counters are per submitting thread, so a
+// dispatched launch charges only the coordination work to the row; with the
+// default grain every simulator kernel launches inline and is fully
+// measured. With both gates off the added cost is one relaxed atomic load +
+// branch per gate per launch (bench_kernels measures it).
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pss/engine/thread_pool.hpp"
 #include "pss/obs/metrics.hpp"
+#include "pss/obs/perf.hpp"
 
 namespace pss {
 
@@ -67,6 +76,8 @@ class Engine {
   void launch(const char* tag, std::size_t thread_count, Kernel&& kernel) {
     if (thread_count == 0) return;
     ++launch_count_;
+    const obs::PerfScope perf(
+        obs::profile_enabled() ? &profile_row_for(tag) : nullptr);
     LaunchTagStats* stats = nullptr;
     std::uint64_t t0 = 0;
     if (obs::metrics_enabled()) {
@@ -102,6 +113,8 @@ class Engine {
                     Kernel&& kernel) {
     if (thread_count == 0) return 0.0;
     ++launch_count_;
+    const obs::PerfScope perf(
+        obs::profile_enabled() ? &profile_row_for(tag) : nullptr);
     LaunchTagStats* stats = nullptr;
     std::uint64_t t0 = 0;
     if (obs::metrics_enabled()) {
@@ -171,11 +184,26 @@ class Engine {
     return tag_stats_.back();
   }
 
+  /// Profiler row for `tag` ("kernel.<tag>" in obs::profiler()), resolved
+  /// once per tag per engine and then cached — the registry lock is off the
+  /// launch path. Same single-submitter / tag-literal contract as
+  /// stats_for().
+  obs::ProfileAccum& profile_row_for(const char* tag) {
+    for (const auto& [t, row] : profile_rows_) {
+      if (t == tag || std::strcmp(t, tag) == 0) return *row;
+    }
+    obs::ProfileAccum& row =
+        obs::profiler().row(std::string("kernel.") + tag);
+    profile_rows_.emplace_back(tag, &row);
+    return row;
+  }
+
   ThreadPool pool_;
   std::size_t grain_ = kDefaultGrain;
   std::uint64_t launch_count_ = 0;
   std::uint64_t dispatch_count_ = 0;
   std::vector<LaunchTagStats> tag_stats_;
+  std::vector<std::pair<const char*, obs::ProfileAccum*>> profile_rows_;
 };
 
 /// Process-wide default engine (lazily constructed). The simulator and the

@@ -11,6 +11,7 @@
 #include "pss/backend/state_pool.hpp"
 #include "pss/common/error.hpp"
 #include "pss/obs/metrics.hpp"
+#include "pss/obs/perf.hpp"
 #include "pss/obs/trace.hpp"
 
 namespace pss {
@@ -24,6 +25,25 @@ constexpr const char* kPhaseCounter[] = {
     "phase.homeostasis.ns"};
 constexpr const char* kPhaseSpan[] = {"encode", "integrate", "stdp",
                                       "homeostasis"};
+
+/// Hardware-counter rows for the same four phases (obs::profiler() keys).
+obs::ProfileAccum* const* phase_profile_rows() {
+  static obs::ProfileAccum* const rows[4] = {
+      &obs::profiler().row("phase.encode"),
+      &obs::profiler().row("phase.integrate"),
+      &obs::profiler().row("phase.stdp"),
+      &obs::profiler().row("phase.homeostasis")};
+  return rows;
+}
+
+/// Catch-up chain depth (pending post events applied per (row, channel)
+/// pair) — how far behind the lazy-STDP path lets synapses drift.
+obs::FixedHistogram& catchup_depth_histogram() {
+  static obs::FixedHistogram& hist = obs::metrics().histogram(
+      "sparse.catchup.depth",
+      {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0, 64.0});
+  return hist;
+}
 
 /// Input-spike occupancy per step — the quantity the event-driven path's
 /// costs scale with (the dense path's costs don't, which is the point).
@@ -190,14 +210,27 @@ PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
   const bool observed = obs::metrics_enabled();
   const bool traced = obs::trace_enabled();
   const bool timed = observed || traced;
+  // Per-phase hardware counters ride the same stop marks as the wall clock:
+  // each phase_stop() charges the counter deltas since the previous mark to
+  // one phase row, so the four rows partition the loop's retired work
+  // exactly (launch-scope read overhead included — it ran in that phase).
+  const bool profiled = obs::profile_enabled();
   std::uint64_t phase_ns[4] = {0, 0, 0, 0};
+  obs::PerfReading perf_mark;
+  if (profiled) perf_mark = obs::perf_read_now();
   const std::uint64_t present_t0 = timed ? obs::monotonic_ns() : 0;
   std::uint64_t mark = present_t0;
   const auto phase_stop = [&](PresentPhase p) {
-    if (!timed) return;
-    const std::uint64_t now_ns = obs::monotonic_ns();
-    phase_ns[p] += now_ns - mark;
-    mark = now_ns;
+    if (timed) {
+      const std::uint64_t now_ns = obs::monotonic_ns();
+      phase_ns[p] += now_ns - mark;
+      mark = now_ns;
+    }
+    if (profiled) {
+      const obs::PerfReading now = obs::perf_read_now();
+      phase_profile_rows()[p]->add(perf_mark, now);
+      perf_mark = now;
+    }
   };
 
   // Lazy STDP is an event-driven-path feature (pending events key off the
@@ -533,6 +566,7 @@ void WtaNetwork::catch_up_synapses(std::span<const ChannelIndex> active) {
   // cannot drift apart. Bitwise equals the eager path's order: post events
   // in time order, interleaved with the immediate pre-spike depression.
   std::uint64_t applied = 0;
+  const bool observed = obs::metrics_enabled();
   const StdpChainContext ctx = make_stdp_chain_context(updater_, config_.dt);
   for (NeuronIndex j : rows_with_pending_) {
     const auto& events = pending_[j];
@@ -543,6 +577,10 @@ void WtaNetwork::catch_up_synapses(std::span<const ChannelIndex> active) {
     for (ChannelIndex c : active) {
       const std::uint32_t done = progress[c];
       if (done >= n_events) continue;
+      if (observed) {
+        catchup_depth_histogram().observe(
+            static_cast<double>(n_events - done));
+      }
       progress[c] = n_events;
       row[c] = stdp_apply_chain(ctx, row[c], c, events, done,
                                 events_.channel_history(c),
@@ -578,6 +616,12 @@ void WtaNetwork::flush_pending() {
     static obs::Counter& touched =
         obs::metrics().counter("sparse.synapses_touched");
     touched.add(n);
+    // Flush-only share of the lazy work (the catch-up path contributes the
+    // rest of sparse.synapses_touched) — the quantity ROADMAP item 1's
+    // "flush walks every synapse" headroom note is about.
+    static obs::Counter& flushed =
+        obs::metrics().counter("sparse.flush.synapses");
+    flushed.add(n);
   }
 }
 

@@ -1,0 +1,175 @@
+#include "pss/obs/exporter.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "pss/common/error.hpp"
+#include "pss/obs/metrics.hpp"
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define PSS_HAVE_SOCKETS 1
+#endif
+
+namespace pss::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  // %g keeps integers short and Prometheus accepts scientific notation;
+  // non-finite values render as the spec's NaN/+Inf/-Inf spellings via %g's
+  // nan/inf, which Prometheus parses case-insensitively.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "pss_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const MetricSnapshot& row : registry.snapshot()) {
+    const std::string name = prometheus_name(row.name);
+    switch (row.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + ' ' + std::to_string(row.count) + '\n';
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + ' ';
+        append_double(out, row.value);
+        out += '\n';
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        // Prometheus buckets are cumulative; ours are per-bucket counts.
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < row.buckets.size(); ++i) {
+          cumulative += row.buckets[i];
+          out += name + "_bucket{le=\"";
+          if (i < row.edges.size()) {
+            append_double(out, row.edges[i]);
+          } else {
+            out += "+Inf";
+          }
+          out += "\"} " + std::to_string(cumulative) + '\n';
+        }
+        out += name + "_sum ";
+        append_double(out, row.value);
+        out += '\n';
+        out += name + "_count " + std::to_string(row.count) + '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void write_prometheus_text(const std::string& path) {
+  std::ofstream os(path);
+  PSS_REQUIRE(os.good(), "cannot open prometheus output file: " + path);
+  os << render_prometheus(metrics());
+}
+
+#if defined(PSS_HAVE_SOCKETS)
+
+MetricsExporter::MetricsExporter(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  PSS_REQUIRE(listen_fd_ >= 0, "metrics exporter: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    PSS_REQUIRE(false, "metrics exporter: cannot bind 127.0.0.1:" +
+                           std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  acceptor_ = std::thread([this] { serve(); });
+}
+
+void MetricsExporter::serve() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);  // stop-flag check cadence
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+
+    // Drain whatever request line arrived (we serve one document regardless
+    // of path), then write a complete HTTP/1.1 response and close.
+    char sink[1024];
+    (void)::recv(conn, sink, sizeof sink, 0);
+
+    const std::string body = render_prometheus(metrics());
+    std::string response =
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n\r\n" +
+        body;
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t n =
+          ::send(conn, response.data() + sent, response.size() - sent, 0);
+      if (n <= 0) break;  // scraper went away; not our problem
+      sent += static_cast<std::size_t>(n);
+    }
+    ::close(conn);
+  }
+}
+
+void MetricsExporter::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+#else  // !PSS_HAVE_SOCKETS
+
+MetricsExporter::MetricsExporter(std::uint16_t) {
+  PSS_REQUIRE(false, "metrics exporter: no socket support on this platform");
+}
+
+void MetricsExporter::serve() {}
+
+void MetricsExporter::stop() {}
+
+#endif  // PSS_HAVE_SOCKETS
+
+MetricsExporter::~MetricsExporter() { stop(); }
+
+}  // namespace pss::obs

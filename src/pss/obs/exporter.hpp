@@ -1,0 +1,64 @@
+// Live metrics exposition: renders the registry in Prometheus text format
+// and serves it over a loopback TCP socket — the substrate the upcoming
+// pss_serve daemon mounts. Two consumption paths:
+//
+//   * MetricsExporter — background acceptor thread, one scrape per
+//     connection, minimal HTTP/1.1 framing (Prometheus only needs the body).
+//     `metrics_port=` in pss_run starts one; port 0 binds an ephemeral port
+//     (reported via port(), logged at startup).
+//   * write_prometheus_text — textfile-collector dump (`prom=` flag), the
+//     same rendering without a socket; run_obs_check validates it.
+//
+// Rendering snapshots the registry (no locks held while serving), so a
+// scrape can never block a hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace pss::obs {
+
+class MetricsRegistry;
+
+/// Renders a registry snapshot in Prometheus text exposition format
+/// (version 0.0.4): `# TYPE` headers, `pss_`-prefixed sanitized names,
+/// cumulative histogram buckets with `+Inf`, `_sum` and `_count` series.
+std::string render_prometheus(const MetricsRegistry& registry);
+
+/// Sanitizes a metric name for Prometheus: prefixes `pss_` and maps every
+/// character outside [a-zA-Z0-9_] (dots in our names) to '_'.
+std::string prometheus_name(const std::string& name);
+
+/// Dumps render_prometheus(metrics()) to `path` (textfile-collector layout).
+void write_prometheus_text(const std::string& path);
+
+/// Loopback TCP server exposing the global registry. Lifetime-managed: the
+/// constructor binds + listens + starts the acceptor thread, the destructor
+/// stops it. Throws on bind failure (bad port); serving errors on individual
+/// connections are swallowed — a broken scraper must not kill a run.
+class MetricsExporter {
+ public:
+  /// `port` 0 requests an ephemeral port; the bound port is in port().
+  explicit MetricsExporter(std::uint16_t port);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Idempotent; also called by the destructor. Joins the acceptor thread.
+  void stop();
+
+ private:
+  void serve();
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+};
+
+}  // namespace pss::obs

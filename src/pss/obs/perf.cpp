@@ -1,0 +1,338 @@
+// perf_event_open wrapper. This is the only translation unit allowed to make
+// the raw syscall — pss_lint's raw-perf-syscall rule rejects it anywhere
+// else, so the availability latch, the forced-unavailable test hook and the
+// graceful-degradation contract cannot be bypassed.
+
+#include "pss/obs/perf.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "pss/common/error.hpp"
+#include "pss/common/thread_annotations.hpp"
+#include "pss/obs/json_writer.hpp"
+#include "pss/obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#define PSS_HAVE_PERF_EVENT 1
+#endif
+
+namespace pss::obs {
+
+namespace {
+
+std::atomic<bool> g_profile_enabled{false};
+std::atomic<bool> g_forced_unavailable{false};
+/// Latched true by the first successful group open anywhere in the process.
+std::atomic<bool> g_any_group_open{false};
+
+#if defined(PSS_HAVE_PERF_EVENT)
+
+/// Per-thread counter group. Counters free-run from open (leader starts
+/// disabled, members inherit, one group ioctl enables the set); sampled
+/// scopes are deltas of two read(2) calls, so a scope never perturbs another
+/// thread's measurements.
+struct ThreadGroup {
+  bool attempted = false;
+  int leader_fd = -1;
+  // Position of each event's value in the PERF_FORMAT_GROUP read buffer;
+  // -1 when that event failed to open (PMUs differ in what they expose).
+  int slot_cycles = -1;
+  int slot_instructions = -1;
+  int slot_cache_misses = -1;
+  int slot_branch_misses = -1;
+  int nr = 0;
+
+  ~ThreadGroup();
+};
+
+long perf_event_open_raw(perf_event_attr* attr, pid_t pid, int cpu,
+                         int group_fd, unsigned long flags) {
+  // The one sanctioned call site (see file comment).
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd,  // pss-lint: allow(raw-perf-syscall)
+                 flags);
+}
+
+perf_event_attr make_attr(std::uint64_t config, bool leader) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.config = config;
+  // The leader opens disabled and the whole group is enabled with one ioctl
+  // after every member joined, so all counters start at the same instant.
+  attr.disabled = leader ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return attr;
+}
+
+/// Opens this thread's group (pid=0, cpu=-1: this thread, any CPU). Leader
+/// failure means no profiling for the thread; a member failure only drops
+/// that event from the slot map.
+void open_group(ThreadGroup& g) {
+  g.attempted = true;
+  perf_event_attr leader = make_attr(PERF_COUNT_HW_CPU_CYCLES, true);
+  const long fd = perf_event_open_raw(&leader, 0, -1, -1, 0);
+  if (fd < 0) return;  // EPERM/ENOSYS/ENOENT: stay unavailable, never throw
+  g.leader_fd = static_cast<int>(fd);
+  g.slot_cycles = g.nr++;
+
+  const auto join = [&](std::uint64_t config, int& slot) {
+    perf_event_attr attr = make_attr(config, false);
+    if (perf_event_open_raw(&attr, 0, -1, g.leader_fd, 0) >= 0) {
+      slot = g.nr++;
+    }
+  };
+  join(PERF_COUNT_HW_INSTRUCTIONS, g.slot_instructions);
+  join(PERF_COUNT_HW_CACHE_MISSES, g.slot_cache_misses);
+  join(PERF_COUNT_HW_BRANCH_MISSES, g.slot_branch_misses);
+
+  ioctl(g.leader_fd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(g.leader_fd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  g_any_group_open.store(true, std::memory_order_relaxed);
+}
+
+ThreadGroup::~ThreadGroup() {
+  // Closing the leader tears the whole group down (members were opened with
+  // the leader as group_fd and are reaped by the kernel with it). Member fds
+  // are still real descriptors, but we never stored them: close-on-leader is
+  // the documented group semantic only for PERF_FLAG_FD_CLOEXEC groups on
+  // some kernels, so be conservative and let process exit reap members —
+  // groups are per long-lived thread, not per scope, so the fd count is
+  // bounded by the thread count.
+  if (leader_fd >= 0) close(leader_fd);
+}
+
+ThreadGroup& this_thread_group() {
+  thread_local ThreadGroup group;
+  if (!group.attempted) open_group(group);
+  return group;
+}
+
+#endif  // PSS_HAVE_PERF_EVENT
+
+}  // namespace
+
+bool profile_enabled() {
+  return g_profile_enabled.load(std::memory_order_relaxed);
+}
+
+void set_profile_enabled(bool enabled) {
+  g_profile_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void set_profile_forced_unavailable(bool forced) {
+  g_forced_unavailable.store(forced, std::memory_order_relaxed);
+}
+
+bool profile_available() {
+  if (g_forced_unavailable.load(std::memory_order_relaxed)) return false;
+#if defined(PSS_HAVE_PERF_EVENT)
+  this_thread_group();  // probe so a fresh process answers honestly
+#endif
+  return g_any_group_open.load(std::memory_order_relaxed);
+}
+
+PerfReading perf_read_now() {
+  PerfReading r;
+  if (g_forced_unavailable.load(std::memory_order_relaxed)) return r;
+#if defined(PSS_HAVE_PERF_EVENT)
+  ThreadGroup& g = this_thread_group();
+  if (g.leader_fd < 0) return r;
+
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+  std::uint64_t buf[3 + 8] = {};
+  const std::size_t want = (3 + static_cast<std::size_t>(g.nr)) * sizeof buf[0];
+  const ssize_t got = read(g.leader_fd, buf, want);
+  if (got < 0 || static_cast<std::size_t>(got) < want) return r;
+
+  r.time_enabled = buf[1];
+  r.time_running = buf[2];
+  const auto value = [&](int slot) -> std::uint64_t {
+    return slot >= 0 ? buf[3 + slot] : 0;
+  };
+  r.cycles = value(g.slot_cycles);
+  r.instructions = value(g.slot_instructions);
+  r.cache_misses = value(g.slot_cache_misses);
+  r.branch_misses = value(g.slot_branch_misses);
+  r.valid = true;
+#endif
+  return r;
+}
+
+// ---- ProfileAccum ---------------------------------------------------------
+
+void ProfileAccum::add(const PerfReading& begin, const PerfReading& end) {
+  if (!begin.valid || !end.valid) return;
+  // A leader counter running backwards means the reading pair is garbage
+  // (counter reset between the two reads); drop the whole sample rather
+  // than skew the ratios with partial zeros.
+  if (end.cycles < begin.cycles || end.time_enabled < begin.time_enabled) {
+    return;
+  }
+  const auto delta = [](std::uint64_t a, std::uint64_t b) -> std::uint64_t {
+    return b >= a ? b - a : 0;
+  };
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  enabled_ns_.fetch_add(delta(begin.time_enabled, end.time_enabled),
+                        std::memory_order_relaxed);
+  running_ns_.fetch_add(delta(begin.time_running, end.time_running),
+                        std::memory_order_relaxed);
+  cycles_.fetch_add(delta(begin.cycles, end.cycles),
+                    std::memory_order_relaxed);
+  instructions_.fetch_add(delta(begin.instructions, end.instructions),
+                          std::memory_order_relaxed);
+  cache_misses_.fetch_add(delta(begin.cache_misses, end.cache_misses),
+                          std::memory_order_relaxed);
+  branch_misses_.fetch_add(delta(begin.branch_misses, end.branch_misses),
+                           std::memory_order_relaxed);
+}
+
+void ProfileAccum::reset() {
+  samples_.store(0, std::memory_order_relaxed);
+  enabled_ns_.store(0, std::memory_order_relaxed);
+  running_ns_.store(0, std::memory_order_relaxed);
+  cycles_.store(0, std::memory_order_relaxed);
+  instructions_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+  branch_misses_.store(0, std::memory_order_relaxed);
+}
+
+// ---- KernelProfiler -------------------------------------------------------
+
+struct KernelProfiler::Impl {
+  mutable std::mutex mutex;
+  // Node-based map: row references stay valid across later registrations
+  // (same contract as MetricsRegistry::Impl).
+  std::map<std::string, std::unique_ptr<ProfileAccum>> rows
+      PSS_GUARDED_BY(mutex);
+};
+
+KernelProfiler::KernelProfiler() : impl_(std::make_unique<Impl>()) {}
+KernelProfiler::~KernelProfiler() = default;
+
+KernelProfiler::Impl& KernelProfiler::impl() const { return *impl_; }
+
+ProfileAccum& KernelProfiler::row(const std::string& key) {
+  std::lock_guard<std::mutex> lock(impl().mutex);
+  auto& slot = impl().rows[key];
+  if (!slot) slot = std::make_unique<ProfileAccum>();
+  return *slot;
+}
+
+std::vector<ProfileSnapshot> KernelProfiler::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl().mutex);
+  std::vector<ProfileSnapshot> out;
+  out.reserve(impl().rows.size());
+  for (const auto& [key, accum] : impl().rows) {
+    ProfileSnapshot s;
+    s.key = key;
+    s.samples = accum->samples();
+    if (s.samples == 0) continue;  // never sampled (or perf unavailable)
+    s.enabled_ns = accum->enabled_ns();
+    s.running_ns = accum->running_ns();
+    s.cycles = accum->cycles();
+    s.instructions = accum->instructions();
+    s.cache_misses = accum->cache_misses();
+    s.branch_misses = accum->branch_misses();
+    if (s.cycles > 0) {
+      s.ipc = static_cast<double>(s.instructions) /
+              static_cast<double>(s.cycles);
+    }
+    if (s.instructions > 0) {
+      s.cache_miss_per_kinst = 1000.0 * static_cast<double>(s.cache_misses) /
+                               static_cast<double>(s.instructions);
+      s.branch_miss_per_kinst = 1000.0 * static_cast<double>(s.branch_misses) /
+                                static_cast<double>(s.instructions);
+    }
+    if (s.enabled_ns > 0) {
+      s.multiplex_fraction = static_cast<double>(s.running_ns) /
+                             static_cast<double>(s.enabled_ns);
+    }
+    out.push_back(std::move(s));
+  }
+  // std::map iterates in key order already; keep the sort explicit anyway so
+  // the contract survives a container change.
+  std::sort(out.begin(), out.end(),
+            [](const ProfileSnapshot& a, const ProfileSnapshot& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+void KernelProfiler::reset() {
+  std::lock_guard<std::mutex> lock(impl().mutex);
+  for (auto& [key, accum] : impl().rows) accum->reset();
+}
+
+KernelProfiler& profiler() {
+  static KernelProfiler* instance = new KernelProfiler();
+  return *instance;
+}
+
+// ---- Export ---------------------------------------------------------------
+
+void publish_profile_stats() {
+  MetricsRegistry& reg = metrics();
+  reg.gauge("profile.available").set(profile_available() ? 1.0 : 0.0);
+  for (const ProfileSnapshot& s : profiler().snapshot()) {
+    const std::string base = "profile." + s.key;
+    reg.gauge(base + ".samples").set(static_cast<double>(s.samples));
+    reg.gauge(base + ".cycles").set(static_cast<double>(s.cycles));
+    reg.gauge(base + ".instructions").set(static_cast<double>(s.instructions));
+    reg.gauge(base + ".cache_misses").set(static_cast<double>(s.cache_misses));
+    reg.gauge(base + ".branch_misses").set(static_cast<double>(s.branch_misses));
+    reg.gauge(base + ".ipc").set(s.ipc);
+  }
+}
+
+void write_profile_json(const std::string& path, const std::string& label) {
+  std::ofstream os(path);
+  PSS_REQUIRE(os.good(), "cannot open profile output file: " + path);
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("schema", "pss.profile.v1");
+  if (!label.empty()) w.member("label", label);
+  const bool available = profile_available();
+  w.member("available", available ? 1 : 0);
+  w.key("events").begin_array();
+  w.value("cycles");
+  w.value("instructions");
+  w.value("cache_misses");
+  w.value("branch_misses");
+  w.end_array();
+  w.key("kernels").begin_object();
+  for (const ProfileSnapshot& s : profiler().snapshot()) {
+    w.key(s.key).begin_object();
+    w.member("samples", s.samples);
+    w.member("enabled_ns", s.enabled_ns);
+    w.member("running_ns", s.running_ns);
+    w.member("cycles", s.cycles);
+    w.member("instructions", s.instructions);
+    w.member("cache_misses", s.cache_misses);
+    w.member("branch_misses", s.branch_misses);
+    w.member("ipc", s.ipc);
+    w.member("cache_miss_per_kinst", s.cache_miss_per_kinst);
+    w.member("branch_miss_per_kinst", s.branch_miss_per_kinst);
+    w.member("multiplex_fraction", s.multiplex_fraction);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace pss::obs

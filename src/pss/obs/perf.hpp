@@ -1,0 +1,173 @@
+// Hardware-counter kernel profiler: the second observability rung.
+//
+// Samples cycles / instructions / cache-misses / branch-misses around kernel
+// launches and presentation phases via one perf_event_open(2) counter group
+// per thread (leader = cycles, counters free-running, two group reads per
+// sampled scope). Aggregation is name-keyed like the metrics registry:
+// `profiler().row("kernel.lif.fused")` returns a stable ProfileAccum that hot
+// paths cache and then update lock-free.
+//
+// Gating mirrors obs::metrics_enabled(): with profiling off the instrumented
+// sites cost one relaxed atomic load + branch (bench_kernels measures it
+// against the PR 2 budget). The syscall surface lives entirely in perf.cpp —
+// pss_lint's raw-perf-syscall rule keeps it there.
+//
+// Containers and locked-down kernels routinely refuse perf_event_open
+// (EPERM/ENOSYS, perf_event_paranoid). That is not an error: the first open
+// attempt latches availability per thread, perf_read_now() returns an invalid
+// reading, nothing accumulates, and the pss.profile.v1 sidecar reports
+// "available": 0 with empty tables. Tests force this path via
+// set_profile_forced_unavailable().
+//
+// Like every obs facility, profiling is observational only: it never touches
+// RNG or simulation state, so training results are bitwise identical with
+// profiling on or off (tests assert this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pss::obs {
+
+/// Global profiling gate, separate from metrics_enabled(): counter-group
+/// reads are ~1 µs syscalls, far too heavy to ride along with the cheap
+/// wall-clock metrics. Off by default.
+bool profile_enabled();
+void set_profile_enabled(bool enabled);
+
+/// True once any thread successfully opened its counter group (latched).
+/// Probes the calling thread's group first, so a fresh process gets an
+/// honest answer instead of "nobody tried yet".
+bool profile_available();
+
+/// Test hook: pretend perf_event_open is unavailable (as in containers) so
+/// the graceful-degradation path is exercisable on perf-capable hosts too.
+/// Checked per read, so it also masks groups that are already open.
+void set_profile_forced_unavailable(bool forced);
+
+/// One snapshot of the calling thread's counter group. Counters free-run, so
+/// a sampled scope is the difference of two readings. time_enabled vs
+/// time_running exposes kernel-side multiplexing; derived ratios (IPC, miss
+/// rates) are unaffected by it.
+struct PerfReading {
+  std::uint64_t time_enabled = 0;
+  std::uint64_t time_running = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+  bool valid = false;
+};
+
+/// Reads the calling thread's counter group, opening it on first use.
+/// Returns valid=false when the group cannot be opened (or the forced-
+/// unavailable hook is set) — callers then skip accumulation entirely.
+PerfReading perf_read_now();
+
+/// Aggregated counter deltas for one profiled key. Plain relaxed atomics
+/// (not sharded): writes arrive at sampled-scope frequency, orders of
+/// magnitude below the metrics counters' per-synapse rates.
+class ProfileAccum {
+ public:
+  /// Accumulates end − begin. Ignores invalid readings and (paranoia against
+  /// counter resets) negative deltas.
+  void add(const PerfReading& begin, const PerfReading& end);
+
+  std::uint64_t samples() const { return samples_.load(std::memory_order_relaxed); }
+  std::uint64_t enabled_ns() const { return enabled_ns_.load(std::memory_order_relaxed); }
+  std::uint64_t running_ns() const { return running_ns_.load(std::memory_order_relaxed); }
+  std::uint64_t cycles() const { return cycles_.load(std::memory_order_relaxed); }
+  std::uint64_t instructions() const { return instructions_.load(std::memory_order_relaxed); }
+  std::uint64_t cache_misses() const { return cache_misses_.load(std::memory_order_relaxed); }
+  std::uint64_t branch_misses() const { return branch_misses_.load(std::memory_order_relaxed); }
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<std::uint64_t> enabled_ns_{0};
+  std::atomic<std::uint64_t> running_ns_{0};
+  std::atomic<std::uint64_t> cycles_{0};
+  std::atomic<std::uint64_t> instructions_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> branch_misses_{0};
+};
+
+/// Snapshot row with the derived per-kernel table the sidecar publishes.
+struct ProfileSnapshot {
+  std::string key;
+  std::uint64_t samples = 0;
+  std::uint64_t enabled_ns = 0;
+  std::uint64_t running_ns = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+  double ipc = 0.0;                      ///< instructions / cycles
+  double cache_miss_per_kinst = 0.0;     ///< misses per 1000 instructions
+  double branch_miss_per_kinst = 0.0;    ///< misses per 1000 instructions
+  double multiplex_fraction = 1.0;       ///< running / enabled time
+};
+
+/// Name-keyed profile registry; same stable-reference contract as
+/// MetricsRegistry (look the row up once, then write lock-free).
+class KernelProfiler {
+ public:
+  ProfileAccum& row(const std::string& key);
+
+  /// All rows with at least one sample, sorted by key, ratios derived.
+  std::vector<ProfileSnapshot> snapshot() const;
+
+  /// Zeroes every row's accumulators; registrations survive.
+  void reset();
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+  mutable std::unique_ptr<Impl> impl_;
+
+ public:
+  KernelProfiler();
+  ~KernelProfiler();
+  KernelProfiler(const KernelProfiler&) = delete;
+  KernelProfiler& operator=(const KernelProfiler&) = delete;
+};
+
+/// The process-wide profiler (lazily constructed, never destroyed before
+/// exit-time flushes).
+KernelProfiler& profiler();
+
+/// RAII sampled scope: reads the group on construction and again on
+/// destruction, accumulating the delta into `row`. A null row (profiling
+/// disabled) makes both ends a branch on a null pointer.
+class PerfScope {
+ public:
+  explicit PerfScope(ProfileAccum* row) : row_(row) {
+    if (row_ != nullptr) begin_ = perf_read_now();
+  }
+  ~PerfScope() {
+    if (row_ != nullptr && begin_.valid) row_->add(begin_, perf_read_now());
+  }
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+ private:
+  ProfileAccum* row_;
+  PerfReading begin_;
+};
+
+/// Mirrors the profiler into the metrics registry as gauges
+/// (`profile.available` plus `profile.<key>.{samples,cycles,instructions,
+/// cache_misses,branch_misses,ipc}`) so profile rows ride along in
+/// pss.metrics.v1 dumps and the Prometheus exposition.
+void publish_profile_stats();
+
+/// Writes the `pss.profile.v1` sidecar: availability flag, the event list,
+/// and the per-kernel counter + derived-ratio tables. With perf unavailable
+/// the file still writes cleanly with "available": 0 and an empty table.
+void write_profile_json(const std::string& path, const std::string& label = "");
+
+}  // namespace pss::obs

@@ -1,0 +1,14 @@
+// Seeded violation for the raw-perf-syscall rule: opening a counter fd
+// directly instead of going through the pss/obs/perf.cpp wrapper.
+#include <sys/syscall.h>
+#include <unistd.h>
+
+struct perf_event_attr;
+
+long open_counter(perf_event_attr* attr) {
+  return syscall(SYS_perf_event_open, attr, 0, -1, -1, 0);
+}
+
+long open_counter_nr(perf_event_attr* attr) {
+  return syscall(__NR_perf_event_open, attr, 0, -1, -1, 0);
+}

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Pins tools/bench_compare.py behaviour: the perf-regression gate.
+
+Covers, with synthetic baseline/record pairs written into --work: an
+in-band record passes (exit 0), an improvement passes (one-sided band), a
+regression past the tolerance fails (exit 1), a metric missing from the
+record fails (exit 1), malformed inputs exit 2, and --update ratchets the
+baseline values in place. Also runs the real committed gate pair
+(--baseline/--record) and requires it to pass — the committed record and
+its baseline must never drift apart. Runs as ctest `bench_compare_fixtures`
+(label `perf`).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+FAILURES = []
+
+
+def check(cond, message):
+    if not cond:
+        FAILURES.append(message)
+        print("FAIL: " + message, file=sys.stderr)
+
+
+def run_compare(compare, args):
+    return subprocess.run([sys.executable, compare] + args,
+                          capture_output=True, text=True, timeout=60)
+
+
+def write_json(path, doc):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+def make_baseline(path, metrics):
+    write_json(path, {"schema": "pss.bench-baseline.v1", "bench": "fixture",
+                      "metrics": metrics})
+
+
+def make_record(path, gauges, counters=None):
+    write_json(path, {"schema": "pss.metrics.v1", "label": "fixture",
+                      "metrics": {"counters": counters or {},
+                                  "gauges": gauges, "histograms": {}}})
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--compare", required=True,
+                    help="path to bench_compare.py")
+    ap.add_argument("--baseline", required=True,
+                    help="committed bench/baselines/backend.json")
+    ap.add_argument("--record", required=True,
+                    help="committed BENCH_backend.json")
+    ap.add_argument("--work", required=True, help="scratch directory")
+    args = ap.parse_args()
+
+    os.makedirs(args.work, exist_ok=True)
+    base = os.path.join(args.work, "baseline.json")
+    rec = os.path.join(args.work, "record.json")
+
+    spec = {
+        "bench.fix.speedup":
+            {"value": 2.0, "tolerance": 0.2, "direction": "higher"},
+        "bench.fix.seconds":
+            {"value": 10.0, "tolerance": 0.1, "direction": "lower"},
+    }
+
+    # --- in-band record: exit 0 -------------------------------------------
+    make_baseline(base, spec)
+    make_record(rec, {"bench.fix.speedup": 1.9, "bench.fix.seconds": 10.5})
+    proc = run_compare(args.compare, [base, rec])
+    check(proc.returncode == 0,
+          "in-band record should exit 0, got %d: %s%s"
+          % (proc.returncode, proc.stdout, proc.stderr))
+
+    # --- improvement: one-sided band, always passes -----------------------
+    make_record(rec, {"bench.fix.speedup": 9.0, "bench.fix.seconds": 0.5})
+    proc = run_compare(args.compare, [base, rec])
+    check(proc.returncode == 0,
+          "improvement should exit 0, got %d: %s"
+          % (proc.returncode, proc.stdout))
+
+    # --- regression past the band: exit 1 ---------------------------------
+    make_record(rec, {"bench.fix.speedup": 1.5, "bench.fix.seconds": 10.5})
+    proc = run_compare(args.compare, [base, rec])
+    check(proc.returncode == 1,
+          "speedup regression should exit 1, got %d" % proc.returncode)
+    check("bench.fix.speedup" in proc.stdout and "REGRESS" in proc.stdout,
+          "regression output should name the failing metric: %s"
+          % proc.stdout)
+
+    make_record(rec, {"bench.fix.speedup": 2.0, "bench.fix.seconds": 11.5})
+    proc = run_compare(args.compare, [base, rec])
+    check(proc.returncode == 1,
+          "direction=lower regression should exit 1, got %d"
+          % proc.returncode)
+
+    # --- boundary value: exactly on the limit passes ----------------------
+    make_record(rec, {"bench.fix.speedup": 1.6, "bench.fix.seconds": 11.0})
+    proc = run_compare(args.compare, [base, rec])
+    check(proc.returncode == 0,
+          "on-the-limit record should exit 0, got %d: %s"
+          % (proc.returncode, proc.stdout))
+
+    # --- missing metric: exit 1 -------------------------------------------
+    make_record(rec, {"bench.fix.speedup": 2.0})
+    proc = run_compare(args.compare, [base, rec])
+    check(proc.returncode == 1,
+          "missing metric should exit 1, got %d" % proc.returncode)
+    check("missing" in proc.stdout,
+          "missing-metric output should say so: %s" % proc.stdout)
+
+    # --- counters are consulted too ---------------------------------------
+    make_baseline(base, {"events.total": {"value": 100, "tolerance": 0.5,
+                                          "direction": "higher"}})
+    make_record(rec, {}, counters={"events.total": 80})
+    proc = run_compare(args.compare, [base, rec])
+    check(proc.returncode == 0,
+          "counter metric in band should exit 0, got %d: %s"
+          % (proc.returncode, proc.stdout))
+
+    # --- malformed inputs: exit 2 -----------------------------------------
+    make_baseline(base, spec)
+    proc = run_compare(args.compare,
+                       [base, os.path.join(args.work, "missing.json")])
+    check(proc.returncode == 2, "unreadable record should exit 2, got %d"
+          % proc.returncode)
+
+    write_json(rec, {"schema": "pss.metrics.v1"})  # no metrics object
+    proc = run_compare(args.compare, [base, rec])
+    check(proc.returncode == 2, "record without metrics should exit 2, got %d"
+          % proc.returncode)
+
+    bad_base = os.path.join(args.work, "bad_baseline.json")
+    write_json(bad_base, {"schema": "pss.bench-baseline.v1", "metrics": {
+        "m": {"value": 1.0, "tolerance": 0.1, "direction": "sideways"}}})
+    make_record(rec, {"m": 1.0})
+    proc = run_compare(args.compare, [bad_base, rec])
+    check(proc.returncode == 2, "bad direction should exit 2, got %d"
+          % proc.returncode)
+
+    # --- --update ratchets values, keeps bands ----------------------------
+    make_baseline(base, spec)
+    make_record(rec, {"bench.fix.speedup": 3.0, "bench.fix.seconds": 8.0})
+    proc = run_compare(args.compare, [base, rec, "--update"])
+    check(proc.returncode == 0, "--update should exit 0, got %d: %s"
+          % (proc.returncode, proc.stderr))
+    with open(base) as f:
+        updated = json.load(f)
+    check(updated["metrics"]["bench.fix.speedup"]["value"] == 3.0,
+          "--update should take the new value")
+    check(updated["metrics"]["bench.fix.speedup"]["tolerance"] == 0.2,
+          "--update must keep the tolerance band")
+    proc = run_compare(args.compare, [base, rec])
+    check(proc.returncode == 0, "post-update compare should pass")
+
+    # --update with a missing metric must not touch the baseline.
+    make_record(rec, {"bench.fix.speedup": 4.0})
+    proc = run_compare(args.compare, [base, rec, "--update"])
+    check(proc.returncode == 2,
+          "--update with missing metric should exit 2, got %d"
+          % proc.returncode)
+    with open(base) as f:
+        check(json.load(f)["metrics"]["bench.fix.speedup"]["value"] == 3.0,
+              "failed --update must leave the baseline untouched")
+
+    # --- the committed gate pair must pass --------------------------------
+    proc = run_compare(args.compare, [args.baseline, args.record, "--quiet"])
+    check(proc.returncode == 0,
+          "committed baseline vs committed record should pass, got %d: %s%s"
+          % (proc.returncode, proc.stdout, proc.stderr))
+
+    if FAILURES:
+        print("%d check(s) failed" % len(FAILURES), file=sys.stderr)
+        return 1
+    print("test_bench_compare: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

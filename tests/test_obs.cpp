@@ -1,9 +1,16 @@
 // Observability-layer tests: metrics registry semantics (bucket edges,
 // sharded merges under concurrency), trace JSON well-formedness, log sink
-// plumbing, engine launch accounting, and — the load-bearing contract — that
-// enabling metrics/tracing cannot perturb bitwise reproducibility (including
-// the worker-count-invariance property with tracing on).
+// plumbing, engine launch accounting, the hardware-counter profiler's
+// graceful degradation + sidecar, the Prometheus exporter, and — the
+// load-bearing contract — that enabling metrics/tracing/profiling cannot
+// perturb bitwise reproducibility (including the worker-count-invariance
+// property with tracing on).
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <cctype>
 #include <cstdio>
@@ -22,9 +29,11 @@
 #include "pss/learning/labeler.hpp"
 #include "pss/learning/trainer.hpp"
 #include "pss/network/wta_network.hpp"
+#include "pss/obs/exporter.hpp"
 #include "pss/obs/json_writer.hpp"
 #include "pss/obs/manifest.hpp"
 #include "pss/obs/metrics.hpp"
+#include "pss/obs/perf.hpp"
 #include "pss/obs/trace.hpp"
 
 namespace pss {
@@ -41,8 +50,11 @@ class ObsGuard {
   static void reset() {
     obs::set_metrics_enabled(false);
     obs::set_trace_enabled(false);
+    obs::set_profile_enabled(false);
+    obs::set_profile_forced_unavailable(false);
     obs::reset_trace();
     obs::metrics().reset();
+    obs::profiler().reset();
   }
 };
 
@@ -371,6 +383,207 @@ TEST(Engine, PublishEngineStatsMirrorsIntoRegistry) {
             1.0);
 }
 
+// ---- hardware-counter profiler ---------------------------------------------
+
+TEST(Profile, AccumSemantics) {
+  ObsGuard guard;
+  obs::ProfileAccum accum;
+
+  obs::PerfReading begin;
+  begin.valid = true;
+  begin.time_enabled = 100;
+  begin.time_running = 100;
+  begin.cycles = 1000;
+  begin.instructions = 2000;
+  begin.cache_misses = 10;
+  begin.branch_misses = 5;
+  obs::PerfReading end = begin;
+  end.time_enabled = 300;
+  end.time_running = 200;
+  end.cycles = 3000;
+  end.instructions = 6000;
+  end.cache_misses = 22;
+  end.branch_misses = 9;
+
+  accum.add(begin, end);
+  EXPECT_EQ(accum.samples(), 1u);
+  EXPECT_EQ(accum.enabled_ns(), 200u);
+  EXPECT_EQ(accum.running_ns(), 100u);
+  EXPECT_EQ(accum.cycles(), 2000u);
+  EXPECT_EQ(accum.instructions(), 4000u);
+  EXPECT_EQ(accum.cache_misses(), 12u);
+  EXPECT_EQ(accum.branch_misses(), 4u);
+
+  // Invalid readings must not accumulate (the unavailable-host path).
+  obs::PerfReading invalid;
+  accum.add(invalid, end);
+  accum.add(begin, invalid);
+  EXPECT_EQ(accum.samples(), 1u);
+
+  // Counter going backwards (reset paranoia): sample dropped.
+  accum.add(end, begin);
+  EXPECT_EQ(accum.samples(), 1u);
+
+  accum.reset();
+  EXPECT_EQ(accum.samples(), 0u);
+  EXPECT_EQ(accum.cycles(), 0u);
+}
+
+TEST(Profile, SnapshotDerivesRatiosAndSkipsEmptyRows) {
+  ObsGuard guard;
+  obs::ProfileAccum& row = obs::profiler().row("test.profile.row");
+  obs::profiler().row("test.profile.untouched");  // stays sample-free
+
+  obs::PerfReading begin;
+  begin.valid = true;
+  obs::PerfReading end = begin;
+  end.time_enabled = 1000;
+  end.time_running = 500;
+  end.cycles = 4000;
+  end.instructions = 8000;
+  end.cache_misses = 16;
+  end.branch_misses = 8;
+  row.add(begin, end);
+
+  const auto rows = obs::profiler().snapshot();
+  ASSERT_EQ(rows.size(), 1u);  // zero-sample rows filtered
+  EXPECT_EQ(rows[0].key, "test.profile.row");
+  EXPECT_EQ(rows[0].samples, 1u);
+  EXPECT_DOUBLE_EQ(rows[0].ipc, 2.0);
+  EXPECT_DOUBLE_EQ(rows[0].cache_miss_per_kinst, 2.0);   // 16 per 8k inst
+  EXPECT_DOUBLE_EQ(rows[0].branch_miss_per_kinst, 1.0);  // 8 per 8k inst
+  EXPECT_DOUBLE_EQ(rows[0].multiplex_fraction, 0.5);
+
+  // Same-name lookup returns the same accumulator (stable references).
+  EXPECT_EQ(&obs::profiler().row("test.profile.row"), &row);
+}
+
+TEST(Profile, GracefulDegradationWhenPerfUnavailable) {
+  ObsGuard guard;
+  // Force the container reality even on perf-capable hosts: every read
+  // reports invalid, nothing accumulates, nothing throws.
+  obs::set_profile_forced_unavailable(true);
+  obs::set_profile_enabled(true);
+  obs::set_metrics_enabled(true);
+
+  EXPECT_FALSE(obs::profile_available());
+  EXPECT_FALSE(obs::perf_read_now().valid);
+
+  obs::ProfileAccum& row = obs::profiler().row("test.degraded");
+  {
+    const obs::PerfScope scope(obs::profile_enabled() ? &row : nullptr);
+  }
+  EXPECT_EQ(row.samples(), 0u);
+
+  // A profiled Engine launch still runs to completion.
+  Engine engine(1);
+  std::vector<double> v(32, 0.0);
+  engine.launch("test.degraded.launch", v.size(),
+                [&](std::size_t i) { v[i] += 1.0; });
+  EXPECT_EQ(v[0], 1.0);
+
+  // The sidecar still writes, as a valid document reporting available=0.
+  obs::publish_profile_stats();
+  EXPECT_EQ(obs::metrics().gauge("profile.available").value(), 0.0);
+  const std::string path = temp_path("pss_test_profile.json");
+  obs::write_profile_json(path, "unit-test");
+  const std::string json = read_file(path);
+  std::filesystem::remove(path);
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"pss.profile.v1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"available\": 0"), std::string::npos) << json;
+}
+
+TEST(Profile, SidecarCarriesAccumulatedRows) {
+  ObsGuard guard;
+  obs::ProfileAccum& row = obs::profiler().row("kernel.test.sidecar");
+  obs::PerfReading begin;
+  begin.valid = true;
+  obs::PerfReading end = begin;
+  end.time_enabled = 10;
+  end.time_running = 10;
+  end.cycles = 100;
+  end.instructions = 250;
+  row.add(begin, end);
+
+  const std::string path = temp_path("pss_test_profile_rows.json");
+  obs::write_profile_json(path, "unit-test");
+  const std::string json = read_file(path);
+  std::filesystem::remove(path);
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"kernel.test.sidecar\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ipc\": 2.5"), std::string::npos) << json;
+}
+
+// ---- Prometheus exposition -------------------------------------------------
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(obs::prometheus_name("phase.encode.ns"), "pss_phase_encode_ns");
+  EXPECT_EQ(obs::prometheus_name("a-b c/d"), "pss_a_b_c_d");
+}
+
+TEST(Prometheus, RenderCoversAllMetricKinds) {
+  ObsGuard guard;
+  obs::metrics().counter("prom.count").add(7);
+  obs::metrics().gauge("prom.gauge").set(2.5);
+  obs::FixedHistogram& h = obs::metrics().histogram("prom.hist", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(99.0);
+
+  const std::string text = obs::render_prometheus(obs::metrics());
+  EXPECT_NE(text.find("# TYPE pss_prom_count counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("pss_prom_count 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE pss_prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("pss_prom_gauge 2.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pss_prom_hist histogram"), std::string::npos);
+  // Buckets are cumulative: 1, 2, and +Inf carrying the full total.
+  EXPECT_NE(text.find("pss_prom_hist_bucket{le=\"1\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("pss_prom_hist_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("pss_prom_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("pss_prom_hist_count 3"), std::string::npos);
+  EXPECT_NE(text.find("pss_prom_hist_sum"), std::string::npos);
+}
+
+TEST(Prometheus, ExporterServesScrapeOverLoopback) {
+  ObsGuard guard;
+  obs::metrics().counter("prom.scrape.count").add(11);
+
+  obs::MetricsExporter exporter(0);  // ephemeral port
+  ASSERT_NE(exporter.port(), 0);
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(exporter.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)), 0);
+  const std::string request = "GET /metrics HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("text/plain"), std::string::npos) << response;
+  EXPECT_NE(response.find("pss_prom_scrape_count 11"), std::string::npos)
+      << response;
+
+  exporter.stop();
+  exporter.stop();  // idempotent
+}
+
 // ---- logging ---------------------------------------------------------------
 
 TEST(Log, SinkCapturesIsoTimestampedLines) {
@@ -444,9 +657,10 @@ WtaConfig small_config() {
   return cfg;
 }
 
-std::vector<double> train_conductances(bool observe) {
+std::vector<double> train_conductances(bool observe, bool profile = false) {
   obs::set_metrics_enabled(observe);
   obs::set_trace_enabled(observe);
+  obs::set_profile_enabled(profile);
   if (observe) obs::reset_trace();
   SyntheticConfig synth;
   synth.train_count = 12;
@@ -457,6 +671,7 @@ std::vector<double> train_conductances(bool observe) {
   trainer.train(data.train.head(10));
   obs::set_metrics_enabled(false);
   obs::set_trace_enabled(false);
+  obs::set_profile_enabled(false);
   return net.conductance().to_vector();
 }
 
@@ -468,6 +683,25 @@ TEST(Reproducibility, IdenticalWithObservabilityOnAndOff) {
   // And the observed run actually collected something.
   EXPECT_GT(obs::metrics().counter("present.count").value(), 0u);
   EXPECT_FALSE(obs::collect_trace().empty());
+}
+
+TEST(Reproducibility, IdenticalWithProfilingOnAndOff) {
+  ObsGuard guard;
+  const std::vector<double> g_plain = train_conductances(false);
+  // Profiled run, on whatever this host offers: real counter-group reads on
+  // perf-capable machines, the invalid-reading path in containers. Both must
+  // leave training bitwise untouched — profiling is observational only.
+  const std::vector<double> g_profiled =
+      train_conductances(/*observe=*/true, /*profile=*/true);
+  EXPECT_EQ(g_plain, g_profiled);
+
+  // And again with availability forced off, so the degradation branch is
+  // exercised even on perf-capable hosts.
+  obs::set_profile_forced_unavailable(true);
+  const std::vector<double> g_degraded =
+      train_conductances(/*observe=*/true, /*profile=*/true);
+  obs::set_profile_forced_unavailable(false);
+  EXPECT_EQ(g_plain, g_degraded);
 }
 
 TEST(Reproducibility, WorkerCountInvarianceHoldsWithTracingOn) {

@@ -63,6 +63,7 @@ def main():
         ("src/pss/backend/kernels_bad.cpp", "kernel-rng"),
         ("src/pss/backend/kernels_bad.cpp", "raw-alloc"),
         ("src/pss/synapse/unordered_iter.cpp", "unordered-iteration"),
+        ("src/pss/obs/bad_perf.cpp", "raw-perf-syscall"),
         ("CMakeLists.txt", "fp-reassociation"),
     }
     for pair in expected:
@@ -85,6 +86,10 @@ def main():
               ("src/pss/synapse/unordered_iter.cpp",
                "unordered-iteration"), 0) == 2,
           "unordered_iter.cpp should yield 2 unordered-iteration findings")
+    check(by_file_rule.get(
+              ("src/pss/obs/bad_perf.cpp", "raw-perf-syscall"), 0) == 2,
+          "bad_perf.cpp should yield 2 raw-perf-syscall findings "
+          "(SYS_ and __NR_ spellings)")
 
     # Clean file: no findings at all.
     clean_hits = [v for v in report["violations"]
@@ -159,6 +164,26 @@ def main():
                   os.path.basename(s["file"]) in kernel_tus
                   for s in repo_report["suppressed"]),
           "kernel TUs must not carry kernel-rng suppressions")
+
+    # --- real tree: exactly one raw-perf-syscall site, in the wrapper ------
+    # The hardware-counter profiler's syscall lives only in
+    # src/pss/obs/perf.cpp behind an audited suppression; anywhere else the
+    # rule must fire.
+    proc = run_lint(args.lint,
+                    ["--root", repo_root, "--rules", "raw-perf-syscall",
+                     "--json", report_path, "--quiet"])
+    check(proc.returncode == 0,
+          "repo tree must be raw-perf-syscall clean, got %d: %s"
+          % (proc.returncode, proc.stderr))
+    with open(report_path) as f:
+        perf_report = json.load(f)
+    perf_sup = [s for s in perf_report["suppressed"]
+                if s["rule"] == "raw-perf-syscall"]
+    check(len(perf_sup) == 1 and
+          perf_sup[0]["file"] == "src/pss/obs/perf.cpp",
+          "expected exactly one audited raw-perf-syscall suppression in "
+          "src/pss/obs/perf.cpp, got %s"
+          % [(s["file"], s["line"]) for s in perf_sup])
 
     # --- usage errors: exit 2 ----------------------------------------------
     proc = run_lint(args.lint, ["--root", args.fixtures,

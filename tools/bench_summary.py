@@ -13,8 +13,11 @@ times as long as A" (< 1 means B is faster).
 With one file, or whenever a file carries bench.backend.phase.* gauges
 (written by bench_backend), renders the phase breakdown as a table — one row
 per phase (encode/integrate/stdp/aggregate), one column pair per backend
-(milliseconds + speedup vs the reference backend). Stdlib only; exit code 1
-on malformed input.
+(milliseconds + speedup vs the reference backend). Records carrying sparse.*
+metrics additionally get the event-driven activity section: the
+sparse.synapses_touched / sparse.flush.synapses counters and the
+sparse.catchup.depth histogram (how long lazy synapses sleep between STDP
+catch-up replays). Stdlib only; exit code 1 on malformed input.
 """
 
 import argparse
@@ -103,6 +106,37 @@ def phase_table(title, gauges):
         print(row)
 
 
+def sparse_section(title, metrics):
+    """Event-driven backend activity: the sparse.* counters (work actually
+    done — synapses flushed, events coalesced) plus the catch-up depth
+    histogram, which shows how many presentations a lazy synapse typically
+    sleeps through before its STDP catch-up replay."""
+    counters = {n: v for n, v in metrics.get("counters", {}).items()
+                if n.startswith("sparse.")}
+    hist = metrics.get("histograms", {}).get("sparse.catchup.depth")
+    if not counters and not hist:
+        return
+    print(f"{title} event-driven (cpu_sparse) activity:")
+    if counters:
+        width = max(len(n) for n in counters)
+        for n in sorted(counters):
+            print(f"  {n:<{width}}  {counters[n]}")
+    if hist:
+        total, hsum = hist["total"], hist["sum"]
+        mean = hsum / total if total else 0.0
+        print(f"  sparse.catchup.depth  {total} catch-ups, "
+              f"mean depth {mean:.2f}")
+        edges, counts = hist["upper_edges"], hist["counts"]
+        labels = [f"<={fmt(e)}" for e in edges] + [f">{fmt(edges[-1])}"]
+        shown = [(lab, c) for lab, c in zip(labels, counts) if c]
+        if shown:
+            lwidth = max(len(lab) for lab, _ in shown)
+            peak = max(c for _, c in shown)
+            for lab, c in shown:
+                bar = "#" * max(1, round(20 * c / peak))
+                print(f"    {lab:>{lwidth}}  {c:>10}  {bar}")
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description="Diff the gauges of two pss.metrics.v1 files and render "
@@ -127,6 +161,7 @@ def main(argv):
     if args.file_b is None:
         print(f"A = {args.file_a} (label {label_a})")
         phase_table("A", metrics_a.get("gauges", {}))
+        sparse_section("A", metrics_a)
         return 0
 
     print(f"A = {args.file_a} (label {label_a})")
@@ -138,6 +173,8 @@ def main(argv):
                      metrics_b.get("counters", {}), args.prefix)
     phase_table("A", metrics_a.get("gauges", {}))
     phase_table("B", metrics_b.get("gauges", {}))
+    sparse_section("A", metrics_a)
+    sparse_section("B", metrics_b)
     return 0
 
 

@@ -62,7 +62,18 @@ else
   record "tidy-gate" SKIP
 fi
 
-# Stage 4: lint + options test labels from the wall build.
+# Stage 3b: perf-regression gate, directly (also registered as `ctest -L
+# perf`). Diffs the committed bench record against its committed baseline —
+# deterministic, so a FAIL always means the two files drifted apart.
+if command -v python3 >/dev/null 2>&1; then
+  run_stage "bench-compare" python3 tools/bench_compare.py \
+    bench/baselines/backend.json BENCH_backend.json --quiet
+else
+  echo "=== [bench-compare] SKIP: no python3 on PATH"
+  record "bench-compare" SKIP
+fi
+
+# Stage 4: lint + options + perf test labels from the wall build.
 run_stage "ctest-lint" ctest --preset lint
 
 # Stage 4b: event-driven sparse-path suite (label `sparse`) from the wall

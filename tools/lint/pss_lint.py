@@ -31,6 +31,11 @@ source-level invariants that no compiler flag checks:
                          allocation is both a perf bug (the Engine exists to
                          avoid it) and a determinism hazard once allocators
                          get involved in timing-sensitive code.
+  raw-perf-syscall       No raw syscall(SYS_perf_event_open, ...) anywhere:
+                         counter groups are opened only through the audited
+                         wrapper in src/pss/obs/perf.cpp (which carries the
+                         one suppression), so fd lifetime, gating, and the
+                         unavailable-host fallback live in a single place.
 
 Suppressions: append `// pss-lint: allow(<rule>[,<rule>...])` (or `# ...` in
 CMake/script files) to the offending line. Suppressions are recorded in the
@@ -96,6 +101,8 @@ RULE_DOCS = {
         "float-reassociation flags/pragmas (-ffast-math, -Ofast, ...)",
     "raw-alloc":
         "raw new/delete/malloc/free in hot paths (backend/, engine/)",
+    "raw-perf-syscall":
+        "raw perf_event_open syscall outside the pss/obs/perf.cpp wrapper",
 }
 
 
@@ -306,6 +313,19 @@ def check_raw_alloc(rel, code_lines):
                    "allocation is the overhead the Engine exists to avoid")
 
 
+PERF_SYSCALL_RE = re.compile(r"\b(?:SYS|__NR)_perf_event_open\b")
+
+
+def check_raw_perf_syscall(rel, code_lines):
+    for ln, line in enumerate(code_lines, 1):
+        if PERF_SYSCALL_RE.search(line):
+            yield (ln, "raw-perf-syscall",
+                   "raw perf_event_open syscall: open counter groups through "
+                   "pss::obs (KernelProfiler/PerfScope) so availability "
+                   "fallback, enable gating, and fd lifetime stay in the one "
+                   "audited wrapper (src/pss/obs/perf.cpp)")
+
+
 # --- driver ---------------------------------------------------------------
 
 def scan_file(root, rel, active_rules):
@@ -326,6 +346,7 @@ def scan_file(root, rel, active_rules):
             lambda: check_kernel_rng(rel, code_lines),
             lambda: check_fp_reassociation(rel, code_lines, raw_lines),
             lambda: check_raw_alloc(rel, code_lines),
+            lambda: check_raw_perf_syscall(rel, code_lines),
         ]
         for chk in checks:
             findings.extend(chk())

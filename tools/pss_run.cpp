@@ -26,6 +26,11 @@
 //   trace=<path.json>     Chrome trace_event JSON (open in Perfetto)
 //   manifest=<path.json>  run manifest: config + phase times + metrics
 //                         (pss.manifest.v1)
+//   profile=<path.json>   hardware-counter kernel profile (pss.profile.v1;
+//                         "available": 0 where perf_event_open is blocked)
+//   prom=<path.prom>      Prometheus textfile dump of the final registry
+//   metrics_port=<port>   serve the registry live as Prometheus text on
+//                         127.0.0.1:<port> (0 = pick an ephemeral port)
 //
 // Fault tolerance (see README "Fault tolerance & resume"):
 //   checkpoint=<path>       training checkpoint file (atomic writes)
@@ -51,8 +56,10 @@
 #include "pss/io/pgm.hpp"
 #include "pss/io/snapshot.hpp"
 #include "pss/learning/trainer.hpp"
+#include "pss/obs/exporter.hpp"
 #include "pss/obs/manifest.hpp"
 #include "pss/obs/metrics.hpp"
+#include "pss/obs/perf.hpp"
 #include "pss/obs/trace.hpp"
 #include "pss/robust/checkpoint.hpp"
 #include "pss/robust/fault_injection.hpp"
@@ -258,6 +265,15 @@ int main(int argc, char** argv) {
     const std::string& manifest_path = obs_paths.manifest;
     const bool want_obs = obs_paths.any();
 
+    // Live exposition: scrapers see the registry as it fills during the run
+    // (the sidecar files below capture only the final state).
+    std::optional<obs::MetricsExporter> exporter;
+    if (obs_paths.metrics_port >= 0) {
+      exporter.emplace(static_cast<std::uint16_t>(obs_paths.metrics_port));
+      std::printf("metrics exporter listening on 127.0.0.1:%u\n",
+                  static_cast<unsigned>(exporter->port()));
+    }
+
     obs::RunManifest manifest;
     manifest.tool = "pss_run";
     const ExperimentSpec spec = spec_from_config(cfg);
@@ -292,6 +308,9 @@ int main(int argc, char** argv) {
 
     if (want_obs) {
       publish_engine_stats(default_engine(), "engine");
+      // Mirror profiler rows (and profile.available) into the registry
+      // before any dump, so metrics/prom/manifest all carry them.
+      obs::publish_profile_stats();
       if (!metrics_path.empty()) {
         obs::write_metrics_json(metrics_path, "pss_run");
         std::printf("metrics saved: %s\n", metrics_path.c_str());
@@ -303,6 +322,14 @@ int main(int argc, char** argv) {
       if (!manifest_path.empty()) {
         obs::write_manifest(manifest_path, manifest);
         std::printf("manifest saved: %s\n", manifest_path.c_str());
+      }
+      if (!obs_paths.profile.empty()) {
+        obs::write_profile_json(obs_paths.profile, "pss_run");
+        std::printf("profile saved: %s\n", obs_paths.profile.c_str());
+      }
+      if (!obs_paths.prom.empty()) {
+        obs::write_prometheus_text(obs_paths.prom);
+        std::printf("prometheus text saved: %s\n", obs_paths.prom.c_str());
       }
     }
     return rc;

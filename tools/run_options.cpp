@@ -6,6 +6,7 @@
 #include "pss/backend/backend.hpp"
 #include "pss/common/error.hpp"
 #include "pss/obs/metrics.hpp"
+#include "pss/obs/perf.hpp"
 #include "pss/obs/trace.hpp"
 #include "pss/robust/fault_injection.hpp"
 
@@ -82,9 +83,9 @@ const std::vector<std::string>& shared_config_keys() {
       "backend",    "batch",   "checkpoint", "checkpoint_every",
       "checkpoints", "eval",   "fault_seed", "faults",
       "kind",       "label",   "manifest",   "metrics",
-      "name",       "neurons", "option",     "resume",
-      "rounding",   "seed",    "trace",      "train",
-      "workers",
+      "metrics_port", "name",  "neurons",    "option",
+      "profile",    "prom",    "resume",     "rounding",
+      "seed",       "trace",   "train",      "workers",
   };
   return keys;
 }
@@ -155,11 +156,20 @@ ObsPaths enable_observability(const Config& cfg) {
   paths.metrics = cfg.get_string("metrics", "");
   paths.trace = cfg.get_string("trace", "");
   paths.manifest = cfg.get_string("manifest", "");
+  paths.profile = cfg.get_string("profile", "");
+  paths.prom = cfg.get_string("prom", "");
+  if (cfg.has("metrics_port")) {
+    const auto port = cfg.get_int("metrics_port", 0);
+    PSS_REQUIRE(port >= 0 && port <= 65535,
+                "metrics_port must be in [0, 65535] (0 = ephemeral)");
+    paths.metrics_port = static_cast<int>(port);
+  }
   if (paths.any()) obs::set_metrics_enabled(true);
   if (!paths.trace.empty()) {
     obs::set_trace_enabled(true);
     obs::reset_trace();
   }
+  if (!paths.profile.empty()) obs::set_profile_enabled(true);
   return paths;
 }
 

@@ -50,13 +50,21 @@ struct ObsPaths {
   std::string metrics;
   std::string trace;
   std::string manifest;
+  std::string profile;  ///< pss.profile.v1 hardware-counter sidecar
+  std::string prom;     ///< Prometheus textfile dump of the final registry
+  /// metrics_port= value: -1 = no exporter, 0 = ephemeral port, else bind
+  /// that loopback TCP port and serve Prometheus text until exit.
+  int metrics_port = -1;
   bool any() const {
-    return !metrics.empty() || !trace.empty() || !manifest.empty();
+    return !metrics.empty() || !trace.empty() || !manifest.empty() ||
+           !profile.empty() || !prom.empty() || metrics_port >= 0;
   }
 };
 
-/// Reads metrics=/trace=/manifest= and switches the metrics registry and
-/// tracer on when any of them is requested.
+/// Reads metrics=/trace=/manifest=/profile=/prom=/metrics_port= and switches
+/// the metrics registry, tracer and hardware-counter profiler on as
+/// requested. profile= also enables metrics (the profile rows are mirrored
+/// into the registry at publish time).
 ObsPaths enable_observability(const Config& cfg);
 
 }  // namespace pss::tools

@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
 """Schema validator for the pss observability artifacts.
 
-Validates any of the three JSON files the instrumented binaries emit:
+Validates any of the files the instrumented binaries emit:
 
   pss.metrics.v1    (pss_run metrics=..., bench BENCH_*.json records)
   pss.manifest.v1   (pss_run manifest=...)
+  pss.profile.v1    (pss_run profile=..., bench BENCH_*.profile.json —
+                     hardware-counter kernel tables)
   Chrome trace      (pss_run trace=..., detected by "traceEvents")
+  Prometheus text   (pss_run prom=... / metrics_port= scrapes; detected by
+                     failing JSON parse with '# TYPE' lines present)
 
 Usage:
   tools/validate_manifest.py FILE [FILE...]
@@ -18,6 +22,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 import sys
 
 
@@ -145,6 +150,81 @@ def validate_checkpoint_sidecar(cp, path: str) -> None:
                "checkpoint: resumed run must carry a non-zero parent_run_id")
 
 
+def validate_profile(doc: dict, path: str) -> None:
+    """pss.profile.v1: hardware-counter per-kernel tables (tools may rely on
+    'available' being exactly 0 or 1; an unavailable host still writes a
+    valid document with an empty kernel table)."""
+    expect(doc.get("schema") == "pss.profile.v1", path,
+           f"schema is {doc.get('schema')!r}, expected 'pss.profile.v1'")
+    expect(doc.get("available") in (0, 1), path,
+           f"'available': {doc.get('available')!r}, expected 0 or 1")
+    events = doc.get("events")
+    expect(isinstance(events, list) and len(events) >= 1, path,
+           "'events': not a non-empty list")
+    expect(all(isinstance(e, str) and e for e in events), path,
+           "'events': non-string entry")
+    kernels = doc.get("kernels")
+    expect(isinstance(kernels, dict), path, "'kernels': not an object")
+    counter_keys = ("samples", "enabled_ns", "running_ns", "cycles",
+                    "instructions", "cache_misses", "branch_misses")
+    ratio_keys = ("ipc", "cache_miss_per_kinst", "branch_miss_per_kinst",
+                  "multiplex_fraction")
+    for name, k in kernels.items():
+        ctx = f"kernels[{name}]"
+        expect(isinstance(k, dict), path, f"{ctx}: not an object")
+        for key in counter_keys:
+            expect(isinstance(k.get(key), int) and k[key] >= 0, path,
+                   f"{ctx}.{key}: not a non-negative integer")
+        for key in ratio_keys:
+            expect(is_num(k.get(key)), path, f"{ctx}.{key}: not a number")
+        expect(k["samples"] >= 1, path,
+               f"{ctx}: zero-sample rows must be omitted")
+    if doc["available"] == 0:
+        expect(all(k["cycles"] == 0 for k in kernels.values()), path,
+               "available=0 but a kernel row carries cycle counts")
+
+
+# Prometheus text exposition format (version 0.0.4): '# TYPE' headers,
+# optional labels, numeric sample values (+Inf/-Inf/NaN allowed).
+_PROM_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})?\s+(\S+)$")
+_PROM_SUFFIX = re.compile(r"_(bucket|sum|count)$")
+
+
+def validate_prometheus(text: str, path: str) -> None:
+    typed: dict[str, str] = {}
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            expect(len(parts) == 4, path,
+                   f"line {lineno}: malformed TYPE line: {line!r}")
+            expect(parts[3] in ("counter", "gauge", "histogram", "summary",
+                                "untyped"), path,
+                   f"line {lineno}: unknown metric type {parts[3]!r}")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = _PROM_SAMPLE.match(line)
+        expect(m is not None, path,
+               f"line {lineno}: not a valid sample line: {line!r}")
+        name = m.group(1)
+        base = _PROM_SUFFIX.sub("", name)
+        expect(name in typed or base in typed, path,
+               f"line {lineno}: sample {name!r} has no preceding TYPE line")
+        value = m.group(3)
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                fail(path, f"line {lineno}: non-numeric value {value!r}")
+        samples += 1
+    expect(samples > 0, path, "exposition contains no samples")
+
+
 def validate_trace(doc: dict, path: str) -> None:
     events = doc.get("traceEvents")
     expect(isinstance(events, list), path, "'traceEvents': not a list")
@@ -167,8 +247,17 @@ def validate_trace(doc: dict, path: str) -> None:
 def validate_file(path: str) -> str:
     try:
         with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as exc:
+            text = f.read()
+    except OSError as exc:
+        fail(path, f"cannot read: {exc}")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        # Not JSON: the only non-JSON artifact we emit is the Prometheus
+        # text exposition (prom= sidecar / metrics_port= scrape).
+        if any(line.startswith("# TYPE ") for line in text.splitlines()):
+            validate_prometheus(text, path)
+            return "prometheus-text"
         fail(path, f"cannot parse: {exc}")
     expect(isinstance(doc, dict), path, "top level is not an object")
     if "traceEvents" in doc:
@@ -179,6 +268,8 @@ def validate_file(path: str) -> str:
         validate_manifest(doc, path)
     elif schema == "pss.metrics.v1":
         validate_metrics(doc, path)
+    elif schema == "pss.profile.v1":
+        validate_profile(doc, path)
     else:
         fail(path, f"unrecognized document (schema={schema!r})")
     return schema
