@@ -1,0 +1,188 @@
+// bench_serve — load generator for the pss_serve daemon (ROADMAP item 2).
+//
+// Spins up an in-process ServeServer on a small model, replays a pipelined
+// classify workload from several client connections, and records end-to-end
+// latency percentiles plus the daemon's fault-tolerance counters into
+// out/BENCH_serve.json (schema pss.metrics.v1, like every other bench).
+//
+// Keys (beyond the universal ones in bench_common.hpp):
+//   requests=200    total classify requests across all clients
+//   clients=4       concurrent client connections (pipelined)
+//   workers=2       serve worker threads
+//   max_batch=8 window_ms=2 queue=256   batching / admission knobs
+//   t_present=20    simulated presentation ms per request
+//   neurons=16 channels=64              model geometry
+//   faults=<spec>   arm fault injection, e.g.
+//                   faults=serve.worker:rate=0.05,kind=transient — the
+//                   requeue/restart counters then measure recovery cost
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pss/io/snapshot.hpp"
+#include "pss/network/wta_network.hpp"
+#include "pss/obs/metrics.hpp"
+#include "pss/robust/fault_injection.hpp"
+#include "pss/serve/client.hpp"
+#include "pss/serve/server.hpp"
+
+using namespace pss;
+
+namespace {
+
+std::string write_bench_model(std::size_t neurons, std::size_t channels,
+                              std::uint64_t seed) {
+  WtaConfig cfg;
+  cfg.neuron_count = neurons;
+  cfg.input_channels = channels;
+  cfg.seed = seed;
+  WtaNetwork net(cfg);
+  std::vector<int> labels(neurons);
+  for (std::size_t i = 0; i < neurons; ++i) labels[i] = static_cast<int>(i % 10);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bench_serve_model.bin")
+          .string();
+  save_snapshot(path, NetworkSnapshot::capture(net, &labels));
+  return path;
+}
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+void run(const Config& args) {
+  const std::size_t requests =
+      static_cast<std::size_t>(args.get_int("requests", 200));
+  const std::size_t clients =
+      static_cast<std::size_t>(args.get_int("clients", 4));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+  const std::string faults = args.get_string("faults", "");
+  if (!faults.empty()) robust::faults().arm_from_spec(faults);
+
+  serve::ServeOptions opts;
+  opts.model_path = write_bench_model(
+      static_cast<std::size_t>(args.get_int("neurons", 16)),
+      static_cast<std::size_t>(args.get_int("channels", 64)), seed);
+  opts.t_present_ms = args.get_double("t_present", 20.0);
+  opts.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+  opts.max_batch = static_cast<std::size_t>(args.get_int("max_batch", 8));
+  opts.window_ms = static_cast<std::uint32_t>(args.get_int("window_ms", 2));
+  opts.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 256));
+  serve::ServeServer server(opts);
+
+  bench::print_header(
+      "bench_serve — fault-tolerant serving daemon load test",
+      "every admitted request is answered; faults cost a requeue, not an "
+      "error");
+
+  // Pipelined load: each client pre-computes its images, floods its share of
+  // the request budget, then drains responses while timing each round trip
+  // from its own send timestamp.
+  const std::size_t per_client = requests / clients;
+  const std::size_t channels = static_cast<std::size_t>(
+      args.get_int("channels", 64));
+  std::vector<std::vector<double>> latencies_ms(clients);
+  std::vector<std::uint64_t> errors(clients, 0);
+  std::vector<std::thread> threads;
+  bench::RecordedTimer wall("serve.wall");
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::ServeClient client(server.port());
+      std::vector<std::uint64_t> sent_ns(per_client);
+      std::vector<std::uint8_t> pixels(channels);
+      // Window-sized pipelining keeps per-request latency meaningful: a
+      // fully open pipe would measure queue depth, not service time.
+      const std::size_t pipeline = 8;
+      std::size_t sent = 0, received = 0;
+      while (received < per_client) {
+        while (sent < per_client && sent - received < pipeline) {
+          for (std::size_t j = 0; j < channels; ++j) {
+            pixels[j] =
+                static_cast<std::uint8_t>((c * 131 + sent * 31 + j * 7) % 256);
+          }
+          serve::Request request;
+          request.verb = serve::Verb::kClassify;
+          request.id = sent;
+          request.body = pixels;
+          sent_ns[sent] = obs::monotonic_ns();
+          client.send(request);
+          ++sent;
+        }
+        const serve::Response response = client.receive();
+        if (response.status == serve::Status::kOk) {
+          latencies_ms[c].push_back(
+              static_cast<double>(obs::monotonic_ns() -
+                                  sent_ns[response.id]) /
+              1e6);
+        } else {
+          ++errors[c];
+        }
+        ++received;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = wall.stop();
+  server.stop();
+
+  std::vector<double> all_ms;
+  std::uint64_t total_errors = 0;
+  for (std::size_t c = 0; c < clients; ++c) {
+    all_ms.insert(all_ms.end(), latencies_ms[c].begin(),
+                  latencies_ms[c].end());
+    total_errors += errors[c];
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  const double p50 = percentile(all_ms, 0.50);
+  const double p99 = percentile(all_ms, 0.99);
+  const double rps =
+      wall_s > 0.0 ? static_cast<double>(all_ms.size()) / wall_s : 0.0;
+
+  bench::record("serve.requests", static_cast<double>(per_client * clients));
+  bench::record("serve.answered_ok", static_cast<double>(all_ms.size()));
+  bench::record("serve.errors", static_cast<double>(total_errors));
+  bench::record("serve.latency_p50_ms", p50);
+  bench::record("serve.latency_p99_ms", p99);
+  bench::record("serve.throughput_rps", rps);
+  bench::record(
+      "serve.requeues",
+      static_cast<double>(obs::metrics().counter("serve.requeue").value()));
+  bench::record("serve.worker_restarts",
+                static_cast<double>(
+                    obs::metrics().counter("serve.worker_restarts").value()));
+  bench::record(
+      "serve.shed",
+      static_cast<double>(obs::metrics().counter("serve.shed").value()));
+
+  TablePrinter table({"metric", "value"});
+  table.add_row({"requests ok", std::to_string(all_ms.size())});
+  table.add_row({"errors", std::to_string(total_errors)});
+  table.add_row({"p50 latency (ms)", std::to_string(p50)});
+  table.add_row({"p99 latency (ms)", std::to_string(p99)});
+  table.add_row({"throughput (req/s)", std::to_string(rps)});
+  table.add_row({"requeues",
+             std::to_string(obs::metrics().counter("serve.requeue").value())});
+  table.add_row({"worker restarts",
+             std::to_string(
+                 obs::metrics().counter("serve.worker_restarts").value())});
+  table.print();
+
+  std::printf("\nwrote %s\n", bench::write_bench_record("serve").c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "serve",
+                           [](const Config& args) { run(args); });
+}

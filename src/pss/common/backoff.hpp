@@ -1,0 +1,50 @@
+// Deterministic capped-exponential backoff — the one retry-delay policy
+// shared by every retry path in the tree (BatchRunner transient retries,
+// pss_serve request requeue after a worker fault).
+//
+// Determinism contract: the delay for (stream, attempt) is a pure function
+// of the policy fields — the exponential ramp is plain arithmetic and the
+// optional jitter is a counter-indexed Philox draw keyed by (seed, stream,
+// attempt), mirroring the simulator's RNG discipline. Two runs with the same
+// policy therefore compute bit-for-bit the same retry schedule, so a
+// fault-injected run is as reproducible as a clean one (tests assert this).
+// Only the *delays* are deterministic; whether they are slept through or
+// recorded as not-before timestamps is the caller's business, and neither
+// feeds back into simulation state.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "pss/common/rng.hpp"
+
+namespace pss {
+
+struct BackoffPolicy {
+  double base_ms = 1.0;     ///< delay for attempt 0 (before jitter)
+  double cap_ms = 64.0;     ///< upper clamp on the exponential ramp
+  double multiplier = 2.0;  ///< per-attempt growth factor
+  /// Jitter fraction in [0, 1): the computed delay is scaled by
+  /// (1 - jitter * u) with u a deterministic uniform draw, spreading
+  /// simultaneous retries apart without losing reproducibility. 0 = none.
+  double jitter = 0.0;
+  std::uint64_t seed = 0xb0ffu;  ///< Philox seed for the jitter stream
+
+  /// Delay in milliseconds before retry number `attempt` (0-based) of the
+  /// work item / request identified by `stream`. Pure function — see the
+  /// header comment for the determinism contract.
+  double delay_ms(std::uint64_t stream, std::uint64_t attempt) const {
+    double delay = base_ms;
+    for (std::uint64_t i = 0; i < attempt && delay < cap_ms; ++i) {
+      delay *= multiplier;
+    }
+    delay = std::min(delay, cap_ms);
+    if (jitter > 0.0) {
+      const CounterRng rng(seed, stream);
+      delay *= 1.0 - jitter * rng.uniform(attempt);
+    }
+    return delay;
+  }
+};
+
+}  // namespace pss

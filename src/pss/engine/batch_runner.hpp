@@ -19,13 +19,16 @@
 // are identical for every worker count. Tests assert this.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "pss/common/backoff.hpp"
 #include "pss/common/error.hpp"
 #include "pss/common/thread_annotations.hpp"
 #include "pss/engine/launch.hpp"
@@ -126,6 +129,18 @@ class BatchRunner {
   std::size_t retry_budget() const { return retry_budget_; }
   void set_retry_budget(std::size_t budget) { retry_budget_ = budget; }
 
+  /// Delay schedule between transient-retry attempts — the shared
+  /// deterministic capped-exponential policy (pss/common/backoff.hpp; the
+  /// same policy pss_serve uses for requeue). The stream is the item index,
+  /// so two runs with the same policy sleep through bit-for-bit the same
+  /// schedule (delays never feed into simulation state, which keeps retried
+  /// results bitwise-identical to fault-free ones either way). Default:
+  /// base 1 ms, cap 64 ms, no jitter.
+  const BackoffPolicy& retry_backoff() const { return retry_backoff_; }
+  void set_retry_backoff(const BackoffPolicy& policy) {
+    retry_backoff_ = policy;
+  }
+
   /// Mirrors every worker engine's launch accounting (and the runner pool's
   /// busy time) into the metrics registry under `<prefix>.engine.<w>.*`.
   void publish_stats(const std::string& prefix) const;
@@ -145,6 +160,15 @@ class BatchRunner {
           break;
         } catch (const TransientError& e) {
           if (attempt < retry_budget_) {
+            // Back off before re-attempting: capped-exponential delay from
+            // the shared policy, keyed by (item, attempt) so the schedule
+            // is reproducible run to run.
+            const double delay_ms = retry_backoff_.delay_ms(i, attempt);
+            if (delay_ms > 0.0) {
+              std::this_thread::sleep_for(std::chrono::duration<double,
+                                                               std::milli>(
+                  delay_ms));
+            }
             ++attempt;
             obs::metrics().counter("batch.retries").add(1);
             continue;
@@ -167,6 +191,7 @@ class BatchRunner {
   ThreadPool pool_;
   std::vector<std::unique_ptr<Engine>> engines_;  // one serial engine/worker
   std::size_t retry_budget_ = 2;
+  BackoffPolicy retry_backoff_;
 };
 
 /// Lazily-built per-worker state (typically a WtaNetwork replica). Each slot

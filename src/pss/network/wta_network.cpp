@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <new>
 #include <utility>
 
 #include "pss/backend/backend.hpp"
@@ -154,7 +155,17 @@ WtaNetwork::WtaNetwork(const WtaConfig& config, Engine* engine)
 
 WtaNetwork::~WtaNetwork() = default;
 WtaNetwork::WtaNetwork(WtaNetwork&&) noexcept = default;
-WtaNetwork& WtaNetwork::operator=(WtaNetwork&&) noexcept = default;
+WtaNetwork& WtaNetwork::operator=(WtaNetwork&& other) noexcept {
+  // Not defaulted: member-wise move assignment replaces backend_ (declared
+  // first) before pool_, so the outgoing pool's buffers would be freed
+  // through an already-destroyed backend. Tear the whole object down in
+  // reverse declaration order instead, then rebuild by move.
+  if (this != &other) {
+    this->~WtaNetwork();
+    ::new (static_cast<void*>(this)) WtaNetwork(std::move(other));
+  }
+  return *this;
+}
 
 PresentationResult WtaNetwork::present(std::span<const double> rates_hz,
                                        TimeMs duration_ms, bool learn,

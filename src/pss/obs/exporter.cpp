@@ -6,19 +6,20 @@
 
 #include "pss/common/error.hpp"
 #include "pss/obs/metrics.hpp"
-
-#if defined(__linux__) || defined(__APPLE__)
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#define PSS_HAVE_SOCKETS 1
-#endif
+#include "pss/serve/net.hpp"
 
 namespace pss::obs {
 
 namespace {
+
+/// Per-connection budgets — a slow or stalled scraper can hold the single
+/// acceptor thread for at most read + write budget, never forever (the
+/// slow-loris regression test pins this).
+constexpr int kReadDeadlineMs = 1000;
+constexpr int kWriteDeadlineMs = 2000;
+/// Bound on the buffered request bytes; a scrape request line fits in a
+/// fraction of this, so anything larger is garbage we refuse to accumulate.
+constexpr std::size_t kMaxRequestBytes = 4096;
 
 void append_double(std::string& out, double v) {
   char buf[64];
@@ -88,49 +89,62 @@ void write_prometheus_text(const std::string& path) {
   os << render_prometheus(metrics());
 }
 
-#if defined(PSS_HAVE_SOCKETS)
-
 MetricsExporter::MetricsExporter(std::uint16_t port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  PSS_REQUIRE(listen_fd_ >= 0, "metrics exporter: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0 ||
-      ::listen(listen_fd_, 16) != 0) {
-    ::close(listen_fd_);
+  // All raw socket work lives in pss/serve/net.cpp (the one TU allowed to
+  // issue socket syscalls — lint rule `raw-socket-syscall`); throwing on
+  // platforms without sockets preserves the old behaviour.
+  PSS_REQUIRE(serve::net::available(),
+              "metrics exporter: no socket support on this platform");
+  try {
+    listen_fd_ = serve::net::listen_loopback(port, 16, port_);
+  } catch (const Error&) {
     listen_fd_ = -1;
     PSS_REQUIRE(false, "metrics exporter: cannot bind 127.0.0.1:" +
                            std::to_string(port));
   }
-  sockaddr_in bound{};
-  socklen_t len = sizeof bound;
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
-  port_ = ntohs(bound.sin_port);
-
   acceptor_ = std::thread([this] { serve(); });
 }
 
 void MetricsExporter::serve() {
+  std::string request;
   while (!stopping_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 200);  // stop-flag check cadence
-    if (ready <= 0) continue;
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    const int conn =
+        serve::net::accept_connection(listen_fd_, 200);  // stop-flag cadence
     if (conn < 0) continue;
 
-    // Drain whatever request line arrived (we serve one document regardless
-    // of path), then write a complete HTTP/1.1 response and close.
-    char sink[1024];
-    (void)::recv(conn, sink, sizeof sink, 0);
+    // Read the request under a deadline and a size bound: a scraper that
+    // trickles bytes (slow loris) or never finishes its header gets cut off
+    // at kReadDeadlineMs instead of wedging the acceptor forever, and the
+    // buffer never grows past kMaxRequestBytes. We serve one document
+    // regardless of path, so the read only needs to reach the header
+    // terminator — or the deadline.
+    request.clear();
+    const std::uint64_t deadline =
+        monotonic_ns() + static_cast<std::uint64_t>(kReadDeadlineMs) * 1000000ull;
+    bool complete = false;
+    char chunk[512];
+    while (request.size() < kMaxRequestBytes) {
+      const std::uint64_t now = monotonic_ns();
+      if (now >= deadline) break;
+      const int budget =
+          static_cast<int>((deadline - now) / 1000000ull) + 1;
+      const std::ptrdiff_t n =
+          serve::net::read_some(conn, chunk, sizeof chunk, budget);
+      if (n <= 0) break;  // EOF, deadline, or error
+      request.append(chunk, static_cast<std::size_t>(n));
+      if (request.find("\r\n\r\n") != std::string::npos ||
+          request.find("\n\n") != std::string::npos) {
+        complete = true;
+        break;
+      }
+    }
+    if (!complete) {  // slow, oversized, or vanished client: drop it
+      serve::net::close_fd(conn);
+      continue;
+    }
 
     const std::string body = render_prometheus(metrics());
-    std::string response =
+    const std::string response =
         "HTTP/1.1 200 OK\r\n"
         "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
         "Content-Length: " +
@@ -138,37 +152,20 @@ void MetricsExporter::serve() {
         "\r\n"
         "Connection: close\r\n\r\n" +
         body;
-    std::size_t sent = 0;
-    while (sent < response.size()) {
-      const ssize_t n =
-          ::send(conn, response.data() + sent, response.size() - sent, 0);
-      if (n <= 0) break;  // scraper went away; not our problem
-      sent += static_cast<std::size_t>(n);
-    }
-    ::close(conn);
+    // Deadline-bounded write: a scraper that stops reading can stall us for
+    // at most kWriteDeadlineMs ("scraper went away" is not our problem).
+    (void)serve::net::write_all(conn, response.data(), response.size(),
+                                kWriteDeadlineMs);
+    serve::net::close_fd(conn);
   }
 }
 
 void MetricsExporter::stop() {
   if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
   if (acceptor_.joinable()) acceptor_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  serve::net::close_fd(listen_fd_);
+  listen_fd_ = -1;
 }
-
-#else  // !PSS_HAVE_SOCKETS
-
-MetricsExporter::MetricsExporter(std::uint16_t) {
-  PSS_REQUIRE(false, "metrics exporter: no socket support on this platform");
-}
-
-void MetricsExporter::serve() {}
-
-void MetricsExporter::stop() {}
-
-#endif  // PSS_HAVE_SOCKETS
 
 MetricsExporter::~MetricsExporter() { stop(); }
 

@@ -22,6 +22,9 @@
 //   snapshot.corrupt    save_checkpoint: flips a payload byte after the CRC
 //                       is computed (writes a corrupted-on-disk file)
 //   shard.worker        BatchRunner::run, before each work item
+//   serve.worker        pss_serve worker, before each presentation
+//                       (transient = requeue with backoff; fatal = the
+//                       worker dies and the heartbeat monitor recovers it)
 //   train.interrupt     UnsupervisedTrainer, at each image/batch boundary
 //   synapse.stuck_lo / synapse.stuck_hi / synapse.perturb
 //                       rate-only arms read by synaptic_plan_from_injector()

@@ -1,0 +1,189 @@
+#include "pss/serve/batcher.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "pss/obs/metrics.hpp"
+
+namespace pss::serve {
+
+namespace {
+
+obs::Counter& expired_counter() {
+  static obs::Counter& c = obs::metrics().counter("serve.expired");
+  return c;
+}
+
+obs::Gauge& depth_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("serve.queue_depth");
+  return g;
+}
+
+}  // namespace
+
+void Outbox::push(Response response) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;  // client already gone; nothing to deliver to
+    queue_.push_back(std::move(response));
+  }
+  cv_.notify_one();
+}
+
+void Outbox::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Outbox::pop(Response& response) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;
+  response = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+bool PendingRequest::complete(Response response,
+                              const std::function<void()>& on_win) {
+  bool expected = false;
+  if (!done_.compare_exchange_strong(expected, true,
+                                     std::memory_order_acq_rel)) {
+    return false;  // a racing duplicate execution already answered
+  }
+  if (on_win) on_win();  // metrics land before the client can see the answer
+  if (const std::shared_ptr<Outbox> box = outbox.lock()) {
+    box->push(std::move(response));
+  }
+  return true;
+}
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+bool RequestQueue::admit(const PendingPtr& request) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return false;
+    if (ready_.size() + delayed_.size() >= capacity_) return false;
+    request->seq = next_seq_++;
+    request->admitted_ns = obs::monotonic_ns();
+    ready_.push_back(request);
+    depth_gauge().set(static_cast<double>(ready_.size() + delayed_.size()));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void RequestQueue::requeue(const PendingPtr& request,
+                           std::uint64_t not_before_ns) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++request->attempts;
+    if (not_before_ns <= obs::monotonic_ns()) {
+      // Requeued work is older than anything waiting — serve it first so a
+      // fault cannot starve the request behind fresh arrivals.
+      ready_.push_front(request);
+    } else {
+      delayed_.push_back({not_before_ns, request});
+    }
+    depth_gauge().set(static_cast<double>(ready_.size() + delayed_.size()));
+  }
+  cv_.notify_one();
+}
+
+std::uint64_t RequestQueue::promote_ripe(std::uint64_t now_ns) {
+  std::uint64_t soonest = 0;
+  for (std::size_t i = 0; i < delayed_.size();) {
+    if (delayed_[i].not_before_ns <= now_ns) {
+      // Ripe backoff entries also jump the line (see requeue above).
+      ready_.push_front(std::move(delayed_[i].request));
+      delayed_[i] = std::move(delayed_.back());
+      delayed_.pop_back();
+    } else {
+      if (soonest == 0 || delayed_[i].not_before_ns < soonest) {
+        soonest = delayed_[i].not_before_ns;
+      }
+      ++i;
+    }
+  }
+  return soonest;
+}
+
+std::vector<PendingPtr> RequestQueue::next_batch(std::size_t max_batch,
+                                                 std::uint64_t window_ns) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const std::uint64_t now = obs::monotonic_ns();
+    const std::uint64_t soonest_delayed = promote_ripe(now);
+
+    // Shed expired requests before they reach a worker: a presentation takes
+    // hundreds of simulated ms, so running one for a dead deadline only
+    // delays live requests behind it.
+    while (!ready_.empty() && ready_.front()->deadline_ns <= now) {
+      const PendingPtr victim = std::move(ready_.front());
+      ready_.pop_front();
+      victim->complete({Status::kDeadlineExceeded, victim->request.id, 0,
+                        "deadline expired in queue"},
+                       [] { expired_counter().add(1); });
+    }
+    depth_gauge().set(static_cast<double>(ready_.size() + delayed_.size()));
+
+    if (!ready_.empty()) {
+      const std::uint64_t oldest_wait = now - ready_.front()->admitted_ns;
+      if (ready_.size() >= max_batch || oldest_wait >= window_ns ||
+          shutdown_) {
+        std::vector<PendingPtr> batch;
+        const std::size_t take = std::min(max_batch, ready_.size());
+        batch.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+          batch.push_back(std::move(ready_.front()));
+          ready_.pop_front();
+        }
+        depth_gauge().set(
+            static_cast<double>(ready_.size() + delayed_.size()));
+        return batch;
+      }
+    } else if (shutdown_ && delayed_.empty()) {
+      return {};  // drained — worker should exit
+    }
+
+    // Sleep until whichever comes first: the batching window closing on the
+    // oldest ready request, the next delayed entry ripening, or a wake-up
+    // from admit/requeue/shutdown.
+    std::uint64_t wake_ns = now + window_ns;
+    if (!ready_.empty()) {
+      wake_ns = ready_.front()->admitted_ns + window_ns;
+      if (ready_.front()->deadline_ns < wake_ns) {
+        wake_ns = ready_.front()->deadline_ns;
+      }
+    }
+    if (soonest_delayed != 0 && soonest_delayed < wake_ns) {
+      wake_ns = soonest_delayed;
+    }
+    const std::uint64_t nap = wake_ns > now ? wake_ns - now : 1;
+    cv_.wait_for(lock, std::chrono::nanoseconds(nap));
+  }
+}
+
+void RequestQueue::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RequestQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ready_.size() + delayed_.size();
+}
+
+std::uint64_t RequestQueue::admitted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+}  // namespace pss::serve

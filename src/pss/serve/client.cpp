@@ -1,0 +1,57 @@
+#include "pss/serve/client.hpp"
+
+#include "pss/common/error.hpp"
+#include "pss/serve/net.hpp"
+
+namespace pss::serve {
+
+ServeClient::ServeClient(std::uint16_t port, int timeout_ms)
+    : fd_(net::connect_loopback(port, timeout_ms)), timeout_ms_(timeout_ms) {}
+
+ServeClient::~ServeClient() { net::close_fd(fd_); }
+
+void ServeClient::send(const Request& request) {
+  const std::vector<std::uint8_t> bytes = encode_request(request);
+  PSS_REQUIRE(net::write_frame(fd_, bytes, timeout_ms_),
+              "serve client: send failed (stalled or closed connection)");
+}
+
+Response ServeClient::receive() {
+  std::vector<std::uint8_t> payload;
+  PSS_REQUIRE(net::read_frame(fd_, payload, kMaxFrameBytes, timeout_ms_),
+              "serve client: no response (EOF or timeout)");
+  return decode_response(payload);
+}
+
+Response ServeClient::call(const Request& request) {
+  send(request);
+  return receive();
+}
+
+Response ServeClient::classify(std::span<const std::uint8_t> pixels,
+                               std::uint32_t deadline_ms) {
+  Request request;
+  request.verb = Verb::kClassify;
+  request.id = take_id();
+  request.deadline_ms = deadline_ms;
+  request.body.assign(pixels.begin(), pixels.end());
+  return call(request);
+}
+
+Response ServeClient::ping() {
+  return call({Verb::kPing, take_id(), 0, {}});
+}
+
+Response ServeClient::stats() {
+  return call({Verb::kStats, take_id(), 0, {}});
+}
+
+Response ServeClient::reload() {
+  return call({Verb::kReload, take_id(), 0, {}});
+}
+
+Response ServeClient::shutdown_server() {
+  return call({Verb::kShutdown, take_id(), 0, {}});
+}
+
+}  // namespace pss::serve

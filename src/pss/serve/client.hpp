@@ -1,0 +1,52 @@
+// Minimal loopback client for pss_serve — used by the daemon's CLI verbs,
+// the integration tests, and the bench_serve load generator. One connection,
+// synchronous call() or pipelined send()/receive() (the pipelined form is
+// what lets the server's batching window actually coalesce).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pss/serve/protocol.hpp"
+
+namespace pss::serve {
+
+class ServeClient {
+ public:
+  /// Connects to 127.0.0.1:`port`. Throws pss::Error on refusal/timeout.
+  explicit ServeClient(std::uint16_t port, int timeout_ms = 10000);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Sends one request and waits for one response (matching is positional:
+  /// the server answers a connection's inline verbs in order and queued
+  /// verbs in completion order — use call() only on its own, not mixed with
+  /// a pipelined burst).
+  Response call(const Request& request);
+
+  /// Fire-and-forget send; pair with receive(). Throws pss::Error when the
+  /// write stalls past the timeout.
+  void send(const Request& request);
+
+  /// Next response in arrival order. Throws pss::Error on EOF/timeout.
+  Response receive();
+
+  /// Convenience wrappers; id is assigned internally.
+  Response classify(std::span<const std::uint8_t> pixels,
+                    std::uint32_t deadline_ms = 0);
+  Response ping();
+  Response stats();
+  Response reload();
+  Response shutdown_server();
+
+ private:
+  std::uint64_t take_id() { return next_id_++; }
+
+  int fd_ = -1;
+  int timeout_ms_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace pss::serve

@@ -1,0 +1,58 @@
+// Model loading for the serving daemon. A model file is either a trained
+// snapshot (magic "PSSSNAP1" — learned state + neuron labels, produced by
+// `pss_run mode=train snapshot=...`) or a training checkpoint (magic
+// "PSSCKPT1" — learned state only, produced mid-training by the fault-
+// tolerance path). The two are unified into one ModelBundle: a geometry-
+// corrected WtaConfig plus a NetworkSnapshot of the learned state.
+//
+// A checkpoint has no neuron labels, so a daemon serving one accepts only
+// `train` (online learning) and admin verbs; `classify` returns kError with
+// an explanatory message rather than guessing.
+//
+// Hot reload: the server keeps the current bundle behind a mutex with a
+// monotonically increasing generation; workers re-instantiate their replica
+// between batches when the generation moves, so a reload is torn-free —
+// in-flight presentations finish on the old weights, later ones see the new.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pss/io/snapshot.hpp"
+#include "pss/network/wta_network.hpp"
+
+namespace pss::serve {
+
+struct ModelBundle {
+  WtaConfig config;            ///< base config with file geometry applied
+  NetworkSnapshot state;       ///< learned conductances / theta / labels
+  std::vector<int> neuron_labels;  ///< empty when loaded from a checkpoint
+  std::size_t class_count = 0;     ///< 0 when classify is unavailable
+  std::uint64_t generation = 0;    ///< set by the server on (re)load
+  std::string source_path;
+
+  bool can_classify() const { return class_count > 0; }
+};
+
+/// Loads `path` (snapshot or checkpoint, detected by magic) and merges its
+/// geometry into `base_config`. Honors the fault points of the underlying
+/// loaders. Throws pss::Error on unreadable/corrupt files.
+ModelBundle load_model(const std::string& path, const WtaConfig& base_config);
+
+/// Builds a network carrying the bundle's learned state on `engine` (serial
+/// Engine(1) per serve worker — pool parallelism is across requests, never
+/// within a replica, mirroring BatchRunner's discipline).
+WtaNetwork instantiate(const ModelBundle& bundle, Engine* engine);
+
+/// Pure scoring: argmax of mean per-class spike counts over the labelled
+/// neurons, -1 = abstain. Same rule as SnnClassifier::predict_from_counts,
+/// exposed as a free function so serve workers score replica output without
+/// holding a classifier (which wants a network reference).
+int predict_from_counts(std::span<const std::uint32_t> spike_counts,
+                        std::span<const int> neuron_labels,
+                        std::size_t class_count);
+
+}  // namespace pss::serve

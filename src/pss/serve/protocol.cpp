@@ -1,0 +1,146 @@
+#include "pss/serve/protocol.hpp"
+
+#include <cstring>
+
+#include "pss/common/error.hpp"
+
+namespace pss::serve {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Cursor over an immutable payload; every read is bounds-checked so a
+/// truncated frame surfaces as pss::Error, never as an out-of-range read.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    PSS_REQUIRE(pos_ < data_.size(), "serve: truncated payload");
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    PSS_REQUIRE(pos_ + 4 <= data_.size(), "serve: truncated payload");
+    const std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
+                            (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+                            (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16) |
+                            (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+
+  std::span<const std::uint8_t> bytes(std::uint32_t n) {
+    PSS_REQUIRE(pos_ + n <= data_.size(), "serve: truncated payload");
+    const auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* verb_name(Verb verb) {
+  switch (verb) {
+    case Verb::kPing: return "ping";
+    case Verb::kClassify: return "classify";
+    case Verb::kTrain: return "train";
+    case Verb::kStats: return "stats";
+    case Verb::kReload: return "reload";
+    case Verb::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_request(const Request& request) {
+  PSS_REQUIRE(request.body.size() < kMaxFrameBytes,
+              "serve: request body exceeds frame bound");
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 8 + 4 + 4 + request.body.size());
+  out.push_back(static_cast<std::uint8_t>(request.verb));
+  put_u64(out, request.id);
+  put_u32(out, request.deadline_ms);
+  put_u32(out, static_cast<std::uint32_t>(request.body.size()));
+  out.insert(out.end(), request.body.begin(), request.body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response(const Response& response) {
+  PSS_REQUIRE(response.message.size() < kMaxFrameBytes,
+              "serve: response message exceeds frame bound");
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 8 + 8 + 4 + response.message.size());
+  out.push_back(static_cast<std::uint8_t>(response.status));
+  put_u64(out, response.id);
+  put_u64(out, static_cast<std::uint64_t>(response.value));
+  put_u32(out, static_cast<std::uint32_t>(response.message.size()));
+  out.insert(out.end(), response.message.begin(), response.message.end());
+  return out;
+}
+
+Request decode_request(std::span<const std::uint8_t> payload) {
+  Reader in(payload);
+  Request request;
+  const std::uint8_t verb = in.u8();
+  PSS_REQUIRE(verb <= static_cast<std::uint8_t>(Verb::kShutdown),
+              "serve: unknown verb " + std::to_string(verb));
+  request.verb = static_cast<Verb>(verb);
+  request.id = in.u64();
+  request.deadline_ms = in.u32();
+  const std::uint32_t body_size = in.u32();
+  const auto body = in.bytes(body_size);
+  request.body.assign(body.begin(), body.end());
+  PSS_REQUIRE(in.exhausted(), "serve: trailing bytes after request");
+  return request;
+}
+
+Response decode_response(std::span<const std::uint8_t> payload) {
+  Reader in(payload);
+  Response response;
+  const std::uint8_t status = in.u8();
+  PSS_REQUIRE(status <= static_cast<std::uint8_t>(Status::kError),
+              "serve: unknown status " + std::to_string(status));
+  response.status = static_cast<Status>(status);
+  response.id = in.u64();
+  response.value = static_cast<std::int64_t>(in.u64());
+  const std::uint32_t message_size = in.u32();
+  const auto message = in.bytes(message_size);
+  response.message.assign(message.begin(), message.end());
+  PSS_REQUIRE(in.exhausted(), "serve: trailing bytes after response");
+  return response;
+}
+
+}  // namespace pss::serve

@@ -1,0 +1,80 @@
+// pss_serve wire protocol: length-prefixed frames (see serve/net.hpp for the
+// framing) carrying one request or one response each, little-endian
+// fixed-width fields throughout. Encode/decode are pure byte-vector
+// functions, so the whole protocol is unit-testable without a socket.
+//
+// Request payload layout:
+//   u8  verb          (Verb)
+//   u64 id            client-chosen correlation id, echoed in the response
+//   u32 deadline_ms   per-request budget from admission (0 = server default)
+//   u32 body_size     pixel bytes that follow
+//   u8  body[]        pixels (row-major u8 intensities) for classify/train;
+//                     empty for admin verbs
+//
+// Response payload layout:
+//   u8  status        (Status)
+//   u64 id            echo of the request id
+//   i64 value         classify -> predicted class (-1 = abstain);
+//                     stats    -> current queue depth; others 0
+//   u32 message_size  diagnostic text that follows (errors, stats)
+//   u8  message[]
+//
+// Failure semantics on the wire: a malformed or oversized frame is a
+// protocol error — decode throws pss::Error and the server drops the
+// connection (never the process). Overload and deadline misses are *not*
+// errors: they are explicit kOverloaded / kDeadlineExceeded responses, so a
+// client can always tell "shed by backpressure" from "broken".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pss::serve {
+
+/// Largest accepted frame payload. Classify bodies are one image (~784 B);
+/// the bound exists so a garbage length prefix cannot drive allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+enum class Verb : std::uint8_t {
+  kPing = 0,      ///< liveness probe; served inline, never queued
+  kClassify = 1,  ///< present body image (learn off), return predicted class
+  kTrain = 2,     ///< present body image with STDP on (online learning)
+  kStats = 3,     ///< queue depth + text counters snapshot
+  kReload = 4,    ///< hot-reload the model file (same as SIGHUP)
+  kShutdown = 5,  ///< graceful daemon stop
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kOverloaded = 1,        ///< admission queue full — request was shed
+  kDeadlineExceeded = 2,  ///< deadline passed before a worker finished it
+  kError = 3,             ///< permanent failure; message has the reason
+};
+
+const char* verb_name(Verb verb);
+const char* status_name(Status status);
+
+struct Request {
+  Verb verb = Verb::kPing;
+  std::uint64_t id = 0;
+  std::uint32_t deadline_ms = 0;    ///< 0 = server default
+  std::vector<std::uint8_t> body;   ///< image pixels for classify/train
+};
+
+struct Response {
+  Status status = Status::kOk;
+  std::uint64_t id = 0;
+  std::int64_t value = 0;
+  std::string message;
+};
+
+std::vector<std::uint8_t> encode_request(const Request& request);
+std::vector<std::uint8_t> encode_response(const Response& response);
+
+/// Throw pss::Error on truncated/oversized/unknown-enum payloads.
+Request decode_request(std::span<const std::uint8_t> payload);
+Response decode_response(std::span<const std::uint8_t> payload);
+
+}  // namespace pss::serve

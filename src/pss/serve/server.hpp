@@ -1,0 +1,192 @@
+// The pss_serve daemon core: a fleet of trained-network replicas behind a
+// framed loopback protocol, with heartbeat supervision, deterministic
+// requeue, and deadline-aware backpressure.
+//
+// Thread architecture (see DESIGN.md §5 for the state machines):
+//
+//   acceptor ──spawns──▶ connection reader ──admit──▶ RequestQueue
+//                        connection writer ◀──Outbox◀─┐
+//   worker[i]: Engine(1) + replica; pulls batches ────┘
+//   monitor:   heartbeat scan; drains + requeues failed workers' inflight
+//
+// Each worker owns a serial Engine and a WtaNetwork replica of the loaded
+// model (the BatchRunner replica-per-worker discipline). A request's
+// admission sequence number is used verbatim as the replica presentation
+// index, and a presentation is a pure function of (learned state, index,
+// rates) — so re-executing a requeued request on any healthy worker yields
+// a bitwise-identical answer, and a fault-injected run returns exactly the
+// responses of a fault-free one (tests assert this).
+//
+// Failure handling:
+//  * TransientError during a presentation (fault point `serve.worker`,
+//    kind=transient): the worker requeues that request with a delay from the
+//    shared BackoffPolicy and moves on — the worker survives.
+//  * Fatal Error (kind=fatal): the worker thread marks itself dead and exits
+//    *without* cleaning up, simulating a crash. The heartbeat monitor joins
+//    it, requeues its in-flight requests, and restarts the slot (up to
+//    max_worker_restarts).
+//  * Missed heartbeat (hung worker holding in-flight work): the monitor
+//    requeues the inflight set but leaves the thread alone; once-only
+//    completion makes a late answer from the straggler harmless.
+//
+// Overload: admission is bounded by queue_capacity — a full queue sheds new
+// requests with an explicit kOverloaded response (never silent drops, never
+// unbounded memory). Requests whose deadline expires while queued are
+// answered kDeadlineExceeded without occupying a worker.
+//
+// Hot reload (SIGHUP in the daemon, or the `reload` verb): the new model is
+// loaded off to the side, then swapped in under the model mutex with a
+// bumped generation. Workers notice the generation between batches and
+// re-instantiate their replica — in-flight presentations finish on the old
+// weights (torn-free), later requests see the new ones.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pss/common/backoff.hpp"
+#include "pss/common/thread_annotations.hpp"
+#include "pss/common/types.hpp"
+#include "pss/encoding/pixel_frequency.hpp"
+#include "pss/serve/batcher.hpp"
+#include "pss/serve/model.hpp"
+
+namespace pss {
+class Engine;
+}
+
+namespace pss::serve {
+
+struct ServeOptions {
+  std::string model_path;      ///< snapshot or checkpoint (sniffed by magic)
+  WtaConfig base_config;       ///< backend / timing template; geometry comes
+                               ///< from the model file
+  double f_min_hz = 1.0;       ///< pixel→rate encoding (Table I baseline)
+  double f_max_hz = 22.0;
+  TimeMs t_present_ms = 300.0;
+
+  std::uint16_t port = 0;      ///< 0 = ephemeral (bound port via port())
+  std::size_t workers = 2;
+  std::size_t queue_capacity = 64;   ///< admission bound (backpressure)
+  std::size_t max_batch = 8;         ///< batch-size flush threshold
+  std::uint32_t window_ms = 5;       ///< batching-window flush deadline
+  std::uint32_t default_deadline_ms = 2000;  ///< for requests sending 0
+  std::uint32_t io_timeout_ms = 10000;       ///< per-connection read/write
+  std::uint32_t heartbeat_interval_ms = 20;  ///< monitor scan period
+  std::uint32_t heartbeat_timeout_ms = 1000; ///< stale-beat threshold
+  std::uint32_t max_worker_restarts = 8;     ///< per slot, then it retires
+  BackoffPolicy backoff;       ///< requeue delay schedule (deterministic)
+};
+
+class ServeServer {
+ public:
+  /// Loads the model, binds the port, and starts every thread. Throws
+  /// pss::Error when the model or port is unusable.
+  explicit ServeServer(ServeOptions options);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until request_shutdown() (shutdown verb, signal, or test).
+  void wait();
+
+  /// Initiates graceful shutdown: stop admission, drain the queue, answer
+  /// everything in flight. Safe from connection threads; join happens in
+  /// stop()/destructor.
+  void request_shutdown();
+
+  /// Reloads options.model_path and swaps it in (torn-free). Throws
+  /// pss::Error on a bad file — the old model stays serving.
+  void reload();
+
+  std::uint64_t model_generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// True once shutdown has been requested (daemon main-loop poll).
+  bool stopping() const { return stopping_.load(std::memory_order_acquire); }
+
+  /// Human-readable counters for the stats verb.
+  std::string stats_text() const;
+
+  /// Joins every thread (idempotent; the destructor calls it).
+  void stop();
+
+ private:
+  struct WorkerSlot {
+    std::thread thread;
+    std::atomic<std::uint64_t> last_beat_ns{0};
+    std::atomic<bool> dead{false};  ///< set by a fatally faulted worker
+    std::mutex inflight_mutex;
+    std::vector<PendingPtr> inflight PSS_GUARDED_BY(inflight_mutex);
+    std::uint32_t restarts = 0;     ///< monitor thread only
+    bool retired = false;           ///< monitor thread only
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::shared_ptr<Outbox> outbox;
+    std::thread thread;             ///< reader (owns a nested writer)
+    std::atomic<bool> finished{false};
+  };
+
+  void worker_loop(std::size_t slot_index);
+  void monitor_loop();
+  void acceptor_loop();
+  void connection_loop(Connection* connection);
+
+  /// Handles one decoded request on a connection thread; admin verbs answer
+  /// inline, classify/train go through admission.
+  Response handle_inline_or_admit(const Request& request,
+                                  const std::shared_ptr<Outbox>& outbox,
+                                  bool& answered_inline);
+
+  /// Executes one classify/train presentation on a worker replica.
+  Response execute(WtaNetwork& replica, const ModelBundle& bundle,
+                   const PendingRequest& pending);
+
+  /// Moves a failed worker's inflight set back into the queue with backoff.
+  void drain_and_requeue(WorkerSlot& slot);
+
+  std::shared_ptr<const ModelBundle> current_model() const;
+  void install_model(ModelBundle bundle) PSS_EXCLUDES(model_mutex_);
+  /// Publishes a train-updated replica's weights as the next generation.
+  void absorb_training(const WtaNetwork& replica);
+
+  ServeOptions options_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const ModelBundle> model_ PSS_GUARDED_BY(model_mutex_);
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::size_t> input_channels_{0};
+
+  PixelFrequencyMap frequency_map_;
+  std::unique_ptr<RequestQueue> queue_;
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::thread monitor_;
+  std::thread acceptor_;
+
+  std::mutex conn_mutex_;
+  std::list<Connection> connections_ PSS_GUARDED_BY(conn_mutex_);
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::mutex wait_mutex_;
+  std::condition_variable wait_cv_;
+};
+
+}  // namespace pss::serve

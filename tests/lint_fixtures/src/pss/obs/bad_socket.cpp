@@ -1,0 +1,17 @@
+// Seeded violations for the raw-socket-syscall rule: talking to the BSD
+// socket API directly instead of going through pss::serve::net. Both forms
+// must fire: the header include and a ::-qualified syscall.
+#include <sys/socket.h>
+
+int open_raw_listener() {
+  const int fd = ::socket(2 /*AF_INET*/, 1 /*SOCK_STREAM*/, 0);
+  ::listen(fd, 4);
+  return fd;
+}
+
+// Not violations: a qualified member definition and a wrapper call both
+// look socket-ish but must stay clean.
+struct FakeNet {
+  int connect(int a, int b);
+};
+int FakeNet::connect(int a, int b) { return a + b; }

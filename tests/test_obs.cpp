@@ -7,12 +7,8 @@
 // property with tracing on).
 #include <gtest/gtest.h>
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -30,6 +26,7 @@
 #include "pss/learning/trainer.hpp"
 #include "pss/network/wta_network.hpp"
 #include "pss/obs/exporter.hpp"
+#include "pss/serve/net.hpp"
 #include "pss/obs/json_writer.hpp"
 #include "pss/obs/manifest.hpp"
 #include "pss/obs/metrics.hpp"
@@ -548,6 +545,28 @@ TEST(Prometheus, RenderCoversAllMetricKinds) {
   EXPECT_NE(text.find("pss_prom_hist_sum"), std::string::npos);
 }
 
+namespace {
+
+/// One full scrape via the serve/net wrapper (the only TU allowed raw
+/// socket syscalls — lint rule `raw-socket-syscall`).
+std::string scrape_once(std::uint16_t port, int timeout_ms = 5000) {
+  const int fd = pss::serve::net::connect_loopback(port, timeout_ms);
+  const std::string request = "GET /metrics HTTP/1.1\r\n\r\n";
+  EXPECT_TRUE(pss::serve::net::write_all(fd, request.data(), request.size(),
+                                         timeout_ms));
+  std::string response;
+  char buf[4096];
+  std::ptrdiff_t n;
+  while ((n = pss::serve::net::read_some(fd, buf, sizeof buf, timeout_ms)) >
+         0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  pss::serve::net::close_fd(fd);
+  return response;
+}
+
+}  // namespace
+
 TEST(Prometheus, ExporterServesScrapeOverLoopback) {
   ObsGuard guard;
   obs::metrics().counter("prom.scrape.count").add(11);
@@ -555,26 +574,7 @@ TEST(Prometheus, ExporterServesScrapeOverLoopback) {
   obs::MetricsExporter exporter(0);  // ephemeral port
   ASSERT_NE(exporter.port(), 0);
 
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  ASSERT_GE(fd, 0);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(exporter.port());
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  ASSERT_EQ(connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                    sizeof(addr)), 0);
-  const std::string request = "GET /metrics HTTP/1.1\r\n\r\n";
-  ASSERT_EQ(send(fd, request.data(), request.size(), 0),
-            static_cast<ssize_t>(request.size()));
-
-  std::string response;
-  char buf[4096];
-  ssize_t n;
-  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) {
-    response.append(buf, static_cast<std::size_t>(n));
-  }
-  close(fd);
-
+  const std::string response = scrape_once(exporter.port());
   EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
   EXPECT_NE(response.find("text/plain"), std::string::npos) << response;
   EXPECT_NE(response.find("pss_prom_scrape_count 11"), std::string::npos)
@@ -582,6 +582,43 @@ TEST(Prometheus, ExporterServesScrapeOverLoopback) {
 
   exporter.stop();
   exporter.stop();  // idempotent
+}
+
+TEST(Prometheus, ExporterSurvivesSlowLorisClients) {
+  ObsGuard guard;
+  obs::metrics().counter("prom.loris.count").add(5);
+
+  obs::MetricsExporter exporter(0);
+  ASSERT_NE(exporter.port(), 0);
+
+  // A slow-loris client: connects, never sends its request, and idles. The
+  // exporter's single acceptor must cut it off at the per-connection read
+  // deadline (1 s) instead of wedging behind it forever.
+  const int loris = pss::serve::net::connect_loopback(exporter.port(), 5000);
+  // A trickler: sends a byte of garbage, then stalls mid-header.
+  const int trickler =
+      pss::serve::net::connect_loopback(exporter.port(), 5000);
+  (void)pss::serve::net::write_all(trickler, "G", 1, 1000);
+
+  // A well-behaved scrape queued behind both must still complete: the two
+  // stalled connections cost at most one read deadline each.
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string response = scrape_once(exporter.port(), 10000);
+  const double waited_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("pss_prom_loris_count 5"), std::string::npos)
+      << response;
+  // Two stalled clients x 1 s read deadline, plus scheduling slack.
+  EXPECT_LT(waited_s, 8.0);
+
+  // The stalled connections were dropped without a response.
+  char sink;
+  EXPECT_LE(pss::serve::net::read_some(loris, &sink, 1, 100), 0);
+  pss::serve::net::close_fd(loris);
+  pss::serve::net::close_fd(trickler);
+  exporter.stop();
 }
 
 // ---- logging ---------------------------------------------------------------

@@ -64,6 +64,7 @@ def main():
         ("src/pss/backend/kernels_bad.cpp", "raw-alloc"),
         ("src/pss/synapse/unordered_iter.cpp", "unordered-iteration"),
         ("src/pss/obs/bad_perf.cpp", "raw-perf-syscall"),
+        ("src/pss/obs/bad_socket.cpp", "raw-socket-syscall"),
         ("CMakeLists.txt", "fp-reassociation"),
     }
     for pair in expected:
@@ -90,6 +91,11 @@ def main():
               ("src/pss/obs/bad_perf.cpp", "raw-perf-syscall"), 0) == 2,
           "bad_perf.cpp should yield 2 raw-perf-syscall findings "
           "(SYS_ and __NR_ spellings)")
+    check(by_file_rule.get(
+              ("src/pss/obs/bad_socket.cpp", "raw-socket-syscall"), 0) == 3,
+          "bad_socket.cpp should yield 3 raw-socket-syscall findings "
+          "(header include, ::socket, ::listen) — the qualified member "
+          "definition and wrapper-style call must stay clean")
 
     # Clean file: no findings at all.
     clean_hits = [v for v in report["violations"]
@@ -184,6 +190,27 @@ def main():
           "expected exactly one audited raw-perf-syscall suppression in "
           "src/pss/obs/perf.cpp, got %s"
           % [(s["file"], s["line"]) for s in perf_sup])
+
+    # --- real tree: socket syscalls confined to the serve/net wrapper ------
+    # Every raw socket syscall (and socket-header include) lives in
+    # src/pss/serve/net.cpp behind audited suppressions; the rest of the
+    # tree — including the metrics exporter and the serve daemon itself —
+    # must go through pss::serve::net.
+    proc = run_lint(args.lint,
+                    ["--root", repo_root, "--rules", "raw-socket-syscall",
+                     "--json", report_path, "--quiet"])
+    check(proc.returncode == 0,
+          "repo tree must be raw-socket-syscall clean, got %d: %s"
+          % (proc.returncode, proc.stderr))
+    with open(report_path) as f:
+        sock_report = json.load(f)
+    sock_sup = [s for s in sock_report["suppressed"]
+                if s["rule"] == "raw-socket-syscall"]
+    check(len(sock_sup) > 0 and
+          all(s["file"] == "src/pss/serve/net.cpp" for s in sock_sup),
+          "all raw-socket-syscall suppressions must live in "
+          "src/pss/serve/net.cpp, got %s"
+          % sorted({s["file"] for s in sock_sup}))
 
     # --- usage errors: exit 2 ----------------------------------------------
     proc = run_lint(args.lint, ["--root", args.fixtures,

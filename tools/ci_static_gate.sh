@@ -81,6 +81,12 @@ run_stage "ctest-lint" ctest --preset lint
 run_stage "ctest-sparse" ctest --test-dir build-lint -L sparse \
   --output-on-failure -j "$JOBS"
 
+# Stage 4c: serving-daemon suite (label `serve`) from the wall build —
+# framing, requeue/backoff determinism, hot reload, load shedding, plus the
+# bench_serve sidecar validated by validate_manifest.py's serve checks.
+run_stage "ctest-serve" ctest --test-dir build-lint -L serve \
+  --output-on-failure -j "$JOBS"
+
 # Stage 5: sanitizer suites (the slow half of the gate).
 if [ "$SKIP_SAN" -eq 0 ]; then
   run_stage "tsan-configure" cmake --preset tsan

@@ -36,6 +36,14 @@ source-level invariants that no compiler flag checks:
                          wrapper in src/pss/obs/perf.cpp (which carries the
                          one suppression), so fd lifetime, gating, and the
                          unavailable-host fallback live in a single place.
+  raw-socket-syscall     No raw BSD socket syscalls (::socket, ::bind,
+                         ::connect, ::recv, ::send, ...) or socket-header
+                         includes anywhere outside src/pss/serve/net.cpp
+                         (which carries the audited suppressions): deadlines,
+                         EINTR retries, partial-IO loops, and the no-socket
+                         platform fallback live in that one wrapper, so every
+                         other TU gets them for free and none can wedge on a
+                         slow peer.
 
 Suppressions: append `// pss-lint: allow(<rule>[,<rule>...])` (or `# ...` in
 CMake/script files) to the offending line. Suppressions are recorded in the
@@ -103,6 +111,9 @@ RULE_DOCS = {
         "raw new/delete/malloc/free in hot paths (backend/, engine/)",
     "raw-perf-syscall":
         "raw perf_event_open syscall outside the pss/obs/perf.cpp wrapper",
+    "raw-socket-syscall":
+        "raw BSD socket syscall or socket-header include outside the "
+        "pss/serve/net.cpp wrapper",
 }
 
 
@@ -315,6 +326,34 @@ def check_raw_alloc(rel, code_lines):
 
 PERF_SYSCALL_RE = re.compile(r"\b(?:SYS|__NR)_perf_event_open\b")
 
+# Global-scope-qualified socket-family calls only: `(?<![\w>])` keeps
+# qualified member definitions (`BaselineNetwork::connect(...)`) and wrapper
+# calls (`net::connect_loopback(...)`) out. ::poll/::close/::fcntl are
+# deliberately absent — they are general fd plumbing, not socket setup/IO.
+SOCKET_CALL_RE = re.compile(
+    r"(?<![\w>])::\s*(socket|socketpair|bind|listen|accept4?|connect|"
+    r"recv(?:from|msg)?|send(?:to|msg)?|setsockopt|getsockopt|getsockname|"
+    r"getpeername|shutdown)\s*\(")
+SOCKET_HEADER_RE = re.compile(
+    r"#\s*include\s*<(?:sys/socket\.h|sys/un\.h|netinet/[\w.]+|"
+    r"arpa/inet\.h|netdb\.h)>")
+
+
+def check_raw_socket_syscall(rel, code_lines):
+    for ln, line in enumerate(code_lines, 1):
+        m = SOCKET_CALL_RE.search(line)
+        if m:
+            yield (ln, "raw-socket-syscall",
+                   "raw ::" + m.group(1) + " syscall: do socket IO through "
+                   "pss::serve::net (listen/connect/read_frame/write_frame) "
+                   "so deadlines, EINTR handling, and the no-socket platform "
+                   "fallback stay in the one audited wrapper "
+                   "(src/pss/serve/net.cpp)")
+        elif SOCKET_HEADER_RE.search(line):
+            yield (ln, "raw-socket-syscall",
+                   "socket header include: only src/pss/serve/net.cpp talks "
+                   "to the BSD socket API; use pss::serve::net instead")
+
 
 def check_raw_perf_syscall(rel, code_lines):
     for ln, line in enumerate(code_lines, 1):
@@ -347,6 +386,7 @@ def scan_file(root, rel, active_rules):
             lambda: check_fp_reassociation(rel, code_lines, raw_lines),
             lambda: check_raw_alloc(rel, code_lines),
             lambda: check_raw_perf_syscall(rel, code_lines),
+            lambda: check_raw_socket_syscall(rel, code_lines),
         ]
         for chk in checks:
             findings.extend(chk())

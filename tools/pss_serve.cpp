@@ -1,0 +1,179 @@
+// pss_serve — fault-tolerant sharded serving daemon for trained networks
+// (ROADMAP item 2; DESIGN.md §5 has the architecture).
+//
+// Loads a trained model (snapshot from `pss_run mode=train snapshot=...`, or
+// a mid-training checkpoint) and serves classify/train requests over a
+// length-prefixed framed protocol on a loopback TCP port. Requests coalesce
+// into minibatches behind a dynamic batching window and are sharded across
+// worker threads, each owning a serial-engine replica of the model. A
+// heartbeat monitor requeues the in-flight requests of a crashed or hung
+// worker onto healthy ones with deterministic capped-exponential backoff;
+// per-request deadlines plus a bounded admission queue shed overload with
+// explicit `overloaded` responses.
+//
+// Server usage:
+//   pss_serve model=<snapshot-or-checkpoint> [port=0] [workers=2]
+//     [queue=64] [max_batch=8] [window_ms=5] [deadline_ms=2000]
+//     [io_timeout_ms=10000] [heartbeat_ms=20] [heartbeat_timeout_ms=1000]
+//     [max_restarts=8] [backoff_base_ms=1] [backoff_cap_ms=64]
+//     [backend=cpu] [f_min=1] [f_max=22] [t_present=300]
+//
+// Admin / client usage (one-shot verbs against a running daemon):
+//   pss_serve send=ping|stats|reload|shutdown port=<port>
+//
+// Signals: SIGHUP hot-reloads the model file (same as the `reload` verb;
+// in-flight batches finish on the old weights), SIGINT/SIGTERM shut down
+// gracefully (drain the queue, answer everything admitted).
+//
+// Observability: metrics=/trace=/prom=/metrics_port= work as in pss_run;
+// every request shows up in the serve.* counters and latency histograms
+// (README "Serving"). faults= arms deterministic fault injection — e.g.
+// faults=serve.worker:count=1,kind=fatal kills a worker mid-batch.
+#include <csignal>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "pss/common/error.hpp"
+#include "pss/common/log.hpp"
+#include "pss/obs/exporter.hpp"
+#include "pss/obs/manifest.hpp"
+#include "pss/obs/metrics.hpp"
+#include "pss/obs/trace.hpp"
+#include "pss/serve/client.hpp"
+#include "pss/serve/server.hpp"
+#include "tools/run_options.hpp"
+
+using namespace pss;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_reload = 0;
+
+void handle_stop(int) { g_stop = 1; }
+void handle_reload(int) { g_reload = 1; }
+
+serve::ServeOptions options_from_config(const Config& cfg) {
+  serve::ServeOptions opts;
+  opts.model_path = cfg.get_string("model", "");
+  PSS_REQUIRE(!opts.model_path.empty(),
+              "pss_serve: model=<snapshot-or-checkpoint> is required");
+  opts.base_config.backend = cfg.get_string("backend", "cpu");
+  opts.f_min_hz = cfg.get_double("f_min", 1.0);
+  opts.f_max_hz = cfg.get_double("f_max", 22.0);
+  opts.t_present_ms = cfg.get_double("t_present", 300.0);
+  opts.port = static_cast<std::uint16_t>(cfg.get_int("port", 0));
+  opts.workers = static_cast<std::size_t>(cfg.get_int("workers", 2));
+  opts.queue_capacity = static_cast<std::size_t>(cfg.get_int("queue", 64));
+  opts.max_batch = static_cast<std::size_t>(cfg.get_int("max_batch", 8));
+  opts.window_ms = static_cast<std::uint32_t>(cfg.get_int("window_ms", 5));
+  opts.default_deadline_ms =
+      static_cast<std::uint32_t>(cfg.get_int("deadline_ms", 2000));
+  opts.io_timeout_ms =
+      static_cast<std::uint32_t>(cfg.get_int("io_timeout_ms", 10000));
+  opts.heartbeat_interval_ms =
+      static_cast<std::uint32_t>(cfg.get_int("heartbeat_ms", 20));
+  opts.heartbeat_timeout_ms = static_cast<std::uint32_t>(
+      cfg.get_int("heartbeat_timeout_ms", 1000));
+  opts.max_worker_restarts =
+      static_cast<std::uint32_t>(cfg.get_int("max_restarts", 8));
+  opts.backoff.base_ms = cfg.get_double("backoff_base_ms", 1.0);
+  opts.backoff.cap_ms = cfg.get_double("backoff_cap_ms", 64.0);
+  return opts;
+}
+
+int run_client_verb(const Config& cfg) {
+  const std::string verb = cfg.get_string("send", "");
+  const long port = cfg.get_int("port", 0);
+  PSS_REQUIRE(port > 0, "pss_serve: send= needs port=<bound port>");
+  serve::ServeClient client(static_cast<std::uint16_t>(port));
+  serve::Response response;
+  if (verb == "ping") {
+    response = client.ping();
+  } else if (verb == "stats") {
+    response = client.stats();
+  } else if (verb == "reload") {
+    response = client.reload();
+  } else if (verb == "shutdown") {
+    response = client.shutdown_server();
+  } else {
+    throw Error("pss_serve: unknown send verb: " + verb +
+                " (ping|stats|reload|shutdown)");
+  }
+  std::printf("%s value=%lld %s\n", serve::status_name(response.status),
+              static_cast<long long>(response.value),
+              response.message.c_str());
+  return response.status == serve::Status::kOk ? 0 : 1;
+}
+
+int run_daemon(const Config& cfg) {
+  const tools::ObsPaths obs_paths = tools::enable_observability(cfg);
+  std::optional<obs::MetricsExporter> exporter;
+  if (obs_paths.metrics_port >= 0) {
+    exporter.emplace(static_cast<std::uint16_t>(obs_paths.metrics_port));
+    std::printf("metrics exporter listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(exporter->port()));
+  }
+
+  serve::ServeServer server(options_from_config(cfg));
+  std::printf("pss_serve listening on 127.0.0.1:%u (model=%s)\n",
+              static_cast<unsigned>(server.port()),
+              cfg.get_string("model", "").c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+#ifdef SIGHUP
+  std::signal(SIGHUP, handle_reload);
+#endif
+
+  while (g_stop == 0 && !server.stopping()) {
+    if (g_reload != 0) {
+      g_reload = 0;
+      try {
+        server.reload();
+        log_message(LogLevel::kInfo,
+                    "pss_serve: model reloaded (generation " +
+                        std::to_string(server.model_generation()) + ")");
+      } catch (const std::exception& e) {
+        log_message(LogLevel::kError,
+                    std::string("pss_serve: reload failed, keeping old "
+                                "model: ") +
+                        e.what());
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+  std::printf("pss_serve: stopped (%s)\n", server.stats_text().c_str());
+
+  if (!obs_paths.metrics.empty()) {
+    obs::write_metrics_json(obs_paths.metrics, "pss_serve");
+  }
+  if (!obs_paths.trace.empty()) obs::write_chrome_trace(obs_paths.trace);
+  if (!obs_paths.prom.empty()) obs::write_prometheus_text(obs_paths.prom);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Config cfg = Config::from_args(argc, argv, 1);
+    tools::require_known_keys(
+        cfg, {"model", "port", "queue", "max_batch", "window_ms",
+              "deadline_ms", "io_timeout_ms", "heartbeat_ms",
+              "heartbeat_timeout_ms", "max_restarts", "backoff_base_ms",
+              "backoff_cap_ms", "f_min", "f_max", "t_present", "send",
+              "verbose"});
+    if (!cfg.get_bool("verbose", false)) set_log_level(LogLevel::kWarn);
+    tools::arm_faults_from_config(cfg);
+    if (!cfg.get_string("send", "").empty()) return run_client_verb(cfg);
+    return run_daemon(cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pss_serve: %s\n", e.what());
+    return 1;
+  }
+}

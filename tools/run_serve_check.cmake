@@ -1,0 +1,46 @@
+# End-to-end serving-sidecar check, run as a ctest (labels "serve;obs"):
+# drive bench_serve against an in-process daemon with transient serve.worker
+# faults armed, then schema-validate the BENCH_serve.json sidecar with
+# tools/validate_manifest.py — which applies the serve accounting checks
+# (every serve.* family present, completed + expired <= admitted, latency
+# histogram total == completed) on top of the generic pss.metrics.v1 schema.
+#
+# Expected -D inputs: BENCH_SERVE, VALIDATOR, PYTHON, WORK_DIR.
+
+foreach(var BENCH_SERVE VALIDATOR PYTHON WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_serve_check.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Small but non-trivial load; the fault spec forces at least one requeue so
+# the sidecar's recovery counters carry real values.
+execute_process(
+  COMMAND "${BENCH_SERVE}" requests=48 clients=2 workers=2 t_present=5
+          "faults=serve.worker:rate=0.1,count=3,kind=transient"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE run_rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "bench_serve failed (${run_rc}):\n${run_out}\n${run_err}")
+endif()
+
+set(sidecar "${WORK_DIR}/out/BENCH_serve.json")
+if(NOT EXISTS "${sidecar}")
+  message(FATAL_ERROR "bench_serve did not write ${sidecar}:\n${run_out}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${VALIDATOR}" "${sidecar}"
+  RESULT_VARIABLE validate_rc
+  OUTPUT_VARIABLE validate_out
+  ERROR_VARIABLE validate_err)
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR
+          "serve sidecar validation failed:\n${validate_out}\n${validate_err}")
+endif()
+message(STATUS "serve sidecar valid:\n${validate_out}")

@@ -3,7 +3,9 @@
 
 Validates any of the files the instrumented binaries emit:
 
-  pss.metrics.v1    (pss_run metrics=..., bench BENCH_*.json records)
+  pss.metrics.v1    (pss_run metrics=..., bench BENCH_*.json records;
+                     serve runs — label "pss_serve" or any serve.* counter —
+                     additionally get the serving-daemon accounting checks)
   pss.manifest.v1   (pss_run manifest=...)
   pss.profile.v1    (pss_run profile=..., bench BENCH_*.profile.json —
                      hardware-counter kernel tables)
@@ -83,6 +85,52 @@ def validate_metrics(doc: dict, path: str) -> None:
            f"schema is {doc.get('schema')!r}, expected 'pss.metrics.v1'")
     expect("metrics" in doc, path, "missing 'metrics'")
     validate_metrics_object(doc["metrics"], path, "metrics")
+    counters = doc["metrics"].get("counters", {})
+    if doc.get("label") == "pss_serve" or \
+            any(name.startswith("serve.") for name in counters):
+        validate_serve_metrics(doc["metrics"], path)
+
+
+# Counter families the serving daemon always registers (src/pss/serve/):
+# a serve sidecar missing one of these was written by a partial or torn run.
+_SERVE_COUNTERS = (
+    "serve.admitted", "serve.completed", "serve.shed", "serve.expired",
+    "serve.requeue", "serve.faults", "serve.worker_restarts",
+    "serve.reloads", "serve.batches",
+)
+_SERVE_HISTOGRAMS = ("serve.latency_seconds", "serve.batch_size")
+
+
+def validate_serve_metrics(m: dict, path: str) -> None:
+    """Serving-daemon sidecar (pss_serve metrics= dumps, BENCH_serve.json):
+    every serve.* family must be present, and the request accounting must
+    balance — a request is answered (completed), expired, or still queued,
+    never silently dropped."""
+    counters = m["counters"]
+    for name in _SERVE_COUNTERS:
+        expect(name in counters, path,
+               f"serve sidecar: missing counter '{name}'")
+    hists = m["histograms"]
+    for name in _SERVE_HISTOGRAMS:
+        expect(name in hists, path,
+               f"serve sidecar: missing histogram '{name}'")
+    admitted = counters["serve.admitted"]
+    completed = counters["serve.completed"]
+    expired = counters["serve.expired"]
+    expect(completed + expired <= admitted, path,
+           f"serve sidecar: completed ({completed}) + expired ({expired}) "
+           f"exceeds admitted ({admitted})")
+    # Latency is observed exactly once per completed request, before the
+    # response becomes visible (the serve metrics-ordering invariant).
+    latency_total = hists["serve.latency_seconds"]["total"]
+    expect(latency_total == completed, path,
+           f"serve sidecar: latency histogram total ({latency_total}) != "
+           f"completed ({completed})")
+    # Batches are what workers executed; an executed batch holds >= 1 request.
+    batch_total = hists["serve.batch_size"]["total"]
+    expect(batch_total == counters["serve.batches"], path,
+           f"serve sidecar: batch_size histogram total ({batch_total}) != "
+           f"serve.batches ({counters['serve.batches']})")
 
 
 def validate_manifest(doc: dict, path: str) -> None:
