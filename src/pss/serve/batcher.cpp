@@ -81,7 +81,7 @@ void RequestQueue::requeue(const PendingPtr& request,
                            std::uint64_t not_before_ns) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    ++request->attempts;
+    request->attempts.fetch_add(1, std::memory_order_relaxed);
     if (not_before_ns <= obs::monotonic_ns()) {
       // Requeued work is older than anything waiting — serve it first so a
       // fault cannot starve the request behind fresh arrivals.
@@ -152,16 +152,23 @@ std::vector<PendingPtr> RequestQueue::next_batch(std::size_t max_batch,
 
     // Sleep until whichever comes first: the batching window closing on the
     // oldest ready request, the next delayed entry ripening, or a wake-up
-    // from admit/requeue/shutdown.
-    std::uint64_t wake_ns = now + window_ns;
+    // from admit/requeue/shutdown. With nothing ready and nothing ripening
+    // there is no timed event at all, so block indefinitely on the condvar —
+    // a timed nap keyed off `now + window_ns` would busy-spin an idle worker
+    // at 100% CPU when window_ms == 0 (user-settable).
+    if (ready_.empty() && soonest_delayed == 0) {
+      cv_.wait(lock);
+      continue;
+    }
+    std::uint64_t wake_ns = soonest_delayed;
     if (!ready_.empty()) {
       wake_ns = ready_.front()->admitted_ns + window_ns;
       if (ready_.front()->deadline_ns < wake_ns) {
         wake_ns = ready_.front()->deadline_ns;
       }
-    }
-    if (soonest_delayed != 0 && soonest_delayed < wake_ns) {
-      wake_ns = soonest_delayed;
+      if (soonest_delayed != 0 && soonest_delayed < wake_ns) {
+        wake_ns = soonest_delayed;
+      }
     }
     const std::uint64_t nap = wake_ns > now ? wake_ns - now : 1;
     cv_.wait_for(lock, std::chrono::nanoseconds(nap));

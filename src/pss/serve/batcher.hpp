@@ -62,7 +62,10 @@ struct PendingRequest {
   std::uint64_t seq = 0;          ///< admission sequence == presentation index
   std::uint64_t deadline_ns = 0;  ///< absolute monotonic deadline
   std::uint64_t admitted_ns = 0;  ///< for the end-to-end latency histogram
-  std::uint32_t attempts = 0;     ///< completed requeue round-trips
+  /// Completed requeue round-trips. Atomic: the heartbeat monitor's
+  /// stale-beat requeue can race a hung-but-alive worker's transient-fault
+  /// requeue of the same request, and both read it for the backoff delay.
+  std::atomic<std::uint32_t> attempts{0};
   std::weak_ptr<Outbox> outbox;
 
   /// Delivers the response to the owning connection exactly once; later

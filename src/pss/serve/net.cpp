@@ -15,7 +15,7 @@
 #include <unistd.h>
 #define PSS_HAVE_SOCKETS 1
 #ifndef MSG_NOSIGNAL
-#define MSG_NOSIGNAL 0  // macOS: SIGPIPE suppressed via SO_NOSIGPIPE instead
+#define MSG_NOSIGNAL 0  // macOS: disable_sigpipe() sets SO_NOSIGPIPE per fd
 #endif
 #endif
 
@@ -24,6 +24,19 @@ namespace pss::serve::net {
 #if defined(PSS_HAVE_SOCKETS)
 
 namespace {
+
+/// Platforms without MSG_NOSIGNAL (macOS) deliver SIGPIPE on send() to a
+/// disconnected peer, which would kill the whole daemon — suppress it per
+/// socket instead. Must run on every fd from socket() AND accept() (accepted
+/// sockets do not inherit the option on all BSDs).
+void disable_sigpipe(int fd) {
+#if defined(__APPLE__)
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);  // pss-lint: allow(raw-socket-syscall)
+#else
+  (void)fd;  // MSG_NOSIGNAL on send() covers it
+#endif
+}
 
 /// Remaining budget helper: deadlines are tracked as absolute monotonic
 /// nanoseconds so a sequence of polls never exceeds the caller's total.
@@ -59,6 +72,7 @@ int listen_loopback(std::uint16_t port, int backlog,
                     std::uint16_t& bound_port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);  // pss-lint: allow(raw-socket-syscall)
   PSS_REQUIRE(fd >= 0, "serve/net: socket() failed");
+  disable_sigpipe(fd);
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);  // pss-lint: allow(raw-socket-syscall)
 
@@ -81,12 +95,15 @@ int listen_loopback(std::uint16_t port, int backlog,
 
 int accept_connection(int listen_fd, int timeout_ms) {
   if (!wait_fd(listen_fd, POLLIN, timeout_ms)) return -1;
-  return ::accept(listen_fd, nullptr, nullptr);  // pss-lint: allow(raw-socket-syscall)
+  const int fd = ::accept(listen_fd, nullptr, nullptr);  // pss-lint: allow(raw-socket-syscall)
+  if (fd >= 0) disable_sigpipe(fd);
+  return fd;
 }
 
 int connect_loopback(std::uint16_t port, int timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);  // pss-lint: allow(raw-socket-syscall)
   PSS_REQUIRE(fd >= 0, "serve/net: socket() failed");
+  disable_sigpipe(fd);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);

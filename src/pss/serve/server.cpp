@@ -172,8 +172,8 @@ void ServeServer::worker_loop(std::size_t slot_index) {
         slot.inflight.end());
   };
   const auto requeue_with_backoff = [this](const PendingPtr& request) {
-    const double delay_ms =
-        options_.backoff.delay_ms(request->seq, request->attempts);
+    const double delay_ms = options_.backoff.delay_ms(
+        request->seq, request->attempts.load(std::memory_order_relaxed));
     // Counter first: once the request is back in the queue another worker
     // can answer it, and the client must never observe a response whose
     // requeue has not been counted yet.
@@ -226,7 +226,11 @@ void ServeServer::worker_loop(std::size_t slot_index) {
           Response response = execute(*replica, *bundle, *request);
           const bool trained = request->request.verb == Verb::kTrain &&
                                response.status == Status::kOk;
-          request->complete(std::move(response), [&request] {
+          // `won` gates absorb_training below: after a stale-heartbeat
+          // requeue a straggler duplicate can reach here with the request
+          // already answered — absorbing its STDP update again would apply
+          // the same example twice and break bit-for-bit replay.
+          const bool won = request->complete(std::move(response), [&request] {
             serve_metrics().completed.add(1);
             serve_metrics().latency.observe(
                 static_cast<double>(obs::monotonic_ns() -
@@ -234,7 +238,7 @@ void ServeServer::worker_loop(std::size_t slot_index) {
                 1e9);
           });
           erase_one(request);
-          if (trained) {
+          if (trained && won) {
             // Publish the updated weights; other workers resync between
             // batches. Concurrent trains are last-write-wins (documented).
             absorb_training(*replica);
@@ -268,8 +272,8 @@ void ServeServer::drain_and_requeue(WorkerSlot& slot) {
   const std::uint64_t now = obs::monotonic_ns();
   for (const PendingPtr& request : orphans) {
     if (request->completed()) continue;
-    const double delay_ms =
-        options_.backoff.delay_ms(request->seq, request->attempts);
+    const double delay_ms = options_.backoff.delay_ms(
+        request->seq, request->attempts.load(std::memory_order_relaxed));
     serve_metrics().requeue.add(1);  // before the queue can hand it out
     queue_->requeue(request,
                     now + static_cast<std::uint64_t>(delay_ms * 1e6));

@@ -304,7 +304,7 @@ TEST_F(ServeTest, RequeueJumpsTheLineAndCompletionIsOnceOnly) {
   const auto batch = queue.next_batch(1, 0);
   ASSERT_EQ(batch.size(), 1u);
   EXPECT_EQ(batch[0].get(), second.get());
-  EXPECT_EQ(second->attempts, 1u);
+  EXPECT_EQ(second->attempts.load(), 1u);
 
   // Once-only completion: the duplicate answer is dropped.
   auto outbox = std::make_shared<serve::Outbox>();
