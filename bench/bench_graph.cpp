@@ -1,0 +1,180 @@
+// Layer-graph bench: stacked conv→pool→WTA vs the single-layer baseline on
+// the digits workload, plus the temporal-gesture stream through an oriented
+// Gabor front-end — accuracy and wall-clock for both, published as
+// out/BENCH_graph.json (gated against bench/baselines/graph.json by
+// tools/bench_compare.py).
+//
+//   scale=quick|standard   workload size (default quick, ~30 s)
+//   seed=<n>               dataset + network seed (default 3)
+//
+// The stacked digits number is NOT expected to beat the single layer at
+// quick scale — a fixed DoG front-end on a tiny budget mostly costs
+// resolution — but it must stay clearly above chance and its cost must stay
+// bounded; the gesture row is the one the front-end exists for (direction
+// classes are invisible to any single frame, so the single-layer baseline
+// sits at chance there; see EXPERIMENTS.md).
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pss/data/temporal_gestures.hpp"
+#include "pss/graph/graph_trainer.hpp"
+#include "pss/graph/layer_spec.hpp"
+#include "pss/graph/network_graph.hpp"
+
+namespace pss::bench {
+namespace {
+
+struct GraphScale {
+  std::size_t train = 120;
+  std::size_t label = 60;
+  std::size_t eval = 60;
+  std::size_t gesture_train = 120;
+  std::size_t gesture_label = 48;
+  std::size_t gesture_eval = 48;
+};
+
+GraphScale graph_scale(const Config& args) {
+  const std::string name = args.get_string("scale", "quick");
+  GraphScale s;
+  if (name == "standard") {
+    s.train = 400;
+    s.label = 150;
+    s.eval = 150;
+    s.gesture_train = 400;
+    s.gesture_label = 160;
+    s.gesture_eval = 160;
+  } else if (name != "quick") {
+    throw Error("unknown scale '" + name + "' (quick|standard)");
+  }
+  return s;
+}
+
+WtaConfig graph_base(std::uint64_t seed) {
+  WtaConfig base =
+      WtaConfig::from_table1(LearningOption::kFloat32, StdpKind::kStochastic,
+                             100);
+  base.seed = seed;
+  return base;
+}
+
+/// Trains/labels/evaluates `config` on the digit set; returns
+/// (accuracy, train seconds, eval seconds).
+std::tuple<double, double, double> run_digits(const graph::GraphConfig& config,
+                                              const LabeledDataset& data,
+                                              const GraphScale& s) {
+  graph::NetworkGraph net(config);
+  graph::GraphTrainerConfig tc;
+  tc.t_learn_ms = 150.0;
+  tc.t_readout_ms = 150.0;
+  graph::GraphTrainer trainer(net, tc);
+
+  const std::uint64_t train_t0 = obs::monotonic_ns();
+  trainer.train(data.train.head(s.train));
+  const double train_s =
+      static_cast<double>(obs::monotonic_ns() - train_t0) * 1e-9;
+
+  const auto [label_set, eval_set] = data.labelling_split(s.label);
+  trainer.label(label_set);
+  const std::uint64_t eval_t0 = obs::monotonic_ns();
+  const graph::GraphEvaluation eval = trainer.evaluate(eval_set.head(s.eval));
+  const double eval_s =
+      static_cast<double>(obs::monotonic_ns() - eval_t0) * 1e-9;
+  return {eval.accuracy(), train_s, eval_s};
+}
+
+void body(const Config& args) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 3));
+  const GraphScale s = graph_scale(args);
+
+  print_header("layer-graph stacks (DESIGN.md §6)",
+               "deep SNN front-ends (conv/pool + stacked STDP blocks) extend "
+               "the single-layer WTA trainer to spatial and temporal "
+               "workloads");
+
+  SyntheticConfig synth;
+  synth.train_count = s.train;
+  synth.test_count = s.label + s.eval;
+  synth.seed = 7;
+  const LabeledDataset digits = make_synthetic_digits(synth);
+
+  // Single-layer baseline: the one-layer graph instance of the same base.
+  const auto [single_acc, single_train_s, single_eval_s] =
+      run_digits(graph::single_wta_graph(graph_base(seed)), digits, s);
+
+  // Stacked: DoG conv → 2×2 pool → WTA over the pooled spike planes.
+  graph::GraphConfig stacked = graph::graph_config_from_spec(
+      "conv:filters=6,kernel=7,stride=2;pool:window=2;wta:neurons=100",
+      graph_base(seed));
+  const auto [stacked_acc, stacked_train_s, stacked_eval_s] =
+      run_digits(stacked, digits, s);
+
+  // Temporal gestures: direction classification needs oriented filters over
+  // ON/OFF temporal-difference planes — the workload the front-end exists
+  // for. (A single-layer static-rate model is at chance here: every frame
+  // is "a bar somewhere"; only the change pattern carries the class.)
+  GestureConfig gc;
+  gc.train_count = s.gesture_train;
+  gc.test_count = s.gesture_label + s.gesture_eval;
+  const GestureDataset gestures = make_temporal_gestures(gc);
+
+  graph::GraphConfig gesture_cfg = graph::graph_config_from_spec(
+      "encode:temporal=diff;"
+      "conv:filters=6,kernel=7,stride=3,bank=gabor;wta:neurons=100",
+      graph_base(seed));
+  graph::NetworkGraph gesture_net(gesture_cfg);
+  graph::GraphTrainerConfig gtc;
+  gtc.frame_ms = 20.0;
+  graph::GraphTrainer gesture_trainer(gesture_net, gtc);
+  const std::uint64_t gesture_t0 = obs::monotonic_ns();
+  gesture_trainer.train(gestures.train);
+  const double gesture_train_s =
+      static_cast<double>(obs::monotonic_ns() - gesture_t0) * 1e-9;
+  const std::vector<GestureSequence> label_set(
+      gestures.test.begin(),
+      gestures.test.begin() + static_cast<std::ptrdiff_t>(s.gesture_label));
+  const std::vector<GestureSequence> eval_set(
+      gestures.test.begin() + static_cast<std::ptrdiff_t>(s.gesture_label),
+      gestures.test.end());
+  gesture_trainer.label(label_set);
+  const graph::GraphEvaluation gesture_eval =
+      gesture_trainer.evaluate(eval_set);
+
+  TablePrinter table({"config", "workload", "accuracy", "chance",
+                      "train s", "eval ms/img"});
+  const auto eval_ms = [](double seconds, std::size_t n) {
+    return n == 0 ? 0.0 : seconds * 1000.0 / static_cast<double>(n);
+  };
+  table.add_row({"wta(100)", "digits", format_fixed(single_acc, 3), "0.100",
+             format_fixed(single_train_s, 1),
+             format_fixed(eval_ms(single_eval_s, s.eval), 1)});
+  table.add_row({"conv6-pool2-wta100", "digits", format_fixed(stacked_acc, 3),
+             "0.100", format_fixed(stacked_train_s, 1),
+             format_fixed(eval_ms(stacked_eval_s, s.eval), 1)});
+  table.add_row({"diff-gabor6-wta100", "gestures",
+             format_fixed(gesture_eval.accuracy(), 3), "0.125",
+             format_fixed(gesture_train_s, 1), "-"});
+  table.print();
+
+  record("graph.digits.single.accuracy", single_acc);
+  record("graph.digits.single.train_seconds", single_train_s);
+  record("graph.digits.stacked.accuracy", stacked_acc);
+  record("graph.digits.stacked.train_seconds", stacked_train_s);
+  record("graph.digits.stacked.eval_ms_per_image",
+         eval_ms(stacked_eval_s, s.eval));
+  record("graph.gestures.accuracy", gesture_eval.accuracy());
+  record("graph.gestures.train_seconds", gesture_train_s);
+
+  const std::string path = write_bench_record("graph");
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace pss::bench
+
+int main(int argc, char** argv) {
+  return pss::bench::bench_main(argc, argv, "graph", pss::bench::body);
+}

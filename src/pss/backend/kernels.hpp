@@ -223,6 +223,56 @@ struct StdpFlushArgs {
   std::atomic<std::uint64_t>* applied = nullptr;
 };
 
+/// Conv-accumulate (layer-graph front-end): gather one step's active input
+/// spikes through a fixed filter bank into per-conv-unit synaptic currents.
+/// One logical thread per output unit (filter f, output row oy, column ox);
+/// unit u covers the input window [oy·stride, oy·stride+kernel) ×
+/// [ox·stride, ox·stride+kernel) in every input channel plane:
+///
+///   I[u] = I[u]·decay + amplitude · Σ_{p ∈ active ∩ window(u)} W_f[tap(p)]
+///
+/// (decay_factor == 0 clears first). `active_pre` is ascending and each
+/// unit's taps accumulate in that order on EVERY backend — a fixed
+/// association, so cpu / cpu_simd / cpu_sparse results are bitwise equal
+/// (asserted by tests/test_backend.cpp), and worker-count invariant (thread
+/// u writes only currents[u]).
+struct ConvAccumulateArgs {
+  std::span<const double> filters;  ///< [f][c][ky][kx], f-major
+  std::size_t filter_count = 0;
+  std::size_t in_channels = 1;
+  std::size_t kernel = 0;  ///< square kernel side
+  std::size_t stride = 1;
+  std::size_t in_width = 0;
+  std::size_t in_height = 0;
+  std::size_t out_width = 0;
+  std::size_t out_height = 0;
+  /// Active input units this step, flattened (c·in_height + y)·in_width + x,
+  /// ascending — a per-step slice of the inter-layer spike event stream.
+  std::span<const ChannelIndex> active_pre;
+  double amplitude = 0.0;
+  double decay_factor = 0.0;  ///< current decay applied before accumulation
+  std::span<double> currents;  ///< conv unit currents, (f, oy, ox)
+};
+
+/// Spatial spike pooling (layer-graph front-end): OR-reduce each
+/// non-overlapping `window`×`window` block of a spike-flag plane, per
+/// channel. One logical thread per pooled unit; edge blocks clip. When
+/// `pooled_counts` is non-empty it accumulates fired pooled units
+/// (+1 per step a unit's window contained a spike) — the per-presentation
+/// activity the next layer's rate recoding reads. Pure integer/flag work:
+/// bitwise-identical on every backend and worker count.
+struct PoolForwardArgs {
+  std::span<const std::uint8_t> spiked;  ///< input flags, (c, y, x)
+  std::size_t channels = 0;
+  std::size_t in_width = 0;
+  std::size_t in_height = 0;
+  std::size_t window = 2;  ///< pooling window side == stride
+  std::size_t out_width = 0;
+  std::size_t out_height = 0;
+  std::span<std::uint8_t> pooled;          ///< out flags, (c, py, px)
+  std::span<std::uint32_t> pooled_counts;  ///< optional accumulator, same size
+};
+
 /// Shared scalar chain applier behind the lazy-STDP path: everything
 /// stdp_apply_chain needs hoisted out of the per-synapse loop. Build once
 /// per batch with make_stdp_chain_context.
@@ -285,6 +335,13 @@ struct KernelTable {
                                 const IzhikevichFusedStepArgs&) = nullptr;
   void (*inhibit_scan)(Engine&, const InhibitScanArgs&) = nullptr;
   void (*stdp_row)(Engine&, const StdpRowArgs&) = nullptr;
+
+  // Layer-graph front-end kernels (conv filter-bank accumulate + spatial
+  // spike pooling). Registered on every backend; cpu_simd overrides
+  // conv_accumulate with a spatially-hoisted variant (same association —
+  // bitwise-equal results).
+  void (*conv_accumulate)(Engine&, const ConvAccumulateArgs&) = nullptr;
+  void (*pool_forward)(Engine&, const PoolForwardArgs&) = nullptr;
 
   // Event-driven sparse path (kernels_sparse.cpp). Null on backends without
   // a sparse path — WtaNetwork selects the event-driven presentation loop by

@@ -5,6 +5,7 @@
 // cpu backend reproduces the original code bit for bit at any worker count
 // (tests/test_backend.cpp asserts this; the network/worker-invariance suites
 // pass unmodified on top of it).
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -244,6 +245,69 @@ void stdp_row_cpu(Engine& engine, const StdpRowArgs& a) {
   });
 }
 
+void conv_accumulate_cpu(Engine& engine, const ConvAccumulateArgs& a) {
+  const auto currents = a.currents;
+  const auto active = a.active_pre;
+  const auto filters = a.filters;
+  const std::size_t kernel = a.kernel;
+  const std::size_t stride = a.stride;
+  const std::size_t in_w = a.in_width;
+  const std::size_t in_plane = a.in_width * a.in_height;
+  const std::size_t out_plane = a.out_width * a.out_height;
+  const std::size_t taps = a.in_channels * kernel * kernel;
+  const double amplitude = a.amplitude;
+  const double decay = a.decay_factor;
+
+  // Reference gather: one logical thread per conv unit, scanning the step's
+  // active list in ascending order and accumulating the taps that fall in
+  // the unit's window. The fixed per-unit association (active order) is the
+  // cross-backend bitwise contract.
+  engine.launch("graph.conv", a.filter_count * out_plane, [&](std::size_t u) {
+    const std::size_t f = u / out_plane;
+    const std::size_t rem = u % out_plane;
+    const std::size_t y0 = (rem / a.out_width) * stride;
+    const std::size_t x0 = (rem % a.out_width) * stride;
+    const double* w = filters.data() + f * taps;
+    double acc = 0.0;
+    for (const ChannelIndex p : active) {
+      const std::size_t c = p / in_plane;
+      const std::size_t q = p % in_plane;
+      const std::size_t y = q / in_w;
+      const std::size_t x = q % in_w;
+      if (y < y0 || y >= y0 + kernel || x < x0 || x >= x0 + kernel) continue;
+      acc += w[(c * kernel + (y - y0)) * kernel + (x - x0)];
+    }
+    currents[u] = currents[u] * decay + amplitude * acc;
+  });
+}
+
+void pool_forward_cpu(Engine& engine, const PoolForwardArgs& a) {
+  const auto spiked = a.spiked;
+  const auto pooled = a.pooled;
+  const auto counts = a.pooled_counts;
+  const std::size_t window = a.window;
+  const std::size_t in_w = a.in_width;
+  const std::size_t in_h = a.in_height;
+  const std::size_t in_plane = in_w * in_h;
+  const std::size_t out_plane = a.out_width * a.out_height;
+
+  engine.launch("graph.pool", a.channels * out_plane, [&](std::size_t u) {
+    const std::size_t c = u / out_plane;
+    const std::size_t rem = u % out_plane;
+    const std::size_t y0 = (rem / a.out_width) * window;
+    const std::size_t x0 = (rem % a.out_width) * window;
+    const std::size_t y1 = std::min(y0 + window, in_h);
+    const std::size_t x1 = std::min(x0 + window, in_w);
+    std::uint8_t any = 0;
+    for (std::size_t y = y0; y < y1; ++y) {
+      const std::uint8_t* row = spiked.data() + c * in_plane + y * in_w;
+      for (std::size_t x = x0; x < x1; ++x) any |= row[x];
+    }
+    pooled[u] = any ? 1 : 0;
+    if (!counts.empty() && any) ++counts[u];
+  });
+}
+
 }  // namespace
 
 const KernelTable& cpu_kernel_table() {
@@ -257,6 +321,8 @@ const KernelTable& cpu_kernel_table() {
       /*izhikevich_step_fused=*/izhikevich_step_fused_cpu,
       /*inhibit_scan=*/inhibit_scan_cpu,
       /*stdp_row=*/stdp_row_cpu,
+      /*conv_accumulate=*/conv_accumulate_cpu,
+      /*pool_forward=*/pool_forward_cpu,
   };
   return table;
 }

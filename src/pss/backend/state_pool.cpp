@@ -21,6 +21,61 @@ StatePool::StatePool(Backend* backend, Geometry geometry)
   PSS_REQUIRE(geometry.neurons > 0, "state pool needs at least one neuron");
 }
 
+PopulationHandle StatePool::add_population(Geometry geometry) {
+  PSS_REQUIRE(geometry.neurons > 0, "population needs at least one neuron");
+  ExtraPopulation p;
+  p.geometry = geometry;
+  p.membrane = PoolBuffer<double>(backend_, geometry.neurons, 0.0);
+  p.recovery = PoolBuffer<double>(backend_, geometry.neurons, 0.0);
+  p.last_spike = PoolBuffer<TimeMs>(backend_, geometry.neurons, kNeverSpiked);
+  p.inhibited_until = PoolBuffer<TimeMs>(backend_, geometry.neurons, -1.0);
+  p.spiked = PoolBuffer<std::uint8_t>(backend_, geometry.neurons, 0);
+  p.currents = PoolBuffer<double>(backend_, geometry.neurons, 0.0);
+  p.spike_counts = PoolBuffer<std::uint32_t>(backend_, geometry.neurons, 0);
+  extra_.push_back(std::move(p));
+  return extra_.size();  // handle 0 is the primary population
+}
+
+StatePool::ExtraPopulation& StatePool::extra(PopulationHandle h) {
+  PSS_REQUIRE(h >= 1 && h <= extra_.size(), "population handle out of range");
+  return extra_[h - 1];
+}
+
+StatePool::Geometry StatePool::population_geometry(PopulationHandle h) const {
+  if (h == 0) return geometry_;
+  PSS_REQUIRE(h <= extra_.size(), "population handle out of range");
+  return extra_[h - 1].geometry;
+}
+
+std::span<double> StatePool::membrane(PopulationHandle h) {
+  return h == 0 ? membrane_.span() : extra(h).membrane.span();
+}
+
+std::span<double> StatePool::recovery(PopulationHandle h) {
+  return h == 0 ? recovery_.span() : extra(h).recovery.span();
+}
+
+std::span<TimeMs> StatePool::last_spike(PopulationHandle h) {
+  return h == 0 ? last_spike_.span() : extra(h).last_spike.span();
+}
+
+std::span<TimeMs> StatePool::inhibited_until(PopulationHandle h) {
+  return h == 0 ? inhibited_until_.span() : extra(h).inhibited_until.span();
+}
+
+std::span<std::uint8_t> StatePool::spiked(PopulationHandle h) {
+  return h == 0 ? spiked_.span() : extra(h).spiked.span();
+}
+
+std::span<double> StatePool::currents(PopulationHandle h) {
+  return h == 0 ? currents_.span() : extra(h).currents.span();
+}
+
+std::span<std::uint32_t> StatePool::spike_counts(PopulationHandle h) {
+  PSS_REQUIRE(h >= 1, "the primary population has no spike-count section");
+  return extra(h).spike_counts.span();
+}
+
 void StatePool::set_g_bounds(double g_min, double g_max) {
   PSS_REQUIRE(g_max > g_min, "conductance range must be non-empty");
   g_min_ = g_min;

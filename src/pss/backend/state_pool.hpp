@@ -11,7 +11,12 @@
 //   per synapse  conductance G (post-major: row(post) is contiguous)
 //
 // One pool is shared by a WtaNetwork and all its components; standalone
-// components (tests, benches) create their own. The pool also owns the ONE
+// components (tests, benches) create their own. A layer graph shares one
+// pool across its front-end layers: the primary population (handle 0) hosts
+// the encoder sections and every conv/pool layer adds a population segment
+// via add_population() — per-layer neuron/current/spike sections behind
+// stable handles, all allocated through the same backend seam.
+// The pool also owns the ONE
 // bounds-checked conductance-row accessor (g_row) and the single clamp /
 // bulk-load path — the STDP updaters, checkpoint restore and trainer merge
 // all route through it instead of keeping private copies of the bounds
@@ -20,6 +25,7 @@
 
 #include <cstring>
 #include <span>
+#include <vector>
 
 #include "pss/backend/backend.hpp"
 #include "pss/common/rng.hpp"
@@ -78,6 +84,12 @@ class PoolBuffer {
   std::size_t size_ = 0;
 };
 
+/// Stable identifier of one population segment inside a StatePool. Handle 0
+/// is the primary population (the one the no-handle accessors address, and
+/// the only one carrying conductance/sparse sections); handles from
+/// add_population() stay valid for the pool's lifetime.
+using PopulationHandle = std::size_t;
+
 class StatePool {
  public:
   struct Geometry {
@@ -94,6 +106,29 @@ class StatePool {
   Engine& engine() const { return backend_->engine(); }
   std::size_t neurons() const { return geometry_.neurons; }
   std::size_t channels() const { return geometry_.channels; }
+
+  // --- multi-population segments (layer graphs) ---------------------------
+  /// Appends a population segment (own membrane/current/spike sections plus a
+  /// per-unit spike-count accumulator) and returns its stable handle. The
+  /// primary population (handle 0, created by the constructor) is untouched —
+  /// single-population consumers keep their exact seed behaviour. Extra
+  /// populations carry no conductance/encoder sections; synapses between
+  /// graph layers live with the layer that owns them.
+  PopulationHandle add_population(Geometry geometry);
+  std::size_t population_count() const { return 1 + extra_.size(); }
+  Geometry population_geometry(PopulationHandle h) const;
+
+  /// Handle-taking section accessors. Handle 0 aliases the primary sections.
+  std::span<double> membrane(PopulationHandle h);
+  std::span<double> recovery(PopulationHandle h);
+  std::span<TimeMs> last_spike(PopulationHandle h);
+  std::span<TimeMs> inhibited_until(PopulationHandle h);
+  std::span<std::uint8_t> spiked(PopulationHandle h);
+  std::span<double> currents(PopulationHandle h);
+
+  /// Per-unit spike-count accumulator (extra populations only — the primary
+  /// population's counts are presentation-local host state in WtaNetwork).
+  std::span<std::uint32_t> spike_counts(PopulationHandle h);
 
   // --- per-neuron sections -------------------------------------------------
   std::span<double> membrane() { return membrane_.span(); }
@@ -179,6 +214,20 @@ class StatePool {
   std::span<std::uint32_t> stdp_progress_row(NeuronIndex post);
 
  private:
+  /// One extra population's SoA sections (see add_population).
+  struct ExtraPopulation {
+    Geometry geometry;
+    PoolBuffer<double> membrane;
+    PoolBuffer<double> recovery;
+    PoolBuffer<TimeMs> last_spike;
+    PoolBuffer<TimeMs> inhibited_until;
+    PoolBuffer<std::uint8_t> spiked;
+    PoolBuffer<double> currents;
+    PoolBuffer<std::uint32_t> spike_counts;
+  };
+
+  ExtraPopulation& extra(PopulationHandle h);
+
   Backend* backend_;
   Geometry geometry_;
 
@@ -200,6 +249,8 @@ class StatePool {
   PoolBuffer<std::uint32_t> csr_row_ptr_;
   PoolBuffer<NeuronIndex> csr_cols_;
   PoolBuffer<std::uint32_t> stdp_progress_;
+
+  std::vector<ExtraPopulation> extra_;
 };
 
 }  // namespace pss

@@ -1,0 +1,46 @@
+// "Did you mean" suggestions for identifier-like strings (config keys,
+// backend names, layer-spec keys). Extracted from tools/run_options so the
+// library-side spec parsers (graph layer grammar) share the one tolerance
+// policy instead of growing private copies.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pss {
+
+/// Classic Levenshtein distance, used only on short identifier-like strings
+/// (keys, backend names) to power "did you mean" suggestions.
+inline std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+/// " — did you mean 'x'?" when some candidate is close enough, else "".
+inline std::string suggestion_for(const std::string& got,
+                                  const std::vector<std::string>& candidates) {
+  std::size_t best = got.size() >= 5 ? 3 : 2;  // tolerance scales with length
+  const std::string* pick = nullptr;
+  for (const std::string& c : candidates) {
+    const std::size_t d = edit_distance(got, c);
+    if (d < best) {
+      best = d;
+      pick = &c;
+    }
+  }
+  return pick ? " — did you mean '" + *pick + "'?" : "";
+}
+
+}  // namespace pss

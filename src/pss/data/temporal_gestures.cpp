@@ -1,0 +1,84 @@
+#include "pss/data/temporal_gestures.hpp"
+
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+void gesture_direction(Label label, double* dx, double* dy) {
+  const double angle =
+      2.0 * kPi * static_cast<double>(label % kGestureClasses) /
+      static_cast<double>(kGestureClasses);
+  *dx = std::cos(angle);
+  *dy = std::sin(angle);
+}
+
+GestureSequence render_gesture(Label label, const GestureConfig& config,
+                               SequentialRng& rng) {
+  PSS_REQUIRE(config.frames >= 2, "a gesture needs at least two frames");
+  GestureSequence seq;
+  seq.label = static_cast<Label>(label % kGestureClasses);
+  seq.frames.reserve(config.frames);
+
+  double dx = 0.0;
+  double dy = 0.0;
+  gesture_direction(seq.label, &dx, &dy);
+
+  // The bar starts behind the canvas centre along the motion axis and sweeps
+  // through it; the perpendicular axis carries the bar's extent.
+  const double px = -dy;  // bar axis (perpendicular to motion)
+  const double py = dx;
+  const double speed = rng.uniform(0.55, 0.8);  // total sweep, canvas units
+  const double phase = rng.uniform(-0.08, 0.08);
+  const double half_len = rng.uniform(0.22, 0.34);
+  const double radius = rng.uniform(0.035, 0.055);
+  const double strength = rng.uniform(0.8, 1.0);
+  const double cx = 0.5 + rng.uniform(-0.06, 0.06);
+  const double cy = 0.5 + rng.uniform(-0.06, 0.06);
+
+  Canvas canvas(config.side);
+  for (std::size_t f = 0; f < config.frames; ++f) {
+    // Sweep progress in [-1/2, 1/2] around the centre.
+    const double u =
+        (static_cast<double>(f) / static_cast<double>(config.frames - 1) -
+         0.5) *
+            speed +
+        phase;
+    const double bx = cx + u * dx;
+    const double by = cy + u * dy;
+    canvas.clear();
+    canvas.line(bx - half_len * px, by - half_len * py, bx + half_len * px,
+                by + half_len * py, radius, strength);
+    seq.frames.push_back(canvas.render(255.0, 0.6, config.noise, &rng));
+  }
+  return seq;
+}
+
+GestureDataset make_temporal_gestures(const GestureConfig& config) {
+  GestureDataset set;
+  set.name = "temporal_gestures";
+
+  SequentialRng train_rng(config.seed, /*stream=*/0x6765 /* "ge" */);
+  set.train.reserve(config.train_count);
+  for (std::size_t i = 0; i < config.train_count; ++i) {
+    set.train.push_back(render_gesture(
+        static_cast<Label>(i % kGestureClasses), config, train_rng));
+  }
+
+  SequentialRng test_rng(config.seed, /*stream=*/0x7374 /* "st" */);
+  set.test.reserve(config.test_count);
+  for (std::size_t i = 0; i < config.test_count; ++i) {
+    set.test.push_back(render_gesture(
+        static_cast<Label>(i % kGestureClasses), config, test_rng));
+  }
+  return set;
+}
+
+}  // namespace pss

@@ -1,0 +1,61 @@
+// Procedural temporal-gesture streams: the graph's frame-by-frame workload
+// (DESIGN.md substitution table — a DVS-gesture stand-in the repo can
+// generate deterministically).
+//
+// Each sample is a short frame sequence of a bright bar sweeping across the
+// canvas in one of eight compass directions; the class IS the motion
+// direction, so no single frame is sufficient — static frames from different
+// classes are near-identical (a bar somewhere on the canvas) and only the
+// frame-to-frame change pattern separates them. Consumed through
+// NetworkGraph::present_sequence with temporal-diff ON/OFF encoding, where
+// the OFF plane trails the ON plane along the motion vector — a
+// direction-selective spatial pattern the conv/WTA stack can learn.
+//
+// Per-sample jitter: sweep phase, speed, bar length/thickness, intensity and
+// pixel noise. Train/test draw from independent RNG streams.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/data/image.hpp"
+
+namespace pss {
+
+/// One labelled frame sequence.
+struct GestureSequence {
+  Label label = 0;  ///< motion direction, 0..kGestureClasses-1
+  std::vector<Image> frames;
+};
+
+inline constexpr std::size_t kGestureClasses = 8;
+
+/// Direction unit vector of class `label` (compass order: E, NE, N, ... SE).
+/// Exposed for tests and docs.
+void gesture_direction(Label label, double* dx, double* dy);
+
+struct GestureConfig {
+  std::size_t train_count = 400;
+  std::size_t test_count = 160;
+  std::size_t frames = 12;      ///< frames per sequence
+  std::uint16_t side = kImageSide;
+  std::uint64_t seed = 11;
+  double noise = 0.01;  ///< per-pixel render noise (fraction of full scale)
+};
+
+/// One jittered sweep of direction `label`.
+GestureSequence render_gesture(Label label, const GestureConfig& config,
+                               SequentialRng& rng);
+
+/// A labelled train/test gesture set with uniformly distributed directions.
+struct GestureDataset {
+  std::string name;
+  std::vector<GestureSequence> train;
+  std::vector<GestureSequence> test;
+};
+
+GestureDataset make_temporal_gestures(const GestureConfig& config = {});
+
+}  // namespace pss

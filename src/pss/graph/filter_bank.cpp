@@ -1,0 +1,121 @@
+#include "pss/graph/filter_bank.hpp"
+
+#include <cmath>
+
+#include "pss/common/error.hpp"
+
+namespace pss::graph {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Zero-mean then L2-normalize one spatial kernel in place.
+void normalize(std::vector<double>& w) {
+  double mean = 0.0;
+  for (double v : w) mean += v;
+  mean /= static_cast<double>(w.size());
+  double norm = 0.0;
+  for (double& v : w) {
+    v -= mean;
+    norm += v * v;
+  }
+  norm = std::sqrt(norm);
+  if (norm > 1e-12) {
+    for (double& v : w) v /= norm;
+  }
+}
+
+/// One DoG kernel: polarity · (G(σ_c) − G(σ_s)) with σ_s = 2σ_c.
+std::vector<double> dog_kernel(std::size_t side, double sigma_c,
+                               double polarity) {
+  std::vector<double> w(side * side);
+  const double c = (static_cast<double>(side) - 1.0) / 2.0;
+  const double sigma_s = 2.0 * sigma_c;
+  for (std::size_t y = 0; y < side; ++y) {
+    for (std::size_t x = 0; x < side; ++x) {
+      const double dx = static_cast<double>(x) - c;
+      const double dy = static_cast<double>(y) - c;
+      const double r2 = dx * dx + dy * dy;
+      const double center = std::exp(-r2 / (2.0 * sigma_c * sigma_c)) /
+                            (2.0 * kPi * sigma_c * sigma_c);
+      const double surround = std::exp(-r2 / (2.0 * sigma_s * sigma_s)) /
+                              (2.0 * kPi * sigma_s * sigma_s);
+      w[y * side + x] = polarity * (center - surround);
+    }
+  }
+  normalize(w);
+  return w;
+}
+
+/// One Gabor kernel at orientation θ: Gaussian envelope × cosine grating.
+std::vector<double> gabor_kernel(std::size_t side, double theta, double phase) {
+  std::vector<double> w(side * side);
+  const double c = (static_cast<double>(side) - 1.0) / 2.0;
+  const double sigma = 0.35 * (static_cast<double>(side) / 2.0 + 0.5);
+  const double lambda = static_cast<double>(side) / 1.8;
+  const double gamma = 0.6;  // envelope aspect ratio
+  for (std::size_t y = 0; y < side; ++y) {
+    for (std::size_t x = 0; x < side; ++x) {
+      const double dx = static_cast<double>(x) - c;
+      const double dy = static_cast<double>(y) - c;
+      const double xr = dx * std::cos(theta) + dy * std::sin(theta);
+      const double yr = -dx * std::sin(theta) + dy * std::cos(theta);
+      const double env =
+          std::exp(-(xr * xr + gamma * gamma * yr * yr) / (2.0 * sigma * sigma));
+      w[y * side + x] = env * std::cos(2.0 * kPi * xr / lambda + phase);
+    }
+  }
+  normalize(w);
+  return w;
+}
+
+}  // namespace
+
+std::vector<double> make_filter_bank(FilterBank bank, std::size_t filters,
+                                     std::size_t kernel,
+                                     std::size_t in_channels) {
+  PSS_REQUIRE(filters > 0 && kernel > 0 && in_channels > 0,
+              "filter bank needs filters/kernel/channels > 0");
+  const std::size_t plane = kernel * kernel;
+  std::vector<double> out(filters * in_channels * plane, 0.0);
+
+  for (std::size_t f = 0; f < filters; ++f) {
+    std::vector<double> w;
+    if (bank == FilterBank::kDog) {
+      // Alternate ON/OFF polarity across geometrically spaced scales:
+      // f = 0: ON σ₀, f = 1: OFF σ₀, f = 2: ON σ₁, ...
+      const double polarity = (f % 2 == 0) ? 1.0 : -1.0;
+      const double sigma =
+          0.5 * std::pow(1.6, static_cast<double>(f / 2));
+      w = dog_kernel(kernel, sigma, polarity);
+    } else {
+      // Evenly spaced orientations; a second sweep (if filters > 8) adds the
+      // quadrature (90°-phase) pair of each orientation.
+      const std::size_t orientations = filters > 8 ? (filters + 1) / 2 : filters;
+      const std::size_t o = f % orientations;
+      const double phase = f < orientations ? 0.0 : kPi / 2.0;
+      const double theta =
+          kPi * static_cast<double>(o) / static_cast<double>(orientations);
+      w = gabor_kernel(kernel, theta, phase);
+    }
+
+    double* dst = out.data() + f * in_channels * plane;
+    if (in_channels == 2) {
+      for (std::size_t i = 0; i < plane; ++i) {
+        dst[i] = w[i];           // ON plane
+        dst[plane + i] = -w[i];  // OFF plane (opponent)
+      }
+    } else {
+      const double scale = 1.0 / static_cast<double>(in_channels);
+      for (std::size_t c = 0; c < in_channels; ++c) {
+        for (std::size_t i = 0; i < plane; ++i) {
+          dst[c * plane + i] = w[i] * scale;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pss::graph

@@ -1,0 +1,28 @@
+// Fixed analytic filter banks for the conv front-end: Difference-of-Gaussians
+// (center-surround, ON/OFF polarity pairs across scales — retina-style edge
+// detectors) and Gabor (oriented edge/grating detectors — V1-style), the two
+// families Spyker-era deep-SNN front-ends standardize on. Filters are
+// deterministic closed forms: no RNG, no learning, identical on every
+// backend.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pss/graph/layer_spec.hpp"
+
+namespace pss::graph {
+
+/// Builds `filters` kernels of side `kernel` over `in_channels` input planes,
+/// f-major layout [f][c][ky][kx] (ConvAccumulateArgs::filters). Each spatial
+/// kernel is zero-mean and L2-normalized. Channel handling:
+///  * 1 plane: the spatial kernel verbatim.
+///  * 2 planes (temporal-diff ON/OFF): opponent weighting (+w on ON, -w on
+///    OFF) — the filter responds to the signed change pattern, which is what
+///    distinguishes motion directions.
+///  * C planes (stacked conv): w/C on every plane (channel-summing).
+std::vector<double> make_filter_bank(FilterBank bank, std::size_t filters,
+                                     std::size_t kernel,
+                                     std::size_t in_channels);
+
+}  // namespace pss::graph

@@ -1,0 +1,268 @@
+#include "pss/graph/graph_snapshot.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "pss/common/error.hpp"
+#include "pss/robust/checkpoint.hpp"
+#include "pss/robust/fault_injection.hpp"
+
+namespace pss::graph {
+
+namespace {
+
+constexpr char kMagic2[8] = {'P', 'S', 'S', 'S', 'N', 'A', 'P', '2'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in, const std::string& path) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  PSS_REQUIRE(static_cast<bool>(in), "truncated graph model file: " + path);
+  return value;
+}
+
+template <typename T>
+void write_vector(std::ostream& out, const std::vector<T>& v) {
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& in, std::uint64_t max_size,
+                           std::uint64_t file_size, const char* section,
+                           const std::string& path) {
+  const auto n = read_pod<std::uint64_t>(in, path);
+  const auto pos = static_cast<std::uint64_t>(in.tellg());
+  const std::uint64_t remaining = file_size > pos ? file_size - pos : 0;
+  PSS_REQUIRE(n <= max_size, "graph model section '" + std::string(section) +
+                                 "' declares an implausible element count");
+  PSS_REQUIRE(n <= remaining / sizeof(T),
+              "graph model section '" + std::string(section) + "' declares " +
+                  std::to_string(n) + " elements but only " +
+                  std::to_string(remaining) + " bytes remain in the file");
+  std::vector<T> v(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  PSS_REQUIRE(static_cast<bool>(in), "truncated graph model file: " + path);
+  return v;
+}
+
+void save_stacked(const std::string& path, const GraphModel& model) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    PSS_REQUIRE(out.is_open(), "cannot create graph model file: " + tmp);
+    out.write(kMagic2, sizeof(kMagic2));
+    std::vector<char> arch(model.arch.begin(), model.arch.end());
+    write_vector(out, arch);
+    write_pod(out, static_cast<std::uint32_t>(model.input.channels));
+    write_pod(out, static_cast<std::uint32_t>(model.input.height));
+    write_pod(out, static_cast<std::uint32_t>(model.input.width));
+    write_pod(out, static_cast<std::uint64_t>(model.blocks.size()));
+    for (const NetworkSnapshot& b : model.blocks) {
+      write_pod(out, b.neuron_count);
+      write_pod(out, b.input_channels);
+      write_pod(out, b.g_min);
+      write_pod(out, b.g_max);
+      write_vector(out, b.conductance);
+      write_vector(out, b.theta);
+    }
+    write_vector(out, model.labels);
+    out.flush();
+    PSS_REQUIRE(static_cast<bool>(out), "graph model write failed: " + tmp);
+  }
+  try {
+    robust::fault_point("io.snapshot.write");
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  PSS_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "cannot rename graph model into place: " + path);
+}
+
+GraphModel load_stacked(const std::string& path) {
+  robust::fault_point("io.snapshot.read");
+  std::ifstream in(path, std::ios::binary);
+  PSS_REQUIRE(in.is_open(), "cannot open graph model file: " + path);
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  PSS_REQUIRE(static_cast<bool>(in) &&
+                  std::memcmp(magic, kMagic2, sizeof(kMagic2)) == 0,
+              "not a pss graph model (bad magic): " + path);
+
+  GraphModel model;
+  const std::vector<char> arch =
+      read_vector<char>(in, 1 << 16, file_size, "arch", path);
+  model.arch.assign(arch.begin(), arch.end());
+  PSS_REQUIRE(!model.arch.empty(),
+              "graph model " + path + ": empty arch section");
+  model.input.channels = read_pod<std::uint32_t>(in, path);
+  model.input.height = read_pod<std::uint32_t>(in, path);
+  model.input.width = read_pod<std::uint32_t>(in, path);
+  const auto block_count = read_pod<std::uint64_t>(in, path);
+  PSS_REQUIRE(block_count >= 1 && block_count <= 64,
+              "graph model " + path + ": implausible block count " +
+                  std::to_string(block_count));
+  model.blocks.reserve(static_cast<std::size_t>(block_count));
+  for (std::uint64_t i = 0; i < block_count; ++i) {
+    NetworkSnapshot b;
+    b.neuron_count = read_pod<std::uint32_t>(in, path);
+    b.input_channels = read_pod<std::uint32_t>(in, path);
+    b.g_min = read_pod<double>(in, path);
+    b.g_max = read_pod<double>(in, path);
+    const std::uint64_t synapses =
+        static_cast<std::uint64_t>(b.neuron_count) * b.input_channels;
+    b.conductance =
+        read_vector<double>(in, synapses, file_size, "conductance", path);
+    b.theta = read_vector<double>(in, b.neuron_count, file_size, "theta",
+                                  path);
+    PSS_REQUIRE(b.conductance.size() == synapses &&
+                    b.theta.size() == b.neuron_count,
+                "graph model " + path + ": block state sizes do not match "
+                "the declared geometry");
+    model.blocks.push_back(std::move(b));
+  }
+  const std::size_t final_neurons = model.blocks.back().neuron_count;
+  model.labels = read_vector<std::int32_t>(in, final_neurons, file_size,
+                                           "labels", path);
+  return model;
+}
+
+char sniff_magic_byte(const std::string& path, char out[8]) {
+  std::ifstream in(path, std::ios::binary);
+  PSS_REQUIRE(in.is_open(), "cannot open model file: " + path);
+  in.read(out, 8);
+  PSS_REQUIRE(static_cast<bool>(in),
+              "model file too short for a magic: " + path);
+  return out[7];
+}
+
+}  // namespace
+
+GraphModel GraphModel::capture(const NetworkGraph& graph) {
+  GraphModel model;
+  model.input = graph.config().input;
+  if (!graph.config().single_wta()) {
+    model.arch = canonical_layers_spec(graph.config());
+  }
+  model.blocks.reserve(graph.block_count());
+  for (std::size_t b = 0; b < graph.block_count(); ++b) {
+    const std::vector<int>* labels =
+        (b + 1 == graph.block_count() && !graph.neuron_labels().empty())
+            ? &graph.neuron_labels()
+            : nullptr;
+    model.blocks.push_back(NetworkSnapshot::capture(graph.block(b), labels));
+  }
+  model.labels.assign(model.blocks.back().neuron_labels.begin(),
+                      model.blocks.back().neuron_labels.end());
+  return model;
+}
+
+void GraphModel::restore(NetworkGraph& graph) const {
+  PSS_REQUIRE(graph.block_count() == blocks.size(),
+              "graph model block count does not match the graph");
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    blocks[b].restore(graph.block(b));
+  }
+  if (!labels.empty()) {
+    graph.set_neuron_labels(std::vector<int>(labels.begin(), labels.end()));
+  }
+}
+
+GraphConfig GraphModel::to_config(const WtaConfig& base) const {
+  PSS_REQUIRE(!blocks.empty(), "graph model has no blocks");
+  if (single_layer()) {
+    WtaConfig cfg = base;
+    cfg.neuron_count = blocks.front().neuron_count;
+    cfg.input_channels = blocks.front().input_channels;
+    return single_wta_graph(cfg);
+  }
+  GraphConfig config = graph_config_from_spec(arch, base);
+  config.input = input;
+  const std::vector<LayerShape> shapes = compute_shapes(config);
+  // The stored block states must fit the architecture they claim.
+  std::size_t b = 0;
+  for (std::size_t i = 0; i < config.layers.size(); ++i) {
+    if (config.layers[i].kind != LayerKind::kWta) continue;
+    PSS_REQUIRE(b < blocks.size() &&
+                    blocks[b].neuron_count == shapes[i + 1].units() &&
+                    blocks[b].input_channels == shapes[i].units(),
+                "graph model block geometry does not match its arch");
+    ++b;
+  }
+  PSS_REQUIRE(b == blocks.size(),
+              "graph model block count does not match its arch");
+  return config;
+}
+
+void save_graph_model(const std::string& path, const GraphModel& model) {
+  PSS_REQUIRE(!model.blocks.empty(), "refusing to save an empty graph model");
+  if (model.single_layer()) {
+    PSS_REQUIRE(model.blocks.size() == 1,
+                "a single-layer model cannot carry extra blocks");
+    // Legacy bytes: labels ride inside the v1 snapshot record.
+    NetworkSnapshot snap = model.blocks.front();
+    snap.neuron_labels = model.labels;
+    save_snapshot(path, snap);
+    return;
+  }
+  save_stacked(path, model);
+}
+
+GraphModel load_graph_model(const std::string& path) {
+  char magic[8] = {};
+  sniff_magic_byte(path, magic);
+  if (std::memcmp(magic, "PSSSNAP1", 8) == 0) {
+    GraphModel model;
+    model.blocks.push_back(load_snapshot(path));
+    model.input =
+        LayerShape{1, 1, model.blocks.front().input_channels};
+    model.labels = model.blocks.front().neuron_labels;
+    return model;
+  }
+  if (std::memcmp(magic, "PSSSNAP2", 8) == 0) {
+    return load_stacked(path);
+  }
+  if (std::memcmp(magic, "PSSCKPT1", 8) == 0) {
+    const robust::StackedCheckpoint cp = robust::load_stacked_checkpoint(path);
+    GraphModel model;
+    model.arch = cp.arch;
+    model.input = LayerShape{cp.input_channels, cp.input_height,
+                             cp.input_width};
+    NetworkSnapshot first;
+    first.neuron_count = cp.base.neuron_count;
+    first.input_channels = cp.base.input_channels;
+    first.g_min = cp.base.g_min;
+    first.g_max = cp.base.g_max;
+    first.conductance = cp.base.conductance;
+    first.theta = cp.base.theta;
+    model.blocks.push_back(std::move(first));
+    for (const robust::StackedCheckpoint::BlockState& b : cp.blocks) {
+      NetworkSnapshot snap;
+      snap.neuron_count = b.neuron_count;
+      snap.input_channels = b.input_channels;
+      snap.g_min = b.g_min;
+      snap.g_max = b.g_max;
+      snap.conductance = b.conductance;
+      snap.theta = b.theta;
+      model.blocks.push_back(std::move(snap));
+    }
+    model.labels = cp.labels;
+    return model;
+  }
+  PSS_REQUIRE(false, "model file " + path +
+                         " is not a pss snapshot, graph model or checkpoint");
+}
+
+}  // namespace pss::graph

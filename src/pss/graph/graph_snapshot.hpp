@@ -1,0 +1,64 @@
+// Multi-layer model serialization + the unified model reader.
+//
+// A GraphModel is the persistent learned state of a NetworkGraph: the
+// architecture string (canonical_layers_spec), the raw input frame shape,
+// one NetworkSnapshot per WTA block, and the final block's neuron labels.
+//
+// Formats:
+//  * single-layer models (empty arch) save as the legacy "PSSSNAP1" file,
+//    byte-for-byte what save_snapshot writes — pre-graph consumers and the
+//    bitwise-preservation tests keep working unchanged;
+//  * stacked models save as "PSSSNAP2": magic · vec<char> arch ·
+//    u32 input {channels, height, width} · u64 block_count ·
+//    per block {u32 neurons · u32 inputs · f64 g_min · f64 g_max ·
+//    vec<f64> conductance · vec<f64> theta} · vec<i32> labels
+//    (vec = u64 count + raw little-endian data, as in v1);
+//  * load_graph_model also accepts training checkpoints ("PSSCKPT1",
+//    versions 1 and 2) so pss_serve can serve any artifact the trainer
+//    writes — the one sniffing entry point for every model file kind.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pss/graph/layer_spec.hpp"
+#include "pss/graph/network_graph.hpp"
+#include "pss/io/snapshot.hpp"
+
+namespace pss::graph {
+
+struct GraphModel {
+  /// canonical_layers_spec() of the source graph; "" = legacy single-layer.
+  std::string arch;
+  LayerShape input{1, 1, 0};  ///< raw input frame shape
+  std::vector<NetworkSnapshot> blocks;  ///< one per WTA block, stack order
+  std::vector<std::int32_t> labels;  ///< final block; -1 = unlabelled; may be
+                                     ///< empty
+
+  bool single_layer() const { return arch.empty(); }
+
+  /// Captures the learned state of every block (+ labels, if set).
+  static GraphModel capture(const NetworkGraph& graph);
+
+  /// Writes the learned state back into a graph of matching architecture.
+  void restore(NetworkGraph& graph) const;
+
+  /// The GraphConfig this model instantiates over `base` (backend, dt, STDP
+  /// parameters...): single-layer models map to single_wta_graph with the
+  /// file's geometry, stacked models re-parse the arch string and validate
+  /// the stored block geometry against it.
+  GraphConfig to_config(const WtaConfig& base) const;
+};
+
+/// Saves legacy v1 bytes for single-layer models, "PSSSNAP2" otherwise.
+/// Atomic (tmp + rename); honors fault point io.snapshot.write.
+void save_graph_model(const std::string& path, const GraphModel& model);
+
+/// Unified multi-layer reader: sniffs the 8-byte magic and accepts
+/// "PSSSNAP1", "PSSSNAP2" and "PSSCKPT1" (both checkpoint versions).
+/// Throws pss::Error on unknown magics or corrupt files; honors the fault
+/// points of the underlying loaders.
+GraphModel load_graph_model(const std::string& path);
+
+}  // namespace pss::graph

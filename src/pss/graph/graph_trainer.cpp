@@ -1,0 +1,171 @@
+#include "pss/graph/graph_trainer.hpp"
+
+#include <algorithm>
+
+#include "pss/common/error.hpp"
+
+namespace pss::graph {
+
+namespace {
+
+/// Shared labelling core: accumulate per-neuron responses by true class over
+/// presentations produced by `present_one`, then assign each neuron its
+/// strongest class (-1 = silent), exactly the Sec. III-B rule the
+/// single-layer labeler applies.
+template <typename Items, typename PresentOne>
+std::size_t label_from(NetworkGraph& graph, const Items& items,
+                       std::size_t class_count, PresentOne&& present_one) {
+  PSS_REQUIRE(class_count > 0, "labelling needs a non-empty class set");
+  const std::size_t neurons = graph.output_units();
+  std::vector<std::vector<std::uint32_t>> response(
+      neurons, std::vector<std::uint32_t>(class_count, 0));
+  for (const auto& item : items) {
+    const GraphResult r = present_one(item);
+    const auto cls = static_cast<std::size_t>(item.label);
+    PSS_REQUIRE(cls < class_count, "label out of class range");
+    for (std::size_t j = 0; j < neurons; ++j) {
+      response[j][cls] += r.spike_counts[j];
+    }
+  }
+  std::vector<int> labels(neurons, -1);
+  std::size_t labelled = 0;
+  for (std::size_t j = 0; j < neurons; ++j) {
+    std::uint32_t best = 0;
+    for (std::size_t c = 0; c < class_count; ++c) {
+      if (response[j][c] > best) {
+        best = response[j][c];
+        labels[j] = static_cast<int>(c);
+      }
+    }
+    if (labels[j] >= 0) ++labelled;
+  }
+  // set_neuron_labels derives class_count from the max assigned label; a
+  // tail class no neuron won simply never wins a vote.
+  graph.set_neuron_labels(std::move(labels));
+  return labelled;
+}
+
+template <typename Items, typename PresentOne>
+GraphEvaluation evaluate_with(NetworkGraph& graph, const Items& items,
+                              PresentOne&& present_one) {
+  PSS_REQUIRE(!graph.neuron_labels().empty(),
+              "evaluate needs labelled neurons — call label() first");
+  GraphEvaluation eval;
+  for (const auto& item : items) {
+    const GraphResult r = present_one(item);
+    const int predicted =
+        graph_predict(r.spike_counts, graph.neuron_labels(),
+                      graph.class_count());
+    ++eval.total;
+    if (predicted < 0) {
+      ++eval.abstained;
+    } else if (predicted == static_cast<int>(item.label)) {
+      ++eval.correct;
+    }
+  }
+  return eval;
+}
+
+template <typename Count>
+std::size_t data_class_count(Count max_label) {
+  return static_cast<std::size_t>(max_label) + 1;
+}
+
+}  // namespace
+
+int graph_predict(std::span<const std::uint32_t> spike_counts,
+                  std::span<const int> neuron_labels,
+                  std::size_t class_count) {
+  PSS_REQUIRE(spike_counts.size() == neuron_labels.size(),
+              "spike count vector size must equal neuron count");
+  if (class_count == 0) return -1;
+  std::vector<double> score(class_count, 0.0);
+  std::vector<std::size_t> sizes(class_count, 0);
+  for (std::size_t j = 0; j < neuron_labels.size(); ++j) {
+    const int label = neuron_labels[j];
+    if (label < 0) continue;
+    PSS_REQUIRE(static_cast<std::size_t>(label) < class_count,
+                "neuron label out of class range");
+    score[static_cast<std::size_t>(label)] += spike_counts[j];
+    ++sizes[static_cast<std::size_t>(label)];
+  }
+  double best = 0.0;
+  int winner = -1;
+  for (std::size_t c = 0; c < class_count; ++c) {
+    if (sizes[c] == 0) continue;
+    const double mean = score[c] / static_cast<double>(sizes[c]);
+    if (mean > best) {
+      best = mean;
+      winner = static_cast<int>(c);
+    }
+  }
+  return winner;
+}
+
+GraphTrainer::GraphTrainer(NetworkGraph& graph, GraphTrainerConfig config)
+    : graph_(graph), config_(config) {}
+
+void GraphTrainer::train(const Dataset& train) {
+  PSS_REQUIRE(!train.empty(), "training set is empty");
+  for (std::size_t b = 0; b < graph_.block_count(); ++b) {
+    for (std::size_t epoch = 0; epoch < config_.epochs_per_block; ++epoch) {
+      for (std::size_t i = 0; i < train.size(); ++i) {
+        graph_.present_image(train[i], config_.t_learn_ms,
+                             static_cast<int>(b));
+      }
+    }
+  }
+}
+
+std::size_t GraphTrainer::label(const Dataset& labelling) {
+  PSS_REQUIRE(!labelling.empty(), "labelling set is empty");
+  Label max_label = 0;
+  for (const Image& image : labelling.images()) {
+    max_label = std::max(max_label, image.label);
+  }
+  return label_from(graph_, labelling.images(),
+                    data_class_count(max_label), [&](const Image& image) {
+                      return graph_.present_image(image, config_.t_readout_ms,
+                                                  -1);
+                    });
+}
+
+GraphEvaluation GraphTrainer::evaluate(const Dataset& test) {
+  return evaluate_with(graph_, test.images(), [&](const Image& image) {
+    return graph_.present_image(image, config_.t_readout_ms, -1);
+  });
+}
+
+void GraphTrainer::train(const std::vector<GestureSequence>& train) {
+  PSS_REQUIRE(!train.empty(), "training set is empty");
+  for (std::size_t b = 0; b < graph_.block_count(); ++b) {
+    for (std::size_t epoch = 0; epoch < config_.epochs_per_block; ++epoch) {
+      for (const GestureSequence& seq : train) {
+        graph_.present_sequence(seq.frames, config_.frame_ms,
+                                static_cast<int>(b));
+      }
+    }
+  }
+}
+
+std::size_t GraphTrainer::label(const std::vector<GestureSequence>& labelling) {
+  PSS_REQUIRE(!labelling.empty(), "labelling set is empty");
+  Label max_label = 0;
+  for (const GestureSequence& seq : labelling) {
+    max_label = std::max(max_label, seq.label);
+  }
+  return label_from(graph_, labelling, data_class_count(max_label),
+                    [&](const GestureSequence& seq) {
+                      return graph_.present_sequence(seq.frames,
+                                                     config_.frame_ms, -1);
+                    });
+}
+
+GraphEvaluation GraphTrainer::evaluate(
+    const std::vector<GestureSequence>& test) {
+  return evaluate_with(graph_, test, [&](const GestureSequence& seq) {
+    return graph_.present_sequence(seq.frames, config_.frame_ms, -1);
+  });
+}
+
+}  // namespace pss::graph

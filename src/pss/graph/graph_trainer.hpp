@@ -1,0 +1,78 @@
+// Layer-wise training schedule for the network graph (DESIGN.md §6).
+//
+// Deep STDP stacks are trained greedily, one plastic block at a time
+// (Spyker/SDNN-style): the training set is swept once per WTA block with
+// STDP enabled only in that block — earlier blocks run frozen, later blocks
+// are skipped — then the final block's neurons are labelled from a held-out
+// labelling split and evaluation presents with learning off end to end.
+// Each sweep reuses the graph presentation counter, so the whole schedule
+// is a pure function of (config, data, seed) and bitwise worker-count
+// invariant.
+//
+// Works over both workload shapes: static image datasets (LabeledDataset —
+// SyntheticDigits/Fashion) and frame-sequence gesture sets (GestureDataset,
+// consumed through present_sequence).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pss/common/types.hpp"
+#include "pss/data/dataset.hpp"
+#include "pss/data/temporal_gestures.hpp"
+#include "pss/graph/network_graph.hpp"
+
+namespace pss::graph {
+
+struct GraphTrainerConfig {
+  TimeMs t_learn_ms = 200.0;    ///< presentation length while training
+  TimeMs t_readout_ms = 200.0;  ///< presentation length for label/eval
+  TimeMs frame_ms = 25.0;       ///< per-frame duration for sequences
+  std::size_t epochs_per_block = 1;  ///< sweeps of the train set per block
+};
+
+struct GraphEvaluation {
+  std::size_t total = 0;
+  std::size_t correct = 0;
+  std::size_t abstained = 0;  ///< no labelled neuron spiked
+
+  double accuracy() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Pure scoring shared with the serving path: argmax of mean per-class
+/// spike counts over the labelled neurons, -1 = abstain.
+int graph_predict(std::span<const std::uint32_t> spike_counts,
+                  std::span<const int> neuron_labels,
+                  std::size_t class_count);
+
+class GraphTrainer {
+ public:
+  GraphTrainer(NetworkGraph& graph, GraphTrainerConfig config);
+
+  const GraphTrainerConfig& config() const { return config_; }
+
+  // --- static image workloads ---------------------------------------------
+  /// One layer-wise schedule: for each WTA block b (in stack order), sweep
+  /// `train` config().epochs_per_block times with learn_block = b.
+  void train(const Dataset& train);
+  /// Labels the final block's neurons from `labelling` (learning off) and
+  /// installs them on the graph. Returns the number of labelled neurons.
+  std::size_t label(const Dataset& labelling);
+  /// Learning-off presentation of `test`, scored against the graph labels.
+  GraphEvaluation evaluate(const Dataset& test);
+
+  // --- frame-sequence workloads -------------------------------------------
+  void train(const std::vector<GestureSequence>& train);
+  std::size_t label(const std::vector<GestureSequence>& labelling);
+  GraphEvaluation evaluate(const std::vector<GestureSequence>& test);
+
+ private:
+  NetworkGraph& graph_;
+  GraphTrainerConfig config_;
+};
+
+}  // namespace pss::graph

@@ -15,6 +15,7 @@ namespace {
 
 constexpr char kMagic[8] = {'P', 'S', 'S', 'C', 'K', 'P', 'T', '1'};
 constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionStacked = 2;  ///< + multi-layer graph section
 
 template <typename T>
 void append_pod(std::vector<unsigned char>& buf, const T& value) {
@@ -103,9 +104,9 @@ std::vector<unsigned char> serialize_payload(const TrainingCheckpoint& cp) {
   return buf;
 }
 
-TrainingCheckpoint parse_payload(const unsigned char* data, std::size_t size,
-                                 const std::string& path) {
-  PayloadReader in(data, size, path);
+/// The v1 field block — shared verbatim by the v1 parser and the stacked
+/// (v2) parser, which reads the graph section after it.
+TrainingCheckpoint parse_v1_fields(PayloadReader& in, const std::string& path) {
   TrainingCheckpoint cp;
   cp.run_id = in.pod<std::uint64_t>("run_id");
   cp.parent_run_id = in.pod<std::uint64_t>("parent_run_id");
@@ -125,8 +126,6 @@ TrainingCheckpoint parse_payload(const unsigned char* data, std::size_t size,
   cp.g_max = in.pod<double>("g_max");
   cp.conductance = in.vector<double>("conductance");
   cp.theta = in.vector<double>("theta");
-  PSS_REQUIRE(in.remaining() == 0,
-              "checkpoint " + path + ": trailing bytes after last section");
   const std::uint64_t synapses =
       static_cast<std::uint64_t>(cp.neuron_count) * cp.input_channels;
   PSS_REQUIRE(cp.conductance.size() == synapses,
@@ -136,6 +135,105 @@ TrainingCheckpoint parse_payload(const unsigned char* data, std::size_t size,
               "checkpoint " + path + ": theta size does not match neuron "
               "count");
   return cp;
+}
+
+/// Shared file framing: header + CRC + payload, atomic tmp+rename, fault
+/// points — used by the v1 and stacked writers (identical bytes for
+/// identical payloads, which is what keeps empty-arch stacked saves
+/// bitwise-equal to v1 saves).
+void write_checkpoint_file(const std::string& path, std::uint32_t version,
+                           std::vector<unsigned char> payload) {
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  if (faults().should_fire("snapshot.corrupt")) {
+    // Corrupt after the CRC is computed: the file lands on disk but
+    // load_checkpoint rejects it — exercises the detection path.
+    payload[payload.size() / 2] ^= 0x5A;
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    PSS_REQUIRE(out.is_open(), "cannot create checkpoint file: " + tmp);
+    out.write(kMagic, sizeof(kMagic));
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const auto payload_size = static_cast<std::uint64_t>(payload.size());
+    out.write(reinterpret_cast<const char*>(&payload_size),
+              sizeof(payload_size));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    PSS_REQUIRE(static_cast<bool>(out), "checkpoint write failed: " + tmp);
+  }
+
+  // Injected IO failure fires before the rename, so the previous checkpoint
+  // (if any) is still intact — exactly the guarantee real crashes get.
+  try {
+    fault_point("io.snapshot.write");
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+
+  PSS_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "cannot rename checkpoint into place: " + path);
+}
+
+/// Shared read framing: validates magic, version (≤ max_version), declared
+/// size and payload CRC; returns the raw payload bytes.
+std::vector<unsigned char> read_checkpoint_file(const std::string& path,
+                                                std::uint32_t max_version,
+                                                std::uint32_t* version_out) {
+  fault_point("io.snapshot.read");
+  std::ifstream in(path, std::ios::binary);
+  PSS_REQUIRE(in.is_open(), "cannot open checkpoint file: " + path);
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  constexpr std::uint64_t kHeaderSize =
+      sizeof(kMagic) + sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+      sizeof(std::uint32_t);
+  PSS_REQUIRE(file_size >= kHeaderSize,
+              "checkpoint " + path + ": file shorter than the header");
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  PSS_REQUIRE(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+              "not a pss checkpoint (bad magic): " + path);
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  PSS_REQUIRE(version >= 1 && version <= max_version,
+              "checkpoint " + path + ": unsupported version " +
+                  std::to_string(version));
+  std::uint64_t payload_size = 0;
+  in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
+  std::uint32_t declared_crc = 0;
+  in.read(reinterpret_cast<char*>(&declared_crc), sizeof(declared_crc));
+  PSS_REQUIRE(static_cast<bool>(in), "checkpoint " + path + ": short header");
+  // The declared size feeds a std::size_t allocation below; on a 32-bit
+  // size_t a >4 GiB value would silently wrap before the mismatch check ever
+  // saw it. A real checkpoint is a few MiB, so reject implausible headers
+  // outright while the value is still uint64.
+  constexpr std::uint64_t kMaxPayloadSize = std::uint64_t{1} << 32;  // 4 GiB
+  PSS_REQUIRE(payload_size < kMaxPayloadSize,
+              "checkpoint " + path + ": header declares an implausible "
+              "payload size (" + std::to_string(payload_size) +
+              " bytes, limit " + std::to_string(kMaxPayloadSize) + ")");
+  PSS_REQUIRE(payload_size == file_size - kHeaderSize,
+              "checkpoint " + path + ": declared payload size " +
+                  std::to_string(payload_size) + " does not match file (" +
+                  std::to_string(file_size - kHeaderSize) + " bytes present)");
+
+  std::vector<unsigned char> payload(static_cast<std::size_t>(payload_size));
+  in.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+  PSS_REQUIRE(static_cast<bool>(in), "checkpoint " + path + ": short payload");
+  const std::uint32_t actual_crc = crc32(payload.data(), payload.size());
+  PSS_REQUIRE(actual_crc == declared_crc,
+              "checkpoint " + path + ": payload CRC mismatch (corrupt file)");
+  *version_out = version;
+  return payload;
 }
 
 }  // namespace
@@ -171,93 +269,104 @@ void TrainingCheckpoint::restore(WtaNetwork& network) const {
 void save_checkpoint(const std::string& path, const TrainingCheckpoint& cp) {
   PSS_REQUIRE(cp.neuron_count > 0 && cp.input_channels > 0,
               "refusing to save an empty checkpoint");
-  std::vector<unsigned char> payload = serialize_payload(cp);
-  const std::uint32_t crc = crc32(payload.data(), payload.size());
-  if (faults().should_fire("snapshot.corrupt")) {
-    // Corrupt after the CRC is computed: the file lands on disk but
-    // load_checkpoint rejects it — exercises the detection path.
-    payload[payload.size() / 2] ^= 0x5A;
-  }
-
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    PSS_REQUIRE(out.is_open(), "cannot create checkpoint file: " + tmp);
-    out.write(kMagic, sizeof(kMagic));
-    out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
-    const auto payload_size = static_cast<std::uint64_t>(payload.size());
-    out.write(reinterpret_cast<const char*>(&payload_size),
-              sizeof(payload_size));
-    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-    out.write(reinterpret_cast<const char*>(payload.data()),
-              static_cast<std::streamsize>(payload.size()));
-    out.flush();
-    PSS_REQUIRE(static_cast<bool>(out), "checkpoint write failed: " + tmp);
-  }
-
-  // Injected IO failure fires before the rename, so the previous checkpoint
-  // (if any) is still intact — exactly the guarantee real crashes get.
-  try {
-    fault_point("io.snapshot.write");
-  } catch (...) {
-    std::remove(tmp.c_str());
-    throw;
-  }
-
-  PSS_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
-              "cannot rename checkpoint into place: " + path);
+  write_checkpoint_file(path, kVersion, serialize_payload(cp));
 }
 
 TrainingCheckpoint load_checkpoint(const std::string& path) {
-  fault_point("io.snapshot.read");
-  std::ifstream in(path, std::ios::binary);
-  PSS_REQUIRE(in.is_open(), "cannot open checkpoint file: " + path);
-  in.seekg(0, std::ios::end);
-  const auto file_size = static_cast<std::uint64_t>(in.tellg());
-  in.seekg(0, std::ios::beg);
-
-  constexpr std::uint64_t kHeaderSize =
-      sizeof(kMagic) + sizeof(std::uint32_t) + sizeof(std::uint64_t) +
-      sizeof(std::uint32_t);
-  PSS_REQUIRE(file_size >= kHeaderSize,
-              "checkpoint " + path + ": file shorter than the header");
-
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  PSS_REQUIRE(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-              "not a pss checkpoint (bad magic): " + path);
   std::uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  PSS_REQUIRE(version == kVersion,
-              "checkpoint " + path + ": unsupported version " +
-                  std::to_string(version));
-  std::uint64_t payload_size = 0;
-  in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
-  std::uint32_t declared_crc = 0;
-  in.read(reinterpret_cast<char*>(&declared_crc), sizeof(declared_crc));
-  PSS_REQUIRE(static_cast<bool>(in), "checkpoint " + path + ": short header");
-  // The declared size feeds a std::size_t allocation below; on a 32-bit
-  // size_t a >4 GiB value would silently wrap before the mismatch check ever
-  // saw it. A real checkpoint is a few MiB, so reject implausible headers
-  // outright while the value is still uint64.
-  constexpr std::uint64_t kMaxPayloadSize = std::uint64_t{1} << 32;  // 4 GiB
-  PSS_REQUIRE(payload_size < kMaxPayloadSize,
-              "checkpoint " + path + ": header declares an implausible "
-              "payload size (" + std::to_string(payload_size) +
-              " bytes, limit " + std::to_string(kMaxPayloadSize) + ")");
-  PSS_REQUIRE(payload_size == file_size - kHeaderSize,
-              "checkpoint " + path + ": declared payload size " +
-                  std::to_string(payload_size) + " does not match file (" +
-                  std::to_string(file_size - kHeaderSize) + " bytes present)");
+  const std::vector<unsigned char> payload =
+      read_checkpoint_file(path, kVersion, &version);
+  PayloadReader in(payload.data(), payload.size(), path);
+  TrainingCheckpoint cp = parse_v1_fields(in, path);
+  PSS_REQUIRE(in.remaining() == 0,
+              "checkpoint " + path + ": trailing bytes after last section");
+  return cp;
+}
 
-  std::vector<unsigned char> payload(static_cast<std::size_t>(payload_size));
-  in.read(reinterpret_cast<char*>(payload.data()),
-          static_cast<std::streamsize>(payload.size()));
-  PSS_REQUIRE(static_cast<bool>(in), "checkpoint " + path + ": short payload");
-  const std::uint32_t actual_crc = crc32(payload.data(), payload.size());
-  PSS_REQUIRE(actual_crc == declared_crc,
-              "checkpoint " + path + ": payload CRC mismatch (corrupt file)");
-  return parse_payload(payload.data(), payload.size(), path);
+void save_stacked_checkpoint(const std::string& path,
+                             const StackedCheckpoint& cp) {
+  PSS_REQUIRE(cp.base.neuron_count > 0 && cp.base.input_channels > 0,
+              "refusing to save an empty checkpoint");
+  if (cp.single_layer()) {
+    // Exact pre-graph bytes: a single-layer stacked checkpoint IS a v1 file.
+    PSS_REQUIRE(cp.blocks.empty() && cp.labels.empty(),
+                "a single-layer checkpoint cannot carry extra blocks or "
+                "labels (v1 format)");
+    write_checkpoint_file(path, kVersion, serialize_payload(cp.base));
+    return;
+  }
+  std::vector<unsigned char> payload = serialize_payload(cp.base);
+  std::vector<char> arch(cp.arch.begin(), cp.arch.end());
+  append_vector(payload, arch);
+  append_pod(payload, cp.input_channels);
+  append_pod(payload, cp.input_height);
+  append_pod(payload, cp.input_width);
+  append_pod(payload, static_cast<std::uint64_t>(cp.blocks.size()));
+  for (const StackedCheckpoint::BlockState& b : cp.blocks) {
+    PSS_REQUIRE(b.conductance.size() ==
+                        static_cast<std::size_t>(b.neuron_count) *
+                            b.input_channels &&
+                    b.theta.size() == b.neuron_count,
+                "stacked checkpoint block state is inconsistent");
+    append_pod(payload, b.neuron_count);
+    append_pod(payload, b.input_channels);
+    append_pod(payload, b.g_min);
+    append_pod(payload, b.g_max);
+    append_vector(payload, b.conductance);
+    append_vector(payload, b.theta);
+  }
+  append_vector(payload, cp.labels);
+  write_checkpoint_file(path, kVersionStacked, std::move(payload));
+}
+
+StackedCheckpoint load_stacked_checkpoint(const std::string& path) {
+  std::uint32_t version = 0;
+  const std::vector<unsigned char> payload =
+      read_checkpoint_file(path, kVersionStacked, &version);
+  PayloadReader in(payload.data(), payload.size(), path);
+  StackedCheckpoint cp;
+  cp.base = parse_v1_fields(in, path);
+  if (version == kVersion) {
+    // Pre-graph single-layer file: the graph section stays empty; the input
+    // is the flat channel vector.
+    cp.input_channels = 1;
+    cp.input_height = 1;
+    cp.input_width = cp.base.input_channels;
+  } else {
+    const std::vector<char> arch = in.vector<char>("arch");
+    cp.arch.assign(arch.begin(), arch.end());
+    PSS_REQUIRE(!cp.arch.empty(),
+                "checkpoint " + path + ": v2 file with an empty arch section");
+    cp.input_channels = in.pod<std::uint32_t>("input_channels");
+    cp.input_height = in.pod<std::uint32_t>("input_height");
+    cp.input_width = in.pod<std::uint32_t>("input_width");
+    const auto block_count = in.pod<std::uint64_t>("block_count");
+    PSS_REQUIRE(block_count <= 64,
+                "checkpoint " + path +
+                    ": implausible extra-block count " +
+                    std::to_string(block_count));
+    cp.blocks.reserve(static_cast<std::size_t>(block_count));
+    for (std::uint64_t i = 0; i < block_count; ++i) {
+      StackedCheckpoint::BlockState b;
+      b.neuron_count = in.pod<std::uint32_t>("block.neurons");
+      b.input_channels = in.pod<std::uint32_t>("block.inputs");
+      b.g_min = in.pod<double>("block.g_min");
+      b.g_max = in.pod<double>("block.g_max");
+      b.conductance = in.vector<double>("block.conductance");
+      b.theta = in.vector<double>("block.theta");
+      PSS_REQUIRE(b.conductance.size() ==
+                          static_cast<std::size_t>(b.neuron_count) *
+                              b.input_channels &&
+                      b.theta.size() == b.neuron_count,
+                  "checkpoint " + path + ": block state sizes do not match "
+                  "the declared geometry");
+      cp.blocks.push_back(std::move(b));
+    }
+    cp.labels = in.vector<std::int32_t>("labels");
+  }
+  PSS_REQUIRE(in.remaining() == 0,
+              "checkpoint " + path + ": trailing bytes after last section");
+  return cp;
 }
 
 }  // namespace pss::robust

@@ -20,6 +20,18 @@
 //     u32 neuron_count · u32 input_channels · f64 g_min · f64 g_max ·
 //     vec<f64> conductance · vec<f64> theta   (vec = u64 count + raw data)
 //
+// Version 2 (multi-layer graphs) appends, after the v1 fields:
+//     vec<char> arch (canonical layers spec) ·
+//     u32 input_channels · u32 input_height · u32 input_width (frame shape) ·
+//     u64 extra_block_count · per extra block
+//       { u32 neurons · u32 inputs · f64 g_min · f64 g_max ·
+//         vec<f64> conductance · vec<f64> theta } ·
+//     vec<i32> final-block neuron labels
+// A single-layer stacked checkpoint (empty arch) is written as version 1 —
+// byte-for-byte the pre-graph format — and the stacked loader accepts both,
+// so pre-graph checkpoint blobs roundtrip bitwise through the new reader
+// (tests/test_graph.cpp regression-checks a committed v1 fixture).
+//
 // Writes are atomic (temp file + rename), so a crash mid-write — injected or
 // real — leaves the previous checkpoint intact.
 #pragma once
@@ -83,6 +95,50 @@ void save_checkpoint(const std::string& path, const TrainingCheckpoint& cp);
 /// bytes actually present, so corrupt or truncated files throw pss::Error
 /// (never bad_alloc or short reads). Honors fault point `io.snapshot.read`.
 TrainingCheckpoint load_checkpoint(const std::string& path);
+
+/// Multi-layer (graph) training checkpoint: the v1 single-network state in
+/// `base` (block 0 of the WTA stack — its cursor doubles as the graph
+/// presentation cursor) plus the architecture string and the learned state
+/// of the remaining blocks. `arch` empty means single-layer: save writes
+/// exact v1 bytes and load accepts pre-graph files.
+struct StackedCheckpoint {
+  TrainingCheckpoint base;  ///< lineage/cursor/stats + block 0 learned state
+
+  /// canonical_layers_spec() of the graph; "" = single-layer (v1 format).
+  std::string arch;
+  /// Raw input frame shape (v2 only; v1 implies {1, 1, base.input_channels}).
+  std::uint32_t input_channels = 1;
+  std::uint32_t input_height = 1;
+  std::uint32_t input_width = 0;
+
+  /// Learned state of one WTA block beyond the first.
+  struct BlockState {
+    std::uint32_t neuron_count = 0;
+    std::uint32_t input_channels = 0;
+    double g_min = 0.0;
+    double g_max = 1.0;
+    std::vector<double> conductance;
+    std::vector<double> theta;
+  };
+  std::vector<BlockState> blocks;  ///< blocks 1..B-1, in stack order
+
+  /// Final-block neuron labels (-1 = unlabelled); empty in v1 files and for
+  /// unlabelled stacks.
+  std::vector<std::int32_t> labels;
+
+  bool single_layer() const { return arch.empty(); }
+};
+
+/// Stacked save: exact v1 bytes when `arch` is empty (blocks and labels must
+/// be empty too), version 2 otherwise. Same atomicity and fault points as
+/// save_checkpoint.
+void save_stacked_checkpoint(const std::string& path,
+                             const StackedCheckpoint& cp);
+
+/// Unified multi-layer reader: accepts version 1 (fills `base`, leaves the
+/// graph section empty) and version 2. Same validation and fault points as
+/// load_checkpoint.
+StackedCheckpoint load_stacked_checkpoint(const std::string& path);
 
 /// Resume lineage surfaced to run manifests (see obs/manifest.hpp).
 struct CheckpointLineage {

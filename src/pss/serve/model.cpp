@@ -1,60 +1,19 @@
 #include "pss/serve/model.hpp"
 
 #include <algorithm>
-#include <cstring>
-#include <fstream>
 
 #include "pss/common/error.hpp"
-#include "pss/robust/checkpoint.hpp"
 
 namespace pss::serve {
 
-namespace {
-
-/// File kind sniffed from the 8-byte magic without consuming the stream.
-enum class ModelKind { kSnapshot, kCheckpoint };
-
-ModelKind sniff_kind(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  PSS_REQUIRE(in.is_open(), "serve: cannot open model file: " + path);
-  char magic[8] = {};
-  in.read(magic, sizeof magic);
-  PSS_REQUIRE(static_cast<bool>(in),
-              "serve: model file too short for a magic: " + path);
-  if (std::memcmp(magic, "PSSSNAP1", 8) == 0) return ModelKind::kSnapshot;
-  if (std::memcmp(magic, "PSSCKPT1", 8) == 0) return ModelKind::kCheckpoint;
-  PSS_REQUIRE(false, "serve: " + path +
-                         " is neither a pss snapshot nor a checkpoint");
-}
-
-}  // namespace
-
 ModelBundle load_model(const std::string& path, const WtaConfig& base_config) {
   ModelBundle bundle;
-  bundle.config = base_config;
   bundle.source_path = path;
-
-  switch (sniff_kind(path)) {
-    case ModelKind::kSnapshot: {
-      bundle.state = load_snapshot(path);
-      break;
-    }
-    case ModelKind::kCheckpoint: {
-      const robust::TrainingCheckpoint cp = robust::load_checkpoint(path);
-      bundle.state.neuron_count = cp.neuron_count;
-      bundle.state.input_channels = cp.input_channels;
-      bundle.state.g_min = cp.g_min;
-      bundle.state.g_max = cp.g_max;
-      bundle.state.conductance = cp.conductance;
-      bundle.state.theta = cp.theta;
-      break;
-    }
-  }
-
-  bundle.config.neuron_count = bundle.state.neuron_count;
-  bundle.config.input_channels = bundle.state.input_channels;
-  bundle.neuron_labels.assign(bundle.state.neuron_labels.begin(),
-                              bundle.state.neuron_labels.end());
+  bundle.model = graph::load_graph_model(path);
+  bundle.config = bundle.model.to_config(base_config);
+  bundle.input_units = graph::compute_shapes(bundle.config).front().units();
+  bundle.neuron_labels.assign(bundle.model.labels.begin(),
+                              bundle.model.labels.end());
   int max_label = -1;
   for (const int label : bundle.neuron_labels) {
     max_label = std::max(max_label, label);
@@ -64,10 +23,10 @@ ModelBundle load_model(const std::string& path, const WtaConfig& base_config) {
   return bundle;
 }
 
-WtaNetwork instantiate(const ModelBundle& bundle, Engine* engine) {
-  WtaNetwork network(bundle.config, engine);
-  bundle.state.restore(network);
-  return network;
+graph::NetworkGraph instantiate(const ModelBundle& bundle, Engine* engine) {
+  graph::NetworkGraph replica(bundle.config, engine);
+  bundle.model.restore(replica);
+  return replica;
 }
 
 int predict_from_counts(std::span<const std::uint32_t> spike_counts,

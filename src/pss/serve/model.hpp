@@ -1,13 +1,15 @@
-// Model loading for the serving daemon. A model file is either a trained
-// snapshot (magic "PSSSNAP1" — learned state + neuron labels, produced by
-// `pss_run mode=train snapshot=...`) or a training checkpoint (magic
-// "PSSCKPT1" — learned state only, produced mid-training by the fault-
-// tolerance path). The two are unified into one ModelBundle: a geometry-
-// corrected WtaConfig plus a NetworkSnapshot of the learned state.
+// Model loading for the serving daemon. A model file is any artifact the
+// training side writes: a single-layer snapshot ("PSSSNAP1"), a stacked
+// graph model ("PSSSNAP2"), or a training checkpoint ("PSSCKPT1", v1 or
+// v2) — all sniffed by magic through graph::load_graph_model and unified
+// into one ModelBundle: the GraphConfig the model instantiates plus its
+// learned per-block state. A single-layer snapshot serves as a one-block
+// graph whose presentations are bitwise those of the standalone WtaNetwork,
+// so pre-graph deployments keep their exact replay guarantees.
 //
-// A checkpoint has no neuron labels, so a daemon serving one accepts only
-// `train` (online learning) and admin verbs; `classify` returns kError with
-// an explanatory message rather than guessing.
+// A checkpoint may carry no neuron labels, in which case a daemon serving
+// it accepts only `train` (online learning) and admin verbs; `classify`
+// returns kError with an explanatory message rather than guessing.
 //
 // Hot reload: the server keeps the current bundle behind a mutex with a
 // monotonically increasing generation; workers re-instantiate their replica
@@ -21,15 +23,18 @@
 #include <string>
 #include <vector>
 
-#include "pss/io/snapshot.hpp"
-#include "pss/network/wta_network.hpp"
+#include "pss/graph/graph_snapshot.hpp"
+#include "pss/graph/network_graph.hpp"
 
 namespace pss::serve {
 
 struct ModelBundle {
-  WtaConfig config;            ///< base config with file geometry applied
-  NetworkSnapshot state;       ///< learned conductances / theta / labels
-  std::vector<int> neuron_labels;  ///< empty when loaded from a checkpoint
+  graph::GraphConfig config;   ///< architecture over the base WtaConfig
+  graph::GraphModel model;     ///< learned per-block state + labels
+  /// Units of the graph's encoded input — the request body size workers
+  /// validate against and present.
+  std::size_t input_units = 0;
+  std::vector<int> neuron_labels;  ///< final block; empty → no classify
   std::size_t class_count = 0;     ///< 0 when classify is unavailable
   std::uint64_t generation = 0;    ///< set by the server on (re)load
   std::string source_path;
@@ -37,15 +42,16 @@ struct ModelBundle {
   bool can_classify() const { return class_count > 0; }
 };
 
-/// Loads `path` (snapshot or checkpoint, detected by magic) and merges its
-/// geometry into `base_config`. Honors the fault points of the underlying
-/// loaders. Throws pss::Error on unreadable/corrupt files.
+/// Loads `path` (snapshot, graph model, or checkpoint — detected by magic)
+/// and resolves its architecture over `base_config` (backend / timing / STDP
+/// template; geometry comes from the file). Honors the fault points of the
+/// underlying loaders. Throws pss::Error on unreadable/corrupt files.
 ModelBundle load_model(const std::string& path, const WtaConfig& base_config);
 
-/// Builds a network carrying the bundle's learned state on `engine` (serial
-/// Engine(1) per serve worker — pool parallelism is across requests, never
-/// within a replica, mirroring BatchRunner's discipline).
-WtaNetwork instantiate(const ModelBundle& bundle, Engine* engine);
+/// Builds a graph replica carrying the bundle's learned state on `engine`
+/// (serial Engine(1) per serve worker — pool parallelism is across requests,
+/// never within a replica, mirroring BatchRunner's discipline).
+graph::NetworkGraph instantiate(const ModelBundle& bundle, Engine* engine);
 
 /// Pure scoring: argmax of mean per-class spike counts over the labelled
 /// neurons, -1 = abstain. Same rule as SnnClassifier::predict_from_counts,

@@ -87,26 +87,29 @@ std::shared_ptr<const ModelBundle> ServeServer::current_model() const {
 void ServeServer::install_model(ModelBundle bundle) {
   const std::lock_guard<std::mutex> lock(model_mutex_);
   bundle.generation = generation_.load(std::memory_order_relaxed) + 1;
-  input_channels_.store(bundle.state.input_channels,
-                        std::memory_order_release);
+  input_units_.store(bundle.input_units, std::memory_order_release);
   model_ = std::make_shared<const ModelBundle>(std::move(bundle));
   generation_.store(model_->generation, std::memory_order_release);
 }
 
 void ServeServer::reload() {
   ModelBundle bundle = load_model(options_.model_path, options_.base_config);
-  PSS_REQUIRE(bundle.state.input_channels ==
-                  input_channels_.load(std::memory_order_acquire),
+  PSS_REQUIRE(bundle.input_units ==
+                  input_units_.load(std::memory_order_acquire),
               "serve: reload rejected — input geometry changed");
   install_model(std::move(bundle));
   serve_metrics().reloads.add(1);
 }
 
-void ServeServer::absorb_training(const WtaNetwork& replica) {
+void ServeServer::absorb_training(const graph::NetworkGraph& replica) {
   const std::lock_guard<std::mutex> lock(model_mutex_);
   ModelBundle updated = *model_;
-  updated.state.conductance = replica.conductance().to_vector();
-  updated.state.theta.assign(replica.theta().begin(), replica.theta().end());
+  for (std::size_t b = 0; b < replica.block_count(); ++b) {
+    const WtaNetwork& block = replica.block(b);
+    updated.model.blocks[b].conductance = block.conductance().to_vector();
+    updated.model.blocks[b].theta.assign(block.theta().begin(),
+                                         block.theta().end());
+  }
   updated.generation = generation_.load(std::memory_order_relaxed) + 1;
   model_ = std::make_shared<const ModelBundle>(std::move(updated));
   generation_.store(model_->generation, std::memory_order_release);
@@ -140,17 +143,24 @@ std::string ServeServer::stats_text() const {
   return text;
 }
 
-Response ServeServer::execute(WtaNetwork& replica, const ModelBundle& bundle,
+Response ServeServer::execute(graph::NetworkGraph& replica,
+                              const ModelBundle& bundle,
                               const PendingRequest& pending) {
   obs::TraceSpan span("serve.present", "serve",
                       static_cast<std::int64_t>(pending.seq));
   // The admission sequence number is the presentation index — a requeued
-  // request re-executed on any replica replays bit for bit (the encoder
-  // packs the index into 32 bits, hence the wrap).
-  replica.set_presentation_index(pending.seq & 0xffffffffull);
+  // request re-executed on any replica replays bit for bit (the graph's
+  // front-end encoder packs index·kMaxFrames into 32 bits, hence the wrap).
+  replica.set_presentation_index(pending.seq &
+                                 (0xffffffffull /
+                                  graph::NetworkGraph::kMaxFrames));
   const bool learn = pending.request.verb == Verb::kTrain;
-  const PresentationResult result =
-      replica.present(pending.rates_hz, options_.t_present_ms, learn);
+  // Online training refines the readout block; the frozen front-end and
+  // earlier blocks are exactly the layer-wise schedule's inference path.
+  const int learn_block =
+      learn ? static_cast<int>(replica.block_count()) - 1 : -1;
+  const graph::GraphResult result =
+      replica.present(pending.rates_hz, options_.t_present_ms, learn_block);
   if (learn) {
     return {Status::kOk, pending.request.id, result.winner(), "trained"};
   }
@@ -185,7 +195,7 @@ void ServeServer::worker_loop(std::size_t slot_index) {
   try {
     Engine engine(1);  // serial: parallelism is across requests, not inside
     std::shared_ptr<const ModelBundle> bundle;
-    std::optional<WtaNetwork> replica;
+    std::optional<graph::NetworkGraph> replica;
 
     for (;;) {
       beat();
@@ -345,7 +355,7 @@ Response ServeServer::handle_inline_or_admit(
     case Verb::kClassify:
     case Verb::kTrain: {
       const std::size_t channels =
-          input_channels_.load(std::memory_order_acquire);
+          input_units_.load(std::memory_order_acquire);
       if (request.body.size() != channels) {
         return {Status::kError, request.id, 0,
                 "body must carry " + std::to_string(channels) +

@@ -9,12 +9,14 @@
 //   worker[i]: Engine(1) + replica; pulls batches ────┘
 //   monitor:   heartbeat scan; drains + requeues failed workers' inflight
 //
-// Each worker owns a serial Engine and a WtaNetwork replica of the loaded
-// model (the BatchRunner replica-per-worker discipline). A request's
-// admission sequence number is used verbatim as the replica presentation
-// index, and a presentation is a pure function of (learned state, index,
-// rates) — so re-executing a requeued request on any healthy worker yields
-// a bitwise-identical answer, and a fault-injected run returns exactly the
+// Each worker owns a serial Engine and a NetworkGraph replica of the loaded
+// model — single-layer snapshots serve as one-block graphs, stacked models
+// ("PSSSNAP2" / checkpoint v2) as their full conv/pool/WTA stack (the
+// BatchRunner replica-per-worker discipline). A request's admission
+// sequence number is used verbatim as the replica presentation index, and a
+// presentation is a pure function of (learned state, index, rates) — so
+// re-executing a requeued request on any healthy worker yields a
+// bitwise-identical answer, and a fault-injected run returns exactly the
 // responses of a fault-free one (tests assert this).
 //
 // Failure handling:
@@ -153,7 +155,7 @@ class ServeServer {
                                   bool& answered_inline);
 
   /// Executes one classify/train presentation on a worker replica.
-  Response execute(WtaNetwork& replica, const ModelBundle& bundle,
+  Response execute(graph::NetworkGraph& replica, const ModelBundle& bundle,
                    const PendingRequest& pending);
 
   /// Moves a failed worker's inflight set back into the queue with backoff.
@@ -162,7 +164,7 @@ class ServeServer {
   std::shared_ptr<const ModelBundle> current_model() const;
   void install_model(ModelBundle bundle) PSS_EXCLUDES(model_mutex_);
   /// Publishes a train-updated replica's weights as the next generation.
-  void absorb_training(const WtaNetwork& replica);
+  void absorb_training(const graph::NetworkGraph& replica);
 
   ServeOptions options_;
   std::uint16_t port_ = 0;
@@ -171,7 +173,7 @@ class ServeServer {
   mutable std::mutex model_mutex_;
   std::shared_ptr<const ModelBundle> model_ PSS_GUARDED_BY(model_mutex_);
   std::atomic<std::uint64_t> generation_{0};
-  std::atomic<std::size_t> input_channels_{0};
+  std::atomic<std::size_t> input_units_{0};
 
   PixelFrequencyMap frequency_map_;
   std::unique_ptr<RequestQueue> queue_;

@@ -396,5 +396,121 @@ TEST(SparseBackend, MatchesDenseBackendStatistically) {
       << "dense=" << dense_mean << " sparse=" << sparse_mean;
 }
 
+// --- layer-graph kernels: conv_accumulate / pool_forward --------------------
+//
+// Both kernels promise bitwise-identical results on every backend and worker
+// count (kernels.hpp): conv taps accumulate in ascending active order, pool
+// is pure flag work. Run one geometry across {cpu, cpu_simd, cpu_sparse} ×
+// worker counts and assert exact equality against the cpu/1-worker result.
+
+struct ConvGeometry {
+  static constexpr std::size_t kFilters = 3;
+  static constexpr std::size_t kChannels = 2;
+  static constexpr std::size_t kKernel = 3;
+  static constexpr std::size_t kStride = 2;
+  static constexpr std::size_t kInW = 12;
+  static constexpr std::size_t kInH = 10;
+  static constexpr std::size_t kOutW = (kInW - kKernel) / kStride + 1;
+  static constexpr std::size_t kOutH = (kInH - kKernel) / kStride + 1;
+
+  std::vector<double> filters;
+  std::vector<ChannelIndex> active;
+
+  ConvGeometry() {
+    filters.resize(kFilters * kChannels * kKernel * kKernel);
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      // Irregular signed taps; exact in double so accumulation order is the
+      // only possible source of divergence.
+      filters[i] = static_cast<double>((i * 37 % 23)) / 8.0 - 1.25;
+    }
+    for (std::size_t p = 0; p < kChannels * kInH * kInW; p += 7) {
+      active.push_back(static_cast<ChannelIndex>(p));
+    }
+  }
+
+  /// Two accumulate steps (clear, then decay 0.5) on `name`/`workers`.
+  std::vector<double> run(const std::string& name, std::size_t workers) const {
+    Engine engine(workers);
+    auto backend = make_backend(name);
+    std::vector<double> currents(kFilters * kOutH * kOutW, 0.0);
+    ConvAccumulateArgs args;
+    args.filters = filters;
+    args.filter_count = kFilters;
+    args.in_channels = kChannels;
+    args.kernel = kKernel;
+    args.stride = kStride;
+    args.in_width = kInW;
+    args.in_height = kInH;
+    args.out_width = kOutW;
+    args.out_height = kOutH;
+    args.active_pre = active;
+    args.amplitude = 0.8;
+    args.decay_factor = 0.0;
+    args.currents = currents;
+    backend->kernels().conv_accumulate(engine, args);
+    args.decay_factor = 0.5;
+    backend->kernels().conv_accumulate(engine, args);
+    return currents;
+  }
+};
+
+TEST(GraphKernels, ConvAccumulateIsBitwiseEqualAcrossBackendsAndWorkers) {
+  const ConvGeometry geo;
+  const std::vector<double> want = geo.run("cpu", 1);
+  // Sanity: the active list actually drove currents somewhere.
+  EXPECT_NE(*std::max_element(want.begin(), want.end()), 0.0);
+  for (const std::string& name : {std::string("cpu"), std::string("cpu_simd"),
+                                  std::string("cpu_sparse")}) {
+    for (std::size_t workers : {1u, 3u, 4u}) {
+      const std::vector<double> got = geo.run(name, workers);
+      ASSERT_EQ(got, want) << name << " workers=" << workers;
+    }
+  }
+}
+
+TEST(GraphKernels, PoolForwardIsIdenticalAcrossBackendsAndWorkers) {
+  constexpr std::size_t kChannels = 3, kInW = 7, kInH = 5, kWindow = 2;
+  constexpr std::size_t kOutW = (kInW + kWindow - 1) / kWindow;
+  constexpr std::size_t kOutH = (kInH + kWindow - 1) / kWindow;
+  std::vector<std::uint8_t> spiked(kChannels * kInH * kInW, 0);
+  for (std::size_t i = 0; i < spiked.size(); ++i) {
+    spiked[i] = (i * 5 + 1) % 3 == 0 ? 1 : 0;
+  }
+
+  auto run = [&](const std::string& name, std::size_t workers) {
+    Engine engine(workers);
+    auto backend = make_backend(name);
+    std::vector<std::uint8_t> pooled(kChannels * kOutH * kOutW, 0);
+    std::vector<std::uint32_t> counts(pooled.size(), 0);
+    PoolForwardArgs args;
+    args.spiked = spiked;
+    args.channels = kChannels;
+    args.in_width = kInW;
+    args.in_height = kInH;
+    args.window = kWindow;
+    args.out_width = kOutW;
+    args.out_height = kOutH;
+    args.pooled = pooled;
+    args.pooled_counts = counts;
+    backend->kernels().pool_forward(engine, args);  // step 1
+    backend->kernels().pool_forward(engine, args);  // step 2 (counts += 1)
+    return std::pair(pooled, counts);
+  };
+
+  const auto want = run("cpu", 1);
+  for (std::size_t i = 0; i < want.first.size(); ++i) {
+    // Counts accumulate per step: two identical steps double every flag.
+    EXPECT_EQ(want.second[i], want.first[i] * 2u) << i;
+  }
+  for (const std::string& name : {std::string("cpu"), std::string("cpu_simd"),
+                                  std::string("cpu_sparse")}) {
+    for (std::size_t workers : {1u, 4u}) {
+      const auto got = run(name, workers);
+      ASSERT_EQ(got.first, want.first) << name << " workers=" << workers;
+      ASSERT_EQ(got.second, want.second) << name << " workers=" << workers;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pss

@@ -127,6 +127,92 @@ TEST(OptionsPositive, ValidConfigStillBuildsASpec) {
   EXPECT_EQ(spec.seed, 7u);
 }
 
+// --- layers= spec grammar (graph_config_from_options) -----------------------
+
+std::string layers_error(const std::string& spec) {
+  const Config cfg = config_from({("layers=" + spec).c_str()});
+  return error_message(
+      [&] { tools::graph_config_from_options(cfg, WtaConfig{}); });
+}
+
+TEST(OptionsLayers, UnknownLayerKindGetsSuggestion) {
+  const std::string msg = layers_error("pol:window=2;wta:neurons=10");
+  EXPECT_NE(msg.find("unknown layer kind 'pol'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("did you mean 'pool'?"), std::string::npos) << msg;
+}
+
+TEST(OptionsLayers, UnknownLayerKeyGetsSuggestion) {
+  const std::string msg = layers_error("wta:nurons=10");
+  EXPECT_NE(msg.find("unknown key 'nurons' in 'wta' layer"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("did you mean 'neurons'?"), std::string::npos) << msg;
+}
+
+TEST(OptionsLayers, BadIntegerIsRejected) {
+  const std::string msg = layers_error("wta:neurons=ten");
+  EXPECT_NE(msg.find("bad integer 'ten'"), std::string::npos) << msg;
+}
+
+TEST(OptionsLayers, TrailingGarbageOnNumberIsRejected) {
+  const std::string msg = layers_error("wta:neurons=10,gain=1.5x");
+  EXPECT_NE(msg.find("bad number '1.5x'"), std::string::npos) << msg;
+}
+
+TEST(OptionsLayers, PoolAfterWtaIsRejected) {
+  const std::string msg = layers_error("wta:neurons=10;pool:window=2");
+  EXPECT_NE(msg.find("'pool' must precede the WTA blocks"), std::string::npos)
+      << msg;
+}
+
+TEST(OptionsLayers, MissingWtaBlockIsRejected) {
+  const std::string msg = layers_error("conv:filters=4,kernel=5");
+  EXPECT_NE(msg.find("at least one 'wta' block is required"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(OptionsLayers, ReadoutMustBeLast) {
+  const std::string msg = layers_error("readout:theta=1;wta:neurons=10");
+  EXPECT_NE(msg.find("'readout' must be the last layer"), std::string::npos)
+      << msg;
+}
+
+TEST(OptionsLayers, EncodeMustBeFirst) {
+  const std::string msg = layers_error("wta:neurons=10;encode:peak=100");
+  EXPECT_NE(msg.find("'encode' must be the first layer"), std::string::npos)
+      << msg;
+}
+
+TEST(OptionsLayers, LayersKeyTypoSuggestsLayers) {
+  const Config cfg = config_from({"layer=wta:neurons=10"});
+  const std::string msg =
+      error_message([&] { tools::require_known_keys(cfg); });
+  EXPECT_NE(msg.find("unknown config key 'layer'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("did you mean 'layers'?"), std::string::npos) << msg;
+}
+
+TEST(OptionsLayers, AbsentLayersKeyYieldsSingleWtaGraph) {
+  const Config cfg = config_from({"seed=3"});
+  WtaConfig base;
+  base.neuron_count = 17;
+  const pss::graph::GraphConfig graph =
+      tools::graph_config_from_options(cfg, base);
+  EXPECT_TRUE(graph.single_wta());
+  ASSERT_EQ(graph.layers.size(), 1u);
+  EXPECT_EQ(graph.layers[0].wta.neurons, 17u);
+}
+
+TEST(OptionsLayers, ValidStackedSpecParses) {
+  const Config cfg = config_from(
+      {"layers=encode:temporal=diff;conv:filters=6,kernel=5,bank=gabor;"
+       "pool:window=2;wta:neurons=40"});
+  const pss::graph::GraphConfig graph =
+      tools::graph_config_from_options(cfg, WtaConfig{});
+  EXPECT_FALSE(graph.single_wta());
+  EXPECT_TRUE(graph.encode.temporal_diff);
+  EXPECT_EQ(graph.layers.size(), 3u);
+}
+
 TEST(OptionsPositive, CrossSourceOverrideStillWorksViaSet) {
   // pss_run merges file + CLI by calling set() per key — that path must stay
   // overwrite-capable even though one source rejects duplicates.

@@ -8,6 +8,7 @@
 #include <map>
 
 #include "pss/backend/backend.hpp"
+#include "pss/backend/kernels.hpp"
 #include "pss/backend/state_pool.hpp"
 #include "pss/common/log.hpp"
 #include "pss/data/synthetic_digits.hpp"
@@ -403,6 +404,125 @@ TEST(SparseEvents, PoissonEventListIsDeterministicPerPresentation) {
   enc.build_events(kSteps, kDt, next);
   EXPECT_NE(first_hist, history_snapshot(next))
       << "a new presentation must fork fresh trains";
+}
+
+// ---------------------------------------------------------------------------
+// Layer-graph kernel properties (src/pss/graph/): pool semantics over random
+// flag planes, and conv-accumulate equivariance under filter permutation.
+
+TEST(GraphInvariant, PoolFlagSetIffWindowHasSpike) {
+  SequentialRng rng(99);
+  Engine engine(3);
+  auto backend = make_backend("cpu");
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t channels = 1 + rng.below(3);
+    const std::size_t in_w = 3 + rng.below(9);
+    const std::size_t in_h = 3 + rng.below(9);
+    const std::size_t window = 2 + rng.below(2);
+    const std::size_t out_w = (in_w + window - 1) / window;
+    const std::size_t out_h = (in_h + window - 1) / window;
+    const std::size_t steps = 1 + rng.below(4);
+
+    std::vector<std::uint8_t> spiked(channels * in_h * in_w);
+    for (auto& s : spiked) s = rng.uniform() < 0.3 ? 1 : 0;
+    std::vector<std::uint8_t> pooled(channels * out_h * out_w, 0);
+    std::vector<std::uint32_t> counts(pooled.size(), 0);
+
+    PoolForwardArgs args;
+    args.spiked = spiked;
+    args.channels = channels;
+    args.in_width = in_w;
+    args.in_height = in_h;
+    args.window = window;
+    args.out_width = out_w;
+    args.out_height = out_h;
+    args.pooled = pooled;
+    args.pooled_counts = counts;
+    for (std::size_t s = 0; s < steps; ++s) {
+      backend->kernels().pool_forward(engine, args);
+    }
+
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t py = 0; py < out_h; ++py) {
+        for (std::size_t px = 0; px < out_w; ++px) {
+          bool any = false;
+          for (std::size_t y = py * window;
+               y < std::min(in_h, (py + 1) * window); ++y) {
+            for (std::size_t x = px * window;
+                 x < std::min(in_w, (px + 1) * window); ++x) {
+              any = any || spiked[(c * in_h + y) * in_w + x] != 0;
+            }
+          }
+          const std::size_t u = (c * out_h + py) * out_w + px;
+          ASSERT_EQ(pooled[u] != 0, any)
+              << "trial " << trial << " unit " << u;
+          // Counts accumulate once per step the window fired, and never
+          // exceed the step count.
+          ASSERT_EQ(counts[u], any ? steps : 0u)
+              << "trial " << trial << " unit " << u;
+        }
+      }
+    }
+  }
+}
+
+TEST(GraphInvariant, ConvAccumulateCommutesWithFilterPermutation) {
+  // Permuting the filter bank permutes the output planes and nothing else:
+  // currents(perm(F))[p(f), y, x] == currents(F)[f, y, x] bitwise, because
+  // each output unit reads only its own filter's taps.
+  constexpr std::size_t kFilters = 4, kChannels = 2, kKernel = 3, kStride = 1;
+  constexpr std::size_t kInW = 9, kInH = 8;
+  constexpr std::size_t kOutW = (kInW - kKernel) / kStride + 1;
+  constexpr std::size_t kOutH = (kInH - kKernel) / kStride + 1;
+  constexpr std::size_t kPlane = kChannels * kKernel * kKernel;
+
+  std::vector<double> filters(kFilters * kPlane);
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    filters[i] = static_cast<double>((i * 41 % 19)) / 16.0 - 0.5;
+  }
+  std::vector<ChannelIndex> active;
+  for (std::size_t p = 0; p < kChannels * kInH * kInW; p += 5) {
+    active.push_back(static_cast<ChannelIndex>(p));
+  }
+  const std::size_t perm[kFilters] = {2, 0, 3, 1};
+  std::vector<double> permuted(filters.size());
+  for (std::size_t f = 0; f < kFilters; ++f) {
+    std::copy_n(filters.begin() + static_cast<std::ptrdiff_t>(f * kPlane),
+                kPlane,
+                permuted.begin() + static_cast<std::ptrdiff_t>(perm[f] * kPlane));
+  }
+
+  Engine engine(2);
+  auto backend = make_backend("cpu");
+  auto run = [&](std::span<const double> bank) {
+    std::vector<double> currents(kFilters * kOutH * kOutW, 0.0);
+    ConvAccumulateArgs args;
+    args.filters = bank;
+    args.filter_count = kFilters;
+    args.in_channels = kChannels;
+    args.kernel = kKernel;
+    args.stride = kStride;
+    args.in_width = kInW;
+    args.in_height = kInH;
+    args.out_width = kOutW;
+    args.out_height = kOutH;
+    args.active_pre = active;
+    args.amplitude = 1.5;
+    args.decay_factor = 0.0;
+    args.currents = currents;
+    backend->kernels().conv_accumulate(engine, args);
+    return currents;
+  };
+
+  const std::vector<double> base = run(filters);
+  const std::vector<double> shuffled = run(permuted);
+  for (std::size_t f = 0; f < kFilters; ++f) {
+    for (std::size_t u = 0; u < kOutH * kOutW; ++u) {
+      ASSERT_EQ(shuffled[perm[f] * kOutH * kOutW + u],
+                base[f * kOutH * kOutW + u])
+          << "filter " << f << " unit " << u;
+    }
+  }
 }
 
 }  // namespace

@@ -94,12 +94,12 @@ int expected_prediction(const std::string& model_path,
   const serve::ModelBundle bundle =
       serve::load_model(model_path, small_config());
   Engine engine(1);
-  WtaNetwork net = serve::instantiate(bundle, &engine);
+  graph::NetworkGraph net = serve::instantiate(bundle, &engine);
   PixelFrequencyMap map(kFMin, kFMax);
   std::vector<double> rates;
   map.frequencies(pixels, rates);
   net.set_presentation_index(seq);
-  const PresentationResult r = net.present(rates, kTPresentMs, false);
+  const graph::GraphResult r = net.present(rates, kTPresentMs, -1);
   return serve::predict_from_counts(r.spike_counts, bundle.neuron_labels,
                                     bundle.class_count);
 }
@@ -325,7 +325,9 @@ TEST_F(ServeTest, LoadModelSniffsSnapshotAndCheckpoint) {
   const serve::ModelBundle snap = serve::load_model(snap_path, small_config());
   EXPECT_TRUE(snap.can_classify());
   EXPECT_EQ(snap.class_count, kClasses);
-  EXPECT_EQ(snap.config.neuron_count, kNeurons);
+  ASSERT_TRUE(snap.config.single_wta());
+  EXPECT_EQ(snap.model.blocks.front().neuron_count, kNeurons);
+  EXPECT_EQ(snap.input_units, kChannels);
 
   WtaNetwork net(small_config(9));
   robust::TrainingCheckpoint cp = robust::TrainingCheckpoint::capture(net);
@@ -630,6 +632,99 @@ TEST_F(ServeTest, OversizedFrameDropsConnectionNotServer) {
   // The daemon survived and still serves.
   serve::ServeClient client(server.port());
   EXPECT_EQ(client.ping().status, serve::Status::kOk);
+}
+
+// ------------------------------------------------------- stacked models
+
+/// A labelled stacked (conv→wta) model whose raw input is 8×8 = kChannels
+/// pixels, so the existing test_image frames drive it unchanged.
+std::string write_stacked_model(const std::string& name, std::uint64_t seed) {
+  graph::GraphConfig cfg = graph::graph_config_from_spec(
+      "conv:filters=4,kernel=3;wta:neurons=" + std::to_string(kNeurons),
+      small_config(seed));
+  cfg.input = graph::LayerShape{1, 8, 8};
+  graph::NetworkGraph net(cfg);
+  net.set_neuron_labels(test_labels());
+  const std::string path = temp_path(name);
+  graph::save_graph_model(path, graph::GraphModel::capture(net));
+  return path;
+}
+
+TEST_F(ServeTest, StackedModelServesAndMatchesDirectReplay) {
+  const std::string model = write_stacked_model("pss_serve_stack.bin", 7);
+  serve::ServeServer server(base_options(model));
+  serve::ServeClient client(server.port());
+
+  constexpr std::size_t kCount = 4;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const serve::Response r = client.classify(test_image(i));
+    ASSERT_EQ(r.status, serve::Status::kOk) << r.message;
+    // Admission seq i replayed through the full conv→wta stack must agree
+    // with the daemon exactly — the purity contract extends to deep models.
+    EXPECT_EQ(r.value, expected_prediction(model, test_image(i), i))
+        << "request " << i;
+  }
+}
+
+TEST_F(ServeTest, HotReloadSwapsSingleLayerForStackedModel) {
+  const std::string single = write_model("pss_serve_stack_single.bin", 7);
+  const std::string stacked =
+      write_stacked_model("pss_serve_stack_deep.bin", 1234);
+  const std::string live = temp_path("pss_serve_stack_live.bin");
+  std::filesystem::copy_file(
+      single, live, std::filesystem::copy_options::overwrite_existing);
+
+  serve::ServeServer server(base_options(live));
+  serve::ServeClient client(server.port());
+  const serve::Response before = client.classify(test_image(0));
+  ASSERT_EQ(before.status, serve::Status::kOk) << before.message;
+  EXPECT_EQ(before.value, expected_prediction(single, test_image(0), 0));
+
+  // Swap the live file for a stacked model: same raw input size, deeper
+  // architecture — reload must publish it atomically.
+  std::filesystem::copy_file(
+      stacked, live, std::filesystem::copy_options::overwrite_existing);
+  const serve::Response reloaded = client.reload();
+  ASSERT_EQ(reloaded.status, serve::Status::kOk) << reloaded.message;
+  EXPECT_EQ(reloaded.value, 2);  // generation bumped
+
+  const serve::Response after = client.classify(test_image(1));
+  ASSERT_EQ(after.status, serve::Status::kOk) << after.message;
+  EXPECT_EQ(after.value, expected_prediction(stacked, test_image(1), 1));
+}
+
+TEST_F(ServeTest, StackedCheckpointServesTrainAndClassify) {
+  // A labelled stacked checkpoint (v2) loads through the same unified
+  // reader: classify works (labels present) and train refines the last
+  // block, publishing a new generation.
+  graph::GraphConfig cfg = graph::graph_config_from_spec(
+      "conv:filters=4,kernel=3;wta:neurons=" + std::to_string(kNeurons),
+      small_config(21));
+  cfg.input = graph::LayerShape{1, 8, 8};
+  graph::NetworkGraph net(cfg);
+  net.set_neuron_labels(test_labels());
+  robust::StackedCheckpoint cp;
+  cp.base = robust::TrainingCheckpoint::capture(net.block(0));
+  cp.arch = graph::canonical_layers_spec(net.config());
+  cp.input_channels = 1;
+  cp.input_height = 8;
+  cp.input_width = 8;
+  cp.labels.assign(net.neuron_labels().begin(), net.neuron_labels().end());
+  const std::string path = temp_path("pss_serve_stack_ckpt.bin");
+  robust::save_stacked_checkpoint(path, cp);
+
+  serve::ServeServer server(base_options(path));
+  serve::ServeClient client(server.port());
+  const serve::Response classified = client.classify(test_image(0));
+  ASSERT_EQ(classified.status, serve::Status::kOk) << classified.message;
+
+  serve::Request train;
+  train.verb = serve::Verb::kTrain;
+  train.id = 42;
+  train.body = test_image(1);
+  const serve::Response trained = client.call(train);
+  EXPECT_EQ(trained.status, serve::Status::kOk) << trained.message;
+  EXPECT_GE(server.model_generation(), 2u);
 }
 
 TEST_F(ServeTest, ShutdownVerbStopsTheServerGracefully) {

@@ -68,6 +68,8 @@ fi
 if command -v python3 >/dev/null 2>&1; then
   run_stage "bench-compare" python3 tools/bench_compare.py \
     bench/baselines/backend.json BENCH_backend.json --quiet
+  run_stage "bench-compare-graph" python3 tools/bench_compare.py \
+    bench/baselines/graph.json BENCH_graph.json --quiet
 else
   echo "=== [bench-compare] SKIP: no python3 on PATH"
   record "bench-compare" SKIP
@@ -85,6 +87,12 @@ run_stage "ctest-sparse" ctest --test-dir build-lint -L sparse \
 # framing, requeue/backoff determinism, hot reload, load shedding, plus the
 # bench_serve sidecar validated by validate_manifest.py's serve checks.
 run_stage "ctest-serve" ctest --test-dir build-lint -L serve \
+  --output-on-failure -j "$JOBS"
+
+# Stage 4d: layer-graph suite (label `graph`) from the wall build — spec
+# grammar, conv/pool kernel equivalence, layer-wise training, multi-layer
+# snapshot/checkpoint roundtrips, stacked serving.
+run_stage "ctest-graph" ctest --test-dir build-lint -L graph \
   --output-on-failure -j "$JOBS"
 
 # Stage 5: sanitizer suites (the slow half of the gate).

@@ -21,6 +21,19 @@
 //   workers=1 (0 = all cores; != 1 runs labelling/eval image-parallel with
 //   bitwise-identical results)  batch=1 (> 1 = minibatch STDP training)
 //
+// Deep SNN stacks (see README "Deep SNN stacks" and DESIGN.md §6):
+//   layers=<spec>      build a conv/pool/WTA layer graph instead of the
+//                      single WTA network and train it layer-wise, e.g.
+//                      layers=conv:filters=8,kernel=5;pool:window=2;
+//                             wta:neurons=200
+//   dataset=gestures   procedural temporal-gesture streams (moving-edge
+//                      frame sequences, 8 direction classes) presented
+//                      frame-by-frame through the graph
+//   frame_ms=25        per-frame presentation duration for sequences
+//   snapshot=<path>    stacked models save as "PSSSNAP2" (single-WTA graphs
+//                      keep the legacy v1 bytes); infer mode reloads any
+//                      model kind through the unified sniffing reader
+//
 // Observability (all optional; see README "Observability"):
 //   metrics=<path.json>   dump the metrics registry (pss.metrics.v1)
 //   trace=<path.json>     Chrome trace_event JSON (open in Perfetto)
@@ -41,8 +54,11 @@
 //   faults=<spec>           arm deterministic fault injection, e.g.
 //                           "io.snapshot.write:count=1" (or env PSS_FAULTS;
 //                           see src/pss/robust/fault_injection.hpp)
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <string>
 
@@ -51,7 +67,11 @@
 #include "pss/data/idx.hpp"
 #include "pss/data/synthetic_digits.hpp"
 #include "pss/data/synthetic_fashion.hpp"
+#include "pss/data/temporal_gestures.hpp"
 #include "pss/experiment/experiment.hpp"
+#include "pss/graph/graph_snapshot.hpp"
+#include "pss/graph/graph_trainer.hpp"
+#include "pss/graph/network_graph.hpp"
 #include "pss/io/config.hpp"
 #include "pss/io/pgm.hpp"
 #include "pss/io/snapshot.hpp"
@@ -250,6 +270,131 @@ int run_infer(const Config& cfg, obs::RunManifest* manifest) {
   return 0;
 }
 
+// ----------------------------------------------------------- graph mode
+
+/// The graph path handles stacked architectures (layers=) and the temporal
+/// gesture workload (dataset=gestures); plain single-network runs keep the
+/// battle-tested run_train/run_infer paths above.
+bool wants_graph(const Config& cfg) {
+  return cfg.has("layers") || cfg.get_string("dataset", "") == "gestures";
+}
+
+/// True when `path` holds a stacked graph model ("PSSSNAP2").
+bool stacked_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  return static_cast<bool>(in) && std::memcmp(magic, "PSSSNAP2", 8) == 0;
+}
+
+graph::GraphTrainerConfig graph_trainer_config(const Config& cfg,
+                                               const ExperimentSpec& spec) {
+  graph::GraphTrainerConfig tc;
+  tc.t_learn_ms = spec.trainer_config().t_learn_ms;
+  tc.t_readout_ms = spec.t_infer_ms;
+  tc.frame_ms = cfg.get_double("frame_ms", 25.0);
+  PSS_REQUIRE(tc.frame_ms > 0.0, "frame_ms must be positive");
+  return tc;
+}
+
+GestureDataset load_gestures(const ExperimentSpec& spec) {
+  GestureConfig gc;
+  gc.train_count = spec.train_images;
+  gc.test_count = spec.label_images + spec.eval_images;
+  return make_temporal_gestures(gc);
+}
+
+void report_graph(const char* phase, const graph::GraphEvaluation& eval,
+                  std::size_t labelled, obs::RunManifest* manifest) {
+  std::printf("%s: accuracy %.1f%% (%zu/%zu, %zu abstained) | %zu labelled "
+              "neurons\n",
+              phase, 100.0 * eval.accuracy(), eval.correct, eval.total,
+              eval.abstained, labelled);
+  if (manifest) {
+    manifest->results.emplace_back(std::string(phase) + ".accuracy",
+                                   eval.accuracy());
+    manifest->results.emplace_back(
+        std::string(phase) + ".labelled_neurons",
+        static_cast<double>(labelled));
+  }
+}
+
+int run_graph_train(const Config& cfg, obs::RunManifest* manifest) {
+  const ExperimentSpec spec = spec_from_config(cfg);
+  const bool gestures = cfg.get_string("dataset", "mnist") == "gestures";
+  graph::GraphConfig gcfg =
+      tools::graph_config_from_options(cfg, spec.network_config());
+  graph::NetworkGraph net(gcfg);
+  graph::GraphTrainer trainer(net, graph_trainer_config(cfg, spec));
+
+  std::printf("graph train: %zu stack layers, %zu WTA blocks, %s\n",
+              gcfg.layers.size(), net.block_count(),
+              gestures ? "temporal gestures" : "images");
+  std::size_t labelled = 0;
+  graph::GraphEvaluation eval;
+  std::string dataset_name;
+  if (gestures) {
+    const GestureDataset data = load_gestures(spec);
+    dataset_name = data.name;
+    trainer.train(data.train);
+    const auto label_end =
+        data.test.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(spec.label_images, data.test.size()));
+    labelled = trainer.label({data.test.begin(), label_end});
+    eval = trainer.evaluate({label_end, data.test.end()});
+  } else {
+    const LabeledDataset data = load_data(cfg, spec);
+    dataset_name = data.name;
+    trainer.train(data.train.head(spec.train_images));
+    const auto [label_set, eval_set] = data.labelling_split(spec.label_images);
+    labelled = trainer.label(label_set);
+    eval = trainer.evaluate(eval_set.head(spec.eval_images));
+  }
+  report_graph("graph", eval, labelled, manifest);
+  if (manifest && manifest->dataset.empty()) manifest->dataset = dataset_name;
+
+  if (cfg.has("snapshot")) {
+    const std::string path = cfg.get_string("snapshot", "");
+    graph::save_graph_model(path, graph::GraphModel::capture(net));
+    std::printf("model saved: %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int run_graph_infer(const Config& cfg, obs::RunManifest* manifest) {
+  PSS_REQUIRE(cfg.has("snapshot"), "infer mode needs snapshot=<path>");
+  const ExperimentSpec spec = spec_from_config(cfg);
+  const bool gestures = cfg.get_string("dataset", "mnist") == "gestures";
+  const graph::GraphModel model =
+      graph::load_graph_model(cfg.get_string("snapshot", ""));
+  graph::NetworkGraph net(model.to_config(spec.network_config()));
+  model.restore(net);
+  PSS_REQUIRE(!net.neuron_labels().empty(),
+              "model carries no neuron labels; retrain with mode=train");
+  graph::GraphTrainer trainer(net, graph_trainer_config(cfg, spec));
+
+  graph::GraphEvaluation eval;
+  if (gestures) {
+    const GestureDataset data = load_gestures(spec);
+    const auto eval_begin =
+        data.test.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(spec.label_images, data.test.size()));
+    eval = trainer.evaluate({eval_begin, data.test.end()});
+  } else {
+    const LabeledDataset data = load_data(cfg, spec);
+    const auto [label_set, eval_set] = data.labelling_split(spec.label_images);
+    eval = trainer.evaluate(eval_set.head(spec.eval_images));
+  }
+  std::printf("graph infer: accuracy %.1f%% on %zu presentations\n",
+              100.0 * eval.accuracy(), eval.total);
+  if (manifest) {
+    manifest->results.emplace_back("graph.infer.accuracy", eval.accuracy());
+    manifest->results.emplace_back("graph.infer.presentations",
+                                   static_cast<double>(eval.total));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -288,18 +433,28 @@ int main(int argc, char** argv) {
     const std::uint64_t wall_t0 = obs::monotonic_ns();
     int rc = 0;
     const std::string mode = cfg.get_string("mode", "train");
+    // A stacked snapshot routes infer through the graph path even without
+    // layers= — the architecture lives in the model file.
+    const auto graph_infer = [&](const Config& c) {
+      return wants_graph(c) ||
+             stacked_model_file(c.get_string("snapshot", ""));
+    };
     if (mode == "train") {
-      rc = run_train(cfg, mp);
+      rc = wants_graph(cfg) ? run_graph_train(cfg, mp) : run_train(cfg, mp);
     } else if (mode == "infer") {
-      rc = run_infer(cfg, mp);
+      rc = graph_infer(cfg) ? run_graph_infer(cfg, mp) : run_infer(cfg, mp);
     } else if (mode == "both") {
       Config with_snapshot = cfg;
       if (!cfg.has("snapshot")) {
         with_snapshot.set("snapshot", "out/pss_model.bin");
         std::filesystem::create_directories("out");
       }
-      rc = run_train(with_snapshot, mp);
-      if (rc == 0) rc = run_infer(with_snapshot, mp);
+      rc = wants_graph(with_snapshot) ? run_graph_train(with_snapshot, mp)
+                                      : run_train(with_snapshot, mp);
+      if (rc == 0) {
+        rc = graph_infer(with_snapshot) ? run_graph_infer(with_snapshot, mp)
+                                        : run_infer(with_snapshot, mp);
+      }
     } else {
       throw Error("unknown mode: " + mode + " (train|infer|both)");
     }

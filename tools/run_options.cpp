@@ -5,6 +5,8 @@
 
 #include "pss/backend/backend.hpp"
 #include "pss/common/error.hpp"
+#include "pss/common/suggest.hpp"
+#include "pss/graph/layer_spec.hpp"
 #include "pss/obs/metrics.hpp"
 #include "pss/obs/perf.hpp"
 #include "pss/obs/trace.hpp"
@@ -31,38 +33,6 @@ RoundingMode parse_rounding_mode(const std::string& name) {
 
 namespace {
 
-/// Classic Levenshtein distance, used only on short identifier-like strings
-/// (keys, backend names) to power "did you mean" suggestions.
-std::size_t edit_distance(const std::string& a, const std::string& b) {
-  std::vector<std::size_t> row(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    std::size_t diag = row[0];
-    row[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
-      diag = row[j];
-      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
-    }
-  }
-  return row[b.size()];
-}
-
-/// " — did you mean 'x'?" when some candidate is close enough, else "".
-std::string suggestion_for(const std::string& got,
-                           const std::vector<std::string>& candidates) {
-  std::size_t best = got.size() >= 5 ? 3 : 2;  // tolerance scales with length
-  const std::string* pick = nullptr;
-  for (const std::string& c : candidates) {
-    const std::size_t d = edit_distance(got, c);
-    if (d < best) {
-      best = d;
-      pick = &c;
-    }
-  }
-  return pick ? " — did you mean '" + *pick + "'?" : "";
-}
-
 std::string require_known_backend(const std::string& name) {
   std::vector<std::string> names;
   std::string known;
@@ -82,10 +52,11 @@ const std::vector<std::string>& shared_config_keys() {
   static const std::vector<std::string> keys = {
       "backend",    "batch",   "checkpoint", "checkpoint_every",
       "checkpoints", "eval",   "fault_seed", "faults",
-      "kind",       "label",   "manifest",   "metrics",
-      "metrics_port", "name",  "neurons",    "option",
-      "profile",    "prom",    "resume",     "rounding",
-      "seed",       "trace",   "train",      "workers",
+      "frame_ms",   "kind",    "label",      "layers",
+      "manifest",   "metrics", "metrics_port", "name",
+      "neurons",    "option",  "profile",    "prom",
+      "resume",     "rounding", "seed",      "trace",
+      "train",      "workers",
   };
   return keys;
 }
@@ -139,6 +110,14 @@ ExperimentSpec spec_from_config(const Config& cfg,
   spec.train_checkpoint_path = cfg.get_string("checkpoint", "");
   spec.resume_path = cfg.get_string("resume", "");
   return spec;
+}
+
+graph::GraphConfig graph_config_from_options(const Config& cfg,
+                                             const WtaConfig& base) {
+  if (cfg.has("layers")) {
+    return graph::graph_config_from_spec(cfg.get_string("layers", ""), base);
+  }
+  return graph::single_wta_graph(base);
 }
 
 void arm_faults_from_config(const Config& cfg) {

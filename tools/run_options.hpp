@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "pss/experiment/experiment.hpp"
+#include "pss/graph/layer_spec.hpp"
 #include "pss/io/config.hpp"
 
 namespace pss::tools {
@@ -40,6 +41,18 @@ RoundingMode parse_rounding_mode(const std::string& name);
 /// construction (see src/pss/backend/backend.hpp).
 ExperimentSpec spec_from_config(const Config& cfg,
                                 const std::string& default_name);
+
+/// Builds the layer-graph architecture from the `layers=` spec grammar
+/// (src/pss/graph/layer_spec.hpp):
+///   layers=encode:peak=220,temporal=diff;conv:filters=8,kernel=5,bank=dog;
+///          pool:window=2;wta:neurons=200;readout:inhibition=0
+/// over `base` (backend / dt / STDP rule from the shared keys). Without a
+/// `layers=` key the result is the single-WTA graph of `base` — the
+/// configuration bitwise-equivalent to a standalone WtaNetwork. Malformed
+/// specs throw pss::Error naming the offending kind/key/value with a "did
+/// you mean" suggestion.
+graph::GraphConfig graph_config_from_options(const Config& cfg,
+                                             const WtaConfig& base);
 
 /// Arms deterministic fault injection from faults= / fault_seed= keys
 /// (no-op when neither key is present).

@@ -89,6 +89,8 @@ def validate_metrics(doc: dict, path: str) -> None:
     if doc.get("label") == "pss_serve" or \
             any(name.startswith("serve.") for name in counters):
         validate_serve_metrics(doc["metrics"], path)
+    if any(name.startswith("graph.") for name in counters):
+        validate_graph_metrics(doc["metrics"], path)
 
 
 # Counter families the serving daemon always registers (src/pss/serve/):
@@ -273,6 +275,40 @@ def validate_prometheus(text: str, path: str) -> None:
     expect(samples > 0, path, "exposition contains no samples")
 
 
+_GRAPH_LAYER_NS = re.compile(r"^graph\.l(\d+)\.(conv|pool|wta)\.ns$")
+_GRAPH_LAYER_SPIKES = re.compile(r"^graph\.l(\d+)\.spikes$")
+
+
+def validate_graph_metrics(m: dict, path: str) -> None:
+    """Layer-graph sidecar (pss_run layers=..., BENCH_graph.json): the
+    per-presentation families must be present and the per-layer counters
+    must name a contiguous stack — layer i appearing without i-1 means a
+    torn run or a renamed family."""
+    counters = m["counters"]
+    for name in ("graph.presentations", "graph.input_spikes",
+                 "graph.encode.ns"):
+        expect(name in counters, path,
+               f"graph sidecar: missing counter '{name}'")
+    ns_layers = set()
+    spike_layers = set()
+    for name in counters:
+        match = _GRAPH_LAYER_NS.match(name)
+        if match:
+            ns_layers.add(int(match.group(1)))
+        match = _GRAPH_LAYER_SPIKES.match(name)
+        if match:
+            spike_layers.add(int(match.group(1)))
+    expect(ns_layers == spike_layers, path,
+           f"graph sidecar: per-layer ns counters name layers "
+           f"{sorted(ns_layers)} but spike counters name "
+           f"{sorted(spike_layers)}")
+    expect(ns_layers == set(range(len(ns_layers))), path,
+           f"graph sidecar: layer indices {sorted(ns_layers)} are not "
+           "contiguous from 0")
+    expect(len(ns_layers) > 0, path,
+           "graph sidecar: no per-layer graph.l<i>.* counters")
+
+
 def validate_trace(doc: dict, path: str) -> None:
     events = doc.get("traceEvents")
     expect(isinstance(events, list), path, "'traceEvents': not a list")
@@ -290,6 +326,16 @@ def validate_trace(doc: dict, path: str) -> None:
         for key in ("pid", "tid"):
             expect(isinstance(e.get(key), int), path,
                    f"{ctx}.{key}: not an integer")
+        # Layer-graph spans: graph.present is categorised by pass kind,
+        # every other graph.* span (encode + per-layer) by "graph".
+        name = e["name"]
+        if name == "graph.present":
+            expect(e.get("cat") in ("train", "readout"), path,
+                   f"{ctx}: graph.present cat {e.get('cat')!r}, expected "
+                   "'train' or 'readout'")
+        elif name.startswith("graph."):
+            expect(e.get("cat") == "graph", path,
+                   f"{ctx}: {name} cat {e.get('cat')!r}, expected 'graph'")
 
 
 def validate_file(path: str) -> str:
