@@ -3,9 +3,11 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "pss/common/error.hpp"
 #include "pss/robust/checkpoint.hpp"
+#include "pss/robust/crc32.hpp"
 #include "pss/robust/fault_injection.hpp"
 
 namespace pss::graph {
@@ -55,26 +57,38 @@ std::vector<T> read_vector(std::istream& in, std::uint64_t max_size,
 }
 
 void save_stacked(const std::string& path, const GraphModel& model) {
+  // Serialize the payload first so the header can carry its CRC: unlike the
+  // legacy v1 snapshot, every SNAP2 byte after the 12-byte header is
+  // checksummed — a single flipped bit anywhere in the learned state fails
+  // the load instead of silently perturbing a conductance (the prop
+  // corruption matrix flips every byte and asserts exactly that).
+  std::ostringstream body;
+  std::vector<char> arch(model.arch.begin(), model.arch.end());
+  write_vector(body, arch);
+  write_pod(body, static_cast<std::uint32_t>(model.input.channels));
+  write_pod(body, static_cast<std::uint32_t>(model.input.height));
+  write_pod(body, static_cast<std::uint32_t>(model.input.width));
+  write_pod(body, static_cast<std::uint64_t>(model.blocks.size()));
+  for (const NetworkSnapshot& b : model.blocks) {
+    write_pod(body, b.neuron_count);
+    write_pod(body, b.input_channels);
+    write_pod(body, b.g_min);
+    write_pod(body, b.g_max);
+    write_vector(body, b.conductance);
+    write_vector(body, b.theta);
+  }
+  write_vector(body, model.labels);
+  const std::string payload = body.str();
+  const std::uint32_t crc = robust::crc32(payload.data(), payload.size());
+
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     PSS_REQUIRE(out.is_open(), "cannot create graph model file: " + tmp);
     out.write(kMagic2, sizeof(kMagic2));
-    std::vector<char> arch(model.arch.begin(), model.arch.end());
-    write_vector(out, arch);
-    write_pod(out, static_cast<std::uint32_t>(model.input.channels));
-    write_pod(out, static_cast<std::uint32_t>(model.input.height));
-    write_pod(out, static_cast<std::uint32_t>(model.input.width));
-    write_pod(out, static_cast<std::uint64_t>(model.blocks.size()));
-    for (const NetworkSnapshot& b : model.blocks) {
-      write_pod(out, b.neuron_count);
-      write_pod(out, b.input_channels);
-      write_pod(out, b.g_min);
-      write_pod(out, b.g_max);
-      write_vector(out, b.conductance);
-      write_vector(out, b.theta);
-    }
-    write_vector(out, model.labels);
+    write_pod(out, crc);
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
     out.flush();
     PSS_REQUIRE(static_cast<bool>(out), "graph model write failed: " + tmp);
   }
@@ -90,16 +104,36 @@ void save_stacked(const std::string& path, const GraphModel& model) {
 
 GraphModel load_stacked(const std::string& path) {
   robust::fault_point("io.snapshot.read");
-  std::ifstream in(path, std::ios::binary);
-  PSS_REQUIRE(in.is_open(), "cannot open graph model file: " + path);
-  in.seekg(0, std::ios::end);
-  const auto file_size = static_cast<std::uint64_t>(in.tellg());
-  in.seekg(0, std::ios::beg);
+  std::ifstream file(path, std::ios::binary);
+  PSS_REQUIRE(file.is_open(), "cannot open graph model file: " + path);
+  file.seekg(0, std::ios::end);
+  const auto total_size = static_cast<std::uint64_t>(file.tellg());
+  file.seekg(0, std::ios::beg);
+  PSS_REQUIRE(total_size >= 12,
+              "graph model file too short for a header: " + path);
   char magic[8];
-  in.read(magic, sizeof(magic));
-  PSS_REQUIRE(static_cast<bool>(in) &&
+  file.read(magic, sizeof(magic));
+  PSS_REQUIRE(static_cast<bool>(file) &&
                   std::memcmp(magic, kMagic2, sizeof(kMagic2)) == 0,
               "not a pss graph model (bad magic): " + path);
+  std::uint32_t declared_crc = 0;
+  file.read(reinterpret_cast<char*>(&declared_crc), sizeof(declared_crc));
+  PSS_REQUIRE(static_cast<bool>(file),
+              "truncated graph model file: " + path);
+
+  // Checksum the whole payload before parsing any of it: structural fields
+  // (counts, geometry) and raw state bytes get the same integrity guarantee.
+  std::string payload(static_cast<std::size_t>(total_size - 12), '\0');
+  file.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  PSS_REQUIRE(static_cast<bool>(file),
+              "truncated graph model file: " + path);
+  const std::uint32_t actual_crc =
+      robust::crc32(payload.data(), payload.size());
+  PSS_REQUIRE(actual_crc == declared_crc,
+              "graph model " + path + ": payload CRC mismatch (corrupt file)");
+
+  std::istringstream in(payload);
+  const auto file_size = static_cast<std::uint64_t>(payload.size());
 
   GraphModel model;
   const std::vector<char> arch =

@@ -8,11 +8,14 @@
 //  * single-layer models (empty arch) save as the legacy "PSSSNAP1" file,
 //    byte-for-byte what save_snapshot writes — pre-graph consumers and the
 //    bitwise-preservation tests keep working unchanged;
-//  * stacked models save as "PSSSNAP2": magic · vec<char> arch ·
+//  * stacked models save as "PSSSNAP2": magic · u32 crc32(payload) ·
+//    payload = vec<char> arch ·
 //    u32 input {channels, height, width} · u64 block_count ·
 //    per block {u32 neurons · u32 inputs · f64 g_min · f64 g_max ·
 //    vec<f64> conductance · vec<f64> theta} · vec<i32> labels
-//    (vec = u64 count + raw little-endian data, as in v1);
+//    (vec = u64 count + raw little-endian data, as in v1); the CRC covers
+//    every byte after the 12-byte header, so any flipped bit fails the
+//    load with a structured error;
 //  * load_graph_model also accepts training checkpoints ("PSSCKPT1",
 //    versions 1 and 2) so pss_serve can serve any artifact the trainer
 //    writes — the one sniffing entry point for every model file kind.

@@ -1,5 +1,7 @@
 #include "pss/graph/layer_spec.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -36,9 +38,15 @@ namespace {
 std::size_t parse_size(const std::string& where, const std::string& value) {
   PSS_REQUIRE(!value.empty(), "layers spec: empty value for " + where);
   char* end = nullptr;
+  errno = 0;
   const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
   PSS_REQUIRE(end == value.c_str() + value.size() && value[0] != '-',
               "layers spec: bad integer '" + value + "' for " + where);
+  // strtoull clamps overflow to ULLONG_MAX instead of failing; a spec like
+  // neurons=18446744073709551616 must be an error, not a silent clamp.
+  PSS_REQUIRE(errno != ERANGE,
+              "layers spec: integer '" + value + "' for " + where +
+                  " is out of range");
   return static_cast<std::size_t>(v);
 }
 
@@ -48,6 +56,12 @@ double parse_real(const std::string& where, const std::string& value) {
   const double v = std::strtod(value.c_str(), &end);
   PSS_REQUIRE(end == value.c_str() + value.size(),
               "layers spec: bad number '" + value + "' for " + where);
+  // strtod accepts "inf"/"nan" and overflows to ±inf; every real-valued key
+  // in the grammar means a finite quantity, so reject non-finite here once
+  // rather than per-key (conv.gain had no range check at all).
+  PSS_REQUIRE(std::isfinite(v),
+              "layers spec: number '" + value + "' for " + where +
+                  " must be finite");
   return v;
 }
 

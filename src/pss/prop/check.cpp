@@ -1,0 +1,187 @@
+#include "pss/prop/check.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+
+#include "pss/common/error.hpp"
+#include "pss/prop/shrink.hpp"
+
+namespace pss::prop {
+
+namespace {
+
+/// FNV-1a over the property name: mixed into the seed so different
+/// properties in one binary explore independent streams while a
+/// (seed, case) pair still replays deterministically for the named one.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool env_u64(const char* name, std::uint64_t* out) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+enum class Outcome { kPass, kDiscard, kFail };
+
+/// Runs the property on a Source, classifying the result. Anything thrown
+/// except Discard is a failure — including pss::Error escaping the code
+/// under test.
+Outcome run_property(const Property& property, Source& source,
+                     std::string* message) {
+  try {
+    property(source);
+    return Outcome::kPass;
+  } catch (const Discard&) {
+    return Outcome::kDiscard;
+  } catch (const Failure& failure) {
+    *message = failure.message;
+    return Outcome::kFail;
+  } catch (const std::exception& e) {
+    *message = std::string("unhandled exception: ") + e.what();
+    return Outcome::kFail;
+  } catch (...) {
+    *message = "unhandled non-standard exception";
+    return Outcome::kFail;
+  }
+}
+
+}  // namespace
+
+std::string CheckResult::repro() const {
+  std::ostringstream out;
+  out << "PSS_PROP_SEED=" << seed << " PSS_PROP_CASE=" << failing_case;
+  return out.str();
+}
+
+std::string CheckResult::report() const {
+  if (ok()) return "";
+  std::ostringstream out;
+  out << "property '" << name << "' ";
+  if (gave_up) {
+    out << "gave up: " << message << "\n";
+    return out.str();
+  }
+  out << "failed at case " << failing_case << " (seed " << seed << ")\n"
+      << "  " << message << "\n"
+      << "  shrunk tape: " << failing_tape.size() << " -> "
+      << shrunk_tape.size() << " choices (" << shrink_evaluations
+      << " evals)";
+  if (!shrunk_message.empty() && shrunk_message != message) {
+    out << "\n  minimized failure: " << shrunk_message;
+  }
+  out << "\n  repro: " << repro() << "\n";
+  return out.str();
+}
+
+Source case_source(const std::string& name, std::uint64_t seed,
+                   std::uint64_t case_index) {
+  return Source(CounterRng(seed ^ fnv1a(name), case_index));
+}
+
+CheckResult run_case(const std::string& name, const Property& property,
+                     std::uint64_t seed, std::uint64_t case_index,
+                     CheckOptions options) {
+  CheckResult result;
+  result.name = name;
+  result.seed = seed;
+  result.failing_case = case_index;
+  // A single case may still discard; walk forward through the same
+  // per-case rejection protocol check() uses (a discarded case index never
+  // appears in a repro line, so in practice this runs the one case).
+  Source source = case_source(name, seed, case_index);
+  std::string message;
+  const Outcome outcome = run_property(property, source, &message);
+  result.cases_run = 1;
+  if (outcome == Outcome::kDiscard) {
+    result.discards = 1;
+    return result;
+  }
+  if (outcome == Outcome::kPass) return result;
+
+  result.failed = true;
+  result.message = message;
+  result.failing_tape = source.tape();
+
+  const auto still_fails = [&](const Tape& tape) {
+    Source replay((Tape(tape)));
+    std::string ignored;
+    return run_property(property, replay, &ignored) == Outcome::kFail;
+  };
+  ShrinkStats stats;
+  result.shrunk_tape = shrink_tape(result.failing_tape, still_fails,
+                                   options.shrink_evals, &stats);
+  result.shrink_evaluations = stats.evaluations;
+
+  Source minimized((Tape(result.shrunk_tape)));
+  run_property(property, minimized, &result.shrunk_message);
+  return result;
+}
+
+CheckResult check(const std::string& name, const Property& property,
+                  CheckOptions options) {
+  std::uint64_t seed = options.seed;
+  std::uint64_t only_case = 0;
+  bool have_only_case = false;
+  if (options.read_env) {
+    env_u64("PSS_PROP_SEED", &seed);
+    have_only_case = env_u64("PSS_PROP_CASE", &only_case);
+    std::uint64_t cases_override = 0;
+    if (env_u64("PSS_PROP_CASES", &cases_override) && cases_override > 0) {
+      options.cases = static_cast<std::uint32_t>(cases_override);
+    }
+  }
+
+  if (have_only_case) {
+    return run_case(name, property, seed, only_case, options);
+  }
+
+  CheckResult result;
+  result.name = name;
+  result.seed = seed;
+  const std::uint64_t discard_budget =
+      static_cast<std::uint64_t>(options.cases) * options.max_discard_factor;
+  std::uint64_t case_index = 0;
+  while (result.cases_run < options.cases) {
+    Source source = case_source(name, seed, case_index);
+    std::string message;
+    const Outcome outcome = run_property(property, source, &message);
+    if (outcome == Outcome::kDiscard) {
+      ++result.discards;
+      ++case_index;
+      if (result.discards > discard_budget) {
+        result.failed = true;
+        result.gave_up = true;
+        result.message =
+            "discard budget exhausted (" + std::to_string(result.discards) +
+            " discards for " + std::to_string(result.cases_run) +
+            " accepted cases) — generator rejects too much";
+        return result;
+      }
+      continue;
+    }
+    ++result.cases_run;
+    if (outcome == Outcome::kFail) {
+      CheckResult failing =
+          run_case(name, property, seed, case_index, options);
+      failing.cases_run = result.cases_run;
+      failing.discards = result.discards;
+      return failing;
+    }
+    ++case_index;
+  }
+  return result;
+}
+
+}  // namespace pss::prop

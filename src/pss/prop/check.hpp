@@ -1,0 +1,95 @@
+// Property runner: generate N cases, run the property on each, shrink the
+// first failure, and report a one-line repro recipe.
+//
+// A property is any callable over Source that generates its inputs and
+// asserts its invariant (via PSS_PROP_ASSERT / prop::fail, or by letting an
+// exception escape). check() returns a CheckResult rather than asserting
+// itself so the harness stays test-framework-agnostic; gtest suites do
+//
+//   const prop::CheckResult r = prop::check("name", [](prop::Source& s) {…});
+//   EXPECT_TRUE(r.ok()) << r.report();
+//
+// Reproducing a failure: every failure report carries the single line
+//
+//   PSS_PROP_SEED=<seed> PSS_PROP_CASE=<k>
+//
+// Re-running the same test binary with those environment variables set
+// replays exactly that case (generation is a pure function of
+// (seed ⊕ name-hash, case index) over Philox). PSS_PROP_CASES=<n> scales
+// every check's case budget (e.g. a nightly soak).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "pss/prop/source.hpp"
+
+namespace pss::prop {
+
+struct CheckOptions {
+  std::uint64_t seed = 0x5eed2026u;
+  std::uint32_t cases = 100;
+  /// Predicate-call budget for shrinking a failure.
+  std::uint32_t shrink_evals = 4000;
+  /// Give up when discards exceed cases · this factor (generator bug guard).
+  std::uint32_t max_discard_factor = 10;
+  /// When false, PSS_PROP_SEED / PSS_PROP_CASE / PSS_PROP_CASES are ignored
+  /// (the harness self-tests pin their own seeds).
+  bool read_env = true;
+};
+
+struct CheckResult {
+  std::string name;
+  std::uint64_t seed = 0;  ///< effective seed (after env override)
+  bool failed = false;
+  bool gave_up = false;  ///< discard budget exhausted (counts as failed)
+  std::uint64_t failing_case = 0;
+  std::uint32_t cases_run = 0;
+  std::uint32_t discards = 0;
+  std::string message;         ///< failure message of the original case
+  std::string shrunk_message;  ///< failure message on the minimized tape
+  Tape failing_tape;           ///< as generated
+  Tape shrunk_tape;            ///< after shrinking
+  std::uint32_t shrink_evaluations = 0;
+
+  bool ok() const { return !failed; }
+
+  /// The one-line repro recipe: "PSS_PROP_SEED=… PSS_PROP_CASE=…".
+  std::string repro() const;
+
+  /// Human-readable failure report (includes repro()); empty when ok.
+  std::string report() const;
+};
+
+using Property = std::function<void(Source&)>;
+
+/// Runs `property` over options.cases generated cases. On the first failing
+/// case, shrinks its tape and replays the minimized case for the final
+/// message. Deterministic for a fixed (seed, name, property).
+CheckResult check(const std::string& name, const Property& property,
+                  CheckOptions options = {});
+
+/// Replays exactly one (seed, case_index) pair — what setting PSS_PROP_SEED
+/// and PSS_PROP_CASE does, callable directly (the repro-validation tests
+/// use it to prove recipes reproduce).
+CheckResult run_case(const std::string& name, const Property& property,
+                     std::uint64_t seed, std::uint64_t case_index,
+                     CheckOptions options = {});
+
+/// The Source a given (name, seed, case) generates from — exposed so tests
+/// can pin tape determinism.
+Source case_source(const std::string& name, std::uint64_t seed,
+                   std::uint64_t case_index);
+
+}  // namespace pss::prop
+
+/// Property-side assertion: fails the current case (and is caught and
+/// shrunk by the runner) instead of aborting the test binary.
+#define PSS_PROP_ASSERT(cond, message)                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::pss::prop::fail(std::string("PSS_PROP_ASSERT(" #cond ") failed: ") + \
+                        (message));                                        \
+    }                                                                      \
+  } while (false)

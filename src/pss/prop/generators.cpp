@@ -1,0 +1,292 @@
+#include "pss/prop/generators.hpp"
+
+#include <limits>
+
+namespace pss::prop {
+
+namespace {
+
+/// Finite decimal formatting for generated spec payloads (std::to_string's
+/// fixed six decimals — always re-parseable by the strict spec parsers).
+std::string num(double v) { return std::to_string(v); }
+
+}  // namespace
+
+QFormat gen_qformat(Source& s) {
+  if (s.boolean(0.6)) {
+    // The four Table II formats, minimal-first.
+    switch (s.bits(3)) {
+      case 0: return q0_2();
+      case 1: return q0_4();
+      case 2: return q1_7();
+      default: return q1_15();
+    }
+  }
+  const int m = static_cast<int>(s.bits(2));           // 0..2 integer bits
+  const int n = static_cast<int>(s.range(1, 15));      // 1..15 fraction bits
+  return QFormat(m, n);
+}
+
+StdpUpdaterConfig gen_stdp_config(Source& s) {
+  StdpUpdaterConfig config;
+  config.kind = s.boolean(0.3) ? StdpKind::kDeterministic
+                               : StdpKind::kStochastic;
+  config.magnitude.alpha_p = s.real(0.001, 0.05);
+  config.magnitude.beta_p = s.real(0.5, 4.0);
+  config.magnitude.alpha_d = s.real(0.0005, 0.02);
+  config.magnitude.beta_d = s.real(0.5, 4.0);
+  config.magnitude.g_min = 0.0;
+  config.magnitude.g_max = 1.0;
+  config.gate.gamma_pot = s.real(0.1, 1.0);
+  config.gate.tau_pot = s.real(5.0, 60.0);
+  config.gate.gamma_dep = s.real(0.1, 1.0);
+  config.gate.tau_dep = s.real(2.0, 30.0);
+  config.gate.tau_stale = s.real(20.0, 200.0);
+  config.depression = s.choose({DepressionMode::kStaleAtPost,
+                                DepressionMode::kPreSpikeEq7,
+                                DepressionMode::kBoth});
+  config.det_window_ms = s.real(5.0, 40.0);
+  if (s.boolean(0.5)) {
+    config.format = gen_qformat(s);
+  } else {
+    config.format.reset();
+  }
+  config.rounding = s.choose({RoundingMode::kNearest, RoundingMode::kTruncate,
+                              RoundingMode::kStochastic});
+  return config;
+}
+
+WtaConfig gen_wta_config(Source& s, const std::string& backend) {
+  const LearningOption option =
+      s.choose({LearningOption::kFloat32, LearningOption::k16Bit,
+                LearningOption::k8Bit, LearningOption::k4Bit,
+                LearningOption::k2Bit});
+  const StdpKind kind =
+      s.boolean(0.25) ? StdpKind::kDeterministic : StdpKind::kStochastic;
+  const std::size_t neurons = s.range(2, 14);
+  WtaConfig config = WtaConfig::from_table1(option, kind, neurons);
+  config.backend = backend;
+  config.input_channels = s.range(4, 32);
+  config.seed = s.bits(0xffffffffull);
+  config.fused_step = s.boolean(0.5);
+  config.lazy_stdp = s.boolean(0.5);
+  config.t_inh_ms = s.real(5.0, 30.0);
+  config.spike_amplitude = s.real(1.0, 5.0);
+  config.learning_rate_scale = s.real(1.0, 8.0);
+  config.init_g_lo = s.real(0.05, 0.4);
+  config.init_g_hi = config.init_g_lo + s.real(0.1, 0.5);
+  if (s.boolean(0.3)) config.reference_total_rate_hz = 0.0;  // fixed amplitude
+  return config;
+}
+
+std::vector<double> gen_rates(Source& s, std::size_t channels, double max_hz) {
+  std::vector<double> rates(channels, 0.0);
+  for (double& rate : rates) {
+    if (s.boolean(0.7)) rate = s.real(0.0, max_hz);
+  }
+  return rates;
+}
+
+std::vector<TimeMs> gen_pre_spike_times(Source& s, std::size_t channels,
+                                        TimeMs t_post, TimeMs window_ms) {
+  std::vector<TimeMs> last(channels,
+                           -std::numeric_limits<TimeMs>::infinity());
+  for (TimeMs& t : last) {
+    switch (s.bits(2)) {
+      case 0:  // never fired
+        break;
+      case 1:  // recent, inside ~the causal window
+        t = t_post - s.real(0.0, 3.0 * window_ms);
+        break;
+      default:  // ancient
+        t = t_post - s.real(3.0 * window_ms, 50.0 * window_ms);
+        break;
+    }
+  }
+  return last;
+}
+
+std::string gen_layers_spec(Source& s) {
+  std::string spec = "encode:peak=" + std::to_string(s.range(20, 200));
+  if (s.boolean(0.3)) spec += ",temporal=diff";
+  const bool with_conv = s.boolean(0.5);
+  if (with_conv) {
+    spec += ";conv:filters=" + std::to_string(s.range(1, 4)) +
+            ",kernel=" + std::to_string(s.range(2, 5)) +
+            ",stride=" + std::to_string(s.range(1, 2)) +
+            ",bank=" + std::string(s.boolean() ? "gabor" : "dog");
+    if (s.boolean(0.5)) spec += ",threshold=" + num(s.real(0.5, 4.0));
+    if (s.boolean(0.5)) spec += ",gain=" + num(s.real(0.2, 3.0));
+    if (s.boolean(0.3)) spec += ",decay_ms=" + num(s.real(0.0, 5.0));
+    if (s.boolean(0.4)) {
+      spec += ";pool:window=" + std::to_string(s.range(2, 3));
+    }
+  }
+  const std::uint64_t wta_blocks = s.range(1, 2);
+  for (std::uint64_t b = 0; b < wta_blocks; ++b) {
+    spec += ";wta:neurons=" + std::to_string(s.range(2, 12));
+    if (s.boolean(0.4)) spec += ",gain=" + num(s.real(0.2, 3.0));
+  }
+  if (s.boolean(0.4)) {
+    spec += ";readout:inhibition=" + std::string(s.boolean() ? "1" : "0") +
+            ",theta=" + std::string(s.boolean() ? "1" : "0");
+  }
+  return spec;
+}
+
+namespace {
+
+const char* gen_fault_point(Source& s) {
+  return s.choose({"io.snapshot.write", "io.snapshot.read", "snapshot.corrupt",
+                   "shard.worker", "serve.worker", "train.interrupt",
+                   "synapse.stuck"});
+}
+
+}  // namespace
+
+std::string gen_fault_spec(Source& s) {
+  std::string spec;
+  const std::uint64_t clauses = s.range(1, 2);
+  for (std::uint64_t c = 0; c < clauses; ++c) {
+    if (c > 0) spec += ";";
+    spec += gen_fault_point(s);
+    std::string opts;
+    if (s.boolean(0.7)) {
+      opts += std::string(opts.empty() ? "" : ",") + "rate=" +
+              num(static_cast<double>(s.bits(4)) / 4.0);
+    }
+    if (s.boolean(0.5)) {
+      opts += std::string(opts.empty() ? "" : ",") + "after=" +
+              std::to_string(s.bits(5));
+    }
+    if (s.boolean(0.5)) {
+      opts += std::string(opts.empty() ? "" : ",") + "count=" +
+              std::to_string(s.range(1, 3));
+    }
+    if (s.boolean(0.5)) {
+      opts += std::string(opts.empty() ? "" : ",") + "kind=" +
+              (s.boolean() ? "transient" : "fatal");
+    }
+    if (!opts.empty()) spec += ":" + opts;
+  }
+  return spec;
+}
+
+std::string mutate_string(Source& s, std::string text) {
+  static const char kAlphabet[] = ";:,=+-.eExX 0123456789abznif\t";
+  const std::uint64_t mutations = s.range(1, 4);
+  for (std::uint64_t m = 0; m < mutations; ++m) {
+    const char c =
+        kAlphabet[s.bits(sizeof(kAlphabet) - 2)];  // excl. the NUL
+    if (text.empty()) {
+      text.push_back(c);
+      continue;
+    }
+    const std::size_t pos =
+        static_cast<std::size_t>(s.bits(text.size() - 1));
+    switch (s.bits(3)) {
+      case 0:
+        text.insert(text.begin() + static_cast<std::ptrdiff_t>(pos), c);
+        break;
+      case 1:
+        text.erase(text.begin() + static_cast<std::ptrdiff_t>(pos));
+        break;
+      case 2:
+        text[pos] = c;
+        break;
+      default:
+        text.insert(text.begin() + static_cast<std::ptrdiff_t>(pos),
+                    text[pos]);
+        break;
+    }
+  }
+  return text;
+}
+
+std::string gen_bad_layers_spec(Source& s) {
+  switch (s.bits(7)) {
+    case 0:
+      return "encode:peak=" + std::string(s.boolean() ? "inf" : "nan") +
+             ";wta:neurons=" + std::to_string(s.range(1, 8));
+    case 1:
+      return "conv:gain=" + std::string(s.boolean() ? "nan" : "1e999") +
+             ",filters=2,kernel=3;wta:neurons=4";
+    case 2:
+      // ULLONG_MAX is ...615: a final digit of 6–9 guarantees the value
+      // overflows strtoull — which must be an error, not a clamp.
+      return "wta:neurons=1844674407370955161" + std::to_string(6 + s.bits(3));
+    case 3:
+      return "wta:neurons=" + std::to_string(s.range(1, 8)) +
+             ";conv:filters=2,kernel=3";  // conv after wta
+    case 4:
+      return "pool:window=2;wta:neurons=4";  // pool with no conv predecessor
+    case 5:
+      return "wta:neurons=";  // empty value
+    case 6:
+      return ";;wta:neurons=4";  // empty segments
+    default:
+      return "wta:neurons=" + std::to_string(s.range(1, 8)) + ",gain=-" +
+             num(s.real(0.1, 2.0));  // gain must be > 0
+  }
+}
+
+std::string gen_bad_fault_spec(Source& s) {
+  const std::string point = gen_fault_point(s);
+  switch (s.bits(7)) {
+    case 0:
+      return point + ":after=" + std::string(s.boolean() ? "nan" : "-3");
+    case 1:
+      return point + ":count=" + std::string(s.boolean() ? "1e300" : "inf");
+    case 2:
+      return point + ":after=" + num(s.real(0.1, 0.9));  // non-integer
+    case 3:
+      return point + ":rate=" + num(s.real(1.5, 9.0));  // out of [0, 1]
+    case 4: {
+      // Character mutations can cancel out; force the value off the
+      // transient|fatal vocabulary so the clause is genuinely malformed.
+      std::string kind = mutate_string(s, "transient");
+      if (kind == "transient" || kind == "fatal") kind += "z";
+      return point + ":kind=" + kind;
+    }
+    case 5:
+      return point + ":bogus_key=" + std::to_string(s.bits(9));
+    case 6:
+      return ":rate=1";  // missing point name
+    default:
+      return point + ":rate";  // not key=value
+  }
+}
+
+std::vector<std::string> gen_run_option_tokens(Source& s) {
+  std::vector<std::string> tokens;
+  const std::uint64_t count = s.range(1, 5);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string key =
+        s.choose({"neurons", "train", "label", "eval", "workers", "batch",
+                  "seed", "option", "kind", "rounding", "backend",
+                  "checkpoints", "checkpoint_every", "fault_seed"});
+    std::string value;
+    switch (s.bits(4)) {
+      case 0:  // plausible small integer
+        value = std::to_string(s.bits(200));
+        break;
+      case 1:  // negative integer (several keys must reject these)
+        value = "-" + std::to_string(s.range(1, 1000));
+        break;
+      case 2:  // enum-ish word, sometimes valid
+        value = s.choose({"fp32", "2bit", "stochastic", "nearest", "cpu",
+                          "cpu_simd", "gpu", "bogus"});
+        break;
+      case 3:  // number with trailing garbage
+        value = std::to_string(s.bits(99)) + s.choose({"x", "e", ".", " "});
+        break;
+      default:  // mutated digits
+        value = mutate_string(s, std::to_string(s.bits(999)));
+        break;
+    }
+    tokens.push_back(key + "=" + value);
+  }
+  return tokens;
+}
+
+}  // namespace pss::prop

@@ -1,0 +1,73 @@
+// Domain generators over prop::Source — the structured-input vocabulary the
+// property suites share: WTA configs, rate vectors, spike trains, Q-formats,
+// `layers=` specs, `faults=` schedules, and mutation-based malformed-string
+// fuzzing for the grammar suites.
+//
+// Generators draw ONLY through the Source (enforced by the pss_lint
+// `prop-seed` rule): that is what makes every generated case replayable from
+// a (seed, case) pair and shrinkable through the choice tape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pss/common/types.hpp"
+#include "pss/fixedpoint/qformat.hpp"
+#include "pss/network/wta_network.hpp"
+#include "pss/prop/source.hpp"
+#include "pss/synapse/stdp_updater.hpp"
+
+namespace pss::prop {
+
+/// One of the four Table II formats, or an arbitrary valid Qm.n.
+QFormat gen_qformat(Source& s);
+
+/// A full learning-rule configuration: rule kind, magnitudes, gates,
+/// depression pathway, precision and rounding — parameter ranges bracket
+/// Table I generously.
+StdpUpdaterConfig gen_stdp_config(Source& s);
+
+/// A small, trainable WTA network configuration on `backend` (derived from
+/// a Table I row, then perturbed: geometry, seeds, amplitudes, fused/lazy
+/// toggles, learning rates). Sized for fast property evaluation.
+WtaConfig gen_wta_config(Source& s, const std::string& backend);
+
+/// Per-channel Poisson rates in [0, max_hz]; a fraction of channels silent.
+std::vector<double> gen_rates(Source& s, std::size_t channels, double max_hz);
+
+/// Last-pre-spike times for a conductance row at post-spike time `t_post`:
+/// a mix of recent spikes (gap in [0, 3·window]), ancient ones, and
+/// never-fired (-infinity), matching what the presentation loop feeds the
+/// stdp_row kernel.
+std::vector<TimeMs> gen_pre_spike_times(Source& s, std::size_t channels,
+                                        TimeMs t_post, TimeMs window_ms);
+
+/// A valid `layers=` spec for the default 28×28 input: encode options, an
+/// optional conv(/pool) front-end whose kernel fits, 1–2 WTA blocks, an
+/// optional readout segment.
+std::string gen_layers_spec(Source& s);
+
+/// A valid `faults=` spec over the known fault points: 1–2 clauses with a
+/// generated subset of rate/after/count/kind keys.
+std::string gen_fault_spec(Source& s);
+
+/// Applies 1–4 random character-level mutations (insert/delete/replace/
+/// duplicate from a grammar-flavoured alphabet) — the fuzz step for the
+/// "malformed strings always produce a structured error" properties.
+std::string mutate_string(Source& s, std::string text);
+
+/// A deliberately malformed `layers=` spec drawn from the crasher families
+/// the fuzzer found (non-finite reals, overflowing integers, structural
+/// garbage), with generated payloads.
+std::string gen_bad_layers_spec(Source& s);
+
+/// A deliberately malformed `faults=` clause (bad numbers for after/count,
+/// out-of-range rate, unknown kind/key, structural garbage).
+std::string gen_bad_fault_spec(Source& s);
+
+/// argv-style "key=value" tokens over the shared run-option keys with
+/// type-plausible and garbage values mixed (for spec_from_config fuzzing).
+std::vector<std::string> gen_run_option_tokens(Source& s);
+
+}  // namespace pss::prop

@@ -1,0 +1,93 @@
+#include "pss/prop/shrink.hpp"
+
+#include <utility>
+
+namespace pss::prop {
+
+namespace {
+
+struct Budget {
+  const std::function<bool(const Tape&)>& predicate;
+  std::uint32_t limit;
+  ShrinkStats stats;
+
+  bool spent() const { return stats.evaluations >= limit; }
+
+  bool try_candidate(const Tape& candidate) {
+    if (spent()) return false;
+    ++stats.evaluations;
+    const bool fails = predicate(candidate);
+    if (fails) ++stats.accepted;
+    return fails;
+  }
+};
+
+/// Delete contiguous blocks, chunk size halving. Returns true if the tape
+/// got shorter.
+bool size_pass(Tape& tape, Budget& budget) {
+  bool improved = false;
+  for (std::size_t len = tape.size() / 2; len >= 1; len /= 2) {
+    std::size_t start = 0;
+    while (start + len <= tape.size() && !budget.spent()) {
+      Tape candidate;
+      candidate.reserve(tape.size() - len);
+      candidate.insert(candidate.end(), tape.begin(),
+                       tape.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       tape.begin() + static_cast<std::ptrdiff_t>(start + len),
+                       tape.end());
+      if (budget.try_candidate(candidate)) {
+        tape = std::move(candidate);
+        improved = true;
+        // Do not advance: the next block slid into `start`.
+      } else {
+        start += len;
+      }
+    }
+    if (len == 1) break;
+  }
+  return improved;
+}
+
+/// Per-position descent toward 0. Returns true if any value decreased.
+bool value_pass(Tape& tape, Budget& budget) {
+  bool improved = false;
+  for (std::size_t i = 0; i < tape.size() && !budget.spent(); ++i) {
+    while (tape[i] > 0 && !budget.spent()) {
+      const std::uint64_t v = tape[i];
+      bool stepped = false;
+      for (const std::uint64_t candidate_value :
+           {std::uint64_t{0}, v / 2, v - 1}) {
+        if (candidate_value >= v) continue;
+        Tape candidate = tape;
+        candidate[i] = candidate_value;
+        if (budget.try_candidate(candidate)) {
+          tape[i] = candidate_value;
+          improved = true;
+          stepped = true;
+          break;
+        }
+      }
+      if (!stepped) break;
+    }
+  }
+  return improved;
+}
+
+}  // namespace
+
+Tape shrink_tape(Tape failing,
+                 const std::function<bool(const Tape&)>& still_fails,
+                 std::uint32_t eval_limit, ShrinkStats* stats) {
+  Budget budget{still_fails, eval_limit, {}};
+  bool improved = true;
+  while (improved && !budget.spent()) {
+    improved = false;
+    if (size_pass(failing, budget)) improved = true;
+    if (value_pass(failing, budget)) improved = true;
+  }
+  if (stats != nullptr) *stats = budget.stats;
+  return failing;
+}
+
+}  // namespace pss::prop

@@ -1,0 +1,35 @@
+// Greedy tape shrinker: given a failing choice tape, find a smaller one
+// that still fails the property.
+//
+// Two alternating passes until a fixpoint (or the evaluation budget runs
+// out):
+//  * size pass — delete contiguous tape blocks, chunk size halving from
+//    half the tape down to single draws (ddmin-style);
+//  * value pass — per position, descend each choice toward 0 (try 0, then
+//    v/2, then v−1, keeping the first that still fails).
+//
+// Every accepted candidate strictly decreases the (length, Σ values)
+// measure, so shrinking always terminates; with a deterministic predicate
+// (tape replay is pure — see source.hpp) the result is a deterministic
+// function of the input tape.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "pss/prop/source.hpp"
+
+namespace pss::prop {
+
+struct ShrinkStats {
+  std::uint32_t evaluations = 0;  ///< predicate calls spent
+  std::uint32_t accepted = 0;     ///< candidates that still failed
+};
+
+/// `still_fails(tape)` must replay the property on the candidate tape and
+/// return true iff it still fails. At most `eval_limit` predicate calls.
+Tape shrink_tape(Tape failing,
+                 const std::function<bool(const Tape&)>& still_fails,
+                 std::uint32_t eval_limit, ShrinkStats* stats = nullptr);
+
+}  // namespace pss::prop

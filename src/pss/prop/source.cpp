@@ -1,0 +1,59 @@
+#include "pss/prop/source.hpp"
+
+namespace pss::prop {
+
+void discard(const std::string& reason) { throw Discard{reason}; }
+
+void fail(const std::string& message) { throw Failure{message}; }
+
+std::uint64_t Source::bits(std::uint64_t bound_inclusive) {
+  std::uint64_t value = 0;
+  if (replay_) {
+    value = pos_ < tape_.size() ? tape_[pos_] : 0;
+    ++pos_;
+    // Clamp (not wrap): a shrunk tape value can only shrink the result.
+    if (value > bound_inclusive) value = bound_inclusive;
+    return value;
+  }
+  if (bound_inclusive > 0) {
+    if (bound_inclusive < 0xffffffffull) {
+      value = rng_.below(counter_++,
+                         static_cast<std::uint32_t>(bound_inclusive) + 1);
+    } else {
+      // Wide bound: compose two 32-bit words. The modulo bias is far below
+      // anything a generator distribution could notice.
+      const std::uint64_t hi = rng_.bits(counter_++);
+      const std::uint64_t lo = rng_.bits(counter_++);
+      value = (hi << 32) | lo;
+      if (bound_inclusive != 0xffffffffffffffffull) {
+        value %= bound_inclusive + 1;
+      }
+    }
+  }
+  tape_.push_back(value);
+  return value;
+}
+
+std::uint64_t Source::range(std::uint64_t lo, std::uint64_t hi) {
+  return lo + bits(hi - lo);
+}
+
+double Source::unit() {
+  // 53-bit mantissa: tape value k maps to k·2⁻⁵³, so value shrinking is
+  // result shrinking and 0 is exactly 0.0.
+  const std::uint64_t k = bits((1ull << 53) - 1);
+  return static_cast<double>(k) * 0x1p-53;
+}
+
+double Source::real(double lo, double hi) { return lo + unit() * (hi - lo); }
+
+bool Source::boolean(double p) {
+  if (replay_) return bits(1) != 0;
+  // Record the outcome, not the raw draw, so tape value 0 is always `false`
+  // regardless of p.
+  const bool out = rng_.uniform(counter_++) < p;
+  tape_.push_back(out ? 1 : 0);
+  return out;
+}
+
+}  // namespace pss::prop

@@ -1,0 +1,104 @@
+// Choice-tape randomness source — the primitive the property harness is
+// built on (DESIGN.md "Property & differential harness").
+//
+// Every generator draws through a Source. In generation mode each draw comes
+// from the counter-based Philox stream and is RECORDED on a tape (one u64
+// per draw); in replay mode draws are read back off the tape. The tape is
+// therefore a complete, portable serialization of one generated test case —
+// shrinking operates on the tape alone (delete draws, reduce values toward
+// zero) and regenerates the structured value through the very same generator
+// code, so every shrunk candidate is by construction a value the generator
+// could have produced.
+//
+// Two conventions make tapes shrink well:
+//  * every primitive maps tape value 0 to its minimal result (bits() → 0,
+//    unit() → 0.0, boolean() → false, choose() → first alternative), and
+//  * replay draws past the tape end return 0 — deleting a tape suffix
+//    degrades a case toward the minimal one instead of crashing the replay.
+//
+// Properties reject uninteresting cases with prop::discard() and fail with
+// prop::fail() / PSS_PROP_ASSERT (see check.hpp).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+
+namespace pss::prop {
+
+/// One recorded test case: the sequence of raw choices its generators made.
+using Tape = std::vector<std::uint64_t>;
+
+/// Thrown by prop::discard(). Deliberately NOT derived from std::exception:
+/// a property wrapping code-under-test in catch (const std::exception&)
+/// must not swallow its own discard signal.
+struct Discard {
+  std::string reason;
+};
+
+/// Thrown by prop::fail() / PSS_PROP_ASSERT. Not derived from
+/// std::exception for the same reason as Discard: the harness, not the
+/// property body, classifies it.
+struct Failure {
+  std::string message;
+};
+
+/// Rejects the current case (e.g. a generated config that violates a
+/// precondition). The runner draws a fresh case instead; discards do not
+/// count against the case budget.
+[[noreturn]] void discard(const std::string& reason);
+
+/// Fails the current case with a message; the runner records and shrinks it.
+[[noreturn]] void fail(const std::string& message);
+
+class Source {
+ public:
+  /// Generation mode: draws from `rng` at sequential counters, recording
+  /// each result on the tape.
+  explicit Source(const CounterRng& rng) : rng_(rng) {}
+
+  /// Replay mode: draws come from `tape` (clamped into the requested
+  /// bound); draws past the end return 0.
+  explicit Source(Tape tape) : replay_(true), tape_(std::move(tape)) {}
+
+  /// Uniform integer in [0, bound_inclusive].
+  std::uint64_t bits(std::uint64_t bound_inclusive);
+
+  /// Uniform integer in [lo, hi] (requires lo <= hi).
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1) with 53-bit resolution; tape value 0 → 0.0
+  /// and smaller tape values → smaller results (shrink-friendly).
+  double unit();
+
+  /// Uniform double in [lo, hi); shrinks toward lo.
+  double real(double lo, double hi);
+
+  /// True with probability p; shrinks toward false.
+  bool boolean(double p = 0.5);
+
+  /// One of the listed alternatives; shrinks toward the first.
+  template <typename T>
+  T choose(std::initializer_list<T> options) {
+    const auto n = static_cast<std::uint64_t>(options.size());
+    const std::uint64_t index = n == 0 ? 0 : bits(n - 1);
+    return *(options.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+
+  bool replay() const { return replay_; }
+  const Tape& tape() const { return tape_; }
+  /// Draws made so far (tape cursor in replay mode, tape size otherwise).
+  std::size_t draws() const { return replay_ ? pos_ : tape_.size(); }
+
+ private:
+  bool replay_ = false;
+  Tape tape_;
+  std::size_t pos_ = 0;  ///< replay cursor
+  CounterRng rng_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace pss::prop

@@ -1,5 +1,6 @@
 #include "pss/robust/fault_injection.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -35,6 +36,20 @@ double parse_number(const std::string& clause, const std::string& value) {
                 "'");
   }
   return out;
+}
+
+/// `after=`/`count=` thresholds are u64 hit counts. A plain cast of the
+/// parsed double would be UB for NaN, negative, or out-of-range values
+/// (found by the prop grammar fuzzer), so the value must be a non-negative
+/// integer within the double's exact-integer range before conversion.
+std::uint64_t parse_count(const std::string& clause, const std::string& key,
+                          const std::string& value) {
+  const double v = parse_number(clause, value);
+  if (!(v >= 0.0) || v > 9007199254740992.0 || v != std::floor(v)) {
+    throw Error("fault spec: " + key + " must be a non-negative integer, got '" +
+                value + "' in clause '" + clause + "'");
+  }
+  return static_cast<std::uint64_t>(v);
 }
 
 }  // namespace
@@ -79,9 +94,9 @@ void FaultInjector::arm_from_spec(const std::string& spec) {
         if (key == "rate") {
           arm.rate = parse_number(clause, value);
         } else if (key == "after") {
-          arm.after = static_cast<std::uint64_t>(parse_number(clause, value));
+          arm.after = parse_count(clause, key, value);
         } else if (key == "count") {
-          arm.count = static_cast<std::uint64_t>(parse_number(clause, value));
+          arm.count = parse_count(clause, key, value);
         } else if (key == "param") {
           arm.param = parse_number(clause, value);
         } else if (key == "kind") {

@@ -1,0 +1,29 @@
+// Seeded violations for the prop-seed rule: property code that constructs
+// its own literal-seeded RNGs (or a <random> engine) instead of drawing
+// from the harness's (seed, case) Philox stream. Never compiled — scanned
+// by tools/lint/pss_lint.py via tests/test_pss_lint.py. Expected: 3
+// prop-seed findings.
+#include <cstdint>
+#include <random>
+
+#include "pss/common/rng.hpp"
+
+namespace pss::prop {
+
+void bad_literal_counter() {
+  CounterRng rng(0x1234, 7);  // violation: literal-seeded CounterRng
+  (void)rng;
+}
+
+void bad_literal_sequential() {
+  SequentialRng rng(42);  // violation: literal-seeded SequentialRng
+  (void)rng;
+}
+
+double bad_std_engine() {
+  // A comment mentioning CounterRng(123) must NOT fire; code must.
+  std::mt19937 gen(99);  // violation: <random> engine in property code
+  return static_cast<double>(gen());
+}
+
+}  // namespace pss::prop

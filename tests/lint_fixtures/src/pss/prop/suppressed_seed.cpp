@@ -1,0 +1,15 @@
+// A valid, audited prop-seed suppression: must land in the report's
+// `suppressed` list, not `violations`. Never compiled.
+#include <cstdint>
+
+#include "pss/common/rng.hpp"
+
+namespace pss::prop {
+
+void golden_vector_check() {
+  // Pinning a published test vector legitimately needs a fixed key.
+  CounterRng rng(0xdeadbeef, 0);  // pss-lint: allow(prop-seed)
+  (void)rng;
+}
+
+}  // namespace pss::prop

@@ -1,0 +1,14 @@
+// Proves the prop-seed rule also covers the tests/test_prop_*.cpp scope,
+// not just src/pss/prop/. Never compiled. Expected: 1 prop-seed finding.
+#include <cstdint>
+
+#include "pss/common/rng.hpp"
+
+namespace pss {
+
+void property_with_private_rng() {
+  CounterRng rng(7, 0);  // violation: the Source must supply all draws
+  (void)rng;
+}
+
+}  // namespace pss

@@ -1,0 +1,261 @@
+// Bit-flip corruption matrices for the stacked model ("PSSSNAP2") and
+// multi-layer checkpoint ("PSSCKPT1" v2) loaders (ISSUE satellite 2) —
+// extending test_robust's v1 matrix to the formats the layer-graph stack
+// writes. Every byte of each artifact is XOR-flipped in turn and every
+// truncation length tried: the loaders must answer each with a structured
+// pss::Error (CRC mismatch, magic/version/bounds violation) — never a
+// crash, a bad_alloc from a corrupt count, or a silently-loaded wrong
+// model. The models under test are prop-generated so the matrices cover
+// varying geometry, not one golden file.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pss/common/error.hpp"
+#include "pss/graph/graph_snapshot.hpp"
+#include "pss/prop/check.hpp"
+#include "pss/prop/generators.hpp"
+#include "pss/robust/checkpoint.hpp"
+
+namespace pss {
+namespace {
+
+using prop::Source;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void flip_byte(const std::string& path, std::uint64_t offset,
+               unsigned char mask = 0xFF) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ mask);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&b, 1);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.is_open()) << path;
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// How one load of a deliberately damaged file ended.
+enum class LoadOutcome { kLoaded, kStructuredError, kOther };
+
+template <typename Fn>
+LoadOutcome classify_load(Fn&& fn, std::string* detail) {
+  try {
+    fn();
+    return LoadOutcome::kLoaded;
+  } catch (const Error& e) {
+    *detail = e.what();
+    return LoadOutcome::kStructuredError;
+  } catch (const std::exception& e) {
+    *detail = std::string("foreign exception: ") + e.what();
+    return LoadOutcome::kOther;
+  } catch (...) {
+    *detail = "non-standard exception";
+    return LoadOutcome::kOther;
+  }
+}
+
+/// Runs the full flip + truncation matrix of `loader` over the good bytes
+/// at `good_path`. `stride` > 1 thins very large files; every byte of the
+/// header region [0, 32) is always covered.
+template <typename Fn>
+void run_matrix(const std::string& good_path, const std::string& label,
+                Fn&& loader) {
+  const std::string good = read_file(good_path);
+  ASSERT_FALSE(good.empty());
+  const std::uint64_t size = good.size();
+  const std::uint64_t stride = size <= 4096 ? 1 : size / 2048;
+  const std::string bad_path = temp_path("pss_prop_matrix_bad.bin");
+
+  std::uint64_t flips = 0;
+  for (std::uint64_t offset = 0; offset < size;
+       offset += (offset < 32 ? 1 : stride)) {
+    write_file(bad_path, good);
+    flip_byte(bad_path, offset);
+    std::string detail;
+    const LoadOutcome outcome = classify_load([&] { loader(bad_path); },
+                                              &detail);
+    EXPECT_EQ(outcome, LoadOutcome::kStructuredError)
+        << label << ": flipped byte " << offset << " of " << size << " -> "
+        << (outcome == LoadOutcome::kLoaded ? "silently loaded" : detail);
+    ++flips;
+  }
+  EXPECT_GE(flips, 32u);
+
+  for (std::uint64_t keep = 0; keep < size;
+       keep += (keep < 32 ? 1 : stride)) {
+    write_file(bad_path, good.substr(0, keep));
+    std::string detail;
+    const LoadOutcome outcome = classify_load([&] { loader(bad_path); },
+                                              &detail);
+    EXPECT_EQ(outcome, LoadOutcome::kStructuredError)
+        << label << ": truncated to " << keep << " of " << size
+        << " bytes -> "
+        << (outcome == LoadOutcome::kLoaded ? "silently loaded" : detail);
+  }
+  std::filesystem::remove(bad_path);
+}
+
+/// A prop-generated stacked model: varying arch string, block geometry and
+/// conductance payloads (deterministic — drawn from the fixed (seed, case)).
+graph::GraphModel gen_model(std::uint64_t case_index) {
+  Source s = prop::case_source("corruption_model", 0x50a9, case_index);
+  graph::GraphModel model;
+  model.input = {1, 8, 8};
+  const std::uint64_t blocks = s.range(2, 3);  // >= 2 keeps the format SNAP2
+  std::string arch = "encode:peak=" + std::to_string(s.range(40, 200));
+  std::size_t inputs = 64;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    NetworkSnapshot block;
+    block.neuron_count = static_cast<std::uint32_t>(s.range(2, 6));
+    block.input_channels = static_cast<std::uint32_t>(inputs);
+    block.g_min = 0.0;
+    block.g_max = 1.0;
+    for (std::size_t i = 0; i < block.neuron_count * inputs; ++i) {
+      block.conductance.push_back(s.real(0.0, 1.0));
+    }
+    for (std::size_t i = 0; i < block.neuron_count; ++i) {
+      block.theta.push_back(s.real(0.0, 0.5));
+    }
+    arch += ";wta:neurons=" + std::to_string(block.neuron_count);
+    inputs = block.neuron_count;
+    model.blocks.push_back(std::move(block));
+  }
+  model.arch = arch;
+  for (std::size_t i = 0; i < model.blocks.back().neuron_count; ++i) {
+    model.labels.push_back(static_cast<std::int32_t>(s.bits(10)) - 1);
+  }
+  return model;
+}
+
+TEST(PropCorruption, StackedModelRoundTripsUnharmed) {
+  const std::string path = temp_path("pss_prop_snap2_good.bin");
+  const graph::GraphModel model = gen_model(0);
+  graph::save_graph_model(path, model);
+  const graph::GraphModel back = graph::load_graph_model(path);
+  EXPECT_EQ(back.arch, model.arch);
+  ASSERT_EQ(back.blocks.size(), model.blocks.size());
+  for (std::size_t b = 0; b < model.blocks.size(); ++b) {
+    EXPECT_EQ(back.blocks[b].conductance, model.blocks[b].conductance);
+    EXPECT_EQ(back.blocks[b].theta, model.blocks[b].theta);
+  }
+  EXPECT_EQ(back.labels, model.labels);
+  std::filesystem::remove(path);
+}
+
+TEST(PropCorruption, StackedModelFlipAndTruncationMatrix) {
+  for (std::uint64_t c = 0; c < 3; ++c) {
+    const std::string path = temp_path("pss_prop_snap2_matrix.bin");
+    graph::save_graph_model(path, gen_model(c));
+    run_matrix(path, "PSSSNAP2 case " + std::to_string(c),
+               [](const std::string& p) { graph::load_graph_model(p); });
+    std::filesystem::remove(path);
+  }
+}
+
+/// A prop-generated v2 stacked checkpoint over the same geometry vocabulary.
+robust::StackedCheckpoint gen_checkpoint(std::uint64_t case_index) {
+  Source s = prop::case_source("corruption_ckpt", 0xc4c7, case_index);
+  robust::StackedCheckpoint cp;
+  cp.base.run_id = s.bits(0xffff);
+  cp.base.seed = s.bits(0xffff);
+  cp.base.images_done = s.bits(500);
+  cp.base.presentation_cursor = cp.base.images_done;
+  cp.base.now_ms = s.real(0.0, 1e4);
+  cp.base.neuron_count = static_cast<std::uint32_t>(s.range(2, 6));
+  // Divisible by 4: the frame shape below is 1 × 4 × (channels / 4).
+  cp.base.input_channels = static_cast<std::uint32_t>(4 * s.range(1, 4));
+  cp.base.g_min = 0.0;
+  cp.base.g_max = 1.0;
+  for (std::size_t i = 0;
+       i < cp.base.neuron_count * cp.base.input_channels; ++i) {
+    cp.base.conductance.push_back(s.real(0.0, 1.0));
+  }
+  for (std::size_t i = 0; i < cp.base.neuron_count; ++i) {
+    cp.base.theta.push_back(s.real(0.0, 0.5));
+  }
+  const std::uint32_t second_block =
+      static_cast<std::uint32_t>(s.range(2, 5));
+  cp.arch = "wta:neurons=" + std::to_string(cp.base.neuron_count) +
+            ";wta:neurons=" + std::to_string(second_block);
+  cp.input_channels = 1;
+  cp.input_height = 4;
+  cp.input_width = cp.base.input_channels / 4;
+  robust::StackedCheckpoint::BlockState block;
+  block.neuron_count = second_block;
+  block.input_channels = cp.base.neuron_count;
+  block.g_min = 0.0;
+  block.g_max = 1.0;
+  for (std::size_t i = 0; i < block.neuron_count * block.input_channels;
+       ++i) {
+    block.conductance.push_back(s.real(0.0, 1.0));
+  }
+  for (std::size_t i = 0; i < block.neuron_count; ++i) {
+    block.theta.push_back(s.real(0.0, 0.5));
+  }
+  cp.blocks.push_back(std::move(block));
+  for (std::uint32_t i = 0; i < second_block; ++i) {
+    cp.labels.push_back(static_cast<std::int32_t>(s.bits(10)) - 1);
+  }
+  return cp;
+}
+
+TEST(PropCorruption, StackedCheckpointRoundTripsUnharmed) {
+  const std::string path = temp_path("pss_prop_ckpt2_good.bin");
+  const robust::StackedCheckpoint cp = gen_checkpoint(0);
+  robust::save_stacked_checkpoint(path, cp);
+  const robust::StackedCheckpoint back =
+      robust::load_stacked_checkpoint(path);
+  EXPECT_EQ(back.arch, cp.arch);
+  EXPECT_EQ(back.base.conductance, cp.base.conductance);
+  EXPECT_EQ(back.base.theta, cp.base.theta);
+  ASSERT_EQ(back.blocks.size(), 1u);
+  EXPECT_EQ(back.blocks[0].conductance, cp.blocks[0].conductance);
+  EXPECT_EQ(back.labels, cp.labels);
+  std::filesystem::remove(path);
+}
+
+TEST(PropCorruption, StackedCheckpointFlipAndTruncationMatrix) {
+  for (std::uint64_t c = 0; c < 3; ++c) {
+    const std::string path = temp_path("pss_prop_ckpt2_matrix.bin");
+    robust::save_stacked_checkpoint(path, gen_checkpoint(c));
+    run_matrix(path, "PSSCKPT1v2 case " + std::to_string(c),
+               [](const std::string& p) {
+                 robust::load_stacked_checkpoint(p);
+               });
+    std::filesystem::remove(path);
+  }
+}
+
+/// The unified model reader sniffs checkpoints too — the same damaged
+/// checkpoint bytes must fail through that entry point as well.
+TEST(PropCorruption, UnifiedReaderRejectsDamagedCheckpoints) {
+  const std::string path = temp_path("pss_prop_unified_matrix.bin");
+  robust::save_stacked_checkpoint(path, gen_checkpoint(1));
+  run_matrix(path, "unified reader over PSSCKPT1v2",
+             [](const std::string& p) { graph::load_graph_model(p); });
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,280 @@
+// Fault-schedule explorer (ISSUE consumer 3): property-based exploration of
+// the deterministic fault-injection registry. Generated `faults=` plans are
+// armed through the same spec parser operators use, and the suite asserts
+// the three contracts the robustness layer sells: (a) fire decisions are a
+// pure function of (spec, seed, hit sequence); (b) a fatal train.interrupt
+// at any generated (checkpoint_every, kill ordinal) resumes bitwise onto the
+// uninterrupted trajectory; (c) transient shard.worker and io.snapshot.write
+// schedules — whatever items they land on — never change the trained state.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "pss/common/error.hpp"
+#include "pss/common/log.hpp"
+#include "pss/data/synthetic_digits.hpp"
+#include "pss/engine/batch_runner.hpp"
+#include "pss/learning/trainer.hpp"
+#include "pss/network/wta_network.hpp"
+#include "pss/prop/check.hpp"
+#include "pss/prop/generators.hpp"
+#include "pss/robust/checkpoint.hpp"
+#include "pss/robust/fault_injection.hpp"
+
+namespace pss {
+namespace {
+
+using prop::CheckResult;
+using prop::Source;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+prop::CheckOptions options_with(std::uint32_t cases) {
+  prop::CheckOptions options;
+  options.cases = cases;
+  return options;
+}
+
+/// Clears the process-wide injector on both sides of a property case, so a
+/// Failure unwinding out of the middle of a case can't leave a schedule
+/// armed for the next case (or the next test).
+struct ScopedFaultClear {
+  ScopedFaultClear() { robust::faults().clear(); }
+  ~ScopedFaultClear() { robust::faults().clear(); }
+};
+
+class PropFaults : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_level(LogLevel::kError);
+    robust::faults().clear();
+  }
+  void TearDown() override { robust::faults().clear(); }
+};
+
+WtaConfig tiny_config(std::uint64_t seed, const std::string& backend) {
+  WtaConfig cfg = WtaConfig::from_table1(LearningOption::kFloat32,
+                                         StdpKind::kStochastic, 12);
+  cfg.seed = seed;
+  cfg.backend = backend;
+  return cfg;
+}
+
+TrainerConfig fast_trainer() {
+  TrainerConfig tc;
+  tc.t_learn_ms = 150.0;
+  return tc;
+}
+
+Dataset training_images() {
+  const LabeledDataset data =
+      make_synthetic_digits({.train_count = 8, .test_count = 1, .seed = 4});
+  return data.train.head(8);
+}
+
+void assert_same_trained_state(const WtaNetwork& a, const WtaNetwork& b,
+                               const std::string& what) {
+  PSS_PROP_ASSERT(a.conductance().to_vector() == b.conductance().to_vector(),
+                  what + ": conductance diverged");
+  PSS_PROP_ASSERT(std::vector<double>(a.theta().begin(), a.theta().end()) ==
+                      std::vector<double>(b.theta().begin(), b.theta().end()),
+                  what + ": theta diverged");
+  PSS_PROP_ASSERT(a.presentation_index() == b.presentation_index(),
+                  what + ": presentation index diverged");
+  PSS_PROP_ASSERT(a.now() == b.now(), what + ": simulation clock diverged");
+}
+
+// ---------------------------------------------------------------------------
+// (a) Fire decisions are deterministic per (spec, seed, hit sequence).
+
+TEST_F(PropFaults, GeneratedSchedulesFireDeterministically) {
+  const CheckResult r = prop::check(
+      "fault_schedule_determinism",
+      [](Source& s) {
+        const std::string spec = prop::gen_fault_spec(s);
+        const std::uint64_t seed = s.bits(0xffffffffull);
+        const std::uint64_t probes = 10 + s.bits(50);
+
+        auto fire_log = [&](robust::FaultInjector& injector) {
+          injector.arm_from_spec(spec);
+          injector.set_seed(seed);
+          std::vector<std::uint8_t> log;
+          for (const std::string& point : injector.armed_points()) {
+            for (std::uint64_t i = 0; i < probes; ++i) {
+              log.push_back(injector.should_fire(point) ? 1 : 0);
+            }
+            log.push_back(
+                static_cast<std::uint8_t>(injector.fired(point) & 0xff));
+          }
+          return log;
+        };
+
+        robust::FaultInjector probe;
+        probe.arm_from_spec(spec);
+        PSS_PROP_ASSERT(!probe.armed_points().empty(),
+                        "generated spec '" + spec + "' armed nothing");
+
+        robust::FaultInjector first;
+        robust::FaultInjector second;
+        PSS_PROP_ASSERT(fire_log(first) == fire_log(second),
+                        "spec '" + spec + "' seed " + std::to_string(seed) +
+                            ": fire sequence is not reproducible");
+      },
+      options_with(40));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+// ---------------------------------------------------------------------------
+// (b) Kill -> resume is bitwise for generated (checkpoint_every, kill
+// ordinal, backend) schedules, armed through the spec grammar.
+
+TEST_F(PropFaults, KillAndResumeIsBitwiseUnderGeneratedSchedules) {
+  const Dataset train = training_images();
+  const CheckResult r = prop::check(
+      "fault_kill_resume_bitwise",
+      [&](Source& s) {
+        ScopedFaultClear guard;
+        const std::string backend = s.choose({"cpu", "cpu_sparse"});
+        const std::uint64_t net_seed = 1 + s.bits(50);
+        const std::uint64_t every = 1 + s.bits(2);       // checkpoint cadence
+        // Kill strictly after the first checkpoint boundary so a resume
+        // point is guaranteed on disk.
+        const std::uint64_t kill_after = every + 1 + s.bits(1);
+        const std::string spec = "train.interrupt:rate=1,after=" +
+                                 std::to_string(kill_after) +
+                                 ",count=1,kind=fatal";
+
+        // Reference: one uninterrupted run.
+        WtaNetwork ref(tiny_config(net_seed, backend));
+        UnsupervisedTrainer tref(ref, fast_trainer());
+        tref.train(train);
+
+        const std::string path =
+            temp_path("pss_prop_resume_" + std::to_string(net_seed) + "_" +
+                      std::to_string(kill_after) + ".ckpt");
+        TrainerConfig tc = fast_trainer();
+        tc.checkpoint_every = every;
+        tc.checkpoint_path = path;
+
+        WtaNetwork a(tiny_config(net_seed, backend));
+        UnsupervisedTrainer ta(a, tc);
+        robust::faults().arm_from_spec(spec);
+        bool killed = false;
+        try {
+          ta.train(train);
+        } catch (const Error&) {
+          killed = true;
+        }
+        robust::faults().clear();
+        PSS_PROP_ASSERT(killed, "schedule '" + spec + "' never interrupted");
+
+        WtaNetwork b(tiny_config(net_seed, backend));
+        UnsupervisedTrainer tb(b, tc);
+        const robust::TrainingCheckpoint cp = robust::load_checkpoint(path);
+        PSS_PROP_ASSERT(cp.images_done >= every,
+                        "no checkpoint boundary before the kill");
+        tb.resume_from(cp);
+        tb.train(train);
+        std::remove(path.c_str());
+
+        assert_same_trained_state(ref, b,
+                                  backend + " resume after '" + spec + "'");
+      },
+      options_with(4));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+// ---------------------------------------------------------------------------
+// (c1) Transient shard.worker schedules requeue deterministically: whatever
+// items the fault lands on (the ordinal->item mapping is racy by design),
+// the retried batched run converges bitwise onto the fault-free result.
+
+TEST_F(PropFaults, TransientWorkerFaultsRequeueDeterministically) {
+  const Dataset train = training_images();
+  const CheckResult r = prop::check(
+      "fault_requeue_determinism",
+      [&](Source& s) {
+        ScopedFaultClear guard;
+        const std::uint64_t net_seed = 1 + s.bits(50);
+        const std::uint64_t workers = 1 + s.bits(2);
+        const std::uint64_t after = s.bits(6);
+        const std::uint64_t count = 1 + s.bits(1);  // within the retry budget
+        const std::string spec = "shard.worker:rate=1,after=" +
+                                 std::to_string(after) +
+                                 ",count=" + std::to_string(count);
+
+        TrainerConfig tc = fast_trainer();
+        tc.batch_size = 2;
+
+        WtaNetwork ref(tiny_config(net_seed, "cpu"));
+        UnsupervisedTrainer tref(ref, tc);
+        BatchRunner ref_runner(1);
+        tref.train(train, ref_runner);
+
+        WtaNetwork faulted(tiny_config(net_seed, "cpu"));
+        UnsupervisedTrainer tf(faulted, tc);
+        BatchRunner runner(static_cast<std::size_t>(workers));
+        robust::faults().arm_from_spec(spec);
+        tf.train(train, runner);  // transient fires must be absorbed
+        const std::uint64_t fired = robust::faults().fired("shard.worker");
+        robust::faults().clear();
+        PSS_PROP_ASSERT(fired >= 1,
+                        "schedule '" + spec + "' never fired (hits exceed " +
+                            std::to_string(after) + ")");
+
+        assert_same_trained_state(
+            ref, faulted,
+            "requeue under '" + spec + "' x" + std::to_string(workers));
+      },
+      options_with(4));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+// ---------------------------------------------------------------------------
+// (c2) Failed checkpoint writes are isolated: an io.snapshot.write schedule
+// degrades durability (counted, retried), never the training trajectory.
+
+TEST_F(PropFaults, SnapshotWriteFaultsLeaveTrainingStateIntact) {
+  const Dataset train = training_images();
+  const CheckResult r = prop::check(
+      "fault_snapshot_write_isolated",
+      [&](Source& s) {
+        ScopedFaultClear guard;
+        const std::uint64_t net_seed = 1 + s.bits(50);
+        const std::uint64_t after = s.bits(2);
+        const std::uint64_t count = 1 + s.bits(1);
+        const std::string spec = "io.snapshot.write:rate=1,after=" +
+                                 std::to_string(after) +
+                                 ",count=" + std::to_string(count);
+
+        WtaNetwork ref(tiny_config(net_seed, "cpu"));
+        UnsupervisedTrainer tref(ref, fast_trainer());
+        tref.train(train);
+
+        const std::string path = temp_path("pss_prop_snapfault_" +
+                                           std::to_string(net_seed) + ".ckpt");
+        TrainerConfig tc = fast_trainer();
+        tc.checkpoint_every = 2;
+        tc.checkpoint_path = path;
+        WtaNetwork faulted(tiny_config(net_seed, "cpu"));
+        UnsupervisedTrainer tf(faulted, tc);
+        robust::faults().arm_from_spec(spec);
+        tf.train(train);  // write failures are transient; training finishes
+        robust::faults().clear();
+        std::remove(path.c_str());
+
+        assert_same_trained_state(ref, faulted,
+                                  "training under '" + spec + "'");
+      },
+      options_with(3));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,242 @@
+// Grammar fuzz over the `layers=` / `faults=` / run-option parsers (ISSUE
+// satellite 1): malformed strings must always produce a structured
+// pss::Error — never a crash, a foreign exception type, or silent
+// acceptance. The minimized crashers the fuzzer surfaced (non-finite reals
+// sliding through parse_real, strtoull ERANGE clamping, UB double→uint64
+// casts for faults after=/count=, negative run-option integers wrapping to
+// huge unsigned values) are committed as corpora under tests/data/prop/ and
+// replayed here so the fixes stay fixed.
+#include <gtest/gtest.h>
+
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pss/common/error.hpp"
+#include "pss/graph/layer_spec.hpp"
+#include "pss/io/config.hpp"
+#include "pss/prop/check.hpp"
+#include "pss/prop/generators.hpp"
+#include "pss/robust/fault_injection.hpp"
+#include "tools/run_options.hpp"
+
+namespace pss {
+namespace {
+
+using prop::CheckResult;
+using prop::Source;
+
+prop::CheckOptions options_with(std::uint32_t cases) {
+  prop::CheckOptions options;
+  options.cases = cases;
+  return options;
+}
+
+/// How a parser call ended. Classification happens inside the try so
+/// prop::fail's Failure (deliberately not a std::exception) is never
+/// swallowed by the catch-all.
+enum class ParseOutcome { kAccepted, kStructuredError, kForeignFailure };
+
+template <typename Fn>
+ParseOutcome classify(Fn&& fn, std::string* detail) {
+  try {
+    fn();
+    return ParseOutcome::kAccepted;
+  } catch (const Error& e) {
+    *detail = e.what();
+    return ParseOutcome::kStructuredError;
+  } catch (const std::exception& e) {
+    *detail = std::string("foreign exception: ") + e.what();
+    return ParseOutcome::kForeignFailure;
+  } catch (...) {
+    *detail = "non-standard exception";
+    return ParseOutcome::kForeignFailure;
+  }
+}
+
+WtaConfig base_config() {
+  return WtaConfig::from_table1(LearningOption::kFloat32,
+                                StdpKind::kStochastic, 8);
+}
+
+// ---------------------------------------------------------------------------
+// `layers=` grammar.
+
+TEST(PropGrammar, MutatedLayersSpecsNeverCrashOrLeakForeignExceptions) {
+  const CheckResult r = prop::check(
+      "fuzz_layers_mutated",
+      [](Source& s) {
+        const std::string spec = prop::mutate_string(s, prop::gen_layers_spec(s));
+        std::string detail;
+        const ParseOutcome outcome = classify(
+            [&] { graph::graph_config_from_spec(spec, base_config()); },
+            &detail);
+        PSS_PROP_ASSERT(outcome != ParseOutcome::kForeignFailure,
+                        "spec '" + spec + "' escaped as: " + detail);
+      },
+      options_with(300));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+TEST(PropGrammar, BadLayersSpecsAlwaysRaiseStructuredErrors) {
+  const CheckResult r = prop::check(
+      "fuzz_layers_bad_families",
+      [](Source& s) {
+        const std::string spec = prop::gen_bad_layers_spec(s);
+        std::string detail;
+        const ParseOutcome outcome = classify(
+            [&] { graph::graph_config_from_spec(spec, base_config()); },
+            &detail);
+        PSS_PROP_ASSERT(outcome != ParseOutcome::kAccepted,
+                        "malformed spec '" + spec + "' was silently accepted");
+        PSS_PROP_ASSERT(outcome == ParseOutcome::kStructuredError,
+                        "spec '" + spec + "' escaped as: " + detail);
+      },
+      options_with(200));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+TEST(PropGrammar, ValidLayersSpecsRoundTripThroughCanonicalForm) {
+  const CheckResult r = prop::check(
+      "layers_canonical_roundtrip",
+      [](Source& s) {
+        const std::string spec = prop::gen_layers_spec(s);
+        const graph::GraphConfig parsed =
+            graph::graph_config_from_spec(spec, base_config());
+        const std::string canonical = graph::canonical_layers_spec(parsed);
+        const graph::GraphConfig reparsed =
+            graph::graph_config_from_spec(canonical, base_config());
+        PSS_PROP_ASSERT(graph::canonical_layers_spec(reparsed) == canonical,
+                        "canonical form is not a fixed point for '" + spec +
+                            "'");
+        PSS_PROP_ASSERT(reparsed.layers.size() == parsed.layers.size(),
+                        "round-trip changed the layer count");
+      },
+      options_with(150));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+// ---------------------------------------------------------------------------
+// `faults=` grammar (a private injector — the global registry stays clean).
+
+TEST(PropGrammar, MutatedFaultSpecsNeverCrashOrLeakForeignExceptions) {
+  const CheckResult r = prop::check(
+      "fuzz_faults_mutated",
+      [](Source& s) {
+        const std::string spec =
+            prop::mutate_string(s, prop::gen_fault_spec(s));
+        robust::FaultInjector injector;
+        std::string detail;
+        const ParseOutcome outcome =
+            classify([&] { injector.arm_from_spec(spec); }, &detail);
+        PSS_PROP_ASSERT(outcome != ParseOutcome::kForeignFailure,
+                        "spec '" + spec + "' escaped as: " + detail);
+      },
+      options_with(300));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+TEST(PropGrammar, BadFaultSpecsAlwaysRaiseStructuredErrors) {
+  const CheckResult r = prop::check(
+      "fuzz_faults_bad_families",
+      [](Source& s) {
+        const std::string spec = prop::gen_bad_fault_spec(s);
+        robust::FaultInjector injector;
+        std::string detail;
+        const ParseOutcome outcome =
+            classify([&] { injector.arm_from_spec(spec); }, &detail);
+        PSS_PROP_ASSERT(outcome != ParseOutcome::kAccepted,
+                        "malformed spec '" + spec + "' was silently accepted");
+        PSS_PROP_ASSERT(outcome == ParseOutcome::kStructuredError,
+                        "spec '" + spec + "' escaped as: " + detail);
+      },
+      options_with(200));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+// ---------------------------------------------------------------------------
+// Run-option front door: argv tokens → Config → spec_from_config. Fuzzed
+// tokens may legitimately parse (they mix plausible values in); the
+// invariant is the error channel, not rejection.
+
+TEST(PropGrammar, FuzzedRunOptionsParseOrRaiseStructuredErrors) {
+  const CheckResult r = prop::check(
+      "fuzz_run_options",
+      [](Source& s) {
+        const std::vector<std::string> tokens = prop::gen_run_option_tokens(s);
+        std::vector<const char*> argv;
+        for (const std::string& t : tokens) argv.push_back(t.c_str());
+        std::string detail;
+        const ParseOutcome outcome = classify(
+            [&] {
+              const Config cfg = Config::from_args(
+                  static_cast<int>(argv.size()), argv.data(), 0);
+              tools::require_known_keys(cfg);
+              tools::spec_from_config(cfg, "prop_fuzz");
+            },
+            &detail);
+        PSS_PROP_ASSERT(outcome != ParseOutcome::kForeignFailure,
+                        "tokens escaped as: " + detail);
+      },
+      options_with(300));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+// ---------------------------------------------------------------------------
+// Committed crasher corpora: every line minimized from a fuzzer find, every
+// line must raise pss::Error forever.
+
+std::vector<std::string> load_corpus(const std::string& name) {
+  const std::string path = std::string(PSS_TEST_DATA_DIR "/prop/") + name;
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open()) << "missing corpus fixture " << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    lines.push_back(line);
+  }
+  EXPECT_FALSE(lines.empty()) << "empty corpus " << path;
+  return lines;
+}
+
+TEST(PropGrammarCorpus, LayersCrashersStayFixed) {
+  for (const std::string& spec : load_corpus("layers_bad.txt")) {
+    std::string detail;
+    const ParseOutcome outcome = classify(
+        [&] { graph::graph_config_from_spec(spec, base_config()); }, &detail);
+    EXPECT_EQ(outcome, ParseOutcome::kStructuredError)
+        << "corpus spec '" << spec << "': " << detail;
+  }
+}
+
+TEST(PropGrammarCorpus, FaultCrashersStayFixed) {
+  for (const std::string& spec : load_corpus("faults_bad.txt")) {
+    robust::FaultInjector injector;
+    std::string detail;
+    const ParseOutcome outcome =
+        classify([&] { injector.arm_from_spec(spec); }, &detail);
+    EXPECT_EQ(outcome, ParseOutcome::kStructuredError)
+        << "corpus spec '" << spec << "': " << detail;
+  }
+}
+
+TEST(PropGrammarCorpus, RunOptionCrashersStayFixed) {
+  for (const std::string& token : load_corpus("run_options_bad.txt")) {
+    const char* argv[] = {token.c_str()};
+    std::string detail;
+    const ParseOutcome outcome = classify(
+        [&] {
+          const Config cfg = Config::from_args(1, argv, 0);
+          tools::require_known_keys(cfg);
+          tools::spec_from_config(cfg, "prop_corpus");
+        },
+        &detail);
+    EXPECT_EQ(outcome, ParseOutcome::kStructuredError)
+        << "corpus token '" << token << "': " << detail;
+  }
+}
+
+}  // namespace
+}  // namespace pss

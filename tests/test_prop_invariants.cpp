@@ -1,0 +1,223 @@
+// Generative STDP / neuron / fixed-point invariant suites (ISSUE consumer 1):
+// every property runs over prop-generated configurations instead of the
+// hand-picked Table I rows the example-based tests cover — conductance
+// confinement to [G_min, G_max] at both event types, monotonicity of the
+// update in the causal gap, Q-format encode/decode round-trips across
+// Q0.2–Q1.15, and WTA exclusivity under random stimulus.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "pss/network/wta_network.hpp"
+#include "pss/prop/check.hpp"
+#include "pss/prop/generators.hpp"
+#include "pss/synapse/stdp_updater.hpp"
+
+namespace pss {
+namespace {
+
+using prop::CheckResult;
+using prop::Source;
+
+prop::CheckOptions options_with(std::uint32_t cases) {
+  prop::CheckOptions options;
+  options.cases = cases;
+  return options;  // read_env stays on: PSS_PROP_SEED/CASE replay works
+}
+
+// ---------------------------------------------------------------------------
+// Conductance confinement: whatever the generated rule/precision/rounding,
+// no event may move G outside [g_min, effective_g_max].
+
+TEST(PropInvariants, PostSpikeEventConfinesConductance) {
+  const CheckResult r = prop::check(
+      "post_spike_confines_g",
+      [](Source& s) {
+        const StdpUpdaterConfig config = prop::gen_stdp_config(s);
+        const StdpUpdater updater(config);
+        const double g_min = config.magnitude.g_min;
+        const double g_max = updater.effective_g_max();
+        const double g = s.real(g_min, g_max);
+        // Gaps across the whole causal range, plus the never-fired case.
+        const double gap =
+            s.boolean(0.1) ? std::numeric_limits<double>::infinity()
+                           : s.real(0.0, 10.0 * config.det_window_ms);
+        const double next = updater.update_at_post_spike(g, gap, s.unit(),
+                                                         s.unit(), s.unit());
+        PSS_PROP_ASSERT(std::isfinite(next) || gap != gap,
+                        "update produced a non-finite conductance");
+        PSS_PROP_ASSERT(next >= g_min, "conductance fell below G_min");
+        PSS_PROP_ASSERT(next <= g_max, "conductance exceeded G_max");
+      },
+      options_with(400));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+TEST(PropInvariants, PreSpikeEventConfinesConductance) {
+  const CheckResult r = prop::check(
+      "pre_spike_confines_g",
+      [](Source& s) {
+        const StdpUpdaterConfig config = prop::gen_stdp_config(s);
+        const StdpUpdater updater(config);
+        const double g_min = config.magnitude.g_min;
+        const double g_max = updater.effective_g_max();
+        const double g = s.real(g_min, g_max);
+        const double age =
+            s.boolean(0.1) ? std::numeric_limits<double>::infinity()
+                           : s.real(0.0, 10.0 * config.gate.tau_dep);
+        const double next =
+            updater.update_at_pre_spike(g, age, s.unit(), s.unit());
+        PSS_PROP_ASSERT(next >= g_min, "conductance fell below G_min");
+        PSS_PROP_ASSERT(next <= g_max, "conductance exceeded G_max");
+        // The anti-causal pathway only ever depresses.
+        PSS_PROP_ASSERT(next <= g, "pre-spike event potentiated");
+      },
+      options_with(400));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+// ---------------------------------------------------------------------------
+// Monotonicity in Δt. With the same uniform draws, a shorter causal gap can
+// only help the synapse: the eq. 6 potentiation gate opens at least as often
+// (p_pot falls with the gap) and the stale-depression gate fires at most as
+// often (p_dep_stale rises with it), while the deterministic window is a
+// step in the gap. So update(g, gap1) ≥ update(g, gap2) whenever
+// gap1 ≤ gap2 — for every rule, precision and rounding mode.
+
+TEST(PropInvariants, PostSpikeUpdateIsMonotoneInGap) {
+  const CheckResult r = prop::check(
+      "post_spike_monotone_in_gap",
+      [](Source& s) {
+        const StdpUpdaterConfig config = prop::gen_stdp_config(s);
+        const StdpUpdater updater(config);
+        const double g =
+            s.real(config.magnitude.g_min, updater.effective_g_max());
+        const double gap1 = s.real(0.0, 5.0 * config.det_window_ms);
+        const double gap2 = gap1 + s.real(0.0, 5.0 * config.det_window_ms);
+        const double u_pot = s.unit();
+        const double u_dep = s.unit();
+        const double u_round = s.unit();
+        const double near =
+            updater.update_at_post_spike(g, gap1, u_pot, u_dep, u_round);
+        const double far =
+            updater.update_at_post_spike(g, gap2, u_pot, u_dep, u_round);
+        PSS_PROP_ASSERT(near + 1e-12 >= far,
+                        "shorter causal gap produced a smaller update");
+      },
+      options_with(400));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+TEST(PropInvariants, PreSpikeDepressionIsMonotoneInPostAge) {
+  const CheckResult r = prop::check(
+      "pre_spike_monotone_in_age",
+      [](Source& s) {
+        const StdpUpdaterConfig config = prop::gen_stdp_config(s);
+        const StdpUpdater updater(config);
+        const double g =
+            s.real(config.magnitude.g_min, updater.effective_g_max());
+        const double age1 = s.real(0.0, 5.0 * config.gate.tau_dep);
+        const double age2 = age1 + s.real(0.0, 5.0 * config.gate.tau_dep);
+        const double u_gate = s.unit();
+        const double u_round = s.unit();
+        // Eq. 7 decays with |Δt|: an older post spike depresses at most as
+        // often, so the young-age result is ≤ the old-age result.
+        const double young =
+            updater.update_at_pre_spike(g, age1, u_gate, u_round);
+        const double old = updater.update_at_pre_spike(g, age2, u_gate,
+                                                       u_round);
+        PSS_PROP_ASSERT(old + 1e-12 >= young,
+                        "older post spike depressed more strongly");
+      },
+      options_with(400));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-point encode/decode round-trips across generated Qm.n formats.
+
+TEST(PropInvariants, QFormatFloorCodeRoundTrips) {
+  const CheckResult r = prop::check(
+      "qformat_floor_roundtrip",
+      [](Source& s) {
+        const QFormat format = prop::gen_qformat(s);
+        const double value = s.real(0.0, format.max_value());
+        const std::uint32_t code = format.floor_code(value);
+        const double decoded = format.from_code(code);
+        PSS_PROP_ASSERT(code < format.level_count(), "code out of range");
+        PSS_PROP_ASSERT(format.representable(decoded),
+                        "decoded value is off the representation grid");
+        PSS_PROP_ASSERT(decoded <= value, "floor decode exceeded the input");
+        PSS_PROP_ASSERT(value - decoded < format.resolution(),
+                        "floor decode lost more than one quantum");
+        // Encoding a grid point is exact: the round-trip is idempotent.
+        PSS_PROP_ASSERT(format.floor_code(decoded) == code,
+                        "re-encoding the decoded value moved the code");
+      },
+      options_with(500));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+TEST(PropInvariants, QFormatCodesEnumerateTheGrid) {
+  const CheckResult r = prop::check(
+      "qformat_code_grid",
+      [](Source& s) {
+        const QFormat format = prop::gen_qformat(s);
+        const std::uint32_t code =
+            static_cast<std::uint32_t>(s.bits(format.level_count() - 1));
+        const double value = format.from_code(code);
+        PSS_PROP_ASSERT(value >= 0.0 && value <= format.max_value(),
+                        "grid value outside [0, max]");
+        // from_code is exactly code · 2^-n.
+        PSS_PROP_ASSERT(value == code * format.resolution(),
+                        "grid point not an exact multiple of the resolution");
+        PSS_PROP_ASSERT(format.floor_code(value) == code,
+                        "floor_code(from_code(c)) != c");
+      },
+      options_with(500));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+// ---------------------------------------------------------------------------
+// WTA exclusivity and conductance bounds at network level, on generated
+// configurations and stimuli (few cases — each presents a full stimulus).
+
+TEST(PropInvariants, WtaInhibitionIsExclusiveUnderRandomStimulus) {
+  const CheckResult r = prop::check(
+      "wta_exclusive_random_stimulus",
+      [](Source& s) {
+        WtaConfig config = prop::gen_wta_config(s, "cpu");
+        WtaNetwork network(config);
+        const std::vector<double> rates =
+            prop::gen_rates(s, config.input_channels, 500.0);
+        const PresentationResult result =
+            network.present(rates, 80.0, /*learn=*/true,
+                            /*record_spikes=*/true);
+        // Walk the recorded spikes: after neuron w fires at time t, no OTHER
+        // neuron may fire inside (t, t + t_inh) — simultaneous spikes in the
+        // same step are legal (inhibition lands after the step).
+        for (std::size_t i = 0; i < result.spike_events.size(); ++i) {
+          const auto [t_i, winner] = result.spike_events[i];
+          for (std::size_t j = i + 1; j < result.spike_events.size(); ++j) {
+            const auto [t_j, other] = result.spike_events[j];
+            if (t_j >= t_i + config.t_inh_ms) break;
+            PSS_PROP_ASSERT(other == winner || t_j == t_i,
+                            "a non-winner fired inside the inhibition window");
+          }
+        }
+        // Learning ran: every conductance must still live in the legal range.
+        const double lo = network.conductance().learn_lo();
+        const double hi = network.conductance().learn_hi();
+        for (double g : network.conductance().to_vector()) {
+          PSS_PROP_ASSERT(g >= lo && g <= hi,
+                          "training pushed a conductance out of range");
+        }
+      },
+      options_with(25));
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+}  // namespace
+}  // namespace pss

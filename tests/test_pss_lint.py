@@ -66,6 +66,8 @@ def main():
         ("src/pss/obs/bad_perf.cpp", "raw-perf-syscall"),
         ("src/pss/obs/bad_socket.cpp", "raw-socket-syscall"),
         ("CMakeLists.txt", "fp-reassociation"),
+        ("src/pss/prop/bad_seed.cpp", "prop-seed"),
+        ("tests/test_prop_seeded.cpp", "prop-seed"),
     }
     for pair in expected:
         check(pair in pairs, "missing expected violation %s" % (pair,))
@@ -87,6 +89,14 @@ def main():
               ("src/pss/synapse/unordered_iter.cpp",
                "unordered-iteration"), 0) == 2,
           "unordered_iter.cpp should yield 2 unordered-iteration findings")
+    check(by_file_rule.get(
+              ("src/pss/prop/bad_seed.cpp", "prop-seed"), 0) == 3,
+          "bad_seed.cpp should yield 3 prop-seed findings (CounterRng, "
+          "SequentialRng, std::mt19937), got %d"
+          % by_file_rule.get(("src/pss/prop/bad_seed.cpp", "prop-seed"), 0))
+    check(by_file_rule.get(
+              ("tests/test_prop_seeded.cpp", "prop-seed"), 0) == 1,
+          "test_prop_seeded.cpp should yield 1 prop-seed finding")
     check(by_file_rule.get(
               ("src/pss/obs/bad_perf.cpp", "raw-perf-syscall"), 0) == 2,
           "bad_perf.cpp should yield 2 raw-perf-syscall findings "
@@ -110,6 +120,11 @@ def main():
           in sup_pairs, "valid suppression should be recorded as suppressed")
     check(("CMakeLists.txt", "fp-reassociation") in sup_pairs,
           "cmake suppression should be recorded as suppressed")
+    check(("src/pss/prop/suppressed_seed.cpp", "prop-seed") in sup_pairs,
+          "valid prop-seed suppression should be recorded as suppressed")
+    check(not any(v["file"] == "src/pss/prop/suppressed_seed.cpp"
+                  for v in report["violations"]),
+          "suppressed_seed.cpp must not appear in violations")
     check(not any(v["file"] == "src/pss/engine/suppressed_rng.cpp"
                   for v in report["violations"]),
           "suppressed_rng.cpp must not appear in violations")
@@ -211,6 +226,24 @@ def main():
           "all raw-socket-syscall suppressions must live in "
           "src/pss/serve/net.cpp, got %s"
           % sorted({s["file"] for s in sock_sup}))
+
+    # --- real tree: property code never seeds its own RNGs -----------------
+    # The harness and every tests/test_prop_*.cpp property derive all draws
+    # from the (seed, case) Philox stream — no literal-seeded RNGs, no
+    # <random> engines, and no suppressions: the printed PSS_PROP_SEED
+    # repro line must fully determine a failing case.
+    proc = run_lint(args.lint,
+                    ["--root", repo_root, "--rules", "prop-seed",
+                     "--json", report_path, "--quiet"])
+    check(proc.returncode == 0,
+          "repo prop code must be prop-seed clean, got %d: %s"
+          % (proc.returncode, proc.stderr))
+    with open(report_path) as f:
+        prop_report = json.load(f)
+    check(not any(s["rule"] == "prop-seed" for s in prop_report["suppressed"]),
+          "prop code must not need prop-seed suppressions, got %s"
+          % [(s["file"], s["line"]) for s in prop_report["suppressed"]
+             if s["rule"] == "prop-seed"])
 
     # --- usage errors: exit 2 ----------------------------------------------
     proc = run_lint(args.lint, ["--root", args.fixtures,

@@ -95,6 +95,14 @@ run_stage "ctest-serve" ctest --test-dir build-lint -L serve \
 run_stage "ctest-graph" ctest --test-dir build-lint -L graph \
   --output-on-failure -j "$JOBS"
 
+# Stage 4e: property / differential / fuzz suite (label `prop`) from the
+# wall build — seeded generative invariants, cross-backend differential
+# runs, grammar fuzzing with committed crasher corpora, corruption matrices
+# and the fault-schedule explorer. Failures print a one-line
+# PSS_PROP_SEED=... PSS_PROP_CASE=... repro.
+run_stage "ctest-prop" ctest --test-dir build-lint -L prop \
+  --output-on-failure -j "$JOBS"
+
 # Stage 5: sanitizer suites (the slow half of the gate).
 if [ "$SKIP_SAN" -eq 0 ]; then
   run_stage "tsan-configure" cmake --preset tsan

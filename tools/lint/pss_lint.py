@@ -45,6 +45,13 @@ source-level invariants that no compiler flag checks:
                          other TU gets them for free and none can wedge on a
                          slow peer.
 
+  prop-seed              Property-test code (src/pss/prop/ and
+                         tests/test_prop_*.cpp) never seeds its own RNGs
+                         with literals and never uses <random> engines:
+                         every draw flows from the harness's (seed, case)
+                         Philox stream so a printed PSS_PROP_SEED=...
+                         PSS_PROP_CASE=... line replays the exact case.
+
 Suppressions: append `// pss-lint: allow(<rule>[,<rule>...])` (or `# ...` in
 CMake/script files) to the offending line. Suppressions are recorded in the
 JSON report so reviewers can audit them; an unknown rule name in a
@@ -114,6 +121,10 @@ RULE_DOCS = {
     "raw-socket-syscall":
         "raw BSD socket syscall or socket-header include outside the "
         "pss/serve/net.cpp wrapper",
+    "prop-seed":
+        "hard-coded RNG seed or <random> engine in property-test code "
+        "(src/pss/prop/, tests/test_prop_*.cpp); draw through prop::Source "
+        "so PSS_PROP_SEED/PSS_PROP_CASE repros replay",
 }
 
 
@@ -355,6 +366,43 @@ def check_raw_socket_syscall(rel, code_lines):
                    "to the BSD socket API; use pss::serve::net instead")
 
 
+# Property-test territory: the harness derives every draw from the (seed,
+# case) Philox stream so a printed PSS_PROP_SEED/PSS_PROP_CASE line replays
+# the exact failing case. A literal-seeded RNG (or a <random> engine, whose
+# algorithms the standard does not pin) inside a property breaks that replay
+# contract silently — the repro line no longer determines the values drawn.
+PROP_PATHS = ("src/pss/prop/",)
+PROP_TEST_RE = re.compile(r"^tests/test_prop_\w+\.(?:cpp|cc)$")
+PROP_LITERAL_SEED_RE = re.compile(
+    r"\b(CounterRng|SequentialRng|Philox)\b(?:\s+\w+)?\s*[({]\s*"
+    r"(?:0[xX][0-9a-fA-F']+|\d[\d']*)\b")
+
+
+def in_prop_scope(rel):
+    return under(rel, PROP_PATHS) or PROP_TEST_RE.match(rel)
+
+
+def check_prop_seed(rel, code_lines):
+    if not in_prop_scope(rel):
+        return
+    for ln, line in enumerate(code_lines, 1):
+        m = PROP_LITERAL_SEED_RE.search(line)
+        if m:
+            yield (ln, "prop-seed",
+                   "literal-seeded " + m.group(1) + " in property code: "
+                   "derive draws from the prop::Source (s.bits/range/...) or "
+                   "prop::case_source so the printed PSS_PROP_SEED/"
+                   "PSS_PROP_CASE repro replays this exact case")
+            continue
+        m = KERNEL_RNG_RE.search(line)
+        if m:
+            yield (ln, "prop-seed",
+                   "std::" + m.group(1) + " in property code: <random> "
+                   "algorithms are not pinned by the standard, so cases "
+                   "would not replay bit for bit across platforms — draw "
+                   "through prop::Source instead")
+
+
 def check_raw_perf_syscall(rel, code_lines):
     for ln, line in enumerate(code_lines, 1):
         if PERF_SYSCALL_RE.search(line):
@@ -387,6 +435,7 @@ def scan_file(root, rel, active_rules):
             lambda: check_raw_alloc(rel, code_lines),
             lambda: check_raw_perf_syscall(rel, code_lines),
             lambda: check_raw_socket_syscall(rel, code_lines),
+            lambda: check_prop_seed(rel, code_lines),
         ]
         for chk in checks:
             findings.extend(chk())

@@ -24,6 +24,12 @@ LearningOption parse_learning_option(const std::string& name) {
   throw Error("unknown option: " + name);
 }
 
+StdpKind parse_stdp_kind(const std::string& name) {
+  if (name == "stochastic") return StdpKind::kStochastic;
+  if (name == "deterministic") return StdpKind::kDeterministic;
+  throw Error("unknown kind: " + name);
+}
+
 RoundingMode parse_rounding_mode(const std::string& name) {
   if (name == "nearest") return RoundingMode::kNearest;
   if (name == "trunc") return RoundingMode::kTruncate;
@@ -84,15 +90,25 @@ ExperimentSpec spec_from_config(const Config& cfg,
                                 const std::string& default_name) {
   ExperimentSpec spec;
   spec.name = cfg.get_string("name", default_name);
-  spec.kind = cfg.get_string("kind", "stochastic") == "deterministic"
-                  ? StdpKind::kDeterministic
-                  : StdpKind::kStochastic;
+  // `kind=anything-else` used to fall through to stochastic silently
+  // (found by the prop grammar fuzzer; corpus token kind=quantum).
+  spec.kind = parse_stdp_kind(cfg.get_string("kind", "stochastic"));
   spec.option = parse_learning_option(cfg.get_string("option", "fp32"));
   spec.rounding = parse_rounding_mode(cfg.get_string("rounding", "nearest"));
-  spec.neuron_count = static_cast<std::size_t>(cfg.get_int("neurons", 100));
-  spec.train_images = static_cast<std::size_t>(cfg.get_int("train", 400));
-  spec.label_images = static_cast<std::size_t>(cfg.get_int("label", 250));
-  spec.eval_images = static_cast<std::size_t>(cfg.get_int("eval", 250));
+  // Count-valued keys: a negative long would wrap to a huge size_t via the
+  // cast (silent acceptance, found by the prop grammar fuzzer).
+  const auto neurons = cfg.get_int("neurons", 100);
+  PSS_REQUIRE(neurons >= 1, "neurons must be >= 1");
+  spec.neuron_count = static_cast<std::size_t>(neurons);
+  const auto train = cfg.get_int("train", 400);
+  const auto label = cfg.get_int("label", 250);
+  const auto eval = cfg.get_int("eval", 250);
+  PSS_REQUIRE(train >= 0, "train must be >= 0");
+  PSS_REQUIRE(label >= 0, "label must be >= 0");
+  PSS_REQUIRE(eval >= 0, "eval must be >= 0");
+  spec.train_images = static_cast<std::size_t>(train);
+  spec.label_images = static_cast<std::size_t>(label);
+  spec.eval_images = static_cast<std::size_t>(eval);
   const auto checkpoints = cfg.get_int("checkpoints", 0);
   PSS_REQUIRE(checkpoints >= 0, "checkpoints must be >= 0");
   spec.checkpoints = static_cast<std::size_t>(checkpoints);
@@ -102,7 +118,9 @@ ExperimentSpec spec_from_config(const Config& cfg,
   PSS_REQUIRE(batch >= 1, "batch must be >= 1");
   spec.workers = static_cast<std::size_t>(workers);
   spec.batch_size = static_cast<std::size_t>(batch);
-  spec.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  const auto seed = cfg.get_int("seed", 1);
+  PSS_REQUIRE(seed >= 0, "seed must be >= 0");
+  spec.seed = static_cast<std::uint64_t>(seed);
   spec.backend = require_known_backend(cfg.get_string("backend", "cpu"));
   const auto checkpoint_every = cfg.get_int("checkpoint_every", 0);
   PSS_REQUIRE(checkpoint_every >= 0, "checkpoint_every must be >= 0");
@@ -125,8 +143,9 @@ void arm_faults_from_config(const Config& cfg) {
     robust::faults().arm_from_spec(cfg.get_string("faults", ""));
   }
   if (cfg.has("fault_seed")) {
-    robust::faults().set_seed(
-        static_cast<std::uint64_t>(cfg.get_int("fault_seed", 0)));
+    const auto fault_seed = cfg.get_int("fault_seed", 0);
+    PSS_REQUIRE(fault_seed >= 0, "fault_seed must be >= 0");
+    robust::faults().set_seed(static_cast<std::uint64_t>(fault_seed));
   }
 }
 

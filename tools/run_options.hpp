@@ -32,6 +32,9 @@ LearningOption parse_learning_option(const std::string& name);
 /// nearest|trunc|stochastic -> quantizer rounding mode.
 RoundingMode parse_rounding_mode(const std::string& name);
 
+/// stochastic|deterministic -> STDP kind; anything else is an error.
+StdpKind parse_stdp_kind(const std::string& name);
+
 /// Builds an ExperimentSpec from the shared keys:
 ///   kind= option= rounding= neurons= train= label= eval= seed=
 ///   workers= batch= backend= checkpoints=
